@@ -1,0 +1,109 @@
+// Command benchtab regenerates the paper's evaluation artifacts from the
+// simulator:
+//
+//	benchtab -table 1          # Table 1: method comparison + measured overhead class
+//	benchtab -table 2          # Table 2: per-technique-group overhead
+//	benchtab -table 3          # Table 3: the full CC?/RS?/OS grid
+//	benchtab -figure 4         # Figure 4: GFC flush intervals by time of day
+//	benchtab -exp efficiency   # §6.x classifier-analysis costs
+//	benchtab -exp tmobile      # §6.2 throughput with/without lib·erate
+//	benchtab -exp persistence  # §6.1 classification persistence (120 s / 10 s)
+//	benchtab -exp sprint       # §6.4 null result
+//	benchtab -exp ablation     # DESIGN.md ablations
+//	benchtab -all              # everything, in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		table  = flag.Int("table", 0, "regenerate Table N (1, 2, or 3)")
+		figure = flag.Int("figure", 0, "regenerate Figure N (4)")
+		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace")
+		days   = flag.Int("days", 1, "days to sweep for Figure 4 (paper used 2)")
+		trials = flag.Int("trials", 6, "trials per hour for Figure 4 (paper used 6)")
+		body   = flag.Int("mb", 10, "video size in MB for the T-Mobile throughput experiment")
+		csv    = flag.Bool("csv", false, "emit Figure 4 as CSV for plotting")
+		all    = flag.Bool("all", false, "run everything")
+	)
+	flag.Parse()
+
+	ran := false
+	if *all || *table == 1 {
+		fmt.Println("== Table 1: comparison between lib·erate and other classifier evasion methods ==")
+		fmt.Println(experiments.RunTable1().Render())
+		ran = true
+	}
+	if *all || *table == 2 {
+		fmt.Println("== Table 2: high-level evasion techniques and overhead ==")
+		fmt.Println(experiments.RunTable2().Render())
+		ran = true
+	}
+	if *all || *table == 3 {
+		fmt.Println("== Table 3: effectiveness of lib·erate's evasion techniques ==")
+		fmt.Println(experiments.RunTable3().Render())
+		ran = true
+	}
+	if *all || *figure == 4 {
+		fmt.Println("== Figure 4: successful evasion intervals vary during the day (GFC) ==")
+		fig := experiments.RunFigure4(*days, *trials)
+		if *csv {
+			fmt.Print(fig.CSV())
+		} else {
+			fmt.Println(fig.Render())
+		}
+		ran = true
+	}
+	if *all || *exp == "efficiency" {
+		fmt.Println("== §6.1–§6.6: efficiency of classifier analysis ==")
+		fmt.Println(experiments.RenderEfficiency(experiments.RunEfficiency()))
+		ran = true
+	}
+	if *all || *exp == "tmobile" {
+		fmt.Println("== §6.2: Binge On throughput with and without lib·erate ==")
+		fmt.Println(experiments.RunTMobileThroughput(*body << 20).Render())
+		ran = true
+	}
+	if *all || *exp == "persistence" {
+		fmt.Println("== §6.1: classification persistence on the testbed ==")
+		fmt.Println(experiments.RunPersistence().Render())
+		ran = true
+	}
+	if *all || *exp == "sprint" {
+		fmt.Println("== §6.4: Sprint null result ==")
+		r := experiments.RunSprint()
+		fmt.Printf("differentiated=%v after %d replay rounds (paper: no evidence of DPI)\n\n", r.Differentiated, r.Rounds)
+		ran = true
+	}
+	if *all || *exp == "ablation" {
+		fmt.Println("== DESIGN.md ablations ==")
+		fmt.Print(experiments.RunAblationPruning().Render())
+		fmt.Print(experiments.RunAblationBlinding(40).Render())
+		fmt.Print(experiments.RunAblationSplit().Render())
+		fmt.Println()
+		ran = true
+	}
+	if *all || *exp == "armsrace" {
+		fmt.Println("== §7 arms race: operator countermeasures vs adaptation ==")
+		fmt.Println(experiments.RunArmsRace().Render())
+		ran = true
+	}
+	if *all || *exp == "extensions" {
+		fmt.Println("== §7 extensions: bilateral, masquerading, QUIC ==")
+		fmt.Print(experiments.RunBilateral().Render())
+		fmt.Print(experiments.RunMasquerade().Render())
+		fmt.Print(experiments.RunQUIC().Render())
+		fmt.Println()
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,212 @@
+// Command liberate runs a full lib·erate engagement against a simulated
+// network profile:
+//
+//	liberate -network tmobile -trace amazon
+//	liberate -network gfc -trace economist -hour 21
+//	liberate -network testbed -trace skype -json
+//	liberate -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	liberate "repro"
+	"repro/internal/netem/stack"
+	"repro/internal/trace"
+)
+
+func traceByName(name string, body int) (*liberate.Trace, error) {
+	switch name {
+	case "amazon":
+		return liberate.AmazonPrimeVideo(body), nil
+	case "spotify":
+		return liberate.Spotify(body), nil
+	case "youtube":
+		return liberate.YouTubeTLS(body), nil
+	case "economist":
+		return liberate.EconomistWeb(body / 8), nil
+	case "facebook":
+		return liberate.FacebookWeb(body / 8), nil
+	case "nbcsports":
+		return liberate.NBCSportsVideo(body), nil
+	case "skype":
+		return liberate.SkypeCall(6, 400), nil
+	case "espn":
+		return liberate.ESPNStream(body), nil
+	}
+	if _, err := os.Stat(name); err == nil {
+		return trace.Load(name)
+	}
+	return nil, fmt.Errorf("unknown trace %q (or file not found)", name)
+}
+
+func main() {
+	var (
+		network   = flag.String("network", "testbed", "network profile: testbed|tmobile|gfc|iran|att|sprint")
+		netFile   = flag.String("network-file", "", "JSON network spec file describing a custom middlebox (overrides -network)")
+		trName    = flag.String("trace", "amazon", "trace: amazon|spotify|youtube|economist|facebook|nbcsports|skype|espn or a JSON trace file")
+		body      = flag.Int("body", 96<<10, "response body size in bytes for generated traces")
+		hour      = flag.Int("hour", 0, "advance the virtual clock to this hour of day before engaging")
+		serverOS  = flag.String("os", "linux", "replay server OS profile: linux|macos|windows")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		list      = flag.Bool("list", false, "list techniques, networks, and traces")
+		exportTr  = flag.String("export-trace", "", "write the selected trace as JSON to this path and exit")
+		doTracert = flag.Bool("traceroute", false, "print the path's hops and exit")
+		cachePath = flag.String("cache", "", "shared rule-cache file: deploy from it when possible, update it after engagements")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("networks: testbed tmobile gfc iran att sprint")
+		fmt.Println("traces:   amazon spotify youtube economist facebook nbcsports skype espn")
+		fmt.Println("techniques:")
+		for _, t := range liberate.Taxonomy() {
+			fmt.Printf("  %2d %-24s %-4s %-26s %s\n", t.Row, t.ID, t.Proto, t.Group, t.Desc)
+		}
+		return
+	}
+
+	tr, err := traceByName(*trName, *body)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *exportTr != "" {
+		if err := tr.Save(*exportTr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *exportTr)
+		return
+	}
+
+	var net *liberate.Network
+	if *netFile != "" {
+		net, err = liberate.LoadNetworkSpec(*netFile)
+	} else {
+		net, err = liberate.NetworkByName(*network)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *hour > 0 {
+		net.Clock.RunFor(time.Duration(*hour) * time.Hour)
+	}
+	if *doTracert {
+		for _, h := range liberate.Traceroute(net, 24) {
+			if h.Responded {
+				fmt.Printf("%2d  %s\n", h.TTL, h.Addr)
+			} else {
+				fmt.Printf("%2d  *\n", h.TTL)
+			}
+		}
+		return
+	}
+
+	var osp *stack.OSProfile
+	switch *serverOS {
+	case "", "linux":
+		osp = &stack.Linux
+	case "macos":
+		osp = &stack.MacOS
+	case "windows":
+		osp = &stack.Windows
+	default:
+		fmt.Fprintf(os.Stderr, "unknown OS profile %q\n", *serverOS)
+		os.Exit(1)
+	}
+
+	// Shared-cache fast path (§4.2): verify a cached technique with one
+	// replay instead of a full engagement.
+	var cache *liberate.RuleCache
+	if *cachePath != "" {
+		cache, err = liberate.LoadRuleCache(*cachePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		netName := *network
+		if *netFile != "" {
+			netName = net.Name
+		}
+		if entry, ok := cache.Lookup(netName, tr.Name); ok {
+			if transform, rounds := liberate.DeployFromCache(net, tr, entry, 1); transform != nil {
+				fmt.Printf("deployed %s from shared cache (%d verification replay(s))\n", entry.Technique, rounds)
+				return
+			}
+			fmt.Println("cached technique no longer works; running a full engagement")
+		}
+	}
+
+	report := (&liberate.Liberate{Net: net, Trace: tr, ServerOS: osp}).Run()
+	if cache != nil && report.Deployed != nil {
+		cache.Store(report)
+		if err := cache.Save(*cachePath); err != nil {
+			fmt.Fprintln(os.Stderr, "cache save:", err)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(summarize(report)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	report.WriteSummary(os.Stdout)
+}
+
+// summary is the JSON-friendly view of a report.
+type summary struct {
+	Network          string        `json:"network"`
+	Trace            string        `json:"trace"`
+	Differentiated   bool          `json:"differentiated"`
+	Kinds            []string      `json:"kinds,omitempty"`
+	Fields           []string      `json:"matching_fields,omitempty"`
+	WindowLimited    bool          `json:"window_limited"`
+	AllPackets       bool          `json:"inspects_all_packets"`
+	PortSpecific     bool          `json:"port_specific"`
+	ResidualBlocking bool          `json:"residual_blocking"`
+	MiddleboxTTL     int           `json:"middlebox_ttl"`
+	Working          []string      `json:"working_techniques"`
+	Deployed         string        `json:"deployed,omitempty"`
+	Rounds           int           `json:"rounds"`
+	Bytes            int64         `json:"bytes"`
+	VirtualTime      time.Duration `json:"virtual_time_ns"`
+}
+
+func summarize(r *liberate.Report) summary {
+	s := summary{
+		Network: r.Network, Trace: r.TraceName,
+		Differentiated: r.Detection.Differentiated,
+		Rounds:         r.TotalRounds, Bytes: r.TotalBytes, VirtualTime: r.TotalTime,
+	}
+	for _, k := range r.Detection.Kinds {
+		s.Kinds = append(s.Kinds, string(k))
+	}
+	if c := r.Characterization; c != nil {
+		for _, f := range c.Fields {
+			s.Fields = append(s.Fields, f.String())
+		}
+		s.WindowLimited = c.WindowLimited
+		s.AllPackets = c.InspectsAllPackets
+		s.PortSpecific = c.PortSpecific
+		s.ResidualBlocking = c.ResidualBlocking
+		s.MiddleboxTTL = c.MiddleboxTTL
+	}
+	if r.Evaluation != nil {
+		for _, v := range r.Evaluation.Working() {
+			s.Working = append(s.Working, v.Technique.ID)
+		}
+	}
+	if r.Deployed != nil {
+		s.Deployed = r.Deployed.Technique.ID
+	}
+	return s
+}

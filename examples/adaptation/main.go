@@ -1,0 +1,50 @@
+// Adaptation scenario: the arms race in action. lib·erate deploys a
+// technique; the network operator upgrades the classifier to defeat it;
+// the runtime monitor notices the differentiation has returned and
+// re-engages, switching to a technique the upgraded classifier still
+// cannot stop. It also demonstrates §7 masquerading: making a
+// non-zero-rated app's traffic impersonate zero-rated video.
+package main
+
+import (
+	"fmt"
+
+	liberate "repro"
+	"repro/internal/dpi"
+)
+
+func main() {
+	net := liberate.NewTMobile()
+	tr := liberate.AmazonPrimeVideo(96 << 10)
+
+	fmt.Println("→ initial engagement:")
+	rep := (&liberate.Liberate{Net: net, Trace: tr}).Run()
+	fmt.Printf("  deployed %s\n\n", rep.Deployed.Technique.ID)
+
+	mon := liberate.NewMonitor(net, tr, rep)
+	fmt.Printf("→ monitor check: still evading = %v\n\n", mon.Check())
+
+	fmt.Println("→ the operator upgrades the classifier (sequence-correct reassembly, full-flow inspection)")
+	net.MB.Cfg.Reassembly = dpi.ReassembleSeq
+	net.MB.Cfg.Mode = dpi.InspectAllPackets
+	net.MB.ResetState()
+
+	fmt.Printf("→ monitor check: still evading = %v\n", mon.Check())
+	fmt.Println("→ adapting (full re-engagement)…")
+	if mon.EnsureWorking() {
+		fmt.Printf("  switched to %s after %d adaptation(s)\n\n", mon.Report.Deployed.Technique.ID, mon.Adaptations)
+	} else {
+		fmt.Println("  no technique survives the upgrade")
+	}
+
+	fmt.Println("→ masquerading a non-zero-rated app as video:")
+	generic := liberate.EconomistWeb(256 << 10)
+	s := liberate.NewSession(net)
+	plain := s.Replay(generic, nil)
+	mq := liberate.MasqueradeFromReport(mon.Report, liberate.BaitFromTrace(liberate.AmazonPrimeVideo(1)))
+	s2 := liberate.NewSession(net)
+	masked := s2.Replay(generic, mq.Transform())
+	fmt.Printf("  plain:       counted %.1f KB against the quota\n", float64(plain.CounterDelta)/1024)
+	fmt.Printf("  masqueraded: counted %.1f KB (classified as %q, intact=%v)\n",
+		float64(masked.CounterDelta)/1024, masked.GroundTruthClass, masked.IntegrityOK)
+}

@@ -1,0 +1,48 @@
+// Censorship scenario: a client behind a GFC-style national censor wants
+// to read a blocked news site. lib·erate detects the blocking, reverse-
+// engineers the trigger (GET + hostname keywords), works around the
+// censor's server:port blacklist during analysis, localizes the middlebox
+// by TTL, and deploys a TTL-limited inert-packet desynchronization.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	liberate "repro"
+)
+
+func main() {
+	net := liberate.NewGFC()
+	// Evening: the censor's flow-state pressure is realistic for the
+	// time-of-day-dependent behaviours of §6.5.
+	net.Clock.RunFor(20 * time.Hour)
+
+	tr := liberate.EconomistWeb(16 << 10)
+
+	fmt.Println("→ without lib·erate:")
+	s := liberate.NewSession(net)
+	res := s.Replay(tr, nil)
+	fmt.Printf("  blocked=%v (%d RSTs injected, connection %s)\n\n",
+		res.Blocked, res.RSTsSeen, res.CloseState)
+
+	fmt.Println("→ engaging lib·erate:")
+	report := (&liberate.Liberate{Net: net, Trace: tr}).Run()
+	report.WriteSummary(os.Stdout)
+	if report.Deployed == nil {
+		fmt.Println("censor not evadable")
+		return
+	}
+
+	fmt.Println("\n→ with lib·erate deployed:")
+	s2 := liberate.NewSession(net)
+	// The censor blacklisted our server:port during analysis; real clients
+	// talk to many servers, which fresh ports model here.
+	s2.RotatePorts = true
+	res2 := s2.Replay(tr, report.DeployTransform(7))
+	fmt.Printf("  blocked=%v, page retrieved intact=%v, %.1f KB transferred\n",
+		res2.Blocked, res2.IntegrityOK, float64(res2.BytesIn)/1024)
+	fmt.Printf("  technique: %s (+%d packets, +%d bytes per flow)\n",
+		report.Deployed.Technique.ID, report.Deployed.ExtraPackets, report.Deployed.ExtraBytes)
+}

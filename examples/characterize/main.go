@@ -1,0 +1,86 @@
+// Characterization deep-dive: reverse-engineer classifiers on several
+// networks and print exactly what lib·erate learns about each — matching
+// fields (with the trace bytes they cover), inspection windows,
+// match-and-forget behaviour, port specificity, and middlebox location.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	liberate "repro"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	cases := []struct {
+		make func() *liberate.Network
+		tr   *liberate.Trace
+	}{
+		{liberate.NewTestbed, liberate.AmazonPrimeVideo(96 << 10)},
+		{liberate.NewTestbed, liberate.SkypeCall(6, 400)},
+		{liberate.NewTMobile, liberate.YouTubeTLS(96 << 10)},
+		{liberate.NewGFC, liberate.EconomistWeb(8 << 10)},
+		{liberate.NewIran, liberate.FacebookWeb(8 << 10)},
+		{liberate.NewATT, liberate.NBCSportsVideo(96 << 10)},
+	}
+	for _, c := range cases {
+		net := c.make()
+		s := liberate.NewSession(net)
+		det := core.Detect(s, c.tr)
+		if !det.Differentiated {
+			fmt.Printf("%s / %s: no differentiation\n\n", net.Name, c.tr.Name)
+			continue
+		}
+		char := core.Characterize(s, c.tr, det)
+		fmt.Printf("%s / %s\n", net.Name, c.tr.Name)
+		fmt.Printf("  differentiation: %v\n", det.Kinds)
+		fmt.Printf("  matching fields:\n")
+		for _, f := range char.Fields {
+			fmt.Printf("    %-14s %s\n", f, renderField(c.tr, f))
+		}
+		switch {
+		case char.InspectsAllPackets:
+			fmt.Printf("  inspection: every packet of the flow (no prepend evades)\n")
+		case char.WindowLimited:
+			fmt.Printf("  inspection: first ≤%d packet(s); packet-count based: %v\n",
+				char.WindowUpperBound, char.PacketCountBased)
+		}
+		if char.PortSpecific {
+			fmt.Printf("  rules are port-specific (moving the server port evades)\n")
+		}
+		if char.ResidualBlocking {
+			fmt.Printf("  server:port blacklisting observed — analysis rotated ports\n")
+		}
+		if char.MiddleboxTTL > 0 {
+			fmt.Printf("  middlebox: %d TTL hops from the client\n", char.MiddleboxTTL)
+		} else {
+			fmt.Printf("  middlebox: not localizable (terminating proxy?)\n")
+		}
+		fmt.Printf("  cost: %d rounds, %.1f KB, %s\n\n",
+			char.Rounds, float64(char.BytesUsed)/1024, char.TimeUsed.Round(time.Second))
+	}
+}
+
+// renderField shows the covered bytes, printable chars kept.
+func renderField(tr *liberate.Trace, f core.FieldRef) string {
+	if f.Msg >= len(tr.Messages) {
+		return ""
+	}
+	data := tr.Messages[f.Msg].Data
+	lo, hi := f.Start, f.End
+	if hi > len(data) {
+		hi = len(data)
+	}
+	out := make([]byte, 0, hi-lo)
+	for _, b := range data[lo:hi] {
+		if b >= 0x20 && b < 0x7f {
+			out = append(out, b)
+		} else {
+			out = append(out, '.')
+		}
+	}
+	_ = trace.ClientToServer
+	return fmt.Sprintf("%q", out)
+}

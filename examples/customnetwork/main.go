@@ -1,0 +1,43 @@
+// Custom-network scenario: model your own middlebox in JSON (no Go
+// required) and let lib·erate characterize and evade it. The spec in
+// myisp.json describes a window-limited, arrival-order-reassembling video
+// shaper with a 60-second state timeout — lib·erate discovers all of that
+// from the outside.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	liberate "repro"
+)
+
+func main() {
+	specPath := filepath.Join("examples", "customnetwork", "myisp.json")
+	if len(os.Args) > 1 {
+		specPath = os.Args[1]
+	}
+	net, err := liberate.LoadNetworkSpec(specPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("→ loaded custom network %q; path:\n", net.Name)
+	for _, h := range liberate.Traceroute(net, 24) {
+		fmt.Printf("   %2d  %s\n", h.TTL, h.Addr)
+	}
+
+	tr := liberate.AmazonPrimeVideo(192 << 10)
+	fmt.Println("\n→ engaging lib·erate:")
+	report := (&liberate.Liberate{Net: net, Trace: tr}).Run()
+	report.WriteSummary(os.Stdout)
+
+	if report.Deployed == nil {
+		return
+	}
+	s := liberate.NewSession(net)
+	res := s.Replay(tr, report.DeployTransform(3))
+	fmt.Printf("\n→ deployed %s: class=%q avg=%.1f Mbps intact=%v\n",
+		report.Deployed.Technique.ID, res.GroundTruthClass, res.AvgThroughputBps/1e6, res.IntegrityOK)
+}

@@ -1,0 +1,38 @@
+// Quickstart: point lib·erate at a differentiating network, let it run all
+// four phases, and print the engagement report.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	liberate "repro"
+)
+
+func main() {
+	// A T-Mobile-style network: zero-rates and throttles classified video.
+	net := liberate.NewTMobile()
+
+	// A recorded application flow: an HTTP video stream whose Host header
+	// the classifier matches.
+	tr := liberate.AmazonPrimeVideo(256 << 10)
+
+	// Run detection → characterization → evasion evaluation → deployment
+	// selection.
+	report := (&liberate.Liberate{Net: net, Trace: tr}).Run()
+	report.WriteSummary(os.Stdout)
+
+	if report.Deployed == nil {
+		fmt.Println("no working technique; nothing to deploy")
+		return
+	}
+
+	// Deploy the selected technique on a fresh flow of the same app and
+	// confirm the classifier no longer sees it.
+	session := liberate.NewSession(net)
+	res := session.Replay(tr, report.DeployTransform(1))
+	fmt.Printf("\nlive flow with %s deployed:\n", report.Deployed.Technique.ID)
+	fmt.Printf("  classified (ground truth): %q\n", res.GroundTruthClass)
+	fmt.Printf("  avg throughput: %.2f Mbps (throttle was 1.5)\n", res.AvgThroughputBps/1e6)
+	fmt.Printf("  application intact: %v\n", res.IntegrityOK)
+}

@@ -1,0 +1,61 @@
+// Record-and-replay scenario: Figure 3's full loop. An application's live
+// flow is captured on a clean network (step 1), saved as a trace, replayed
+// against a differentiating network for a lib·erate engagement (step 2),
+// and the discovered technique is deployed for live traffic (step 3).
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	liberate "repro"
+)
+
+func main() {
+	// Step 1: capture a live flow. The recorder sits in-path like a tap.
+	cleanNet := liberate.NewBaseline()
+	recorder := liberate.NewRecorder()
+	cleanNet.Env.Append(recorder.TapElement("capture"))
+
+	live := liberate.AmazonPrimeVideo(128 << 10)
+	s := liberate.NewSession(cleanNet)
+	if res := s.Replay(live, nil); !res.Completed {
+		fmt.Fprintln(os.Stderr, "capture flow failed")
+		os.Exit(1)
+	}
+	captured := recorder.Trace("captured-video", "AmazonPrimeVideo")
+	fmt.Printf("→ captured %d messages, %d bytes total\n",
+		len(captured.Messages), captured.TotalBytes())
+
+	// The capture round-trips through the JSON trace format.
+	dir, err := os.MkdirTemp("", "liberate-trace")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "captured.json")
+	if err := captured.Save(path); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	loaded, err := liberate.LoadTrace(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("→ saved and reloaded %s\n", path)
+
+	// Step 2: engage a differentiating network with the captured trace.
+	tmus := liberate.NewTMobile()
+	report := (&liberate.Liberate{Net: tmus, Trace: loaded}).Run()
+	fmt.Printf("→ engagement: differentiation %v; deploying %s\n",
+		report.Detection.Kinds, report.Deployed.Technique.ID)
+
+	// Step 3: live traffic with the technique installed.
+	s2 := liberate.NewSession(tmus)
+	after := s2.Replay(loaded, report.DeployTransform(5))
+	fmt.Printf("→ live flow: class=%q avg=%.1f Mbps intact=%v\n",
+		after.GroundTruthClass, after.AvgThroughputBps/1e6, after.IntegrityOK)
+}

@@ -1,0 +1,141 @@
+package liberate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIEngagement drives the entire documented public surface the
+// way README's quickstart does.
+func TestPublicAPIEngagement(t *testing.T) {
+	net := NewTMobile()
+	tr := AmazonPrimeVideo(96 << 10)
+	report := (&Liberate{Net: net, Trace: tr}).Run()
+	if !report.Detection.Differentiated {
+		t.Fatal("no differentiation detected")
+	}
+	if report.Deployed == nil {
+		t.Fatal("nothing deployed")
+	}
+	var buf bytes.Buffer
+	report.WriteSummary(&buf)
+	for _, want := range []string{"network=tmobile", "matching fields", "deployed:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, buf.String())
+		}
+	}
+
+	s := NewSession(net)
+	res := s.Replay(tr, report.DeployTransform(1))
+	if res.GroundTruthClass != "" || !res.IntegrityOK {
+		t.Fatalf("deployment failed: class=%q integrity=%v", res.GroundTruthClass, res.IntegrityOK)
+	}
+}
+
+func TestPublicAPINetworksAndTraces(t *testing.T) {
+	for _, name := range []string{"testbed", "tmobile", "gfc", "iran", "att", "sprint"} {
+		net, err := NetworkByName(name)
+		if err != nil || net == nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := NetworkByName("nope"); err == nil {
+		t.Fatal("bogus network accepted")
+	}
+	if len(BuiltinTraces()) < 8 {
+		t.Fatalf("builtin traces: %d", len(BuiltinTraces()))
+	}
+	if len(Taxonomy()) != 26 {
+		t.Fatalf("taxonomy: %d", len(Taxonomy()))
+	}
+	if _, ok := TechniqueByID("ip-ttl-limited"); !ok {
+		t.Fatal("technique lookup failed")
+	}
+}
+
+func TestPublicAPITraceroute(t *testing.T) {
+	net := NewGFC()
+	hops := Traceroute(net, 24)
+	responded := 0
+	for _, h := range hops {
+		if h.Responded {
+			responded++
+		}
+	}
+	if responded != net.TotalHops {
+		t.Fatalf("traceroute: %d responded, topology has %d", responded, net.TotalHops)
+	}
+}
+
+func TestPublicAPICustomSpec(t *testing.T) {
+	net, err := ParseNetworkSpec([]byte(`{
+		"name": "facade-test", "hops_before": 2, "hops_after": 1, "link_mbps": 10,
+		"classifier": {
+			"rules": [{"class": "video", "family": "http", "keywords": ["cloudfront.net"]}],
+			"mode": "window", "window_packets": 5,
+			"require_syn": true, "match_and_forget": true,
+			"policies": {"video": {"throttle_mbps": 1.5, "burst_kb": 32}}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := (&Liberate{Net: net, Trace: AmazonPrimeVideo(96 << 10)}).Run()
+	if !rep.Detection.Differentiated || rep.Deployed == nil {
+		t.Fatalf("custom spec engagement failed: %+v", rep.Detection)
+	}
+}
+
+func TestPublicAPIRecorder(t *testing.T) {
+	net := NewBaseline()
+	rec := NewRecorder()
+	net.Env.Append(rec.TapElement("tap"))
+	s := NewSession(net)
+	if res := s.Replay(EconomistWeb(8<<10), nil); !res.Completed {
+		t.Fatal("capture replay failed")
+	}
+	captured := rec.Trace("cap", "app")
+	if len(captured.Messages) != 2 {
+		t.Fatalf("captured %d messages", len(captured.Messages))
+	}
+}
+
+func TestPublicAPIRuleCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/cache.json"
+	cache := NewRuleCache()
+	net := NewTMobile()
+	rep := (&Liberate{Net: net, Trace: AmazonPrimeVideo(96 << 10)}).Run()
+	cache.Store(rep)
+	if err := cache.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRuleCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := loaded.Lookup("tmobile", "amazon-prime-video")
+	if !ok {
+		t.Fatal("entry lost in round trip")
+	}
+	transform, _ := DeployFromCache(NewTMobile(), AmazonPrimeVideo(96<<10), entry, 9)
+	if transform == nil {
+		t.Fatal("loaded entry did not deploy")
+	}
+}
+
+func TestPublicAPIOSProfiles(t *testing.T) {
+	net := NewTestbed()
+	winOS := WindowsOS
+	rep := (&Liberate{Net: net, Trace: AmazonPrimeVideo(96 << 10), ServerOS: &winOS}).Run()
+	if rep.Deployed == nil {
+		t.Fatal("engagement against a Windows server failed")
+	}
+	// Against Windows, invalid IP options ARE usable (Windows drops them;
+	// Linux would deliver them) — the OS profile changes the answer.
+	v := rep.Evaluation.ByID("ip-invalid-options")
+	if v == nil || !v.Usable() {
+		t.Fatalf("invalid-options should be usable against Windows: %+v", v)
+	}
+}

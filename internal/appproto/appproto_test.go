@@ -1,0 +1,143 @@
+package appproto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHTTPRequestRoundTrip(t *testing.T) {
+	req := HTTPRequest{
+		Method: "GET", Path: "/v/123", Host: "video.cloudfront.net",
+		Headers: [][2]string{{"User-Agent", "AmazonVideo/1.0"}, {"Accept", "*/*"}},
+	}.Bytes()
+	if !LooksLikeHTTPRequest(req) {
+		t.Fatal("request not recognized")
+	}
+	host, ok := ParseHTTPRequestHost(req)
+	if !ok || host != "video.cloudfront.net" {
+		t.Fatalf("host = %q ok=%v", host, ok)
+	}
+}
+
+func TestHTTPResponseMeta(t *testing.T) {
+	resp := HTTPResponse{Status: 200, ContentType: "video/mp4", ContentLength: 4096}.Bytes()
+	status, ct, cl, ok := ParseHTTPResponseMeta(resp)
+	if !ok || status != 200 || ct != "video/mp4" || cl != 4096 {
+		t.Fatalf("meta = %d %q %d %v", status, ct, cl, ok)
+	}
+}
+
+func TestHTTPHeadEnd(t *testing.T) {
+	req := HTTPRequest{Host: "x.com"}.Bytes()
+	if HTTPHeadEnd(req) != len(req) {
+		t.Fatalf("head end = %d, want %d", HTTPHeadEnd(req), len(req))
+	}
+	if HTTPHeadEnd([]byte("partial")) != -1 {
+		t.Fatal("partial head should be -1")
+	}
+}
+
+func TestBlockPageParses(t *testing.T) {
+	status, ct, _, ok := ParseHTTPResponseMeta(BlockPage403())
+	if !ok || status != 403 || ct != "text/html" {
+		t.Fatalf("%d %q %v", status, ct, ok)
+	}
+}
+
+func TestClientHelloSNIRoundTrip(t *testing.T) {
+	for _, name := range []string{"r3---sn.googlevideo.com", "www.economist.com", "a.b"} {
+		hello := ClientHello(name)
+		if got := ParseSNI(hello); got != name {
+			t.Fatalf("SNI round trip: got %q want %q", got, name)
+		}
+	}
+}
+
+func TestParseSNIPropertyNoPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_ = ParseSNI(data) // must not panic on arbitrary input
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSNITruncatedHello(t *testing.T) {
+	hello := ClientHello("www.example.com")
+	for i := 0; i < len(hello); i += 3 {
+		got := ParseSNI(hello[:i])
+		if got != "" && got != "www.example.com" {
+			t.Fatalf("truncated at %d returned garbage %q", i, got)
+		}
+	}
+}
+
+func TestNonHelloIsNotSNI(t *testing.T) {
+	if ParseSNI([]byte("GET / HTTP/1.1\r\n\r\n")) != "" {
+		t.Fatal("HTTP parsed as SNI")
+	}
+	if ParseSNI(ServerHelloStub(100)) != "" {
+		t.Fatal("server hello has SNI")
+	}
+}
+
+func TestStunRoundTrip(t *testing.T) {
+	msg := StunMessage{
+		Type: StunBindingRequest,
+		TxID: [12]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12},
+		Attrs: []StunAttr{
+			{Type: StunAttrSoftware, Value: []byte("test")},             // needs padding
+			{Type: StunAttrMSServiceQuality, Value: []byte{0, 1, 0, 1}}, // aligned
+		},
+	}
+	got, ok := ParseStun(msg.Bytes())
+	if !ok {
+		t.Fatal("not parsed")
+	}
+	if got.Type != StunBindingRequest || got.TxID != msg.TxID {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Attrs) != 2 || !bytes.Equal(got.Attrs[0].Value, []byte("test")) {
+		t.Fatalf("attrs: %+v", got.Attrs)
+	}
+	if !got.HasAttr(StunAttrMSServiceQuality) || got.HasAttr(StunAttrUsername) {
+		t.Fatal("HasAttr wrong")
+	}
+}
+
+func TestSkypeBindingCarriesServiceQuality(t *testing.T) {
+	m, ok := ParseStun(SkypeBindingRequest(7))
+	if !ok || !m.HasAttr(StunAttrMSServiceQuality) {
+		t.Fatal("skype binding lacks MS-SERVICE-QUALITY")
+	}
+	// The raw bytes must contain 0x80 0x55 — what a byte-matching
+	// classifier actually searches for.
+	if !bytes.Contains(SkypeBindingRequest(7), []byte{0x80, 0x55}) {
+		t.Fatal("attribute type bytes not on the wire")
+	}
+	r, ok := ParseStun(SkypeBindingResponse(7))
+	if !ok || r.Type != StunBindingResponse {
+		t.Fatal("response wrong")
+	}
+}
+
+func TestParseStunRejectsGarbage(t *testing.T) {
+	if _, ok := ParseStun([]byte("not stun at all, much too plain")); ok {
+		t.Fatal("garbage accepted")
+	}
+	if _, ok := ParseStun(nil); ok {
+		t.Fatal("nil accepted")
+	}
+}
+
+func TestParseStunPropertyNoPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = ParseStun(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

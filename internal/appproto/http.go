@@ -1,0 +1,156 @@
+// Package appproto builds and parses the minimal application-layer wire
+// formats the study's classifiers key on: HTTP/1.1 requests and responses
+// (Host headers, Content-Type), TLS ClientHello records (the SNI
+// extension), and STUN messages (typed attributes such as Microsoft's
+// MS-SERVICE-QUALITY, which the testbed classifier used to spot Skype).
+package appproto
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// HTTPRequest describes a request to serialize.
+type HTTPRequest struct {
+	Method  string
+	Path    string
+	Host    string
+	Headers [][2]string // ordered extra headers
+}
+
+// Bytes renders the request head.
+func (r HTTPRequest) Bytes() []byte {
+	var b bytes.Buffer
+	method := r.Method
+	if method == "" {
+		method = "GET"
+	}
+	path := r.Path
+	if path == "" {
+		path = "/"
+	}
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", method, path)
+	fmt.Fprintf(&b, "Host: %s\r\n", r.Host)
+	for _, h := range r.Headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", h[0], h[1])
+	}
+	b.WriteString("\r\n")
+	return b.Bytes()
+}
+
+// HTTPResponse describes a response head; the body is streamed separately.
+type HTTPResponse struct {
+	Status        int
+	Reason        string
+	ContentType   string
+	ContentLength int
+	Headers       [][2]string
+}
+
+// Bytes renders the response head.
+func (r HTTPResponse) Bytes() []byte {
+	var b bytes.Buffer
+	reason := r.Reason
+	if reason == "" {
+		reason = "OK"
+	}
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.Status, reason)
+	if r.ContentType != "" {
+		fmt.Fprintf(&b, "Content-Type: %s\r\n", r.ContentType)
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", r.ContentLength)
+	for _, h := range r.Headers {
+		fmt.Fprintf(&b, "%s: %s\r\n", h[0], h[1])
+	}
+	b.WriteString("\r\n")
+	return b.Bytes()
+}
+
+// ParseHTTPRequestHost extracts the Host header from a request head, if the
+// bytes parse as HTTP at all. Classifiers in the paper do raw keyword
+// matching; this parser exists for trace generation and the transparent
+// HTTP proxy model.
+func ParseHTTPRequestHost(data []byte) (host string, ok bool) {
+	head, ok := httpHead(data)
+	if !ok {
+		return "", false
+	}
+	for _, line := range strings.Split(head, "\r\n")[1:] {
+		if k, v, found := strings.Cut(line, ":"); found && strings.EqualFold(strings.TrimSpace(k), "host") {
+			return strings.TrimSpace(v), true
+		}
+	}
+	return "", false
+}
+
+// LooksLikeHTTPRequest reports whether data begins with a plausible
+// HTTP/1.x request line.
+func LooksLikeHTTPRequest(data []byte) bool {
+	for _, m := range []string{"GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS "} {
+		if bytes.HasPrefix(data, []byte(m)) {
+			return bytes.Contains(data, []byte(" HTTP/1."))
+		}
+	}
+	return false
+}
+
+// ParseHTTPResponseMeta extracts status, Content-Type and Content-Length
+// from a response head.
+func ParseHTTPResponseMeta(data []byte) (status int, contentType string, contentLength int, ok bool) {
+	head, ok := httpHead(data)
+	if !ok || !strings.HasPrefix(head, "HTTP/1.") {
+		return 0, "", 0, false
+	}
+	lines := strings.Split(head, "\r\n")
+	fields := strings.SplitN(lines[0], " ", 3)
+	if len(fields) < 2 {
+		return 0, "", 0, false
+	}
+	status, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return 0, "", 0, false
+	}
+	contentLength = -1
+	for _, line := range lines[1:] {
+		k, v, found := strings.Cut(line, ":")
+		if !found {
+			continue
+		}
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "content-type":
+			contentType = strings.TrimSpace(v)
+		case "content-length":
+			if n, err := strconv.Atoi(strings.TrimSpace(v)); err == nil {
+				contentLength = n
+			}
+		}
+	}
+	return status, contentType, contentLength, true
+}
+
+func httpHead(data []byte) (string, bool) {
+	idx := bytes.Index(data, []byte("\r\n\r\n"))
+	if idx < 0 {
+		return "", false
+	}
+	return string(data[:idx]), true
+}
+
+// HTTPHeadEnd returns the index just past the \r\n\r\n terminator, or -1.
+func HTTPHeadEnd(data []byte) int {
+	idx := bytes.Index(data, []byte("\r\n\r\n"))
+	if idx < 0 {
+		return -1
+	}
+	return idx + 4
+}
+
+// BlockPage403 is the unsolicited response the Iranian censor injects
+// (§6.6: "HTTP/1.1 403 Forbidden" plus RSTs).
+func BlockPage403() []byte {
+	body := "<html><head><title>403 Forbidden</title></head><body>M14.8</body></html>"
+	r := HTTPResponse{Status: 403, Reason: "Forbidden", ContentType: "text/html", ContentLength: len(body)}
+	return append(r.Bytes(), body...)
+}

@@ -1,0 +1,130 @@
+package appproto
+
+import "encoding/binary"
+
+// STUN constants (RFC 5389) plus the Microsoft vendor attribute the
+// testbed classifier keyed on for Skype (§6.1: MS-SERVICE-QUALITY,
+// attribute type 0x8055, in the first client packet).
+const (
+	StunMagicCookie = 0x2112A442
+
+	StunBindingRequest  = 0x0001
+	StunBindingResponse = 0x0101
+
+	StunAttrUsername         = 0x0006
+	StunAttrMessageIntegrity = 0x0008
+	StunAttrXORMappedAddress = 0x0020
+	StunAttrSoftware         = 0x8022
+	StunAttrMSServiceQuality = 0x8055
+	StunAttrMSVersion        = 0x8008
+)
+
+// StunAttr is one STUN attribute.
+type StunAttr struct {
+	Type  uint16
+	Value []byte
+}
+
+// StunMessage is a STUN message to serialize or the result of parsing one.
+type StunMessage struct {
+	Type  uint16
+	TxID  [12]byte
+	Attrs []StunAttr
+}
+
+// Bytes serializes the message with correct length and 4-byte attribute
+// padding.
+func (m StunMessage) Bytes() []byte {
+	var attrs []byte
+	for _, a := range m.Attrs {
+		attrs = binary.BigEndian.AppendUint16(attrs, a.Type)
+		attrs = binary.BigEndian.AppendUint16(attrs, uint16(len(a.Value)))
+		attrs = append(attrs, a.Value...)
+		for len(attrs)%4 != 0 {
+			attrs = append(attrs, 0)
+		}
+	}
+	out := make([]byte, 0, 20+len(attrs))
+	out = binary.BigEndian.AppendUint16(out, m.Type)
+	out = binary.BigEndian.AppendUint16(out, uint16(len(attrs)))
+	out = binary.BigEndian.AppendUint32(out, StunMagicCookie)
+	out = append(out, m.TxID[:]...)
+	out = append(out, attrs...)
+	return out
+}
+
+// ParseStun decodes a STUN message; ok is false when data is not STUN.
+func ParseStun(data []byte) (m StunMessage, ok bool) {
+	if len(data) < 20 {
+		return m, false
+	}
+	if binary.BigEndian.Uint32(data[4:8]) != StunMagicCookie {
+		return m, false
+	}
+	m.Type = binary.BigEndian.Uint16(data[0:2])
+	length := int(binary.BigEndian.Uint16(data[2:4]))
+	copy(m.TxID[:], data[8:20])
+	if 20+length > len(data) {
+		length = len(data) - 20
+	}
+	attrs := data[20 : 20+length]
+	for len(attrs) >= 4 {
+		t := binary.BigEndian.Uint16(attrs[0:2])
+		l := int(binary.BigEndian.Uint16(attrs[2:4]))
+		attrs = attrs[4:]
+		if l > len(attrs) {
+			break
+		}
+		m.Attrs = append(m.Attrs, StunAttr{Type: t, Value: append([]byte(nil), attrs[:l]...)})
+		pad := (4 - l%4) % 4
+		if l+pad > len(attrs) {
+			break
+		}
+		attrs = attrs[l+pad:]
+	}
+	return m, true
+}
+
+// HasAttr reports whether the message carries an attribute of type t.
+func (m StunMessage) HasAttr(t uint16) bool {
+	for _, a := range m.Attrs {
+		if a.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// SkypeBindingRequest builds the first client packet of a Skype-like call
+// setup: a STUN binding request carrying MS-SERVICE-QUALITY, the matching
+// field the testbed classifier used.
+func SkypeBindingRequest(txSeed byte) []byte {
+	var tx [12]byte
+	for i := range tx {
+		tx[i] = txSeed + byte(i)
+	}
+	return StunMessage{
+		Type: StunBindingRequest,
+		TxID: tx,
+		Attrs: []StunAttr{
+			{Type: StunAttrSoftware, Value: []byte("Skype")},
+			{Type: StunAttrMSVersion, Value: []byte{0, 0, 0, 6}},
+			{Type: StunAttrMSServiceQuality, Value: []byte{0, 1, 0, 1}},
+		},
+	}.Bytes()
+}
+
+// SkypeBindingResponse builds the matching server answer.
+func SkypeBindingResponse(txSeed byte) []byte {
+	var tx [12]byte
+	for i := range tx {
+		tx[i] = txSeed + byte(i)
+	}
+	return StunMessage{
+		Type: StunBindingResponse,
+		TxID: tx,
+		Attrs: []StunAttr{
+			{Type: StunAttrXORMappedAddress, Value: []byte{0, 1, 0x21, 0x12, 1, 2, 3, 4}},
+		},
+	}.Bytes()
+}

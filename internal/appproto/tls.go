@@ -1,0 +1,139 @@
+package appproto
+
+import "encoding/binary"
+
+// ClientHello builds a TLS 1.2 ClientHello record carrying a server_name
+// (SNI) extension — the field DPI devices such as T-Mobile's Binge On
+// classifier match on for HTTPS traffic (e.g. ".googlevideo.com").
+//
+// The record is wire-format-correct enough for any SNI-extracting parser:
+// record header, handshake header, version, random, session id, one cipher
+// suite list, compression, and an extension block containing server_name.
+func ClientHello(sni string) []byte {
+	// server_name extension body.
+	name := []byte(sni)
+	sniEntry := make([]byte, 0, len(name)+3)
+	sniEntry = append(sniEntry, 0) // name_type host_name
+	sniEntry = binary.BigEndian.AppendUint16(sniEntry, uint16(len(name)))
+	sniEntry = append(sniEntry, name...)
+	sniList := binary.BigEndian.AppendUint16(nil, uint16(len(sniEntry)))
+	sniList = append(sniList, sniEntry...)
+	ext := binary.BigEndian.AppendUint16(nil, 0) // extension_type server_name(0)
+	ext = binary.BigEndian.AppendUint16(ext, uint16(len(sniList)))
+	ext = append(ext, sniList...)
+	extBlock := binary.BigEndian.AppendUint16(nil, uint16(len(ext)))
+	extBlock = append(extBlock, ext...)
+
+	body := make([]byte, 0, 64+len(extBlock))
+	body = binary.BigEndian.AppendUint16(body, 0x0303) // client_version TLS1.2
+	var random [32]byte
+	for i := range random {
+		random[i] = byte(i*7 + 13) // deterministic
+	}
+	body = append(body, random[:]...)
+	body = append(body, 0)                        // session_id length
+	body = binary.BigEndian.AppendUint16(body, 4) // cipher suites length
+	body = binary.BigEndian.AppendUint16(body, 0x1301)
+	body = binary.BigEndian.AppendUint16(body, 0x002f)
+	body = append(body, 1, 0) // compression methods: null
+	body = append(body, extBlock...)
+
+	hs := make([]byte, 0, 4+len(body))
+	hs = append(hs, 1) // handshake type client_hello
+	hs = append(hs, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	hs = append(hs, body...)
+
+	rec := make([]byte, 0, 5+len(hs))
+	rec = append(rec, 0x16, 0x03, 0x01) // handshake record, TLS1.0 compat
+	rec = binary.BigEndian.AppendUint16(rec, uint16(len(hs)))
+	rec = append(rec, hs...)
+	return rec
+}
+
+// ParseSNI extracts the server_name from a TLS ClientHello record, or ""
+// when the bytes are not a parseable ClientHello. Mirrors what an
+// SNI-matching middlebox implements.
+func ParseSNI(data []byte) string {
+	if len(data) < 5 || data[0] != 0x16 {
+		return ""
+	}
+	recLen := int(binary.BigEndian.Uint16(data[3:5]))
+	if 5+recLen > len(data) {
+		recLen = len(data) - 5
+	}
+	hs := data[5 : 5+recLen]
+	if len(hs) < 4 || hs[0] != 1 {
+		return ""
+	}
+	body := hs[4:]
+	// client_version(2) + random(32)
+	if len(body) < 35 {
+		return ""
+	}
+	i := 34
+	// session id
+	if i >= len(body) {
+		return ""
+	}
+	i += 1 + int(body[i])
+	// cipher suites
+	if i+2 > len(body) {
+		return ""
+	}
+	i += 2 + int(binary.BigEndian.Uint16(body[i:]))
+	// compression
+	if i >= len(body) {
+		return ""
+	}
+	i += 1 + int(body[i])
+	// extensions
+	if i+2 > len(body) {
+		return ""
+	}
+	extLen := int(binary.BigEndian.Uint16(body[i:]))
+	i += 2
+	end := i + extLen
+	if end > len(body) {
+		end = len(body)
+	}
+	for i+4 <= end {
+		typ := binary.BigEndian.Uint16(body[i:])
+		l := int(binary.BigEndian.Uint16(body[i+2:]))
+		i += 4
+		if i+l > end {
+			return ""
+		}
+		if typ == 0 { // server_name
+			sl := body[i : i+l]
+			if len(sl) < 5 {
+				return ""
+			}
+			nameLen := int(binary.BigEndian.Uint16(sl[3:5]))
+			if 5+nameLen > len(sl) {
+				return ""
+			}
+			return string(sl[5 : 5+nameLen])
+		}
+		i += l
+	}
+	return ""
+}
+
+// ServerHelloStub is a minimal ServerHello-shaped record used as the
+// server side of recorded TLS traces; its contents are opaque to every
+// classifier in the study.
+func ServerHelloStub(n int) []byte {
+	if n < 6 {
+		n = 6
+	}
+	rec := make([]byte, n)
+	rec[0] = 0x16
+	rec[1] = 0x03
+	rec[2] = 0x03
+	binary.BigEndian.PutUint16(rec[3:5], uint16(n-5))
+	rec[5] = 2 // server_hello
+	for i := 6; i < n; i++ {
+		rec[i] = byte(i * 31)
+	}
+	return rec
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/dpi"
+	"repro/internal/netem/stack"
+	"repro/internal/trace"
+)
+
+// Monitor implements the paper's runtime adaptation loop (§4.2): after
+// deployment, lib·erate periodically re-tests for differentiation using
+// the deployed technique; if differentiation reappears — the classifier
+// changed in a way that defeats the technique — it re-runs
+// characterization and evasion evaluation and switches techniques.
+type Monitor struct {
+	Net    *dpi.Network
+	Trace  *trace.Trace
+	Report *Report
+
+	// Adaptations counts how many times the engagement was redone.
+	Adaptations int
+	seed        int64
+}
+
+// NewMonitor wraps a completed engagement for runtime monitoring.
+func NewMonitor(net *dpi.Network, tr *trace.Trace, rep *Report) *Monitor {
+	return &Monitor{Net: net, Trace: tr, Report: rep, seed: 9000}
+}
+
+// Transform returns the currently deployed transform (nil when nothing
+// works).
+func (m *Monitor) Transform() stack.OutgoingTransform {
+	if m.Report == nil || m.Report.Deployed == nil {
+		return nil
+	}
+	m.seed++
+	return m.Report.DeployTransform(m.seed)
+}
+
+// Check replays the application once through the deployed technique and
+// reports whether it still evades. A network that never differentiated
+// always checks out.
+func (m *Monitor) Check() bool {
+	if m.Report == nil || !m.Report.Detection.Differentiated {
+		return true
+	}
+	if m.Report.Deployed == nil {
+		return false
+	}
+	s := NewSession(m.Net)
+	if m.Report.Characterization.ResidualBlocking {
+		s.RotatePorts = true
+	}
+	probe := trimTrace(padTrace(m.Trace, m.Report.Detection.ProbeBytes), m.Report.Detection.ProbeBytes)
+	res := s.Replay(probe, m.Transform())
+	return !m.Report.Detection.Classified(res) && res.IntegrityOK
+}
+
+// Adapt re-runs the full engagement — the paper's response to a changed
+// classification rule — and installs the new result. It returns the fresh
+// report.
+func (m *Monitor) Adapt() *Report {
+	m.Adaptations++
+	m.Report = (&Liberate{Net: m.Net, Trace: m.Trace}).Run()
+	return m.Report
+}
+
+// EnsureWorking is the convenience loop: check, adapt if broken, and
+// report whether a working technique is installed afterwards.
+func (m *Monitor) EnsureWorking() bool {
+	if m.Check() {
+		return true
+	}
+	m.Adapt()
+	return m.Report.Deployed != nil && m.Check()
+}
+
+// RuleCache is the §4.2 optimization: characterization results "can be
+// stored in a well-known public location ... so that all users can
+// identify the matching rules without running additional tests". A cache
+// entry holds everything a second client needs to skip straight to a
+// verified deployment.
+type RuleCache struct {
+	Entries map[string]*CacheEntry `json:"entries"`
+}
+
+// CacheEntry is one shared characterization + technique choice.
+type CacheEntry struct {
+	Network    string        `json:"network"`
+	App        string        `json:"app"`
+	Kinds      []DiffKind    `json:"kinds"`
+	ProbeBytes int           `json:"probe_bytes"`
+	Fields     []FieldRef    `json:"fields"`
+	MatchWrite int           `json:"match_write"`
+	TTL        int           `json:"middlebox_ttl"`
+	Technique  string        `json:"technique"`
+	Variant    int           `json:"variant"`
+	StoredAt   time.Duration `json:"stored_at_virtual"`
+}
+
+// NewRuleCache returns an empty cache.
+func NewRuleCache() *RuleCache {
+	return &RuleCache{Entries: map[string]*CacheEntry{}}
+}
+
+// Save writes the cache as JSON — the "well-known public location" other
+// clients read.
+func (c *RuleCache) Save(path string) error {
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("rulecache: marshal: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadRuleCache reads a shared cache; a missing file yields an empty
+// cache (callers then populate and Save it).
+func LoadRuleCache(path string) (*RuleCache, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewRuleCache(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var c RuleCache
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("rulecache: parse %s: %w", path, err)
+	}
+	if c.Entries == nil {
+		c.Entries = map[string]*CacheEntry{}
+	}
+	return &c, nil
+}
+
+func cacheKey(network, app string) string { return network + "/" + app }
+
+// Store records an engagement's outcome.
+func (c *RuleCache) Store(rep *Report) {
+	if rep.Deployed == nil {
+		return
+	}
+	c.Entries[cacheKey(rep.Network, rep.TraceName)] = &CacheEntry{
+		Network: rep.Network, App: rep.TraceName,
+		Kinds:      rep.Detection.Kinds,
+		ProbeBytes: rep.Detection.ProbeBytes,
+		Fields:     rep.Characterization.Fields,
+		MatchWrite: rep.Characterization.MatchWrite,
+		TTL:        rep.Characterization.MiddleboxTTL,
+		Technique:  rep.Deployed.Technique.ID,
+		Variant:    rep.Deployed.Variant,
+		StoredAt:   rep.TotalTime,
+	}
+}
+
+// Lookup finds a shared entry.
+func (c *RuleCache) Lookup(network, app string) (*CacheEntry, bool) {
+	e, ok := c.Entries[cacheKey(network, app)]
+	return e, ok
+}
+
+// DeployFromCache verifies a cached entry with a single replay and returns
+// the working transform plus the rounds spent. When the cached technique
+// no longer works (the classifier changed), it returns nil and the caller
+// falls back to a full engagement.
+func DeployFromCache(net *dpi.Network, tr *trace.Trace, e *CacheEntry, seed int64) (stack.OutgoingTransform, int) {
+	tech, ok := TechniqueByID(e.Technique)
+	if !ok {
+		return nil, 0
+	}
+	params := BuildParams{
+		Fields:     e.Fields,
+		MatchWrite: e.MatchWrite,
+		InertTTL:   e.TTL,
+		Seed:       seed,
+		Variant:    e.Variant,
+	}
+	ap := tech.Build(params)
+	s := NewSession(net)
+	probe := trimTrace(padTrace(tr, e.ProbeBytes), e.ProbeBytes)
+	rtr := probe
+	if ap.Rewrite != nil {
+		rtr = ap.Rewrite(probe)
+	}
+	res := s.Replay(rtr, ap.Transform)
+	// Verification uses only generic signals: unblocked, intact, and (for
+	// shapers) clearly not pinned at a throttle rate.
+	ok = !res.Blocked && res.IntegrityOK
+	for _, k := range e.Kinds {
+		if k == DiffZeroRating && res.CounterDelta >= 0 && res.CounterDelta < (res.BytesIn+res.BytesOut)/2 {
+			ok = false // still being zero-rated ⇒ still classified
+		}
+	}
+	if !ok {
+		return nil, s.Rounds
+	}
+	return tech.Build(params).Transform, s.Rounds
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"repro/internal/trace"
+)
+
+// Bilateral evasion (§7 "Detection and bidirectional lib·erate", and the
+// paper's final key finding): when the server also cooperates, inserting a
+// single valid packet of dummy traffic — which the server's application
+// agrees to ignore — at the very beginning of a flow defeats every
+// first-packet-gated classifier in the study, including AT&T's
+// connection-terminating proxy that no unilateral technique touches.
+//
+// The dummy bytes are real stream content (they consume sequence space and
+// survive any amount of in-path normalization); only the application layer
+// on both ends knows to skip them.
+
+// BilateralDummyPrefix rewrites a trace so the client's first application
+// write is n bytes of protocol-meaningless dummy data that the cooperating
+// server discards. n of 1 suffices against every gated classifier in the
+// study.
+func BilateralDummyPrefix(tr *trace.Trace, n int, seed int64) *trace.Trace {
+	if n <= 0 {
+		n = 1
+	}
+	c := tr.Clone()
+	c.Name = tr.Name + "+bilateral-dummy"
+	dummy := dummyBytes(seed, n)
+	idx := c.FirstClientMessage()
+	if idx < 0 {
+		idx = 0
+	}
+	msgs := make([]trace.Message, 0, len(c.Messages)+1)
+	msgs = append(msgs, c.Messages[:idx]...)
+	msgs = append(msgs, trace.Message{Dir: trace.ClientToServer, Data: dummy})
+	msgs = append(msgs, c.Messages[idx:]...)
+	c.Messages = msgs
+	return c
+}

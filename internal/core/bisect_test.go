@@ -1,0 +1,205 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/netem/packet"
+	"repro/internal/trace"
+)
+
+// syntheticOracle simulates a classifier as a pure function over the trace
+// content so the bisection algorithm can be tested without replays: the
+// flow is "classified" when every keyword appears in the designated
+// message.
+func syntheticOracle(keywords [][]byte, msg int) func(*trace.Trace) bool {
+	return func(t *trace.Trace) bool {
+		if msg >= len(t.Messages) {
+			return false
+		}
+		for _, kw := range keywords {
+			if !bytes.Contains(t.Messages[msg].Data, kw) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+func fieldsCover(fields []FieldRef, msg, lo, hi int) bool {
+	for i := lo; i < hi; i++ {
+		covered := false
+		for _, f := range fields {
+			if f.Msg == msg && f.Start <= i && i < f.End {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+func fieldBytes(fields []FieldRef) int {
+	n := 0
+	for _, f := range fields {
+		n += f.End - f.Start
+	}
+	return n
+}
+
+// probeTrace builds a single-message trace with keywords planted at given
+// offsets over an opaque background.
+func probeTrace(size int, plants map[int][]byte) *trace.Trace {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = 0x80 | byte(i%89) // background that cannot fake ASCII keywords
+	}
+	for off, kw := range plants {
+		copy(data[off:], kw)
+	}
+	return &trace.Trace{
+		Name: "synthetic", Proto: packet.ProtoTCP, ServerPort: 80,
+		Messages: []trace.Message{{Dir: trace.ClientToServer, Data: data}},
+	}
+}
+
+func runBisect(t *testing.T, tr *trace.Trace, oracle func(*trace.Trace) bool) ([]FieldRef, int) {
+	t.Helper()
+	if !oracle(tr) {
+		t.Fatal("synthetic flow not classified to begin with")
+	}
+	calls := 0
+	counting := func(x *trace.Trace) bool { calls++; return oracle(x) }
+	var fields []FieldRef
+	for msg := range tr.Messages {
+		whole := FieldRef{Msg: msg, Start: 0, End: len(tr.Messages[msg].Data)}
+		if counting(blindRanges(tr, []FieldRef{whole})) {
+			continue
+		}
+		fields = append(fields, mergeFields(bisect(tr, counting, msg, 0, len(tr.Messages[msg].Data), nil, 0))...)
+	}
+	return fields, calls
+}
+
+func TestBisectFindsSingleKeyword(t *testing.T) {
+	kw := []byte("classify-me")
+	tr := probeTrace(300, map[int][]byte{120: kw})
+	fields, calls := runBisect(t, tr, syntheticOracle([][]byte{kw}, 0))
+	if !fieldsCover(fields, 0, 120, 120+len(kw)) {
+		t.Fatalf("fields %v do not cover keyword at [120,131)", fields)
+	}
+	// Granularity-4 bisection over-covers by at most 2×granularity per
+	// keyword edge.
+	if fieldBytes(fields) > len(kw)+2*fieldGranularity {
+		t.Fatalf("fields too wide: %v (%d bytes for an %d-byte keyword)", fields, fieldBytes(fields), len(kw))
+	}
+	if calls > 40 {
+		t.Fatalf("bisection used %d oracle calls for one keyword in 300 bytes", calls)
+	}
+	// Invariant: blinding the discovered fields defeats the rule.
+	if syntheticOracle([][]byte{kw}, 0)(blindRanges(tr, fields)) {
+		t.Fatal("blinding the discovered fields does not evade")
+	}
+}
+
+func TestBisectFindsConjunction(t *testing.T) {
+	k1, k2 := []byte("alpha-key"), []byte("beta-key")
+	tr := probeTrace(400, map[int][]byte{30: k1, 333: k2})
+	oracle := syntheticOracle([][]byte{k1, k2}, 0)
+	fields, _ := runBisect(t, tr, oracle)
+	// A conjunction means blinding EITHER keyword breaks the match, so
+	// both must be discovered.
+	if !fieldsCover(fields, 0, 30, 30+len(k1)) {
+		t.Fatalf("fields %v miss the first conjunct", fields)
+	}
+	if !fieldsCover(fields, 0, 333, 333+len(k2)) {
+		t.Fatalf("fields %v miss the second conjunct", fields)
+	}
+}
+
+func TestBisectFindsDuplicatedKeyword(t *testing.T) {
+	// A keyword occurring twice: blinding either copy alone does NOT break
+	// the match, exercising the context-blinding branch.
+	kw := []byte("twice-key")
+	tr := probeTrace(400, map[int][]byte{50: kw, 300: kw})
+	oracle := syntheticOracle([][]byte{kw}, 0)
+	fields, _ := runBisect(t, tr, oracle)
+	if !fieldsCover(fields, 0, 50, 50+len(kw)) || !fieldsCover(fields, 0, 300, 300+len(kw)) {
+		t.Fatalf("fields %v miss a duplicate copy", fields)
+	}
+	if oracle(blindRanges(tr, fields)) {
+		t.Fatal("blinding all copies does not evade")
+	}
+}
+
+func TestBisectPropertyRandomPlacement(t *testing.T) {
+	// Property (DESIGN.md invariant 5): for any keyword placement, the
+	// characterizer's fields, when blinded, always defeat the rule that
+	// produced them, and they always cover the keyword.
+	rng := rand.New(rand.NewSource(99))
+	keywords := [][]byte{
+		[]byte("kw-a"), []byte("longer-keyword-b"), []byte("x1"),
+		[]byte("medium-kw-c"),
+	}
+	for trial := 0; trial < 60; trial++ {
+		kw := keywords[rng.Intn(len(keywords))]
+		size := 64 + rng.Intn(1400)
+		off := rng.Intn(size - len(kw))
+		tr := probeTrace(size, map[int][]byte{off: kw})
+		oracle := syntheticOracle([][]byte{kw}, 0)
+		if !oracle(tr) {
+			continue // background collision (cannot happen with 0x80 bg, but be safe)
+		}
+		fields, calls := runBisect(t, tr, oracle)
+		if !fieldsCover(fields, 0, off, off+len(kw)) {
+			t.Fatalf("trial %d: fields %v do not cover kw %q at %d", trial, fields, kw, off)
+		}
+		if oracle(blindRanges(tr, fields)) {
+			t.Fatalf("trial %d: blinded fields still classified", trial)
+		}
+		if calls > 9*len(kw)+40 {
+			t.Fatalf("trial %d: %d oracle calls for %d-byte keyword in %d bytes", trial, calls, len(kw), size)
+		}
+	}
+}
+
+func TestBisectMultiMessageConjunction(t *testing.T) {
+	// AT&T-style cross-message rule: request keyword AND response keyword.
+	req := probeTrace(200, map[int][]byte{10: []byte("req-kw")}).Messages[0].Data
+	resp := probeTrace(200, map[int][]byte{150: []byte("resp-kw")}).Messages[0].Data
+	tr := &trace.Trace{
+		Name: "multi", Proto: packet.ProtoTCP, ServerPort: 80,
+		Messages: []trace.Message{
+			{Dir: trace.ClientToServer, Data: req},
+			{Dir: trace.ServerToClient, Data: resp},
+		},
+	}
+	oracle := func(t *trace.Trace) bool {
+		return bytes.Contains(t.Messages[0].Data, []byte("req-kw")) &&
+			bytes.Contains(t.Messages[1].Data, []byte("resp-kw"))
+	}
+	fields, _ := runBisect(t, tr, oracle)
+	if !fieldsCover(fields, 0, 10, 16) {
+		t.Fatalf("fields %v miss the request keyword", fields)
+	}
+	if !fieldsCover(fields, 1, 150, 157) {
+		t.Fatalf("fields %v miss the response keyword", fields)
+	}
+}
+
+func TestMergeFields(t *testing.T) {
+	in := []FieldRef{
+		{Msg: 0, Start: 10, End: 14},
+		{Msg: 0, Start: 14, End: 18}, // adjacent
+		{Msg: 0, Start: 16, End: 22}, // overlapping
+		{Msg: 0, Start: 40, End: 44}, // separate
+	}
+	out := mergeFields(in)
+	if len(out) != 2 || out[0].Start != 10 || out[0].End != 22 || out[1].Start != 40 {
+		t.Fatalf("merge: %v", out)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/dpi"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+func TestDebugTwoPart(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("debug only")
+	}
+	net := dpi.NewTestbed()
+	s := NewSession(net)
+	tr := trace.AmazonPrimeVideo(96 << 10)
+	det := Detect(s, tr)
+	t.Logf("det kinds=%v probeBytes=%d", det.Kinds, det.ProbeBytes)
+	char := Characterize(s, tr, det)
+	probe := trimTrace(padTrace(tr, det.ProbeBytes), det.ProbeBytes)
+	target := twoPart(probe)
+	for i, m := range target.Messages {
+		t.Logf("msg%d dir=%v len=%d", i, m.Dir, len(m.Data))
+	}
+	for _, id := range []string{"pause-after-match", "ttl-rst-after"} {
+		tech, _ := TechniqueByID(id)
+		ap := tech.Build(BuildParams{Fields: char.Fields, MatchWrite: char.MatchWrite, InertTTL: char.MiddleboxTTL, Seed: 5})
+		res := s.Replay(target, ap.Transform, func(o *replay.Options) { o.ExtraBudget = ap.AddedDelay + 60e9 })
+		t.Logf("%s: class=%q avg=%.0f tail=%.0f integ=%v completed=%v dur=%v tailClassified=%v",
+			id, res.GroundTruthClass, res.AvgThroughputBps, res.TailThroughputBps, res.IntegrityOK, res.Completed, res.Duration, det.TailClassified(res))
+	}
+}
+
+func TestDebugSkypeTechniques(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("debug only")
+	}
+	net := dpi.NewTestbed()
+	s := NewSession(net)
+	tr := trace.SkypeCall(6, 400)
+	det := Detect(s, tr)
+	t.Logf("det kinds=%v probeBytes=%d", det.Kinds, det.ProbeBytes)
+	char := Characterize(s, tr, det)
+	t.Logf("fields=%v matchWrite=%d ttl=%d", char.Fields, char.MatchWrite, char.MiddleboxTTL)
+	probe := trimTrace(padTrace(tr, det.ProbeBytes), det.ProbeBytes)
+	for _, id := range []string{"udp-invalid-checksum", "udp-reorder", "ip-ttl-limited"} {
+		tech, _ := TechniqueByID(id)
+		ap := tech.Build(BuildParams{Fields: char.Fields, MatchWrite: char.MatchWrite, InertTTL: 2, Seed: 5})
+		rtr := probe
+		if ap.Rewrite != nil {
+			rtr = ap.Rewrite(probe)
+		}
+		res := s.Replay(rtr, ap.Transform)
+		t.Logf("%s: class=%q avg=%.0f integ=%v completed=%v classified=%v",
+			id, res.GroundTruthClass, res.AvgThroughputBps, res.IntegrityOK, res.Completed, det.Classified(res))
+	}
+}

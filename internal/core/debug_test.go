@@ -1,0 +1,53 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/dpi"
+	"repro/internal/trace"
+)
+
+func TestDebugTMUS(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("debug only")
+	}
+	net := dpi.NewTMobile()
+	s := NewSession(net)
+	tr := trace.AmazonPrimeVideo(96 << 10)
+	for i := 0; i < 2; i++ {
+		o := s.Replay(tr, nil)
+		t.Logf("orig: class=%q avg=%.0f counter=%d blocked=%v completed=%v integ=%v",
+			o.GroundTruthClass, o.AvgThroughputBps, o.CounterDelta, o.Blocked, o.Completed, o.IntegrityOK)
+		iv := s.Replay(tr.Invert(), nil)
+		t.Logf("inv:  class=%q avg=%.0f counter=%d", iv.GroundTruthClass, iv.AvgThroughputBps, iv.CounterDelta)
+	}
+}
+
+func TestDebugGFC(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("debug only")
+	}
+	net := dpi.NewGFC()
+	s := NewSession(net)
+	tr := trace.EconomistWeb(8 << 10)
+	for i := 0; i < 3; i++ {
+		o := s.Replay(tr, nil)
+		t.Logf("orig: class=%q blocked=%v rsts=%d close=%s", o.GroundTruthClass, o.Blocked, o.RSTsSeen, o.CloseState)
+	}
+	iv := s.Replay(tr.Invert(), nil)
+	t.Logf("inv: class=%q blocked=%v", iv.GroundTruthClass, iv.Blocked)
+}
+
+func TestDebugATT(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("debug only")
+	}
+	net := dpi.NewATT()
+	s := NewSession(net)
+	tr := trace.NBCSportsVideo(96 << 10)
+	o := s.Replay(tr, nil)
+	t.Logf("orig: class=%q avg=%.0f completed=%v", o.GroundTruthClass, o.AvgThroughputBps, o.Completed)
+	iv := s.Replay(tr.Invert(), nil)
+	t.Logf("inv: class=%q avg=%.0f completed=%v", iv.GroundTruthClass, iv.AvgThroughputBps, iv.Completed)
+}

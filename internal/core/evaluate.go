@@ -1,0 +1,286 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"time"
+
+	"repro/internal/netem/packet"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// ReachState is the Table 3 "Reaches Server?" judgment.
+type ReachState string
+
+// Reach states. ReachModified covers arrivals that differ from what was
+// sent (reassembled fragments, corrected checksums — the ✓-with-note cells
+// of Table 3).
+const (
+	ReachNo       ReachState = "no"
+	ReachYes      ReachState = "yes"
+	ReachModified ReachState = "modified"
+	ReachNA       ReachState = "n/a"
+)
+
+// Verdict is the evaluation outcome for one technique against one network.
+type Verdict struct {
+	Technique Technique
+	Variant   int
+	// Tried is false when pruning skipped the technique entirely.
+	Tried bool
+	// Evades: the classification changed (the paper's CC? column).
+	Evades bool
+	// ReachedServer is the RS? column.
+	ReachedServer ReachState
+	// IntegrityOK: application payloads were intact end-to-end, so the
+	// technique is actually deployable.
+	IntegrityOK bool
+	// Served: the server's application actually received client bytes —
+	// distinguishes genuine evasion from the degenerate case where the
+	// technique's packets simply died in-path (e.g. fragments dropped by
+	// an Iranian firewall before reaching anything).
+	Served bool
+
+	ExtraPackets int
+	ExtraBytes   int
+	AddedDelay   time.Duration
+	Rounds       int
+}
+
+// Usable reports whether the technique both evades and preserves the app.
+func (v *Verdict) Usable() bool { return v.Evades && v.IntegrityOK }
+
+// Cost ranks deployment overhead: pauses are worst, then injected
+// packets/bytes (Table 2's ordering).
+func (v *Verdict) Cost() float64 {
+	return v.AddedDelay.Seconds()*1e6 + float64(v.ExtraBytes) + float64(v.ExtraPackets)*40
+}
+
+// Evaluation is the full evasion-evaluation phase output.
+type Evaluation struct {
+	Verdicts []Verdict
+	Rounds   int
+	Bytes    int64
+	// SkippedByPruning counts techniques eliminated without any replay.
+	SkippedByPruning int
+}
+
+// Working returns the deployable verdicts, cheapest first.
+func (e *Evaluation) Working() []Verdict {
+	var out []Verdict
+	for _, v := range e.Verdicts {
+		if v.Usable() {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Cost() < out[j].Cost() })
+	return out
+}
+
+// Best returns the cheapest deployable verdict, or nil.
+func (e *Evaluation) Best() *Verdict {
+	w := e.Working()
+	if len(w) == 0 {
+		return nil
+	}
+	return &w[0]
+}
+
+// ByID finds a verdict.
+func (e *Evaluation) ByID(id string) *Verdict {
+	for i := range e.Verdicts {
+		if e.Verdicts[i].Technique.ID == id {
+			return &e.Verdicts[i]
+		}
+	}
+	return nil
+}
+
+// Evaluate runs the evasion-evaluation phase: build each applicable
+// technique from the taxonomy, order and prune the suite using what
+// characterization learned (§5.2 "efficient evasion testing"), and try
+// variants until one works.
+func Evaluate(s *Session, tr *trace.Trace, det *Detection, char *Characterization) *Evaluation {
+	return evaluate(s, tr, det, char, false)
+}
+
+// EvaluateExhaustive evaluates every technique with no pruning — the mode
+// the paper used for its study ("in this study, we try all possible
+// techniques"), and what regenerates Table 3.
+func EvaluateExhaustive(s *Session, tr *trace.Trace, det *Detection, char *Characterization) *Evaluation {
+	return evaluate(s, tr, det, char, true)
+}
+
+func evaluate(s *Session, tr *trace.Trace, det *Detection, char *Characterization, exhaustive bool) *Evaluation {
+	ev := &Evaluation{}
+	startRounds, startBytes := s.Rounds, s.BytesUsed
+	defer func() {
+		ev.Rounds = s.Rounds - startRounds
+		ev.Bytes = s.BytesUsed - startBytes
+	}()
+	if !det.Differentiated {
+		return ev
+	}
+	probe := trimTrace(padTrace(tr, det.ProbeBytes), det.ProbeBytes)
+
+	suite := Taxonomy()
+	// Pruning: a classifier that inspects every packet cannot be poisoned
+	// by inert packets nor flushed; only splitting/reordering remain.
+	if exhaustive {
+		// no pruning, paper row order
+	} else if char.InspectsAllPackets {
+		var kept []Technique
+		for _, t := range suite {
+			if t.Group == GroupSplitting || t.Group == GroupReorder {
+				kept = append(kept, t)
+			} else {
+				ev.SkippedByPruning++
+				ev.Verdicts = append(ev.Verdicts, Verdict{Technique: t, Tried: false, ReachedServer: ReachNA})
+			}
+		}
+		suite = kept
+	} else if char.WindowLimited {
+		// Match-and-forget classifiers: inert techniques first (cheapest
+		// to test and to deploy).
+		sort.SliceStable(suite, func(i, j int) bool {
+			rank := func(g Group) int {
+				switch g {
+				case GroupInert:
+					return 0
+				case GroupSplitting:
+					return 1
+				case GroupReorder:
+					return 2
+				}
+				return 3
+			}
+			return rank(suite[i].Group) < rank(suite[j].Group)
+		})
+	}
+
+	for _, t := range suite {
+		v := evaluateTechnique(s, probe, det, char, t, exhaustive)
+		ev.Verdicts = append(ev.Verdicts, v)
+	}
+	// Restore paper row order for reporting.
+	sort.Slice(ev.Verdicts, func(i, j int) bool { return ev.Verdicts[i].Technique.Row < ev.Verdicts[j].Technique.Row })
+	return ev
+}
+
+// evaluateTechnique tries each variant of one technique until one evades.
+func evaluateTechnique(s *Session, probe *trace.Trace, det *Detection, char *Characterization, t Technique, exhaustive bool) Verdict {
+	v := Verdict{Technique: t, ReachedServer: ReachNA}
+	// Protocol applicability.
+	isUDP := probe.Proto == packet.ProtoUDP
+	if (t.Proto == ProtoTCP && isUDP) || (t.Proto == ProtoUDP && !isUDP) {
+		return v
+	}
+	ttl := char.MiddleboxTTL
+	if t.NeedsTTL && ttl == 0 {
+		if !exhaustive {
+			return v
+		}
+		ttl = 4 // unlocalized middlebox: probe with a plausible TTL anyway
+	}
+	v.Tried = true
+
+	variants := t.Variants
+	if variants == 0 {
+		variants = 1
+	}
+	judgeTail := t.ID == "pause-after-match" || t.ID == "ttl-rst-after"
+	target := probe
+	if judgeTail {
+		target = twoPart(probe)
+	}
+
+	for variant := 0; variant < variants; variant++ {
+		params := BuildParams{
+			Fields:     char.Fields,
+			MatchWrite: char.MatchWrite,
+			InertTTL:   ttl,
+			Seed:       int64(1000 + t.Row*10 + variant),
+			Variant:    variant,
+		}
+		ap := t.Build(params)
+		rtr := target
+		if ap.Rewrite != nil {
+			rtr = ap.Rewrite(target)
+		}
+		extra := time.Duration(0)
+		if ap.AddedDelay > 0 {
+			extra = ap.AddedDelay + time.Minute
+		}
+		res := s.Replay(rtr, ap.Transform, func(o *replay.Options) { o.ExtraBudget = extra })
+		v.Rounds++
+
+		evades := !det.Classified(res)
+		if judgeTail {
+			evades = !det.TailClassified(res)
+		}
+		v.ReachedServer = judgeReach(t, ap, res)
+		if evades {
+			v.Evades = true
+			v.Variant = variant
+			v.IntegrityOK = res.IntegrityOK
+			v.Served = res.ServerAppBytes > 0
+			v.ExtraPackets = ap.ExtraPackets
+			v.ExtraBytes = ap.ExtraBytes
+			v.AddedDelay = ap.AddedDelay
+			return v
+		}
+		v.Served = res.ServerAppBytes > 0
+	}
+	return v
+}
+
+// judgeReach decides the RS? column from the server's raw capture.
+func judgeReach(t Technique, ap *Applied, res *replay.Result) ReachState {
+	switch t.Group {
+	case GroupInert, GroupFlushing:
+		if len(ap.InertPayloads) == 0 && t.Group == GroupFlushing {
+			// Pause techniques inject nothing.
+			if t.ID == "pause-after-match" || t.ID == "pause-before-match" {
+				return ReachNA
+			}
+		}
+		for _, arr := range res.ServerArrivals {
+			p, _ := packet.Inspect(arr.Raw)
+			for _, inert := range ap.InertPayloads {
+				if bytes.Equal(p.Payload, inert) {
+					return ReachYes
+				}
+				if len(inert) > 8 && bytes.Contains(p.Payload, inert[:8]) {
+					return ReachModified
+				}
+			}
+			// TTL-limited RSTs: did *our* RST arrive? (Censors forge RSTs
+			// toward the server too; the IP ID tag tells them apart.)
+			if (t.ID == "ttl-rst-after" || t.ID == "ttl-rst-before") && p.TCP != nil &&
+				p.TCP.Flags.Has(packet.FlagRST) && p.IP.ID == InertRSTID {
+				return ReachYes
+			}
+		}
+		return ReachNo
+	case GroupSplitting, GroupReorder:
+		// The payload "reaches the server" when the application layer got
+		// it — even on flows a censor subsequently killed.
+		if res.ServerAppBytes == 0 {
+			return ReachNo
+		}
+		// Did the exact wire packets arrive, or a reassembled/normalized
+		// version (note 2)?
+		if t.ID == "ip-fragment" || t.ID == "ip-fragment-reorder" {
+			for _, arr := range res.ServerArrivals {
+				p, _ := packet.Inspect(arr.Raw)
+				if p.IP.FragOffset != 0 || p.IP.MoreFragments() {
+					return ReachYes
+				}
+			}
+			return ReachModified
+		}
+		return ReachYes
+	}
+	return ReachNA
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dpi"
+	"repro/internal/trace"
+)
+
+func TestMasqueradeZeroRatesGenericTraffic(t *testing.T) {
+	// §7 masquerading: an app that is NOT zero-rated impersonates video so
+	// its bytes stop counting against the quota.
+	net := dpi.NewTMobile()
+	generic := trace.EconomistWeb(256 << 10) // not matched by any TMUS rule
+
+	// Baseline: counted in full.
+	s := NewSession(net)
+	plain := s.Replay(generic, nil)
+	if plain.CounterDelta < int64(generic.TotalBytes())/2 {
+		t.Fatalf("generic traffic should be counted: delta=%d", plain.CounterDelta)
+	}
+
+	// Learn the middlebox location once (an engagement on the video app).
+	rep := (&Liberate{Net: net, Trace: trace.AmazonPrimeVideo(96 << 10)}).Run()
+	if rep.Characterization.MiddleboxTTL == 0 {
+		t.Fatal("localization failed")
+	}
+
+	// Masquerade the generic flow as Amazon video.
+	bait := BaitFromTrace(trace.AmazonPrimeVideo(1))
+	mq := MasqueradeFromReport(rep, bait)
+	s2 := NewSession(net)
+	masked := s2.Replay(generic, mq.Transform())
+	if !masked.IntegrityOK || !masked.Completed {
+		t.Fatalf("masquerade broke the flow: %+v", masked)
+	}
+	if masked.GroundTruthClass != "video" {
+		t.Fatalf("flow classified as %q, want video", masked.GroundTruthClass)
+	}
+	if masked.CounterDelta > plain.CounterDelta/3 {
+		t.Fatalf("masqueraded flow still counted: %d vs plain %d", masked.CounterDelta, plain.CounterDelta)
+	}
+}
+
+func TestBilateralDummyEvadesGatedClassifiers(t *testing.T) {
+	// The paper's final finding: with server-side support, one dummy
+	// packet at the start of a flow evades the testbed, T-Mobile, AT&T,
+	// and the GFC — but not Iran's per-packet matcher.
+	cases := []struct {
+		name   string
+		fresh  func() *dpi.Network
+		tr     *trace.Trace
+		evades bool
+	}{
+		{"testbed", dpi.NewTestbed, trace.AmazonPrimeVideo(96 << 10), true},
+		{"tmobile", dpi.NewTMobile, trace.AmazonPrimeVideo(96 << 10), true},
+		{"att", dpi.NewATT, trace.NBCSportsVideo(96 << 10), true},
+		{"gfc", dpi.NewGFC, trace.EconomistWeb(8 << 10), true},
+		{"iran", dpi.NewIran, trace.FacebookWeb(8 << 10), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			net := c.fresh()
+			s := NewSession(net)
+			rewritten := BilateralDummyPrefix(c.tr, 1, 42)
+			res := s.Replay(rewritten, nil)
+			evaded := res.GroundTruthClass == "" && !res.Blocked
+			if evaded != c.evades {
+				t.Fatalf("bilateral dummy: evaded=%v (class=%q blocked=%v), want %v",
+					evaded, res.GroundTruthClass, res.Blocked, c.evades)
+			}
+			if c.evades && (!res.IntegrityOK || !res.Completed) {
+				t.Fatalf("bilateral dummy broke the flow: %+v", res)
+			}
+		})
+	}
+}
+
+func TestMonitorAdaptsToClassifierUpgrade(t *testing.T) {
+	// §4.2: "If differentiation occurs even when using a previously
+	// successful evasion technique, lib·erate assumes matching rules have
+	// changed, and repeats the characterization and evasion steps."
+	net := dpi.NewTMobile()
+	tr := trace.AmazonPrimeVideo(96 << 10)
+	rep := (&Liberate{Net: net, Trace: tr}).Run()
+	if rep.Deployed == nil || rep.Deployed.Technique.ID != "tcp-segment-reorder" {
+		t.Fatalf("setup: deployed %+v", rep.Deployed)
+	}
+	mon := NewMonitor(net, tr, rep)
+	if !mon.Check() {
+		t.Fatal("fresh deployment should check out")
+	}
+
+	// The operator upgrades the classifier: sequence-correct reassembly
+	// defeats reordering and window-push splitting.
+	net.MB.Cfg.Reassembly = dpi.ReassembleSeq
+	net.MB.Cfg.Mode = dpi.InspectAllPackets
+	net.MB.ResetState()
+
+	if mon.Check() {
+		t.Fatal("reordering should no longer evade a seq-reassembling classifier")
+	}
+	if !mon.EnsureWorking() {
+		t.Fatalf("adaptation failed; report: deployed=%v", mon.Report.Deployed)
+	}
+	if mon.Adaptations != 1 {
+		t.Fatalf("adaptations = %d", mon.Adaptations)
+	}
+	newID := mon.Report.Deployed.Technique.ID
+	if newID == "tcp-segment-reorder" {
+		t.Fatalf("adaptation picked the defeated technique again")
+	}
+	t.Logf("adapted from tcp-segment-reorder to %s", newID)
+}
+
+func TestRuleCacheSharesWork(t *testing.T) {
+	// §4.2: shared characterization results let a second client deploy
+	// with a single verification replay instead of a full engagement.
+	cache := NewRuleCache()
+	net1 := dpi.NewTMobile()
+	tr := trace.AmazonPrimeVideo(96 << 10)
+	rep := (&Liberate{Net: net1, Trace: tr}).Run()
+	fullRounds := rep.TotalRounds
+	cache.Store(rep)
+
+	entry, ok := cache.Lookup("tmobile", tr.Name)
+	if !ok {
+		t.Fatal("cache miss after store")
+	}
+	// A second user on the same network.
+	net2 := dpi.NewTMobile()
+	transform, rounds := DeployFromCache(net2, tr, entry, 77)
+	if transform == nil {
+		t.Fatal("cached technique did not verify")
+	}
+	if rounds >= fullRounds/4 {
+		t.Fatalf("cache saved too little: %d rounds vs %d full", rounds, fullRounds)
+	}
+	s := NewSession(net2)
+	res := s.Replay(tr, transform)
+	if res.GroundTruthClass != "" || !res.IntegrityOK {
+		t.Fatalf("cached deployment failed: %+v", res)
+	}
+}
+
+func TestRuleCacheRejectsStaleEntry(t *testing.T) {
+	cache := NewRuleCache()
+	net1 := dpi.NewTMobile()
+	tr := trace.AmazonPrimeVideo(96 << 10)
+	rep := (&Liberate{Net: net1, Trace: tr}).Run()
+	cache.Store(rep)
+	entry, _ := cache.Lookup("tmobile", tr.Name)
+
+	// The classifier changed since the entry was shared.
+	net2 := dpi.NewTMobile()
+	net2.MB.Cfg.Reassembly = dpi.ReassembleSeq
+	net2.MB.Cfg.Mode = dpi.InspectAllPackets
+	transform, _ := DeployFromCache(net2, tr, entry, 78)
+	if transform != nil {
+		t.Fatal("stale cache entry verified against an upgraded classifier")
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/dpi"
+	"repro/internal/netem/stack"
+	"repro/internal/trace"
+)
+
+// Liberate orchestrates the four phases of the paper against one network
+// for one recorded application trace.
+type Liberate struct {
+	Net   *dpi.Network
+	Trace *trace.Trace
+	// ServerOS selects the replay server endpoint profile (default Linux).
+	ServerOS *stack.OSProfile
+}
+
+// Report is the complete engagement outcome.
+type Report struct {
+	Network   string
+	TraceName string
+
+	Detection        *Detection
+	Characterization *Characterization
+	Evaluation       *Evaluation
+
+	// Deployed is the technique lib·erate would install for live traffic
+	// (nil when the network does not differentiate, or when nothing
+	// works — e.g. AT&T's terminating proxy).
+	Deployed *Verdict
+
+	TotalRounds int
+	TotalBytes  int64
+	TotalTime   time.Duration
+}
+
+// Run executes detection → characterization → evaluation and selects the
+// cheapest working technique for deployment.
+func (l *Liberate) Run() *Report {
+	s := NewSession(l.Net)
+	s.ServerOS = l.ServerOS
+	rep := &Report{Network: l.Net.Name, TraceName: l.Trace.Name}
+
+	rep.Detection = Detect(s, l.Trace)
+	if rep.Detection.Differentiated {
+		rep.Characterization = Characterize(s, l.Trace, rep.Detection)
+		rep.Evaluation = Evaluate(s, l.Trace, rep.Detection, rep.Characterization)
+		rep.Deployed = rep.Evaluation.Best()
+	} else {
+		rep.Characterization = &Characterization{}
+		rep.Evaluation = &Evaluation{}
+	}
+	rep.TotalRounds = s.Rounds
+	rep.TotalBytes = s.BytesUsed
+	rep.TotalTime = s.Elapsed()
+	return rep
+}
+
+// DeployTransform builds the transform for live application flows using
+// the selected technique — the runtime side of Figure 3 (step 3). Returns
+// nil when no technique is deployable.
+func (r *Report) DeployTransform(seed int64) stack.OutgoingTransform {
+	if r.Deployed == nil {
+		return nil
+	}
+	params := BuildParams{
+		Fields:     r.Characterization.Fields,
+		MatchWrite: r.Characterization.MatchWrite,
+		InertTTL:   r.Characterization.MiddleboxTTL,
+		Seed:       seed,
+		Variant:    r.Deployed.Variant,
+	}
+	return r.Deployed.Technique.Build(params).Transform
+}
+
+// WriteSummary renders a human-readable engagement report.
+func (r *Report) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "network=%s trace=%s\n", r.Network, r.TraceName)
+	if !r.Detection.Differentiated {
+		fmt.Fprintf(w, "  no content-based differentiation detected (%d rounds, %d bytes)\n",
+			r.TotalRounds, r.TotalBytes)
+		return
+	}
+	fmt.Fprintf(w, "  differentiation: %v\n", r.Detection.Kinds)
+	c := r.Characterization
+	fmt.Fprintf(w, "  matching fields (%d): ", len(c.Fields))
+	for _, f := range c.Fields {
+		fmt.Fprintf(w, "%s ", f)
+	}
+	fmt.Fprintln(w)
+	switch {
+	case c.InspectsAllPackets:
+		fmt.Fprintf(w, "  classifier inspects all packets\n")
+	case c.WindowLimited:
+		fmt.Fprintf(w, "  classifier is window-limited (≤%d packets, packet-count-based=%v)\n",
+			c.WindowUpperBound, c.PacketCountBased)
+	}
+	if c.PortSpecific {
+		fmt.Fprintf(w, "  rules are port-specific\n")
+	}
+	if c.ResidualBlocking {
+		fmt.Fprintf(w, "  residual server:port blocking observed; ports rotated\n")
+	}
+	if c.MiddleboxTTL > 0 {
+		fmt.Fprintf(w, "  middlebox reached at TTL=%d\n", c.MiddleboxTTL)
+	} else {
+		fmt.Fprintf(w, "  middlebox not localizable by TTL\n")
+	}
+	working := r.Evaluation.Working()
+	fmt.Fprintf(w, "  working techniques: %d / %d evaluated (+%d pruned)\n",
+		len(working), len(r.Evaluation.Verdicts)-r.Evaluation.SkippedByPruning, r.Evaluation.SkippedByPruning)
+	for _, v := range working {
+		fmt.Fprintf(w, "    %-24s variant=%d cost=%.0f\n", v.Technique.ID, v.Variant, v.Cost())
+	}
+	if r.Deployed != nil {
+		fmt.Fprintf(w, "  deployed: %s\n", r.Deployed.Technique.ID)
+	} else {
+		fmt.Fprintf(w, "  deployed: none (no unilateral technique works)\n")
+	}
+	fmt.Fprintf(w, "  cost: %d rounds, %.1f KB, %s virtual time\n",
+		r.TotalRounds, float64(r.TotalBytes)/1024, r.TotalTime.Round(time.Second))
+}

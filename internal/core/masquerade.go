@@ -1,0 +1,77 @@
+package core
+
+import (
+	"repro/internal/netem/packet"
+	"repro/internal/netem/stack"
+	"repro/internal/trace"
+)
+
+// Masquerade is the §7 extension: instead of evading classification, a
+// flow *impersonates* a class that receives better treatment (e.g.
+// zero-rated video). The mechanism is the inert-packet insertion machinery
+// run in reverse — a TTL-limited packet carrying bait content from the
+// desired class is injected at the start of the flow, so a
+// match-and-forget classifier files the whole flow under the bait's class.
+//
+// As the paper notes, the user supplies the bait traffic; BaitFromTrace
+// extracts it from a recorded flow of the class to imitate.
+type Masquerade struct {
+	// Bait is the application payload that matches the desired class's
+	// rules (e.g. a GET with a zero-rated Host header).
+	Bait []byte
+	// TTL must reach the classifier but not the server (localization
+	// output).
+	TTL int
+}
+
+// BaitFromTrace uses the first client message of a recorded flow of the
+// desired class as bait.
+func BaitFromTrace(tr *trace.Trace) []byte {
+	if idx := tr.FirstClientMessage(); idx >= 0 {
+		return append([]byte(nil), tr.Messages[idx].Data...)
+	}
+	return nil
+}
+
+// Transform returns the outgoing transform implementing the masquerade: an
+// inert, TTL-limited packet carrying the bait is emitted immediately
+// before the flow's first data packet.
+func (m *Masquerade) Transform() stack.OutgoingTransform {
+	return stack.TransformFunc(func(fi stack.FlowInfo, pkts []*packet.Packet) []stack.Scheduled {
+		out := passAll(pkts)
+		if fi.WriteIndex != 0 || len(pkts) == 0 {
+			return out
+		}
+		bait := m.Bait
+		if len(bait) > packet.MTU-40 {
+			bait = bait[:packet.MTU-40]
+		}
+		var inert *packet.Packet
+		switch fi.Proto {
+		case packet.ProtoTCP:
+			inert = packet.NewTCP(fi.Src, fi.Dst, fi.SrcPort, fi.DstPort, fi.SndNxt, fi.RcvNxt,
+				packet.FlagACK|packet.FlagPSH, bait)
+		case packet.ProtoUDP:
+			inert = packet.NewUDP(fi.Src, fi.Dst, fi.SrcPort, fi.DstPort, bait)
+		default:
+			return out
+		}
+		ttl := m.TTL
+		if ttl <= 0 {
+			ttl = 4
+		}
+		inert.IP.TTL = uint8(ttl)
+		fixIP(inert)
+		return append([]stack.Scheduled{{Pkt: inert, Inert: true}}, out...)
+	})
+}
+
+// MasqueradeFromReport builds a masquerade using an engagement's
+// localization result and a bait payload.
+func MasqueradeFromReport(rep *Report, bait []byte) *Masquerade {
+	ttl := 0
+	if rep != nil && rep.Characterization != nil {
+		ttl = rep.Characterization.MiddleboxTTL
+	}
+	return &Masquerade{Bait: bait, TTL: ttl}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dpi"
+	"repro/internal/netem"
+	"repro/internal/netem/packet"
+	"repro/internal/netem/vclock"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// responseMatcherNetwork builds a shaper whose only rule matches
+// *response* content per-packet (no reassembly) — a classifier that
+// client-side techniques cannot reach but a server-side deployment can.
+func responseMatcherNetwork() *dpi.Network {
+	clock := vclock.New()
+	env := netem.New(clock, dpi.DefaultClientAddr, dpi.DefaultServerAddr)
+	rule := dpi.NewRule("video", dpi.FamilyAny, dpi.MatchS2C, "Content-Type: video")
+	cfg := dpi.Config{
+		Name:  "resp-matcher",
+		Rules: []dpi.Rule{rule},
+		Mode:  dpi.InspectWindow, WindowPackets: 5,
+		Reassembly:     dpi.ReassembleNone,
+		RequireSYN:     true,
+		MatchAndForget: true,
+		Seed:           11,
+		Policies: map[string]dpi.Policy{
+			"video": {ThrottleBps: 1.5e6, ThrottleBurst: 32 << 10},
+		},
+	}
+	mb := dpi.NewMiddlebox(cfg)
+	env.Append(&netem.Hop{Label: "hop1", Addr: packet.AddrFrom("10.9.1.1"), EmitICMP: true})
+	env.Append(mb)
+	env.Append(&netem.Pipe{Label: "link", RateBps: 12e6})
+	env.Append(&netem.Hop{Label: "hop2", Addr: packet.AddrFrom("10.9.2.1"), EmitICMP: true})
+	return &dpi.Network{Name: "resp-matcher", Clock: clock, Env: env, MB: mb, MiddleboxHops: 1, TotalHops: 2}
+}
+
+func TestServerSideDeploymentEvadesResponseMatcher(t *testing.T) {
+	tr := trace.NBCSportsVideo(256 << 10)
+
+	// Baseline: classified via the response header and throttled.
+	net := responseMatcherNetwork()
+	s := NewSession(net)
+	base := s.Replay(tr, nil)
+	if base.GroundTruthClass != "video" {
+		t.Fatalf("setup: response matcher did not classify: %q", base.GroundTruthClass)
+	}
+	if base.AvgThroughputBps > 3e6 {
+		t.Fatalf("setup: not throttled: %.0f", base.AvgThroughputBps)
+	}
+
+	// A client-side split cannot reach the response packets.
+	tech, _ := TechniqueByID("tcp-segment-split")
+	clientAp := tech.Build(BuildParams{MatchWrite: 0, Seed: 5})
+	net2 := responseMatcherNetwork()
+	s2 := NewSession(net2)
+	cres := s2.Replay(tr, clientAp.Transform)
+	if cres.GroundTruthClass != "video" {
+		t.Fatalf("client-side split unexpectedly evaded a response matcher: %q", cres.GroundTruthClass)
+	}
+
+	// Server-side deployment: split the response's matching field
+	// ("Content-Type: video" begins at offset 17 of the response head)
+	// across two segments.
+	serverAp := tech.Build(BuildParams{
+		MatchWrite: 0, // the server's first write
+		Fields:     []FieldRef{{Msg: 0, Start: 17, End: 36}},
+		Seed:       6,
+	})
+	net3 := responseMatcherNetwork()
+	s3 := NewSession(net3)
+	sres := s3.Replay(tr, nil, func(o *replay.Options) { o.ServerTransform = serverAp.Transform })
+	if sres.GroundTruthClass != "" {
+		t.Fatalf("server-side split did not evade: %q", sres.GroundTruthClass)
+	}
+	if !sres.IntegrityOK || !sres.Completed {
+		t.Fatalf("server-side split broke the flow: %+v", sres)
+	}
+	if sres.AvgThroughputBps < 3*base.AvgThroughputBps {
+		t.Fatalf("no speedup: %.0f vs %.0f", sres.AvgThroughputBps, base.AvgThroughputBps)
+	}
+}

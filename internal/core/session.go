@@ -1,0 +1,172 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/dpi"
+	"repro/internal/netem/stack"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// Session tracks one lib·erate engagement with a network: it owns client
+// port allocation, optional server-port rotation (the GFC-blacklist
+// countermeasure of §6.5), and the round/byte/time accounting the paper
+// reports for each phase.
+type Session struct {
+	Net      *dpi.Network
+	ServerOS *stack.OSProfile
+
+	// RotatePorts uses a fresh server port for every replay; enabled when
+	// residual (blacklist-style) blocking is detected.
+	RotatePorts bool
+	// ForceServerPort pins the server port (Iran characterization must
+	// stay on port 80).
+	ForceServerPort uint16
+
+	nextClientPort uint16
+	nextServerPort uint16
+
+	// Accounting.
+	Rounds    int
+	BytesUsed int64
+	started   time.Time
+}
+
+// NewSession starts an engagement.
+func NewSession(net *dpi.Network) *Session {
+	return &Session{
+		Net:            net,
+		nextClientPort: 41000,
+		nextServerPort: 8100,
+		started:        net.Clock.Now(),
+	}
+}
+
+// Elapsed reports virtual time spent so far.
+func (s *Session) Elapsed() time.Duration { return s.Net.Clock.Since(s.started) }
+
+// Replay runs one replay round with accounting.
+func (s *Session) Replay(tr *trace.Trace, transform stack.OutgoingTransform, extra ...func(*replay.Options)) *replay.Result {
+	s.nextClientPort++
+	opts := replay.Options{
+		Net:        s.Net,
+		Trace:      tr,
+		ClientPort: s.nextClientPort,
+		ServerOS:   s.ServerOS,
+		Transform:  transform,
+	}
+	if s.RotatePorts {
+		s.nextServerPort++
+		opts.ServerPort = s.nextServerPort
+	}
+	if s.ForceServerPort != 0 {
+		opts.ServerPort = s.ForceServerPort
+	}
+	for _, f := range extra {
+		f(&opts)
+	}
+	res, err := replay.Run(opts)
+	if err != nil {
+		// The only error paths are programming errors (nil args); surface
+		// loudly in experiments rather than limping on.
+		panic(err)
+	}
+	s.Rounds++
+	s.BytesUsed += res.BytesOut + res.BytesIn
+	return res
+}
+
+// blindRanges returns a copy of tr with the byte ranges inverted — the
+// characterization "blinding" primitive (§5.1).
+func blindRanges(tr *trace.Trace, ranges []FieldRef) *trace.Trace {
+	c := tr.Clone()
+	for _, r := range ranges {
+		if r.Msg < 0 || r.Msg >= len(c.Messages) {
+			continue
+		}
+		data := c.Messages[r.Msg].Data
+		lo, hi := r.Start, r.End
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(data) {
+			hi = len(data)
+		}
+		trace.InvertBytes(data[lo:hi])
+	}
+	return c
+}
+
+// padTrace grows the trace's final server message so the replay moves at
+// least minBytes — needed when the differentiation signal (e.g. a noisy
+// zero-rating counter) requires a minimum transfer to read reliably.
+func padTrace(tr *trace.Trace, minBytes int) *trace.Trace {
+	total := tr.TotalBytes()
+	if total >= minBytes {
+		return tr
+	}
+	c := tr.Clone()
+	for i := len(c.Messages) - 1; i >= 0; i-- {
+		if c.Messages[i].Dir == trace.ServerToClient {
+			pad := make([]byte, minBytes-total)
+			for j := range pad {
+				pad[j] = byte(0x80 | (j % 97))
+			}
+			c.Messages[i].Data = append(c.Messages[i].Data, pad...)
+			return c
+		}
+	}
+	return c
+}
+
+// trimTrace shrinks server messages so probe replays stay cheap: the final
+// server message is capped at maxTail bytes (request/keyword content is
+// never touched).
+func trimTrace(tr *trace.Trace, maxTail int) *trace.Trace {
+	c := tr.Clone()
+	for i := len(c.Messages) - 1; i >= 0; i-- {
+		if c.Messages[i].Dir == trace.ServerToClient && len(c.Messages[i].Data) > maxTail {
+			c.Messages[i].Data = c.Messages[i].Data[:maxTail]
+			break
+		}
+	}
+	return c
+}
+
+// TwoPartTrace exposes the two-part probe trace builder for experiment
+// harnesses (classification-flushing probes need a continuation request
+// after the matching one).
+func TwoPartTrace(tr *trace.Trace) *trace.Trace { return twoPart(tr) }
+
+// twoPart rewrites a trace into the two-phase shape flushing probes need:
+// request → small first response → continuation request → response tail.
+// The continuation request carries no matching content.
+func twoPart(tr *trace.Trace) *trace.Trace {
+	c := tr.Clone()
+	// Find the last server message and split it.
+	for i := len(c.Messages) - 1; i >= 0; i-- {
+		m := c.Messages[i]
+		if m.Dir != trace.ServerToClient || len(m.Data) < 4096 {
+			continue
+		}
+		half := 16 << 10
+		if half > len(m.Data)/2 {
+			half = len(m.Data) / 2
+		}
+		first := m.Data[:half]
+		rest := m.Data[half:]
+		cont := []byte("NEXT /continuation range=tail\r\n\r\n")
+		out := make([]trace.Message, 0, len(c.Messages)+2)
+		out = append(out, c.Messages[:i]...)
+		out = append(out,
+			trace.Message{Dir: trace.ServerToClient, Data: first},
+			trace.Message{Dir: trace.ClientToServer, Data: cont},
+			trace.Message{Dir: trace.ServerToClient, Data: rest},
+		)
+		out = append(out, c.Messages[i+1:]...)
+		c.Messages = out
+		return c
+	}
+	return c
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/dpi"
+	"repro/internal/trace"
+)
+
+// TestSmokeEngagements prints full engagement reports for manual
+// inspection during development (go test -run Smoke -v).
+func TestSmokeEngagements(t *testing.T) {
+	if os.Getenv("SMOKE") == "" {
+		t.Skip("set SMOKE=1 for the verbose smoke run")
+	}
+	cases := []struct {
+		net *dpi.Network
+		tr  *trace.Trace
+	}{
+		{dpi.NewTestbed(), trace.AmazonPrimeVideo(96 << 10)},
+		{dpi.NewTestbed(), trace.SkypeCall(6, 400)},
+		{dpi.NewTMobile(), trace.AmazonPrimeVideo(96 << 10)},
+		{dpi.NewGFC(), trace.EconomistWeb(8 << 10)},
+		{dpi.NewIran(), trace.FacebookWeb(8 << 10)},
+		{dpi.NewATT(), trace.NBCSportsVideo(96 << 10)},
+		{dpi.NewSprint(), trace.AmazonPrimeVideo(96 << 10)},
+	}
+	for _, c := range cases {
+		if c.net.Name == "gfc" {
+			c.net.Clock.RunFor(21 * 3600 * 1e9) // busy hour for flushing
+		}
+		l := &Liberate{Net: c.net, Trace: c.tr}
+		rep := l.Run()
+		rep.WriteSummary(os.Stderr)
+	}
+}

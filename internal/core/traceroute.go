@@ -1,0 +1,61 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/dpi"
+	"repro/internal/netem/packet"
+	"repro/internal/netem/stack"
+)
+
+// HopInfo is one discovered router on the path.
+type HopInfo struct {
+	TTL  int
+	Addr packet.Addr
+	// Responded is false for silent hops (no ICMP time-exceeded).
+	Responded bool
+}
+
+// Traceroute discovers the path's TTL-decrementing hops with ICMP
+// time-exceeded probes, in the style the paper borrows from traceroute and
+// Tracebox (§5.2). It complements classification-signal localization: the
+// classifier itself is a bump in the wire and does not appear, so the
+// middlebox sits between the hop at MiddleboxTTL-1 and the first hop at or
+// after MiddleboxTTL.
+func Traceroute(net *dpi.Network, maxTTL int) []HopInfo {
+	if maxTTL <= 0 {
+		maxTTL = 24
+	}
+	host := stack.NewClientHost(net.Env)
+	var hops []HopInfo
+	silent := 0
+	for ttl := 1; ttl <= maxTTL; ttl++ {
+		var got *packet.Packet
+		host.ICMP = func(p *packet.Packet) {
+			if p.ICMP != nil && p.ICMP.Type == packet.ICMPTimeExceeded && got == nil {
+				got = p
+			}
+		}
+		probe := packet.NewUDP(net.Env.ClientAddr, net.Env.ServerAddr, 44444, uint16(33434+ttl), []byte("trace"))
+		probe.IP.TTL = uint8(ttl)
+		probe.IP.ID = uint16(0x7000 + ttl)
+		probe.Finalize()
+		host.Send(probe.Serialize())
+		// Give the probe a full round trip plus queueing slack.
+		deadline := net.Clock.Now().Add(net.Env.RTT() + 50*time.Millisecond)
+		net.Clock.RunUntil(deadline)
+		if got != nil {
+			hops = append(hops, HopInfo{TTL: ttl, Addr: got.IP.Src, Responded: true})
+			silent = 0
+			continue
+		}
+		hops = append(hops, HopInfo{TTL: ttl, Responded: false})
+		silent++
+		if silent >= 3 {
+			// Three consecutive silent TTLs: the probe is reaching the
+			// destination (or a black hole); stop.
+			return hops[:len(hops)-silent]
+		}
+	}
+	return hops
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dpi"
+)
+
+func TestTracerouteCountsHops(t *testing.T) {
+	cases := []struct {
+		name  string
+		fresh func() *dpi.Network
+	}{
+		{"testbed", dpi.NewTestbed},
+		{"tmobile", dpi.NewTMobile},
+		{"gfc", dpi.NewGFC},
+		{"iran", dpi.NewIran},
+		{"sprint", dpi.NewSprint},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			net := c.fresh()
+			hops := Traceroute(net, 24)
+			responded := 0
+			for _, h := range hops {
+				if h.Responded {
+					responded++
+				}
+			}
+			if responded != net.TotalHops {
+				t.Fatalf("traceroute saw %d hops, topology has %d", responded, net.TotalHops)
+			}
+		})
+	}
+}
+
+func TestTracerouteBracketsMiddlebox(t *testing.T) {
+	// Localization says the middlebox answers at MiddleboxTTL; traceroute
+	// must place a responding router immediately before it (the middlebox
+	// is a bump in the wire and never answers probes itself).
+	net := dpi.NewGFC()
+	hops := Traceroute(net, 24)
+	if len(hops) < net.MiddleboxHops {
+		t.Fatalf("too few hops: %d", len(hops))
+	}
+	if !hops[net.MiddleboxHops-1].Responded {
+		t.Fatal("hop before the middlebox did not respond")
+	}
+}
+
+func TestTracerouteHopAddressesDistinct(t *testing.T) {
+	net := dpi.NewIran()
+	hops := Traceroute(net, 24)
+	seen := map[string]bool{}
+	for _, h := range hops {
+		if !h.Responded {
+			continue
+		}
+		if seen[h.Addr.String()] {
+			t.Fatalf("duplicate hop address %s", h.Addr)
+		}
+		seen[h.Addr.String()] = true
+	}
+}

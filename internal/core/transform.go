@@ -1,0 +1,300 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/netem/packet"
+	"repro/internal/netem/stack"
+	"repro/internal/trace"
+)
+
+// writePayload concatenates the payloads of an application write's packets.
+func writePayload(pkts []*packet.Packet) []byte {
+	var out []byte
+	for _, p := range pkts {
+		out = append(out, p.Payload...)
+	}
+	return out
+}
+
+// resegment rebuilds TCP segments of one write with boundaries at cuts
+// (payload offsets, sorted, deduplicated) plus MSS boundaries so no
+// segment exceeds one MTU.
+func resegment(fi stack.FlowInfo, payload []byte, cuts []int) []*packet.Packet {
+	for off := stack.MSS; off < len(payload); off += stack.MSS {
+		cuts = append(cuts, off)
+	}
+	sort.Ints(cuts)
+	var bounds []int
+	prev := 0
+	for _, c := range cuts {
+		if c > prev && c < len(payload) {
+			bounds = append(bounds, c)
+			prev = c
+		}
+	}
+	bounds = append(bounds, len(payload))
+	var segs []*packet.Packet
+	start := 0
+	for _, end := range bounds {
+		seg := packet.NewTCP(fi.Src, fi.Dst, fi.SrcPort, fi.DstPort,
+			fi.SndNxt+uint32(start), fi.RcvNxt, packet.FlagACK|packet.FlagPSH, payload[start:end])
+		segs = append(segs, seg)
+		start = end
+	}
+	return segs
+}
+
+// fieldCuts derives payload cut offsets from matching fields: the middle
+// of each field, limited to fields in the matching write. Extra variants
+// add more aggressive strategies.
+func fieldCuts(p BuildParams, payloadLen int) []int {
+	var cuts []int
+	for _, f := range p.Fields {
+		if f.Msg != p.MatchWrite {
+			continue
+		}
+		mid := (f.Start + f.End) / 2
+		if mid > 0 && mid < payloadLen {
+			cuts = append(cuts, mid)
+		}
+	}
+	if len(cuts) == 0 && payloadLen > 1 {
+		cuts = append(cuts, payloadLen/2)
+	}
+	return cuts
+}
+
+// buildSegmentSplit constructs the TCP payload-splitting technique.
+// Variants (split): 0 = cut through each field; 1 = three-way cuts through
+// each field; 2 = one-byte first segment plus field cuts; 3 = push fields
+// beyond a 5-packet inspection window with tiny leading segments.
+// Variants (reorder): 0 = two segments cut through the first field,
+// reversed; 1 = three segments, rotated.
+func buildSegmentSplit(reorder bool) func(BuildParams) *Applied {
+	return func(p BuildParams) *Applied {
+		ap := &Applied{}
+		ap.Transform = stack.TransformFunc(func(fi stack.FlowInfo, pkts []*packet.Packet) []stack.Scheduled {
+			if fi.WriteIndex != p.MatchWrite || fi.Proto != packet.ProtoTCP {
+				return passAll(pkts)
+			}
+			payload := writePayload(pkts)
+			if len(payload) < 2 {
+				return passAll(pkts)
+			}
+			var cuts []int
+			switch {
+			case !reorder && p.Variant == 0:
+				cuts = fieldCuts(p, len(payload))
+			case !reorder && p.Variant == 1:
+				for _, f := range p.Fields {
+					if f.Msg != p.MatchWrite {
+						continue
+					}
+					third := (f.End - f.Start) / 3
+					cuts = append(cuts, f.Start+third, f.Start+2*third)
+				}
+				if len(cuts) == 0 {
+					cuts = fieldCuts(p, len(payload))
+				}
+			case !reorder && p.Variant == 2:
+				cuts = append([]int{1}, fieldCuts(p, len(payload))...)
+			case !reorder && p.Variant == 3:
+				// Tiny leading segments push every field past a 5-packet
+				// window; the first byte alone stays protocol-viable.
+				cuts = []int{1, 2, 3, 4, 5}
+				cuts = append(cuts, fieldCuts(p, len(payload))...)
+			case reorder && p.Variant == 0:
+				cuts = fieldCuts(p, len(payload))[:1]
+			default: // reorder variant 1
+				cuts = fieldCuts(p, len(payload))
+			}
+			segs := resegment(fi, payload, cuts)
+			ap.ExtraPackets = len(segs) - len(pkts)
+			if ap.ExtraPackets < 0 {
+				ap.ExtraPackets = 0
+			}
+			ap.ExtraBytes = ap.ExtraPackets * 40
+			if reorder {
+				for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+					segs[i], segs[j] = segs[j], segs[i]
+				}
+			}
+			return passAll(segs)
+		})
+		return ap
+	}
+}
+
+// buildFragment constructs the IP fragmentation technique exactly as §5.2
+// describes it: each packet of the matching write is split into m = 2
+// fragments at the midpoint of its IP body (8-byte aligned). With reorder,
+// fragments are emitted reversed.
+func buildFragment(reorder bool) func(BuildParams) *Applied {
+	return func(p BuildParams) *Applied {
+		ap := &Applied{}
+		ap.Transform = stack.TransformFunc(func(fi stack.FlowInfo, pkts []*packet.Packet) []stack.Scheduled {
+			if fi.WriteIndex != p.MatchWrite {
+				return passAll(pkts)
+			}
+			var out []stack.Scheduled
+			for i, pk := range pkts {
+				if i > 0 || len(pk.Payload) < 16 {
+					out = append(out, stack.Scheduled{Pkt: pk})
+					continue
+				}
+				hdr := 20 // transport header precedes payload in the IP body
+				if pk.TCP != nil {
+					hdr = 20 + len(pk.TCP.Options)
+				} else if pk.UDP != nil {
+					hdr = 8
+				}
+				cut := (hdr + len(pk.Payload)) / 2 / 8 * 8
+				if cut <= hdr {
+					cut = hdr + 8
+				}
+				if pk.IP.ID == 0 {
+					pk.IP.ID = uint16(7001 + fi.WriteIndex)
+					pk.Finalize()
+				}
+				frags := packet.FragmentAt(pk, []int{cut})
+				if reorder {
+					for a, b := 0, len(frags)-1; a < b; a, b = a+1, b-1 {
+						frags[a], frags[b] = frags[b], frags[a]
+					}
+				}
+				ap.ExtraPackets += len(frags) - 1
+				ap.ExtraBytes += (len(frags) - 1) * 20
+				for _, f := range frags {
+					out = append(out, stack.Scheduled{Pkt: f})
+				}
+			}
+			return out
+		})
+		return ap
+	}
+}
+
+// buildUDPReorder swaps the first two client datagrams of the trace —
+// sending application writes out of order, which defeats classifiers that
+// anchor rules to datagram positions.
+func buildUDPReorder(p BuildParams) *Applied {
+	return &Applied{
+		Transform: stack.Passthrough(),
+		Rewrite: func(tr *trace.Trace) *trace.Trace {
+			c := tr.Clone()
+			var idx []int
+			for i, m := range c.Messages {
+				if m.Dir == trace.ClientToServer {
+					idx = append(idx, i)
+					if len(idx) == 2 {
+						break
+					}
+				}
+			}
+			if len(idx) < 2 {
+				return c
+			}
+			first, second := c.Messages[idx[0]], c.Messages[idx[1]]
+			// Emit the second client write, then the first, adjacently at
+			// the first's position; drop the second from its old slot.
+			var msgs []trace.Message
+			for i, m := range c.Messages {
+				switch i {
+				case idx[0]:
+					msgs = append(msgs, second, first)
+				case idx[1]:
+					// dropped (moved earlier)
+				default:
+					msgs = append(msgs, m)
+				}
+			}
+			c.Messages = msgs
+			return c
+		},
+	}
+}
+
+// buildPause constructs the classification-flushing pause techniques: a
+// long idle interval inserted before the matching write (so flow state
+// evaporates first) or after it (so the classification result expires).
+func buildPause(before bool) func(BuildParams) *Applied {
+	return func(p BuildParams) *Applied {
+		pause := p.PauseFor
+		if pause <= 0 {
+			pause = 130 * time.Second
+		}
+		ap := &Applied{AddedDelay: pause}
+		ap.Transform = stack.TransformFunc(func(fi stack.FlowInfo, pkts []*packet.Packet) []stack.Scheduled {
+			target := p.MatchWrite
+			if !before {
+				target = p.MatchWrite + 1
+			}
+			out := passAll(pkts)
+			if fi.WriteIndex == target && len(out) > 0 {
+				out[0].Delay = pause
+			}
+			return out
+		})
+		return ap
+	}
+}
+
+// buildRSTFlush constructs the TTL-limited RST techniques: an in-window
+// RST that reaches the classifier (flushing or killing its flow state) but
+// expires before the server, sent before (b) or after (a) the matching
+// write, followed by an idle interval long enough for shortened timeouts
+// to fire.
+func buildRSTFlush(before bool) func(BuildParams) *Applied {
+	return func(p BuildParams) *Applied {
+		pause := p.PauseFor
+		if pause <= 0 {
+			pause = 15 * time.Second
+		}
+		ttl := p.InertTTL
+		if ttl <= 0 {
+			ttl = 4
+		}
+		ap := &Applied{AddedDelay: pause, ExtraPackets: 1, ExtraBytes: 40}
+		mkRST := func(fi stack.FlowInfo) *packet.Packet {
+			rst := packet.NewTCP(fi.Src, fi.Dst, fi.SrcPort, fi.DstPort, fi.SndNxt, fi.RcvNxt, packet.FlagRST|packet.FlagACK, nil)
+			// The IP ID tags our inert RSTs so the reaches-server judgment
+			// can tell them apart from RSTs a censor forges.
+			rst.IP.ID = InertRSTID
+			rst.IP.TTL = uint8(ttl)
+			fixIP(rst)
+			return rst
+		}
+		ap.Transform = stack.TransformFunc(func(fi stack.FlowInfo, pkts []*packet.Packet) []stack.Scheduled {
+			out := passAll(pkts)
+			switch {
+			case before && fi.WriteIndex == p.MatchWrite:
+				sched := make([]stack.Scheduled, 0, len(out)+1)
+				sched = append(sched, stack.Scheduled{Pkt: mkRST(fi), Inert: true})
+				if len(out) > 0 {
+					out[0].Delay = pause
+				}
+				return append(sched, out...)
+			case !before && fi.WriteIndex == p.MatchWrite:
+				return append(out, stack.Scheduled{Pkt: mkRST(fi), Delay: 5 * time.Millisecond, Inert: true})
+			case !before && fi.WriteIndex == p.MatchWrite+1 && len(out) > 0:
+				out[0].Delay = pause
+			}
+			return out
+		})
+		return ap
+	}
+}
+
+// InertRSTID is the IP identification value stamped on inert RSTs emitted
+// by the TTL-limited RST flushing techniques.
+const InertRSTID = 0xBEEF
+
+func passAll(pkts []*packet.Packet) []stack.Scheduled {
+	out := make([]stack.Scheduled, len(pkts))
+	for i, p := range pkts {
+		out[i] = stack.Scheduled{Pkt: p}
+	}
+	return out
+}

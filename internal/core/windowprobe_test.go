@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dpi"
+	"repro/internal/netem"
+	"repro/internal/netem/packet"
+	"repro/internal/netem/vclock"
+	"repro/internal/trace"
+)
+
+// windowNetwork builds a shaper with the given inspection window
+// parameters (packet- or byte-limited).
+func windowNetwork(windowPackets, windowBytes int) *dpi.Network {
+	clock := vclock.New()
+	env := netem.New(clock, dpi.DefaultClientAddr, dpi.DefaultServerAddr)
+	cfg := dpi.Config{
+		Name:  "window-probe",
+		Rules: []dpi.Rule{dpi.NewRule("video", dpi.FamilyAny, dpi.MatchC2S, "cloudfront.net")},
+		Mode:  dpi.InspectWindow, WindowPackets: windowPackets, WindowBytes: windowBytes,
+		Reassembly:     dpi.ReassembleNone,
+		RequireSYN:     true,
+		MatchAndForget: true,
+		Seed:           21,
+		Policies: map[string]dpi.Policy{
+			"video": {ThrottleBps: 1.5e6, ThrottleBurst: 32 << 10},
+		},
+	}
+	mb := dpi.NewMiddlebox(cfg)
+	env.Append(&netem.Hop{Label: "hop1", Addr: packet.AddrFrom("10.9.1.1"), EmitICMP: true})
+	env.Append(mb)
+	env.Append(&netem.Pipe{Label: "link", RateBps: 12e6})
+	env.Append(&netem.Hop{Label: "hop2", Addr: packet.AddrFrom("10.9.2.1"), EmitICMP: true})
+	return &dpi.Network{Name: "window-probe", Clock: clock, Env: env, MB: mb, MiddleboxHops: 1, TotalHops: 2}
+}
+
+func TestProbeDistinguishesPacketVsByteLimits(t *testing.T) {
+	tr := trace.AmazonPrimeVideo(96 << 10)
+
+	// Packet-limited classifier (3 packets): prepending 3 MTU-sized OR 3
+	// one-byte packets pushes the GET out of the window.
+	t.Run("packet-limited", func(t *testing.T) {
+		net := windowNetwork(3, 0)
+		s := NewSession(net)
+		det := Detect(s, tr)
+		if !det.Differentiated {
+			t.Fatal("no differentiation")
+		}
+		char := Characterize(s, tr, det)
+		if !char.WindowLimited {
+			t.Fatal("window not detected")
+		}
+		if !char.PacketCountBased {
+			t.Fatal("packet-count basis missed: 1-byte prepends should also defeat it")
+		}
+	})
+
+	// Byte-limited classifier (4 KB): MTU-sized prepends exhaust the
+	// budget, but 1-byte prepends do not — the §5.1 discriminator.
+	t.Run("byte-limited", func(t *testing.T) {
+		net := windowNetwork(0, 4<<10)
+		s := NewSession(net)
+		det := Detect(s, tr)
+		if !det.Differentiated {
+			t.Fatal("no differentiation")
+		}
+		char := Characterize(s, tr, det)
+		if !char.WindowLimited {
+			t.Fatal("window not detected")
+		}
+		if char.PacketCountBased {
+			t.Fatal("byte-limited classifier misidentified as packet-count-based")
+		}
+	})
+}
+
+func TestByteLimitedWindowMechanism(t *testing.T) {
+	// Directly: content beyond the byte budget is invisible.
+	net := windowNetwork(0, 64)
+	s := NewSession(net)
+	padded := trace.AmazonPrimeVideo(16 << 10)
+	// 100 bytes of dummy as the first write pushes the GET past 64 bytes.
+	padded.Messages = append([]trace.Message{
+		{Dir: trace.ClientToServer, Data: dummyBytes(1, 100)},
+	}, padded.Messages...)
+	res := s.Replay(padded, nil)
+	if res.GroundTruthClass != "" {
+		t.Fatalf("content beyond the byte window classified: %q", res.GroundTruthClass)
+	}
+	// Within budget it fires.
+	net2 := windowNetwork(0, 64)
+	s2 := NewSession(net2)
+	res2 := s2.Replay(trace.AmazonPrimeVideo(16<<10), nil)
+	if res2.GroundTruthClass != "video" {
+		t.Fatalf("in-window content not classified: %q", res2.GroundTruthClass)
+	}
+}

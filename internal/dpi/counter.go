@@ -1,0 +1,84 @@
+package dpi
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/netem/packet"
+	"repro/internal/netem/vclock"
+)
+
+// UsageCounter models the cellular subscriber data counter lib·erate reads
+// to detect zero-rating on T-Mobile (§6.2). It sits on the client side of
+// the path and counts every byte of non-zero-rated traffic in both
+// directions, consulting the middlebox for the flow's current class.
+//
+// Readings are deliberately imperfect, as the paper reports: "the counter
+// may either be slightly out of date, or include data from background
+// traffic" — modeled as a background-traffic accrual plus jitter. The
+// paper found ≥200 KB replays were needed for reliable inference; the
+// characterizer has to rediscover that.
+type UsageCounter struct {
+	Label string
+	MB    *Middlebox
+	Clock *vclock.Clock
+
+	// BackgroundBps is background-traffic accrual contaminating readings.
+	BackgroundBps float64
+	// JitterBytes is the max absolute reading jitter.
+	JitterBytes int64
+	Seed        int64
+
+	bytes int64
+	start time.Time
+	rng   *rand.Rand
+}
+
+// Name implements netem.Element.
+func (u *UsageCounter) Name() string { return u.Label }
+
+// Process implements netem.Element.
+func (u *UsageCounter) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
+	if u.start.IsZero() {
+		u.start = ctx.Now()
+	}
+	p, _ := packet.Inspect(raw)
+	key := p.Flow()
+	if dir == netem.ToClient {
+		key = key.Reverse()
+	}
+	if u.MB == nil || !u.MB.IsZeroRated(key) {
+		u.bytes += int64(len(raw))
+	}
+	ctx.Forward(raw)
+}
+
+// Read returns the subscriber's counter value as the billing system would
+// report it: true bytes plus background accrual plus jitter.
+func (u *UsageCounter) Read() int64 {
+	if u.rng == nil {
+		u.rng = rand.New(rand.NewSource(u.Seed ^ 0xc0de))
+	}
+	v := u.bytes
+	if u.Clock != nil && !u.start.IsZero() {
+		elapsed := u.Clock.Now().Sub(u.start).Seconds()
+		v += int64(elapsed * u.BackgroundBps / 8)
+	}
+	if u.JitterBytes > 0 {
+		v += u.rng.Int63n(2*u.JitterBytes+1) - u.JitterBytes
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// TrueBytes exposes the exact counted bytes (test ground truth only).
+func (u *UsageCounter) TrueBytes() int64 { return u.bytes }
+
+// Reset clears the counter (new accounting period).
+func (u *UsageCounter) Reset() {
+	u.bytes = 0
+	u.start = time.Time{}
+}

@@ -1,0 +1,659 @@
+package dpi
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/netem/packet"
+)
+
+// Event is one classification action, exposed for the testbed environment
+// where "the middlebox shows the result of classification immediately"
+// (§6.1) and for experiment ground truth.
+type Event struct {
+	At     time.Time
+	Flow   packet.FlowKey // client orientation
+	Class  string
+	Action string // "classify", "block", "blacklist", "flush"
+}
+
+// Middlebox is the DPI classifier as an in-path element.
+type Middlebox struct {
+	Label string
+	Cfg   Config
+
+	rng       *rand.Rand
+	flows     map[packet.FlowKey]*mbFlow
+	blacklist map[hostPort]time.Time
+	blCount   map[hostPort]int
+	shapers   map[string]*shaper
+	events    []Event
+	reasm     *packet.Reassembler
+}
+
+type hostPort struct {
+	addr packet.Addr
+	port uint16
+}
+
+type mbFlow struct {
+	clientKey packet.FlowKey
+	sawSYN    bool
+	dead      bool
+	class     string
+	lastSeen  time.Time
+	timeout   time.Duration // effective idle timeout (0 = config default)
+
+	inspected      [2]int // payload packets inspected, per direction
+	inspectedBytes [2]int // payload bytes inspected, per direction
+	gateChecked    [2]bool
+	families       map[Family]bool
+	stream         [2][]byte
+	expSeq         [2]uint32
+	expValid       [2]bool
+	ooo            [2]map[uint32][]byte
+}
+
+// NewMiddlebox builds a classifier element from a config.
+func NewMiddlebox(cfg Config) *Middlebox {
+	return &Middlebox{
+		Label:     cfg.Name,
+		Cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		flows:     make(map[packet.FlowKey]*mbFlow),
+		blacklist: make(map[hostPort]time.Time),
+		blCount:   make(map[hostPort]int),
+		shapers:   make(map[string]*shaper),
+		reasm:     packet.NewReassembler(),
+	}
+}
+
+// Name implements netem.Element.
+func (m *Middlebox) Name() string { return m.Label }
+
+// Events returns the classification log.
+func (m *Middlebox) Events() []Event { return m.events }
+
+// ResetState clears all flow, blacklist, and event state (between
+// experiments). Configuration is retained.
+func (m *Middlebox) ResetState() {
+	m.flows = make(map[packet.FlowKey]*mbFlow)
+	m.blacklist = make(map[hostPort]time.Time)
+	m.blCount = make(map[hostPort]int)
+	m.shapers = make(map[string]*shaper)
+	m.events = nil
+	m.reasm.Flush()
+}
+
+// FlowClass reports the current classification of the flow with the given
+// client-orientation key ("" = unclassified). Ground truth for tests and
+// the testbed environment.
+func (m *Middlebox) FlowClass(clientKey packet.FlowKey) string {
+	ck, _ := clientKey.Canonical()
+	if f, ok := m.flows[ck]; ok {
+		return f.class
+	}
+	return ""
+}
+
+// IsZeroRated reports whether the flow is currently classified into a
+// zero-rated class; the subscriber usage counter consults this.
+func (m *Middlebox) IsZeroRated(key packet.FlowKey) bool {
+	ck, _ := key.Canonical()
+	f, ok := m.flows[ck]
+	if !ok || f.class == "" {
+		return false
+	}
+	return m.Cfg.Policies[f.class].ZeroRate
+}
+
+// Process implements netem.Element.
+func (m *Middlebox) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
+	if len(raw) < 20 {
+		ctx.Forward(raw)
+		return
+	}
+	p, defects := packet.Inspect(raw)
+
+	// Wrong-protocol reinterpretation quirk (testbed, note 1): try to read
+	// unknown-protocol packets as TCP.
+	if defects.Has(packet.DefectIPProtocol) && m.Cfg.ParseWrongProtoAsTCP && len(p.Payload) >= 20 {
+		patched := append([]byte(nil), raw...)
+		patched[9] = packet.ProtoTCP
+		if q, qd := packet.Inspect(patched); q.TCP != nil {
+			p, defects = q, qd.Add(packet.DefectIPProtocol)
+		}
+	}
+
+	// Blacklist enforcement precedes everything (GFC residual blocking).
+	if m.enforceBlacklist(ctx, dir, p) {
+		return
+	}
+
+	m.inspectPacket(ctx, dir, p, defects, raw)
+	m.forward(ctx, dir, p, raw)
+}
+
+// ---- inspection ----------------------------------------------------------
+
+func (m *Middlebox) inspectPacket(ctx *netem.Context, dir netem.Direction, p *packet.Packet, defects packet.DefectSet, raw []byte) {
+	serverPort := m.serverPort(dir, p)
+	if !m.Cfg.inspectsPort(serverPort) {
+		return
+	}
+	if p.UDP != nil && !m.Cfg.ClassifyUDP {
+		return
+	}
+	if p.ICMP != nil {
+		return
+	}
+	// Fragments.
+	if p.IP.FragOffset != 0 || p.IP.MoreFragments() {
+		if m.Cfg.ReassembleFragments {
+			whole, done := m.reasm.Add(raw)
+			if !done {
+				return
+			}
+			q, qd := packet.Inspect(whole)
+			if q.IP.FragOffset != 0 || q.IP.MoreFragments() {
+				return // reassembly could not produce a whole datagram
+			}
+			m.inspectPacket(ctx, dir, q, qd, whole)
+			return
+		}
+		if p.IP.FragOffset != 0 {
+			return // cannot even associate a flow without ports
+		}
+		// First fragment: fall through and inspect its visible payload.
+	}
+	// Validation: checked defects make the packet invisible to the
+	// classifier.
+	if defects.Intersects(m.Cfg.ValidatedDefects) {
+		return
+	}
+
+	if m.Cfg.Mode == InspectPerPacket {
+		m.inspectStateless(ctx, dir, p, serverPort)
+		return
+	}
+
+	f := m.flowFor(ctx, dir, p)
+	if f == nil {
+		return
+	}
+	now := ctx.Now()
+	f.lastSeen = now
+	di := 0
+	if dir == netem.ToClient {
+		di = 1
+	}
+
+	if p.TCP != nil && p.TCP.Flags.Has(packet.FlagRST) {
+		m.onRST(f)
+		return
+	}
+	if f.dead {
+		return
+	}
+	// Handshake packets seed the expected sequence state so that a
+	// wrong-sequence first data packet cannot poison a seq-tracking
+	// classifier.
+	if p.TCP != nil && p.TCP.Flags.Has(packet.FlagSYN) {
+		f.expSeq[di] = p.TCP.Seq + 1
+		f.expValid[di] = true
+	}
+	if m.Cfg.RequireSYN && p.TCP != nil && !f.sawSYN {
+		return
+	}
+	if f.class != "" && m.Cfg.MatchAndForget {
+		return
+	}
+	payload := p.Payload
+	if len(payload) == 0 {
+		return
+	}
+	if m.Cfg.Mode == InspectWindow {
+		if m.Cfg.WindowBytes > 0 {
+			if f.inspectedBytes[di] >= m.Cfg.WindowBytes {
+				return
+			}
+		} else if f.inspected[di] >= m.Cfg.WindowPackets {
+			return
+		}
+	}
+
+	// Sequence handling.
+	if m.Cfg.TrackSeq && p.TCP != nil {
+		if !f.expValid[di] {
+			f.expSeq[di] = p.TCP.Seq
+			f.expValid[di] = true
+		}
+		if !inWindow32(p.TCP.Seq, f.expSeq[di], 65535) && !inWindowTail(p.TCP.Seq, uint32(len(payload)), f.expSeq[di]) {
+			return // out-of-window: invisible to a seq-tracking classifier
+		}
+	}
+
+	f.inspected[di]++
+	f.inspectedBytes[di] += len(payload)
+	idx := f.inspected[di] - 1
+
+	var inspectBuf []byte
+	switch m.Cfg.Reassembly {
+	case ReassembleNone:
+		inspectBuf = payload
+	case ReassembleArrival:
+		f.stream[di] = appendCapped(f.stream[di], payload, m.streamCap())
+		inspectBuf = f.stream[di]
+	case ReassembleSeq:
+		if p.TCP != nil {
+			m.seqInsert(f, di, p.TCP.Seq, payload)
+		} else {
+			f.stream[di] = appendCapped(f.stream[di], payload, m.streamCap())
+		}
+		inspectBuf = f.stream[di]
+	}
+
+	// Protocol gate: for per-packet and arrival-order classifiers the gate
+	// is judged on the first inspected c2s payload packet; for
+	// sequence-reassembling classifiers it is judged on the contiguous
+	// stream head once at least 4 bytes have arrived (so reordering alone
+	// cannot blind the gate).
+	if di == 0 && !f.gateChecked[0] {
+		var head []byte
+		eval := false
+		if m.Cfg.Reassembly == ReassembleSeq && p.TCP != nil {
+			if len(f.stream[0]) >= 4 {
+				head, eval = f.stream[0], true
+			}
+		} else {
+			head, eval = payload, true
+		}
+		if eval {
+			f.gateChecked[0] = true
+			for _, fam := range []Family{FamilyHTTP, FamilyTLS, FamilySTUN} {
+				ok := RecognizeFamily(fam, head)
+				if !ok && !m.Cfg.GateStrict && m.Cfg.Reassembly != ReassembleSeq {
+					ok = FamilyViable(fam, head)
+				}
+				if ok {
+					f.families[fam] = true
+				}
+			}
+		}
+	}
+
+	for i := range m.Cfg.Rules {
+		r := &m.Cfg.Rules[i]
+		if f.class != "" && m.Cfg.MatchAndForget {
+			break
+		}
+		if !m.ruleApplies(r, dirIdxToMatchDir(di), serverPort) {
+			continue
+		}
+		if m.Cfg.FirstPacketGate && r.Family != FamilyAny && !f.families[r.Family] {
+			continue
+		}
+		if r.AnchorPacket >= 0 && m.Cfg.Reassembly == ReassembleNone && idx != r.AnchorPacket {
+			continue
+		}
+		if r.MatchBytes(inspectBuf) {
+			m.classify(ctx, dir, f, r.Class, p)
+		}
+	}
+}
+
+// inspectStateless implements Iran's per-packet matcher: every packet is
+// judged in isolation, forever, with no flow state.
+func (m *Middlebox) inspectStateless(ctx *netem.Context, dir netem.Direction, p *packet.Packet, serverPort uint16) {
+	if len(p.Payload) == 0 {
+		return
+	}
+	di := 0
+	if dir == netem.ToClient {
+		di = 1
+	}
+	for i := range m.Cfg.Rules {
+		r := &m.Cfg.Rules[i]
+		if !m.ruleApplies(r, dirIdxToMatchDir(di), serverPort) {
+			continue
+		}
+		if r.MatchBytes(p.Payload) {
+			m.actStateless(ctx, dir, p, r.Class)
+		}
+	}
+}
+
+func (m *Middlebox) ruleApplies(r *Rule, d MatchDir, serverPort uint16) bool {
+	if !r.AppliesToPort(serverPort) {
+		return false
+	}
+	switch r.Dir {
+	case MatchEither:
+		return true
+	default:
+		return r.Dir == d
+	}
+}
+
+func dirIdxToMatchDir(di int) MatchDir {
+	if di == 0 {
+		return MatchC2S
+	}
+	return MatchS2C
+}
+
+func (m *Middlebox) streamCap() int {
+	if m.Cfg.StreamCap > 0 {
+		return m.Cfg.StreamCap
+	}
+	return 16 << 10
+}
+
+func appendCapped(buf, data []byte, cap_ int) []byte {
+	buf = append(buf, data...)
+	if len(buf) > cap_ {
+		buf = buf[:cap_]
+	}
+	return buf
+}
+
+// seqInsert performs first-copy-wins sequence-ordered reassembly into
+// f.stream[di].
+func (m *Middlebox) seqInsert(f *mbFlow, di int, seq uint32, payload []byte) {
+	if !f.expValid[di] {
+		f.expSeq[di] = seq
+		f.expValid[di] = true
+	}
+	if f.ooo[di] == nil {
+		f.ooo[di] = make(map[uint32][]byte)
+	}
+	switch {
+	case seq == f.expSeq[di]:
+		f.stream[di] = appendCapped(f.stream[di], payload, m.streamCap())
+		f.expSeq[di] += uint32(len(payload))
+	case inWindow32(seq, f.expSeq[di], 65535):
+		if _, dup := f.ooo[di][seq]; !dup {
+			f.ooo[di][seq] = append([]byte(nil), payload...)
+		}
+	case inWindowTail(seq, uint32(len(payload)), f.expSeq[di]):
+		// Overlapping retransmission: first copy wins; accept only the
+		// genuinely new tail.
+		tail := payload[f.expSeq[di]-seq:]
+		f.stream[di] = appendCapped(f.stream[di], tail, m.streamCap())
+		f.expSeq[di] += uint32(len(tail))
+	default:
+		return
+	}
+	drainOOO(f.ooo[di], &f.stream[di], &f.expSeq[di], m.streamCap())
+}
+
+func inWindow32(seq, base, win uint32) bool { return seq-base < win }
+
+// inWindowTail reports whether [seq, seq+l) overlaps base from the left.
+func inWindowTail(seq, l, base uint32) bool {
+	return seq-base >= 1<<31 && seq+l-base < 1<<31 && seq+l != base
+}
+
+// ---- flow state ----------------------------------------------------------
+
+func (m *Middlebox) serverPort(dir netem.Direction, p *packet.Packet) uint16 {
+	k := p.Flow()
+	if dir == netem.ToServer {
+		return k.DstPort
+	}
+	return k.SrcPort
+}
+
+func (m *Middlebox) clientKey(dir netem.Direction, p *packet.Packet) packet.FlowKey {
+	k := p.Flow()
+	if dir == netem.ToClient {
+		k = k.Reverse()
+	}
+	return k
+}
+
+// flowFor fetches or creates flow state, applying idle/load eviction.
+func (m *Middlebox) flowFor(ctx *netem.Context, dir netem.Direction, p *packet.Packet) *mbFlow {
+	clientKey := m.clientKey(dir, p)
+	ck, _ := clientKey.Canonical()
+	now := ctx.Now()
+	f, ok := m.flows[ck]
+	if ok {
+		idle := now.Sub(f.lastSeen)
+		evict := false
+		to := f.timeout
+		if to == 0 {
+			to = m.Cfg.FlowTimeout
+		}
+		if to > 0 && idle > to {
+			evict = true
+		}
+		if !evict && m.Cfg.Load != nil && idle > 0 {
+			if m.rng.Float64() < m.Cfg.Load.EvictProb(ctx.HourOfDay(), idle) {
+				evict = true
+			}
+		}
+		if evict {
+			m.events = append(m.events, Event{At: now, Flow: f.clientKey, Class: f.class, Action: "flush"})
+			delete(m.flows, ck)
+			ok = false
+		}
+	}
+	if !ok {
+		isSYN := p.TCP != nil && p.TCP.Flags.Has(packet.FlagSYN) && !p.TCP.Flags.Has(packet.FlagACK) && dir == netem.ToServer
+		f = &mbFlow{
+			clientKey: clientKey,
+			sawSYN:    isSYN || p.TCP == nil,
+			lastSeen:  now,
+			families:  make(map[Family]bool),
+		}
+		m.flows[ck] = f
+	} else if p.TCP != nil && p.TCP.Flags.Has(packet.FlagSYN) && !p.TCP.Flags.Has(packet.FlagACK) && dir == netem.ToServer {
+		// Fresh handshake on a stale tuple: restart the flow record.
+		nf := &mbFlow{clientKey: clientKey, sawSYN: true, lastSeen: now, families: make(map[Family]bool)}
+		m.flows[ck] = nf
+		return nf
+	}
+	return f
+}
+
+func (m *Middlebox) onRST(f *mbFlow) {
+	switch m.Cfg.RST {
+	case RSTIgnored:
+	case RSTKillsFlow:
+		f.dead = true
+		if f.class != "" {
+			m.events = append(m.events, Event{Flow: f.clientKey, Class: f.class, Action: "flush"})
+		}
+		f.class = ""
+	case RSTShortensTimeout:
+		f.timeout = m.Cfg.RSTTimeout
+	case RSTKillsUnclassifiedOnly:
+		if f.class == "" {
+			f.dead = true
+		}
+	}
+}
+
+// ---- actions -------------------------------------------------------------
+
+func (m *Middlebox) classify(ctx *netem.Context, dir netem.Direction, f *mbFlow, class string, trigger *packet.Packet) {
+	if f.class == class {
+		return
+	}
+	f.class = class
+	m.events = append(m.events, Event{At: ctx.Now(), Flow: f.clientKey, Class: class, Action: "classify"})
+	pol := m.Cfg.Policies[class]
+	if pol.Block {
+		m.injectBlock(ctx, dir, trigger, pol)
+		m.events = append(m.events, Event{At: ctx.Now(), Flow: f.clientKey, Class: class, Action: "block"})
+		hp := hostPort{addr: f.clientKey.Dst, port: f.clientKey.DstPort}
+		if pol.BlacklistAfter > 0 {
+			m.blCount[hp]++
+			if m.blCount[hp] >= pol.BlacklistAfter {
+				m.blacklist[hp] = ctx.Now().Add(pol.BlacklistFor)
+				m.events = append(m.events, Event{At: ctx.Now(), Flow: f.clientKey, Class: class, Action: "blacklist"})
+			}
+		}
+	}
+}
+
+func (m *Middlebox) actStateless(ctx *netem.Context, dir netem.Direction, trigger *packet.Packet, class string) {
+	m.events = append(m.events, Event{At: ctx.Now(), Flow: m.clientKey(dir, trigger), Class: class, Action: "block"})
+	pol := m.Cfg.Policies[class]
+	if pol.Block {
+		m.injectBlock(ctx, dir, trigger, pol)
+	}
+}
+
+// injectBlock forges the censor's teardown packets, sequenced off the
+// triggering packet so endpoints accept them.
+func (m *Middlebox) injectBlock(ctx *netem.Context, dir netem.Direction, trigger *packet.Packet, pol Policy) {
+	if trigger.TCP == nil {
+		return
+	}
+	t := trigger.TCP
+	var clientAddr, serverAddr packet.Addr
+	var clientPort, serverPort uint16
+	var cliSeq, srvSeq uint32
+	if dir == netem.ToServer {
+		clientAddr, serverAddr = trigger.IP.Src, trigger.IP.Dst
+		clientPort, serverPort = t.SrcPort, t.DstPort
+		srvSeq = t.Seq + uint32(len(trigger.Payload)) // forged "from client" seq
+		cliSeq = t.Ack                                // forged "from server" seq
+	} else {
+		clientAddr, serverAddr = trigger.IP.Dst, trigger.IP.Src
+		clientPort, serverPort = t.DstPort, t.SrcPort
+		srvSeq = t.Ack
+		cliSeq = t.Seq + uint32(len(trigger.Payload))
+	}
+
+	if pol.BlockPage403 {
+		page := blockPage()
+		bp := packet.NewTCP(serverAddr, clientAddr, serverPort, clientPort, cliSeq, srvSeq, packet.FlagACK|packet.FlagPSH, page)
+		ctx.SendToClient(bp.Serialize())
+		cliSeq += uint32(len(page))
+	}
+	n := pol.BlockRSTs
+	if n <= 0 {
+		n = 1
+	}
+	if pol.BlockRSTs >= 3 {
+		// The GFC sends 3–5 RSTs; vary deterministically.
+		n = pol.BlockRSTs + m.rng.Intn(3)
+	}
+	for i := 0; i < n; i++ {
+		rstC := packet.NewTCP(serverAddr, clientAddr, serverPort, clientPort, cliSeq, srvSeq, packet.FlagRST|packet.FlagACK, nil)
+		ctx.SendToClient(rstC.Serialize())
+	}
+	rstS := packet.NewTCP(clientAddr, serverAddr, clientPort, serverPort, srvSeq, cliSeq, packet.FlagRST|packet.FlagACK, nil)
+	ctx.SendToServer(rstS.Serialize())
+}
+
+func (m *Middlebox) enforceBlacklist(ctx *netem.Context, dir netem.Direction, p *packet.Packet) bool {
+	if len(m.blacklist) == 0 || p.TCP == nil {
+		return false
+	}
+	var hp hostPort
+	if dir == netem.ToServer {
+		hp = hostPort{addr: p.IP.Dst, port: p.TCP.DstPort}
+	} else {
+		hp = hostPort{addr: p.IP.Src, port: p.TCP.SrcPort}
+	}
+	until, ok := m.blacklist[hp]
+	if !ok {
+		return false
+	}
+	if ctx.Now().After(until) {
+		delete(m.blacklist, hp)
+		delete(m.blCount, hp)
+		return false
+	}
+	if dir == netem.ToServer {
+		rst := packet.NewTCP(hp.addr, p.IP.Src, p.TCP.DstPort, p.TCP.SrcPort, p.TCP.Ack, p.TCP.Seq+uint32(len(p.Payload)), packet.FlagRST|packet.FlagACK, nil)
+		ctx.SendToClient(rst.Serialize())
+	}
+	return true
+}
+
+// ---- forwarding & policy -------------------------------------------------
+
+func (m *Middlebox) forward(ctx *netem.Context, dir netem.Direction, p *packet.Packet, raw []byte) {
+	class := ""
+	if m.Cfg.Mode != InspectPerPacket {
+		ck, _ := m.clientKey(dir, p).Canonical()
+		if f, ok := m.flows[ck]; ok {
+			class = f.class
+		}
+	}
+	if class == "" {
+		ctx.Forward(raw)
+		return
+	}
+	pol := m.Cfg.Policies[class]
+	if pol.ThrottleBps > 0 {
+		sh := m.shapers[class]
+		if sh == nil {
+			sh = newShaper(pol.ThrottleBps, pol.ThrottleBurst)
+			m.shapers[class] = sh
+		}
+		d := sh.delay(ctx.Now(), len(raw))
+		if d > 0 {
+			buf := raw
+			ctx.Schedule(d, func() { ctx.Forward(buf) })
+			return
+		}
+	}
+	ctx.Forward(raw)
+}
+
+// blockPage renders Iran's unsolicited 403 (kept local to avoid an
+// appproto dependency cycle; content mirrors appproto.BlockPage403).
+func blockPage() []byte {
+	body := "<html><head><title>403 Forbidden</title></head><body>M14.8</body></html>"
+	head := fmt.Sprintf("HTTP/1.1 403 Forbidden\r\nContent-Type: text/html\r\nContent-Length: %d\r\n\r\n", len(body))
+	return append([]byte(head), body...)
+}
+
+// shaper is a token bucket.
+type shaper struct {
+	rate   float64 // bytes/sec
+	burst  float64
+	tokens float64
+	last   time.Time
+	// nextFree serializes queued packets so ordering is preserved.
+	nextFree time.Time
+}
+
+func newShaper(bps float64, burstBytes int) *shaper {
+	if burstBytes <= 0 {
+		burstBytes = 48 << 10
+	}
+	return &shaper{rate: bps / 8, burst: float64(burstBytes), tokens: float64(burstBytes)}
+}
+
+// delay returns how long a packet of n bytes must wait.
+func (s *shaper) delay(now time.Time, n int) time.Duration {
+	if s.last.IsZero() {
+		s.last = now
+	}
+	s.tokens += now.Sub(s.last).Seconds() * s.rate
+	if s.tokens > s.burst {
+		s.tokens = s.burst
+	}
+	s.last = now
+	s.tokens -= float64(n)
+	var d time.Duration
+	if s.tokens < 0 {
+		d = time.Duration(-s.tokens / s.rate * float64(time.Second))
+	}
+	at := now.Add(d)
+	if at.Before(s.nextFree) {
+		at = s.nextFree
+		d = at.Sub(now)
+	}
+	s.nextFree = at
+	return d
+}

@@ -1,0 +1,291 @@
+package dpi
+
+import (
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/netem/packet"
+)
+
+// TransparentProxy models AT&T Stream Saver (§6.3): a connection-
+// terminating transparent HTTP proxy on port 80. It validates and
+// normalizes everything — reassembling each direction's byte stream and
+// re-emitting it as clean, in-order segments — so no packet-level evasion
+// technique survives it. Classification runs over the reassembled streams
+// (request keywords plus the response Content-Type), and classified flows
+// are throttled. Traffic to any other port bypasses it entirely, which is
+// why simply changing the server port evades Stream Saver.
+type TransparentProxy struct {
+	Label string
+	// Ports the proxy intercepts (AT&T: 80 only).
+	Ports []uint16
+	// Rules are evaluated over the reassembled streams.
+	Rules []Rule
+	// FirstPacketGate requires the client stream to open with a recognized
+	// protocol before rules fire (why server-assisted dummy-prepending
+	// evades even AT&T).
+	FirstPacketGate bool
+	// ThrottleBps shapes the response direction of classified flows.
+	ThrottleBps   float64
+	ThrottleBurst int
+
+	flows map[packet.FlowKey]*proxyFlow
+}
+
+type proxyFlow struct {
+	class       string
+	gateChecked bool
+	families    map[Family]bool
+	// Per direction (0 = c2s, 1 = s2c) stream state.
+	exp       [2]uint32
+	expValid  [2]bool
+	forwarded [2]uint32 // stream offset already re-emitted
+	ooo       [2]map[uint32][]byte
+	stream    [2][]byte
+	shaper    *shaper
+}
+
+// Name implements netem.Element.
+func (x *TransparentProxy) Name() string { return x.Label }
+
+// Intercepts reports whether the proxy terminates flows to this port.
+func (x *TransparentProxy) Intercepts(port uint16) bool {
+	for _, p := range x.Ports {
+		if p == port {
+			return true
+		}
+	}
+	return false
+}
+
+// FlowClass exposes classification ground truth.
+func (x *TransparentProxy) FlowClass(clientKey packet.FlowKey) string {
+	ck, _ := clientKey.Canonical()
+	if f, ok := x.flows[ck]; ok {
+		return f.class
+	}
+	return ""
+}
+
+// ResetState clears per-flow state.
+func (x *TransparentProxy) ResetState() { x.flows = nil }
+
+// Process implements netem.Element.
+func (x *TransparentProxy) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
+	p, defects := packet.Inspect(raw)
+	if p.TCP == nil {
+		// Non-TCP traffic is not proxied.
+		if defects.Empty() {
+			ctx.Forward(raw)
+		}
+		return
+	}
+	serverPort := p.TCP.DstPort
+	if dir == netem.ToClient {
+		serverPort = p.TCP.SrcPort
+	}
+	if !x.Intercepts(serverPort) {
+		ctx.Forward(raw)
+		return
+	}
+	// A terminating proxy accepts nothing malformed.
+	if !defects.Empty() {
+		return
+	}
+	if x.flows == nil {
+		x.flows = make(map[packet.FlowKey]*proxyFlow)
+	}
+	key := p.Flow()
+	if dir == netem.ToClient {
+		key = key.Reverse()
+	}
+	ck, _ := key.Canonical()
+	f := x.flows[ck]
+	t := p.TCP
+
+	if t.Flags.Has(packet.FlagSYN) && !t.Flags.Has(packet.FlagACK) {
+		f = &proxyFlow{families: make(map[Family]bool)}
+		f.exp[0] = t.Seq + 1
+		f.expValid[0] = true
+		x.flows[ck] = f
+		ctx.Forward(raw)
+		return
+	}
+	if f == nil {
+		// Mid-stream traffic the proxy has no state for is dropped: a
+		// terminating proxy cannot adopt a connection it never saw open.
+		return
+	}
+	di := 0
+	if dir == netem.ToClient {
+		di = 1
+	}
+	if t.Flags.Has(packet.FlagSYN) && t.Flags.Has(packet.FlagACK) {
+		f.exp[1] = t.Seq + 1
+		f.expValid[1] = true
+		ctx.Forward(raw)
+		return
+	}
+	if t.Flags.Has(packet.FlagRST) {
+		ctx.Forward(raw)
+		return
+	}
+
+	if len(p.Payload) > 0 {
+		x.ingest(f, di, t.Seq, p.Payload)
+		x.classifyStreams(f, serverPort)
+		x.drain(ctx, dir, f, di, p)
+	}
+	if len(p.Payload) == 0 || t.Flags.Has(packet.FlagFIN) {
+		// Pure ACKs and FINs pass through once their sequence numbers are
+		// consistent with the normalized stream position.
+		if t.Seq == f.exp[di] || len(p.Payload) == 0 {
+			ctx.Forward(raw)
+		}
+	}
+}
+
+// ingest adds payload to the direction's reassembly, first copy wins.
+func (x *TransparentProxy) ingest(f *proxyFlow, di int, seq uint32, payload []byte) {
+	if f.ooo[di] == nil {
+		f.ooo[di] = make(map[uint32][]byte)
+	}
+	if !f.expValid[di] {
+		f.exp[di] = seq
+		f.expValid[di] = true
+	}
+	const win = 1 << 17
+	switch {
+	case seq == f.exp[di]:
+		f.stream[di] = append(f.stream[di], payload...)
+		f.exp[di] += uint32(len(payload))
+	case seq-f.exp[di] < win:
+		if _, dup := f.ooo[di][seq]; !dup {
+			f.ooo[di][seq] = append([]byte(nil), payload...)
+		}
+	case f.exp[di]-seq < win && seq+uint32(len(payload))-f.exp[di] < win && seq+uint32(len(payload)) != f.exp[di]:
+		tail := payload[f.exp[di]-seq:]
+		f.stream[di] = append(f.stream[di], tail...)
+		f.exp[di] += uint32(len(tail))
+	default:
+		return
+	}
+	drainOOO(f.ooo[di], &f.stream[di], &f.exp[di], 0)
+}
+
+// drainOOO integrates buffered out-of-order segments into the contiguous
+// stream, including segments that partially overlap the head (their new
+// tail is kept, matching first-copy-wins semantics). cap_ of 0 means no
+// stream cap.
+func drainOOO(ooo map[uint32][]byte, stream *[]byte, exp *uint32, cap_ int) {
+	for {
+		if next, ok := ooo[*exp]; ok {
+			delete(ooo, *exp)
+			*stream = appendMaybeCapped(*stream, next, cap_)
+			*exp += uint32(len(next))
+			continue
+		}
+		// Look for a buffered segment overlapping the head from the left.
+		found := false
+		for seq, data := range ooo {
+			if *exp-seq < 1<<17 && seq+uint32(len(data))-*exp < 1<<17 && seq+uint32(len(data)) != *exp {
+				tail := data[*exp-seq:]
+				delete(ooo, seq)
+				*stream = appendMaybeCapped(*stream, tail, cap_)
+				*exp += uint32(len(tail))
+				found = true
+				break
+			}
+		}
+		if !found {
+			return
+		}
+	}
+}
+
+func appendMaybeCapped(buf, data []byte, cap_ int) []byte {
+	buf = append(buf, data...)
+	if cap_ > 0 && len(buf) > cap_ {
+		buf = buf[:cap_]
+	}
+	return buf
+}
+
+func (x *TransparentProxy) classifyStreams(f *proxyFlow, serverPort uint16) {
+	if f.class != "" {
+		return
+	}
+	if !f.gateChecked && len(f.stream[0]) >= 4 {
+		f.gateChecked = true
+		for _, fam := range []Family{FamilyHTTP, FamilyTLS, FamilySTUN} {
+			if RecognizeFamily(fam, f.stream[0]) {
+				f.families[fam] = true
+			}
+		}
+	}
+	for i := range x.Rules {
+		r := &x.Rules[i]
+		if !r.AppliesToPort(serverPort) {
+			continue
+		}
+		if x.FirstPacketGate && r.Family != FamilyAny && !f.families[r.Family] {
+			continue
+		}
+		var buf []byte
+		switch r.Dir {
+		case MatchC2S:
+			buf = f.stream[0]
+		case MatchS2C:
+			buf = f.stream[1]
+		case MatchEither:
+			buf = append(append([]byte(nil), f.stream[0]...), f.stream[1]...)
+		}
+		if len(r.Keywords) > 0 && r.MatchBytes(buf) {
+			f.class = r.Class
+			break
+		}
+	}
+}
+
+// drain re-emits newly contiguous stream bytes as clean MTU segments with
+// regenerated headers — the proxy's own packets, not the client's.
+func (x *TransparentProxy) drain(ctx *netem.Context, dir netem.Direction, f *proxyFlow, di int, tmpl *packet.Packet) {
+	start := f.forwarded[di]
+	// Stream offsets are relative to the initial sequence number exp was
+	// seeded with; forwarded tracks how many stream bytes went out.
+	avail := uint32(len(f.stream[di]))
+	if start >= avail {
+		return
+	}
+	base := f.exp[di] - avail // sequence number of stream[0]
+	var delay time.Duration
+	if f.class != "" && x.ThrottleBps > 0 && di == 1 {
+		if f.shaper == nil {
+			f.shaper = newShaper(x.ThrottleBps, x.ThrottleBurst)
+		}
+	}
+	for off := start; off < avail; {
+		end := off + MSSu32
+		if end > avail {
+			end = avail
+		}
+		chunk := f.stream[di][off:end]
+		seg := packet.NewTCP(tmpl.IP.Src, tmpl.IP.Dst, tmpl.TCP.SrcPort, tmpl.TCP.DstPort,
+			base+off, tmpl.TCP.Ack, packet.FlagACK|packet.FlagPSH, chunk)
+		raw := seg.Serialize()
+		if f.shaper != nil && di == 1 {
+			delay = f.shaper.delay(ctx.Now(), len(raw))
+		}
+		if delay > 0 {
+			buf := raw
+			ctx.Schedule(delay, func() { ctx.Forward(buf) })
+		} else {
+			ctx.Forward(raw)
+		}
+		off = end
+	}
+	f.forwarded[di] = avail
+}
+
+// MSSu32 is the proxy's re-segmentation size.
+const MSSu32 = uint32(packet.MTU - 40)

@@ -1,0 +1,151 @@
+// Package dpi implements the middlebox side of the study: a configurable
+// deep-packet-inspection classifier framework whose mechanisms — keyword
+// rules, inspection windows, optional stream reassembly, packet validation,
+// flow-state timeouts, and enforcement policies — can be composed into
+// models of the paper's six evaluated networks (testbed, T-Mobile, AT&T,
+// the Great Firewall of China, Iran, Sprint).
+//
+// Crucially, the profiles encode *mechanisms*, not outcomes: lib·erate's
+// probing rediscovers Table 3's results from black-box behaviour rather
+// than reading any configuration.
+package dpi
+
+import "bytes"
+
+// MatchDir selects which direction's payload a rule inspects.
+type MatchDir int
+
+const (
+	// MatchC2S matches client→server payloads (the common case).
+	MatchC2S MatchDir = iota
+	// MatchS2C matches server→client payloads (AT&T's Content-Type rule).
+	MatchS2C
+	// MatchEither matches both directions.
+	MatchEither
+)
+
+// Family is the protocol family a rule belongs to. Classifiers that gate
+// rule evaluation on protocol recognition (testbed, T-Mobile, GFC) only
+// evaluate a family's rules once the flow's first payload matches the
+// family signature — which is why prepending a single dummy byte/packet
+// defeats them (§6.2, §6.5).
+type Family string
+
+// Recognized protocol families.
+const (
+	FamilyHTTP Family = "http"
+	FamilyTLS  Family = "tls"
+	FamilySTUN Family = "stun"
+	FamilyAny  Family = "any"
+)
+
+// RecognizeFamily reports whether data plausibly begins a flow of family f.
+func RecognizeFamily(f Family, data []byte) bool {
+	switch f {
+	case FamilyAny:
+		return true
+	case FamilyHTTP:
+		for _, m := range [][]byte{[]byte("GET "), []byte("POST "), []byte("HEAD "), []byte("PUT ")} {
+			if bytes.HasPrefix(data, m) {
+				return true
+			}
+		}
+		return false
+	case FamilyTLS:
+		return len(data) >= 3 && data[0] == 0x16 && data[1] == 0x03
+	case FamilySTUN:
+		return len(data) >= 8 &&
+			data[4] == 0x21 && data[5] == 0x12 && data[6] == 0xa4 && data[7] == 0x42
+	}
+	return false
+}
+
+// FamilyViable reports whether data could still become a flow of family f
+// once more bytes arrive — i.e. data is a prefix of (or extends) the
+// family signature. Lenient classifiers (T-Mobile) gate on viability, so a
+// 1-byte "G" first segment keeps the HTTP rules armed; strict classifiers
+// (the testbed) require the full signature in the first packet.
+func FamilyViable(f Family, data []byte) bool {
+	if RecognizeFamily(f, data) {
+		return true
+	}
+	prefixOf := func(sig []byte) bool {
+		if len(data) >= len(sig) {
+			return false
+		}
+		for i := range data {
+			if data[i] != sig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	switch f {
+	case FamilyAny:
+		return true
+	case FamilyHTTP:
+		for _, m := range [][]byte{[]byte("GET "), []byte("POST "), []byte("HEAD "), []byte("PUT ")} {
+			if prefixOf(m) {
+				return true
+			}
+		}
+	case FamilyTLS:
+		return prefixOf([]byte{0x16, 0x03})
+	case FamilySTUN:
+		return len(data) < 8 // cannot rule STUN out before the cookie
+	}
+	return false
+}
+
+// Rule is one traffic-classification rule: a conjunction of byte patterns
+// searched for in inspected payload.
+type Rule struct {
+	// Class is the label assigned on match (selects the policy).
+	Class string
+	// Family gates evaluation behind protocol recognition when the
+	// classifier has FirstPacketGate set.
+	Family Family
+	// Keywords must ALL be present in the inspected bytes.
+	Keywords [][]byte
+	// Dir selects the payload direction inspected.
+	Dir MatchDir
+	// Ports restricts the rule to specific server ports (nil = any port;
+	// Iran and AT&T only matched port 80).
+	Ports []uint16
+	// AnchorPacket, when >= 0, requires the match to occur within the
+	// payload of the AnchorPacket-th inspected data packet (0-based). The
+	// testbed's Skype rule matched only the first client packet.
+	AnchorPacket int
+}
+
+// AppliesToPort reports whether the rule covers server port p.
+func (r *Rule) AppliesToPort(p uint16) bool {
+	if len(r.Ports) == 0 {
+		return true
+	}
+	for _, q := range r.Ports {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// MatchBytes reports whether all keywords occur in data.
+func (r *Rule) MatchBytes(data []byte) bool {
+	for _, kw := range r.Keywords {
+		if !bytes.Contains(data, kw) {
+			return false
+		}
+	}
+	return true
+}
+
+// NewRule builds a rule with string keywords, anchored nowhere.
+func NewRule(class string, family Family, dir MatchDir, keywords ...string) Rule {
+	r := Rule{Class: class, Family: family, Dir: dir, AnchorPacket: -1}
+	for _, k := range keywords {
+		r.Keywords = append(r.Keywords, []byte(k))
+	}
+	return r
+}

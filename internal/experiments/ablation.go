@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dpi"
+	"repro/internal/trace"
+)
+
+// AblationPruning compares the evasion-evaluation probe budget with and
+// without the §5.2 pruning heuristics (DESIGN.md ablation 2).
+type AblationPruning struct {
+	Network          string
+	RoundsPruned     int
+	RoundsExhaustive int
+	SameBest         bool
+}
+
+// RunAblationPruning measures pruning effectiveness on the all-packets
+// classifier (Iran), where pruning pays off most.
+func RunAblationPruning() *AblationPruning {
+	tr := trace.FacebookWeb(8 << 10)
+	run := func(exhaustive bool) (int, string) {
+		net := dpi.NewIran()
+		s := core.NewSession(net)
+		det := core.Detect(s, tr)
+		char := core.Characterize(s, tr, det)
+		pre := s.Rounds
+		var ev *core.Evaluation
+		if exhaustive {
+			ev = core.EvaluateExhaustive(s, tr, det, char)
+		} else {
+			ev = core.Evaluate(s, tr, det, char)
+		}
+		best := ""
+		if b := ev.Best(); b != nil {
+			best = b.Technique.ID
+		}
+		return s.Rounds - pre, best
+	}
+	rp, bestP := run(false)
+	re, bestE := run(true)
+	return &AblationPruning{Network: "iran", RoundsPruned: rp, RoundsExhaustive: re, SameBest: bestP == bestE}
+}
+
+// Render prints the pruning ablation.
+func (a *AblationPruning) Render() string {
+	return fmt.Sprintf("Pruning ablation (%s): %d evaluation rounds pruned vs %d exhaustive (same best: %v)\n",
+		a.Network, a.RoundsPruned, a.RoundsExhaustive, a.SameBest)
+}
+
+// AblationBlinding compares bit-inversion against randomized payloads as
+// the characterization control (§4.1/§5.1: random bytes are sometimes
+// accidentally classified; inversion is deterministic).
+type AblationBlinding struct {
+	Trials              int
+	RandomFalsePositive int // randomized controls accidentally classified
+	InvertFalsePositive int
+}
+
+// RunAblationBlinding replays N randomized controls and N inverted
+// controls of a keyword-bearing trace against a classifier whose rule also
+// matches a short binary token, counting accidental classifications.
+func RunAblationBlinding(trials int) *AblationBlinding {
+	if trials <= 0 {
+		trials = 40
+	}
+	out := &AblationBlinding{Trials: trials}
+	// A classifier matching a 2-byte binary token (like the STUN attribute
+	// type 0x8055) is exactly the kind random payloads can trip.
+	tr := trace.SkypeCall(4, 1200)
+	for i := 0; i < trials; i++ {
+		net := dpi.NewTestbed()
+		s := core.NewSession(net)
+		r := s.Replay(tr.Randomize(int64(i)), nil)
+		if r.GroundTruthClass != "" {
+			out.RandomFalsePositive++
+		}
+		net2 := dpi.NewTestbed()
+		s2 := core.NewSession(net2)
+		r2 := s2.Replay(tr.Invert(), nil)
+		if r2.GroundTruthClass != "" {
+			out.InvertFalsePositive++
+		}
+	}
+	return out
+}
+
+// Render prints the blinding ablation.
+func (a *AblationBlinding) Render() string {
+	return fmt.Sprintf("Blinding ablation: accidental classification of controls — randomized %d/%d, bit-inverted %d/%d\n",
+		a.RandomFalsePositive, a.Trials, a.InvertFalsePositive, a.Trials)
+}
+
+// AblationSplit sweeps the split-variant strategy per network: which
+// variant (and thus how many segments) is the first to evade.
+type AblationSplit struct {
+	Results map[string]int // network → first working variant (-1 none)
+}
+
+// RunAblationSplit measures the §5.2 split-search behaviour.
+func RunAblationSplit() *AblationSplit {
+	out := &AblationSplit{Results: map[string]int{}}
+	cases := []struct {
+		name  string
+		fresh func() *dpi.Network
+		tr    *trace.Trace
+	}{
+		{"testbed", dpi.NewTestbed, trace.AmazonPrimeVideo(96 << 10)},
+		{"tmobile", dpi.NewTMobile, trace.AmazonPrimeVideo(96 << 10)},
+		{"gfc", dpi.NewGFC, trace.EconomistWeb(8 << 10)},
+		{"iran", dpi.NewIran, trace.FacebookWeb(8 << 10)},
+	}
+	for _, c := range cases {
+		net := c.fresh()
+		rep := (&core.Liberate{Net: net, Trace: c.tr}).Run()
+		v := rep.Evaluation.ByID("tcp-segment-split")
+		if v == nil || !v.Usable() {
+			out.Results[c.name] = -1
+			continue
+		}
+		out.Results[c.name] = v.Variant
+	}
+	return out
+}
+
+// Render prints the split ablation.
+func (a *AblationSplit) Render() string {
+	var b strings.Builder
+	b.WriteString("Split-variant ablation (first working strategy; -1 = splitting cannot evade):\n")
+	names := map[int]string{
+		0: "cut-through-field (2 segments)",
+		1: "three-way field cuts",
+		2: "one-byte first segment",
+		3: "window push (6+ tiny leading segments)",
+	}
+	for _, n := range []string{"testbed", "tmobile", "gfc", "iran"} {
+		v, ok := a.Results[n]
+		if !ok {
+			continue
+		}
+		desc := "none"
+		if v >= 0 {
+			desc = names[v]
+		}
+		fmt.Fprintf(&b, "  %-8s variant %d: %s\n", n, v, desc)
+	}
+	return b.String()
+}

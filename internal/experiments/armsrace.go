@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dpi"
+	"repro/internal/netem"
+	"repro/internal/netem/packet"
+	"repro/internal/trace"
+)
+
+// ArmsRaceRound is one escalation step: the operator deploys a
+// countermeasure, lib·erate adapts (or fails to).
+type ArmsRaceRound struct {
+	Countermeasure string
+	// BrokePrevious: the countermeasure defeated the previously deployed
+	// technique.
+	BrokePrevious bool
+	// Adapted: lib·erate found a replacement.
+	Adapted bool
+	// Technique deployed after this round ("" = nothing works).
+	Technique string
+	// WorkingCount is how many techniques remain usable.
+	WorkingCount int
+}
+
+// ArmsRace is the §7 discussion turned into an experiment: a T-Mobile-like
+// operator escalates through the countermeasures the paper enumerates —
+// filtering inert packets (Kreibich et al.'s norm), sequence-correct
+// reassembly with longer state retention, and TTL normalization — while
+// lib·erate's monitor adapts after each step. The paper's claim is that
+// each countermeasure costs the operator more than the next technique
+// costs lib·erate; the experiment records how the working set shrinks.
+type ArmsRace struct {
+	Initial string
+	Rounds  []ArmsRaceRound
+}
+
+// RunArmsRace plays the escalation.
+func RunArmsRace() *ArmsRace {
+	net := dpi.NewTMobile()
+	tr := trace.AmazonPrimeVideo(96 << 10)
+	rep := (&core.Liberate{Net: net, Trace: tr}).Run()
+	out := &ArmsRace{}
+	if rep.Deployed != nil {
+		out.Initial = rep.Deployed.Technique.ID
+	}
+	mon := core.NewMonitor(net, tr, rep)
+
+	steps := []struct {
+		name  string
+		apply func()
+	}{
+		{
+			// Kreibich et al.'s normalizer: drop malformed packets and IP
+			// options before the classifier (kills inert insertion).
+			name: "norm: filter malformed packets and IP options upstream",
+			apply: func() {
+				insertBefore(net, net.MB, &dpi.StatefulFirewall{
+					Label:           "norm",
+					DropDefects:     packet.AllDefects(),
+					DropOutOfWindow: true,
+				})
+			},
+		},
+		{
+			// Stateful upgrade: sequence-correct reassembly, full-flow
+			// inspection (kills splitting/reordering/window tricks).
+			name: "upgrade: sequence-correct reassembly, all-packet inspection",
+			apply: func() {
+				net.MB.Cfg.Reassembly = dpi.ReassembleSeq
+				net.MB.Cfg.Mode = dpi.InspectAllPackets
+				net.MB.ResetState()
+			},
+		},
+		{
+			// TTL normalization: rewrite TTLs to a large value at the
+			// classifier's ingress (kills TTL-limited inert packets).
+			name: "normalize TTL at ingress",
+			apply: func() {
+				insertBefore(net, net.MB, &ttlNormalizer{})
+			},
+		},
+	}
+	for _, step := range steps {
+		step.apply()
+		round := ArmsRaceRound{Countermeasure: step.name}
+		round.BrokePrevious = !mon.Check()
+		// Re-engage either way so the surviving-technique count is
+		// accurate after every countermeasure.
+		mon.Adapt()
+		round.Adapted = mon.Report.Deployed != nil && mon.Check()
+		if mon.Report.Deployed != nil {
+			round.Technique = mon.Report.Deployed.Technique.ID
+		}
+		round.WorkingCount = len(mon.Report.Evaluation.Working())
+		out.Rounds = append(out.Rounds, round)
+		if round.Technique == "" {
+			break
+		}
+	}
+	return out
+}
+
+// insertBefore splices an element into the chain just before target.
+func insertBefore(net *dpi.Network, target netem.Element, el netem.Element) {
+	env := net.Env
+	els := env.Elements()
+	rebuilt := make([]netem.Element, 0, len(els)+1)
+	for _, e := range els {
+		if e == target {
+			rebuilt = append(rebuilt, el)
+		}
+		rebuilt = append(rebuilt, e)
+	}
+	env.ReplaceElements(rebuilt)
+}
+
+// ttlNormalizer rewrites every packet's TTL to 64 — the countermeasure §4.3
+// says "could have unintended side-effects" but defeats TTL-limited evasion.
+type ttlNormalizer struct{}
+
+func (t *ttlNormalizer) Name() string { return "ttl-normalizer" }
+
+func (t *ttlNormalizer) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
+	if len(raw) < 20 {
+		return
+	}
+	p, defects := packet.Inspect(raw)
+	if defects.Has(packet.DefectTruncated) {
+		ctx.Forward(raw)
+		return
+	}
+	if p.IP.TTL < 64 {
+		p.IP.TTL = 64
+		// Recompute the header checksum only when it was previously valid;
+		// deliberately wrong checksums stay wrong.
+		if !defects.Has(packet.DefectIPChecksum) {
+			p.IP.Checksum = 0
+			fixed := p.Serialize()
+			cs := headerChecksumBytes(fixed[:20+len(p.IP.Options)])
+			p.IP.Checksum = cs
+		}
+		ctx.ForwardPacket(p)
+		return
+	}
+	ctx.Forward(raw)
+}
+
+func headerChecksumBytes(hdr []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(hdr); i += 2 {
+		sum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// Render prints the escalation.
+func (a *ArmsRace) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Arms race on T-Mobile profile (initial technique: %s)\n", a.Initial)
+	for i, r := range a.Rounds {
+		fmt.Fprintf(&b, "  round %d: %s\n", i+1, r.Countermeasure)
+		fmt.Fprintf(&b, "           broke previous=%v adapted=%v now=%s (%d techniques still work)\n",
+			r.BrokePrevious, r.Adapted, orNone(r.Technique), r.WorkingCount)
+	}
+	return b.String()
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "none"
+	}
+	return s
+}

@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+import "os"
+
+func TestArmsRaceEscalation(t *testing.T) {
+	a := RunArmsRace()
+	if a.Initial == "" {
+		t.Fatal("no initial technique")
+	}
+	if len(a.Rounds) != 3 {
+		t.Fatalf("rounds = %d", len(a.Rounds))
+	}
+	// The working set must shrink monotonically as countermeasures stack.
+	prev := 1 << 30
+	for i, r := range a.Rounds {
+		if !r.Adapted && r.Technique != "" {
+			t.Fatalf("round %d inconsistent: %+v", i, r)
+		}
+		if r.WorkingCount > prev {
+			t.Fatalf("working set grew at round %d: %d > %d", i, r.WorkingCount, prev)
+		}
+		prev = r.WorkingCount
+	}
+	if os.Getenv("SMOKE") != "" {
+		os.Stderr.WriteString(a.Render())
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dpi"
+	"repro/internal/trace"
+)
+
+// BilateralResult records which networks the server-assisted dummy-prefix
+// evades (the paper's final §1 finding: testbed, T-Mobile, AT&T, GFC — but
+// not Iran's per-packet matcher).
+type BilateralResult struct {
+	Evades map[string]bool
+}
+
+// RunBilateral measures the bilateral dummy-prefix against every
+// classifying network.
+func RunBilateral() *BilateralResult {
+	out := &BilateralResult{Evades: map[string]bool{}}
+	cases := []struct {
+		name  string
+		fresh func() *dpi.Network
+		tr    *trace.Trace
+	}{
+		{"testbed", dpi.NewTestbed, trace.AmazonPrimeVideo(96 << 10)},
+		{"tmobile", dpi.NewTMobile, trace.AmazonPrimeVideo(96 << 10)},
+		{"att", dpi.NewATT, trace.NBCSportsVideo(96 << 10)},
+		{"gfc", dpi.NewGFC, trace.EconomistWeb(8 << 10)},
+		{"iran", dpi.NewIran, trace.FacebookWeb(8 << 10)},
+	}
+	for _, c := range cases {
+		net := c.fresh()
+		s := core.NewSession(net)
+		res := s.Replay(core.BilateralDummyPrefix(c.tr, 1, 42), nil)
+		out.Evades[c.name] = res.GroundTruthClass == "" && !res.Blocked && res.IntegrityOK
+	}
+	return out
+}
+
+// Render prints the bilateral result.
+func (r *BilateralResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Bilateral dummy-prefix (1 ignored byte, server-assisted) — paper: evades testbed, T-Mobile, AT&T, GFC:\n")
+	for _, n := range []string{"testbed", "tmobile", "att", "gfc", "iran"} {
+		fmt.Fprintf(&b, "  %-8s evades=%v\n", n, r.Evades[n])
+	}
+	return b.String()
+}
+
+// MasqueradeResult records the §7 masquerading measurement.
+type MasqueradeResult struct {
+	PlainCounted  int64
+	MaskedCounted int64
+	MaskedClass   string
+	Intact        bool
+}
+
+// RunMasquerade makes a non-zero-rated app impersonate zero-rated video on
+// the T-Mobile profile.
+func RunMasquerade() *MasqueradeResult {
+	net := dpi.NewTMobile()
+	generic := trace.EconomistWeb(256 << 10)
+
+	s := core.NewSession(net)
+	plain := s.Replay(generic, nil)
+
+	rep := (&core.Liberate{Net: net, Trace: trace.AmazonPrimeVideo(96 << 10)}).Run()
+	mq := core.MasqueradeFromReport(rep, core.BaitFromTrace(trace.AmazonPrimeVideo(1)))
+	s2 := core.NewSession(net)
+	masked := s2.Replay(generic, mq.Transform())
+	return &MasqueradeResult{
+		PlainCounted:  plain.CounterDelta,
+		MaskedCounted: masked.CounterDelta,
+		MaskedClass:   masked.GroundTruthClass,
+		Intact:        masked.IntegrityOK,
+	}
+}
+
+// Render prints the masquerade result.
+func (r *MasqueradeResult) Render() string {
+	return fmt.Sprintf("Masquerading (§7): plain flow counted %.1f KB; masqueraded-as-%q counted %.1f KB (intact=%v)\n",
+		float64(r.PlainCounted)/1024, r.MaskedClass, float64(r.MaskedCounted)/1024, r.Intact)
+}
+
+// QUICResult records the zero-effort UDP evasion finding.
+type QUICResult struct {
+	TLSClass   string
+	TLSAvg     float64
+	QUICClass  string
+	QUICAvg    float64
+	GFCBlocked bool
+}
+
+// RunQUIC compares YouTube over TLS vs over QUIC on T-Mobile, and a QUIC
+// flow through the GFC.
+func RunQUIC() *QUICResult {
+	net := dpi.NewTMobile()
+	s := core.NewSession(net)
+	tls := s.Replay(trace.YouTubeTLS(256<<10), nil)
+	quic := s.Replay(trace.YouTubeQUIC(256<<10), nil)
+	gfc := dpi.NewGFC()
+	sg := core.NewSession(gfc)
+	g := sg.Replay(trace.YouTubeQUIC(32<<10), nil)
+	return &QUICResult{
+		TLSClass: tls.GroundTruthClass, TLSAvg: tls.AvgThroughputBps,
+		QUICClass: quic.GroundTruthClass, QUICAvg: quic.AvgThroughputBps,
+		GFCBlocked: g.Blocked,
+	}
+}
+
+// Render prints the QUIC result.
+func (r *QUICResult) Render() string {
+	return fmt.Sprintf(
+		"QUIC (UDP) escapes classification (§6.2/§6.5): TLS video class=%q at %.1f Mbps; QUIC class=%q at %.1f Mbps; GFC blocks QUIC=%v\n",
+		r.TLSClass, r.TLSAvg/1e6, r.QUICClass, r.QUICAvg/1e6, r.GFCBlocked)
+}

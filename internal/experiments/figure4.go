@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dpi"
+	"repro/internal/netem/vclock"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// Figure4Point is one hour's outcome in the GFC delay-evasion sweep: the
+// minimum pause-before-match delay that evaded censorship, or failure when
+// even the longest tested delay did not (the red dots of Figure 4).
+type Figure4Point struct {
+	Day  int
+	Hour int
+	// MinDelay is the smallest successful delay; 0 when none succeeded.
+	MinDelay time.Duration
+	// SuccessAt records, per tested delay, how many of the trials evaded.
+	SuccessAt map[time.Duration]int
+	Trials    int
+}
+
+// Figure4 is the full time-of-day sweep.
+type Figure4 struct {
+	Points []Figure4Point
+	Delays []time.Duration
+	Trials int
+}
+
+// RunFigure4 reproduces the §6.5 experiment: delays from 10 to 240 seconds
+// tested `trials` times per hour over `days` days against the GFC, using
+// the pause-before-match technique and fresh server ports per flow (the
+// characterization workaround for the GFC's server:port blacklist).
+func RunFigure4(days, trials int) *Figure4 {
+	if days <= 0 {
+		days = 1
+	}
+	if trials <= 0 {
+		trials = 6
+	}
+	fig := &Figure4{
+		Delays: []time.Duration{10 * time.Second, 30 * time.Second, 60 * time.Second,
+			120 * time.Second, 180 * time.Second, 240 * time.Second},
+		Trials: trials,
+	}
+	net := dpi.NewGFC()
+	tr := trace.EconomistWeb(4 << 10)
+	tech, _ := core.TechniqueByID("pause-before-match")
+	s := core.NewSession(net)
+	s.RotatePorts = true
+
+	for day := 0; day < days; day++ {
+		for hour := 0; hour < 24; hour++ {
+			// Jump the virtual clock to the start of this hour.
+			target := vclock.Epoch.Add(time.Duration(day*24+hour) * time.Hour)
+			if net.Clock.Now().Before(target) {
+				net.Clock.RunUntil(target)
+			}
+			pt := Figure4Point{Day: day, Hour: hour, SuccessAt: map[time.Duration]int{}, Trials: trials}
+			for _, d := range fig.Delays {
+				ok := 0
+				for trial := 0; trial < trials; trial++ {
+					ap := tech.Build(core.BuildParams{
+						MatchWrite: 0, PauseFor: d, Seed: int64(day*1000 + hour*10 + trial),
+					})
+					res := s.Replay(tr, ap.Transform, func(o *replay.Options) { o.ExtraBudget = d + time.Minute })
+					if !res.Blocked && res.Completed {
+						ok++
+					}
+				}
+				pt.SuccessAt[d] = ok
+				if ok > 0 && pt.MinDelay == 0 {
+					pt.MinDelay = d
+				}
+			}
+			fig.Points = append(fig.Points, pt)
+		}
+	}
+	return fig
+}
+
+// CSV renders the sweep as comma-separated rows (day,hour,min_delay_s,
+// then one success-fraction column per tested delay) for plotting.
+func (f *Figure4) CSV() string {
+	var b strings.Builder
+	b.WriteString("day,hour,min_delay_s")
+	for _, d := range f.Delays {
+		fmt.Fprintf(&b, ",ok_%ds", int(d.Seconds()))
+	}
+	b.WriteString("\n")
+	for _, p := range f.Points {
+		min := 0
+		if p.MinDelay > 0 {
+			min = int(p.MinDelay.Seconds())
+		}
+		fmt.Fprintf(&b, "%d,%d,%d", p.Day, p.Hour, min)
+		for _, d := range f.Delays {
+			fmt.Fprintf(&b, ",%.2f", float64(p.SuccessAt[d])/float64(p.Trials))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Render prints the per-hour series: min successful delay or FAIL.
+func (f *Figure4) Render() string {
+	var b strings.Builder
+	b.WriteString("GFC pause-before-match evasion vs time of day (Figure 4)\n")
+	b.WriteString("hour | min working delay (s) | per-delay successes\n")
+	for _, p := range f.Points {
+		min := "FAIL"
+		if p.MinDelay > 0 {
+			min = fmt.Sprintf("%d", int(p.MinDelay.Seconds()))
+		}
+		fmt.Fprintf(&b, "d%d %02d:00 | %-5s |", p.Day, p.Hour, min)
+		for _, d := range f.Delays {
+			fmt.Fprintf(&b, " %ds:%d/%d", int(d.Seconds()), p.SuccessAt[d], p.Trials)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

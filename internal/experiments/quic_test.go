@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dpi"
+	"repro/internal/trace"
+)
+
+// TestQUICEscapesClassification reproduces the paper's "surprisingly easy
+// way to evade" finding: no operational network classifies UDP, so the
+// same video over QUIC sails through while its TLS twin is throttled,
+// zero-rated, or blocked.
+func TestQUICEscapesClassification(t *testing.T) {
+	t.Run("tmobile", func(t *testing.T) {
+		net := dpi.NewTMobile()
+		s := core.NewSession(net)
+		tls := s.Replay(trace.YouTubeTLS(256<<10), nil)
+		if tls.GroundTruthClass != "video" {
+			t.Fatalf("TLS video not classified: %q", tls.GroundTruthClass)
+		}
+		quic := s.Replay(trace.YouTubeQUIC(256<<10), nil)
+		if quic.GroundTruthClass != "" {
+			t.Fatalf("QUIC classified: %q", quic.GroundTruthClass)
+		}
+		if !quic.Completed || !quic.IntegrityOK {
+			t.Fatalf("QUIC replay broken: %+v", quic)
+		}
+		// Not zero-rated (counts against quota) but also not throttled.
+		if quic.AvgThroughputBps < 2*tls.AvgThroughputBps {
+			t.Fatalf("QUIC not faster than throttled TLS: %.1f vs %.1f Mbps",
+				quic.AvgThroughputBps/1e6, tls.AvgThroughputBps/1e6)
+		}
+	})
+	t.Run("gfc", func(t *testing.T) {
+		// §6.5: censored content is reachable over QUIC.
+		net := dpi.NewGFC()
+		s := core.NewSession(net)
+		quicCensored := trace.YouTubeQUIC(32 << 10)
+		res := s.Replay(quicCensored, nil)
+		if res.Blocked || !res.Completed {
+			t.Fatalf("QUIC blocked by the GFC: %+v", res)
+		}
+	})
+	t.Run("testbed-classifies-udp", func(t *testing.T) {
+		// The testbed DPI is the exception: it does inspect UDP, so QUIC
+		// alone is not an evasion there (the rules just don't cover it).
+		net := dpi.NewTestbed()
+		s := core.NewSession(net)
+		res := s.Replay(trace.SkypeCall(4, 400), nil)
+		if res.GroundTruthClass != "voip" {
+			t.Fatalf("testbed UDP classification broken: %q", res.GroundTruthClass)
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRendersAreComplete smoke-tests every benchtab rendering path: each
+// must mention its key series so the CLI never prints an empty table.
+func TestRendersAreComplete(t *testing.T) {
+	t1 := RunTable1()
+	if out := t1.Render(); !strings.Contains(out, "lib·erate") || !strings.Contains(out, "O(1)") {
+		t.Fatalf("table 1 render:\n%s", out)
+	}
+	t2 := RunTable2()
+	if out := t2.Render(); !strings.Contains(out, "inert-packet-insertion") {
+		t.Fatalf("table 2 render:\n%s", out)
+	}
+	fig := RunFigure4(1, 2)
+	if out := fig.Render(); !strings.Contains(out, "min working delay") {
+		t.Fatalf("figure 4 render:\n%s", out)
+	}
+	if csv := fig.CSV(); !strings.HasPrefix(csv, "day,hour,min_delay_s") || strings.Count(csv, "\n") != 25 {
+		t.Fatalf("figure 4 csv:\n%s", csv)
+	}
+	eff := RunEfficiency()
+	if out := RenderEfficiency(eff); !strings.Contains(out, "tmobile") {
+		t.Fatalf("efficiency render:\n%s", out)
+	}
+	b := RunBilateral()
+	if out := b.Render(); !strings.Contains(out, "att") {
+		t.Fatalf("bilateral render:\n%s", out)
+	}
+	q := RunQUIC()
+	if out := q.Render(); !strings.Contains(out, "QUIC") {
+		t.Fatalf("quic render:\n%s", out)
+	}
+	m := RunMasquerade()
+	if out := m.Render(); !strings.Contains(out, "video") {
+		t.Fatalf("masquerade render:\n%s", out)
+	}
+}
+
+// TestTable3Deterministic guards the reproducibility claim: two full grid
+// regenerations in one process agree cell for cell.
+func TestTable3Deterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	a := RunTable3()
+	b := RunTable3()
+	if a.Render() != b.Render() {
+		t.Fatal("Table 3 is not deterministic across runs")
+	}
+}

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dpi"
+	"repro/internal/netem/stack"
+	"repro/internal/replay"
+	"repro/internal/trace"
+)
+
+// Table1Row mirrors the paper's Table 1: how lib·erate compares with other
+// classifier-evasion methods. The related-work rows are taxonomy facts
+// from the paper; the lib·erate row's overhead class is *measured* here by
+// deploying its cheapest technique on an n-packet flow and confirming the
+// added cost does not grow with n.
+type Table1Row struct {
+	Method          string
+	OverheadPerFlow string // "O(n)" or "O(1)"
+	ClientOnly      bool
+	AppAgnostic     bool
+	RuleDetection   bool
+	SplitReorder    bool
+	InertInjection  bool
+	Flushing        bool
+	ValidatedInWild bool
+}
+
+// Table1 is the method-comparison table.
+type Table1 struct {
+	Rows []Table1Row
+	// MeasuredSmallFlowOverheadPkts / LargeFlowOverheadPkts back the O(1)
+	// claim: extra packets added by the deployed technique on a small and
+	// a 20× larger flow.
+	SmallFlowExtraPkts int
+	LargeFlowExtraPkts int
+}
+
+// RunTable1 builds the comparison and measures lib·erate's overhead class.
+func RunTable1() *Table1 {
+	t1 := &Table1{
+		Rows: []Table1Row{
+			{Method: "VPN", OverheadPerFlow: "O(n)", AppAgnostic: true},
+			{Method: "Covert channels", OverheadPerFlow: "O(n)"},
+			{Method: "Obfuscation", OverheadPerFlow: "O(n)", ValidatedInWild: true},
+			{Method: "Domain fronting", OverheadPerFlow: "O(1)", ValidatedInWild: true},
+			{Method: "C. Kreibich et al.", OverheadPerFlow: "O(1)", ClientOnly: true, AppAgnostic: true, InertInjection: true},
+		},
+	}
+	measure := func(bodyBytes int) int {
+		net := dpi.NewTMobile()
+		tr := trace.AmazonPrimeVideo(bodyBytes)
+		rep := (&core.Liberate{Net: net, Trace: tr}).Run()
+		if rep.Deployed == nil {
+			return -1
+		}
+		return rep.Deployed.ExtraPackets
+	}
+	t1.SmallFlowExtraPkts = measure(64 << 10)
+	t1.LargeFlowExtraPkts = measure(1280 << 10)
+	over := "O(1)"
+	if t1.LargeFlowExtraPkts > t1.SmallFlowExtraPkts+2 {
+		over = "O(n)"
+	}
+	t1.Rows = append(t1.Rows, Table1Row{
+		Method: "lib·erate", OverheadPerFlow: over,
+		ClientOnly: true, AppAgnostic: true, RuleDetection: true,
+		SplitReorder: true, InertInjection: true, Flushing: true, ValidatedInWild: true,
+	})
+	return t1
+}
+
+func mark(b bool) string {
+	if b {
+		return "✓"
+	}
+	return "×"
+}
+
+// Render prints Table 1.
+func (t *Table1) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %-9s %-7s %-9s %-6s %-7s %-6s %-6s %-6s\n",
+		"Method", "Overhead", "Client", "AppAgnos", "Rules", "Split", "Inert", "Flush", "Wild")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-20s %-9s %-7s %-9s %-6s %-7s %-6s %-6s %-6s\n",
+			r.Method, r.OverheadPerFlow, mark(r.ClientOnly), mark(r.AppAgnostic),
+			mark(r.RuleDetection), mark(r.SplitReorder), mark(r.InertInjection),
+			mark(r.Flushing), mark(r.ValidatedInWild))
+	}
+	fmt.Fprintf(&b, "lib·erate measured overhead: %d extra pkts on 64 KiB flow, %d on 1.25 MiB flow (⇒ %s)\n",
+		t.SmallFlowExtraPkts, t.LargeFlowExtraPkts, t.Rows[len(t.Rows)-1].OverheadPerFlow)
+	return b.String()
+}
+
+// Table2Row is one technique-group overhead measurement.
+type Table2Row struct {
+	Group         core.Group
+	Description   string
+	PaperOverhead string
+	// Measured on a real deployment replay.
+	ExtraPackets int
+	ExtraBytes   int
+	AddedDelay   time.Duration
+	// ThroughputPenalty compares goodput with and without the technique on
+	// an undifferentiated path (pure overhead, no classifier involved).
+	ThroughputPenalty float64
+}
+
+// Table2 is the high-level technique overhead table.
+type Table2 struct {
+	Rows []Table2Row
+}
+
+// RunTable2 measures each technique group's deployment overhead on a
+// clean path (so the numbers are the technique's own cost, not the
+// differentiation's).
+func RunTable2() *Table2 {
+	t2 := &Table2{}
+	groups := []struct {
+		group core.Group
+		id    string
+		desc  string
+		paper string
+	}{
+		{core.GroupInert, "tcp-wrong-checksum", "Inject packet that does not survive to the server", "k packets"},
+		{core.GroupSplitting, "tcp-segment-split", "Divide a flow's payload into differently sized packets", "k*40 bytes"},
+		{core.GroupReorder, "tcp-segment-reorder", "Reorder packets relative to the original flow", "k*40 bytes"},
+		{core.GroupFlushing, "ttl-rst-after", "Cause the classifier to flush its classification result", "t seconds or 1 packet"},
+	}
+	tr := trace.AmazonPrimeVideo(512 << 10)
+	base := runClean(tr, nil, 0)
+	for _, g := range groups {
+		tech, _ := core.TechniqueByID(g.id)
+		ap := tech.Build(core.BuildParams{
+			Fields:     []core.FieldRef{{Msg: 0, Start: 75, End: 89}},
+			MatchWrite: 0, InertTTL: 64, Seed: 11, PauseFor: 15 * time.Second,
+		})
+		res := runClean(tr, ap.Transform, ap.AddedDelay)
+		row := Table2Row{
+			Group: g.group, Description: g.desc, PaperOverhead: g.paper,
+			ExtraPackets: ap.ExtraPackets, ExtraBytes: ap.ExtraBytes, AddedDelay: ap.AddedDelay,
+		}
+		if base.AvgThroughputBps > 0 && res.AvgThroughputBps > 0 {
+			row.ThroughputPenalty = 1 - res.AvgThroughputBps/base.AvgThroughputBps
+		}
+		t2.Rows = append(t2.Rows, row)
+	}
+	return t2
+}
+
+// runClean replays tr across the baseline (classifier-free) path.
+func runClean(tr *trace.Trace, transform stack.OutgoingTransform, extraBudget time.Duration) *replay.Result {
+	net := dpi.NewBaseline()
+	s := core.NewSession(net)
+	return s.Replay(tr, transform, func(o *replay.Options) { o.ExtraBudget = extraBudget + time.Minute })
+}
+
+// Render prints Table 2.
+func (t *Table2) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-26s %-22s %-10s %-10s %-10s %-8s\n",
+		"Technique", "Paper overhead", "extra pkts", "extra B", "delay", "goodput-")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-26s %-22s %-10d %-10d %-10s %-+7.1f%%\n",
+			r.Group, r.PaperOverhead, r.ExtraPackets, r.ExtraBytes,
+			r.AddedDelay.Round(time.Second), r.ThroughputPenalty*100)
+	}
+	return b.String()
+}

@@ -1,0 +1,211 @@
+package netem
+
+import (
+	"time"
+
+	"repro/internal/netem/packet"
+)
+
+// Hop models one TTL-decrementing router. A packet whose TTL reaches zero
+// at this hop is dropped and, when EmitICMP is set, answered with an ICMP
+// time-exceeded toward its source address — the mechanism lib·erate's
+// middlebox-localization probes rely on.
+type Hop struct {
+	Label string
+	Addr  packet.Addr
+	// DropDefects drops packets exhibiting any of these defects, the way
+	// strict operational routers discard malformed datagrams.
+	DropDefects packet.DefectSet
+	// EmitICMP controls whether TTL expiry is reported to the sender.
+	EmitICMP bool
+}
+
+// Name implements Element.
+func (h *Hop) Name() string { return h.Label }
+
+// Process implements Element.
+func (h *Hop) Process(ctx *Context, dir Direction, raw []byte) {
+	if len(raw) < 20 {
+		return // unroutable garbage
+	}
+	if !h.DropDefects.Empty() {
+		if _, defects := packet.Inspect(raw); defects.Intersects(h.DropDefects) {
+			return
+		}
+	}
+	ttl := raw[8]
+	if ttl <= 1 {
+		if h.EmitICMP {
+			var src packet.Addr
+			copy(src[:], raw[12:16])
+			icmp := packet.NewICMPTimeExceeded(h.Addr, src, raw)
+			if dir == ToServer {
+				ctx.SendToClient(icmp.Serialize())
+			} else {
+				ctx.SendToServer(icmp.Serialize())
+			}
+		}
+		return
+	}
+	out := append([]byte(nil), raw...)
+	decrementTTL(out)
+	ctx.Forward(out)
+}
+
+// decrementTTL lowers the TTL byte and incrementally updates the header
+// checksum per RFC 1624, preserving checksum *wrongness*: a deliberately
+// corrupted checksum stays exactly as wrong after the update, just as it
+// would through a real router's incremental update.
+func decrementTTL(raw []byte) {
+	oldWord := uint16(raw[8])<<8 | uint16(raw[9])
+	raw[8]--
+	newWord := uint16(raw[8])<<8 | uint16(raw[9])
+	hc := uint16(raw[10])<<8 | uint16(raw[11])
+	// HC' = ~(~HC + ~m + m')   (RFC 1624 eqn. 3)
+	sum := uint32(^hc) + uint32(^oldWord) + uint32(newWord)
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	hc = ^uint16(sum)
+	raw[10] = byte(hc >> 8)
+	raw[11] = byte(hc)
+}
+
+// Filter drops packets matching a predicate or defect set, in one or both
+// directions. Operational networks in the paper dropped most malformed
+// packets somewhere between the classifier and the server; Filter is how
+// the per-network profiles express that.
+type Filter struct {
+	Label       string
+	DropDefects packet.DefectSet
+	// Drop, when non-nil, additionally drops packets it returns true for.
+	Drop func(p *packet.Packet, defects packet.DefectSet) bool
+	// OnlyDir, when non-nil, restricts filtering to one direction.
+	OnlyDir *Direction
+}
+
+// Name implements Element.
+func (f *Filter) Name() string { return f.Label }
+
+// Process implements Element.
+func (f *Filter) Process(ctx *Context, dir Direction, raw []byte) {
+	if f.OnlyDir != nil && dir != *f.OnlyDir {
+		ctx.Forward(raw)
+		return
+	}
+	p, defects := packet.Inspect(raw)
+	if defects.Intersects(f.DropDefects) {
+		return
+	}
+	if f.Drop != nil && f.Drop(p, defects) {
+		return
+	}
+	ctx.Forward(raw)
+}
+
+// Pipe models the bottleneck link: every byte takes wire time proportional
+// to the configured rate, so end-to-end throughput measurements (the
+// paper's throttling-detection signal) are meaningful.
+type Pipe struct {
+	Label string
+	// RateBps is the link capacity in bits per second.
+	RateBps float64
+
+	nextFree [2]time.Time
+}
+
+// Name implements Element.
+func (p *Pipe) Name() string { return p.Label }
+
+// Process implements Element.
+func (p *Pipe) Process(ctx *Context, dir Direction, raw []byte) {
+	if p.RateBps <= 0 {
+		ctx.Forward(raw)
+		return
+	}
+	tx := time.Duration(float64(len(raw)*8) / p.RateBps * float64(time.Second))
+	now := ctx.Now()
+	start := now
+	if p.nextFree[dir].After(start) {
+		start = p.nextFree[dir]
+	}
+	done := start.Add(tx)
+	p.nextFree[dir] = done
+	buf := raw
+	ctx.Schedule(done.Sub(now), func() { ctx.Forward(buf) })
+}
+
+// TCPChecksumFixer rewrites incorrect TCP checksums to correct ones, the
+// behaviour note 4 of Table 3 attributes to an in-path device on the China
+// route ("the TCP checksum is corrected before arriving at the server").
+type TCPChecksumFixer struct {
+	Label string
+}
+
+// Name implements Element.
+func (f *TCPChecksumFixer) Name() string { return f.Label }
+
+// Process implements Element.
+func (f *TCPChecksumFixer) Process(ctx *Context, dir Direction, raw []byte) {
+	p, defects := packet.Inspect(raw)
+	if !defects.Has(packet.DefectTCPChecksum) || p.TCP == nil {
+		ctx.Forward(raw)
+		return
+	}
+	q := p.Clone()
+	q.TCP.Checksum = q.TCP.ComputeChecksum(q.IP.Src, q.IP.Dst, q.Payload)
+	ctx.ForwardPacket(q)
+}
+
+// PathReassembler reassembles IP fragments in-path before forwarding, the
+// behaviour note 2 of Table 3 observed on the testbed, T-Mobile, and China
+// routes ("the fragmented packets are reassembled before reaching the
+// server").
+type PathReassembler struct {
+	Label string
+	r     *packet.Reassembler
+}
+
+// Name implements Element.
+func (pr *PathReassembler) Name() string { return pr.Label }
+
+// Process implements Element.
+func (pr *PathReassembler) Process(ctx *Context, dir Direction, raw []byte) {
+	if pr.r == nil {
+		pr.r = packet.NewReassembler()
+	}
+	out, done := pr.r.Add(raw)
+	if done {
+		ctx.Forward(out)
+	}
+}
+
+// Tap records every packet that passes it; tests and the replay server's
+// packet capture use it to decide the paper's "Reaches Server?" column.
+type Tap struct {
+	Label  string
+	Seen   []TapRecord
+	OnPass func(dir Direction, raw []byte)
+}
+
+// TapRecord is one observed packet.
+type TapRecord struct {
+	At  time.Time
+	Dir Direction
+	Raw []byte
+}
+
+// Name implements Element.
+func (t *Tap) Name() string { return t.Label }
+
+// Process implements Element.
+func (t *Tap) Process(ctx *Context, dir Direction, raw []byte) {
+	t.Seen = append(t.Seen, TapRecord{At: ctx.Now(), Dir: dir, Raw: append([]byte(nil), raw...)})
+	if t.OnPass != nil {
+		t.OnPass(dir, raw)
+	}
+	ctx.Forward(raw)
+}
+
+// Reset clears the tap's record.
+func (t *Tap) Reset() { t.Seen = nil }

@@ -1,0 +1,91 @@
+package netem
+
+import "math/rand"
+
+// LossyLink drops packets at a configured rate — failure injection for
+// robustness testing. The RNG is seeded so runs stay deterministic.
+type LossyLink struct {
+	Label string
+	// LossRate is the drop probability per packet in [0,1).
+	LossRate float64
+	Seed     int64
+
+	rng     *rand.Rand
+	Dropped int
+}
+
+// Name implements Element.
+func (l *LossyLink) Name() string { return l.Label }
+
+// Process implements Element.
+func (l *LossyLink) Process(ctx *Context, dir Direction, raw []byte) {
+	if l.rng == nil {
+		l.rng = rand.New(rand.NewSource(l.Seed ^ 0x1055))
+	}
+	if l.rng.Float64() < l.LossRate {
+		l.Dropped++
+		return
+	}
+	ctx.Forward(raw)
+}
+
+// DuplicatingLink re-delivers a fraction of packets twice — the benign
+// duplication real networks produce, which endpoint stacks and classifiers
+// must treat idempotently (first copy wins).
+type DuplicatingLink struct {
+	Label string
+	// DupRate is the duplication probability per packet in [0,1).
+	DupRate float64
+	Seed    int64
+
+	rng        *rand.Rand
+	Duplicated int
+}
+
+// Name implements Element.
+func (d *DuplicatingLink) Name() string { return d.Label }
+
+// Process implements Element.
+func (d *DuplicatingLink) Process(ctx *Context, dir Direction, raw []byte) {
+	if d.rng == nil {
+		d.rng = rand.New(rand.NewSource(d.Seed ^ 0xd0b1e))
+	}
+	ctx.Forward(raw)
+	if d.rng.Float64() < d.DupRate {
+		d.Duplicated++
+		ctx.Forward(append([]byte(nil), raw...))
+	}
+}
+
+// CorruptingLink flips one random bit in a fraction of passing packets —
+// modelling a dirty link. Corrupted packets remain routable (the flip
+// avoids the 20-byte base IP header so addresses survive; the transport
+// checksum then catches the damage at the endpoint, as on a real path).
+type CorruptingLink struct {
+	Label string
+	// CorruptRate is the bit-flip probability per packet in [0,1).
+	CorruptRate float64
+	Seed        int64
+
+	rng       *rand.Rand
+	Corrupted int
+}
+
+// Name implements Element.
+func (c *CorruptingLink) Name() string { return c.Label }
+
+// Process implements Element.
+func (c *CorruptingLink) Process(ctx *Context, dir Direction, raw []byte) {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.Seed ^ 0xc0bb))
+	}
+	if c.rng.Float64() < c.CorruptRate && len(raw) > 21 {
+		out := append([]byte(nil), raw...)
+		pos := 20 + c.rng.Intn(len(out)-20)
+		out[pos] ^= 1 << uint(c.rng.Intn(8))
+		c.Corrupted++
+		ctx.Forward(out)
+		return
+	}
+	ctx.Forward(raw)
+}

@@ -1,0 +1,116 @@
+package netem
+
+import (
+	"testing"
+
+	"repro/internal/netem/packet"
+	"repro/internal/netem/vclock"
+)
+
+func impairRig(el Element) (*vclock.Clock, *Env, *int) {
+	clock := vclock.New()
+	env := New(clock, packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.9"))
+	env.Append(el)
+	n := 0
+	env.SetServer(EndpointFunc(func([]byte) { n++ }))
+	env.SetClient(EndpointFunc(func([]byte) {}))
+	return clock, env, &n
+}
+
+func TestLossyLinkDropsDeterministically(t *testing.T) {
+	run := func() (int, int) {
+		ll := &LossyLink{Label: "l", LossRate: 0.3, Seed: 7}
+		clock, env, n := impairRig(ll)
+		for i := 0; i < 200; i++ {
+			env.FromClient(packet.NewUDP(env.ClientAddr, env.ServerAddr, 1, 2, []byte("x")).Serialize())
+		}
+		clock.Run()
+		return *n, ll.Dropped
+	}
+	got1, dropped1 := run()
+	got2, dropped2 := run()
+	if got1 != got2 || dropped1 != dropped2 {
+		t.Fatalf("loss not deterministic: %d/%d vs %d/%d", got1, dropped1, got2, dropped2)
+	}
+	if dropped1 == 0 || got1 == 0 || got1+dropped1 != 200 {
+		t.Fatalf("accounting wrong: delivered=%d dropped=%d", got1, dropped1)
+	}
+	// Roughly the configured rate.
+	if dropped1 < 200*15/100 || dropped1 > 200*45/100 {
+		t.Fatalf("drop rate off: %d/200", dropped1)
+	}
+}
+
+func TestCorruptingLinkPreservesRoutability(t *testing.T) {
+	cl := &CorruptingLink{Label: "c", CorruptRate: 1.0, Seed: 3}
+	clock := vclock.New()
+	env := New(clock, packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.9"))
+	env.Append(cl)
+	var seen []*packet.Packet
+	env.SetServer(EndpointFunc(func(raw []byte) {
+		p, _ := packet.Inspect(raw)
+		seen = append(seen, p)
+	}))
+	src, dst := env.ClientAddr, env.ServerAddr
+	for i := 0; i < 50; i++ {
+		env.FromClient(packet.NewUDP(src, dst, 1, 2, []byte("payload-bytes")).Serialize())
+	}
+	clock.Run()
+	if cl.Corrupted != 50 {
+		t.Fatalf("corrupted %d, want all 50", cl.Corrupted)
+	}
+	for i, p := range seen {
+		// Addresses survive (flips avoid the first 12 bytes).
+		if p.IP.Src != src || p.IP.Dst != dst {
+			t.Fatalf("packet %d lost its addresses", i)
+		}
+	}
+}
+
+func TestDuplicatingLinkCount(t *testing.T) {
+	dl := &DuplicatingLink{Label: "d", DupRate: 0.5, Seed: 1}
+	clock, env, n := impairRig(dl)
+	for i := 0; i < 100; i++ {
+		env.FromClient(packet.NewUDP(env.ClientAddr, env.ServerAddr, 1, 2, []byte("y")).Serialize())
+	}
+	clock.Run()
+	if *n != 100+dl.Duplicated {
+		t.Fatalf("delivered %d, want %d originals + %d dups", *n, 100, dl.Duplicated)
+	}
+	if dl.Duplicated < 30 || dl.Duplicated > 70 {
+		t.Fatalf("dup rate off: %d/100", dl.Duplicated)
+	}
+}
+
+func TestEnvTraceHook(t *testing.T) {
+	clock := vclock.New()
+	env := New(clock, packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.9"))
+	env.Append(&Hop{Label: "h1", Addr: packet.AddrFrom("10.1.1.1")})
+	var where []string
+	env.Trace = func(w string, dir Direction, raw []byte) { where = append(where, w) }
+	env.SetServer(EndpointFunc(func([]byte) {}))
+	env.FromClient(packet.NewUDP(env.ClientAddr, env.ServerAddr, 1, 2, []byte("z")).Serialize())
+	clock.Run()
+	if len(where) != 2 || where[0] != "h1" || where[1] != "server" {
+		t.Fatalf("trace = %v", where)
+	}
+	if env.Delivered["h1"] != 1 || env.Delivered["server"] != 1 {
+		t.Fatalf("delivered stats: %v", env.Delivered)
+	}
+}
+
+func TestReplaceElements(t *testing.T) {
+	clock := vclock.New()
+	env := New(clock, packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.9"))
+	h1 := &Hop{Label: "h1", Addr: packet.AddrFrom("10.1.1.1")}
+	env.Append(h1)
+	tap := &Tap{Label: "tap"}
+	env.ReplaceElements([]Element{tap, h1})
+	n := 0
+	env.SetServer(EndpointFunc(func([]byte) { n++ }))
+	env.FromClient(packet.NewUDP(env.ClientAddr, env.ServerAddr, 1, 2, []byte("q")).Serialize())
+	clock.Run()
+	if len(tap.Seen) != 1 || n != 1 {
+		t.Fatalf("spliced chain broken: tap=%d server=%d", len(tap.Seen), n)
+	}
+}

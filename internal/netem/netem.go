@@ -1,0 +1,191 @@
+// Package netem simulates an end-to-end IPv4 network path between one
+// client and one server, with an ordered chain of in-path elements
+// (routers, filters, normalizers, and DPI middleboxes) in between.
+//
+// The simulation is packet-level and wire-format-faithful: elements see the
+// literal serialized bytes, because the whole point of the lib·erate
+// reproduction is that different devices parse the same malformed bytes
+// differently. Time is virtual (package vclock), so experiments involving
+// multi-minute classifier timeouts run instantly and deterministically.
+package netem
+
+import (
+	"time"
+
+	"repro/internal/netem/packet"
+	"repro/internal/netem/vclock"
+)
+
+// Direction is the direction a packet travels along the path.
+type Direction int
+
+const (
+	// ToServer is client→server.
+	ToServer Direction = iota
+	// ToClient is server→client.
+	ToClient
+)
+
+func (d Direction) String() string {
+	if d == ToServer {
+		return "→server"
+	}
+	return "→client"
+}
+
+// Reverse flips the direction.
+func (d Direction) Reverse() Direction {
+	if d == ToServer {
+		return ToClient
+	}
+	return ToServer
+}
+
+// Endpoint receives packets that reach an end of the path.
+type Endpoint interface {
+	// Deliver hands the endpoint the raw bytes of an arriving packet.
+	Deliver(raw []byte)
+}
+
+// EndpointFunc adapts a function to the Endpoint interface.
+type EndpointFunc func(raw []byte)
+
+// Deliver implements Endpoint.
+func (f EndpointFunc) Deliver(raw []byte) { f(raw) }
+
+// Element is an in-path device. Process receives a packet moving in dir and
+// decides its fate through the Context: forward it (possibly modified),
+// drop it (by doing nothing), or inject new packets in either direction.
+type Element interface {
+	Name() string
+	Process(ctx *Context, dir Direction, raw []byte)
+}
+
+// Context gives an Element access to the simulation during Process.
+type Context struct {
+	env *Env
+	idx int
+	dir Direction
+}
+
+// Forward passes raw onward in the packet's direction of travel.
+func (c *Context) Forward(raw []byte) { c.env.move(c.idx, c.dir, raw) }
+
+// ForwardPacket serializes and forwards p.
+func (c *Context) ForwardPacket(p *packet.Packet) { c.Forward(p.Serialize()) }
+
+// SendToClient injects a packet from this element's position toward the
+// client (e.g. an injected RST or a block page).
+func (c *Context) SendToClient(raw []byte) { c.env.move(c.idx, ToClient, raw) }
+
+// SendToServer injects a packet from this element's position toward the
+// server.
+func (c *Context) SendToServer(raw []byte) { c.env.move(c.idx, ToServer, raw) }
+
+// Now returns the current virtual time.
+func (c *Context) Now() time.Time { return c.env.Clock.Now() }
+
+// Schedule runs fn after d of virtual time.
+func (c *Context) Schedule(d time.Duration, fn func()) { c.env.Clock.Schedule(d, fn) }
+
+// HourOfDay exposes the virtual time-of-day for load-dependent models.
+func (c *Context) HourOfDay() float64 { return c.env.Clock.HourOfDay() }
+
+// Env is a simulated path: client — elements[0] … elements[n-1] — server.
+type Env struct {
+	Clock      *vclock.Clock
+	ClientAddr packet.Addr
+	ServerAddr packet.Addr
+
+	// LinkDelay is the one-way latency of each link segment (there are
+	// len(elements)+1 segments).
+	LinkDelay time.Duration
+
+	elements []Element
+	client   Endpoint
+	server   Endpoint
+
+	// Trace, when non-nil, observes every delivery: to an element (name),
+	// to "client", or to "server".
+	Trace func(where string, dir Direction, raw []byte)
+
+	// Stats
+	Delivered map[string]int
+}
+
+// New constructs an empty path.
+func New(clock *vclock.Clock, clientAddr, serverAddr packet.Addr) *Env {
+	return &Env{
+		Clock:      clock,
+		ClientAddr: clientAddr,
+		ServerAddr: serverAddr,
+		LinkDelay:  time.Millisecond,
+		Delivered:  make(map[string]int),
+	}
+}
+
+// Append adds an element to the server-side end of the chain.
+func (e *Env) Append(el Element) { e.elements = append(e.elements, el) }
+
+// Elements returns the chain, client side first.
+func (e *Env) Elements() []Element { return e.elements }
+
+// ReplaceElements swaps the whole chain — topology surgery for experiments
+// that insert countermeasure devices mid-run.
+func (e *Env) ReplaceElements(els []Element) { e.elements = els }
+
+// SetClient installs the client endpoint.
+func (e *Env) SetClient(ep Endpoint) { e.client = ep }
+
+// SetServer installs the server endpoint.
+func (e *Env) SetServer(ep Endpoint) { e.server = ep }
+
+// FromClient sends raw onto the path at the client end.
+func (e *Env) FromClient(raw []byte) { e.move(-1, ToServer, raw) }
+
+// FromServer sends raw onto the path at the server end.
+func (e *Env) FromServer(raw []byte) { e.move(len(e.elements), ToClient, raw) }
+
+// move schedules delivery of raw to the neighbour of position idx in dir.
+// Position -1 is the client, len(elements) is the server.
+func (e *Env) move(idx int, dir Direction, raw []byte) {
+	next := idx + 1
+	if dir == ToClient {
+		next = idx - 1
+	}
+	buf := append([]byte(nil), raw...)
+	e.Clock.Schedule(e.LinkDelay, func() { e.deliver(next, dir, buf) })
+}
+
+func (e *Env) deliver(pos int, dir Direction, raw []byte) {
+	switch {
+	case pos < 0:
+		if e.Trace != nil {
+			e.Trace("client", dir, raw)
+		}
+		e.Delivered["client"]++
+		if e.client != nil {
+			e.client.Deliver(raw)
+		}
+	case pos >= len(e.elements):
+		if e.Trace != nil {
+			e.Trace("server", dir, raw)
+		}
+		e.Delivered["server"]++
+		if e.server != nil {
+			e.server.Deliver(raw)
+		}
+	default:
+		el := e.elements[pos]
+		if e.Trace != nil {
+			e.Trace(el.Name(), dir, raw)
+		}
+		e.Delivered[el.Name()]++
+		el.Process(&Context{env: e, idx: pos, dir: dir}, dir, raw)
+	}
+}
+
+// RTT returns the base round-trip time of the full path (no queueing).
+func (e *Env) RTT() time.Duration {
+	return 2 * time.Duration(len(e.elements)+1) * e.LinkDelay
+}

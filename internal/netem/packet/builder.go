@@ -1,0 +1,152 @@
+package packet
+
+// DefaultTTL is the initial TTL used for well-formed packets.
+const DefaultTTL = 64
+
+// NewTCP builds a finalized TCP packet.
+func NewTCP(src, dst Addr, srcPort, dstPort uint16, seq, ack uint32, flags TCPFlags, payload []byte) *Packet {
+	p := &Packet{
+		IP: IPv4{TTL: DefaultTTL, Protocol: ProtoTCP, Src: src, Dst: dst},
+		TCP: &TCP{
+			SrcPort: srcPort, DstPort: dstPort,
+			Seq: seq, Ack: ack, Flags: flags, Window: 65535,
+		},
+		Payload: append([]byte(nil), payload...),
+	}
+	return p.Finalize()
+}
+
+// NewUDP builds a finalized UDP packet.
+func NewUDP(src, dst Addr, srcPort, dstPort uint16, payload []byte) *Packet {
+	p := &Packet{
+		IP:      IPv4{TTL: DefaultTTL, Protocol: ProtoUDP, Src: src, Dst: dst},
+		UDP:     &UDP{SrcPort: srcPort, DstPort: dstPort},
+		Payload: append([]byte(nil), payload...),
+	}
+	return p.Finalize()
+}
+
+// NewICMPTimeExceeded builds the ICMP error a router emits when a packet's
+// TTL expires. quoted is the offending datagram; per RFC 792 the first 28
+// bytes (IP header + 8) are echoed back.
+func NewICMPTimeExceeded(router, dst Addr, quoted []byte) *Packet {
+	q := quoted
+	if len(q) > 28 {
+		q = q[:28]
+	}
+	p := &Packet{
+		IP:      IPv4{TTL: DefaultTTL, Protocol: ProtoICMP, Src: router, Dst: dst},
+		ICMP:    &ICMP{Type: ICMPTimeExceeded, Code: 0},
+		Payload: append([]byte(nil), q...),
+	}
+	return p.Finalize()
+}
+
+// NewICMPProtoUnreachable builds the ICMP error an endpoint emits for an
+// unknown transport protocol (type 3 code 2).
+func NewICMPProtoUnreachable(host, dst Addr, quoted []byte) *Packet {
+	q := quoted
+	if len(q) > 28 {
+		q = q[:28]
+	}
+	p := &Packet{
+		IP:      IPv4{TTL: DefaultTTL, Protocol: ProtoICMP, Src: host, Dst: dst},
+		ICMP:    &ICMP{Type: ICMPDestUnreachable, Code: 2},
+		Payload: append([]byte(nil), q...),
+	}
+	return p.Finalize()
+}
+
+// FragmentAt splits a finalized, non-fragmented packet into IP fragments
+// whose body boundaries fall at the given offsets (relative to the start
+// of the IP body, i.e. the transport header). Offsets are rounded down to
+// the 8-byte granularity FragOffset can express; out-of-range or
+// non-increasing offsets are dropped. Evasion techniques use this to cut a
+// matching field across fragment boundaries.
+func FragmentAt(p *Packet, offsets []int) []*Packet {
+	wire := p.Serialize()
+	hdrLen := p.IP.headerLen()
+	body := wire[hdrLen:]
+	var cuts []int
+	prev := 0
+	for _, off := range offsets {
+		off = off / 8 * 8
+		if off <= prev || off >= len(body) {
+			continue
+		}
+		cuts = append(cuts, off)
+		prev = off
+	}
+	cuts = append(cuts, len(body))
+	var frags []*Packet
+	start := 0
+	for i, end := range cuts {
+		last := i == len(cuts)-1
+		f := &Packet{IP: p.IP}
+		f.IP.Options = append([]byte(nil), p.IP.Options...)
+		f.IP.FragOffset = uint16(start / 8)
+		if last {
+			f.IP.Flags &^= IPFlagMF
+		} else {
+			f.IP.Flags |= IPFlagMF
+		}
+		f.IP.Flags &^= IPFlagDF
+		f.Payload = append([]byte(nil), body[start:end]...)
+		f.IP.Version = 4
+		f.IP.IHL = uint8(f.IP.headerLen() / 4)
+		f.IP.TotalLength = uint16(f.IP.headerLen() + len(f.Payload))
+		f.IP.Checksum = f.IP.computeChecksum()
+		frags = append(frags, f)
+		start = end
+	}
+	return frags
+}
+
+// Fragment splits a finalized, non-fragmented packet into n IP fragments.
+// The transport header travels in the first fragment, as on a real wire.
+// Fragment boundaries are 8-byte aligned as required by the FragOffset
+// field encoding. It panics if the packet is too small to split n ways.
+func Fragment(p *Packet, n int) []*Packet {
+	if n < 2 {
+		return []*Packet{p.Clone()}
+	}
+	wire := p.Serialize()
+	hdrLen := p.IP.headerLen()
+	body := wire[hdrLen:]
+	// Choose an 8-byte-aligned chunk size that yields n pieces.
+	chunk := (len(body)/n + 7) / 8 * 8
+	if chunk == 0 {
+		chunk = 8
+	}
+	var frags []*Packet
+	for off := 0; off < len(body); off += chunk {
+		end := off + chunk
+		last := false
+		if end >= len(body) || len(frags) == n-1 {
+			end = len(body)
+			last = true
+		}
+		f := &Packet{IP: p.IP}
+		f.IP.Options = append([]byte(nil), p.IP.Options...)
+		f.IP.FragOffset = uint16(off / 8)
+		if last {
+			f.IP.Flags &^= IPFlagMF
+		} else {
+			f.IP.Flags |= IPFlagMF
+		}
+		f.IP.Flags &^= IPFlagDF
+		f.Payload = append([]byte(nil), body[off:end]...)
+		// Fragments are raw IP payload carriers: no transport struct. Set
+		// derived fields by hand because Finalize would rebuild transport
+		// headers we intentionally do not have.
+		f.IP.Version = 4
+		f.IP.IHL = uint8(f.IP.headerLen() / 4)
+		f.IP.TotalLength = uint16(f.IP.headerLen() + len(f.Payload))
+		f.IP.Checksum = f.IP.computeChecksum()
+		frags = append(frags, f)
+		if last {
+			break
+		}
+	}
+	return frags
+}

@@ -1,0 +1,31 @@
+package packet
+
+// internetChecksum computes the RFC 1071 Internet checksum over data,
+// starting from an initial partial sum. The result is the one's-complement
+// of the one's-complement sum.
+func internetChecksum(initial uint32, data []byte) uint16 {
+	sum := initial
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum returns the partial checksum of the TCP/UDP pseudo-header.
+func pseudoHeaderSum(src, dst Addr, proto uint8, length uint16) uint32 {
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}

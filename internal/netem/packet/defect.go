@@ -1,0 +1,153 @@
+package packet
+
+import "strings"
+
+// Defect identifies one way in which a packet deviates from a strictly
+// valid TCP/UDP/IPv4 wire format. The taxonomy mirrors the inert-packet
+// rows of Table 3 in the lib·erate paper: every defect here is one that a
+// middlebox, router, or endpoint OS may or may not check for, and those
+// differences are exactly what the inert-packet-insertion evasion class
+// exploits.
+type Defect int
+
+const (
+	// DefectIPVersion: IP version nibble is not 4.
+	DefectIPVersion Defect = iota
+	// DefectIPHeaderLength: IHL below 5 or pointing past the packet.
+	DefectIPHeaderLength
+	// DefectIPTotalLengthLong: Total Length field larger than the bytes
+	// actually on the wire.
+	DefectIPTotalLengthLong
+	// DefectIPTotalLengthShort: Total Length field smaller than the bytes
+	// actually on the wire (trailing bytes are unclaimed).
+	DefectIPTotalLengthShort
+	// DefectIPProtocol: protocol number is not TCP, UDP, or ICMP.
+	DefectIPProtocol
+	// DefectIPChecksum: IP header checksum does not verify.
+	DefectIPChecksum
+	// DefectIPOptionInvalid: an IP option is malformed or unknown.
+	DefectIPOptionInvalid
+	// DefectIPOptionDeprecated: an IP option is syntactically valid but
+	// deprecated (e.g. Stream ID, RFC 6814).
+	DefectIPOptionDeprecated
+	// DefectTCPDataOffset: TCP data offset below 5 or past segment end.
+	DefectTCPDataOffset
+	// DefectTCPChecksum: TCP checksum does not verify.
+	DefectTCPChecksum
+	// DefectTCPNoACK: a non-SYN, non-RST segment without the ACK flag.
+	DefectTCPNoACK
+	// DefectTCPFlagCombo: nonsensical flag combination (SYN+FIN, SYN+RST,
+	// null, or xmas).
+	DefectTCPFlagCombo
+	// DefectUDPChecksum: UDP checksum present but wrong.
+	DefectUDPChecksum
+	// DefectUDPLengthLong: UDP Length field larger than available bytes.
+	DefectUDPLengthLong
+	// DefectUDPLengthShort: UDP Length field smaller than available bytes.
+	DefectUDPLengthShort
+	// DefectTruncated: the buffer is too short to hold the headers it
+	// claims; parsing was best-effort.
+	DefectTruncated
+
+	numDefects
+)
+
+var defectNames = [...]string{
+	DefectIPVersion:          "ip-version",
+	DefectIPHeaderLength:     "ip-header-length",
+	DefectIPTotalLengthLong:  "ip-total-length-long",
+	DefectIPTotalLengthShort: "ip-total-length-short",
+	DefectIPProtocol:         "ip-protocol",
+	DefectIPChecksum:         "ip-checksum",
+	DefectIPOptionInvalid:    "ip-option-invalid",
+	DefectIPOptionDeprecated: "ip-option-deprecated",
+	DefectTCPDataOffset:      "tcp-data-offset",
+	DefectTCPChecksum:        "tcp-checksum",
+	DefectTCPNoACK:           "tcp-no-ack",
+	DefectTCPFlagCombo:       "tcp-flag-combo",
+	DefectUDPChecksum:        "udp-checksum",
+	DefectUDPLengthLong:      "udp-length-long",
+	DefectUDPLengthShort:     "udp-length-short",
+	DefectTruncated:          "truncated",
+}
+
+func (d Defect) String() string {
+	if d >= 0 && int(d) < len(defectNames) {
+		return defectNames[d]
+	}
+	return "defect(?)"
+}
+
+// DefectByName resolves the string form back to a Defect (for
+// configuration files).
+func DefectByName(name string) (Defect, bool) {
+	for d, n := range defectNames {
+		if n == name {
+			return Defect(d), true
+		}
+	}
+	return 0, false
+}
+
+// DefectNames lists every defined defect name.
+func DefectNames() []string {
+	out := make([]string, numDefects)
+	copy(out, defectNames[:])
+	return out
+}
+
+// DefectSet is a bitmask of Defects.
+type DefectSet uint32
+
+// Add returns s with d set.
+func (s DefectSet) Add(d Defect) DefectSet { return s | 1<<uint(d) }
+
+// Has reports whether d is in s.
+func (s DefectSet) Has(d Defect) bool { return s&(1<<uint(d)) != 0 }
+
+// Empty reports whether no defect is set.
+func (s DefectSet) Empty() bool { return s == 0 }
+
+// Intersects reports whether s and t share any defect.
+func (s DefectSet) Intersects(t DefectSet) bool { return s&t != 0 }
+
+// Defects returns the individual defects in s.
+func (s DefectSet) Defects() []Defect {
+	var out []Defect
+	for d := Defect(0); d < numDefects; d++ {
+		if s.Has(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func (s DefectSet) String() string {
+	ds := s.Defects()
+	if len(ds) == 0 {
+		return "clean"
+	}
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = d.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// SetOf builds a DefectSet from a list of defects.
+func SetOf(ds ...Defect) DefectSet {
+	var s DefectSet
+	for _, d := range ds {
+		s = s.Add(d)
+	}
+	return s
+}
+
+// AllDefects is the set of every defined defect.
+func AllDefects() DefectSet {
+	var s DefectSet
+	for d := Defect(0); d < numDefects; d++ {
+		s = s.Add(d)
+	}
+	return s
+}

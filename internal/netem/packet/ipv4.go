@@ -1,0 +1,141 @@
+// Package packet implements parsing, serialization, and validation of
+// IPv4, TCP, UDP, and ICMP packets from scratch using only the standard
+// library. The API follows the layered design popularized by gopacket:
+// explicit header structs that serialize exactly what their fields say,
+// plus a Finalize step that fills in lengths and checksums. Keeping
+// serialization literal is what lets the evasion layer craft deliberately
+// malformed ("inert") packets — a wrong checksum or an impossible header
+// length round-trips through the wire format untouched.
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Addr is an IPv4 address.
+type Addr [4]byte
+
+// AddrFrom parses a dotted-quad string; it panics on malformed input and is
+// intended for literals in tests and topology construction.
+func AddrFrom(s string) Addr {
+	a, err := netip.ParseAddr(s)
+	if err != nil || !a.Is4() {
+		panic(fmt.Sprintf("packet: bad IPv4 literal %q", s))
+	}
+	return Addr(a.As4())
+}
+
+func (a Addr) String() string {
+	return netip.AddrFrom4(a).String()
+}
+
+// IP protocol numbers used by the simulator.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// IPv4 option type codes recognized by the validator.
+const (
+	IPOptEOL         = 0
+	IPOptNOP         = 1
+	IPOptRecordRoute = 7
+	IPOptTimestamp   = 68
+	IPOptSecurity    = 130
+	IPOptLSRR        = 131
+	IPOptStreamID    = 136 // deprecated by RFC 6814
+	IPOptSSRR        = 137
+	IPOptRouterAlert = 148
+)
+
+// IPv4 is an IPv4 header. All fields serialize verbatim: setting Version=6
+// or an inconsistent TotalLength produces exactly that malformed packet on
+// the wire. Finalize fills the derived fields for well-formed packets.
+type IPv4 struct {
+	Version     uint8
+	IHL         uint8 // header length in 32-bit words
+	TOS         uint8
+	TotalLength uint16
+	ID          uint16
+	Flags       uint8  // 3 bits: bit 0x1 = MF (more fragments), 0x2 = DF
+	FragOffset  uint16 // in 8-byte units
+	TTL         uint8
+	Protocol    uint8
+	Checksum    uint16
+	Src, Dst    Addr
+	Options     []byte // raw option bytes, padded by Finalize to a 4-byte multiple
+}
+
+// IP flag bits (stored in the low bits of Flags).
+const (
+	IPFlagMF = 0x1
+	IPFlagDF = 0x2
+)
+
+// MoreFragments reports whether the MF bit is set.
+func (h *IPv4) MoreFragments() bool { return h.Flags&IPFlagMF != 0 }
+
+// headerLen returns the number of bytes the header actually occupies when
+// serialized (20 + options), independent of the IHL field value.
+func (h *IPv4) headerLen() int { return 20 + len(h.Options) }
+
+// marshal appends the serialized header to b.
+func (h *IPv4) marshal(b []byte) []byte {
+	b = append(b, h.Version<<4|h.IHL&0x0f, h.TOS)
+	b = binary.BigEndian.AppendUint16(b, h.TotalLength)
+	b = binary.BigEndian.AppendUint16(b, h.ID)
+	fo := uint16(h.Flags&0x7)<<13 | h.FragOffset&0x1fff
+	b = binary.BigEndian.AppendUint16(b, fo)
+	b = append(b, h.TTL, h.Protocol)
+	b = binary.BigEndian.AppendUint16(b, h.Checksum)
+	b = append(b, h.Src[:]...)
+	b = append(b, h.Dst[:]...)
+	b = append(b, h.Options...)
+	return b
+}
+
+// computeChecksum returns the correct header checksum for the current field
+// values (with the checksum field itself treated as zero).
+func (h *IPv4) computeChecksum() uint16 {
+	buf := make([]byte, 0, h.headerLen())
+	saved := h.Checksum
+	h.Checksum = 0
+	buf = h.marshal(buf)
+	h.Checksum = saved
+	return internetChecksum(0, buf)
+}
+
+// validOptions scans the option bytes and classifies them.
+func validOptions(opts []byte) (invalid, deprecated bool) {
+	i := 0
+	for i < len(opts) {
+		t := opts[i]
+		switch t {
+		case IPOptEOL:
+			return invalid, deprecated
+		case IPOptNOP:
+			i++
+			continue
+		}
+		if i+1 >= len(opts) {
+			return true, deprecated
+		}
+		l := int(opts[i+1])
+		if l < 2 || i+l > len(opts) {
+			return true, deprecated
+		}
+		switch t {
+		case IPOptRecordRoute, IPOptTimestamp, IPOptLSRR, IPOptSSRR, IPOptRouterAlert, IPOptSecurity:
+			// known, acceptable
+		case IPOptStreamID:
+			deprecated = true
+		default:
+			invalid = true
+		}
+		i += l
+	}
+	return invalid, deprecated
+}

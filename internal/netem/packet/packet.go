@@ -1,0 +1,367 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// MTU is the maximum transmission unit assumed throughout the simulator.
+const MTU = 1500
+
+// Packet is a full IPv4 datagram: an IP header, at most one transport
+// header, and an application payload. Exactly one of TCP, UDP, ICMP may be
+// non-nil; when all are nil the payload sits directly above IP (used for
+// wrong-protocol inert packets that still carry transport-shaped bytes in
+// Payload).
+type Packet struct {
+	IP   IPv4
+	TCP  *TCP
+	UDP  *UDP
+	ICMP *ICMP
+	// Payload is the application payload above the transport header (or
+	// above IP when no transport header is present).
+	Payload []byte
+
+	// TrailerPadding appends extra bytes after the payload on the wire
+	// without being claimed by TotalLength. It exists so the
+	// "total length shorter than payload" inert technique can be expressed
+	// naturally: set TotalLength to the claimed size and put the surplus
+	// here.
+	TrailerPadding []byte
+}
+
+// Clone returns a deep copy of p.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.IP.Options = append([]byte(nil), p.IP.Options...)
+	if p.TCP != nil {
+		t := *p.TCP
+		t.Options = append([]byte(nil), p.TCP.Options...)
+		q.TCP = &t
+	}
+	if p.UDP != nil {
+		u := *p.UDP
+		q.UDP = &u
+	}
+	if p.ICMP != nil {
+		ic := *p.ICMP
+		q.ICMP = &ic
+	}
+	q.Payload = append([]byte(nil), p.Payload...)
+	q.TrailerPadding = append([]byte(nil), p.TrailerPadding...)
+	return &q
+}
+
+// transportLen returns the serialized length of the transport header.
+func (p *Packet) transportLen() int {
+	switch {
+	case p.TCP != nil:
+		return p.TCP.headerLen()
+	case p.UDP != nil:
+		return 8
+	case p.ICMP != nil:
+		return 8
+	}
+	return 0
+}
+
+// Finalize fills every derived field (version, header lengths, total
+// length, UDP length, data offset, and all checksums) so that the packet
+// serializes to a strictly valid wire format. Evasion techniques call
+// Finalize first and then corrupt the one field they target.
+func (p *Packet) Finalize() *Packet {
+	// Pad options to 32-bit boundary.
+	for len(p.IP.Options)%4 != 0 {
+		p.IP.Options = append(p.IP.Options, IPOptEOL)
+	}
+	p.IP.Version = 4
+	p.IP.IHL = uint8(p.IP.headerLen() / 4)
+	total := p.IP.headerLen() + p.transportLen() + len(p.Payload)
+	if total > 0xffff {
+		// A packet that cannot be expressed in IPv4 is a caller bug;
+		// silently wrapping the 16-bit length produces baffling failures.
+		panic(fmt.Sprintf("packet: Finalize: datagram of %d bytes exceeds the IPv4 maximum", total))
+	}
+	p.IP.TotalLength = uint16(total)
+	switch {
+	case p.TCP != nil:
+		for len(p.TCP.Options)%4 != 0 {
+			p.TCP.Options = append(p.TCP.Options, 0)
+		}
+		p.TCP.DataOffset = uint8(p.TCP.headerLen() / 4)
+		p.TCP.Checksum = p.TCP.computeChecksum(p.IP.Src, p.IP.Dst, p.Payload)
+	case p.UDP != nil:
+		p.UDP.Length = uint16(8 + len(p.Payload))
+		p.UDP.Checksum = p.UDP.computeChecksum(p.IP.Src, p.IP.Dst, p.Payload)
+	case p.ICMP != nil:
+		p.ICMP.Checksum = p.ICMP.computeChecksum(p.Payload)
+	}
+	p.IP.Checksum = p.IP.computeChecksum()
+	return p
+}
+
+// Serialize produces the literal wire bytes for the packet. No field is
+// recomputed: whatever the header structs say is what goes on the wire.
+func (p *Packet) Serialize() []byte {
+	b := make([]byte, 0, p.IP.headerLen()+p.transportLen()+len(p.Payload)+len(p.TrailerPadding))
+	b = p.IP.marshal(b)
+	switch {
+	case p.TCP != nil:
+		b = p.TCP.marshal(b)
+	case p.UDP != nil:
+		b = p.UDP.marshal(b)
+	case p.ICMP != nil:
+		b = p.ICMP.marshal(b)
+	}
+	b = append(b, p.Payload...)
+	b = append(b, p.TrailerPadding...)
+	return b
+}
+
+// Inspect parses raw wire bytes into a Packet and reports every defect it
+// finds. Parsing is best-effort: a malformed packet still yields the most
+// plausible interpretation, because middleboxes differ in how much of a
+// malformed packet they are willing to look at — that difference is the
+// point of this library.
+func Inspect(raw []byte) (*Packet, DefectSet) {
+	var defects DefectSet
+	p := &Packet{}
+	if len(raw) < 20 {
+		defects = defects.Add(DefectTruncated)
+		return p, defects
+	}
+	h := &p.IP
+	h.Version = raw[0] >> 4
+	h.IHL = raw[0] & 0x0f
+	h.TOS = raw[1]
+	h.TotalLength = binary.BigEndian.Uint16(raw[2:4])
+	h.ID = binary.BigEndian.Uint16(raw[4:6])
+	fo := binary.BigEndian.Uint16(raw[6:8])
+	h.Flags = uint8(fo >> 13)
+	h.FragOffset = fo & 0x1fff
+	h.TTL = raw[8]
+	h.Protocol = raw[9]
+	h.Checksum = binary.BigEndian.Uint16(raw[10:12])
+	copy(h.Src[:], raw[12:16])
+	copy(h.Dst[:], raw[16:20])
+
+	if h.Version != 4 {
+		defects = defects.Add(DefectIPVersion)
+	}
+	hdrLen := int(h.IHL) * 4
+	if h.IHL < 5 || hdrLen > len(raw) {
+		defects = defects.Add(DefectIPHeaderLength)
+		hdrLen = 20 // best-effort fallback
+	}
+	if hdrLen > 20 {
+		h.Options = append([]byte(nil), raw[20:hdrLen]...)
+		inv, dep := validOptions(h.Options)
+		if inv {
+			defects = defects.Add(DefectIPOptionInvalid)
+		}
+		if dep {
+			defects = defects.Add(DefectIPOptionDeprecated)
+		}
+	}
+	// Verify header checksum over the claimed header bytes.
+	if internetChecksum(0, raw[:hdrLen]) != 0 {
+		defects = defects.Add(DefectIPChecksum)
+	}
+	// Total length consistency.
+	claimed := int(h.TotalLength)
+	switch {
+	case claimed > len(raw):
+		defects = defects.Add(DefectIPTotalLengthLong)
+	case claimed < len(raw):
+		defects = defects.Add(DefectIPTotalLengthShort)
+		p.TrailerPadding = append([]byte(nil), raw[claimed:]...)
+	}
+	end := claimed
+	if end > len(raw) || end < hdrLen {
+		end = len(raw)
+	}
+	body := raw[hdrLen:end]
+
+	// Fragments other than the first carry no parseable transport header.
+	if h.FragOffset != 0 {
+		p.Payload = append([]byte(nil), body...)
+		return p, defects
+	}
+
+	switch h.Protocol {
+	case ProtoTCP:
+		defects |= p.parseTCP(body)
+	case ProtoUDP:
+		defects |= p.parseUDP(body)
+	case ProtoICMP:
+		defects |= p.parseICMP(body)
+	default:
+		defects = defects.Add(DefectIPProtocol)
+		p.Payload = append([]byte(nil), body...)
+	}
+	return p, defects
+}
+
+func (p *Packet) parseTCP(body []byte) DefectSet {
+	var defects DefectSet
+	if len(body) < 20 {
+		p.Payload = append([]byte(nil), body...)
+		return defects.Add(DefectTruncated)
+	}
+	t := &TCP{}
+	t.SrcPort = binary.BigEndian.Uint16(body[0:2])
+	t.DstPort = binary.BigEndian.Uint16(body[2:4])
+	t.Seq = binary.BigEndian.Uint32(body[4:8])
+	t.Ack = binary.BigEndian.Uint32(body[8:12])
+	t.DataOffset = body[12] >> 4
+	t.Flags = TCPFlags(body[13])
+	t.Window = binary.BigEndian.Uint16(body[14:16])
+	t.Checksum = binary.BigEndian.Uint16(body[16:18])
+	t.Urgent = binary.BigEndian.Uint16(body[18:20])
+	p.TCP = t
+
+	off := int(t.DataOffset) * 4
+	if t.DataOffset < 5 || off > len(body) {
+		defects = defects.Add(DefectTCPDataOffset)
+		off = 20
+	}
+	if off > 20 {
+		t.Options = append([]byte(nil), body[20:off]...)
+	}
+	p.Payload = append([]byte(nil), body[off:]...)
+
+	// Checksums cannot be verified on a first fragment: the rest of the
+	// segment is in later fragments.
+	if !p.IP.MoreFragments() && t.computeChecksum(p.IP.Src, p.IP.Dst, p.Payload) != t.Checksum {
+		defects = defects.Add(DefectTCPChecksum)
+	}
+	if t.Flags.invalid() {
+		defects = defects.Add(DefectTCPFlagCombo)
+	}
+	if !t.Flags.Has(FlagACK) && !t.Flags.Has(FlagSYN) && !t.Flags.Has(FlagRST) && !t.Flags.invalid() {
+		defects = defects.Add(DefectTCPNoACK)
+	}
+	return defects
+}
+
+func (p *Packet) parseUDP(body []byte) DefectSet {
+	var defects DefectSet
+	if len(body) < 8 {
+		p.Payload = append([]byte(nil), body...)
+		return defects.Add(DefectTruncated)
+	}
+	u := &UDP{
+		SrcPort:  binary.BigEndian.Uint16(body[0:2]),
+		DstPort:  binary.BigEndian.Uint16(body[2:4]),
+		Length:   binary.BigEndian.Uint16(body[4:6]),
+		Checksum: binary.BigEndian.Uint16(body[6:8]),
+	}
+	p.UDP = u
+	p.Payload = append([]byte(nil), body[8:]...)
+	if p.IP.MoreFragments() {
+		// Length and checksum describe the full datagram; they cannot be
+		// judged from a first fragment alone.
+		return defects
+	}
+	switch {
+	case int(u.Length) > len(body):
+		defects = defects.Add(DefectUDPLengthLong)
+	case int(u.Length) < len(body):
+		defects = defects.Add(DefectUDPLengthShort)
+	}
+	if u.Checksum != 0 {
+		want := u.computeChecksum(p.IP.Src, p.IP.Dst, p.Payload)
+		if want != u.Checksum {
+			defects = defects.Add(DefectUDPChecksum)
+		}
+	}
+	return defects
+}
+
+func (p *Packet) parseICMP(body []byte) DefectSet {
+	var defects DefectSet
+	if len(body) < 8 {
+		p.Payload = append([]byte(nil), body...)
+		return defects.Add(DefectTruncated)
+	}
+	ic := &ICMP{
+		Type:     body[0],
+		Code:     body[1],
+		Checksum: binary.BigEndian.Uint16(body[2:4]),
+		Rest:     binary.BigEndian.Uint32(body[4:8]),
+	}
+	p.ICMP = ic
+	p.Payload = append([]byte(nil), body[8:]...)
+	if ic.computeChecksum(p.Payload) != ic.Checksum {
+		// ICMP checksum errors are folded into the generic truncation
+		// defect bucket; no middlebox in the study keyed on them.
+		defects = defects.Add(DefectTruncated)
+	}
+	return defects
+}
+
+// FlowKey identifies a unidirectional flow.
+type FlowKey struct {
+	Proto            uint8
+	Src, Dst         Addr
+	SrcPort, DstPort uint16
+}
+
+// Reverse returns the key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Proto: k.Proto, Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort}
+}
+
+// Canonical returns a direction-independent key (the lexicographically
+// smaller orientation) plus whether the original orientation was kept.
+func (k FlowKey) Canonical() (FlowKey, bool) {
+	r := k.Reverse()
+	if less(k, r) {
+		return k, true
+	}
+	return r, false
+}
+
+func less(a, b FlowKey) bool {
+	if a.Src != b.Src {
+		return string(a.Src[:]) < string(b.Src[:])
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	if a.Dst != b.Dst {
+		return string(a.Dst[:]) < string(b.Dst[:])
+	}
+	return a.DstPort < b.DstPort
+}
+
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%d %s:%d>%s:%d", k.Proto, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// Flow extracts the packet's flow key. Port fields are zero for packets
+// without a transport header.
+func (p *Packet) Flow() FlowKey {
+	k := FlowKey{Proto: p.IP.Protocol, Src: p.IP.Src, Dst: p.IP.Dst}
+	switch {
+	case p.TCP != nil:
+		k.SrcPort, k.DstPort = p.TCP.SrcPort, p.TCP.DstPort
+	case p.UDP != nil:
+		k.SrcPort, k.DstPort = p.UDP.SrcPort, p.UDP.DstPort
+	}
+	return k
+}
+
+func (p *Packet) String() string {
+	switch {
+	case p.TCP != nil:
+		return fmt.Sprintf("TCP %s:%d>%s:%d seq=%d ack=%d %s len=%d ttl=%d",
+			p.IP.Src, p.TCP.SrcPort, p.IP.Dst, p.TCP.DstPort, p.TCP.Seq, p.TCP.Ack, p.TCP.Flags, len(p.Payload), p.IP.TTL)
+	case p.UDP != nil:
+		return fmt.Sprintf("UDP %s:%d>%s:%d len=%d ttl=%d",
+			p.IP.Src, p.UDP.SrcPort, p.IP.Dst, p.UDP.DstPort, len(p.Payload), p.IP.TTL)
+	case p.ICMP != nil:
+		return fmt.Sprintf("ICMP %s>%s type=%d code=%d", p.IP.Src, p.IP.Dst, p.ICMP.Type, p.ICMP.Code)
+	}
+	return fmt.Sprintf("IP %s>%s proto=%d len=%d", p.IP.Src, p.IP.Dst, p.IP.Protocol, len(p.Payload))
+}

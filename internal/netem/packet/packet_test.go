@@ -1,0 +1,344 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	srcA = AddrFrom("10.0.0.1")
+	dstA = AddrFrom("192.168.1.2")
+)
+
+func TestTCPRoundTrip(t *testing.T) {
+	p := NewTCP(srcA, dstA, 40000, 80, 1000, 2000, FlagACK|FlagPSH, []byte("GET / HTTP/1.1\r\nHost: example.com\r\n\r\n"))
+	raw := p.Serialize()
+	q, defects := Inspect(raw)
+	if !defects.Empty() {
+		t.Fatalf("finalized packet has defects: %v", defects)
+	}
+	if q.TCP == nil {
+		t.Fatal("TCP header lost")
+	}
+	if q.TCP.SrcPort != 40000 || q.TCP.DstPort != 80 || q.TCP.Seq != 1000 || q.TCP.Ack != 2000 {
+		t.Fatalf("header mismatch: %+v", q.TCP)
+	}
+	if !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatalf("payload mismatch: %q", q.Payload)
+	}
+	if q.IP.Src != srcA || q.IP.Dst != dstA {
+		t.Fatalf("address mismatch: %v %v", q.IP.Src, q.IP.Dst)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	p := NewUDP(srcA, dstA, 5000, 3478, []byte{0, 1, 0, 8, 0x80, 0x55})
+	q, defects := Inspect(p.Serialize())
+	if !defects.Empty() {
+		t.Fatalf("defects: %v", defects)
+	}
+	if q.UDP == nil || q.UDP.DstPort != 3478 {
+		t.Fatalf("UDP header: %+v", q.UDP)
+	}
+	if !bytes.Equal(q.Payload, p.Payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestSerializeParsePropertyTCP(t *testing.T) {
+	f := func(srcPort, dstPort uint16, seq, ack uint32, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		p := NewTCP(srcA, dstA, srcPort, dstPort, seq, ack, FlagACK, payload)
+		q, defects := Inspect(p.Serialize())
+		return defects.Empty() &&
+			q.TCP.SrcPort == srcPort && q.TCP.DstPort == dstPort &&
+			q.TCP.Seq == seq && q.TCP.Ack == ack &&
+			bytes.Equal(q.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeParsePropertyUDP(t *testing.T) {
+	f := func(srcPort, dstPort uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		p := NewUDP(srcA, dstA, srcPort, dstPort, payload)
+		q, defects := Inspect(p.Serialize())
+		return defects.Empty() &&
+			q.UDP.SrcPort == srcPort && q.UDP.DstPort == dstPort &&
+			bytes.Equal(q.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// corrupt applies fn to a clone of a clean packet and returns its defects.
+func corrupt(t *testing.T, fn func(*Packet)) DefectSet {
+	t.Helper()
+	p := NewTCP(srcA, dstA, 40000, 80, 1, 0, FlagACK, []byte("hello world payload"))
+	q := p.Clone()
+	fn(q)
+	_, defects := Inspect(q.Serialize())
+	return defects
+}
+
+func TestDefectDetection(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(*Packet)
+		want Defect
+	}{
+		{"version", func(p *Packet) { p.IP.Version = 6 }, DefectIPVersion},
+		{"ihl", func(p *Packet) { p.IP.IHL = 3 }, DefectIPHeaderLength},
+		{"total-long", func(p *Packet) { p.IP.TotalLength += 20 }, DefectIPTotalLengthLong},
+		{"total-short", func(p *Packet) { p.IP.TotalLength -= 5 }, DefectIPTotalLengthShort},
+		{"protocol", func(p *Packet) { p.IP.Protocol = 143 }, DefectIPProtocol},
+		{"ip-checksum", func(p *Packet) { p.IP.Checksum ^= 0xffff }, DefectIPChecksum},
+		{"tcp-checksum", func(p *Packet) { p.TCP.Checksum ^= 0x1234 }, DefectTCPChecksum},
+		{"data-offset", func(p *Packet) { p.TCP.DataOffset = 15 }, DefectTCPDataOffset},
+		{"flag-combo", func(p *Packet) { p.TCP.Flags = FlagSYN | FlagFIN }, DefectTCPFlagCombo},
+		{"no-ack", func(p *Packet) { p.TCP.Flags = FlagPSH }, DefectTCPNoACK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defects := corrupt(t, tc.fn)
+			if !defects.Has(tc.want) {
+				t.Fatalf("defects = %v, want %v", defects, tc.want)
+			}
+		})
+	}
+}
+
+func TestDefectDetectionNoFalsePositives(t *testing.T) {
+	defects := corrupt(t, func(*Packet) {})
+	if !defects.Empty() {
+		t.Fatalf("clean packet flagged: %v", defects)
+	}
+}
+
+func TestWrongProtocolKeepsBody(t *testing.T) {
+	p := NewTCP(srcA, dstA, 40000, 80, 1, 0, FlagACK, []byte("GET /x HTTP/1.1\r\n"))
+	p.IP.Protocol = 99
+	p.IP.Checksum = p.IP.computeChecksum() // keep the rest valid
+	q, defects := Inspect(p.Serialize())
+	if !defects.Has(DefectIPProtocol) {
+		t.Fatalf("missing proto defect: %v", defects)
+	}
+	if q.TCP != nil {
+		t.Fatal("wrong-proto packet should not parse a TCP header")
+	}
+	// The transport header bytes + payload land in Payload.
+	if !bytes.Contains(q.Payload, []byte("GET /x")) {
+		t.Fatal("payload bytes lost")
+	}
+}
+
+func TestUDPDefects(t *testing.T) {
+	mk := func(fn func(*Packet)) DefectSet {
+		p := NewUDP(srcA, dstA, 5000, 53, []byte("0123456789"))
+		fn(p)
+		_, d := Inspect(p.Serialize())
+		return d
+	}
+	if d := mk(func(p *Packet) { p.UDP.Checksum ^= 0x4242 }); !d.Has(DefectUDPChecksum) {
+		t.Fatalf("checksum: %v", d)
+	}
+	if d := mk(func(p *Packet) { p.UDP.Length += 7 }); !d.Has(DefectUDPLengthLong) {
+		t.Fatalf("length-long: %v", d)
+	}
+	if d := mk(func(p *Packet) { p.UDP.Length -= 4 }); !d.Has(DefectUDPLengthShort) {
+		t.Fatalf("length-short: %v", d)
+	}
+}
+
+func TestIPOptions(t *testing.T) {
+	base := func(opts []byte) DefectSet {
+		p := NewTCP(srcA, dstA, 40000, 80, 1, 0, FlagACK, []byte("x"))
+		p.IP.Options = opts
+		p.Finalize()
+		_, d := Inspect(p.Serialize())
+		return d
+	}
+	// NOP padding: valid.
+	if d := base([]byte{IPOptNOP, IPOptNOP, IPOptNOP, IPOptEOL}); !d.Empty() {
+		t.Fatalf("nop options flagged: %v", d)
+	}
+	// Router alert: valid.
+	if d := base([]byte{IPOptRouterAlert, 4, 0, 0}); !d.Empty() {
+		t.Fatalf("router alert flagged: %v", d)
+	}
+	// Unknown option type: invalid.
+	if d := base([]byte{0x99, 4, 0, 0}); !d.Has(DefectIPOptionInvalid) {
+		t.Fatalf("unknown option not flagged: %v", d)
+	}
+	// Bad length: invalid.
+	if d := base([]byte{IPOptRecordRoute, 0, 0, 0}); !d.Has(DefectIPOptionInvalid) {
+		t.Fatalf("zero-length option not flagged: %v", d)
+	}
+	// Stream ID: deprecated.
+	if d := base([]byte{IPOptStreamID, 4, 0, 1}); !d.Has(DefectIPOptionDeprecated) {
+		t.Fatalf("stream id not flagged deprecated: %v", d)
+	}
+}
+
+func TestTrailerPadding(t *testing.T) {
+	p := NewTCP(srcA, dstA, 40000, 80, 1, 0, FlagACK, []byte("claimed"))
+	p.TrailerPadding = []byte("surplus!")
+	q, d := Inspect(p.Serialize())
+	if !d.Has(DefectIPTotalLengthShort) {
+		t.Fatalf("surplus bytes not flagged: %v", d)
+	}
+	if !bytes.Equal(q.Payload, []byte("claimed")) {
+		t.Fatalf("claimed payload = %q", q.Payload)
+	}
+	if !bytes.Equal(q.TrailerPadding, []byte("surplus!")) {
+		t.Fatalf("trailer = %q", q.TrailerPadding)
+	}
+}
+
+func TestFragmentReassemblyIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 3, 5} {
+		payload := make([]byte, 900)
+		rng.Read(payload)
+		p := NewTCP(srcA, dstA, 40000, 80, 55, 0, FlagACK, payload)
+		p.IP.ID = 424
+		p.Finalize()
+		orig := p.Serialize()
+		frags := Fragment(p, n)
+		if len(frags) != n {
+			t.Fatalf("got %d fragments, want %d", len(frags), n)
+		}
+		// Manual reassembly of the IP body.
+		body := make([]byte, 0, len(orig))
+		for _, f := range frags {
+			off := int(f.IP.FragOffset) * 8
+			need := off + len(f.Payload)
+			if need > len(body) {
+				body = append(body, make([]byte, need-len(body))...)
+			}
+			copy(body[off:], f.Payload)
+		}
+		if !bytes.Equal(body, orig[20:]) {
+			t.Fatalf("n=%d reassembled body mismatch", n)
+		}
+		// MF set on all but last.
+		for i, f := range frags {
+			wantMF := i != len(frags)-1
+			if f.IP.MoreFragments() != wantMF {
+				t.Fatalf("frag %d MF=%v", i, f.IP.MoreFragments())
+			}
+			if _, d := Inspect(f.Serialize()); d.Has(DefectIPChecksum) || d.Has(DefectIPTotalLengthLong) {
+				t.Fatalf("fragment %d malformed: %v", i, d)
+			}
+		}
+	}
+}
+
+func TestFragmentFirstCarriesTransportHeader(t *testing.T) {
+	p := NewTCP(srcA, dstA, 40000, 80, 9, 0, FlagACK, bytes.Repeat([]byte("a"), 600))
+	frags := Fragment(p, 2)
+	q, _ := Inspect(frags[0].Serialize())
+	if q.TCP == nil || q.TCP.DstPort != 80 {
+		t.Fatal("first fragment lost the TCP header view")
+	}
+	q2, _ := Inspect(frags[1].Serialize())
+	if q2.TCP != nil {
+		t.Fatal("second fragment should not parse a transport header")
+	}
+}
+
+func TestClodeDeep(t *testing.T) {
+	p := NewTCP(srcA, dstA, 1, 2, 3, 4, FlagACK, []byte("abc"))
+	q := p.Clone()
+	q.Payload[0] = 'z'
+	q.TCP.SrcPort = 999
+	if p.Payload[0] != 'a' || p.TCP.SrcPort != 1 {
+		t.Fatal("Clone is shallow")
+	}
+}
+
+func TestFlowKey(t *testing.T) {
+	p := NewTCP(srcA, dstA, 40000, 80, 0, 0, FlagSYN, nil)
+	k := p.Flow()
+	if k.SrcPort != 40000 || k.DstPort != 80 || k.Proto != ProtoTCP {
+		t.Fatalf("flow key: %v", k)
+	}
+	r := k.Reverse()
+	if r.SrcPort != 80 || r.Src != dstA {
+		t.Fatalf("reverse: %v", r)
+	}
+	c1, fwd1 := k.Canonical()
+	c2, fwd2 := r.Canonical()
+	if c1 != c2 {
+		t.Fatalf("canonical keys differ: %v vs %v", c1, c2)
+	}
+	if fwd1 == fwd2 {
+		t.Fatal("both orientations claim the same direction")
+	}
+}
+
+func TestICMPTimeExceeded(t *testing.T) {
+	orig := NewTCP(srcA, dstA, 40000, 80, 7, 0, FlagACK, []byte("data")).Serialize()
+	router := AddrFrom("10.9.9.9")
+	p := NewICMPTimeExceeded(router, srcA, orig)
+	q, d := Inspect(p.Serialize())
+	if !d.Empty() {
+		t.Fatalf("defects: %v", d)
+	}
+	if q.ICMP == nil || q.ICMP.Type != ICMPTimeExceeded {
+		t.Fatalf("ICMP: %+v", q.ICMP)
+	}
+	if len(q.Payload) != 28 {
+		t.Fatalf("quoted %d bytes, want 28", len(q.Payload))
+	}
+}
+
+func TestChecksumInvolution(t *testing.T) {
+	// Verifying a correct checksum over header bytes yields zero.
+	p := NewTCP(srcA, dstA, 1, 2, 3, 4, FlagACK, []byte("xyz"))
+	raw := p.Serialize()
+	if internetChecksum(0, raw[:20]) != 0 {
+		t.Fatal("IP checksum does not self-verify")
+	}
+}
+
+func TestFlagStrings(t *testing.T) {
+	if s := (FlagSYN | FlagACK).String(); s != "SYN|ACK" {
+		t.Fatalf("got %q", s)
+	}
+	if s := TCPFlags(0).String(); s != "none" {
+		t.Fatalf("got %q", s)
+	}
+}
+
+func TestDefectSetOps(t *testing.T) {
+	s := SetOf(DefectIPVersion, DefectTCPChecksum)
+	if !s.Has(DefectIPVersion) || !s.Has(DefectTCPChecksum) || s.Has(DefectUDPChecksum) {
+		t.Fatalf("set ops wrong: %v", s)
+	}
+	if len(s.Defects()) != 2 {
+		t.Fatalf("defects list: %v", s.Defects())
+	}
+	if !s.Intersects(SetOf(DefectTCPChecksum)) || s.Intersects(SetOf(DefectUDPChecksum)) {
+		t.Fatal("intersects wrong")
+	}
+	if AllDefects().Empty() {
+		t.Fatal("AllDefects empty")
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	_, d := Inspect([]byte{1, 2, 3})
+	if !d.Has(DefectTruncated) {
+		t.Fatalf("short buffer: %v", d)
+	}
+}

@@ -1,0 +1,110 @@
+package packet
+
+// Reassembler reconstructs IPv4 datagrams from fragments. It is a pure
+// data structure: callers decide when to expire partial state (endpoints
+// and in-path normalizers both embed one).
+type Reassembler struct {
+	buf map[fragKey]*fragState
+	// OverlapFirstWins selects the RFC 815 hole-filling policy where bytes
+	// already received are kept when a later fragment overlaps them.
+	// The endpoints in this study all behave this way.
+	OverlapFirstWins bool
+}
+
+type fragKey struct {
+	src, dst Addr
+	id       uint16
+	proto    uint8
+}
+
+type fragState struct {
+	data    []byte
+	have    []bool
+	total   int // -1 until the last fragment arrives
+	hdr     []byte
+	gotHead bool
+}
+
+// NewReassembler returns an empty reassembler with first-wins overlap
+// policy.
+func NewReassembler() *Reassembler {
+	return &Reassembler{buf: make(map[fragKey]*fragState), OverlapFirstWins: true}
+}
+
+// Pending reports the number of datagrams with outstanding fragments.
+func (r *Reassembler) Pending() int { return len(r.buf) }
+
+// Flush discards all partial state.
+func (r *Reassembler) Flush() { r.buf = make(map[fragKey]*fragState) }
+
+// Add feeds one raw packet in. For non-fragments it returns (raw, true)
+// unchanged. For fragments it returns (nil, false) until the datagram
+// completes, at which point it returns the reassembled raw datagram.
+func (r *Reassembler) Add(raw []byte) ([]byte, bool) {
+	if len(raw) < 20 {
+		return raw, true
+	}
+	p, _ := Inspect(raw)
+	if p.IP.FragOffset == 0 && !p.IP.MoreFragments() {
+		return raw, true
+	}
+	key := fragKey{src: p.IP.Src, dst: p.IP.Dst, id: p.IP.ID, proto: p.IP.Protocol}
+	st := r.buf[key]
+	if st == nil {
+		st = &fragState{total: -1}
+		r.buf[key] = st
+	}
+	hdrLen := int(p.IP.IHL) * 4
+	if hdrLen < 20 || hdrLen > len(raw) {
+		hdrLen = 20
+	}
+	body := raw[hdrLen:]
+	if int(p.IP.TotalLength) >= hdrLen && int(p.IP.TotalLength) <= len(raw) {
+		body = raw[hdrLen:p.IP.TotalLength]
+	}
+	off := int(p.IP.FragOffset) * 8
+	end := off + len(body)
+	if end > len(st.data) {
+		st.data = append(st.data, make([]byte, end-len(st.data))...)
+		st.have = append(st.have, make([]bool, end-len(st.have))...)
+	}
+	for i, b := range body {
+		if r.OverlapFirstWins && st.have[off+i] {
+			continue
+		}
+		st.data[off+i] = b
+		st.have[off+i] = true
+	}
+	if !p.IP.MoreFragments() {
+		st.total = end
+	}
+	if p.IP.FragOffset == 0 {
+		st.gotHead = true
+		st.hdr = append(st.hdr[:0], raw[:hdrLen]...)
+	}
+	if st.total < 0 || !st.gotHead {
+		return nil, false
+	}
+	for i := 0; i < st.total; i++ {
+		if !st.have[i] {
+			return nil, false
+		}
+	}
+	delete(r.buf, key)
+	// Rebuild the datagram bytewise from the head fragment's header so no
+	// transport bytes are reinterpreted along the way.
+	out := make([]byte, 0, len(st.hdr)+st.total)
+	out = append(out, st.hdr...)
+	out = append(out, st.data[:st.total]...)
+	total := len(st.hdr) + st.total
+	out[2] = byte(total >> 8)
+	out[3] = byte(total)
+	out[6] = 0 // clear flags (MF/DF) and high offset bits
+	out[7] = 0
+	out[10] = 0
+	out[11] = 0
+	cs := internetChecksum(0, out[:len(st.hdr)])
+	out[10] = byte(cs >> 8)
+	out[11] = byte(cs)
+	return out, true
+}

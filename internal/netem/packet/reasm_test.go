@@ -1,0 +1,186 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mkFragmented(t *testing.T, payloadLen, parts int, id uint16) (orig []byte, frags [][]byte) {
+	t.Helper()
+	payload := make([]byte, payloadLen)
+	rand.New(rand.NewSource(int64(id))).Read(payload)
+	p := NewTCP(srcA, dstA, 40000, 80, 7, 0, FlagACK, payload)
+	p.IP.ID = id
+	p.Finalize()
+	orig = p.Serialize()
+	for _, f := range Fragment(p, parts) {
+		frags = append(frags, f.Serialize())
+	}
+	return orig, frags
+}
+
+func TestReassemblerIdentityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payloadLen := 100 + rng.Intn(1200)
+		parts := 2 + rng.Intn(4)
+		orig, frags := mkFragmented(t, payloadLen, parts, uint16(seed)|1)
+		rng.Shuffle(len(frags), func(i, j int) { frags[i], frags[j] = frags[j], frags[i] })
+		r := NewReassembler()
+		var out []byte
+		done := 0
+		for _, fr := range frags {
+			if whole, ok := r.Add(fr); ok {
+				out = whole
+				done++
+			}
+		}
+		return done == 1 && bytes.Equal(out, orig) && r.Pending() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassemblerNonFragmentPassthrough(t *testing.T) {
+	r := NewReassembler()
+	raw := NewTCP(srcA, dstA, 1, 2, 3, 0, FlagACK, []byte("whole")).Serialize()
+	out, done := r.Add(raw)
+	if !done || !bytes.Equal(out, raw) {
+		t.Fatal("non-fragment altered")
+	}
+}
+
+func TestReassemblerIncompleteStaysPending(t *testing.T) {
+	_, frags := mkFragmented(t, 800, 3, 42)
+	r := NewReassembler()
+	for _, fr := range frags[:2] {
+		if _, done := r.Add(fr); done {
+			t.Fatal("completed without all fragments")
+		}
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("pending = %d", r.Pending())
+	}
+	r.Flush()
+	if r.Pending() != 0 {
+		t.Fatal("flush failed")
+	}
+	// After flushing, even the last fragment cannot complete.
+	if _, done := r.Add(frags[2]); done {
+		t.Fatal("completed from a flushed state")
+	}
+}
+
+func TestReassemblerInterleavedDatagrams(t *testing.T) {
+	origA, fragsA := mkFragmented(t, 700, 2, 100)
+	origB, fragsB := mkFragmented(t, 900, 3, 200)
+	r := NewReassembler()
+	var got [][]byte
+	feed := [][]byte{fragsA[0], fragsB[0], fragsB[1], fragsA[1], fragsB[2]}
+	for _, fr := range feed {
+		if whole, done := r.Add(fr); done {
+			got = append(got, whole)
+		}
+	}
+	if len(got) != 2 {
+		t.Fatalf("reassembled %d datagrams, want 2", len(got))
+	}
+	if !bytes.Equal(got[0], origA) || !bytes.Equal(got[1], origB) {
+		t.Fatal("interleaved reassembly mixed datagrams")
+	}
+}
+
+func TestReassemblerOverlapFirstWins(t *testing.T) {
+	// Two "first" fragments with conflicting bytes at the same offset: the
+	// first to arrive wins (the policy endpoints in the study exhibit, and
+	// the basis of the GFC desync evasion).
+	payload := bytes.Repeat([]byte("A"), 256)
+	p := NewTCP(srcA, dstA, 40000, 80, 7, 0, FlagACK, payload)
+	p.IP.ID = 77
+	p.Finalize()
+	frags := Fragment(p, 2)
+
+	conflict := frags[0].Clone()
+	for i := range conflict.Payload {
+		conflict.Payload[i] = 'Z'
+	}
+	conflict.IP.Checksum = 0
+	// Recompute header checksum only (keep it a valid fragment).
+	tmp, _ := Inspect(conflict.Serialize())
+	_ = tmp
+	conflictRaw := reserializeFragment(conflict)
+
+	r := NewReassembler()
+	r.Add(conflictRaw)          // Z-copy arrives first
+	r.Add(frags[0].Serialize()) // genuine copy second: ignored
+	out, done := r.Add(frags[1].Serialize())
+	if !done {
+		t.Fatal("not reassembled")
+	}
+	q, _ := Inspect(out)
+	if !bytes.Contains(q.Payload, []byte("ZZZZ")) {
+		t.Fatal("first copy did not win")
+	}
+	if bytes.Contains(q.Payload[:len(conflict.Payload)-20], []byte("AAAA")) {
+		t.Fatal("second copy leaked into the overlapped range")
+	}
+}
+
+func reserializeFragment(f *Packet) []byte {
+	raw := f.Serialize()
+	raw[10], raw[11] = 0, 0
+	cs := internetChecksum(0, raw[:20+len(f.IP.Options)])
+	raw[10], raw[11] = byte(cs>>8), byte(cs)
+	return raw
+}
+
+func TestInspectNeverPanicsProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		p, _ := Inspect(data)
+		_ = p.String()
+		_ = p.Flow()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassemblerNeverPanicsProperty(t *testing.T) {
+	r := NewReassembler()
+	f := func(data []byte) bool {
+		_, _ = r.Add(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentAtBoundaries(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 400)
+	p := NewTCP(srcA, dstA, 40000, 80, 9, 0, FlagACK, payload)
+	p.IP.ID = 9
+	p.Finalize()
+	frags := FragmentAt(p, []int{48, 200, 201, -5, 10000}) // 201 unaligned→200 dup; junk ignored
+	if len(frags) != 3 {
+		t.Fatalf("fragments = %d, want 3 (cuts at 48 and 200)", len(frags))
+	}
+	if frags[0].IP.FragOffset != 0 || frags[1].IP.FragOffset != 6 || frags[2].IP.FragOffset != 25 {
+		t.Fatalf("offsets: %d %d %d", frags[0].IP.FragOffset, frags[1].IP.FragOffset, frags[2].IP.FragOffset)
+	}
+	// Reassembly still yields the original.
+	r := NewReassembler()
+	var out []byte
+	for _, fr := range frags {
+		if whole, done := r.Add(fr.Serialize()); done {
+			out = whole
+		}
+	}
+	if !bytes.Equal(out, p.Serialize()) {
+		t.Fatal("FragmentAt fragments do not reassemble")
+	}
+}

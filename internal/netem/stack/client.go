@@ -1,0 +1,451 @@
+package stack
+
+import (
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/netem/packet"
+	"repro/internal/netem/vclock"
+)
+
+// ClientHost demultiplexes arriving packets to the client-side flows that
+// own them. It is the netem client Endpoint; individual TCPClient and
+// UDPClient flows register with it.
+type ClientHost struct {
+	Env   *netem.Env
+	Clock *vclock.Clock
+	Addr  packet.Addr
+
+	flows map[packet.FlowKey]flowSink
+	ipid  uint16
+	// ICMP receives ICMP messages addressed to the host (time-exceeded
+	// from TTL probes, protocol-unreachable from inert packets).
+	ICMP func(p *packet.Packet)
+	// Captured counts raw arrivals for diagnostics.
+	Captured int
+	// BytesOut and BytesIn account for every wire byte the host sends and
+	// receives — the replay data-consumption metric the paper reports per
+	// characterization round.
+	BytesOut int64
+	BytesIn  int64
+}
+
+// Send puts raw on the wire from the client end, with byte accounting.
+func (h *ClientHost) Send(raw []byte) {
+	h.BytesOut += int64(len(raw))
+	h.Env.FromClient(raw)
+}
+
+type flowSink interface {
+	deliver(p *packet.Packet, defects packet.DefectSet)
+}
+
+// NewClientHost wires a client host to env's client end.
+func NewClientHost(env *netem.Env) *ClientHost {
+	h := &ClientHost{Env: env, Clock: env.Clock, Addr: env.ClientAddr, flows: make(map[packet.FlowKey]flowSink)}
+	env.SetClient(h)
+	return h
+}
+
+// Deliver implements netem.Endpoint.
+func (h *ClientHost) Deliver(raw []byte) {
+	h.Captured++
+	h.BytesIn += int64(len(raw))
+	p, defects := packet.Inspect(raw)
+	if p.ICMP != nil {
+		if h.ICMP != nil {
+			h.ICMP(p)
+		}
+		return
+	}
+	// Arriving packets are keyed by their reversed flow (we stored the
+	// outbound orientation).
+	key := p.Flow().Reverse()
+	if sink, ok := h.flows[key]; ok {
+		sink.deliver(p, defects)
+	}
+}
+
+func (h *ClientHost) nextIPID() uint16 {
+	h.ipid++
+	return h.ipid
+}
+
+// Forget removes a flow registration.
+func (h *ClientHost) Forget(key packet.FlowKey) { delete(h.flows, key) }
+
+// TCPClient is one client-side TCP connection. Outgoing application writes
+// pass through Transform, which is where lib·erate installs evasion
+// techniques.
+type TCPClient struct {
+	host             *ClientHost
+	Dst              packet.Addr
+	SrcPort, DstPort uint16
+
+	Transform OutgoingTransform
+
+	iss, sndNxt, rcvNxt uint32
+	established         bool
+	closed              bool
+	closeReason         string
+	ooo                 map[uint32][]byte
+
+	writeIndex      int
+	dataPacketsSent int
+	// sendReady is the virtual time at which the previous scheduled
+	// emission completes; writes queue behind it.
+	sendReady time.Time
+
+	// OnConnected fires when the handshake completes.
+	OnConnected func()
+	// OnData receives in-order server stream bytes.
+	OnData func(data []byte)
+	// OnClosed fires once when the connection dies ("rst", "fin").
+	OnClosed func(reason string)
+
+	// Received accumulates the in-order byte stream from the server.
+	Received []byte
+	// AckedByServer tracks the highest cumulative ACK seen from the server,
+	// which tells the replayer how much of its stream the server accepted.
+	AckedByServer uint32
+	// RSTsSeen counts RST segments delivered to this flow (in- or
+	// out-of-window) — the censorship signal the paper keys on ("confirm
+	// it is blocked by 3–5 RST packets").
+	RSTsSeen int
+
+	// RTO is the retransmission timeout for unacknowledged data; zero
+	// disables retransmission. On lossless simulated paths ACKs arrive in
+	// one RTT ≪ RTO, so retransmission never fires unless packets are
+	// actually lost.
+	RTO time.Duration
+	// MaxRetries bounds retransmissions per segment.
+	MaxRetries int
+	// Retransmissions counts segments re-sent.
+	Retransmissions int
+}
+
+// DefaultRTO is the client stacks' retransmission timeout.
+const DefaultRTO = 250 * time.Millisecond
+
+// armRetransmit schedules a retransmission check for a data segment whose
+// payload ends at seqEnd.
+func (c *TCPClient) armRetransmit(raw []byte, seqEnd uint32, tries int) {
+	if c.RTO <= 0 {
+		return
+	}
+	max := c.MaxRetries
+	if max <= 0 {
+		max = 3
+	}
+	c.host.Clock.Schedule(c.RTO, func() {
+		if c.closed {
+			return
+		}
+		if c.AckedByServer-seqEnd < 1<<31 {
+			return // acknowledged
+		}
+		if tries >= max {
+			return
+		}
+		c.Retransmissions++
+		c.host.Send(raw)
+		c.armRetransmit(raw, seqEnd, tries+1)
+	})
+}
+
+const clientISS = 1000
+
+// NewTCPClient registers a TCP flow on the host. Connect must be called to
+// start the handshake.
+func NewTCPClient(h *ClientHost, dst packet.Addr, srcPort, dstPort uint16) *TCPClient {
+	c := &TCPClient{
+		host: h, Dst: dst, SrcPort: srcPort, DstPort: dstPort,
+		iss: clientISS, sndNxt: clientISS,
+		Transform: Passthrough(),
+		ooo:       make(map[uint32][]byte),
+		sendReady: h.Clock.Now(),
+	}
+	h.flows[c.flowKey()] = c
+	return c
+}
+
+func (c *TCPClient) flowKey() packet.FlowKey {
+	return packet.FlowKey{Proto: packet.ProtoTCP, Src: c.host.Addr, Dst: c.Dst, SrcPort: c.SrcPort, DstPort: c.DstPort}
+}
+
+// Established reports whether the handshake has completed.
+func (c *TCPClient) Established() bool { return c.established }
+
+// Closed reports whether the connection has died, and why.
+func (c *TCPClient) Closed() (bool, string) { return c.closed, c.closeReason }
+
+// SndNxt exposes the next outgoing sequence number (used by techniques that
+// need to craft in-window inert packets from outside the write path).
+func (c *TCPClient) SndNxt() uint32 { return c.sndNxt }
+
+// RcvNxt exposes the next expected incoming sequence number.
+func (c *TCPClient) RcvNxt() uint32 { return c.rcvNxt }
+
+// Connect sends the SYN.
+func (c *TCPClient) Connect() {
+	syn := packet.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, c.iss, 0, packet.FlagSYN, nil)
+	syn.IP.ID = c.host.nextIPID()
+	syn.Finalize()
+	c.sndNxt = c.iss + 1
+	c.host.Send(syn.Serialize())
+}
+
+func (c *TCPClient) deliver(p *packet.Packet, defects packet.DefectSet) {
+	if p.TCP == nil {
+		return
+	}
+	// The client stack validates like any endpoint OS: malformed packets
+	// (e.g. bit-flipped payloads failing the TCP checksum) are dropped
+	// before they can pollute the stream. Injected censor RSTs and block
+	// pages are well-formed and unaffected.
+	if !defects.Empty() {
+		return
+	}
+	t := p.TCP
+	if t.Flags.Has(packet.FlagRST) {
+		c.RSTsSeen++
+		if inWindow(t.Seq, c.rcvNxt, 65535) || !c.established {
+			c.closeWith("rst")
+		}
+		return
+	}
+	if t.Flags.Has(packet.FlagSYN) && t.Flags.Has(packet.FlagACK) && !c.established {
+		c.rcvNxt = t.Seq + 1
+		c.established = true
+		ack := packet.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, c.sndNxt, c.rcvNxt, packet.FlagACK, nil)
+		ack.IP.ID = c.host.nextIPID()
+		ack.Finalize()
+		c.host.Send(ack.Serialize())
+		if c.OnConnected != nil {
+			c.OnConnected()
+		}
+		return
+	}
+	if t.Flags.Has(packet.FlagACK) {
+		if t.Ack-c.AckedByServer < 1<<31 && t.Ack != c.AckedByServer {
+			c.AckedByServer = t.Ack
+		}
+	}
+	if len(p.Payload) > 0 {
+		c.receiveData(t.Seq, p.Payload)
+	}
+	if t.Flags.Has(packet.FlagFIN) && t.Seq+uint32(len(p.Payload)) == c.rcvNxt {
+		c.rcvNxt++
+		c.sendACK()
+		c.closeWith("fin")
+	}
+}
+
+func (c *TCPClient) receiveData(seq uint32, payload []byte) {
+	const win = 65535
+	switch {
+	case seq == c.rcvNxt:
+		c.deliverData(payload)
+	case inWindow(seq, c.rcvNxt, win):
+		if _, dup := c.ooo[seq]; !dup {
+			c.ooo[seq] = append([]byte(nil), payload...)
+		}
+	case inWindow(seq+uint32(len(payload)), c.rcvNxt, win) && seq+uint32(len(payload)) != c.rcvNxt:
+		c.deliverData(payload[c.rcvNxt-seq:])
+	}
+	for {
+		next, ok := c.ooo[c.rcvNxt]
+		if !ok {
+			break
+		}
+		delete(c.ooo, c.rcvNxt)
+		c.deliverData(next)
+	}
+	c.sendACK()
+}
+
+func (c *TCPClient) deliverData(data []byte) {
+	c.rcvNxt += uint32(len(data))
+	c.Received = append(c.Received, data...)
+	if c.OnData != nil {
+		c.OnData(data)
+	}
+}
+
+func (c *TCPClient) sendACK() {
+	ack := packet.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, c.sndNxt, c.rcvNxt, packet.FlagACK, nil)
+	ack.IP.ID = c.host.nextIPID()
+	ack.Finalize()
+	c.host.Send(ack.Serialize())
+}
+
+func (c *TCPClient) closeWith(reason string) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.closeReason = reason
+	if c.OnClosed != nil {
+		c.OnClosed(reason)
+	}
+}
+
+// Send writes application data. The data is segmented at MSS, passed
+// through the Transform, and the resulting packets are scheduled onto the
+// wire, honoring the transform's inter-packet delays. Writes issued while
+// a previous write is still draining queue behind it.
+func (c *TCPClient) Send(data []byte) {
+	var pkts []*packet.Packet
+	seq := c.sndNxt
+	for off := 0; off < len(data); off += MSS {
+		end := off + MSS
+		if end > len(data) {
+			end = len(data)
+		}
+		seg := packet.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, data[off:end])
+		seg.IP.ID = c.host.nextIPID()
+		seg.Finalize()
+		seq += uint32(end - off)
+		pkts = append(pkts, seg)
+	}
+	fi := FlowInfo{
+		Proto: packet.ProtoTCP,
+		Src:   c.host.Addr, Dst: c.Dst, SrcPort: c.SrcPort, DstPort: c.DstPort,
+		SndNxt: c.sndNxt, RcvNxt: c.rcvNxt,
+		WriteIndex: c.writeIndex, DataPacketsSent: c.dataPacketsSent,
+	}
+	c.writeIndex++
+	c.sndNxt = seq
+	sched := c.Transform.Transform(fi, pkts)
+	c.emit(sched)
+}
+
+// SendRaw emits an arbitrary crafted packet immediately, bypassing the
+// transform (used by probes and handshake-adjacent injections).
+func (c *TCPClient) SendRaw(p *packet.Packet) {
+	c.host.Send(p.Serialize())
+}
+
+// Host returns the owning host (for IP ID allocation in techniques).
+func (c *TCPClient) Host() *ClientHost { return c.host }
+
+func (c *TCPClient) emit(sched []Scheduled) {
+	at := c.host.Clock.Now()
+	if c.sendReady.After(at) {
+		at = c.sendReady
+	}
+	for _, s := range sched {
+		at = at.Add(s.Delay)
+		raw := s.Pkt.Serialize()
+		inert := s.Inert
+		var seqEnd uint32
+		retransmittable := !inert && s.Pkt.TCP != nil && len(s.Pkt.Payload) > 0
+		if retransmittable {
+			seqEnd = s.Pkt.TCP.Seq + uint32(len(s.Pkt.Payload))
+			c.dataPacketsSent++
+		}
+		c.host.Clock.ScheduleAt(at, func() {
+			c.host.Send(raw)
+			if retransmittable {
+				c.armRetransmit(raw, seqEnd, 0)
+			}
+		})
+	}
+	c.sendReady = at
+}
+
+// CloseFIN sends a FIN at the current sequence position after the last
+// scheduled emission has drained.
+func (c *TCPClient) CloseFIN() {
+	fin := packet.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, c.sndNxt, c.rcvNxt, packet.FlagACK|packet.FlagFIN, nil)
+	fin.IP.ID = c.host.nextIPID()
+	fin.Finalize()
+	c.sndNxt++
+	raw := fin.Serialize()
+	at := c.host.Clock.Now()
+	if c.sendReady.After(at) {
+		at = c.sendReady
+	}
+	c.host.Clock.ScheduleAt(at, func() { c.host.Send(raw) })
+}
+
+// UDPClient is one client-side UDP flow.
+type UDPClient struct {
+	host             *ClientHost
+	Dst              packet.Addr
+	SrcPort, DstPort uint16
+
+	Transform OutgoingTransform
+
+	writeIndex      int
+	dataPacketsSent int
+	sendReady       time.Time
+
+	// OnData receives datagrams from the server.
+	OnData func(data []byte)
+	// Received accumulates datagram payloads in arrival order.
+	Received [][]byte
+}
+
+// NewUDPClient registers a UDP flow on the host.
+func NewUDPClient(h *ClientHost, dst packet.Addr, srcPort, dstPort uint16) *UDPClient {
+	c := &UDPClient{host: h, Dst: dst, SrcPort: srcPort, DstPort: dstPort, Transform: Passthrough(), sendReady: h.Clock.Now()}
+	h.flows[c.flowKey()] = c
+	return c
+}
+
+func (c *UDPClient) flowKey() packet.FlowKey {
+	return packet.FlowKey{Proto: packet.ProtoUDP, Src: c.host.Addr, Dst: c.Dst, SrcPort: c.SrcPort, DstPort: c.DstPort}
+}
+
+func (c *UDPClient) deliver(p *packet.Packet, defects packet.DefectSet) {
+	if p.UDP == nil || !defects.Empty() {
+		return
+	}
+	c.Received = append(c.Received, append([]byte(nil), p.Payload...))
+	if c.OnData != nil {
+		c.OnData(p.Payload)
+	}
+}
+
+// Host returns the owning host.
+func (c *UDPClient) Host() *ClientHost { return c.host }
+
+// Send writes one application datagram (split at MSS if oversized) through
+// the transform.
+func (c *UDPClient) Send(data []byte) {
+	var pkts []*packet.Packet
+	for off := 0; off < len(data) || off == 0; off += MSS {
+		end := off + MSS
+		if end > len(data) {
+			end = len(data)
+		}
+		p := packet.NewUDP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, data[off:end])
+		p.IP.ID = c.host.nextIPID()
+		p.Finalize()
+		pkts = append(pkts, p)
+		if len(data) == 0 {
+			break
+		}
+	}
+	fi := FlowInfo{
+		Proto: packet.ProtoUDP,
+		Src:   c.host.Addr, Dst: c.Dst, SrcPort: c.SrcPort, DstPort: c.DstPort,
+		WriteIndex: c.writeIndex, DataPacketsSent: c.dataPacketsSent,
+	}
+	c.writeIndex++
+	sched := c.Transform.Transform(fi, pkts)
+	at := c.host.Clock.Now()
+	if c.sendReady.After(at) {
+		at = c.sendReady
+	}
+	for _, s := range sched {
+		at = at.Add(s.Delay)
+		raw := s.Pkt.Serialize()
+		c.host.Clock.ScheduleAt(at, func() { c.host.Send(raw) })
+		if !s.Inert && s.Pkt.UDP != nil {
+			c.dataPacketsSent++
+		}
+	}
+	c.sendReady = at
+}

@@ -1,0 +1,418 @@
+package stack
+
+import (
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/netem/packet"
+	"repro/internal/netem/vclock"
+)
+
+// MSS is the maximum TCP segment payload used by the stacks.
+const MSS = packet.MTU - 40
+
+const serverISS = 50000
+
+// Arrival is one raw packet captured at the server before OS validation —
+// the simulator's equivalent of running tcpdump next to the replay server,
+// which is how the paper decides the "Reaches Server?" column of Table 3.
+type Arrival struct {
+	At      time.Time
+	Raw     []byte
+	Defects packet.DefectSet
+}
+
+// StreamHandler is the application callback for TCP connections.
+type StreamHandler interface {
+	// OnStream receives in-order stream bytes.
+	OnStream(c *ServerConn, data []byte)
+	// OnClose is called when the connection ends (FIN or RST).
+	OnClose(c *ServerConn, reason string)
+}
+
+// DatagramHandler is the application callback for UDP traffic.
+type DatagramHandler interface {
+	OnDatagram(s *Server, src packet.Addr, srcPort, dstPort uint16, data []byte)
+}
+
+// Server is a multi-flow endpoint transport stack with a pluggable OS
+// validation profile.
+type Server struct {
+	Env   *netem.Env
+	Clock *vclock.Clock
+	Addr  packet.Addr
+	OS    OSProfile
+
+	streamApps   map[uint16]StreamHandler
+	datagramApps map[uint16]DatagramHandler
+
+	conns map[packet.FlowKey]*ServerConn
+	reasm *packet.Reassembler
+
+	// RTO enables data retransmission when positive (see TCPClient.RTO).
+	RTO time.Duration
+	// Retransmissions counts segments re-sent across all connections.
+	Retransmissions int
+
+	// Captured holds every raw arrival (pre-validation).
+	Captured []Arrival
+	// Datagrams holds every UDP payload delivered to an application, in
+	// order (post-validation).
+	Datagrams [][]byte
+	ipid      uint16
+}
+
+// ConnFor returns the connection for a client-orientation flow key, or nil.
+func (s *Server) ConnFor(clientKey packet.FlowKey) *ServerConn {
+	return s.conns[clientKey]
+}
+
+// NewServer wires a server stack to env's server end.
+func NewServer(env *netem.Env, os OSProfile) *Server {
+	s := &Server{
+		Env:          env,
+		Clock:        env.Clock,
+		Addr:         env.ServerAddr,
+		OS:           os,
+		streamApps:   make(map[uint16]StreamHandler),
+		datagramApps: make(map[uint16]DatagramHandler),
+		conns:        make(map[packet.FlowKey]*ServerConn),
+		reasm:        packet.NewReassembler(),
+	}
+	env.SetServer(s)
+	return s
+}
+
+// ListenStream registers a TCP application on port.
+func (s *Server) ListenStream(port uint16, h StreamHandler) { s.streamApps[port] = h }
+
+// ListenDatagram registers a UDP application on port.
+func (s *Server) ListenDatagram(port uint16, h DatagramHandler) { s.datagramApps[port] = h }
+
+// ResetCapture clears the packet capture.
+func (s *Server) ResetCapture() { s.Captured = nil }
+
+// CloseAll tears down all connection state (between replays).
+func (s *Server) CloseAll() {
+	s.conns = make(map[packet.FlowKey]*ServerConn)
+	s.reasm.Flush()
+}
+
+// Deliver implements netem.Endpoint.
+func (s *Server) Deliver(raw []byte) {
+	p, defects := packet.Inspect(raw)
+	s.Captured = append(s.Captured, Arrival{At: s.Clock.Now(), Raw: append([]byte(nil), raw...), Defects: defects})
+
+	// Host IP reassembly comes before validation of transport defects:
+	// fragments are judged once whole.
+	if p.IP.FragOffset != 0 || p.IP.MoreFragments() {
+		whole, done := s.reasm.Add(raw)
+		if !done {
+			return
+		}
+		raw = whole
+		p, defects = packet.Inspect(raw)
+	}
+
+	ok, rst := s.OS.Accepts(defects)
+	if !ok {
+		if rst && p.TCP != nil {
+			s.sendRST(p)
+		}
+		if defects.Has(packet.DefectIPProtocol) && s.OS.ICMPOnUnknownProto {
+			icmp := packet.NewICMPProtoUnreachable(s.Addr, p.IP.Src, raw)
+			s.Env.FromServer(icmp.Serialize())
+		}
+		return
+	}
+
+	switch {
+	case p.TCP != nil:
+		s.handleTCP(p, defects)
+	case p.UDP != nil:
+		s.handleUDP(p, defects)
+	}
+}
+
+func (s *Server) nextIPID() uint16 {
+	s.ipid++
+	return s.ipid
+}
+
+func (s *Server) sendRST(p *packet.Packet) {
+	rst := packet.NewTCP(s.Addr, p.IP.Src, p.TCP.DstPort, p.TCP.SrcPort, p.TCP.Ack, p.TCP.Seq, packet.FlagRST|packet.FlagACK, nil)
+	rst.IP.ID = s.nextIPID()
+	rst.Finalize()
+	s.Env.FromServer(rst.Serialize())
+}
+
+func (s *Server) handleTCP(p *packet.Packet, defects packet.DefectSet) {
+	key := p.Flow()
+	conn := s.conns[key]
+	t := p.TCP
+
+	if t.Flags.Has(packet.FlagSYN) && !t.Flags.Has(packet.FlagACK) {
+		app, ok := s.streamApps[t.DstPort]
+		if !ok {
+			s.sendRST(p)
+			return
+		}
+		conn = &ServerConn{
+			srv: s, app: app,
+			Src: p.IP.Src, SrcPort: t.SrcPort, DstPort: t.DstPort,
+			rcvNxt: t.Seq + 1, sndNxt: serverISS,
+			ooo: make(map[uint32][]byte),
+		}
+		s.conns[key] = conn
+		synack := packet.NewTCP(s.Addr, conn.Src, conn.DstPort, conn.SrcPort, conn.sndNxt, conn.rcvNxt, packet.FlagSYN|packet.FlagACK, nil)
+		synack.IP.ID = s.nextIPID()
+		synack.Finalize()
+		conn.sndNxt++
+		s.Env.FromServer(synack.Serialize())
+		return
+	}
+	if conn == nil || conn.closed {
+		// Segment for an unknown or closed connection.
+		if t.Flags.Has(packet.FlagRST) {
+			return
+		}
+		s.sendRST(p)
+		return
+	}
+
+	if t.Flags.Has(packet.FlagRST) {
+		// A RST is honored only when its sequence number is in-window;
+		// TTL-limited RSTs never get here (they expire in-path), but a
+		// full-TTL forged RST would.
+		if inWindow(t.Seq, conn.rcvNxt, 65535) {
+			conn.close("rst")
+		}
+		return
+	}
+	if t.Flags.Has(packet.FlagACK) && t.Ack-conn.ackedByClient < 1<<31 && t.Ack != conn.ackedByClient {
+		conn.ackedByClient = t.Ack
+	}
+
+	conn.receive(t.Seq, p.Payload, t.Flags.Has(packet.FlagFIN))
+}
+
+func (s *Server) handleUDP(p *packet.Packet, defects packet.DefectSet) {
+	app, ok := s.datagramApps[p.UDP.DstPort]
+	if !ok {
+		return // port unreachable; nothing in the study keyed on this
+	}
+	data := p.Payload
+	if defects.Has(packet.DefectUDPLengthShort) {
+		if !s.OS.UDPShortLengthTruncates {
+			return
+		}
+		claimed := int(p.UDP.Length) - 8
+		if claimed < 0 {
+			claimed = 0
+		}
+		if claimed < len(data) {
+			data = data[:claimed]
+		}
+	}
+	s.Datagrams = append(s.Datagrams, append([]byte(nil), data...))
+	app.OnDatagram(s, p.IP.Src, p.UDP.SrcPort, p.UDP.DstPort, data)
+}
+
+// SendDatagram emits a UDP datagram from the server.
+func (s *Server) SendDatagram(dst packet.Addr, srcPort, dstPort uint16, data []byte) {
+	for off := 0; off < len(data) || off == 0; off += MSS {
+		end := off + MSS
+		if end > len(data) {
+			end = len(data)
+		}
+		p := packet.NewUDP(s.Addr, dst, srcPort, dstPort, data[off:end])
+		p.IP.ID = s.nextIPID()
+		p.Finalize()
+		s.Env.FromServer(p.Serialize())
+		if len(data) == 0 {
+			break
+		}
+	}
+}
+
+// inWindow reports whether seq lies in [rcvNxt, rcvNxt+win) mod 2^32.
+func inWindow(seq, rcvNxt uint32, win uint32) bool {
+	return seq-rcvNxt < win
+}
+
+// ServerConn is one server-side TCP connection.
+type ServerConn struct {
+	srv *Server
+	app StreamHandler
+
+	Src     packet.Addr
+	SrcPort uint16
+	DstPort uint16
+
+	rcvNxt        uint32
+	sndNxt        uint32
+	ackedByClient uint32
+	ooo           map[uint32][]byte // out-of-order segments by sequence number
+	closed        bool
+
+	// Transform, when non-nil, reshapes outgoing (server→client) packets —
+	// lib·erate's server-side deployment mode, useful against classifiers
+	// that match response content.
+	Transform OutgoingTransform
+
+	writeIndex      int
+	dataPacketsSent int
+	sendReady       time.Time
+
+	// Received accumulates the in-order application byte stream; replay
+	// integrity checks read it.
+	Received []byte
+}
+
+// Closed reports whether the connection has ended.
+func (c *ServerConn) Closed() bool { return c.closed }
+
+func (c *ServerConn) close(reason string) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.app != nil {
+		c.app.OnClose(c, reason)
+	}
+}
+
+// receive integrates an in-window segment, delivering contiguous data.
+func (c *ServerConn) receive(seq uint32, payload []byte, fin bool) {
+	const win = 65535
+	if len(payload) > 0 {
+		switch {
+		case seq == c.rcvNxt:
+			c.deliver(payload)
+		case inWindow(seq, c.rcvNxt, win):
+			// Future segment: buffer (first copy wins, matching the
+			// overlap policy endpoints in the study exhibited).
+			if _, dup := c.ooo[seq]; !dup {
+				c.ooo[seq] = append([]byte(nil), payload...)
+			}
+		case inWindow(seq+uint32(len(payload)), c.rcvNxt, win) && seq+uint32(len(payload))-c.rcvNxt > 0:
+			// Partial overlap from the left: keep the new tail.
+			tail := payload[c.rcvNxt-seq:]
+			c.deliver(tail)
+		default:
+			// Old duplicate or out-of-window ("wrong sequence number"
+			// inert packets land here): drop, re-ACK.
+		}
+		// Drain any now-contiguous buffered segments.
+		for {
+			next, ok := c.ooo[c.rcvNxt]
+			if !ok {
+				break
+			}
+			delete(c.ooo, c.rcvNxt)
+			c.deliver(next)
+		}
+	}
+	if fin && seq+uint32(len(payload)) == c.rcvNxt {
+		c.rcvNxt++
+		c.sendACK()
+		c.close("fin")
+		return
+	}
+	c.sendACK()
+}
+
+func (c *ServerConn) deliver(data []byte) {
+	c.rcvNxt += uint32(len(data))
+	c.Received = append(c.Received, data...)
+	if c.app != nil {
+		c.app.OnStream(c, data)
+	}
+}
+
+func (c *ServerConn) sendACK() {
+	ack := packet.NewTCP(c.srv.Addr, c.Src, c.DstPort, c.SrcPort, c.sndNxt, c.rcvNxt, packet.FlagACK, nil)
+	ack.IP.ID = c.srv.nextIPID()
+	ack.Finalize()
+	c.srv.Env.FromServer(ack.Serialize())
+}
+
+// Send writes application data onto the connection, segmented at MSS and
+// passed through the server-side Transform when one is installed.
+func (c *ServerConn) Send(data []byte) {
+	var pkts []*packet.Packet
+	seq := c.sndNxt
+	for off := 0; off < len(data); off += MSS {
+		end := off + MSS
+		if end > len(data) {
+			end = len(data)
+		}
+		seg := packet.NewTCP(c.srv.Addr, c.Src, c.DstPort, c.SrcPort, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, data[off:end])
+		seg.IP.ID = c.srv.nextIPID()
+		seg.Finalize()
+		seq += uint32(end - off)
+		pkts = append(pkts, seg)
+	}
+	if c.Transform == nil {
+		c.sndNxt = seq
+		for _, p := range pkts {
+			raw := p.Serialize()
+			c.srv.Env.FromServer(raw)
+			c.armRetransmit(raw, p.TCP.Seq+uint32(len(p.Payload)), 0)
+		}
+		return
+	}
+	fi := FlowInfo{
+		Proto: packet.ProtoTCP,
+		Src:   c.srv.Addr, Dst: c.Src, SrcPort: c.DstPort, DstPort: c.SrcPort,
+		SndNxt: c.sndNxt, RcvNxt: c.rcvNxt,
+		WriteIndex: c.writeIndex, DataPacketsSent: c.dataPacketsSent,
+	}
+	c.writeIndex++
+	c.sndNxt = seq
+	sched := c.Transform.Transform(fi, pkts)
+	at := c.srv.Clock.Now()
+	if c.sendReady.After(at) {
+		at = c.sendReady
+	}
+	for _, s := range sched {
+		at = at.Add(s.Delay)
+		raw := s.Pkt.Serialize()
+		c.srv.Clock.ScheduleAt(at, func() { c.srv.Env.FromServer(raw) })
+		if !s.Inert && s.Pkt.TCP != nil && len(s.Pkt.Payload) > 0 {
+			c.dataPacketsSent++
+		}
+	}
+	c.sendReady = at
+}
+
+// armRetransmit schedules a retransmission check for a data segment.
+func (c *ServerConn) armRetransmit(raw []byte, seqEnd uint32, tries int) {
+	if c.srv.RTO <= 0 {
+		return
+	}
+	if tries >= 3 {
+		return
+	}
+	c.srv.Clock.Schedule(c.srv.RTO, func() {
+		if c.closed {
+			return
+		}
+		if c.ackedByClient-seqEnd < 1<<31 {
+			return // acknowledged
+		}
+		c.srv.Retransmissions++
+		c.srv.Env.FromServer(raw)
+		c.armRetransmit(raw, seqEnd, tries+1)
+	})
+}
+
+// Close sends a FIN.
+func (c *ServerConn) Close() {
+	fin := packet.NewTCP(c.srv.Addr, c.Src, c.DstPort, c.SrcPort, c.sndNxt, c.rcvNxt, packet.FlagACK|packet.FlagFIN, nil)
+	fin.IP.ID = c.srv.nextIPID()
+	fin.Finalize()
+	c.sndNxt++
+	c.srv.Env.FromServer(fin.Serialize())
+	c.close("local-fin")
+}

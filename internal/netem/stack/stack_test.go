@@ -1,0 +1,412 @@
+package stack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/netem"
+	"repro/internal/netem/packet"
+	"repro/internal/netem/vclock"
+)
+
+var (
+	cAddr = packet.AddrFrom("10.0.0.1")
+	sAddr = packet.AddrFrom("93.184.216.34")
+)
+
+// echoApp is a TCP app that records the stream and echoes a fixed reply
+// after receiving at least want bytes.
+type echoApp struct {
+	want    int
+	reply   []byte
+	got     []byte
+	closes  []string
+	replied bool
+}
+
+func (a *echoApp) OnStream(c *ServerConn, data []byte) {
+	a.got = append(a.got, data...)
+	if !a.replied && len(a.got) >= a.want && a.reply != nil {
+		a.replied = true
+		c.Send(a.reply)
+	}
+}
+
+func (a *echoApp) OnClose(c *ServerConn, reason string) { a.closes = append(a.closes, reason) }
+
+type dgramEcho struct{ got [][]byte }
+
+func (a *dgramEcho) OnDatagram(s *Server, src packet.Addr, srcPort, dstPort uint16, data []byte) {
+	a.got = append(a.got, append([]byte(nil), data...))
+	s.SendDatagram(src, dstPort, srcPort, append([]byte("re:"), data...))
+}
+
+func newEnv() (*vclock.Clock, *netem.Env) {
+	clock := vclock.New()
+	env := netem.New(clock, cAddr, sAddr)
+	env.Append(&netem.Hop{Label: "hop1", Addr: packet.AddrFrom("10.1.0.1"), EmitICMP: true})
+	env.Append(&netem.Hop{Label: "hop2", Addr: packet.AddrFrom("10.1.0.2"), EmitICMP: true})
+	return clock, env
+}
+
+func TestTCPHandshakeAndTransfer(t *testing.T) {
+	clock, env := newEnv()
+	srv := NewServer(env, Linux)
+	app := &echoApp{want: 5, reply: []byte("response-body")}
+	srv.ListenStream(80, app)
+	host := NewClientHost(env)
+	cli := NewTCPClient(host, sAddr, 40000, 80)
+
+	cli.OnConnected = func() { cli.Send([]byte("hello server")) }
+	cli.Connect()
+	if err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cli.Established() {
+		t.Fatal("handshake did not complete")
+	}
+	if string(app.got) != "hello server" {
+		t.Fatalf("server stream = %q", app.got)
+	}
+	if string(cli.Received) != "response-body" {
+		t.Fatalf("client received %q", cli.Received)
+	}
+}
+
+func TestTCPLargeTransferSegmentsAndReassembles(t *testing.T) {
+	clock, env := newEnv()
+	srv := NewServer(env, Linux)
+	payload := make([]byte, 5*MSS+123)
+	rand.New(rand.NewSource(1)).Read(payload)
+	app := &echoApp{want: 1, reply: payload}
+	srv.ListenStream(80, app)
+	host := NewClientHost(env)
+	cli := NewTCPClient(host, sAddr, 40000, 80)
+	cli.OnConnected = func() { cli.Send([]byte("go")) }
+	cli.Connect()
+	if err := clock.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cli.Received, payload) {
+		t.Fatalf("client got %d bytes, want %d", len(cli.Received), len(payload))
+	}
+}
+
+func TestClientStreamReassemblyOutOfOrder(t *testing.T) {
+	// Server-side sends are in-order through the sim, so test client OOO
+	// handling directly.
+	clock, env := newEnv()
+	_ = NewServer(env, Linux)
+	host := NewClientHost(env)
+	cli := NewTCPClient(host, sAddr, 40000, 80)
+	cli.established = true
+	cli.rcvNxt = 100
+
+	seg := func(seq uint32, data string) *packet.Packet {
+		return packet.NewTCP(sAddr, cAddr, 80, 40000, seq, cli.sndNxt, packet.FlagACK, []byte(data))
+	}
+	p2, _ := packet.Inspect(seg(105, "WORLD").Serialize())
+	p1, _ := packet.Inspect(seg(100, "HELLO").Serialize())
+	cli.deliver(p2, 0)
+	cli.deliver(p1, 0)
+	_ = clock
+	if string(cli.Received) != "HELLOWORLD" {
+		t.Fatalf("reassembled %q", cli.Received)
+	}
+}
+
+func TestServerOOOSegmentsProperty(t *testing.T) {
+	// Property: any permutation of in-window segments reassembles to the
+	// original stream.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		clock, env := newEnv()
+		srv := NewServer(env, Linux)
+		app := &echoApp{want: 1 << 30}
+		srv.ListenStream(80, app)
+		host := NewClientHost(env)
+		cli := NewTCPClient(host, sAddr, 40000, 80)
+		cli.Connect()
+		if err := clock.Run(); err != nil {
+			t.Fatal(err)
+		}
+
+		msg := make([]byte, 40+rng.Intn(200))
+		for i := range msg {
+			msg[i] = byte('a' + i%26)
+		}
+		// Split into random chunks.
+		var chunks [][2]int
+		for off := 0; off < len(msg); {
+			n := 1 + rng.Intn(30)
+			if off+n > len(msg) {
+				n = len(msg) - off
+			}
+			chunks = append(chunks, [2]int{off, off + n})
+			off += n
+		}
+		rng.Shuffle(len(chunks), func(i, j int) { chunks[i], chunks[j] = chunks[j], chunks[i] })
+		base := cli.sndNxt
+		for _, ch := range chunks {
+			seg := packet.NewTCP(cAddr, sAddr, 40000, 80, base+uint32(ch[0]), cli.rcvNxt, packet.FlagACK, msg[ch[0]:ch[1]])
+			cli.SendRaw(seg)
+		}
+		if err := clock.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(app.got, msg) {
+			t.Fatalf("trial %d: server reassembled %q want %q", trial, app.got, msg)
+		}
+	}
+}
+
+func TestServerDropsWrongSeq(t *testing.T) {
+	clock, env := newEnv()
+	srv := NewServer(env, Linux)
+	app := &echoApp{want: 1 << 30}
+	srv.ListenStream(80, app)
+	host := NewClientHost(env)
+	cli := NewTCPClient(host, sAddr, 40000, 80)
+	cli.Connect()
+	clock.Run()
+
+	// Way out-of-window inert packet.
+	inert := packet.NewTCP(cAddr, sAddr, 40000, 80, cli.sndNxt+1_000_000, cli.rcvNxt, packet.FlagACK, []byte("INERT"))
+	cli.SendRaw(inert)
+	cli.Send([]byte("real"))
+	clock.Run()
+	if string(app.got) != "real" {
+		t.Fatalf("server stream = %q, want only real data", app.got)
+	}
+}
+
+func TestOSProfilesDropInertPackets(t *testing.T) {
+	type tc struct {
+		name    string
+		corrupt func(p *packet.Packet)
+		// delivered[os] = should the payload reach the app?
+		delivered map[string]bool
+		rstFrom   map[string]bool
+	}
+	cases := []tc{
+		{
+			name:      "tcp-wrong-checksum",
+			corrupt:   func(p *packet.Packet) { p.TCP.Checksum ^= 0x0101 },
+			delivered: map[string]bool{"linux": false, "macos": false, "windows": false},
+		},
+		{
+			name:      "invalid-ip-options",
+			corrupt:   func(p *packet.Packet) { p.IP.Options = []byte{0x99, 4, 0, 0}; p.Finalize() },
+			delivered: map[string]bool{"linux": true, "macos": true, "windows": false},
+		},
+		{
+			name:      "deprecated-ip-options",
+			corrupt:   func(p *packet.Packet) { p.IP.Options = []byte{packet.IPOptStreamID, 4, 0, 1}; p.Finalize() },
+			delivered: map[string]bool{"linux": true, "macos": true, "windows": true},
+		},
+		{
+			name:      "flag-combo",
+			corrupt:   func(p *packet.Packet) { p.TCP.Flags = packet.FlagSYN | packet.FlagFIN | packet.FlagACK; p.Finalize() },
+			delivered: map[string]bool{"linux": false, "macos": false, "windows": false},
+			rstFrom:   map[string]bool{"windows": true},
+		},
+		{
+			name:      "no-ack",
+			corrupt:   func(p *packet.Packet) { p.TCP.Flags = packet.FlagPSH; p.Finalize() },
+			delivered: map[string]bool{"linux": false, "macos": false, "windows": false},
+		},
+	}
+	for _, tcase := range cases {
+		for _, os := range OSProfiles() {
+			t.Run(tcase.name+"/"+os.Name, func(t *testing.T) {
+				clock, env := newEnv()
+				srv := NewServer(env, os)
+				app := &echoApp{want: 1 << 30}
+				srv.ListenStream(80, app)
+				host := NewClientHost(env)
+				cli := NewTCPClient(host, sAddr, 40000, 80)
+				cli.Connect()
+				clock.Run()
+
+				inert := packet.NewTCP(cAddr, sAddr, 40000, 80, cli.sndNxt, cli.rcvNxt, packet.FlagACK|packet.FlagPSH, []byte("INERT"))
+				inert.Finalize()
+				tcase.corrupt(inert)
+				cli.SendRaw(inert)
+				clock.Run()
+
+				got := bytes.Contains(app.got, []byte("INERT"))
+				if got != tcase.delivered[os.Name] {
+					t.Fatalf("delivered=%v, want %v", got, tcase.delivered[os.Name])
+				}
+				closed, reason := cli.Closed()
+				wantRST := tcase.rstFrom[os.Name]
+				if wantRST && (!closed || reason != "rst") {
+					t.Fatalf("expected RST close, got closed=%v reason=%q", closed, reason)
+				}
+				if !wantRST && closed {
+					t.Fatalf("unexpected close: %q", reason)
+				}
+			})
+		}
+	}
+}
+
+func TestSYNFINDoesNotCreateConnection(t *testing.T) {
+	clock, env := newEnv()
+	srv := NewServer(env, Linux)
+	app := &echoApp{}
+	srv.ListenStream(80, app)
+	host := NewClientHost(env)
+	cli := NewTCPClient(host, sAddr, 40000, 80)
+	synfin := packet.NewTCP(cAddr, sAddr, 40000, 80, 1, 0, packet.FlagSYN|packet.FlagFIN, nil)
+	cli.SendRaw(synfin)
+	clock.Run()
+	if cli.Established() {
+		t.Fatal("SYN+FIN completed a handshake")
+	}
+}
+
+func TestUDPEcho(t *testing.T) {
+	clock, env := newEnv()
+	srv := NewServer(env, Linux)
+	app := &dgramEcho{}
+	srv.ListenDatagram(3478, app)
+	host := NewClientHost(env)
+	cli := NewUDPClient(host, sAddr, 5000, 3478)
+	cli.Send([]byte("stun-req"))
+	clock.Run()
+	if len(app.got) != 1 || string(app.got[0]) != "stun-req" {
+		t.Fatalf("server got %q", app.got)
+	}
+	if len(cli.Received) != 1 || string(cli.Received[0]) != "re:stun-req" {
+		t.Fatalf("client got %q", cli.Received)
+	}
+}
+
+func TestUDPShortLengthPerOS(t *testing.T) {
+	for _, os := range OSProfiles() {
+		t.Run(os.Name, func(t *testing.T) {
+			clock, env := newEnv()
+			srv := NewServer(env, os)
+			app := &dgramEcho{}
+			srv.ListenDatagram(3478, app)
+			host := NewClientHost(env)
+			cli := NewUDPClient(host, sAddr, 5000, 3478)
+
+			p := packet.NewUDP(cAddr, sAddr, 5000, 3478, []byte("AAAABBBB"))
+			p.UDP.Length = 8 + 4 // claim only "AAAA"
+			p.UDP.Checksum = p.UDP.ComputeChecksum(p.IP.Src, p.IP.Dst, p.Payload)
+			_ = cli
+			env.FromClient(p.Serialize())
+			clock.Run()
+
+			if os.UDPShortLengthTruncates {
+				if len(app.got) != 1 || string(app.got[0]) != "AAAA" {
+					t.Fatalf("linux should truncate-deliver, got %q", app.got)
+				}
+			} else if len(app.got) != 0 {
+				t.Fatalf("%s should drop short-length datagram, got %q", os.Name, app.got)
+			}
+		})
+	}
+}
+
+func TestWrongProtocolTriggersICMP(t *testing.T) {
+	clock, env := newEnv()
+	_ = NewServer(env, Linux)
+	host := NewClientHost(env)
+	var icmps []*packet.Packet
+	host.ICMP = func(p *packet.Packet) { icmps = append(icmps, p) }
+	p := packet.NewTCP(cAddr, sAddr, 40000, 80, 1, 0, packet.FlagACK, []byte("x"))
+	p.IP.Protocol = 99
+	p.IP.Checksum = 0
+	p.Finalize()
+	p.IP.Protocol = 99 // Finalize resets checksum correctly for proto 99? ensure explicit
+	env.FromClient(p.Serialize())
+	clock.Run()
+	if len(icmps) != 1 || icmps[0].ICMP.Type != packet.ICMPDestUnreachable || icmps[0].ICMP.Code != 2 {
+		t.Fatalf("expected proto-unreachable, got %v", icmps)
+	}
+}
+
+func TestServerCapturesRawArrivals(t *testing.T) {
+	clock, env := newEnv()
+	srv := NewServer(env, Linux)
+	srv.ListenStream(80, &echoApp{})
+	host := NewClientHost(env)
+	cli := NewTCPClient(host, sAddr, 40000, 80)
+	bad := packet.NewTCP(cAddr, sAddr, 40000, 80, 7, 0, packet.FlagACK, []byte("bad"))
+	bad.TCP.Checksum ^= 1
+	cli.SendRaw(bad)
+	clock.Run()
+	if len(srv.Captured) != 1 {
+		t.Fatalf("captured %d", len(srv.Captured))
+	}
+	if !srv.Captured[0].Defects.Has(packet.DefectTCPChecksum) {
+		t.Fatal("capture lost defect info")
+	}
+}
+
+func TestTransformDelaysSpacing(t *testing.T) {
+	clock, env := newEnv()
+	srv := NewServer(env, Linux)
+	app := &echoApp{want: 1 << 30}
+	srv.ListenStream(80, app)
+	host := NewClientHost(env)
+	cli := NewTCPClient(host, sAddr, 40000, 80)
+	cli.Transform = TransformFunc(func(fi FlowInfo, pkts []*packet.Packet) []Scheduled {
+		var out []Scheduled
+		for _, p := range pkts {
+			out = append(out, Scheduled{Pkt: p, Delay: 2 * time.Second})
+		}
+		return out
+	})
+	cli.OnConnected = func() {
+		cli.Send([]byte("one"))
+		cli.Send([]byte("two"))
+	}
+	start := clock.Now()
+	cli.Connect()
+	clock.Run()
+	if string(app.got) != "onetwo" {
+		t.Fatalf("got %q", app.got)
+	}
+	if elapsed := clock.Since(start); elapsed < 4*time.Second {
+		t.Fatalf("delays not honored: %v", elapsed)
+	}
+}
+
+func TestFINCloses(t *testing.T) {
+	clock, env := newEnv()
+	srv := NewServer(env, Linux)
+	app := &echoApp{want: 1 << 30}
+	srv.ListenStream(80, app)
+	host := NewClientHost(env)
+	cli := NewTCPClient(host, sAddr, 40000, 80)
+	cli.OnConnected = func() {
+		cli.Send([]byte("bye"))
+		cli.CloseFIN()
+	}
+	cli.Connect()
+	clock.Run()
+	if len(app.closes) != 1 || app.closes[0] != "fin" {
+		t.Fatalf("closes = %v", app.closes)
+	}
+}
+
+func TestAckedByServerTracksProgress(t *testing.T) {
+	clock, env := newEnv()
+	srv := NewServer(env, Linux)
+	srv.ListenStream(80, &echoApp{want: 1 << 30})
+	host := NewClientHost(env)
+	cli := NewTCPClient(host, sAddr, 40000, 80)
+	msg := bytes.Repeat([]byte("m"), 3000)
+	cli.OnConnected = func() { cli.Send(msg) }
+	cli.Connect()
+	clock.Run()
+	if got := cli.AckedByServer - cli.iss - 1; got != uint32(len(msg)) {
+		t.Fatalf("server acked %d bytes, want %d", got, len(msg))
+	}
+}

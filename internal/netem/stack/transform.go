@@ -1,0 +1,65 @@
+package stack
+
+import (
+	"time"
+
+	"repro/internal/netem/packet"
+)
+
+// FlowInfo is the snapshot of client flow state handed to an
+// OutgoingTransform. Evasion techniques use it to craft packets that are
+// consistent with (or deliberately inconsistent with) the live connection.
+type FlowInfo struct {
+	Proto            uint8
+	Src, Dst         packet.Addr
+	SrcPort, DstPort uint16
+	// SndNxt and RcvNxt are the client's TCP sequence state at the time of
+	// the write (zero for UDP).
+	SndNxt, RcvNxt uint32
+	// WriteIndex is the 0-based index of this application write on the flow.
+	WriteIndex int
+	// DataPacketsSent counts payload-carrying packets already emitted on
+	// the flow.
+	DataPacketsSent int
+}
+
+// Scheduled is one packet emission produced by a transform. Delay is
+// relative to the previous emission in the same batch (cumulative).
+type Scheduled struct {
+	Pkt   *packet.Packet
+	Delay time.Duration
+	// Inert marks packets the technique intends never to be processed by
+	// the server; used for accounting/overhead reporting only.
+	Inert bool
+}
+
+// OutgoingTransform rewrites the outgoing wire packets of one application
+// write before they enter the network. This is the hook through which
+// lib·erate deploys evasion techniques under unmodified applications: the
+// application keeps writing bytes, and the transform reshapes how those
+// bytes appear on the wire.
+type OutgoingTransform interface {
+	// Transform receives the already-segmented, finalized packets that
+	// would carry one application write and returns the packets to emit
+	// instead.
+	Transform(fi FlowInfo, pkts []*packet.Packet) []Scheduled
+}
+
+// TransformFunc adapts a function to OutgoingTransform.
+type TransformFunc func(fi FlowInfo, pkts []*packet.Packet) []Scheduled
+
+// Transform implements OutgoingTransform.
+func (f TransformFunc) Transform(fi FlowInfo, pkts []*packet.Packet) []Scheduled {
+	return f(fi, pkts)
+}
+
+// Passthrough emits every packet unchanged with no delay.
+func Passthrough() OutgoingTransform {
+	return TransformFunc(func(_ FlowInfo, pkts []*packet.Packet) []Scheduled {
+		out := make([]Scheduled, len(pkts))
+		for i, p := range pkts {
+			out[i] = Scheduled{Pkt: p}
+		}
+		return out
+	})
+}

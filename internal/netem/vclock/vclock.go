@@ -1,0 +1,225 @@
+// Package vclock implements a deterministic discrete-event virtual clock.
+//
+// All simulated components in this repository schedule work against a
+// *Clock instead of the wall clock. This keeps every experiment — including
+// the paper's two-day Figure 4 sweep and the 240-second classification-flush
+// probes — deterministic and able to run in milliseconds of real time.
+//
+// The clock is single-threaded by design: Run drains the event queue in
+// timestamp order, and ties are broken by insertion order so that repeated
+// runs of the same experiment produce byte-identical results.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback.
+type event struct {
+	at   time.Time
+	seq  uint64 // insertion order, breaks timestamp ties deterministically
+	fn   func()
+	dead bool
+	idx  int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	e *event
+}
+
+// Stop cancels the timer. Stopping an already-fired or already-stopped
+// timer is a no-op. It reports whether the call prevented the event from
+// firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.e == nil || t.e.dead {
+		return false
+	}
+	t.e.dead = true
+	t.e.fn = nil
+	return true
+}
+
+// Clock is a deterministic discrete-event scheduler.
+//
+// The zero value is not usable; construct with New.
+type Clock struct {
+	now   time.Time
+	queue eventQueue
+	seq   uint64
+	// Budget guards against runaway simulations: Run stops with an error
+	// after this many events when > 0.
+	Budget int
+	fired  int
+}
+
+// Epoch is the instant at which every new Clock starts. Using a fixed,
+// recognizable epoch (midnight UTC) makes time-of-day experiments such as
+// the Figure 4 sweep easy to express.
+var Epoch = time.Date(2017, time.November, 1, 0, 0, 0, 0, time.UTC)
+
+// New returns a clock positioned at Epoch with an empty event queue.
+func New() *Clock {
+	return &Clock{now: Epoch}
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Time { return c.now }
+
+// Since returns the virtual time elapsed since t.
+func (c *Clock) Since(t time.Time) time.Duration { return c.now.Sub(t) }
+
+// Schedule runs fn after d of virtual time has elapsed. A negative d is
+// treated as zero. The returned Timer may be used to cancel the event.
+func (c *Clock) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return c.ScheduleAt(c.now.Add(d), fn)
+}
+
+// ScheduleAt runs fn at the absolute virtual instant at. Instants in the
+// past are clamped to the present.
+func (c *Clock) ScheduleAt(at time.Time, fn func()) *Timer {
+	if at.Before(c.now) {
+		at = c.now
+	}
+	c.seq++
+	e := &event{at: at, seq: c.seq, fn: fn}
+	heap.Push(&c.queue, e)
+	return &Timer{e: e}
+}
+
+// Pending reports the number of live events in the queue.
+func (c *Clock) Pending() int {
+	n := 0
+	for _, e := range c.queue {
+		if !e.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// step fires the earliest event. It reports false when the queue is empty.
+func (c *Clock) step() (bool, error) {
+	for len(c.queue) > 0 {
+		e := heap.Pop(&c.queue).(*event)
+		if e.dead {
+			continue
+		}
+		if e.at.Before(c.now) {
+			return false, fmt.Errorf("vclock: event scheduled at %v before now %v", e.at, c.now)
+		}
+		c.now = e.at
+		c.fired++
+		if c.Budget > 0 && c.fired > c.Budget {
+			return false, fmt.Errorf("vclock: event budget %d exhausted at %v", c.Budget, c.now)
+		}
+		fn := e.fn
+		e.fn = nil
+		e.dead = true
+		fn()
+		return true, nil
+	}
+	return false, nil
+}
+
+// Run drains the event queue until it is empty, advancing virtual time as
+// it goes. Events scheduled by running events are processed too.
+func (c *Clock) Run() error {
+	for {
+		ok, err := c.step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+}
+
+// RunUntil drains events whose timestamp is at or before deadline, then
+// advances the clock to deadline. Events beyond the deadline stay queued.
+func (c *Clock) RunUntil(deadline time.Time) error {
+	for {
+		if len(c.queue) == 0 {
+			break
+		}
+		// Peek at the earliest live event.
+		var next *event
+		for len(c.queue) > 0 {
+			if c.queue[0].dead {
+				heap.Pop(&c.queue)
+				continue
+			}
+			next = c.queue[0]
+			break
+		}
+		if next == nil || next.at.After(deadline) {
+			break
+		}
+		if _, err := c.step(); err != nil {
+			return err
+		}
+	}
+	if c.now.Before(deadline) {
+		c.now = deadline
+	}
+	return nil
+}
+
+// RunFor is RunUntil(Now()+d).
+func (c *Clock) RunFor(d time.Duration) error {
+	return c.RunUntil(c.now.Add(d))
+}
+
+// Sleep advances virtual time by d, firing any events that fall inside the
+// interval. It is the simulation analogue of time.Sleep for code that is
+// driving the clock from outside an event callback.
+func (c *Clock) Sleep(d time.Duration) error { return c.RunFor(d) }
+
+// HourOfDay returns the current virtual hour in [0,24), used by
+// load-dependent middlebox models (GFC state flushing, Figure 4).
+func (c *Clock) HourOfDay() float64 {
+	h := c.now.Sub(Epoch).Hours()
+	h = h - float64(int(h/24))*24
+	if h < 0 {
+		h += 24
+	}
+	return h
+}

@@ -1,0 +1,162 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrder(t *testing.T) {
+	c := New()
+	var got []int
+	c.Schedule(3*time.Second, func() { got = append(got, 3) })
+	c.Schedule(1*time.Second, func() { got = append(got, 1) })
+	c.Schedule(2*time.Second, func() { got = append(got, 2) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if c.Since(Epoch) != 3*time.Second {
+		t.Fatalf("clock advanced to %v, want 3s", c.Since(Epoch))
+	}
+}
+
+func TestTieBreakByInsertion(t *testing.T) {
+	c := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.Schedule(time.Second, func() { got = append(got, i) })
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order = %v, want ascending", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	c := New()
+	var fired []time.Duration
+	c.Schedule(time.Second, func() {
+		fired = append(fired, c.Since(Epoch))
+		c.Schedule(time.Second, func() {
+			fired = append(fired, c.Since(Epoch))
+		})
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != time.Second || fired[1] != 2*time.Second {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := New()
+	ran := false
+	tm := c.Schedule(time.Second, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("Stop returned false for live timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	var got []int
+	c.Schedule(1*time.Second, func() { got = append(got, 1) })
+	c.Schedule(5*time.Second, func() { got = append(got, 5) })
+	if err := c.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("got %v after RunFor(2s)", got)
+	}
+	if c.Since(Epoch) != 2*time.Second {
+		t.Fatalf("clock at %v, want 2s", c.Since(Epoch))
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != 5 {
+		t.Fatalf("got %v after Run", got)
+	}
+}
+
+func TestRunUntilAdvancesWithNoEvents(t *testing.T) {
+	c := New()
+	if err := c.RunFor(10 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if c.Since(Epoch) != 10*time.Minute {
+		t.Fatalf("clock at %v, want 10m", c.Since(Epoch))
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	c := New()
+	ran := false
+	c.Schedule(-time.Hour, func() { ran = true })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("negative-delay event did not fire")
+	}
+	if !c.Now().Equal(Epoch) {
+		t.Fatalf("clock moved to %v", c.Now())
+	}
+}
+
+func TestBudget(t *testing.T) {
+	c := New()
+	c.Budget = 100
+	var loop func()
+	loop = func() { c.Schedule(time.Millisecond, loop) }
+	c.Schedule(0, loop)
+	if err := c.Run(); err == nil {
+		t.Fatal("runaway loop did not trip the budget")
+	}
+}
+
+func TestHourOfDay(t *testing.T) {
+	c := New()
+	if h := c.HourOfDay(); h != 0 {
+		t.Fatalf("epoch hour = %v, want 0", h)
+	}
+	if err := c.RunFor(26*time.Hour + 30*time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if h := c.HourOfDay(); h < 2.49 || h > 2.51 {
+		t.Fatalf("hour = %v, want 2.5", h)
+	}
+}
+
+func TestPending(t *testing.T) {
+	c := New()
+	tm := c.Schedule(time.Second, func() {})
+	c.Schedule(2*time.Second, func() {})
+	if n := c.Pending(); n != 2 {
+		t.Fatalf("Pending = %d, want 2", n)
+	}
+	tm.Stop()
+	if n := c.Pending(); n != 1 {
+		t.Fatalf("Pending after Stop = %d, want 1", n)
+	}
+}

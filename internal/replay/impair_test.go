@@ -1,0 +1,141 @@
+package replay
+
+import (
+	"testing"
+
+	"repro/internal/dpi"
+	"repro/internal/netem"
+	"repro/internal/trace"
+)
+
+// lossyBaseline builds a clean path with a lossy link on it.
+func lossyBaseline(rate float64) (*dpi.Network, *netem.LossyLink) {
+	net := dpi.NewBaseline()
+	ll := &netem.LossyLink{Label: "lossy", LossRate: rate, Seed: 5}
+	net.Env.Append(ll)
+	return net, ll
+}
+
+func TestLossWithoutRetransmissionBreaksGracefully(t *testing.T) {
+	net, ll := lossyBaseline(0.02)
+	res, err := Run(Options{Net: net, Trace: trace.AmazonPrimeVideo(256 << 10), ClientPort: 40200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll.Dropped == 0 {
+		t.Fatal("lossy link dropped nothing")
+	}
+	// Without retransmission the transfer cannot complete, but the replay
+	// must terminate and report honestly.
+	if res.Completed || res.IntegrityOK {
+		t.Fatalf("2%% loss without ARQ should break the flow: %+v", res)
+	}
+}
+
+func TestRetransmissionSurvivesLoss(t *testing.T) {
+	net, ll := lossyBaseline(0.02)
+	res, err := Run(Options{Net: net, Trace: trace.AmazonPrimeVideo(256 << 10), ClientPort: 40201, Reliable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll.Dropped == 0 {
+		t.Fatal("lossy link dropped nothing")
+	}
+	if !res.Completed || !res.IntegrityOK {
+		t.Fatalf("reliable replay failed under 2%% loss: completed=%v integrity=%v",
+			res.Completed, res.IntegrityOK)
+	}
+}
+
+func TestCorruptionIsCaughtByChecksums(t *testing.T) {
+	net := dpi.NewBaseline()
+	cl := &netem.CorruptingLink{Label: "dirty", CorruptRate: 0.05, Seed: 9}
+	net.Env.Append(cl)
+	res, err := Run(Options{Net: net, Trace: trace.AmazonPrimeVideo(128 << 10), ClientPort: 40202, Reliable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.Corrupted == 0 {
+		t.Fatal("corrupting link corrupted nothing")
+	}
+	// Bit flips must never leak into the application stream: the OS drops
+	// bad checksums and retransmission repairs the gaps.
+	if !res.IntegrityOK || !res.Completed {
+		t.Fatalf("corruption leaked or stalled the flow: completed=%v integrity=%v",
+			res.Completed, res.IntegrityOK)
+	}
+}
+
+func TestEngagementStillWorksOverMildlyLossyNetwork(t *testing.T) {
+	// A lossy T-Mobile path: detection signals and technique evaluation
+	// must still land, with retransmission smoothing over the loss.
+	net := dpi.NewTMobile()
+	net.Env.Append(&netem.LossyLink{Label: "lossy", LossRate: 0.002, Seed: 3})
+	tr := trace.AmazonPrimeVideo(96 << 10)
+	res, err := Run(Options{Net: net, Trace: tr, ClientPort: 40203, Reliable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroundTruthClass != "video" || !res.Completed {
+		t.Fatalf("lossy classification run: class=%q completed=%v", res.GroundTruthClass, res.Completed)
+	}
+}
+
+func TestDuplicationIsIdempotent(t *testing.T) {
+	net := dpi.NewTMobile()
+	dl := &netem.DuplicatingLink{Label: "dup", DupRate: 0.2, Seed: 4}
+	net.Env.Append(dl)
+	res, err := Run(Options{Net: net, Trace: trace.AmazonPrimeVideo(128 << 10), ClientPort: 40210})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dl.Duplicated == 0 {
+		t.Fatal("nothing duplicated")
+	}
+	if !res.Completed || !res.IntegrityOK {
+		t.Fatalf("duplication corrupted the flow: %+v", res)
+	}
+	if res.GroundTruthClass != "video" {
+		t.Fatalf("duplication broke classification: %q", res.GroundTruthClass)
+	}
+}
+
+// TestMiddleboxesNeverPanicOnGarbage is the fuzz-ish robustness property:
+// arbitrary bytes fed through every network profile must never panic any
+// element.
+func TestMiddleboxesNeverPanicOnGarbage(t *testing.T) {
+	for _, mk := range []func() *dpi.Network{
+		dpi.NewTestbed, dpi.NewTMobile, dpi.NewGFC, dpi.NewIran, dpi.NewATT, dpi.NewSprint,
+	} {
+		net := mk()
+		net.Env.SetServer(netem.EndpointFunc(func([]byte) {}))
+		net.Env.SetClient(netem.EndpointFunc(func([]byte) {}))
+		seed := uint32(2463534242)
+		next := func() byte {
+			seed ^= seed << 13
+			seed ^= seed >> 17
+			seed ^= seed << 5
+			return byte(seed)
+		}
+		for i := 0; i < 400; i++ {
+			n := int(next())%120 + 1
+			raw := make([]byte, n)
+			for j := range raw {
+				raw[j] = next()
+			}
+			// Keep some packets plausibly IPv4 so parsing goes deeper.
+			if i%2 == 0 && n >= 20 {
+				raw[0] = 0x45
+				raw[9] = []byte{6, 17, 1, 99}[i%4]
+			}
+			if i%2 == 0 {
+				net.Env.FromClient(raw)
+			} else {
+				net.Env.FromServer(raw)
+			}
+		}
+		if err := net.Clock.Run(); err != nil {
+			t.Fatalf("%s: %v", net.Name, err)
+		}
+	}
+}

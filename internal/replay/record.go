@@ -1,0 +1,182 @@
+package replay
+
+import (
+	"repro/internal/netem"
+	"repro/internal/netem/packet"
+	"repro/internal/trace"
+)
+
+// Recorder reconstructs a replayable application trace from observed wire
+// packets — step 1 of the paper's workflow (Figure 3): "application-
+// generated traffic exchanged between the application's client and server
+// is recorded for controlled tests".
+//
+// TCP payloads are reassembled in sequence order per direction; a new
+// message starts whenever the delivering direction changes (the natural
+// request/response alternation). UDP datagrams map to one message each.
+// The recorder follows a single flow: the first data-bearing flow it sees.
+type Recorder struct {
+	flow     packet.FlowKey
+	haveFlow bool
+	proto    uint8
+	port     uint16
+
+	// Per direction (0 = c2s, 1 = s2c) stream reassembly.
+	exp   [2]uint32
+	valid [2]bool
+	ooo   [2]map[uint32][]byte
+
+	messages []trace.Message
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{}
+}
+
+// Observe feeds one wire packet moving in the given direction.
+func (r *Recorder) Observe(dir netem.Direction, raw []byte) {
+	p, defects := packet.Inspect(raw)
+	if !defects.Empty() {
+		return // recording assumes a clean capture
+	}
+	key := p.Flow()
+	if dir == netem.ToClient {
+		key = key.Reverse()
+	}
+	switch {
+	case p.TCP != nil:
+		r.observeTCP(dir, key, p)
+	case p.UDP != nil:
+		r.observeUDP(dir, key, p)
+	}
+}
+
+func (r *Recorder) adopt(key packet.FlowKey, proto uint8) bool {
+	if !r.haveFlow {
+		r.flow = key
+		r.haveFlow = true
+		r.proto = proto
+		r.port = key.DstPort
+		return true
+	}
+	return r.flow == key
+}
+
+func (r *Recorder) observeTCP(dir netem.Direction, key packet.FlowKey, p *packet.Packet) {
+	di := 0
+	if dir == netem.ToClient {
+		di = 1
+	}
+	t := p.TCP
+	if t.Flags.Has(packet.FlagSYN) {
+		if len(p.Payload) == 0 && !r.haveFlow && di == 0 {
+			// Adopt the flow at its SYN so sequence state is exact.
+			r.adopt(key, packet.ProtoTCP)
+		}
+		if r.haveFlow && key == r.flow {
+			r.exp[di] = t.Seq + 1
+			r.valid[di] = true
+		}
+		return
+	}
+	if len(p.Payload) == 0 {
+		return
+	}
+	if !r.adopt(key, packet.ProtoTCP) {
+		return
+	}
+	if r.ooo[di] == nil {
+		r.ooo[di] = make(map[uint32][]byte)
+	}
+	if !r.valid[di] {
+		r.exp[di] = t.Seq
+		r.valid[di] = true
+	}
+	const win = 1 << 17
+	seq := t.Seq
+	data := p.Payload
+	switch {
+	case seq == r.exp[di]:
+		r.deliver(di, data)
+		r.exp[di] += uint32(len(data))
+	case seq-r.exp[di] < win:
+		if _, dup := r.ooo[di][seq]; !dup {
+			r.ooo[di][seq] = append([]byte(nil), data...)
+		}
+	case r.exp[di]-seq < win && seq+uint32(len(data))-r.exp[di] < win && seq+uint32(len(data)) != r.exp[di]:
+		tail := data[r.exp[di]-seq:]
+		r.deliver(di, tail)
+		r.exp[di] += uint32(len(tail))
+	default:
+		return
+	}
+	for {
+		if next, ok := r.ooo[di][r.exp[di]]; ok {
+			delete(r.ooo[di], r.exp[di])
+			r.deliver(di, next)
+			r.exp[di] += uint32(len(next))
+			continue
+		}
+		break
+	}
+}
+
+func (r *Recorder) observeUDP(dir netem.Direction, key packet.FlowKey, p *packet.Packet) {
+	if !r.adopt(key, packet.ProtoUDP) {
+		return
+	}
+	d := trace.ClientToServer
+	if dir == netem.ToClient {
+		d = trace.ServerToClient
+	}
+	// Every datagram is its own message.
+	r.messages = append(r.messages, trace.Message{Dir: d, Data: append([]byte(nil), p.Payload...)})
+}
+
+// deliver appends in-order stream bytes, opening a new message when the
+// direction alternates.
+func (r *Recorder) deliver(di int, data []byte) {
+	d := trace.ClientToServer
+	if di == 1 {
+		d = trace.ServerToClient
+	}
+	if n := len(r.messages); n > 0 && r.messages[n-1].Dir == d && r.proto == packet.ProtoTCP {
+		r.messages[n-1].Data = append(r.messages[n-1].Data, data...)
+		return
+	}
+	r.messages = append(r.messages, trace.Message{Dir: d, Data: append([]byte(nil), data...)})
+}
+
+// Messages returns the reconstructed message list so far.
+func (r *Recorder) Messages() []trace.Message { return r.messages }
+
+// Trace freezes the recording into a replayable trace.
+func (r *Recorder) Trace(name, app string) *trace.Trace {
+	msgs := make([]trace.Message, len(r.messages))
+	for i, m := range r.messages {
+		msgs[i] = trace.Message{Dir: m.Dir, Data: append([]byte(nil), m.Data...)}
+	}
+	return &trace.Trace{
+		Name: name, App: app,
+		Proto: r.proto, ServerPort: r.port,
+		Messages: msgs,
+	}
+}
+
+// TapElement adapts the recorder into an in-path element for live capture.
+func (r *Recorder) TapElement(label string) netem.Element {
+	return &recorderTap{label: label, rec: r}
+}
+
+type recorderTap struct {
+	label string
+	rec   *Recorder
+}
+
+func (t *recorderTap) Name() string { return t.label }
+
+func (t *recorderTap) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
+	t.rec.Observe(dir, raw)
+	ctx.Forward(raw)
+}

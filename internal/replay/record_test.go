@@ -1,0 +1,145 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dpi"
+	"repro/internal/netem"
+	"repro/internal/netem/packet"
+	"repro/internal/trace"
+)
+
+// tcpPkt builds a raw TCP packet; flags is a string of S/A/F/R letters.
+func tcpPkt(src, dst packet.Addr, sport, dport uint16, seq, ack uint32, flags, payload string) []byte {
+	var f packet.TCPFlags
+	if strings.Contains(flags, "S") {
+		f |= packet.FlagSYN
+	}
+	if strings.Contains(flags, "A") {
+		f |= packet.FlagACK
+	}
+	if strings.Contains(flags, "F") {
+		f |= packet.FlagFIN
+	}
+	if strings.Contains(flags, "R") {
+		f |= packet.FlagRST
+	}
+	return packet.NewTCP(src, dst, sport, dport, seq, ack, f, []byte(payload)).Serialize()
+}
+
+// captureNetwork builds a clean path with a recorder tap on it.
+func captureNetwork() (*dpi.Network, *Recorder) {
+	net := dpi.NewBaseline()
+	rec := NewRecorder()
+	net.Env.Append(rec.TapElement("capture"))
+	return net, rec
+}
+
+func TestRecorderReconstructsTCPTrace(t *testing.T) {
+	net, rec := captureNetwork()
+	orig := trace.EconomistWeb(32 << 10)
+	res, err := Run(Options{Net: net, Trace: orig, ClientPort: 40100})
+	if err != nil || !res.Completed {
+		t.Fatalf("replay failed: %v %+v", err, res)
+	}
+	got := rec.Trace("captured", "EconomistWeb")
+	if got.Proto != orig.Proto || got.ServerPort != orig.ServerPort {
+		t.Fatalf("flow metadata: %+v", got)
+	}
+	if len(got.Messages) != len(orig.Messages) {
+		t.Fatalf("message count %d, want %d", len(got.Messages), len(orig.Messages))
+	}
+	for i := range orig.Messages {
+		if got.Messages[i].Dir != orig.Messages[i].Dir {
+			t.Fatalf("msg %d dir mismatch", i)
+		}
+		if !bytes.Equal(got.Messages[i].Data, orig.Messages[i].Data) {
+			t.Fatalf("msg %d content mismatch: %d vs %d bytes", i, len(got.Messages[i].Data), len(orig.Messages[i].Data))
+		}
+	}
+}
+
+func TestRecorderReconstructsUDPTrace(t *testing.T) {
+	net, rec := captureNetwork()
+	orig := trace.SkypeCall(4, 300)
+	res, err := Run(Options{Net: net, Trace: orig, ClientPort: 40101})
+	if err != nil || !res.Completed {
+		t.Fatalf("replay failed: %v %+v", err, res)
+	}
+	got := rec.Trace("captured", "Skype")
+	if len(got.Messages) != len(orig.Messages) {
+		t.Fatalf("message count %d, want %d", len(got.Messages), len(orig.Messages))
+	}
+	for i := range orig.Messages {
+		if !bytes.Equal(got.Messages[i].Data, orig.Messages[i].Data) {
+			t.Fatalf("datagram %d mismatch", i)
+		}
+	}
+}
+
+func TestRecordedTraceDrivesFullEngagementReplay(t *testing.T) {
+	// Record on a clean network, then replay the captured trace against a
+	// classifying one — the full Figure 3 loop.
+	net, rec := captureNetwork()
+	if _, err := Run(Options{Net: net, Trace: trace.AmazonPrimeVideo(64 << 10), ClientPort: 40102}); err != nil {
+		t.Fatal(err)
+	}
+	captured := rec.Trace("captured-amazon", "AmazonPrimeVideo")
+
+	tm := dpi.NewTMobile()
+	res, err := Run(Options{Net: tm, Trace: captured, ClientPort: 40103})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GroundTruthClass != "video" {
+		t.Fatalf("replayed capture not classified: %q", res.GroundTruthClass)
+	}
+	if !res.Completed || !res.IntegrityOK {
+		t.Fatalf("replayed capture broken: %+v", res)
+	}
+}
+
+func TestRecorderIgnoresOtherFlows(t *testing.T) {
+	net, rec := captureNetwork()
+	// First flow adopts the recorder; a second concurrent-ish flow must be
+	// ignored.
+	if _, err := Run(Options{Net: net, Trace: trace.EconomistWeb(4 << 10), ClientPort: 40104}); err != nil {
+		t.Fatal(err)
+	}
+	before := len(rec.Messages())
+	if _, err := Run(Options{Net: net, Trace: trace.Spotify(4 << 10), ClientPort: 40105}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Messages()) != before {
+		t.Fatalf("recorder followed a second flow: %d → %d messages", before, len(rec.Messages()))
+	}
+}
+
+func TestRecorderHandlesReorderedSegments(t *testing.T) {
+	rec := NewRecorder()
+	mkNet := func() *dpi.Network { return dpi.NewBaseline() }
+	net := mkNet()
+	net.Env.Append(rec.TapElement("capture"))
+	// Send a handcrafted flow with out-of-order segments.
+	env := net.Env
+	clock := net.Clock
+	send := func(raw []byte) { env.FromClient(raw) }
+	_ = send
+	// Handshake.
+	c, s := dpi.DefaultClientAddr, dpi.DefaultServerAddr
+	syn := tcpPkt(c, s, 40200, 80, 9000, 0, "S", "")
+	env.FromClient(syn)
+	env.FromServer(tcpPkt(s, c, 80, 40200, 70000, 9001, "SA", ""))
+	env.FromClient(tcpPkt(c, s, 40200, 80, 9001, 70001, "A", ""))
+	// Data out of order: tail first.
+	env.FromClient(tcpPkt(c, s, 40200, 80, 9001+8, 70001, "A", "tail-end"))
+	env.FromClient(tcpPkt(c, s, 40200, 80, 9001, 70001, "A", "headpart"))
+	clock.Run()
+	got := rec.Trace("x", "x")
+	if len(got.Messages) != 1 || string(got.Messages[0].Data) != "headparttail-end" {
+		t.Fatalf("reordered reconstruction: %q", got.Messages)
+	}
+	_ = netem.ToServer
+}

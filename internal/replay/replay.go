@@ -1,0 +1,515 @@
+// Package replay drives recorded application traces across a simulated
+// network and reports the client-observable signals lib·erate's detection
+// and characterization phases consume: throughput, blocking (RSTs, block
+// pages), content integrity, data-usage counter movement, and raw
+// server-side packet capture for the "Reaches Server?" judgment.
+//
+// It is the simulator analogue of the paper's replay client/server pair
+// (Figure 3, step 2): the server knows the trace script and plays the
+// server role; the client plays the client role through an optional
+// evasion transform.
+package replay
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/dpi"
+	"repro/internal/netem/packet"
+	"repro/internal/netem/stack"
+	"repro/internal/trace"
+)
+
+// Options configures one replay.
+type Options struct {
+	Net   *dpi.Network
+	Trace *trace.Trace
+	// ClientPort is the client source port; callers vary it per replay so
+	// each replay is a fresh flow.
+	ClientPort uint16
+	// ServerPort overrides the trace's server port when nonzero (the GFC
+	// characterization workaround and the Iran/AT&T port experiments).
+	ServerPort uint16
+	// ServerOS selects the replay server's OS validation profile
+	// (defaults to Linux).
+	ServerOS *stack.OSProfile
+	// Transform installs an evasion technique on the client flow.
+	Transform stack.OutgoingTransform
+	// ServerTransform installs an evasion technique on the server side of
+	// the flow (the paper's server-only deployment mode).
+	ServerTransform stack.OutgoingTransform
+	// PostWriteDelay inserts a pause after the write with this index
+	// completes (classification-flushing probes). Ignored when
+	// PostWriteDelay.Delay is zero.
+	PostWriteDelay PostDelay
+	// ExtraBudget extends the run horizon for replays with long pauses.
+	ExtraBudget time.Duration
+	// Reliable arms TCP retransmission on both endpoints (for lossy-path
+	// robustness experiments). Off by default: the clean simulated paths
+	// never need it and techniques stay byte-deterministic.
+	Reliable bool
+}
+
+// PostDelay describes a pause inserted between application writes.
+// AfterWrite -1 pauses between connection establishment and the first
+// write (the paper's "pause before match" probe).
+type PostDelay struct {
+	AfterWrite int // client write index after which to pause; -1 = before first
+	Delay      time.Duration
+}
+
+// Result is everything the client side can observe from one replay, plus
+// ground-truth fields (marked as such) that only tests and experiment
+// tables read.
+type Result struct {
+	// Completed: every scripted message was exchanged.
+	Completed bool
+	// IntegrityOK: the server received exactly the client's scripted
+	// stream and the client received exactly the server's.
+	IntegrityOK bool
+	// Blocked signals: connection reset, 403 page, or handshake failure.
+	Blocked    bool
+	RSTsSeen   int
+	Got403     bool
+	CloseState string
+
+	// Throughput of server→client application data.
+	AvgThroughputBps  float64
+	PeakThroughputBps float64
+	// TailThroughputBps measures only the s2c data that arrived after the
+	// client's final write — the signal the classification-flushing probes
+	// use to judge whether the *rest* of a flow is still differentiated.
+	TailThroughputBps float64
+	Duration          time.Duration
+
+	// Wire accounting at the client.
+	BytesOut int64
+	BytesIn  int64
+
+	// CounterDelta is the subscriber-counter movement (noisy; -1 when the
+	// network has no counter).
+	CounterDelta int64
+
+	// ServerArrivals is the replay server's raw packet capture — the
+	// paper's tcpdump-at-the-server for the RS? column.
+	ServerArrivals []stack.Arrival
+
+	// ServerAppBytes counts application-layer bytes the server actually
+	// delivered to its application (stream bytes for TCP, datagram bytes
+	// for UDP). Zero means the client's request never functionally
+	// arrived — e.g. fragments silently dropped in-path.
+	ServerAppBytes int
+
+	// GroundTruthClass is the classifier's final class for the flow.
+	// Tests and tables only; lib·erate never reads it outside the testbed
+	// (where the paper also had direct access to classification results).
+	GroundTruthClass string
+
+	FlowKey packet.FlowKey
+}
+
+// tcpScript walks the trace message list for the TCP server role.
+type tcpScript struct {
+	tr       *trace.Trace
+	expected []byte // concatenated client payloads in order
+	// sendAt[i] = cumulative client bytes after which server message i is
+	// released.
+	plan []scriptStep
+}
+
+type scriptStep struct {
+	needClientBytes int
+	data            []byte
+	isClient        bool
+}
+
+func buildScript(tr *trace.Trace) *tcpScript {
+	s := &tcpScript{tr: tr}
+	clientBytes := 0
+	for _, m := range tr.Messages {
+		if m.Dir == trace.ClientToServer {
+			clientBytes += len(m.Data)
+			s.expected = append(s.expected, m.Data...)
+			s.plan = append(s.plan, scriptStep{isClient: true, data: m.Data})
+		} else {
+			s.plan = append(s.plan, scriptStep{needClientBytes: clientBytes, data: m.Data})
+		}
+	}
+	return s
+}
+
+type serverApp struct {
+	script    *tcpScript
+	released  int // messages released (index into plan for server msgs)
+	received  int
+	closed    bool
+	transform stack.OutgoingTransform
+}
+
+func (a *serverApp) OnStream(c *stack.ServerConn, data []byte) {
+	if a.transform != nil && c.Transform == nil {
+		c.Transform = a.transform
+	}
+	a.received += len(data)
+	a.release(c)
+}
+
+func (a *serverApp) OnClose(c *stack.ServerConn, reason string) { a.closed = true }
+
+// release sends every server message whose client-byte precondition is met.
+func (a *serverApp) release(c *stack.ServerConn) {
+	for a.released < len(a.script.plan) {
+		st := a.script.plan[a.released]
+		if st.isClient {
+			// Client messages gate on the client side; skip marker.
+			a.released++
+			continue
+		}
+		if a.received < st.needClientBytes {
+			return
+		}
+		a.released++
+		c.Send(st.data)
+	}
+}
+
+type dgramApp struct {
+	script   *tcpScript
+	released int
+	received int
+	peer     struct {
+		addr             packet.Addr
+		srcPort, dstPort uint16
+	}
+}
+
+func (a *dgramApp) OnDatagram(s *stack.Server, src packet.Addr, srcPort, dstPort uint16, data []byte) {
+	a.received += len(data)
+	a.peer.addr, a.peer.srcPort, a.peer.dstPort = src, srcPort, dstPort
+	for a.released < len(a.script.plan) {
+		st := a.script.plan[a.released]
+		if st.isClient {
+			a.released++
+			continue
+		}
+		if a.received < st.needClientBytes {
+			return
+		}
+		a.released++
+		s.SendDatagram(src, dstPort, srcPort, st.data)
+	}
+}
+
+// Run replays the trace and returns the observed result.
+func Run(opts Options) (*Result, error) {
+	if opts.Net == nil || opts.Trace == nil {
+		return nil, fmt.Errorf("replay: nil network or trace")
+	}
+	net := opts.Net
+	tr := opts.Trace
+	clock := net.Clock
+	serverPort := tr.ServerPort
+	if opts.ServerPort != 0 {
+		serverPort = opts.ServerPort
+	}
+	clientPort := opts.ClientPort
+	if clientPort == 0 {
+		clientPort = 40000
+	}
+	osProf := stack.Linux
+	if opts.ServerOS != nil {
+		osProf = *opts.ServerOS
+	}
+
+	srv := stack.NewServer(net.Env, osProf)
+	host := stack.NewClientHost(net.Env)
+	script := buildScript(tr)
+
+	res := &Result{CounterDelta: -1}
+	var counterBefore int64
+	if net.Counter != nil {
+		counterBefore = net.Counter.Read()
+	}
+	start := clock.Now()
+
+	// Throughput sampling of s2c application bytes.
+	var lastDataAt time.Time
+	var firstDataAt time.Time
+	var s2cBytes int
+	var windowStart time.Time
+	var windowBytes int
+	var peak float64
+	var lastWriteAt time.Time
+	var tailFirst, tailLast time.Time
+	var tailBytes int
+	markWrite := func() {
+		// A new write restarts the tail window: "tail" means s2c data
+		// after the *final* client write.
+		lastWriteAt = clock.Now()
+		tailFirst, tailLast = time.Time{}, time.Time{}
+		tailBytes = 0
+	}
+	onData := func(n int) {
+		now := clock.Now()
+		if firstDataAt.IsZero() {
+			firstDataAt = now
+			windowStart = now
+		}
+		lastDataAt = now
+		s2cBytes += n
+		windowBytes += n
+		if !lastWriteAt.IsZero() && now.After(lastWriteAt) {
+			if tailFirst.IsZero() {
+				tailFirst = now
+			}
+			tailLast = now
+			tailBytes += n
+		}
+		if w := now.Sub(windowStart); w >= 200*time.Millisecond {
+			rate := float64(windowBytes*8) / w.Seconds()
+			if rate > peak {
+				peak = rate
+			}
+			windowStart = now
+			windowBytes = 0
+		}
+	}
+
+	h := hooks{onData: onData, markWrite: markWrite}
+	switch tr.Proto {
+	case packet.ProtoTCP:
+		runTCP(opts, srv, host, script, serverPort, clientPort, h, res)
+	case packet.ProtoUDP:
+		runUDP(opts, srv, host, script, serverPort, clientPort, h, res)
+	default:
+		return nil, fmt.Errorf("replay: unsupported protocol %d", tr.Proto)
+	}
+
+	res.Duration = clock.Since(start)
+	res.BytesOut = host.BytesOut
+	res.BytesIn = host.BytesIn
+	res.ServerArrivals = srv.Captured
+	if net.Counter != nil {
+		res.CounterDelta = net.Counter.Read() - counterBefore
+	}
+	res.GroundTruthClass = net.GroundTruthClass(res.FlowKey)
+	if s2cBytes > 0 && lastDataAt.After(firstDataAt) {
+		res.AvgThroughputBps = float64(s2cBytes*8) / lastDataAt.Sub(firstDataAt).Seconds()
+	}
+	if w := clock.Now().Sub(windowStart); windowBytes > 0 && w > 0 {
+		if rate := float64(windowBytes*8) / w.Seconds(); rate > peak {
+			peak = rate
+		}
+	}
+	res.PeakThroughputBps = peak
+	if tailBytes > 0 && tailLast.After(tailFirst) {
+		res.TailThroughputBps = float64(tailBytes*8) / tailLast.Sub(tailFirst).Seconds()
+	}
+	return res, nil
+}
+
+type hooks struct {
+	onData    func(int)
+	markWrite func()
+}
+
+func runTCP(opts Options, srv *stack.Server, host *stack.ClientHost, script *tcpScript,
+	serverPort, clientPort uint16, h hooks, res *Result) {
+	onData := h.onData
+
+	tr := opts.Trace
+	clock := opts.Net.Clock
+	app := &serverApp{script: script, transform: opts.ServerTransform}
+	srv.ListenStream(serverPort, app)
+	cli := stack.NewTCPClient(host, opts.Net.Env.ServerAddr, clientPort, serverPort)
+	if opts.Transform != nil {
+		cli.Transform = opts.Transform
+	}
+	if opts.Reliable {
+		cli.RTO = stack.DefaultRTO
+		srv.RTO = stack.DefaultRTO
+	}
+	res.FlowKey = packet.FlowKey{Proto: packet.ProtoTCP, Src: host.Addr, Dst: opts.Net.Env.ServerAddr, SrcPort: clientPort, DstPort: serverPort}
+
+	// Expected server→client stream.
+	var expectS2C []byte
+	for _, m := range tr.Messages {
+		if m.Dir == trace.ServerToClient {
+			expectS2C = append(expectS2C, m.Data...)
+		}
+	}
+
+	// The client sends its i-th message once it has received all server
+	// bytes scripted before it.
+	var clientSends []scriptStep
+	serverBytes := 0
+	for _, m := range tr.Messages {
+		if m.Dir == trace.ServerToClient {
+			serverBytes += len(m.Data)
+		} else {
+			clientSends = append(clientSends, scriptStep{needClientBytes: serverBytes, data: m.Data})
+		}
+	}
+	sent := 0
+	preDelayed := false
+	var pump func()
+	pump = func() {
+		if opts.PostWriteDelay.Delay > 0 && opts.PostWriteDelay.AfterWrite == -1 && !preDelayed {
+			preDelayed = true
+			clock.ScheduleAt(clock.Now().Add(opts.PostWriteDelay.Delay), pump)
+			return
+		}
+		for sent < len(clientSends) && len(cli.Received) >= clientSends[sent].needClientBytes {
+			idx := sent
+			sent++
+			cli.Send(clientSends[idx].data)
+			h.markWrite()
+			if opts.PostWriteDelay.Delay > 0 && opts.PostWriteDelay.AfterWrite == idx {
+				// Pause, then resume pumping; the next write (if its
+				// precondition is met) goes out after the pause.
+				clock.ScheduleAt(clock.Now().Add(opts.PostWriteDelay.Delay), pump)
+				return
+			}
+		}
+	}
+	cli.OnConnected = func() { pump() }
+	cli.OnData = func(d []byte) { onData(len(d)); pump() }
+
+	cli.Connect()
+	runClock(opts, clock)
+
+	res.RSTsSeen = cli.RSTsSeen
+	_, res.CloseState = cli.Closed()
+	res.Got403 = bytes.Contains(cli.Received, []byte("HTTP/1.1 403 Forbidden")) && !bytes.Contains(expectS2C, []byte("HTTP/1.1 403 Forbidden"))
+	res.Blocked = res.CloseState == "rst" || res.Got403 || !cli.Established()
+	serverGotAll := app.received >= len(script.expected)
+	clientGotAll := len(cli.Received) >= len(expectS2C)
+	res.Completed = sent == len(clientSends) && serverGotAll && clientGotAll && !res.Blocked
+	serverStream := serverStreamBytes(srv, res.FlowKey)
+	res.ServerAppBytes = len(serverStream)
+	res.IntegrityOK = bytes.Equal(serverStream, script.expected) && bytes.Equal(cli.Received, expectS2C)
+}
+
+func runUDP(opts Options, srv *stack.Server, host *stack.ClientHost, script *tcpScript,
+	serverPort, clientPort uint16, h hooks, res *Result) {
+	onData := h.onData
+
+	tr := opts.Trace
+	clock := opts.Net.Clock
+	app := &dgramApp{script: script}
+	srv.ListenDatagram(serverPort, app)
+	cli := stack.NewUDPClient(host, opts.Net.Env.ServerAddr, clientPort, serverPort)
+	if opts.Transform != nil {
+		cli.Transform = opts.Transform
+	}
+	res.FlowKey = packet.FlowKey{Proto: packet.ProtoUDP, Src: host.Addr, Dst: opts.Net.Env.ServerAddr, SrcPort: clientPort, DstPort: serverPort}
+
+	var expectS2C [][]byte
+	for _, m := range tr.Messages {
+		if m.Dir == trace.ServerToClient {
+			expectS2C = append(expectS2C, m.Data)
+		}
+	}
+	var clientSends []scriptStep
+	serverBytes := 0
+	for _, m := range tr.Messages {
+		if m.Dir == trace.ServerToClient {
+			serverBytes += len(m.Data)
+		} else {
+			clientSends = append(clientSends, scriptStep{needClientBytes: serverBytes, data: m.Data})
+		}
+	}
+	received := 0
+	sent := 0
+	preDelayed := false
+	var pump func()
+	pump = func() {
+		if opts.PostWriteDelay.Delay > 0 && opts.PostWriteDelay.AfterWrite == -1 && !preDelayed {
+			preDelayed = true
+			clock.ScheduleAt(clock.Now().Add(opts.PostWriteDelay.Delay), pump)
+			return
+		}
+		for sent < len(clientSends) && received >= clientSends[sent].needClientBytes {
+			idx := sent
+			sent++
+			cli.Send(clientSends[idx].data)
+			h.markWrite()
+			if opts.PostWriteDelay.Delay > 0 && opts.PostWriteDelay.AfterWrite == idx {
+				clock.ScheduleAt(clock.Now().Add(opts.PostWriteDelay.Delay), pump)
+				return
+			}
+		}
+	}
+	cli.OnData = func(d []byte) { received += len(d); onData(len(d)); pump() }
+	pump()
+	runClock(opts, clock)
+
+	res.Completed = sent == len(clientSends) && received >= sumLens(expectS2C)
+	// UDP integrity compares the joined byte streams: datagram boundaries
+	// legitimately shift when an application write exceeds one MTU.
+	var gotJoined []byte
+	for _, d := range cli.Received {
+		gotJoined = append(gotJoined, d...)
+	}
+	var wantJoined []byte
+	for _, d := range expectS2C {
+		wantJoined = append(wantJoined, d...)
+	}
+	serverJoined := joinedServerDatagrams(srv)
+	res.ServerAppBytes = len(serverJoined)
+	res.IntegrityOK = bytes.Equal(gotJoined, wantJoined) &&
+		bytes.Equal(serverJoined, script.expected)
+	res.Blocked = false
+}
+
+// joinedServerDatagrams concatenates the UDP payloads the server's
+// application layer actually received.
+func joinedServerDatagrams(srv *stack.Server) []byte {
+	var out []byte
+	for _, d := range srv.Datagrams {
+		out = append(out, d...)
+	}
+	return out
+}
+
+func sumLens(b [][]byte) int {
+	n := 0
+	for _, x := range b {
+		n += len(x)
+	}
+	return n
+}
+
+// serverStreamBytes digs the received stream for the replay flow out of
+// the server (for integrity checking).
+func serverStreamBytes(srv *stack.Server, key packet.FlowKey) []byte {
+	if c := srv.ConnFor(key); c != nil {
+		return c.Received
+	}
+	return nil
+}
+
+// runClock drains the simulation with a generous horizon so that pauses
+// and shapers complete, without spinning forever on pathological state.
+func runClock(opts Options, clock interface {
+	RunFor(time.Duration) error
+	Pending() int
+}) {
+	horizon := 10 * time.Minute
+	if opts.ExtraBudget > 0 {
+		horizon += opts.ExtraBudget
+	}
+	// Run in small slices until quiescent, so virtual time never races far
+	// past the last event (a runaway clock would contaminate elapsed-time
+	// signals such as the usage counter's background accrual).
+	slice := time.Second
+	for spent := time.Duration(0); spent < horizon; spent += slice {
+		if clock.Pending() == 0 {
+			return
+		}
+		if err := clock.RunFor(slice); err != nil {
+			return
+		}
+	}
+}

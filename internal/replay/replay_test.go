@@ -1,0 +1,291 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/dpi"
+	"repro/internal/trace"
+)
+
+func run(t *testing.T, net *dpi.Network, tr *trace.Trace, port uint16, opts ...func(*Options)) *Result {
+	t.Helper()
+	o := Options{Net: net, Trace: tr, ClientPort: port}
+	for _, f := range opts {
+		f(&o)
+	}
+	res, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSprintNoDifferentiation(t *testing.T) {
+	net := dpi.NewSprint()
+	tr := trace.AmazonPrimeVideo(256 << 10)
+	orig := run(t, net, tr, 40001)
+	inv := run(t, net, tr.Invert(), 40002)
+	if !orig.Completed || !orig.IntegrityOK {
+		t.Fatalf("original replay failed: %+v", orig)
+	}
+	if !inv.Completed || !inv.IntegrityOK {
+		t.Fatalf("inverted replay failed: %+v", inv)
+	}
+	ratio := orig.AvgThroughputBps / inv.AvgThroughputBps
+	if ratio < 0.7 || ratio > 1.3 {
+		t.Fatalf("sprint differentiates: %.0f vs %.0f bps", orig.AvgThroughputBps, inv.AvgThroughputBps)
+	}
+}
+
+func TestTestbedClassifiesAndThrottles(t *testing.T) {
+	net := dpi.NewTestbed()
+	tr := trace.AmazonPrimeVideo(512 << 10)
+	orig := run(t, net, tr, 40001)
+	if orig.GroundTruthClass != "video" {
+		t.Fatalf("class = %q, want video", orig.GroundTruthClass)
+	}
+	if !orig.Completed || !orig.IntegrityOK {
+		t.Fatalf("replay broken: %+v", orig)
+	}
+	if orig.AvgThroughputBps > 3e6 {
+		t.Fatalf("not throttled: %.0f bps", orig.AvgThroughputBps)
+	}
+	inv := run(t, net, tr.Invert(), 40003)
+	if inv.GroundTruthClass != "" {
+		t.Fatalf("inverted replay classified as %q", inv.GroundTruthClass)
+	}
+	if inv.AvgThroughputBps < 2*orig.AvgThroughputBps {
+		t.Fatalf("no differentiation signal: %.0f vs %.0f", orig.AvgThroughputBps, inv.AvgThroughputBps)
+	}
+}
+
+func TestTestbedClassifiesSkypeUDPFirstPacket(t *testing.T) {
+	net := dpi.NewTestbed()
+	tr := trace.SkypeCall(4, 400)
+	res := run(t, net, tr, 50001)
+	if res.GroundTruthClass != "voip" {
+		t.Fatalf("class = %q, want voip", res.GroundTruthClass)
+	}
+	if !res.Completed || !res.IntegrityOK {
+		t.Fatalf("skype replay broken: %+v", res)
+	}
+
+	// Prepending one dummy datagram before the STUN request defeats the
+	// first-packet-anchored rule (§6.1).
+	pre := tr.Clone()
+	pre.Messages = append([]trace.Message{{Dir: trace.ClientToServer, Data: []byte{0x7f}}}, pre.Messages...)
+	res2 := run(t, net, pre, 50002)
+	if res2.GroundTruthClass != "" {
+		t.Fatalf("dummy-prepended skype still classified: %q", res2.GroundTruthClass)
+	}
+}
+
+func TestTMobileZeroRatesAndThrottles(t *testing.T) {
+	net := dpi.NewTMobile()
+	tr := trace.AmazonPrimeVideo(512 << 10)
+	res := run(t, net, tr, 40001)
+	if res.GroundTruthClass != "video" {
+		t.Fatalf("class = %q", res.GroundTruthClass)
+	}
+	if !res.Completed || !res.IntegrityOK {
+		t.Fatalf("replay broken: %+v", res)
+	}
+	if res.AvgThroughputBps > 2.5e6 {
+		t.Fatalf("binge on not throttling: %.0f", res.AvgThroughputBps)
+	}
+	// Zero-rated: counter moved far less than bytes transferred.
+	if res.CounterDelta < 0 {
+		t.Fatal("no counter on tmobile profile")
+	}
+	if res.CounterDelta > int64(tr.TotalBytes())/2 {
+		t.Fatalf("counter delta %d suggests not zero-rated (total %d)", res.CounterDelta, tr.TotalBytes())
+	}
+
+	inv := run(t, net, tr.Invert(), 40005)
+	if inv.GroundTruthClass != "" {
+		t.Fatal("inverted classified")
+	}
+	if inv.CounterDelta < int64(tr.TotalBytes())/2 {
+		t.Fatalf("inverted replay unexpectedly zero-rated: %d", inv.CounterDelta)
+	}
+}
+
+func TestTMobileYouTubeSNI(t *testing.T) {
+	net := dpi.NewTMobile()
+	res := run(t, net, trace.YouTubeTLS(128<<10), 40007)
+	if res.GroundTruthClass != "video" {
+		t.Fatalf("SNI classification failed: %q", res.GroundTruthClass)
+	}
+}
+
+func TestTMobileDoesNotClassifyUDP(t *testing.T) {
+	net := dpi.NewTMobile()
+	res := run(t, net, trace.SkypeCall(4, 400), 50003)
+	if res.GroundTruthClass != "" {
+		t.Fatalf("TMUS classified UDP: %q", res.GroundTruthClass)
+	}
+	if !res.Completed {
+		t.Fatalf("udp replay broken: %+v", res)
+	}
+}
+
+func TestGFCBlocksEconomist(t *testing.T) {
+	net := dpi.NewGFC()
+	tr := trace.EconomistWeb(8 << 10)
+	res := run(t, net, tr, 40001)
+	if res.GroundTruthClass != "blocked" {
+		t.Fatalf("class = %q", res.GroundTruthClass)
+	}
+	if !res.Blocked || res.CloseState != "rst" {
+		t.Fatalf("not blocked: %+v", res)
+	}
+	if res.RSTsSeen < 3 || res.RSTsSeen > 5 {
+		t.Fatalf("RSTs = %d, want 3-5", res.RSTsSeen)
+	}
+	// Inverted content sails through.
+	inv := run(t, net, tr.Invert(), 40002)
+	if inv.Blocked || !inv.Completed {
+		t.Fatalf("inverted blocked: %+v", inv)
+	}
+}
+
+func TestGFCBlacklistsServerPortAfterTwoFlows(t *testing.T) {
+	net := dpi.NewGFC()
+	tr := trace.EconomistWeb(4 << 10)
+	run(t, net, tr, 40001)
+	run(t, net, tr, 40002)
+	// Third flow carries NO blocked content but targets the same
+	// server:port — residual blocking must hit it (§6.5).
+	innocuous := trace.Spotify(4 << 10)
+	innocuous.ServerPort = 80
+	res := run(t, net, innocuous, 40003)
+	if !res.Blocked {
+		t.Fatalf("blacklist did not fire: %+v", res)
+	}
+	// A different server port is unaffected.
+	res2 := run(t, net, innocuous, 40004, func(o *Options) { o.ServerPort = 8080 })
+	if res2.Blocked || !res2.Completed {
+		t.Fatalf("different port blocked: %+v", res2)
+	}
+}
+
+func TestGFCDoesNotClassifyUDP(t *testing.T) {
+	net := dpi.NewGFC()
+	res := run(t, net, trace.SkypeCall(2, 200), 50001)
+	if !res.Completed || !res.IntegrityOK {
+		t.Fatalf("udp through GFC broken: %+v", res)
+	}
+}
+
+func TestIranBlocksPort80Only(t *testing.T) {
+	net := dpi.NewIran()
+	tr := trace.FacebookWeb(4 << 10)
+	res := run(t, net, tr, 40001)
+	if !res.Blocked {
+		t.Fatalf("iran did not block: %+v", res)
+	}
+	if !res.Got403 {
+		t.Fatalf("no 403 block page: %+v", res)
+	}
+	if res.RSTsSeen < 2 {
+		t.Fatalf("RSTs = %d, want >= 2", res.RSTsSeen)
+	}
+	// Same content on port 8080 is untouched (§6.6).
+	res2 := run(t, net, tr, 40002, func(o *Options) { o.ServerPort = 8080 })
+	if res2.Blocked || !res2.Completed {
+		t.Fatalf("port 8080 blocked: %+v", res2)
+	}
+}
+
+func TestIranInspectsEveryPacket(t *testing.T) {
+	net := dpi.NewIran()
+	// Blocked keyword in a LATER message, after 1000 prepended packets
+	// worth of innocuous data — Iran still blocks (no window).
+	tr := trace.FacebookWeb(4 << 10)
+	big := make([]byte, 1000*1400)
+	for i := range big {
+		big[i] = byte('a' + i%26)
+	}
+	tr.Messages = append([]trace.Message{{Dir: trace.ClientToServer, Data: big}}, tr.Messages...)
+	res := run(t, net, tr, 40003)
+	if !res.Blocked {
+		t.Fatalf("iran missed keyword after 1000 packets: %+v", res)
+	}
+}
+
+func TestATTThrottlesPort80Video(t *testing.T) {
+	net := dpi.NewATT()
+	tr := trace.NBCSportsVideo(512 << 10)
+	res := run(t, net, tr, 40001)
+	if res.GroundTruthClass != "video" {
+		t.Fatalf("class = %q", res.GroundTruthClass)
+	}
+	if !res.Completed || !res.IntegrityOK {
+		t.Fatalf("replay through proxy broken: %+v", res)
+	}
+	if res.AvgThroughputBps > 2.5e6 {
+		t.Fatalf("stream saver not throttling: %.0f", res.AvgThroughputBps)
+	}
+	// Port change evades Stream Saver entirely.
+	res2 := run(t, net, tr, 40002, func(o *Options) { o.ServerPort = 8080 })
+	if res2.GroundTruthClass != "" {
+		t.Fatalf("port 8080 classified: %q", res2.GroundTruthClass)
+	}
+	if res2.AvgThroughputBps < 5e6 {
+		t.Fatalf("port 8080 still slow: %.0f", res2.AvgThroughputBps)
+	}
+}
+
+func TestATTIgnoresHTTPS(t *testing.T) {
+	net := dpi.NewATT()
+	res := run(t, net, trace.YouTubeTLS(256<<10), 40003)
+	if res.GroundTruthClass != "" {
+		t.Fatalf("TLS classified: %q", res.GroundTruthClass)
+	}
+	if !res.Completed || !res.IntegrityOK {
+		t.Fatalf("TLS replay broken: %+v", res)
+	}
+}
+
+func TestTestbedFlushAfterPause(t *testing.T) {
+	// Classification result expires after the 120 s idle timeout: a flow
+	// that pauses 130 s before the matching request is never classified.
+	net := dpi.NewTestbed()
+	tr := trace.AmazonPrimeVideo(64 << 10)
+	res := run(t, net, tr, 40001, func(o *Options) {
+		o.PostWriteDelay = PostDelay{AfterWrite: -1, Delay: 130 * time.Second}
+	})
+	if res.GroundTruthClass != "" {
+		t.Fatalf("pause-before did not evade testbed: %q", res.GroundTruthClass)
+	}
+	if !res.Completed || !res.IntegrityOK {
+		t.Fatalf("paused replay broken: %+v", res)
+	}
+}
+
+func TestTMobilePauseDoesNotFlush(t *testing.T) {
+	net := dpi.NewTMobile()
+	tr := trace.AmazonPrimeVideo(64 << 10)
+	res := run(t, net, tr, 40001, func(o *Options) {
+		o.PostWriteDelay = PostDelay{AfterWrite: -1, Delay: 240 * time.Second}
+	})
+	if res.GroundTruthClass != "video" {
+		t.Fatalf("TMUS flushed after pause: %q", res.GroundTruthClass)
+	}
+}
+
+func TestReplayDataAccounting(t *testing.T) {
+	net := dpi.NewSprint()
+	tr := trace.EconomistWeb(8 << 10)
+	res := run(t, net, tr, 40001)
+	if res.BytesOut <= int64(tr.TotalBytes(trace.ClientToServer)) {
+		t.Fatalf("BytesOut %d too small", res.BytesOut)
+	}
+	if res.BytesIn <= int64(tr.TotalBytes(trace.ServerToClient)) {
+		t.Fatalf("BytesIn %d too small", res.BytesIn)
+	}
+	if len(res.ServerArrivals) == 0 {
+		t.Fatal("no server capture")
+	}
+}

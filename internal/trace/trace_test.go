@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/appproto"
+	"repro/internal/netem/packet"
+)
+
+func TestInvertIsInvolution(t *testing.T) {
+	f := func(data []byte) bool {
+		orig := append([]byte(nil), data...)
+		InvertBytes(data)
+		InvertBytes(data)
+		return bytes.Equal(data, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvertRemovesKeywords(t *testing.T) {
+	// Property: for any trace, no 3+-byte ASCII substring of the original
+	// payload survives inversion.
+	tr := EconomistWeb(1024)
+	inv := tr.Invert()
+	key := []byte("economist.com")
+	if !bytes.Contains(tr.Messages[0].Data, key) {
+		t.Fatal("fixture lost its keyword")
+	}
+	if bytes.Contains(inv.Messages[0].Data, key) {
+		t.Fatal("keyword survived inversion")
+	}
+	// And generally: no common trigram survives.
+	orig := tr.Messages[0].Data
+	invd := inv.Messages[0].Data
+	for i := 0; i+3 <= len(orig); i++ {
+		if bytes.Contains(invd, orig[i:i+3]) {
+			// A trigram and its inverse can only coincide if the data
+			// contains both x and ^x sequences; our HTTP head does not.
+			t.Fatalf("trigram %q survived inversion", orig[i:i+3])
+		}
+	}
+}
+
+func TestInvertDoesNotMutateOriginal(t *testing.T) {
+	tr := EconomistWeb(128)
+	before := append([]byte(nil), tr.Messages[0].Data...)
+	_ = tr.Invert()
+	if !bytes.Equal(before, tr.Messages[0].Data) {
+		t.Fatal("Invert mutated the source trace")
+	}
+}
+
+func TestInvertPreservesShape(t *testing.T) {
+	tr := SkypeCall(4, 256)
+	inv := tr.Invert()
+	if len(inv.Messages) != len(tr.Messages) {
+		t.Fatal("message count changed")
+	}
+	for i := range tr.Messages {
+		if len(inv.Messages[i].Data) != len(tr.Messages[i].Data) {
+			t.Fatalf("message %d size changed", i)
+		}
+		if inv.Messages[i].Dir != tr.Messages[i].Dir {
+			t.Fatalf("message %d direction changed", i)
+		}
+	}
+}
+
+func TestRandomizeDeterministic(t *testing.T) {
+	tr := Spotify(512)
+	a := tr.Randomize(5)
+	b := tr.Randomize(5)
+	c := tr.Randomize(6)
+	if !bytes.Equal(a.Messages[0].Data, b.Messages[0].Data) {
+		t.Fatal("same seed differs")
+	}
+	if bytes.Equal(a.Messages[0].Data, c.Messages[0].Data) {
+		t.Fatal("different seeds agree")
+	}
+}
+
+func TestBuiltinTracesWellFormed(t *testing.T) {
+	for _, tr := range Builtin() {
+		if tr.Name == "" || tr.App == "" {
+			t.Fatalf("unnamed trace: %+v", tr)
+		}
+		if tr.Proto != packet.ProtoTCP && tr.Proto != packet.ProtoUDP {
+			t.Fatalf("%s: bad proto %d", tr.Name, tr.Proto)
+		}
+		if tr.FirstClientMessage() != 0 {
+			t.Fatalf("%s: first message should be client's", tr.Name)
+		}
+		if tr.TotalBytes() == 0 {
+			t.Fatalf("%s: empty", tr.Name)
+		}
+	}
+}
+
+func TestTraceMatchingSurfaces(t *testing.T) {
+	if host, ok := appproto.ParseHTTPRequestHost(AmazonPrimeVideo(16).Messages[0].Data); !ok || !bytes.Contains([]byte(host), []byte("cloudfront.net")) {
+		t.Fatalf("amazon host = %q", host)
+	}
+	if sni := appproto.ParseSNI(YouTubeTLS(16).Messages[0].Data); !bytes.HasSuffix([]byte(sni), []byte(".googlevideo.com")) {
+		t.Fatalf("youtube SNI = %q", sni)
+	}
+	m, ok := appproto.ParseStun(SkypeCall(0, 0).Messages[0].Data)
+	if !ok || !m.HasAttr(appproto.StunAttrMSServiceQuality) {
+		t.Fatal("skype first packet lacks MS-SERVICE-QUALITY")
+	}
+	// AT&T's classifier matches the response side.
+	resp := NBCSportsVideo(16).Messages[1].Data
+	if !bytes.Contains(resp, []byte("Content-Type: video")) {
+		t.Fatal("nbcsports response lacks video content type")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	tr := EconomistWeb(256)
+	path := filepath.Join(dir, "econ.json")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != tr.Name || len(got.Messages) != len(tr.Messages) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	for i := range got.Messages {
+		if !bytes.Equal(got.Messages[i].Data, tr.Messages[i].Data) {
+			t.Fatalf("message %d differs", i)
+		}
+	}
+}
+
+func TestTotalBytesByDirection(t *testing.T) {
+	tr := &Trace{Messages: []Message{
+		{Dir: ClientToServer, Data: make([]byte, 10)},
+		{Dir: ServerToClient, Data: make([]byte, 100)},
+	}}
+	if tr.TotalBytes() != 110 || tr.TotalBytes(ClientToServer) != 10 || tr.TotalBytes(ServerToClient) != 100 {
+		t.Fatal("byte accounting wrong")
+	}
+}
+
+func TestOpaqueAvoidsKeywords(t *testing.T) {
+	b := opaque(1, 100000)
+	for _, kw := range []string{"GET", "HTTP", "Host", "cloudfront", "googlevideo", "economist"} {
+		if bytes.Contains(b, []byte(kw)) {
+			t.Fatalf("opaque bytes contain %q", kw)
+		}
+	}
+}
