@@ -10,8 +10,12 @@ package liberate
 // nanoseconds are not the quantity the paper reports.
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/dpi"
 	"repro/internal/experiments"
@@ -169,6 +173,37 @@ func BenchmarkExtensionQUIC(b *testing.B) {
 			b.Fatal("QUIC classified/blocked")
 		}
 		b.ReportMetric(r.QUICAvg/1e6, "quic-Mbps")
+	}
+}
+
+// BenchmarkCampaignThroughput measures fleet-orchestration throughput
+// (engagements/sec) at 1 worker versus GOMAXPROCS workers over the six
+// paper networks — the scaling number `benchtab -exp campaign` prints as
+// a table.
+func BenchmarkCampaignThroughput(b *testing.B) {
+	spec := campaign.Spec{
+		Traces: []string{"amazon", "youtube"},
+		Bodies: []int{8 << 10},
+	}
+	counts := []int{1, runtime.GOMAXPROCS(0)}
+	if counts[1] == 1 {
+		counts = counts[:1]
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			engagements := 0
+			for i := 0; i < b.N; i++ {
+				summary, err := (&campaign.Runner{Spec: spec, Workers: workers}).Run(context.Background())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if summary.Failed != 0 {
+					b.Fatalf("%d engagements failed", summary.Failed)
+				}
+				engagements += summary.Engagements
+			}
+			b.ReportMetric(float64(engagements)/b.Elapsed().Seconds(), "eng/s")
+		})
 	}
 }
 

@@ -10,6 +10,7 @@
 //	benchtab -exp persistence  # §6.1 classification persistence (120 s / 10 s)
 //	benchtab -exp sprint       # §6.4 null result
 //	benchtab -exp ablation     # DESIGN.md ablations
+//	benchtab -exp campaign     # campaign worker-pool scaling + determinism check
 //	benchtab -all              # everything, in order
 package main
 
@@ -25,7 +26,7 @@ func main() {
 	var (
 		table  = flag.Int("table", 0, "regenerate Table N (1, 2, or 3)")
 		figure = flag.Int("figure", 0, "regenerate Figure N (4)")
-		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace")
+		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign")
 		days   = flag.Int("days", 1, "days to sweep for Figure 4 (paper used 2)")
 		trials = flag.Int("trials", 6, "trials per hour for Figure 4 (paper used 6)")
 		body   = flag.Int("mb", 10, "video size in MB for the T-Mobile throughput experiment")
@@ -100,6 +101,11 @@ func main() {
 		fmt.Print(experiments.RunMasquerade().Render())
 		fmt.Print(experiments.RunQUIC().Render())
 		fmt.Println()
+		ran = true
+	}
+	if *all || *exp == "campaign" {
+		fmt.Println("== campaign orchestrator: worker-pool scaling over the six paper networks ==")
+		fmt.Println(experiments.RunCampaignScaling().Render())
 		ran = true
 	}
 	if !ran {

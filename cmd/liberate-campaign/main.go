@@ -1,0 +1,186 @@
+// Command liberate-campaign runs a fleet of lib·erate engagements — the
+// cross product of network profiles × traces × sweep parameters — on a
+// bounded worker pool, and aggregates the results into a deterministic
+// campaign summary:
+//
+//	liberate-campaign                                  # all networks × all traces
+//	liberate-campaign -networks gfc -hours 0,6,12,18   # time-of-day sweep
+//	liberate-campaign -spec campaign.json -workers 8 -out summary.json
+//	liberate-campaign -networks tmobile,gfc -seeds 1,2,3 -csv rows.csv
+//	liberate-campaign -export-spec campaign.json       # bootstrap a spec file
+//
+// The aggregate JSON is byte-identical for the same spec at any worker
+// count; progress output (rates, ETA) goes to stderr and is the only
+// scheduling-dependent output.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/registry"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "campaign spec JSON file (flags below override nothing when set)")
+		networks = flag.String("networks", "", "comma-separated network profiles (default: all built-ins)")
+		traces   = flag.String("traces", "", "comma-separated traces (default: all built-ins)")
+		hours    = flag.String("hours", "", "comma-separated hours of day to advance the virtual clock to (default: 0)")
+		bodies   = flag.String("bodies", "", "comma-separated response body sizes in bytes (default: 98304)")
+		seeds    = flag.String("seeds", "", "comma-separated deployment seeds / replication indices (default: 1)")
+		serverOS = flag.String("os", "", "replay server OS profile: linux|macos|windows (default: linux)")
+		name     = flag.String("name", "", "campaign name for reports")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-engagement attempt timeout (0 = none)")
+		retries  = flag.Int("retries", 0, "extra attempts for transiently-failed engagements")
+		workers  = flag.Int("workers", 0, "worker pool size (default: GOMAXPROCS)")
+		outJSON  = flag.String("out", "", "write aggregate JSON to this path ('-' = stdout)")
+		outCSV   = flag.String("csv", "", "write per-engagement CSV to this path ('-' = stdout)")
+		export   = flag.String("export-spec", "", "write the assembled spec as JSON to this path and exit ('-' = stdout)")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		list     = flag.Bool("list", false, "list available networks and traces and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("networks:")
+		for _, n := range registry.Networks() {
+			fmt.Printf("  %-8s %s\n", n.Name, n.Desc)
+		}
+		fmt.Println("traces:")
+		for _, t := range registry.Traces() {
+			fmt.Printf("  %-10s %-20s %s\n", t.Name, t.App, t.Desc)
+		}
+		return
+	}
+
+	spec, err := buildSpec(*specPath, *networks, *traces, *hours, *bodies, *seeds, *serverOS, *name, *timeout, *retries)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *export != "" {
+		data, err := spec.MarshalIndent()
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeOut(*export, append(data, '\n')); err != nil {
+			fatal(err)
+		}
+		if *export != "-" {
+			fmt.Printf("wrote %s\n", *export)
+		}
+		return
+	}
+
+	runner := &campaign.Runner{Spec: spec, Workers: *workers}
+	if !*quiet {
+		runner.Observer = campaign.NewProgress(os.Stderr)
+	}
+	summary, err := runner.Run(context.Background())
+	if err != nil {
+		fatal(err)
+	}
+
+	wroteSomewhere := false
+	if *outJSON != "" {
+		data, err := summary.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeOut(*outJSON, append(data, '\n')); err != nil {
+			fatal(err)
+		}
+		wroteSomewhere = wroteSomewhere || *outJSON == "-"
+	}
+	if *outCSV != "" {
+		data, err := summary.CSV()
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeOut(*outCSV, data); err != nil {
+			fatal(err)
+		}
+		wroteSomewhere = wroteSomewhere || *outCSV == "-"
+	}
+	if !wroteSomewhere {
+		summary.WriteSummary(os.Stdout)
+	}
+	if summary.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func buildSpec(specPath, networks, traces, hours, bodies, seeds, serverOS, name string,
+	timeout time.Duration, retries int) (campaign.Spec, error) {
+	if specPath != "" {
+		return campaign.LoadSpec(specPath)
+	}
+	spec := campaign.Spec{
+		Name:     name,
+		Networks: splitList(networks),
+		Traces:   splitList(traces),
+		ServerOS: serverOS,
+		Timeout:  campaign.Duration(timeout),
+		Retries:  retries,
+	}
+	var err error
+	if spec.Hours, err = parseInts(hours); err != nil {
+		return spec, fmt.Errorf("-hours: %w", err)
+	}
+	if spec.Bodies, err = parseInts(bodies); err != nil {
+		return spec, fmt.Errorf("-bodies: %w", err)
+	}
+	ints, err := parseInts(seeds)
+	if err != nil {
+		return spec, fmt.Errorf("-seeds: %w", err)
+	}
+	for _, v := range ints {
+		spec.Seeds = append(spec.Seeds, int64(v))
+	}
+	return spec, spec.Validate()
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func writeOut(path string, data []byte) error {
+	if path == "-" {
+		_, err := os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

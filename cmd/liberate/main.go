@@ -12,48 +12,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	liberate "repro"
 	"repro/internal/netem/stack"
-	"repro/internal/trace"
+	"repro/internal/registry"
 )
-
-func traceByName(name string, body int) (*liberate.Trace, error) {
-	switch name {
-	case "amazon":
-		return liberate.AmazonPrimeVideo(body), nil
-	case "spotify":
-		return liberate.Spotify(body), nil
-	case "youtube":
-		return liberate.YouTubeTLS(body), nil
-	case "economist":
-		return liberate.EconomistWeb(body / 8), nil
-	case "facebook":
-		return liberate.FacebookWeb(body / 8), nil
-	case "nbcsports":
-		return liberate.NBCSportsVideo(body), nil
-	case "skype":
-		return liberate.SkypeCall(6, 400), nil
-	case "espn":
-		return liberate.ESPNStream(body), nil
-	}
-	if _, err := os.Stat(name); err == nil {
-		return trace.Load(name)
-	}
-	return nil, fmt.Errorf("unknown trace %q (or file not found)", name)
-}
 
 func main() {
 	var (
-		network   = flag.String("network", "testbed", "network profile: testbed|tmobile|gfc|iran|att|sprint")
+		network   = flag.String("network", "testbed", "network profile: "+strings.Join(registry.NetworkNames(), "|"))
 		netFile   = flag.String("network-file", "", "JSON network spec file describing a custom middlebox (overrides -network)")
-		trName    = flag.String("trace", "amazon", "trace: amazon|spotify|youtube|economist|facebook|nbcsports|skype|espn or a JSON trace file")
+		trName    = flag.String("trace", "amazon", "trace: "+strings.Join(registry.TraceNames(), "|")+" or a JSON trace file")
 		body      = flag.Int("body", 96<<10, "response body size in bytes for generated traces")
 		hour      = flag.Int("hour", 0, "advance the virtual clock to this hour of day before engaging")
 		serverOS  = flag.String("os", "linux", "replay server OS profile: linux|macos|windows")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
-		list      = flag.Bool("list", false, "list techniques, networks, and traces")
+		list      = flag.Bool("list", false, "list techniques, networks, and traces (machine-readable with -json)")
 		exportTr  = flag.String("export-trace", "", "write the selected trace as JSON to this path and exit")
 		doTracert = flag.Bool("traceroute", false, "print the path's hops and exit")
 		cachePath = flag.String("cache", "", "shared rule-cache file: deploy from it when possible, update it after engagements")
@@ -61,8 +37,15 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		fmt.Println("networks: testbed tmobile gfc iran att sprint")
-		fmt.Println("traces:   amazon spotify youtube economist facebook nbcsports skype espn")
+		if *jsonOut {
+			if err := writeListJSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
+		fmt.Println("networks:", strings.Join(registry.NetworkNames(), " "))
+		fmt.Println("traces:  ", strings.Join(registry.TraceNames(), " "))
 		fmt.Println("techniques:")
 		for _, t := range liberate.Taxonomy() {
 			fmt.Printf("  %2d %-24s %-4s %-26s %s\n", t.Row, t.ID, t.Proto, t.Group, t.Desc)
@@ -70,7 +53,7 @@ func main() {
 		return
 	}
 
-	tr, err := traceByName(*trName, *body)
+	tr, err := registry.ResolveTrace(*trName, *body)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -160,6 +143,34 @@ func main() {
 		return
 	}
 	report.WriteSummary(os.Stdout)
+}
+
+// writeListJSON emits the machine-readable registry listing (-list
+// -json), the format campaign spec generators consume.
+func writeListJSON(w *os.File) error {
+	type techniqueInfo struct {
+		Row   int    `json:"row"`
+		ID    string `json:"id"`
+		Proto string `json:"proto"`
+		Group string `json:"group"`
+		Desc  string `json:"desc"`
+	}
+	listing := struct {
+		Networks   []registry.NetworkEntry `json:"networks"`
+		Traces     []registry.TraceEntry   `json:"traces"`
+		Techniques []techniqueInfo         `json:"techniques"`
+	}{
+		Networks: registry.Networks(),
+		Traces:   registry.Traces(),
+	}
+	for _, t := range liberate.Taxonomy() {
+		listing.Techniques = append(listing.Techniques, techniqueInfo{
+			Row: t.Row, ID: t.ID, Proto: string(t.Proto), Group: string(t.Group), Desc: t.Desc,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(listing)
 }
 
 // summary is the JSON-friendly view of a report.

@@ -1,0 +1,365 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Summary is the deterministic campaign aggregate: the same spec yields
+// byte-identical JSON at any worker count, because every collection is
+// explicitly keyed and sorted and no wall-clock quantity is included
+// (virtual time, rounds, and bytes come from the deterministic
+// simulator).
+type Summary struct {
+	Campaign    string `json:"campaign,omitempty"`
+	Spec        Spec   `json:"spec"`
+	Engagements int    `json:"engagements"`
+	Succeeded   int    `json:"succeeded"`
+	Failed      int    `json:"failed"`
+	// Retries counts attempts beyond each engagement's first.
+	Retries int `json:"retries"`
+
+	// Deterministic totals summed over successful engagements.
+	TotalRounds   int           `json:"total_rounds"`
+	TotalBytes    int64         `json:"total_bytes"`
+	VirtualTimeNS time.Duration `json:"virtual_time_ns"`
+
+	ByNetwork     []NetworkSummary `json:"by_network"`
+	Disagreements []Disagreement   `json:"disagreements,omitempty"`
+	Failures      []FailureRecord  `json:"failures,omitempty"`
+	Rows          []Row            `json:"rows"`
+}
+
+// Row is one engagement's deterministic outcome.
+type Row struct {
+	Network string `json:"network"`
+	Trace   string `json:"trace"`
+	Hour    int    `json:"hour"`
+	Body    int    `json:"body"`
+	Seed    int64  `json:"seed"`
+
+	Status   Status `json:"status"`
+	Attempts int    `json:"attempts"`
+	Err      string `json:"err,omitempty"`
+
+	Differentiated bool     `json:"differentiated"`
+	Kinds          []string `json:"kinds,omitempty"`
+	Fields         int      `json:"matching_fields"`
+	WindowLimited  bool     `json:"window_limited"`
+	PortSpecific   bool     `json:"port_specific"`
+	Working        int      `json:"working_techniques"`
+	Deployed       string   `json:"deployed,omitempty"`
+	Rounds         int      `json:"rounds"`
+	Bytes          int64    `json:"bytes"`
+	VirtualNS      int64    `json:"virtual_ns"`
+}
+
+// TechniqueStat is one technique's success rate on one network.
+type TechniqueStat struct {
+	ID string `json:"id"`
+	// Evaluated counts engagements where the technique was actually
+	// tried (not pruned, protocol-applicable).
+	Evaluated int `json:"evaluated"`
+	// Working counts engagements where it evaded with app integrity.
+	Working int     `json:"working"`
+	Rate    float64 `json:"rate"`
+}
+
+// HistEntry is one bucket of the cheapest-working-technique histogram.
+type HistEntry struct {
+	Technique string `json:"technique"`
+	Count     int    `json:"count"`
+}
+
+// NetworkSummary aggregates all of one network's engagements.
+type NetworkSummary struct {
+	Network        string `json:"network"`
+	Engagements    int    `json:"engagements"`
+	Succeeded      int    `json:"succeeded"`
+	Differentiated int    `json:"differentiated"`
+	// DeployedCount counts engagements where some technique deployed.
+	DeployedCount int     `json:"deployed_count"`
+	DeployRate    float64 `json:"deploy_rate"`
+	// Techniques holds per-technique success rates, sorted by ID.
+	Techniques []TechniqueStat `json:"techniques,omitempty"`
+	// Cheapest is the cheapest-working-technique histogram: how often
+	// each technique won deployment, sorted by count desc then ID.
+	Cheapest []HistEntry `json:"cheapest,omitempty"`
+}
+
+// Disagreement records a (network, trace) pair whose engine outcome
+// varied across the sweep dimensions — either a nondeterminism bug or
+// genuinely time/size-dependent classification (e.g. GFC hour-of-day
+// flushing), both worth surfacing.
+type Disagreement struct {
+	Network string `json:"network"`
+	Trace   string `json:"trace"`
+	// Outcomes maps each distinct outcome signature to the engagement
+	// keys that produced it, sorted by signature.
+	Outcomes []OutcomeGroup `json:"outcomes"`
+}
+
+// OutcomeGroup is one distinct outcome within a disagreement.
+type OutcomeGroup struct {
+	Signature string   `json:"signature"`
+	Keys      []string `json:"keys"`
+}
+
+// FailureRecord is one engagement that exhausted its attempts.
+type FailureRecord struct {
+	Key      string `json:"key"`
+	Status   Status `json:"status"`
+	Attempts int    `json:"attempts"`
+	Err      string `json:"err"`
+}
+
+// signature compresses a row's engine-visible outcome for disagreement
+// detection. Cost fields (rounds, bytes) are excluded: they legitimately
+// scale with body size; classification outcome must not.
+func signature(r Row) string {
+	return fmt.Sprintf("status=%s diff=%v kinds=%s fields=%d window=%v port=%v deployed=%s",
+		r.Status, r.Differentiated, strings.Join(r.Kinds, "+"),
+		r.Fields, r.WindowLimited, r.PortSpecific, r.Deployed)
+}
+
+// Aggregate folds per-engagement results into the campaign summary. It
+// is a pure function of (spec, results): result order does not matter
+// because everything is re-sorted by engagement key.
+func Aggregate(spec Spec, results []Result) *Summary {
+	s := &Summary{Campaign: spec.Name, Spec: spec.withDefaults()}
+
+	sorted := append([]Result(nil), results...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Engagement.Key() < sorted[j].Engagement.Key()
+	})
+
+	perNet := map[string]*NetworkSummary{}
+	techStats := map[string]map[string]*TechniqueStat{} // network → technique → stat
+	cheapest := map[string]map[string]int{}             // network → technique → wins
+	groups := map[[2]string][]Row{}                     // (network, trace) → rows
+
+	for _, res := range sorted {
+		e := res.Engagement
+		s.Engagements++
+		s.Retries += res.Attempts - 1
+
+		ns := perNet[e.Network]
+		if ns == nil {
+			ns = &NetworkSummary{Network: e.Network}
+			perNet[e.Network] = ns
+			techStats[e.Network] = map[string]*TechniqueStat{}
+			cheapest[e.Network] = map[string]int{}
+		}
+		ns.Engagements++
+
+		row := Row{
+			Network: e.Network, Trace: e.Trace, Hour: e.Hour, Body: e.Body, Seed: e.Seed,
+			Status: res.Status, Attempts: res.Attempts, Err: res.Err,
+		}
+		if res.Status != StatusOK {
+			s.Failed++
+			s.Failures = append(s.Failures, FailureRecord{
+				Key: e.Key(), Status: res.Status, Attempts: res.Attempts, Err: res.Err,
+			})
+		} else {
+			s.Succeeded++
+			ns.Succeeded++
+			rep := res.Report
+			s.TotalRounds += rep.TotalRounds
+			s.TotalBytes += rep.TotalBytes
+			s.VirtualTimeNS += rep.TotalTime
+
+			row.Differentiated = rep.Detection.Differentiated
+			for _, k := range rep.Detection.Kinds {
+				row.Kinds = append(row.Kinds, string(k))
+			}
+			if c := rep.Characterization; c != nil {
+				row.Fields = len(c.Fields)
+				row.WindowLimited = c.WindowLimited
+				row.PortSpecific = c.PortSpecific
+			}
+			if rep.Detection.Differentiated {
+				ns.Differentiated++
+			}
+			if ev := rep.Evaluation; ev != nil {
+				row.Working = len(ev.Working())
+				for _, v := range ev.Verdicts {
+					if !v.Tried {
+						continue
+					}
+					ts := techStats[e.Network][v.Technique.ID]
+					if ts == nil {
+						ts = &TechniqueStat{ID: v.Technique.ID}
+						techStats[e.Network][v.Technique.ID] = ts
+					}
+					ts.Evaluated++
+					if v.Usable() {
+						ts.Working++
+					}
+				}
+			}
+			if rep.Deployed != nil {
+				row.Deployed = rep.Deployed.Technique.ID
+				ns.DeployedCount++
+				cheapest[e.Network][rep.Deployed.Technique.ID]++
+			}
+			row.Rounds = rep.TotalRounds
+			row.Bytes = rep.TotalBytes
+			row.VirtualNS = int64(rep.TotalTime)
+		}
+		s.Rows = append(s.Rows, row)
+		groups[[2]string{e.Network, e.Trace}] = append(groups[[2]string{e.Network, e.Trace}], row)
+	}
+
+	// Per-network summaries, sorted by network name.
+	for name, ns := range perNet {
+		if ns.Differentiated > 0 {
+			ns.DeployRate = float64(ns.DeployedCount) / float64(ns.Differentiated)
+		}
+		for _, ts := range techStats[name] {
+			if ts.Evaluated > 0 {
+				ts.Rate = float64(ts.Working) / float64(ts.Evaluated)
+			}
+			ns.Techniques = append(ns.Techniques, *ts)
+		}
+		sort.Slice(ns.Techniques, func(i, j int) bool { return ns.Techniques[i].ID < ns.Techniques[j].ID })
+		for id, n := range cheapest[name] {
+			ns.Cheapest = append(ns.Cheapest, HistEntry{Technique: id, Count: n})
+		}
+		sort.Slice(ns.Cheapest, func(i, j int) bool {
+			a, b := ns.Cheapest[i], ns.Cheapest[j]
+			if a.Count != b.Count {
+				return a.Count > b.Count
+			}
+			return a.Technique < b.Technique
+		})
+		s.ByNetwork = append(s.ByNetwork, *ns)
+	}
+	sort.Slice(s.ByNetwork, func(i, j int) bool { return s.ByNetwork[i].Network < s.ByNetwork[j].Network })
+
+	// Disagreements: distinct outcome signatures within a (network,
+	// trace) group across the sweep dimensions.
+	var groupKeys [][2]string
+	for k := range groups {
+		groupKeys = append(groupKeys, k)
+	}
+	sort.Slice(groupKeys, func(i, j int) bool {
+		if groupKeys[i][0] != groupKeys[j][0] {
+			return groupKeys[i][0] < groupKeys[j][0]
+		}
+		return groupKeys[i][1] < groupKeys[j][1]
+	})
+	for _, gk := range groupKeys {
+		rows := groups[gk]
+		bySig := map[string][]string{}
+		for _, r := range rows {
+			sig := signature(r)
+			key := Engagement{Network: r.Network, Trace: r.Trace, Hour: r.Hour, Body: r.Body, Seed: r.Seed}.Key()
+			bySig[sig] = append(bySig[sig], key)
+		}
+		if len(bySig) < 2 {
+			continue
+		}
+		d := Disagreement{Network: gk[0], Trace: gk[1]}
+		var sigs []string
+		for sig := range bySig {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			keys := bySig[sig]
+			sort.Strings(keys)
+			d.Outcomes = append(d.Outcomes, OutcomeGroup{Signature: sig, Keys: keys})
+		}
+		s.Disagreements = append(s.Disagreements, d)
+	}
+
+	sort.Slice(s.Failures, func(i, j int) bool { return s.Failures[i].Key < s.Failures[j].Key })
+	return s
+}
+
+// JSON renders the summary as stable, indented JSON: struct field order
+// is fixed and all slices are pre-sorted, so identical campaigns produce
+// identical bytes.
+func (s *Summary) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// CSV renders the per-engagement rows as CSV in deterministic row order.
+func (s *Summary) CSV() ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	header := []string{
+		"network", "trace", "hour", "body", "seed",
+		"status", "attempts", "differentiated", "kinds", "matching_fields",
+		"working_techniques", "deployed", "rounds", "bytes", "virtual_ns", "err",
+	}
+	if err := w.Write(header); err != nil {
+		return nil, err
+	}
+	for _, r := range s.Rows {
+		rec := []string{
+			r.Network, r.Trace,
+			strconv.Itoa(r.Hour), strconv.Itoa(r.Body), strconv.FormatInt(r.Seed, 10),
+			string(r.Status), strconv.Itoa(r.Attempts),
+			strconv.FormatBool(r.Differentiated), strings.Join(r.Kinds, "+"),
+			strconv.Itoa(r.Fields), strconv.Itoa(r.Working), r.Deployed,
+			strconv.Itoa(r.Rounds), strconv.FormatInt(r.Bytes, 10),
+			strconv.FormatInt(r.VirtualNS, 10), r.Err,
+		}
+		if err := w.Write(rec); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteSummary renders a human-readable campaign report.
+func (s *Summary) WriteSummary(w io.Writer) {
+	name := s.Campaign
+	if name == "" {
+		name = "campaign"
+	}
+	fmt.Fprintf(w, "%s: %d engagements — %d ok, %d failed, %d retries\n",
+		name, s.Engagements, s.Succeeded, s.Failed, s.Retries)
+	fmt.Fprintf(w, "  cost: %d rounds, %.1f KB, %s virtual time\n",
+		s.TotalRounds, float64(s.TotalBytes)/1024, s.VirtualTimeNS.Round(time.Second))
+	for _, ns := range s.ByNetwork {
+		fmt.Fprintf(w, "  %-8s %3d engagements, %d differentiated, deploy rate %.0f%%\n",
+			ns.Network, ns.Engagements, ns.Differentiated, ns.DeployRate*100)
+		for i, h := range ns.Cheapest {
+			if i >= 3 {
+				fmt.Fprintf(w, "             … %d more techniques\n", len(ns.Cheapest)-3)
+				break
+			}
+			fmt.Fprintf(w, "             cheapest %-24s ×%d\n", h.Technique, h.Count)
+		}
+	}
+	for _, d := range s.Disagreements {
+		fmt.Fprintf(w, "  disagreement %s/%s: %d distinct outcomes\n", d.Network, d.Trace, len(d.Outcomes))
+		for _, o := range d.Outcomes {
+			fmt.Fprintf(w, "    [%d×] %s\n", len(o.Keys), o.Signature)
+		}
+	}
+	for _, f := range s.Failures {
+		fmt.Fprintf(w, "  FAILED %s (%s after %d attempts): %s\n", f.Key, f.Status, f.Attempts, firstLine(f.Err))
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

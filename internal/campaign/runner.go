@@ -1,0 +1,298 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netem/stack"
+	"repro/internal/registry"
+)
+
+// Status classifies one engagement's final outcome.
+type Status string
+
+// Engagement outcomes.
+const (
+	StatusOK      Status = "ok"
+	StatusFailed  Status = "failed"
+	StatusTimeout Status = "timeout"
+	StatusPanic   Status = "panic"
+)
+
+// TimeoutError reports an engagement attempt that outlived its budget.
+type TimeoutError struct{ After time.Duration }
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("engagement timed out after %s", e.After)
+}
+
+// Transient marks timeouts retryable: a hung engagement may be a
+// transient condition of the backend (it never is in the deterministic
+// simulator, but retry accounting must not depend on that).
+func (e *TimeoutError) Transient() bool { return true }
+
+// PanicError is a crashed engagement converted into a structured failure.
+type PanicError struct {
+	Value string
+	Stack string
+}
+
+func (e *PanicError) Error() string { return "engagement panicked: " + e.Value }
+
+// transientErr wraps an error to mark it retryable.
+type transientErr struct{ err error }
+
+func (e *transientErr) Error() string   { return e.err.Error() }
+func (e *transientErr) Unwrap() error   { return e.err }
+func (e *transientErr) Transient() bool { return true }
+
+// MarkTransient wraps err so the runner's bounded retry applies to it.
+// Engage implementations backed by real networks use it for conditions
+// that may clear on a second attempt (lost probe, flaky vantage point).
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientErr{err: err}
+}
+
+// IsTransient reports whether err is marked retryable.
+func IsTransient(err error) bool {
+	for e := err; e != nil; {
+		if t, ok := e.(interface{ Transient() bool }); ok && t.Transient() {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// Result is one engagement's final outcome after all attempts.
+type Result struct {
+	Engagement Engagement
+	// Report is the engagement outcome; nil unless Status == StatusOK.
+	Report *core.Report
+	Status Status
+	// Err is the last attempt's failure, "" on success.
+	Err string
+	// Attempts counts tries including the successful one (≥ 1).
+	Attempts int
+	// Wall is scheduling-dependent wall-clock time across all attempts —
+	// observer/telemetry data, never aggregated into the Summary.
+	Wall time.Duration
+}
+
+// EngageFunc executes one engagement and returns its report. The context
+// carries the per-attempt timeout; implementations too coarse to honour
+// it are still bounded, because the runner abandons attempts whose
+// deadline expires. Implementations must be safe for concurrent calls.
+type EngageFunc func(ctx context.Context, e Engagement, osp *stack.OSProfile) (*core.Report, error)
+
+// DefaultEngage runs a full simulated engagement: build a fresh network
+// and trace from the registry, advance the virtual clock to the
+// engagement's hour, run the four lib·erate phases, and verify the
+// deployment transform builds at the engagement's seed.
+func DefaultEngage(_ context.Context, e Engagement, osp *stack.OSProfile) (*core.Report, error) {
+	net, err := registry.NewNetwork(e.Network)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := registry.NewTrace(e.Trace, e.Body)
+	if err != nil {
+		return nil, err
+	}
+	if e.Hour > 0 {
+		net.Clock.RunFor(time.Duration(e.Hour) * time.Hour)
+	}
+	rep := (&core.Liberate{Net: net, Trace: tr, ServerOS: osp}).Run()
+	if rep.Deployed != nil {
+		// The deployed technique must be constructible at this seed —
+		// a nil transform here would strand live traffic.
+		if rep.DeployTransform(e.Seed) == nil {
+			return nil, fmt.Errorf("campaign: %s: deployed technique %s built a nil transform (seed %d)",
+				e.Key(), rep.Deployed.Technique.ID, e.Seed)
+		}
+	}
+	return rep, nil
+}
+
+// Runner executes a campaign spec on a bounded worker pool.
+type Runner struct {
+	Spec Spec
+	// Workers bounds concurrent engagements (default GOMAXPROCS).
+	Workers int
+	// Observer receives progress events; nil means silent. Events fire
+	// from worker goroutines, so implementations must be safe for
+	// concurrent use.
+	Observer Observer
+	// Engage runs one engagement (default DefaultEngage). Tests and
+	// future real-network backends substitute their own.
+	Engage EngageFunc
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (r *Runner) observer() Observer {
+	if r.Observer != nil {
+		return r.Observer
+	}
+	return NopObserver{}
+}
+
+func (r *Runner) engage() EngageFunc {
+	if r.Engage != nil {
+		return r.Engage
+	}
+	return DefaultEngage
+}
+
+func serverOS(name string) *stack.OSProfile {
+	switch name {
+	case "macos":
+		return &stack.MacOS
+	case "windows":
+		return &stack.Windows
+	default:
+		return &stack.Linux
+	}
+}
+
+// Run expands the spec, executes every engagement, and returns the
+// deterministic campaign summary. Individual engagement failures never
+// abort the campaign — they become failure records in the summary. Run
+// returns an error only for an invalid spec or a cancelled context.
+func (r *Runner) Run(ctx context.Context) (*Summary, error) {
+	engs, err := r.Spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := r.workers()
+	if workers > len(engs) && len(engs) > 0 {
+		workers = len(engs)
+	}
+	obs := r.observer()
+	obs.CampaignStarted(len(engs), workers)
+
+	// Results land in a slice indexed by engagement, so completion order
+	// (which depends on scheduling) never influences aggregation.
+	results := make([]Result, len(engs))
+	feed := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				results[i] = r.runOne(ctx, engs[i])
+			}
+		}()
+	}
+feeding:
+	for i := range engs {
+		select {
+		case feed <- i:
+		case <-ctx.Done():
+			break feeding
+		}
+	}
+	close(feed)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	summary := Aggregate(r.Spec, results)
+	obs.CampaignFinished(summary)
+	return summary, nil
+}
+
+// runOne executes one engagement with bounded retry.
+func (r *Runner) runOne(ctx context.Context, e Engagement) Result {
+	res := Result{Engagement: e}
+	obs := r.observer()
+	start := time.Now()
+	maxAttempts := 1 + r.Spec.Retries
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		res.Attempts = attempt
+		obs.EngagementStarted(e, attempt)
+		rep, err := r.attempt(ctx, e)
+		if err == nil {
+			res.Report = rep
+			res.Status = StatusOK
+			res.Err = ""
+			break
+		}
+		res.Err = err.Error()
+		switch err.(type) {
+		case *TimeoutError:
+			res.Status = StatusTimeout
+		case *PanicError:
+			res.Status = StatusPanic
+		default:
+			res.Status = StatusFailed
+		}
+		if ctx.Err() != nil || !IsTransient(err) {
+			break
+		}
+	}
+	res.Wall = time.Since(start)
+	obs.EngagementFinished(res)
+	return res
+}
+
+// attempt runs a single try in its own goroutine so a panic is contained
+// and a deadline can abandon it. The result channel is buffered: an
+// abandoned attempt finishes (or dies) silently without blocking anyone.
+func (r *Runner) attempt(parent context.Context, e Engagement) (*core.Report, error) {
+	ctx := parent
+	timeout := r.Spec.Timeout.D()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, timeout)
+		defer cancel()
+	}
+	osp := serverOS(r.Spec.withDefaults().ServerOS)
+
+	type outcome struct {
+		rep *core.Report
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		var out outcome
+		defer func() {
+			if p := recover(); p != nil {
+				out = outcome{err: &PanicError{
+					Value: fmt.Sprint(p),
+					Stack: string(debug.Stack()),
+				}}
+			}
+			ch <- out
+		}()
+		out.rep, out.err = r.engage()(ctx, e, osp)
+	}()
+
+	select {
+	case out := <-ch:
+		return out.rep, out.err
+	case <-ctx.Done():
+		if parent.Err() != nil {
+			return nil, parent.Err()
+		}
+		return nil, &TimeoutError{After: timeout}
+	}
+}

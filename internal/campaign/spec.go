@@ -1,0 +1,219 @@
+// Package campaign orchestrates fleets of lib·erate engagements: it
+// expands a declarative spec (networks × traces × sweep parameters) into
+// an engagement matrix, executes it on a bounded worker pool with
+// per-engagement fault isolation, and aggregates the per-engagement
+// reports into a deterministic campaign summary.
+//
+// Determinism is a hard design constraint: the same spec produces
+// byte-identical aggregated JSON at any worker count. Everything that
+// depends on scheduling (wall-clock durations, progress rates) lives in
+// the Observer stream, never in the Summary.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// Duration is a time.Duration that marshals to/from JSON as a string
+// ("30s", "2m"), so campaign spec files stay human-editable.
+type Duration time.Duration
+
+// D returns the wrapped time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+func (d Duration) String() string { return time.Duration(d).String() }
+
+// MarshalJSON renders the duration as a string.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts either a duration string ("30s") or integer
+// nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("campaign: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(b, &ns); err != nil {
+		return fmt.Errorf("campaign: duration must be a string or integer nanoseconds: %s", b)
+	}
+	*d = Duration(ns)
+	return nil
+}
+
+// Spec declares a campaign: the engagement matrix is the cross product
+// Networks × Traces × Hours × Bodies × Seeds. Empty sweep dimensions get
+// a single default element, and empty Networks/Traces mean "all
+// built-ins" from the registry.
+type Spec struct {
+	// Name labels the campaign in reports.
+	Name string `json:"name,omitempty"`
+
+	// Networks are registry profile names (default: all built-ins).
+	Networks []string `json:"networks,omitempty"`
+	// Traces are registry trace names (default: all built-ins).
+	Traces []string `json:"traces,omitempty"`
+
+	// Hours advances each engagement's virtual clock to the given hour of
+	// day before engaging — sweeps time-dependent classifier behaviour
+	// such as the GFC's load-dependent flushing (default: [0]).
+	Hours []int `json:"hours,omitempty"`
+	// Bodies are nominal response body sizes in bytes for generated
+	// traces (default: [registry.DefaultBody]).
+	Bodies []int `json:"bodies,omitempty"`
+	// Seeds drive deployment-transform construction per engagement
+	// (default: [1]). Extra seeds act as replications: a deterministic
+	// engine must agree across them, and the aggregator reports any
+	// disagreement.
+	Seeds []int64 `json:"seeds,omitempty"`
+
+	// ServerOS selects the replay server endpoint profile for all
+	// engagements: linux (default), macos, or windows.
+	ServerOS string `json:"server_os,omitempty"`
+
+	// Timeout bounds each engagement attempt; 0 means no timeout.
+	Timeout Duration `json:"timeout,omitempty"`
+	// Retries is how many extra attempts a transiently-failed engagement
+	// gets (timeouts and errors marked transient; panics never retry).
+	Retries int `json:"retries,omitempty"`
+}
+
+// Engagement is one cell of the expanded campaign matrix.
+type Engagement struct {
+	// Index is the cell's position in deterministic expansion order.
+	Index   int    `json:"-"`
+	Network string `json:"network"`
+	Trace   string `json:"trace"`
+	Hour    int    `json:"hour"`
+	Body    int    `json:"body"`
+	Seed    int64  `json:"seed"`
+}
+
+// Key is the engagement's stable identity, used for sorting, failure
+// records, and disagreement reporting.
+func (e Engagement) Key() string {
+	return e.Network + "/" + e.Trace +
+		"/h=" + strconv.Itoa(e.Hour) +
+		"/b=" + strconv.Itoa(e.Body) +
+		"/s=" + strconv.FormatInt(e.Seed, 10)
+}
+
+// withDefaults returns a copy of the spec with every empty dimension
+// filled in, so Expand and Aggregate see the same effective matrix.
+func (s Spec) withDefaults() Spec {
+	if len(s.Networks) == 0 {
+		s.Networks = registry.NetworkNames()
+	}
+	if len(s.Traces) == 0 {
+		s.Traces = registry.TraceNames()
+	}
+	if len(s.Hours) == 0 {
+		s.Hours = []int{0}
+	}
+	if len(s.Bodies) == 0 {
+		s.Bodies = []int{registry.DefaultBody}
+	}
+	if len(s.Seeds) == 0 {
+		s.Seeds = []int64{1}
+	}
+	if s.ServerOS == "" {
+		s.ServerOS = "linux"
+	}
+	return s
+}
+
+// Validate checks every referenced name without building anything.
+func (s Spec) Validate() error {
+	eff := s.withDefaults()
+	for _, n := range eff.Networks {
+		if _, err := registry.NewNetwork(n); err != nil {
+			return err
+		}
+	}
+	for _, t := range eff.Traces {
+		if _, err := registry.NewTrace(t, 0); err != nil {
+			return err
+		}
+	}
+	switch eff.ServerOS {
+	case "linux", "macos", "windows":
+	default:
+		return fmt.Errorf("campaign: unknown server OS %q (linux|macos|windows)", eff.ServerOS)
+	}
+	if s.Retries < 0 {
+		return fmt.Errorf("campaign: negative retries %d", s.Retries)
+	}
+	if s.Timeout < 0 {
+		return fmt.Errorf("campaign: negative timeout %s", s.Timeout)
+	}
+	return nil
+}
+
+// Expand validates the spec and returns the engagement matrix in
+// deterministic order: networks × traces × hours × bodies × seeds, each
+// dimension in spec order.
+func (s Spec) Expand() ([]Engagement, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	eff := s.withDefaults()
+	out := make([]Engagement, 0,
+		len(eff.Networks)*len(eff.Traces)*len(eff.Hours)*len(eff.Bodies)*len(eff.Seeds))
+	for _, n := range eff.Networks {
+		for _, t := range eff.Traces {
+			for _, h := range eff.Hours {
+				for _, b := range eff.Bodies {
+					for _, seed := range eff.Seeds {
+						out = append(out, Engagement{
+							Index: len(out), Network: n, Trace: t,
+							Hour: h, Body: b, Seed: seed,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// LoadSpec reads a campaign spec from a JSON file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	return ParseSpec(data)
+}
+
+// ParseSpec decodes a campaign spec from JSON bytes and validates it.
+func ParseSpec(data []byte) (Spec, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("campaign: parse spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// MarshalIndent renders the spec (with defaults applied) as JSON, the
+// format LoadSpec reads — used by -export-spec to bootstrap campaign
+// files.
+func (s Spec) MarshalIndent() ([]byte, error) {
+	eff := s.withDefaults()
+	return json.MarshalIndent(eff, "", "  ")
+}

@@ -1,0 +1,86 @@
+package registry
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestEveryNetworkBuilds(t *testing.T) {
+	for _, name := range NetworkNames() {
+		net, err := NewNetwork(name)
+		if err != nil {
+			t.Fatalf("NewNetwork(%q): %v", name, err)
+		}
+		if net.Name != name {
+			t.Errorf("NewNetwork(%q) built network named %q", name, net.Name)
+		}
+		if net.Clock == nil || net.Env == nil {
+			t.Errorf("NewNetwork(%q): missing clock or env", name)
+		}
+	}
+}
+
+func TestNetworkInstancesAreIndependent(t *testing.T) {
+	a, _ := NewNetwork("gfc")
+	b, _ := NewNetwork("gfc")
+	if a == b || a.Clock == b.Clock {
+		t.Fatal("NewNetwork must build independent instances with their own clocks")
+	}
+}
+
+func TestEveryTraceBuilds(t *testing.T) {
+	for _, name := range TraceNames() {
+		tr, err := NewTrace(name, 0)
+		if err != nil {
+			t.Fatalf("NewTrace(%q): %v", name, err)
+		}
+		if len(tr.Messages) == 0 {
+			t.Errorf("NewTrace(%q): empty trace", name)
+		}
+	}
+}
+
+func TestUnknownNamesError(t *testing.T) {
+	if _, err := NewNetwork("verizon"); err == nil {
+		t.Error("NewNetwork(verizon) should fail")
+	}
+	if _, err := NewTrace("netflix", 0); err == nil {
+		t.Error("NewTrace(netflix) should fail")
+	}
+	if _, err := ResolveTrace("netflix", 0); err == nil {
+		t.Error("ResolveTrace(netflix) should fail")
+	}
+}
+
+func TestResolveTraceFileFallback(t *testing.T) {
+	tr, err := NewTrace("amazon", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "amazon.json")
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ResolveTrace(path, 0)
+	if err != nil {
+		t.Fatalf("ResolveTrace(%s): %v", path, err)
+	}
+	if loaded.Name != tr.Name {
+		t.Errorf("loaded trace name %q, want %q", loaded.Name, tr.Name)
+	}
+}
+
+func TestBodyScaling(t *testing.T) {
+	// Web traces scale body/8, matching the historical CLI behaviour;
+	// Skype ignores body entirely.
+	big, _ := NewTrace("economist", 64<<10)
+	small, _ := NewTrace("economist", 8<<10)
+	if big.TotalBytes() <= small.TotalBytes() {
+		t.Error("economist trace should grow with body size")
+	}
+	s1, _ := NewTrace("skype", 1<<10)
+	s2, _ := NewTrace("skype", 1<<20)
+	if s1.TotalBytes() != s2.TotalBytes() {
+		t.Error("skype trace must ignore body size")
+	}
+}
