@@ -191,6 +191,7 @@ func BenchmarkCampaignThroughput(b *testing.B) {
 	}
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			engagements := 0
 			for i := 0; i < b.N; i++ {
 				summary, err := (&campaign.Runner{Spec: spec, Workers: workers}).Run(context.Background())
@@ -237,6 +238,7 @@ func BenchmarkPacketInspect(b *testing.B) {
 func BenchmarkReplayThroughput(b *testing.B) {
 	tr := trace.AmazonPrimeVideo(1 << 20)
 	b.SetBytes(int64(tr.TotalBytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		net := dpi.NewTMobile()
@@ -251,6 +253,7 @@ func BenchmarkReplayThroughput(b *testing.B) {
 // BenchmarkFullEngagement measures a complete four-phase engagement.
 func BenchmarkFullEngagement(b *testing.B) {
 	tr := trace.AmazonPrimeVideo(96 << 10)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		net := dpi.NewTMobile()
 		rep := (&core.Liberate{Net: net, Trace: tr}).Run()

@@ -11,6 +11,8 @@
 //	benchtab -exp sprint       # §6.4 null result
 //	benchtab -exp ablation     # DESIGN.md ablations
 //	benchtab -exp campaign     # campaign worker-pool scaling + determinism check
+//	benchtab -exp perf         # substrate + macro perf benchmarks
+//	benchtab -exp perf -bench-json BENCH_2.json   # ... plus JSON snapshot
 //	benchtab -all              # everything, in order
 package main
 
@@ -26,7 +28,8 @@ func main() {
 	var (
 		table  = flag.Int("table", 0, "regenerate Table N (1, 2, or 3)")
 		figure = flag.Int("figure", 0, "regenerate Figure N (4)")
-		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign")
+		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign|perf")
+		bjson  = flag.String("bench-json", "", "with -exp perf: also write the snapshot as JSON to this path")
 		days   = flag.Int("days", 1, "days to sweep for Figure 4 (paper used 2)")
 		trials = flag.Int("trials", 6, "trials per hour for Figure 4 (paper used 6)")
 		body   = flag.Int("mb", 10, "video size in MB for the T-Mobile throughput experiment")
@@ -106,6 +109,19 @@ func main() {
 	if *all || *exp == "campaign" {
 		fmt.Println("== campaign orchestrator: worker-pool scaling over the six paper networks ==")
 		fmt.Println(experiments.RunCampaignScaling().Render())
+		ran = true
+	}
+	if *all || *exp == "perf" {
+		fmt.Println("== perf: substrate + macro benchmark snapshot ==")
+		snap := experiments.RunPerf()
+		fmt.Println(snap.Render())
+		if *bjson != "" {
+			if err := snap.WriteJSON(*bjson); err != nil {
+				fmt.Fprintln(os.Stderr, "benchtab:", err)
+				os.Exit(1)
+			}
+			fmt.Println("wrote", *bjson)
+		}
 		ran = true
 	}
 	if !ran {

@@ -142,34 +142,13 @@ func inertInsertion(p BuildParams, corrupt func(pkt *packet.Packet)) *Applied {
 // fixIP recomputes only the IP header checksum (after corrupting a header
 // field whose defect should be isolated from the checksum).
 func fixIP(pkt *packet.Packet) {
-	pkt.IP.Checksum = 0
-	raw := pkt.Serialize()
-	// Compute the checksum of the header as it will appear on the wire.
-	hdrLen := 20 + len(pkt.IP.Options)
-	if hdrLen > len(raw) {
-		hdrLen = len(raw)
-	}
-	pkt.IP.Checksum = headerChecksum(raw[:hdrLen])
-}
-
-func headerChecksum(hdr []byte) uint16 {
-	var sum uint32
-	for i := 0; i+1 < len(hdr); i += 2 {
-		sum += uint32(hdr[i])<<8 | uint32(hdr[i+1])
-	}
-	if len(hdr)%2 == 1 {
-		sum += uint32(hdr[len(hdr)-1]) << 8
-	}
-	for sum > 0xffff {
-		sum = (sum >> 16) + (sum & 0xffff)
-	}
-	return ^uint16(sum)
+	pkt.FixIPChecksum()
 }
 
 // fixTCP recomputes the TCP checksum for the current field values.
 func fixTCP(pkt *packet.Packet) {
 	if pkt.TCP != nil {
-		pkt.TCP.Checksum = pkt.TCP.ComputeChecksum(pkt.IP.Src, pkt.IP.Dst, pkt.Payload)
+		pkt.FixTransportChecksum()
 	}
 }
 
@@ -177,7 +156,7 @@ func fixTCP(pkt *packet.Packet) {
 // Length field.
 func fixUDP(pkt *packet.Packet) {
 	if pkt.UDP != nil {
-		pkt.UDP.Checksum = pkt.UDP.ComputeChecksum(pkt.IP.Src, pkt.IP.Dst, pkt.Payload)
+		pkt.FixTransportChecksum()
 	}
 }
 

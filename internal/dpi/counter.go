@@ -39,19 +39,19 @@ type UsageCounter struct {
 func (u *UsageCounter) Name() string { return u.Label }
 
 // Process implements netem.Element.
-func (u *UsageCounter) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
+func (u *UsageCounter) Process(ctx netem.Context, dir netem.Direction, f *packet.Frame) {
 	if u.start.IsZero() {
 		u.start = ctx.Now()
 	}
-	p, _ := packet.Inspect(raw)
+	p, _ := f.Parse()
 	key := p.Flow()
 	if dir == netem.ToClient {
 		key = key.Reverse()
 	}
 	if u.MB == nil || !u.MB.IsZeroRated(key) {
-		u.bytes += int64(len(raw))
+		u.bytes += int64(f.Len())
 	}
-	ctx.Forward(raw)
+	ctx.Forward(f)
 }
 
 // Read returns the subscriber's counter value as the billing system would

@@ -33,13 +33,13 @@ type fwFlow struct {
 func (f *StatefulFirewall) Name() string { return f.Label }
 
 // Process implements netem.Element.
-func (f *StatefulFirewall) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
-	p, defects := packet.Inspect(raw)
+func (f *StatefulFirewall) Process(ctx netem.Context, dir netem.Direction, fr *packet.Frame) {
+	p, defects := fr.Parse()
 	if p.IP.FragOffset != 0 || p.IP.MoreFragments() {
 		if f.DropFragments {
 			return
 		}
-		ctx.Forward(raw)
+		ctx.Forward(fr)
 		return
 	}
 	if defects.Intersects(f.DropDefects) {
@@ -50,7 +50,7 @@ func (f *StatefulFirewall) Process(ctx *netem.Context, dir netem.Direction, raw 
 			return
 		}
 	}
-	ctx.Forward(raw)
+	ctx.Forward(fr)
 }
 
 // track updates sequence state; it reports false when the segment should

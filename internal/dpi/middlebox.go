@@ -110,19 +110,20 @@ func (m *Middlebox) IsZeroRated(key packet.FlowKey) bool {
 }
 
 // Process implements netem.Element.
-func (m *Middlebox) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
-	if len(raw) < 20 {
-		ctx.Forward(raw)
+func (m *Middlebox) Process(ctx netem.Context, dir netem.Direction, f *packet.Frame) {
+	if f.Len() < 20 {
+		ctx.Forward(f)
 		return
 	}
-	p, defects := packet.Inspect(raw)
+	p, defects := f.Parse()
 
 	// Wrong-protocol reinterpretation quirk (testbed, note 1): try to read
-	// unknown-protocol packets as TCP.
+	// unknown-protocol packets as TCP. The patched copy is private, so the
+	// zero-copy parse may alias it.
 	if defects.Has(packet.DefectIPProtocol) && m.Cfg.ParseWrongProtoAsTCP && len(p.Payload) >= 20 {
-		patched := append([]byte(nil), raw...)
+		patched := append([]byte(nil), f.Raw()...)
 		patched[9] = packet.ProtoTCP
-		if q, qd := packet.Inspect(patched); q.TCP != nil {
+		if q, qd := packet.InspectView(patched); q.TCP != nil {
 			p, defects = q, qd.Add(packet.DefectIPProtocol)
 		}
 	}
@@ -132,13 +133,13 @@ func (m *Middlebox) Process(ctx *netem.Context, dir netem.Direction, raw []byte)
 		return
 	}
 
-	m.inspectPacket(ctx, dir, p, defects, raw)
-	m.forward(ctx, dir, p, raw)
+	m.inspectPacket(ctx, dir, p, defects, f.Raw())
+	m.forward(ctx, dir, p, f)
 }
 
 // ---- inspection ----------------------------------------------------------
 
-func (m *Middlebox) inspectPacket(ctx *netem.Context, dir netem.Direction, p *packet.Packet, defects packet.DefectSet, raw []byte) {
+func (m *Middlebox) inspectPacket(ctx netem.Context, dir netem.Direction, p *packet.Packet, defects packet.DefectSet, raw []byte) {
 	serverPort := m.serverPort(dir, p)
 	if !m.Cfg.inspectsPort(serverPort) {
 		return
@@ -156,7 +157,7 @@ func (m *Middlebox) inspectPacket(ctx *netem.Context, dir netem.Direction, p *pa
 			if !done {
 				return
 			}
-			q, qd := packet.Inspect(whole)
+			q, qd := packet.InspectView(whole)
 			if q.IP.FragOffset != 0 || q.IP.MoreFragments() {
 				return // reassembly could not produce a whole datagram
 			}
@@ -306,7 +307,7 @@ func (m *Middlebox) inspectPacket(ctx *netem.Context, dir netem.Direction, p *pa
 
 // inspectStateless implements Iran's per-packet matcher: every packet is
 // judged in isolation, forever, with no flow state.
-func (m *Middlebox) inspectStateless(ctx *netem.Context, dir netem.Direction, p *packet.Packet, serverPort uint16) {
+func (m *Middlebox) inspectStateless(ctx netem.Context, dir netem.Direction, p *packet.Packet, serverPort uint16) {
 	if len(p.Payload) == 0 {
 		return
 	}
@@ -415,7 +416,7 @@ func (m *Middlebox) clientKey(dir netem.Direction, p *packet.Packet) packet.Flow
 }
 
 // flowFor fetches or creates flow state, applying idle/load eviction.
-func (m *Middlebox) flowFor(ctx *netem.Context, dir netem.Direction, p *packet.Packet) *mbFlow {
+func (m *Middlebox) flowFor(ctx netem.Context, dir netem.Direction, p *packet.Packet) *mbFlow {
 	clientKey := m.clientKey(dir, p)
 	ck, _ := clientKey.Canonical()
 	now := ctx.Now()
@@ -479,7 +480,7 @@ func (m *Middlebox) onRST(f *mbFlow) {
 
 // ---- actions -------------------------------------------------------------
 
-func (m *Middlebox) classify(ctx *netem.Context, dir netem.Direction, f *mbFlow, class string, trigger *packet.Packet) {
+func (m *Middlebox) classify(ctx netem.Context, dir netem.Direction, f *mbFlow, class string, trigger *packet.Packet) {
 	if f.class == class {
 		return
 	}
@@ -500,7 +501,7 @@ func (m *Middlebox) classify(ctx *netem.Context, dir netem.Direction, f *mbFlow,
 	}
 }
 
-func (m *Middlebox) actStateless(ctx *netem.Context, dir netem.Direction, trigger *packet.Packet, class string) {
+func (m *Middlebox) actStateless(ctx netem.Context, dir netem.Direction, trigger *packet.Packet, class string) {
 	m.events = append(m.events, Event{At: ctx.Now(), Flow: m.clientKey(dir, trigger), Class: class, Action: "block"})
 	pol := m.Cfg.Policies[class]
 	if pol.Block {
@@ -510,7 +511,7 @@ func (m *Middlebox) actStateless(ctx *netem.Context, dir netem.Direction, trigge
 
 // injectBlock forges the censor's teardown packets, sequenced off the
 // triggering packet so endpoints accept them.
-func (m *Middlebox) injectBlock(ctx *netem.Context, dir netem.Direction, trigger *packet.Packet, pol Policy) {
+func (m *Middlebox) injectBlock(ctx netem.Context, dir netem.Direction, trigger *packet.Packet, pol Policy) {
 	if trigger.TCP == nil {
 		return
 	}
@@ -533,7 +534,7 @@ func (m *Middlebox) injectBlock(ctx *netem.Context, dir netem.Direction, trigger
 	if pol.BlockPage403 {
 		page := blockPage()
 		bp := packet.NewTCP(serverAddr, clientAddr, serverPort, clientPort, cliSeq, srvSeq, packet.FlagACK|packet.FlagPSH, page)
-		ctx.SendToClient(bp.Serialize())
+		ctx.SendToClient(packet.FrameOf(bp))
 		cliSeq += uint32(len(page))
 	}
 	n := pol.BlockRSTs
@@ -546,13 +547,13 @@ func (m *Middlebox) injectBlock(ctx *netem.Context, dir netem.Direction, trigger
 	}
 	for i := 0; i < n; i++ {
 		rstC := packet.NewTCP(serverAddr, clientAddr, serverPort, clientPort, cliSeq, srvSeq, packet.FlagRST|packet.FlagACK, nil)
-		ctx.SendToClient(rstC.Serialize())
+		ctx.SendToClient(packet.FrameOf(rstC))
 	}
 	rstS := packet.NewTCP(clientAddr, serverAddr, clientPort, serverPort, srvSeq, cliSeq, packet.FlagRST|packet.FlagACK, nil)
-	ctx.SendToServer(rstS.Serialize())
+	ctx.SendToServer(packet.FrameOf(rstS))
 }
 
-func (m *Middlebox) enforceBlacklist(ctx *netem.Context, dir netem.Direction, p *packet.Packet) bool {
+func (m *Middlebox) enforceBlacklist(ctx netem.Context, dir netem.Direction, p *packet.Packet) bool {
 	if len(m.blacklist) == 0 || p.TCP == nil {
 		return false
 	}
@@ -573,23 +574,23 @@ func (m *Middlebox) enforceBlacklist(ctx *netem.Context, dir netem.Direction, p 
 	}
 	if dir == netem.ToServer {
 		rst := packet.NewTCP(hp.addr, p.IP.Src, p.TCP.DstPort, p.TCP.SrcPort, p.TCP.Ack, p.TCP.Seq+uint32(len(p.Payload)), packet.FlagRST|packet.FlagACK, nil)
-		ctx.SendToClient(rst.Serialize())
+		ctx.SendToClient(packet.FrameOf(rst))
 	}
 	return true
 }
 
 // ---- forwarding & policy -------------------------------------------------
 
-func (m *Middlebox) forward(ctx *netem.Context, dir netem.Direction, p *packet.Packet, raw []byte) {
+func (m *Middlebox) forward(ctx netem.Context, dir netem.Direction, p *packet.Packet, f *packet.Frame) {
 	class := ""
 	if m.Cfg.Mode != InspectPerPacket {
 		ck, _ := m.clientKey(dir, p).Canonical()
-		if f, ok := m.flows[ck]; ok {
-			class = f.class
+		if fl, ok := m.flows[ck]; ok {
+			class = fl.class
 		}
 	}
 	if class == "" {
-		ctx.Forward(raw)
+		ctx.Forward(f)
 		return
 	}
 	pol := m.Cfg.Policies[class]
@@ -599,14 +600,13 @@ func (m *Middlebox) forward(ctx *netem.Context, dir netem.Direction, p *packet.P
 			sh = newShaper(pol.ThrottleBps, pol.ThrottleBurst)
 			m.shapers[class] = sh
 		}
-		d := sh.delay(ctx.Now(), len(raw))
+		d := sh.delay(ctx.Now(), f.Len())
 		if d > 0 {
-			buf := raw
-			ctx.Schedule(d, func() { ctx.Forward(buf) })
+			ctx.Schedule(d, func() { ctx.Forward(f) })
 			return
 		}
 	}
-	ctx.Forward(raw)
+	ctx.Forward(f)
 }
 
 // blockPage renders Iran's unsolicited 403 (kept local to avoid an

@@ -71,12 +71,12 @@ func (x *TransparentProxy) FlowClass(clientKey packet.FlowKey) string {
 func (x *TransparentProxy) ResetState() { x.flows = nil }
 
 // Process implements netem.Element.
-func (x *TransparentProxy) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
-	p, defects := packet.Inspect(raw)
+func (x *TransparentProxy) Process(ctx netem.Context, dir netem.Direction, fr *packet.Frame) {
+	p, defects := fr.Parse()
 	if p.TCP == nil {
 		// Non-TCP traffic is not proxied.
 		if defects.Empty() {
-			ctx.Forward(raw)
+			ctx.Forward(fr)
 		}
 		return
 	}
@@ -85,7 +85,7 @@ func (x *TransparentProxy) Process(ctx *netem.Context, dir netem.Direction, raw 
 		serverPort = p.TCP.SrcPort
 	}
 	if !x.Intercepts(serverPort) {
-		ctx.Forward(raw)
+		ctx.Forward(fr)
 		return
 	}
 	// A terminating proxy accepts nothing malformed.
@@ -108,7 +108,7 @@ func (x *TransparentProxy) Process(ctx *netem.Context, dir netem.Direction, raw 
 		f.exp[0] = t.Seq + 1
 		f.expValid[0] = true
 		x.flows[ck] = f
-		ctx.Forward(raw)
+		ctx.Forward(fr)
 		return
 	}
 	if f == nil {
@@ -123,11 +123,11 @@ func (x *TransparentProxy) Process(ctx *netem.Context, dir netem.Direction, raw 
 	if t.Flags.Has(packet.FlagSYN) && t.Flags.Has(packet.FlagACK) {
 		f.exp[1] = t.Seq + 1
 		f.expValid[1] = true
-		ctx.Forward(raw)
+		ctx.Forward(fr)
 		return
 	}
 	if t.Flags.Has(packet.FlagRST) {
-		ctx.Forward(raw)
+		ctx.Forward(fr)
 		return
 	}
 
@@ -140,7 +140,7 @@ func (x *TransparentProxy) Process(ctx *netem.Context, dir netem.Direction, raw 
 		// Pure ACKs and FINs pass through once their sequence numbers are
 		// consistent with the normalized stream position.
 		if t.Seq == f.exp[di] || len(p.Payload) == 0 {
-			ctx.Forward(raw)
+			ctx.Forward(fr)
 		}
 	}
 }
@@ -249,7 +249,7 @@ func (x *TransparentProxy) classifyStreams(f *proxyFlow, serverPort uint16) {
 
 // drain re-emits newly contiguous stream bytes as clean MTU segments with
 // regenerated headers — the proxy's own packets, not the client's.
-func (x *TransparentProxy) drain(ctx *netem.Context, dir netem.Direction, f *proxyFlow, di int, tmpl *packet.Packet) {
+func (x *TransparentProxy) drain(ctx netem.Context, dir netem.Direction, f *proxyFlow, di int, tmpl *packet.Packet) {
 	start := f.forwarded[di]
 	// Stream offsets are relative to the initial sequence number exp was
 	// seeded with; forwarded tracks how many stream bytes went out.
@@ -272,15 +272,14 @@ func (x *TransparentProxy) drain(ctx *netem.Context, dir netem.Direction, f *pro
 		chunk := f.stream[di][off:end]
 		seg := packet.NewTCP(tmpl.IP.Src, tmpl.IP.Dst, tmpl.TCP.SrcPort, tmpl.TCP.DstPort,
 			base+off, tmpl.TCP.Ack, packet.FlagACK|packet.FlagPSH, chunk)
-		raw := seg.Serialize()
+		out := packet.FrameOf(seg)
 		if f.shaper != nil && di == 1 {
-			delay = f.shaper.delay(ctx.Now(), len(raw))
+			delay = f.shaper.delay(ctx.Now(), out.Len())
 		}
 		if delay > 0 {
-			buf := raw
-			ctx.Schedule(delay, func() { ctx.Forward(buf) })
+			ctx.Schedule(delay, func() { ctx.Forward(out) })
 		} else {
-			ctx.Forward(raw)
+			ctx.Forward(out)
 		}
 		off = end
 	}

@@ -4,6 +4,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/netem/packet"
 )
 
 const sampleSpec = `{
@@ -112,4 +114,4 @@ func netemSink(dst *[][]byte) endpointFunc {
 
 type endpointFunc func(raw []byte)
 
-func (f endpointFunc) Deliver(raw []byte) { f(raw) }
+func (f endpointFunc) Deliver(fr *packet.Frame) { f(fr.Raw()) }

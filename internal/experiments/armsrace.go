@@ -124,29 +124,31 @@ type ttlNormalizer struct{}
 
 func (t *ttlNormalizer) Name() string { return "ttl-normalizer" }
 
-func (t *ttlNormalizer) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
-	if len(raw) < 20 {
+func (t *ttlNormalizer) Process(ctx netem.Context, dir netem.Direction, f *packet.Frame) {
+	if f.Len() < 20 {
 		return
 	}
-	p, defects := packet.Inspect(raw)
+	p, defects := f.Parse()
 	if defects.Has(packet.DefectTruncated) {
-		ctx.Forward(raw)
+		ctx.Forward(f)
 		return
 	}
 	if p.IP.TTL < 64 {
-		p.IP.TTL = 64
+		// The cached parse is a shared read-only view; clone before editing.
+		q := p.Clone()
+		q.IP.TTL = 64
 		// Recompute the header checksum only when it was previously valid;
 		// deliberately wrong checksums stay wrong.
 		if !defects.Has(packet.DefectIPChecksum) {
-			p.IP.Checksum = 0
-			fixed := p.Serialize()
-			cs := headerChecksumBytes(fixed[:20+len(p.IP.Options)])
-			p.IP.Checksum = cs
+			q.IP.Checksum = 0
+			fixed := q.Serialize()
+			cs := headerChecksumBytes(fixed[:20+len(q.IP.Options)])
+			q.IP.Checksum = cs
 		}
-		ctx.ForwardPacket(p)
+		ctx.ForwardPacket(q)
 		return
 	}
-	ctx.Forward(raw)
+	ctx.Forward(f)
 }
 
 func headerChecksumBytes(hdr []byte) uint16 {

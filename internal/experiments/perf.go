@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/dpi"
+	"repro/internal/netem/packet"
+	"repro/internal/trace"
+)
+
+// PerfBench is one benchmark measurement in a perf snapshot.
+type PerfBench struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// MBPerS is set only for throughput benchmarks (SetBytes).
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+}
+
+// PerfSnapshot is the machine-readable perf artifact (BENCH_<n>.json)
+// committed alongside each performance-affecting PR, so the bench
+// trajectory across the repository's history can be diffed mechanically.
+type PerfSnapshot struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Benchmarks []PerfBench `json:"benchmarks"`
+}
+
+// RunPerf measures the substrate (packet serialize/inspect) and macro
+// (replay, engagement, campaign) benchmarks in-process. The workloads
+// mirror bench_test.go so the numbers are comparable with `go test -bench`.
+func RunPerf() *PerfSnapshot {
+	snap := &PerfSnapshot{
+		Schema:    "liberate-bench/v1",
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+
+	src, dst := packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.2")
+	serialize := packet.NewTCP(src, dst, 1234, 80, 1, 1, packet.FlagACK, make([]byte, 1400))
+	snap.add("packet-serialize", 0, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = serialize.Serialize()
+		}
+	}))
+
+	inspectRaw := serialize.Serialize()
+	snap.add("packet-inspect", 0, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, _ = packet.Inspect(inspectRaw)
+		}
+	}))
+
+	replayTrace := trace.AmazonPrimeVideo(1 << 20)
+	snap.add("replay-throughput", int64(replayTrace.TotalBytes()), testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(replayTrace.TotalBytes()))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net := dpi.NewTMobile()
+			s := core.NewSession(net)
+			if res := s.Replay(replayTrace, nil); !res.Completed {
+				b.Fatal("replay failed")
+			}
+		}
+	}))
+
+	engTrace := trace.AmazonPrimeVideo(96 << 10)
+	snap.add("full-engagement", 0, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net := dpi.NewTMobile()
+			if rep := (&core.Liberate{Net: net, Trace: engTrace}).Run(); rep.Deployed == nil {
+				b.Fatal("no deployment")
+			}
+		}
+	}))
+
+	spec := campaign.Spec{Traces: []string{"amazon", "youtube"}, Bodies: []int{8 << 10}}
+	snap.add("campaign-throughput", 0, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			summary, err := (&campaign.Runner{Spec: spec, Workers: 1}).Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if summary.Failed != 0 {
+				b.Fatalf("%d engagements failed", summary.Failed)
+			}
+		}
+	}))
+
+	return snap
+}
+
+func (s *PerfSnapshot) add(name string, setBytes int64, r testing.BenchmarkResult) {
+	pb := PerfBench{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if setBytes > 0 && r.T > 0 {
+		pb.MBPerS = float64(setBytes) * float64(r.N) / r.T.Seconds() / 1e6
+	}
+	s.Benchmarks = append(s.Benchmarks, pb)
+}
+
+// Render formats the snapshot as an aligned table.
+func (s *PerfSnapshot) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s %14s %12s %12s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op", "MB/s")
+	for _, r := range s.Benchmarks {
+		mbs := "-"
+		if r.MBPerS > 0 {
+			mbs = fmt.Sprintf("%.2f", r.MBPerS)
+		}
+		fmt.Fprintf(&b, "%-20s %14.1f %12d %12d %10s\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, mbs)
+	}
+	return b.String()
+}
+
+// WriteJSON writes the snapshot to path.
+func (s *PerfSnapshot) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

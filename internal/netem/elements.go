@@ -24,51 +24,35 @@ type Hop struct {
 func (h *Hop) Name() string { return h.Label }
 
 // Process implements Element.
-func (h *Hop) Process(ctx *Context, dir Direction, raw []byte) {
-	if len(raw) < 20 {
+func (h *Hop) Process(ctx Context, dir Direction, f *packet.Frame) {
+	if f.Len() < 20 {
 		return // unroutable garbage
 	}
 	if !h.DropDefects.Empty() {
-		if _, defects := packet.Inspect(raw); defects.Intersects(h.DropDefects) {
+		if _, defects := f.Parse(); defects.Intersects(h.DropDefects) {
 			return
 		}
 	}
-	ttl := raw[8]
-	if ttl <= 1 {
+	if f.TTL() <= 1 {
 		if h.EmitICMP {
+			// Expiry is the rare path; materializing here keeps the quoted
+			// bytes accurate (TTL as it arrived at this hop).
+			raw := f.Raw()
 			var src packet.Addr
 			copy(src[:], raw[12:16])
 			icmp := packet.NewICMPTimeExceeded(h.Addr, src, raw)
 			if dir == ToServer {
-				ctx.SendToClient(icmp.Serialize())
+				ctx.SendToClient(packet.FrameOf(icmp))
 			} else {
-				ctx.SendToServer(icmp.Serialize())
+				ctx.SendToServer(packet.FrameOf(icmp))
 			}
 		}
 		return
 	}
-	out := append([]byte(nil), raw...)
-	decrementTTL(out)
-	ctx.Forward(out)
-}
-
-// decrementTTL lowers the TTL byte and incrementally updates the header
-// checksum per RFC 1624, preserving checksum *wrongness*: a deliberately
-// corrupted checksum stays exactly as wrong after the update, just as it
-// would through a real router's incremental update.
-func decrementTTL(raw []byte) {
-	oldWord := uint16(raw[8])<<8 | uint16(raw[9])
-	raw[8]--
-	newWord := uint16(raw[8])<<8 | uint16(raw[9])
-	hc := uint16(raw[10])<<8 | uint16(raw[11])
-	// HC' = ~(~HC + ~m + m')   (RFC 1624 eqn. 3)
-	sum := uint32(^hc) + uint32(^oldWord) + uint32(newWord)
-	for sum > 0xffff {
-		sum = (sum >> 16) + (sum & 0xffff)
-	}
-	hc = ^uint16(sum)
-	raw[10] = byte(hc >> 8)
-	raw[11] = byte(hc)
+	// The TTL decrement is lazy until something downstream reads the bytes,
+	// and the RFC 1624 incremental update keeps a warm parse cache valid
+	// across the hop — routers neither copy nor re-parse in the fast path.
+	ctx.Forward(f.WithTTLDecremented())
 }
 
 // Filter drops packets matching a predicate or defect set, in one or both
@@ -88,19 +72,19 @@ type Filter struct {
 func (f *Filter) Name() string { return f.Label }
 
 // Process implements Element.
-func (f *Filter) Process(ctx *Context, dir Direction, raw []byte) {
+func (f *Filter) Process(ctx Context, dir Direction, fr *packet.Frame) {
 	if f.OnlyDir != nil && dir != *f.OnlyDir {
-		ctx.Forward(raw)
+		ctx.Forward(fr)
 		return
 	}
-	p, defects := packet.Inspect(raw)
+	p, defects := fr.Parse()
 	if defects.Intersects(f.DropDefects) {
 		return
 	}
 	if f.Drop != nil && f.Drop(p, defects) {
 		return
 	}
-	ctx.Forward(raw)
+	ctx.Forward(fr)
 }
 
 // Pipe models the bottleneck link: every byte takes wire time proportional
@@ -118,12 +102,12 @@ type Pipe struct {
 func (p *Pipe) Name() string { return p.Label }
 
 // Process implements Element.
-func (p *Pipe) Process(ctx *Context, dir Direction, raw []byte) {
+func (p *Pipe) Process(ctx Context, dir Direction, f *packet.Frame) {
 	if p.RateBps <= 0 {
-		ctx.Forward(raw)
+		ctx.Forward(f)
 		return
 	}
-	tx := time.Duration(float64(len(raw)*8) / p.RateBps * float64(time.Second))
+	tx := time.Duration(float64(f.Len()*8) / p.RateBps * float64(time.Second))
 	now := ctx.Now()
 	start := now
 	if p.nextFree[dir].After(start) {
@@ -131,8 +115,7 @@ func (p *Pipe) Process(ctx *Context, dir Direction, raw []byte) {
 	}
 	done := start.Add(tx)
 	p.nextFree[dir] = done
-	buf := raw
-	ctx.Schedule(done.Sub(now), func() { ctx.Forward(buf) })
+	ctx.Schedule(done.Sub(now), func() { ctx.Forward(f) })
 }
 
 // TCPChecksumFixer rewrites incorrect TCP checksums to correct ones, the
@@ -146,14 +129,14 @@ type TCPChecksumFixer struct {
 func (f *TCPChecksumFixer) Name() string { return f.Label }
 
 // Process implements Element.
-func (f *TCPChecksumFixer) Process(ctx *Context, dir Direction, raw []byte) {
-	p, defects := packet.Inspect(raw)
+func (f *TCPChecksumFixer) Process(ctx Context, dir Direction, fr *packet.Frame) {
+	p, defects := fr.Parse()
 	if !defects.Has(packet.DefectTCPChecksum) || p.TCP == nil {
-		ctx.Forward(raw)
+		ctx.Forward(fr)
 		return
 	}
 	q := p.Clone()
-	q.TCP.Checksum = q.TCP.ComputeChecksum(q.IP.Src, q.IP.Dst, q.Payload)
+	q.FixTransportChecksum()
 	ctx.ForwardPacket(q)
 }
 
@@ -170,13 +153,21 @@ type PathReassembler struct {
 func (pr *PathReassembler) Name() string { return pr.Label }
 
 // Process implements Element.
-func (pr *PathReassembler) Process(ctx *Context, dir Direction, raw []byte) {
+func (pr *PathReassembler) Process(ctx Context, dir Direction, f *packet.Frame) {
 	if pr.r == nil {
 		pr.r = packet.NewReassembler()
 	}
-	out, done := pr.r.Add(raw)
+	// Non-fragments pass through with their cached parse intact; only
+	// actual fragments pay the reassembly machinery (mirroring the
+	// Reassembler's own pass-through rule, including short garbage whose
+	// zero-valued parse has no fragment fields set).
+	if p, _ := f.Parse(); p.IP.FragOffset == 0 && !p.IP.MoreFragments() {
+		ctx.Forward(f)
+		return
+	}
+	out, done := pr.r.Add(f.Raw())
 	if done {
-		ctx.Forward(out)
+		ctx.ForwardRaw(out)
 	}
 }
 
@@ -199,12 +190,13 @@ type TapRecord struct {
 func (t *Tap) Name() string { return t.Label }
 
 // Process implements Element.
-func (t *Tap) Process(ctx *Context, dir Direction, raw []byte) {
-	t.Seen = append(t.Seen, TapRecord{At: ctx.Now(), Dir: dir, Raw: append([]byte(nil), raw...)})
+func (t *Tap) Process(ctx Context, dir Direction, f *packet.Frame) {
+	// Frame immutability makes retention safe without a defensive copy.
+	t.Seen = append(t.Seen, TapRecord{At: ctx.Now(), Dir: dir, Raw: f.Raw()})
 	if t.OnPass != nil {
-		t.OnPass(dir, raw)
+		t.OnPass(dir, f.Raw())
 	}
-	ctx.Forward(raw)
+	ctx.Forward(f)
 }
 
 // Reset clears the tap's record.

@@ -1,6 +1,10 @@
 package netem
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"repro/internal/netem/packet"
+)
 
 // LossyLink drops packets at a configured rate — failure injection for
 // robustness testing. The RNG is seeded so runs stay deterministic.
@@ -18,7 +22,7 @@ type LossyLink struct {
 func (l *LossyLink) Name() string { return l.Label }
 
 // Process implements Element.
-func (l *LossyLink) Process(ctx *Context, dir Direction, raw []byte) {
+func (l *LossyLink) Process(ctx Context, dir Direction, f *packet.Frame) {
 	if l.rng == nil {
 		l.rng = rand.New(rand.NewSource(l.Seed ^ 0x1055))
 	}
@@ -26,7 +30,7 @@ func (l *LossyLink) Process(ctx *Context, dir Direction, raw []byte) {
 		l.Dropped++
 		return
 	}
-	ctx.Forward(raw)
+	ctx.Forward(f)
 }
 
 // DuplicatingLink re-delivers a fraction of packets twice — the benign
@@ -46,14 +50,16 @@ type DuplicatingLink struct {
 func (d *DuplicatingLink) Name() string { return d.Label }
 
 // Process implements Element.
-func (d *DuplicatingLink) Process(ctx *Context, dir Direction, raw []byte) {
+func (d *DuplicatingLink) Process(ctx Context, dir Direction, f *packet.Frame) {
 	if d.rng == nil {
 		d.rng = rand.New(rand.NewSource(d.Seed ^ 0xd0b1e))
 	}
-	ctx.Forward(raw)
+	ctx.Forward(f)
 	if d.rng.Float64() < d.DupRate {
 		d.Duplicated++
-		ctx.Forward(append([]byte(nil), raw...))
+		// Immutability makes forwarding the same frame twice safe — the
+		// duplicate even shares the original's cached parse.
+		ctx.Forward(f)
 	}
 }
 
@@ -75,17 +81,17 @@ type CorruptingLink struct {
 func (c *CorruptingLink) Name() string { return c.Label }
 
 // Process implements Element.
-func (c *CorruptingLink) Process(ctx *Context, dir Direction, raw []byte) {
+func (c *CorruptingLink) Process(ctx Context, dir Direction, f *packet.Frame) {
 	if c.rng == nil {
 		c.rng = rand.New(rand.NewSource(c.Seed ^ 0xc0bb))
 	}
-	if c.rng.Float64() < c.CorruptRate && len(raw) > 21 {
-		out := append([]byte(nil), raw...)
+	if c.rng.Float64() < c.CorruptRate && f.Len() > 21 {
+		out := append([]byte(nil), f.Raw()...)
 		pos := 20 + c.rng.Intn(len(out)-20)
 		out[pos] ^= 1 << uint(c.rng.Intn(8))
 		c.Corrupted++
-		ctx.Forward(out)
+		ctx.ForwardRaw(out)
 		return
 	}
-	ctx.Forward(raw)
+	ctx.Forward(f)
 }

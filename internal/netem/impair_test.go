@@ -94,8 +94,8 @@ func TestEnvTraceHook(t *testing.T) {
 	if len(where) != 2 || where[0] != "h1" || where[1] != "server" {
 		t.Fatalf("trace = %v", where)
 	}
-	if env.Delivered["h1"] != 1 || env.Delivered["server"] != 1 {
-		t.Fatalf("delivered stats: %v", env.Delivered)
+	if env.DeliveredTo("h1") != 1 || env.DeliveredTo("server") != 1 {
+		t.Fatalf("delivered stats: h1=%d server=%d", env.DeliveredTo("h1"), env.DeliveredTo("server"))
 	}
 }
 

@@ -43,22 +43,26 @@ func (d Direction) Reverse() Direction {
 
 // Endpoint receives packets that reach an end of the path.
 type Endpoint interface {
-	// Deliver hands the endpoint the raw bytes of an arriving packet.
-	Deliver(raw []byte)
+	// Deliver hands the endpoint an arriving frame. The frame is shared
+	// and immutable: its raw bytes and cached parse must not be modified.
+	Deliver(f *packet.Frame)
 }
 
-// EndpointFunc adapts a function to the Endpoint interface.
+// EndpointFunc adapts a raw-bytes function to the Endpoint interface, for
+// tests and probes that only care about the wire bytes.
 type EndpointFunc func(raw []byte)
 
 // Deliver implements Endpoint.
-func (f EndpointFunc) Deliver(raw []byte) { f(raw) }
+func (f EndpointFunc) Deliver(fr *packet.Frame) { f(fr.Raw()) }
 
-// Element is an in-path device. Process receives a packet moving in dir and
-// decides its fate through the Context: forward it (possibly modified),
+// Element is an in-path device. Process receives a frame moving in dir and
+// decides its fate through the Context: forward it (possibly replaced),
 // drop it (by doing nothing), or inject new packets in either direction.
+// Frames are immutable — an element that modifies a packet builds new bytes
+// and forwards a new frame, so a parse cached upstream can never go stale.
 type Element interface {
 	Name() string
-	Process(ctx *Context, dir Direction, raw []byte)
+	Process(ctx Context, dir Direction, f *packet.Frame)
 }
 
 // Context gives an Element access to the simulation during Process.
@@ -68,28 +72,32 @@ type Context struct {
 	dir Direction
 }
 
-// Forward passes raw onward in the packet's direction of travel.
-func (c *Context) Forward(raw []byte) { c.env.move(c.idx, c.dir, raw) }
+// Forward passes f onward in the packet's direction of travel.
+func (c Context) Forward(f *packet.Frame) { c.env.move(c.idx, c.dir, f) }
+
+// ForwardRaw wraps raw in a fresh frame and forwards it. The frame takes
+// ownership of raw.
+func (c Context) ForwardRaw(raw []byte) { c.Forward(packet.NewFrame(raw)) }
 
 // ForwardPacket serializes and forwards p.
-func (c *Context) ForwardPacket(p *packet.Packet) { c.Forward(p.Serialize()) }
+func (c Context) ForwardPacket(p *packet.Packet) { c.Forward(packet.FrameOf(p)) }
 
-// SendToClient injects a packet from this element's position toward the
+// SendToClient injects a frame from this element's position toward the
 // client (e.g. an injected RST or a block page).
-func (c *Context) SendToClient(raw []byte) { c.env.move(c.idx, ToClient, raw) }
+func (c Context) SendToClient(f *packet.Frame) { c.env.move(c.idx, ToClient, f) }
 
-// SendToServer injects a packet from this element's position toward the
+// SendToServer injects a frame from this element's position toward the
 // server.
-func (c *Context) SendToServer(raw []byte) { c.env.move(c.idx, ToServer, raw) }
+func (c Context) SendToServer(f *packet.Frame) { c.env.move(c.idx, ToServer, f) }
 
 // Now returns the current virtual time.
-func (c *Context) Now() time.Time { return c.env.Clock.Now() }
+func (c Context) Now() time.Time { return c.env.Clock.Now() }
 
 // Schedule runs fn after d of virtual time.
-func (c *Context) Schedule(d time.Duration, fn func()) { c.env.Clock.Schedule(d, fn) }
+func (c Context) Schedule(d time.Duration, fn func()) { c.env.Clock.Schedule(d, fn) }
 
 // HourOfDay exposes the virtual time-of-day for load-dependent models.
-func (c *Context) HourOfDay() float64 { return c.env.Clock.HourOfDay() }
+func (c Context) HourOfDay() float64 { return c.env.Clock.HourOfDay() }
 
 // Env is a simulated path: client — elements[0] … elements[n-1] — server.
 type Env struct {
@@ -109,8 +117,25 @@ type Env struct {
 	// to "client", or to "server".
 	Trace func(where string, dir Direction, raw []byte)
 
-	// Stats
-	Delivered map[string]int
+	// delivered counts deliveries per position (0 = client, i+1 = element
+	// i, len(elements)+1 = server). A position-indexed slice keeps the
+	// per-packet path free of map hashing; DeliveredTo resolves names.
+	delivered []int
+
+	// deliverFn is the long-lived callback passed to the clock's ScheduleArg
+	// for every link traversal; binding it once avoids a per-event method
+	// value. dfree recycles the argument records.
+	deliverFn func(any)
+	dfree     []*delivery
+}
+
+// delivery is one in-flight link traversal: frame f arriving at position
+// pos moving in dir. Records are recycled through Env.dfree so the
+// per-packet hot path schedules without allocating.
+type delivery struct {
+	pos int
+	dir Direction
+	f   *packet.Frame
 }
 
 // New constructs an empty path.
@@ -120,8 +145,27 @@ func New(clock *vclock.Clock, clientAddr, serverAddr packet.Addr) *Env {
 		ClientAddr: clientAddr,
 		ServerAddr: serverAddr,
 		LinkDelay:  time.Millisecond,
-		Delivered:  make(map[string]int),
 	}
+}
+
+// DeliveredTo reports how many deliveries position name has received:
+// "client", "server", or an element name (first match wins).
+func (e *Env) DeliveredTo(name string) int {
+	if len(e.delivered) == 0 {
+		return 0
+	}
+	switch name {
+	case "client":
+		return e.delivered[0]
+	case "server":
+		return e.delivered[len(e.elements)+1]
+	}
+	for i, el := range e.elements {
+		if el.Name() == name {
+			return e.delivered[i+1]
+		}
+	}
+	return 0
 }
 
 // Append adds an element to the server-side end of the chain.
@@ -140,48 +184,77 @@ func (e *Env) SetClient(ep Endpoint) { e.client = ep }
 // SetServer installs the server endpoint.
 func (e *Env) SetServer(ep Endpoint) { e.server = ep }
 
-// FromClient sends raw onto the path at the client end.
-func (e *Env) FromClient(raw []byte) { e.move(-1, ToServer, raw) }
+// FromClient sends raw onto the path at the client end. The path takes
+// ownership of raw: the caller must not modify it afterwards.
+func (e *Env) FromClient(raw []byte) { e.move(-1, ToServer, packet.NewFrame(raw)) }
 
-// FromServer sends raw onto the path at the server end.
-func (e *Env) FromServer(raw []byte) { e.move(len(e.elements), ToClient, raw) }
+// FromServer sends raw onto the path at the server end. The path takes
+// ownership of raw: the caller must not modify it afterwards.
+func (e *Env) FromServer(raw []byte) { e.move(len(e.elements), ToClient, packet.NewFrame(raw)) }
 
-// move schedules delivery of raw to the neighbour of position idx in dir.
-// Position -1 is the client, len(elements) is the server.
-func (e *Env) move(idx int, dir Direction, raw []byte) {
+// move schedules delivery of f to the neighbour of position idx in dir.
+// Position -1 is the client, len(elements) is the server. The frame is
+// passed by reference across every hop — immutability makes per-hop
+// defensive copies unnecessary.
+func (e *Env) move(idx int, dir Direction, f *packet.Frame) {
 	next := idx + 1
 	if dir == ToClient {
 		next = idx - 1
 	}
-	buf := append([]byte(nil), raw...)
-	e.Clock.Schedule(e.LinkDelay, func() { e.deliver(next, dir, buf) })
+	if e.deliverFn == nil {
+		e.deliverFn = e.deliverArg
+	}
+	var d *delivery
+	if n := len(e.dfree); n > 0 {
+		d = e.dfree[n-1]
+		e.dfree[n-1] = nil
+		e.dfree = e.dfree[:n-1]
+	} else {
+		d = new(delivery)
+	}
+	d.pos, d.dir, d.f = next, dir, f
+	e.Clock.ScheduleArg(e.LinkDelay, e.deliverFn, d)
 }
 
-func (e *Env) deliver(pos int, dir Direction, raw []byte) {
+// deliverArg unpacks a recycled delivery record and hands the frame to its
+// destination. The record is released before delivery so nested moves can
+// reuse it immediately.
+func (e *Env) deliverArg(a any) {
+	d := a.(*delivery)
+	pos, dir, f := d.pos, d.dir, d.f
+	d.f = nil
+	e.dfree = append(e.dfree, d)
+	e.deliver(pos, dir, f)
+}
+
+func (e *Env) deliver(pos int, dir Direction, f *packet.Frame) {
+	if len(e.delivered) < len(e.elements)+2 {
+		e.delivered = append(e.delivered, make([]int, len(e.elements)+2-len(e.delivered))...)
+	}
 	switch {
 	case pos < 0:
 		if e.Trace != nil {
-			e.Trace("client", dir, raw)
+			e.Trace("client", dir, f.Raw())
 		}
-		e.Delivered["client"]++
+		e.delivered[0]++
 		if e.client != nil {
-			e.client.Deliver(raw)
+			e.client.Deliver(f)
 		}
 	case pos >= len(e.elements):
 		if e.Trace != nil {
-			e.Trace("server", dir, raw)
+			e.Trace("server", dir, f.Raw())
 		}
-		e.Delivered["server"]++
+		e.delivered[len(e.elements)+1]++
 		if e.server != nil {
-			e.server.Deliver(raw)
+			e.server.Deliver(f)
 		}
 	default:
 		el := e.elements[pos]
 		if e.Trace != nil {
-			e.Trace(el.Name(), dir, raw)
+			e.Trace(el.Name(), dir, f.Raw())
 		}
-		e.Delivered[el.Name()]++
-		el.Process(&Context{env: e, idx: pos, dir: dir}, dir, raw)
+		e.delivered[pos+1]++
+		el.Process(Context{env: e, idx: pos, dir: dir}, dir, f)
 	}
 }
 

@@ -64,7 +64,9 @@ func NewICMPProtoUnreachable(host, dst Addr, quoted []byte) *Packet {
 // non-increasing offsets are dropped. Evasion techniques use this to cut a
 // matching field across fragment boundaries.
 func FragmentAt(p *Packet, offsets []int) []*Packet {
-	wire := p.Serialize()
+	sb := getScratch()
+	wire := p.AppendSerialize(*sb)
+	defer func() { *sb = wire[:0]; putScratch(sb) }()
 	hdrLen := p.IP.headerLen()
 	body := wire[hdrLen:]
 	var cuts []int
@@ -110,7 +112,9 @@ func Fragment(p *Packet, n int) []*Packet {
 	if n < 2 {
 		return []*Packet{p.Clone()}
 	}
-	wire := p.Serialize()
+	sb := getScratch()
+	wire := p.AppendSerialize(*sb)
+	defer func() { *sb = wire[:0]; putScratch(sb) }()
 	hdrLen := p.IP.headerLen()
 	body := wire[hdrLen:]
 	// Choose an 8-byte-aligned chunk size that yields n pieces.

@@ -29,3 +29,94 @@ func pseudoHeaderSum(src, dst Addr, proto uint8, length uint16) uint32 {
 	sum += uint32(length)
 	return sum
 }
+
+// ckSum accumulates an Internet checksum over a sequence of byte chunks as
+// if they were one concatenated buffer, without materializing that buffer.
+// A trailing odd byte of one chunk pairs with the first byte of the next,
+// so checksumming marshal output piecewise gives bit-identical results to
+// marshal-then-sum — which matters because parse-time verification must
+// agree exactly with Finalize for deliberately malformed packets.
+//
+// A 32-bit accumulator cannot overflow here: an IPv4 datagram holds at most
+// 32 Ki 16-bit words, bounding the unfolded sum below 2^31.
+type ckSum struct {
+	sum     uint32
+	odd     bool
+	oddByte byte
+}
+
+// add appends data to the running sum. The loop accumulates into a local
+// so the compiler keeps it in a register instead of spilling through the
+// receiver pointer each iteration.
+func (c *ckSum) add(data []byte) {
+	sum := c.sum
+	n := len(data)
+	i := 0
+	if c.odd && n > 0 {
+		sum += uint32(c.oddByte)<<8 | uint32(data[0])
+		c.odd = false
+		i = 1
+	}
+	for ; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < n {
+		c.odd, c.oddByte = true, data[i]
+	}
+	c.sum = sum
+}
+
+// addPayload appends the application payload, consulting cache for a
+// previously computed partial sum of the identical slice. The cache is
+// only usable when the payload starts 16-bit aligned in the checksummed
+// stream (always true after Finalize pads options, and for the fixed-size
+// UDP/ICMP headers).
+func (c *ckSum) addPayload(payload []byte, cache *paySumCache) {
+	if c.odd || cache == nil {
+		c.add(payload)
+		return
+	}
+	c.sum += cache.sumOf(payload)
+}
+
+// finish folds the accumulator and returns the one's-complement checksum.
+func (c *ckSum) finish() uint16 {
+	sum := c.sum
+	if c.odd {
+		sum += uint32(c.oddByte) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// paySumCache memoizes the unfolded checksum partial sum of one payload
+// slice, keyed by slice identity (base pointer + length). Techniques edit
+// single header fields between checksum fix-ups but never mutate payload
+// bytes in place — payload changes always rebind the Payload field to a
+// fresh slice (Clone, dummyBytes), which misses the identity check and
+// recomputes. That makes identity a sound cache key.
+type paySumCache struct {
+	ptr *byte
+	n   int
+	val uint32
+}
+
+// sumOf returns the unfolded partial sum of payload, cached.
+func (pc *paySumCache) sumOf(payload []byte) uint32 {
+	if len(payload) == 0 {
+		return 0
+	}
+	if pc.ptr == &payload[0] && pc.n == len(payload) {
+		return pc.val
+	}
+	var c ckSum
+	c.add(payload)
+	v := c.sum
+	if c.odd {
+		v += uint32(c.oddByte) << 8
+	}
+	pc.ptr, pc.n, pc.val = &payload[0], len(payload), v
+	return v
+}

@@ -98,14 +98,23 @@ func (h *IPv4) marshal(b []byte) []byte {
 }
 
 // computeChecksum returns the correct header checksum for the current field
-// values (with the checksum field itself treated as zero).
+// values (with the checksum field itself treated as zero). The field-wise
+// summation mirrors marshal byte-for-byte — including the uint8 truncation
+// of Version<<4 and the 3-bit Flags mask — so it is exactly equivalent to
+// serializing the header and summing it, without the allocation.
 func (h *IPv4) computeChecksum() uint16 {
-	buf := make([]byte, 0, h.headerLen())
-	saved := h.Checksum
-	h.Checksum = 0
-	buf = h.marshal(buf)
-	h.Checksum = saved
-	return internetChecksum(0, buf)
+	var c ckSum
+	c.sum += uint32(h.Version<<4|h.IHL&0x0f)<<8 | uint32(h.TOS)
+	c.sum += uint32(h.TotalLength) + uint32(h.ID)
+	c.sum += uint32(uint16(h.Flags&0x7)<<13 | h.FragOffset&0x1fff)
+	c.sum += uint32(h.TTL)<<8 | uint32(h.Protocol)
+	// Checksum field counted as zero.
+	c.sum += uint32(h.Src[0])<<8 | uint32(h.Src[1])
+	c.sum += uint32(h.Src[2])<<8 | uint32(h.Src[3])
+	c.sum += uint32(h.Dst[0])<<8 | uint32(h.Dst[1])
+	c.sum += uint32(h.Dst[2])<<8 | uint32(h.Dst[3])
+	c.add(h.Options)
+	return c.finish()
 }
 
 // validOptions scans the option bytes and classifies them.

@@ -28,11 +28,17 @@ type Packet struct {
 	// naturally: set TotalLength to the claimed size and put the surplus
 	// here.
 	TrailerPadding []byte
+
+	// paySum memoizes the payload's checksum partial sum across repeated
+	// Finalize/Fix*Checksum calls on the same packet, so single-field edits
+	// don't re-sum a 1400-byte payload.
+	paySum paySumCache
 }
 
 // Clone returns a deep copy of p.
 func (p *Packet) Clone() *Packet {
 	q := *p
+	q.paySum = paySumCache{}
 	q.IP.Options = append([]byte(nil), p.IP.Options...)
 	if p.TCP != nil {
 		t := *p.TCP
@@ -89,21 +95,49 @@ func (p *Packet) Finalize() *Packet {
 			p.TCP.Options = append(p.TCP.Options, 0)
 		}
 		p.TCP.DataOffset = uint8(p.TCP.headerLen() / 4)
-		p.TCP.Checksum = p.TCP.computeChecksum(p.IP.Src, p.IP.Dst, p.Payload)
 	case p.UDP != nil:
 		p.UDP.Length = uint16(8 + len(p.Payload))
-		p.UDP.Checksum = p.UDP.computeChecksum(p.IP.Src, p.IP.Dst, p.Payload)
-	case p.ICMP != nil:
-		p.ICMP.Checksum = p.ICMP.computeChecksum(p.Payload)
 	}
+	p.FixTransportChecksum()
 	p.IP.Checksum = p.IP.computeChecksum()
 	return p
+}
+
+// FixTransportChecksum recomputes only the transport-layer checksum for the
+// current field values, reusing the packet's cached payload sum when the
+// payload slice is unchanged. Techniques that edit a single header field
+// after Finalize use this instead of re-summing the whole segment.
+func (p *Packet) FixTransportChecksum() {
+	switch {
+	case p.TCP != nil:
+		p.TCP.Checksum = p.TCP.checksumWith(p.IP.Src, p.IP.Dst, p.Payload, &p.paySum)
+	case p.UDP != nil:
+		p.UDP.Checksum = p.UDP.checksumWith(p.IP.Src, p.IP.Dst, p.Payload, &p.paySum)
+	case p.ICMP != nil:
+		p.ICMP.Checksum = p.ICMP.checksumWith(p.Payload, &p.paySum)
+	}
+}
+
+// FixIPChecksum recomputes only the IP header checksum for the current
+// field values — equivalent to serializing the header and summing it.
+func (p *Packet) FixIPChecksum() {
+	p.IP.Checksum = p.IP.computeChecksum()
+}
+
+// wireLen returns the serialized size of the packet.
+func (p *Packet) wireLen() int {
+	return p.IP.headerLen() + p.transportLen() + len(p.Payload) + len(p.TrailerPadding)
 }
 
 // Serialize produces the literal wire bytes for the packet. No field is
 // recomputed: whatever the header structs say is what goes on the wire.
 func (p *Packet) Serialize() []byte {
-	b := make([]byte, 0, p.IP.headerLen()+p.transportLen()+len(p.Payload)+len(p.TrailerPadding))
+	return p.AppendSerialize(make([]byte, 0, p.wireLen()))
+}
+
+// AppendSerialize appends the packet's wire bytes to b and returns the
+// extended slice, letting hot paths reuse pooled or stack buffers.
+func (p *Packet) AppendSerialize(b []byte) []byte {
 	b = p.IP.marshal(b)
 	switch {
 	case p.TCP != nil:
@@ -118,14 +152,47 @@ func (p *Packet) Serialize() []byte {
 	return b
 }
 
+// parseAlloc is the single allocation backing one parse: the packet plus
+// every transport header it could need. Inspect hands out interior pointers
+// (&a.tcp etc.), so a full TCP parse costs one allocation for the structs
+// and — in copy mode — one more for the payload.
+type parseAlloc struct {
+	pkt  Packet
+	tcp  TCP
+	udp  UDP
+	icmp ICMP
+}
+
 // Inspect parses raw wire bytes into a Packet and reports every defect it
 // finds. Parsing is best-effort: a malformed packet still yields the most
 // plausible interpretation, because middleboxes differ in how much of a
 // malformed packet they are willing to look at — that difference is the
-// point of this library.
-func Inspect(raw []byte) (*Packet, DefectSet) {
+// point of this library. The returned packet owns copies of its variable-
+// length fields and is safe to mutate.
+func Inspect(raw []byte) (*Packet, DefectSet) { return inspect(raw, false) }
+
+// InspectView parses like Inspect but zero-copy: the returned packet's
+// Payload, Options, and TrailerPadding alias raw. The result is read-only —
+// callers that want to mutate it must Clone first — and is only valid while
+// raw itself stays unmodified (which Frame guarantees by construction).
+func InspectView(raw []byte) (*Packet, DefectSet) { return inspect(raw, true) }
+
+// view returns b in alias mode and a copy in copy mode; empty slices
+// normalize to nil in both modes so the two parses are interchangeable.
+func view(alias bool, b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	if alias {
+		return b
+	}
+	return append([]byte(nil), b...)
+}
+
+func inspect(raw []byte, alias bool) (*Packet, DefectSet) {
 	var defects DefectSet
-	p := &Packet{}
+	a := &parseAlloc{}
+	p := &a.pkt
 	if len(raw) < 20 {
 		defects = defects.Add(DefectTruncated)
 		return p, defects
@@ -154,7 +221,7 @@ func Inspect(raw []byte) (*Packet, DefectSet) {
 		hdrLen = 20 // best-effort fallback
 	}
 	if hdrLen > 20 {
-		h.Options = append([]byte(nil), raw[20:hdrLen]...)
+		h.Options = view(alias, raw[20:hdrLen])
 		inv, dep := validOptions(h.Options)
 		if inv {
 			defects = defects.Add(DefectIPOptionInvalid)
@@ -174,7 +241,7 @@ func Inspect(raw []byte) (*Packet, DefectSet) {
 		defects = defects.Add(DefectIPTotalLengthLong)
 	case claimed < len(raw):
 		defects = defects.Add(DefectIPTotalLengthShort)
-		p.TrailerPadding = append([]byte(nil), raw[claimed:]...)
+		p.TrailerPadding = view(alias, raw[claimed:])
 	}
 	end := claimed
 	if end > len(raw) || end < hdrLen {
@@ -184,31 +251,31 @@ func Inspect(raw []byte) (*Packet, DefectSet) {
 
 	// Fragments other than the first carry no parseable transport header.
 	if h.FragOffset != 0 {
-		p.Payload = append([]byte(nil), body...)
+		p.Payload = view(alias, body)
 		return p, defects
 	}
 
 	switch h.Protocol {
 	case ProtoTCP:
-		defects |= p.parseTCP(body)
+		defects |= p.parseTCP(a, body, alias)
 	case ProtoUDP:
-		defects |= p.parseUDP(body)
+		defects |= p.parseUDP(a, body, alias)
 	case ProtoICMP:
-		defects |= p.parseICMP(body)
+		defects |= p.parseICMP(a, body, alias)
 	default:
 		defects = defects.Add(DefectIPProtocol)
-		p.Payload = append([]byte(nil), body...)
+		p.Payload = view(alias, body)
 	}
 	return p, defects
 }
 
-func (p *Packet) parseTCP(body []byte) DefectSet {
+func (p *Packet) parseTCP(a *parseAlloc, body []byte, alias bool) DefectSet {
 	var defects DefectSet
 	if len(body) < 20 {
-		p.Payload = append([]byte(nil), body...)
+		p.Payload = view(alias, body)
 		return defects.Add(DefectTruncated)
 	}
-	t := &TCP{}
+	t := &a.tcp
 	t.SrcPort = binary.BigEndian.Uint16(body[0:2])
 	t.DstPort = binary.BigEndian.Uint16(body[2:4])
 	t.Seq = binary.BigEndian.Uint32(body[4:8])
@@ -226,13 +293,13 @@ func (p *Packet) parseTCP(body []byte) DefectSet {
 		off = 20
 	}
 	if off > 20 {
-		t.Options = append([]byte(nil), body[20:off]...)
+		t.Options = view(alias, body[20:off])
 	}
-	p.Payload = append([]byte(nil), body[off:]...)
+	p.Payload = view(alias, body[off:])
 
 	// Checksums cannot be verified on a first fragment: the rest of the
 	// segment is in later fragments.
-	if !p.IP.MoreFragments() && t.computeChecksum(p.IP.Src, p.IP.Dst, p.Payload) != t.Checksum {
+	if !p.IP.MoreFragments() && t.checksumWith(p.IP.Src, p.IP.Dst, p.Payload, &p.paySum) != t.Checksum {
 		defects = defects.Add(DefectTCPChecksum)
 	}
 	if t.Flags.invalid() {
@@ -244,20 +311,19 @@ func (p *Packet) parseTCP(body []byte) DefectSet {
 	return defects
 }
 
-func (p *Packet) parseUDP(body []byte) DefectSet {
+func (p *Packet) parseUDP(a *parseAlloc, body []byte, alias bool) DefectSet {
 	var defects DefectSet
 	if len(body) < 8 {
-		p.Payload = append([]byte(nil), body...)
+		p.Payload = view(alias, body)
 		return defects.Add(DefectTruncated)
 	}
-	u := &UDP{
-		SrcPort:  binary.BigEndian.Uint16(body[0:2]),
-		DstPort:  binary.BigEndian.Uint16(body[2:4]),
-		Length:   binary.BigEndian.Uint16(body[4:6]),
-		Checksum: binary.BigEndian.Uint16(body[6:8]),
-	}
+	u := &a.udp
+	u.SrcPort = binary.BigEndian.Uint16(body[0:2])
+	u.DstPort = binary.BigEndian.Uint16(body[2:4])
+	u.Length = binary.BigEndian.Uint16(body[4:6])
+	u.Checksum = binary.BigEndian.Uint16(body[6:8])
 	p.UDP = u
-	p.Payload = append([]byte(nil), body[8:]...)
+	p.Payload = view(alias, body[8:])
 	if p.IP.MoreFragments() {
 		// Length and checksum describe the full datagram; they cannot be
 		// judged from a first fragment alone.
@@ -270,7 +336,7 @@ func (p *Packet) parseUDP(body []byte) DefectSet {
 		defects = defects.Add(DefectUDPLengthShort)
 	}
 	if u.Checksum != 0 {
-		want := u.computeChecksum(p.IP.Src, p.IP.Dst, p.Payload)
+		want := u.checksumWith(p.IP.Src, p.IP.Dst, p.Payload, &p.paySum)
 		if want != u.Checksum {
 			defects = defects.Add(DefectUDPChecksum)
 		}
@@ -278,21 +344,20 @@ func (p *Packet) parseUDP(body []byte) DefectSet {
 	return defects
 }
 
-func (p *Packet) parseICMP(body []byte) DefectSet {
+func (p *Packet) parseICMP(a *parseAlloc, body []byte, alias bool) DefectSet {
 	var defects DefectSet
 	if len(body) < 8 {
-		p.Payload = append([]byte(nil), body...)
+		p.Payload = view(alias, body)
 		return defects.Add(DefectTruncated)
 	}
-	ic := &ICMP{
-		Type:     body[0],
-		Code:     body[1],
-		Checksum: binary.BigEndian.Uint16(body[2:4]),
-		Rest:     binary.BigEndian.Uint32(body[4:8]),
-	}
+	ic := &a.icmp
+	ic.Type = body[0]
+	ic.Code = body[1]
+	ic.Checksum = binary.BigEndian.Uint16(body[2:4])
+	ic.Rest = binary.BigEndian.Uint32(body[4:8])
 	p.ICMP = ic
-	p.Payload = append([]byte(nil), body[8:]...)
-	if ic.computeChecksum(p.Payload) != ic.Checksum {
+	p.Payload = view(alias, body[8:])
+	if ic.checksumWith(p.Payload, &p.paySum) != ic.Checksum {
 		// ICMP checksum errors are folded into the generic truncation
 		// defect bucket; no middlebox in the study keyed on them.
 		defects = defects.Add(DefectTruncated)
@@ -323,6 +388,9 @@ func (k FlowKey) Canonical() (FlowKey, bool) {
 }
 
 func less(a, b FlowKey) bool {
+	if a.Proto != b.Proto {
+		return a.Proto < b.Proto
+	}
 	if a.Src != b.Src {
 		return string(a.Src[:]) < string(b.Src[:])
 	}

@@ -1,0 +1,21 @@
+package packet
+
+import "sync"
+
+// scratchPool recycles transient wire buffers for paths that serialize a
+// packet only to immediately slice it apart or copy from it (fragmenting,
+// reassembly). Borrowed buffers must not escape: everything kept from them
+// is copied before putScratch returns the buffer.
+var scratchPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, MTU+64)
+		return &b
+	},
+}
+
+func getScratch() *[]byte { return scratchPool.Get().(*[]byte) }
+
+func putScratch(b *[]byte) {
+	*b = (*b)[:0]
+	scratchPool.Put(b)
+}

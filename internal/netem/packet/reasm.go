@@ -44,7 +44,9 @@ func (r *Reassembler) Add(raw []byte) ([]byte, bool) {
 	if len(raw) < 20 {
 		return raw, true
 	}
-	p, _ := Inspect(raw)
+	// Zero-copy parse: nothing from p outlives this call — fragment bytes
+	// are copied bytewise into the per-datagram buffer below.
+	p, _ := InspectView(raw)
 	if p.IP.FragOffset == 0 && !p.IP.MoreFragments() {
 		return raw, true
 	}

@@ -88,19 +88,29 @@ func (h *TCP) marshal(b []byte) []byte {
 // ComputeChecksum returns the correct TCP checksum for the given endpoints
 // and payload.
 func (h *TCP) ComputeChecksum(src, dst Addr, payload []byte) uint16 {
-	return h.computeChecksum(src, dst, payload)
+	return h.checksumWith(src, dst, payload, nil)
 }
 
 // computeChecksum returns the correct TCP checksum for the given endpoints
 // and payload.
 func (h *TCP) computeChecksum(src, dst Addr, payload []byte) uint16 {
-	seg := make([]byte, 0, h.headerLen()+len(payload))
-	saved := h.Checksum
-	h.Checksum = 0
-	seg = h.marshal(seg)
-	h.Checksum = saved
-	seg = append(seg, payload...)
-	return internetChecksum(pseudoHeaderSum(src, dst, ProtoTCP, uint16(len(seg))), seg)
+	return h.checksumWith(src, dst, payload, nil)
+}
+
+// checksumWith sums the segment field-wise, mirroring marshal byte-for-byte
+// (including the uint8 truncation of DataOffset<<4), with the checksum
+// field counted as zero. cache, when non-nil, memoizes the payload's
+// partial sum across repeated fix-ups of the same packet.
+func (h *TCP) checksumWith(src, dst Addr, payload []byte, cache *paySumCache) uint16 {
+	c := ckSum{sum: pseudoHeaderSum(src, dst, ProtoTCP, uint16(h.headerLen()+len(payload)))}
+	c.sum += uint32(h.SrcPort) + uint32(h.DstPort)
+	c.sum += h.Seq>>16 + h.Seq&0xffff
+	c.sum += h.Ack>>16 + h.Ack&0xffff
+	c.sum += uint32(h.DataOffset<<4)<<8 | uint32(h.Flags)
+	c.sum += uint32(h.Window) + uint32(h.Urgent)
+	c.add(h.Options)
+	c.addPayload(payload, cache)
+	return c.finish()
 }
 
 // UDP is a UDP header.
@@ -121,25 +131,26 @@ func (h *UDP) marshal(b []byte) []byte {
 // ComputeChecksum returns the correct UDP checksum for the given endpoints
 // and payload, honoring the current Length field value.
 func (h *UDP) ComputeChecksum(src, dst Addr, payload []byte) uint16 {
-	return h.computeChecksum(src, dst, payload)
+	return h.checksumWith(src, dst, payload, nil)
 }
 
 func (h *UDP) computeChecksum(src, dst Addr, payload []byte) uint16 {
-	dg := make([]byte, 0, 8+len(payload))
-	saved := h.Checksum
-	h.Checksum = 0
-	dg = h.marshal(dg)
-	h.Checksum = saved
-	dg = append(dg, payload...)
-	// The checksum is computed over the datagram as claimed by the Length
-	// field when it is shorter than the actual bytes; otherwise over what
-	// is present. We always checksum what is present — endpoints validate
-	// against the same rule.
-	c := internetChecksum(pseudoHeaderSum(src, dst, ProtoUDP, h.Length), dg)
-	if c == 0 {
-		c = 0xffff
+	return h.checksumWith(src, dst, payload, nil)
+}
+
+// checksumWith sums the datagram field-wise with the checksum field counted
+// as zero. The checksum always covers the bytes that are present — endpoints
+// validate against the same rule — while the pseudo-header carries whatever
+// the Length field claims.
+func (h *UDP) checksumWith(src, dst Addr, payload []byte, cache *paySumCache) uint16 {
+	c := ckSum{sum: pseudoHeaderSum(src, dst, ProtoUDP, h.Length)}
+	c.sum += uint32(h.SrcPort) + uint32(h.DstPort) + uint32(h.Length)
+	c.addPayload(payload, cache)
+	s := c.finish()
+	if s == 0 {
+		s = 0xffff
 	}
-	return c
+	return s
 }
 
 // ICMP message types used by the simulator.
@@ -168,11 +179,13 @@ func (h *ICMP) marshal(b []byte) []byte {
 }
 
 func (h *ICMP) computeChecksum(payload []byte) uint16 {
-	msg := make([]byte, 0, 8+len(payload))
-	saved := h.Checksum
-	h.Checksum = 0
-	msg = h.marshal(msg)
-	h.Checksum = saved
-	msg = append(msg, payload...)
-	return internetChecksum(0, msg)
+	return h.checksumWith(payload, nil)
+}
+
+func (h *ICMP) checksumWith(payload []byte, cache *paySumCache) uint16 {
+	var c ckSum
+	c.sum += uint32(h.Type)<<8 | uint32(h.Code)
+	c.sum += h.Rest>>16 + h.Rest&0xffff
+	c.addPayload(payload, cache)
+	return c.finish()
 }

@@ -47,11 +47,12 @@ func NewClientHost(env *netem.Env) *ClientHost {
 	return h
 }
 
-// Deliver implements netem.Endpoint.
-func (h *ClientHost) Deliver(raw []byte) {
+// Deliver implements netem.Endpoint. The frame's cached parse is reused
+// verbatim; the packet handed to flow sinks is a read-only view.
+func (h *ClientHost) Deliver(f *packet.Frame) {
 	h.Captured++
-	h.BytesIn += int64(len(raw))
-	p, defects := packet.Inspect(raw)
+	h.BytesIn += int64(f.Len())
+	p, defects := f.Parse()
 	if p.ICMP != nil {
 		if h.ICMP != nil {
 			h.ICMP(p)

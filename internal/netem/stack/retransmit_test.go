@@ -18,9 +18,9 @@ type dropNth struct {
 
 func (d *dropNth) Name() string { return "drop-nth" }
 
-func (d *dropNth) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
+func (d *dropNth) Process(ctx netem.Context, dir netem.Direction, f *packet.Frame) {
 	if dir == netem.ToServer && !d.dropped {
-		p, _ := packet.Inspect(raw)
+		p, _ := f.Parse()
 		if p.TCP != nil && len(p.Payload) > 0 {
 			d.seen++
 			if d.seen == d.n {
@@ -29,7 +29,7 @@ func (d *dropNth) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
 			}
 		}
 	}
-	ctx.Forward(raw)
+	ctx.Forward(f)
 }
 
 func TestClientRetransmitsLostSegment(t *testing.T) {
@@ -70,9 +70,9 @@ type dropServerNth struct {
 
 func (d *dropServerNth) Name() string { return "drop-s2c" }
 
-func (d *dropServerNth) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
+func (d *dropServerNth) Process(ctx netem.Context, dir netem.Direction, f *packet.Frame) {
 	if dir == netem.ToClient && !d.dropped {
-		p, _ := packet.Inspect(raw)
+		p, _ := f.Parse()
 		if p.TCP != nil && len(p.Payload) > 0 {
 			d.seen++
 			if d.seen == d.n {
@@ -81,7 +81,7 @@ func (d *dropServerNth) Process(ctx *netem.Context, dir netem.Direction, raw []b
 			}
 		}
 	}
-	ctx.Forward(raw)
+	ctx.Forward(f)
 }
 
 func TestServerRetransmitsLostSegment(t *testing.T) {

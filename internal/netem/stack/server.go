@@ -98,10 +98,13 @@ func (s *Server) CloseAll() {
 	s.reasm.Flush()
 }
 
-// Deliver implements netem.Endpoint.
-func (s *Server) Deliver(raw []byte) {
-	p, defects := packet.Inspect(raw)
-	s.Captured = append(s.Captured, Arrival{At: s.Clock.Now(), Raw: append([]byte(nil), raw...), Defects: defects})
+// Deliver implements netem.Endpoint. Frame immutability lets the capture
+// retain the arriving bytes without a defensive copy, and the cached parse
+// is shared with every element that already inspected the packet in-path.
+func (s *Server) Deliver(f *packet.Frame) {
+	p, defects := f.Parse()
+	raw := f.Raw()
+	s.Captured = append(s.Captured, Arrival{At: s.Clock.Now(), Raw: raw, Defects: defects})
 
 	// Host IP reassembly comes before validation of transport defects:
 	// fragments are judged once whole.
@@ -111,7 +114,7 @@ func (s *Server) Deliver(raw []byte) {
 			return
 		}
 		raw = whole
-		p, defects = packet.Inspect(raw)
+		p, defects = packet.InspectView(raw)
 	}
 
 	ok, rst := s.OS.Accepts(defects)

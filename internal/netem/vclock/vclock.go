@@ -8,69 +8,110 @@
 // The clock is single-threaded by design: Run drains the event queue in
 // timestamp order, and ties are broken by insertion order so that repeated
 // runs of the same experiment produce byte-identical results.
+//
+// Internally time is an int64 nanosecond offset from Epoch and the queue is
+// a hand-rolled binary heap of recycled event records: the scheduler sits
+// on the per-packet hot path (every link traversal is one event), so heap
+// comparisons are two integer compares and firing an event allocates
+// nothing once the free list is warm.
 package vclock
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 )
 
-// Event is a scheduled callback.
+// Event is a scheduled callback: either a plain thunk (fn) or a static
+// function plus argument (callFn/arg). The two-field form lets hot callers
+// schedule without materializing a fresh closure per event.
 type event struct {
-	at   time.Time
-	seq  uint64 // insertion order, breaks timestamp ties deterministically
-	fn   func()
-	dead bool
-	idx  int
+	gen    uint32 // bumped on reuse so stale Timers cannot cancel the new tenant
+	dead   bool
+	fn     func()
+	callFn func(any)
+	arg    any
 }
 
-type eventQueue []*event
+// heapNode keeps the ordering key inline in the heap slice so comparisons
+// never dereference the event record — sift operations stay in one cache
+// line per level.
+type heapNode struct {
+	at  int64  // nanoseconds since Epoch
+	seq uint64 // insertion order, breaks timestamp ties deterministically
+	e   *event
+}
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
+func (a heapNode) before(b heapNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
+// eventQueue is a hand-rolled binary min-heap ordered by (at, seq);
+// container/heap's interface dispatch in Less/Swap dominated simulation
+// profiles.
+type eventQueue []heapNode
+
+func (q *eventQueue) push(n heapNode) {
+	*q = append(*q, n)
+	s := *q
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*event)
-	e.idx = len(*q)
-	*q = append(*q, e)
+func (q *eventQueue) pop() heapNode {
+	s := *q
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = heapNode{}
+	s = s[:n]
+	*q = s
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		child := l
+		if r := l + 1; r < n && s[r].before(s[l]) {
+			child = r
+		}
+		if !s[child].before(s[i]) {
+			break
+		}
+		s[i], s[child] = s[child], s[i]
+		i = child
+	}
+	return top
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
-}
-
-// Timer is a handle to a scheduled event that can be cancelled.
+// Timer is a handle to a scheduled event that can be cancelled. The handle
+// remembers the event's generation so a Stop after the event has fired and
+// its record has been recycled is a safe no-op.
 type Timer struct {
-	e *event
+	e   *event
+	gen uint32
 }
 
 // Stop cancels the timer. Stopping an already-fired or already-stopped
 // timer is a no-op. It reports whether the call prevented the event from
 // firing.
 func (t *Timer) Stop() bool {
-	if t == nil || t.e == nil || t.e.dead {
+	if t == nil || t.e == nil || t.e.gen != t.gen || t.e.dead {
 		return false
 	}
 	t.e.dead = true
 	t.e.fn = nil
+	t.e.callFn, t.e.arg = nil, nil
 	return true
 }
 
@@ -78,8 +119,9 @@ func (t *Timer) Stop() bool {
 //
 // The zero value is not usable; construct with New.
 type Clock struct {
-	now   time.Time
+	now   int64 // nanoseconds since Epoch
 	queue eventQueue
+	free  []*event // recycled event records
 	seq   uint64
 	// Budget guards against runaway simulations: Run stops with an error
 	// after this many events when > 0.
@@ -94,41 +136,75 @@ var Epoch = time.Date(2017, time.November, 1, 0, 0, 0, 0, time.UTC)
 
 // New returns a clock positioned at Epoch with an empty event queue.
 func New() *Clock {
-	return &Clock{now: Epoch}
+	return &Clock{}
 }
 
 // Now returns the current virtual time.
-func (c *Clock) Now() time.Time { return c.now }
+func (c *Clock) Now() time.Time { return Epoch.Add(time.Duration(c.now)) }
 
 // Since returns the virtual time elapsed since t.
-func (c *Clock) Since(t time.Time) time.Duration { return c.now.Sub(t) }
+func (c *Clock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
 
 // Schedule runs fn after d of virtual time has elapsed. A negative d is
-// treated as zero. The returned Timer may be used to cancel the event.
-func (c *Clock) Schedule(d time.Duration, fn func()) *Timer {
+// treated as zero. The returned Timer may be used to cancel the event; it
+// is returned by value so callers that discard it cost no allocation.
+func (c *Clock) Schedule(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
-	return c.ScheduleAt(c.now.Add(d), fn)
+	return c.scheduleNS(c.now+int64(d), fn, nil, nil)
+}
+
+// ScheduleArg runs fn(arg) after d of virtual time has elapsed. It behaves
+// like Schedule but keeps the callback and its state separate, so a caller
+// on the per-packet hot path can pass a long-lived function value and a
+// recycled argument record instead of allocating a closure per event.
+func (c *Clock) ScheduleArg(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return c.scheduleNS(c.now+int64(d), nil, fn, arg)
 }
 
 // ScheduleAt runs fn at the absolute virtual instant at. Instants in the
 // past are clamped to the present.
-func (c *Clock) ScheduleAt(at time.Time, fn func()) *Timer {
-	if at.Before(c.now) {
+func (c *Clock) ScheduleAt(at time.Time, fn func()) Timer {
+	return c.scheduleNS(int64(at.Sub(Epoch)), fn, nil, nil)
+}
+
+func (c *Clock) scheduleNS(at int64, fn func(), callFn func(any), arg any) Timer {
+	if at < c.now {
 		at = c.now
 	}
 	c.seq++
-	e := &event{at: at, seq: c.seq, fn: fn}
-	heap.Push(&c.queue, e)
-	return &Timer{e: e}
+	var e *event
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		e.gen++
+		e.dead = false
+	} else {
+		e = &event{}
+	}
+	e.fn, e.callFn, e.arg = fn, callFn, arg
+	c.queue.push(heapNode{at: at, seq: c.seq, e: e})
+	return Timer{e: e, gen: e.gen}
+}
+
+// recycle returns a popped event record to the free list.
+func (c *Clock) recycle(e *event) {
+	e.fn = nil
+	e.callFn, e.arg = nil, nil
+	e.dead = true
+	c.free = append(c.free, e)
 }
 
 // Pending reports the number of live events in the queue.
 func (c *Clock) Pending() int {
 	n := 0
-	for _, e := range c.queue {
-		if !e.dead {
+	for _, node := range c.queue {
+		if !node.e.dead {
 			n++
 		}
 	}
@@ -138,22 +214,28 @@ func (c *Clock) Pending() int {
 // step fires the earliest event. It reports false when the queue is empty.
 func (c *Clock) step() (bool, error) {
 	for len(c.queue) > 0 {
-		e := heap.Pop(&c.queue).(*event)
+		node := c.queue.pop()
+		e := node.e
 		if e.dead {
+			c.recycle(e)
 			continue
 		}
-		if e.at.Before(c.now) {
-			return false, fmt.Errorf("vclock: event scheduled at %v before now %v", e.at, c.now)
+		if node.at < c.now {
+			at := Epoch.Add(time.Duration(node.at))
+			return false, fmt.Errorf("vclock: event scheduled at %v before now %v", at, c.Now())
 		}
-		c.now = e.at
+		c.now = node.at
 		c.fired++
 		if c.Budget > 0 && c.fired > c.Budget {
-			return false, fmt.Errorf("vclock: event budget %d exhausted at %v", c.Budget, c.now)
+			return false, fmt.Errorf("vclock: event budget %d exhausted at %v", c.Budget, c.Now())
 		}
-		fn := e.fn
-		e.fn = nil
-		e.dead = true
-		fn()
+		fn, callFn, arg := e.fn, e.callFn, e.arg
+		c.recycle(e)
+		if callFn != nil {
+			callFn(arg)
+		} else {
+			fn()
+		}
 		return true, nil
 	}
 	return false, nil
@@ -176,36 +258,38 @@ func (c *Clock) Run() error {
 // RunUntil drains events whose timestamp is at or before deadline, then
 // advances the clock to deadline. Events beyond the deadline stay queued.
 func (c *Clock) RunUntil(deadline time.Time) error {
+	deadNS := int64(deadline.Sub(Epoch))
 	for {
 		if len(c.queue) == 0 {
 			break
 		}
 		// Peek at the earliest live event.
-		var next *event
+		live := false
+		var nextAt int64
 		for len(c.queue) > 0 {
-			if c.queue[0].dead {
-				heap.Pop(&c.queue)
+			if c.queue[0].e.dead {
+				c.recycle(c.queue.pop().e)
 				continue
 			}
-			next = c.queue[0]
+			live, nextAt = true, c.queue[0].at
 			break
 		}
-		if next == nil || next.at.After(deadline) {
+		if !live || nextAt > deadNS {
 			break
 		}
 		if _, err := c.step(); err != nil {
 			return err
 		}
 	}
-	if c.now.Before(deadline) {
-		c.now = deadline
+	if c.now < deadNS {
+		c.now = deadNS
 	}
 	return nil
 }
 
 // RunFor is RunUntil(Now()+d).
 func (c *Clock) RunFor(d time.Duration) error {
-	return c.RunUntil(c.now.Add(d))
+	return c.RunUntil(c.Now().Add(d))
 }
 
 // Sleep advances virtual time by d, firing any events that fall inside the
@@ -216,7 +300,7 @@ func (c *Clock) Sleep(d time.Duration) error { return c.RunFor(d) }
 // HourOfDay returns the current virtual hour in [0,24), used by
 // load-dependent middlebox models (GFC state flushing, Figure 4).
 func (c *Clock) HourOfDay() float64 {
-	h := c.now.Sub(Epoch).Hours()
+	h := time.Duration(c.now).Hours()
 	h = h - float64(int(h/24))*24
 	if h < 0 {
 		h += 24

@@ -34,9 +34,10 @@ func NewRecorder() *Recorder {
 	return &Recorder{}
 }
 
-// Observe feeds one wire packet moving in the given direction.
-func (r *Recorder) Observe(dir netem.Direction, raw []byte) {
-	p, defects := packet.Inspect(raw)
+// Observe feeds one wire packet moving in the given direction. Nothing
+// from the parse is retained — message bytes are copied — so the cached
+// zero-copy parse of a passing frame can be consumed directly.
+func (r *Recorder) Observe(dir netem.Direction, p *packet.Packet, defects packet.DefectSet) {
 	if !defects.Empty() {
 		return // recording assumes a clean capture
 	}
@@ -176,7 +177,8 @@ type recorderTap struct {
 
 func (t *recorderTap) Name() string { return t.label }
 
-func (t *recorderTap) Process(ctx *netem.Context, dir netem.Direction, raw []byte) {
-	t.rec.Observe(dir, raw)
-	ctx.Forward(raw)
+func (t *recorderTap) Process(ctx netem.Context, dir netem.Direction, f *packet.Frame) {
+	p, defects := f.Parse()
+	t.rec.Observe(dir, p, defects)
+	ctx.Forward(f)
 }

@@ -339,6 +339,10 @@ func runTCP(opts Options, srv *stack.Server, host *stack.ClientHost, script *tcp
 			expectS2C = append(expectS2C, m.Data...)
 		}
 	}
+	// Size the receive buffer to the expected stream up front: repeated
+	// append-growth while a multi-megabyte replay trickles in segment by
+	// segment otherwise dominates the allocation profile.
+	cli.Received = make([]byte, 0, len(expectS2C))
 
 	// The client sends its i-th message once it has received all server
 	// bytes scripted before it.
