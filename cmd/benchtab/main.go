@@ -12,7 +12,8 @@
 //	benchtab -exp ablation     # DESIGN.md ablations
 //	benchtab -exp campaign     # campaign worker-pool scaling + determinism check
 //	benchtab -exp perf         # substrate + macro perf benchmarks
-//	benchtab -exp perf -bench-json BENCH_2.json   # ... plus JSON snapshot
+//	benchtab -exp perf -bench-json BENCH_3.json   # ... plus JSON snapshot
+//	benchtab -exp perf -cpuprofile cpu.pprof      # ... under the CPU profiler
 //	benchtab -all              # everything, in order
 package main
 
@@ -20,11 +21,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds main's body so deferred profile writers execute before the
+// process exits — os.Exit directly in main would skip them.
+func run() int {
 	var (
 		table  = flag.Int("table", 0, "regenerate Table N (1, 2, or 3)")
 		figure = flag.Int("figure", 0, "regenerate Figure N (4)")
@@ -35,8 +44,38 @@ func main() {
 		body   = flag.Int("mb", 10, "video size in MB for the T-Mobile throughput experiment")
 		csv    = flag.Bool("csv", false, "emit Figure 4 as CSV for plotting")
 		all    = flag.Bool("all", false, "run everything")
+		cpuOut = flag.String("cpuprofile", "", "write a CPU profile of the selected workload to this path (go tool pprof)")
+		memOut = flag.String("memprofile", "", "write a heap profile taken after the selected workload to this path")
 	)
 	flag.Parse()
+
+	if *cpuOut != "" {
+		f, err := os.Create(*cpuOut)
+		if err != nil {
+			return fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memOut != "" {
+		// The heap snapshot is written on the way out, after the workload;
+		// GC first so it shows live retention, not transient garbage.
+		defer func() {
+			f, err := os.Create(*memOut)
+			if err != nil {
+				fatal(err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	ran := false
 	if *all || *table == 1 {
@@ -117,8 +156,7 @@ func main() {
 		fmt.Println(snap.Render())
 		if *bjson != "" {
 			if err := snap.WriteJSON(*bjson); err != nil {
-				fmt.Fprintln(os.Stderr, "benchtab:", err)
-				os.Exit(1)
+				return fatal(err)
 			}
 			fmt.Println("wrote", *bjson)
 		}
@@ -126,6 +164,12 @@ func main() {
 	}
 	if !ran {
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
+	return 0
+}
+
+func fatal(err error) int {
+	fmt.Fprintln(os.Stderr, "benchtab:", err)
+	return 1
 }

@@ -39,7 +39,8 @@ func main() {
 		name     = flag.String("name", "", "campaign name for reports")
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-engagement attempt timeout (0 = none)")
 		retries  = flag.Int("retries", 0, "extra attempts for transiently-failed engagements")
-		workers  = flag.Int("workers", 0, "worker pool size (default: GOMAXPROCS)")
+		workers  = flag.Int("workers", 0, "worker pool size (default: GOMAXPROCS, clamped to engagement count)")
+		useCache = flag.Bool("cache", false, "memoize engagement reports by content (network fingerprint × trace hash × hour × OS); summaries gain a cache stats block")
 		outJSON  = flag.String("out", "", "write aggregate JSON to this path ('-' = stdout)")
 		outCSV   = flag.String("csv", "", "write per-engagement CSV to this path ('-' = stdout)")
 		export   = flag.String("export-spec", "", "write the assembled spec as JSON to this path and exit ('-' = stdout)")
@@ -80,6 +81,9 @@ func main() {
 	}
 
 	runner := &campaign.Runner{Spec: spec, Workers: *workers}
+	if *useCache {
+		runner.Cache = campaign.NewCache()
+	}
 	if !*quiet {
 		runner.Observer = campaign.NewProgress(os.Stderr)
 	}

@@ -31,6 +31,11 @@ type Summary struct {
 	TotalBytes    int64         `json:"total_bytes"`
 	VirtualTimeNS time.Duration `json:"virtual_time_ns"`
 
+	// Cache reports memoization effectiveness when the campaign ran with
+	// a Runner.Cache; nil (and omitted from JSON) for uncached runs, so
+	// cached and uncached summaries of the same spec differ only here.
+	Cache *CacheStats `json:"cache,omitempty"`
+
 	ByNetwork     []NetworkSummary `json:"by_network"`
 	Disagreements []Disagreement   `json:"disagreements,omitempty"`
 	Failures      []FailureRecord  `json:"failures,omitempty"`
@@ -335,6 +340,10 @@ func (s *Summary) WriteSummary(w io.Writer) {
 		name, s.Engagements, s.Succeeded, s.Failed, s.Retries)
 	fmt.Fprintf(w, "  cost: %d rounds, %.1f KB, %s virtual time\n",
 		s.TotalRounds, float64(s.TotalBytes)/1024, s.VirtualTimeNS.Round(time.Second))
+	if s.Cache != nil {
+		fmt.Fprintf(w, "  cache: %d hits, %d misses (%d entries)\n",
+			s.Cache.Hits, s.Cache.Misses, s.Cache.Entries)
+	}
 	for _, ns := range s.ByNetwork {
 		fmt.Fprintf(w, "  %-8s %3d engagements, %d differentiated, deploy rate %.0f%%\n",
 			ns.Network, ns.Engagements, ns.Differentiated, ns.DeployRate*100)

@@ -1,0 +1,210 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/netem/stack"
+	"repro/internal/registry"
+	"repro/internal/trace"
+)
+
+// CacheStats is the hit/miss accounting a campaign summary reports. The
+// counts are deterministic for a given spec: misses equal the number of
+// distinct cache keys the campaign expands to, hits equal engagements
+// minus misses — regardless of worker count or scheduling, because a key's
+// first arrival (whichever engagement that is) computes and every other
+// arrival waits for it.
+type CacheStats struct {
+	Hits    int `json:"hits"`
+	Misses  int `json:"misses"`
+	Entries int `json:"entries"`
+}
+
+// cacheKey identifies everything that determines an engagement's report.
+// The seed is deliberately absent: it only parameterizes the deployment
+// transform built *after* the engagement, which the cache wrapper
+// re-verifies per seed on every engagement, hits included. The body size
+// is folded into the trace content hash.
+type cacheKey struct {
+	NetworkFP string
+	TraceFP   string
+	Hour      int
+	ServerOS  string
+	Phase     string
+}
+
+// enginePhase is the phase label under which whole engagements are
+// memoized. Detection, characterization, and evaluation verdicts are all
+// carried inside the one cached Report. Phase-granular entries would be
+// unsound here: the three phases share one Session (middlebox flow state,
+// port allocation, the virtual clock), so a characterization computed
+// against one engagement's post-detection state cannot be replayed onto
+// another's. The phase field exists so future backends with stateless
+// phases can add finer entries without redesigning the key.
+const enginePhase = "engagement"
+
+// cacheEntry is a singleflight slot: the creating engagement computes,
+// everyone else blocks on ready.
+type cacheEntry struct {
+	ready chan struct{}
+	rep   *core.Report
+	err   error
+}
+
+const cacheShards = 16
+
+// Cache memoizes engagement reports across a campaign, keyed by content:
+// the network profile's configuration fingerprint, the trace's content
+// hash, the engagement hour, and the server OS. Campaign sweeps expand
+// cross products (networks × traces × hours × bodies × seeds), so distinct
+// engagements routinely describe identical computations — every seed
+// shares one, and so would repeated runs of overlapping specs sharing one
+// Cache.
+//
+// Keys are resolved through the registry, so the cache applies to
+// campaigns engaging built-in simulated profiles (DefaultEngage). A
+// custom EngageFunc backed by real networks should run uncached: a live
+// path's behaviour is not a pure function of its name.
+type Cache struct {
+	shards [cacheShards]struct {
+		mu      sync.Mutex
+		entries map[cacheKey]*cacheEntry
+	}
+
+	mu     sync.Mutex
+	hits   int
+	misses int
+	netFP  map[string]string    // network name → profile fingerprint
+	trFP   map[[2]any]string    // (trace name, body) → content hash
+}
+
+// NewCache returns an empty campaign cache.
+func NewCache() *Cache {
+	c := &Cache{
+		netFP: make(map[string]string),
+		trFP:  make(map[[2]any]string),
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[cacheKey]*cacheEntry)
+	}
+	return c
+}
+
+// Stats returns the current hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	entries := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		entries += len(c.shards[i].entries)
+		c.shards[i].mu.Unlock()
+	}
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: entries}
+}
+
+// keyFor builds the content-addressed key for one engagement, memoizing
+// the expensive fingerprint computations per profile and per trace.
+func (c *Cache) keyFor(e Engagement, osName string) (cacheKey, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nfp, ok := c.netFP[e.Network]
+	if !ok {
+		net, err := registry.NewNetwork(e.Network)
+		if err != nil {
+			return cacheKey{}, err
+		}
+		nfp = net.Fingerprint()
+		c.netFP[e.Network] = nfp
+	}
+	tk := [2]any{e.Trace, e.Body}
+	tfp, ok := c.trFP[tk]
+	if !ok {
+		tr, err := registry.NewTrace(e.Trace, e.Body)
+		if err != nil {
+			return cacheKey{}, err
+		}
+		tfp = trace.ContentHash(tr)
+		c.trFP[tk] = tfp
+	}
+	return cacheKey{NetworkFP: nfp, TraceFP: tfp, Hour: e.Hour, ServerOS: osName, Phase: enginePhase}, nil
+}
+
+func (k cacheKey) shard() int {
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s|%s|%d|%s|%s", k.NetworkFP, k.TraceFP, k.Hour, k.ServerOS, k.Phase)
+	return int(h.Sum32() % cacheShards)
+}
+
+// do returns the cached report for key, computing it via compute exactly
+// once per key. Errors are cached too: the simulator is deterministic, so
+// a failed computation fails identically for every engagement sharing the
+// key (the recorded error text is the leader's).
+func (c *Cache) do(key cacheKey, compute func() (*core.Report, error)) (*core.Report, error) {
+	sh := &c.shards[key.shard()]
+	sh.mu.Lock()
+	ent, ok := sh.entries[key]
+	if ok {
+		sh.mu.Unlock()
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		<-ent.ready
+		return ent.rep, ent.err
+	}
+	ent = &cacheEntry{ready: make(chan struct{})}
+	sh.entries[key] = ent
+	sh.mu.Unlock()
+	c.mu.Lock()
+	c.misses++
+	c.mu.Unlock()
+
+	// The ready channel must close even if compute panics, or every
+	// waiter deadlocks; the panic itself still propagates to the runner's
+	// per-attempt recovery.
+	done := false
+	defer func() {
+		if !done {
+			ent.err = fmt.Errorf("campaign: cache leader aborted before completing")
+			close(ent.ready)
+		}
+	}()
+	ent.rep, ent.err = compute()
+	done = true
+	close(ent.ready)
+	return ent.rep, ent.err
+}
+
+// wrap decorates an EngageFunc with memoization. The per-seed deployment
+// check runs for every engagement — including cache hits — because the
+// seed is outside the cache key.
+func (c *Cache) wrap(inner EngageFunc) EngageFunc {
+	return func(ctx context.Context, e Engagement, osp *stack.OSProfile) (*core.Report, error) {
+		key, err := c.keyFor(e, osName(osp))
+		if err != nil {
+			return nil, err
+		}
+		rep, err := c.do(key, func() (*core.Report, error) {
+			return inner(ctx, e, osp)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if rep.Deployed != nil && rep.DeployTransform(e.Seed) == nil {
+			return nil, fmt.Errorf("campaign: %s: deployed technique %s built a nil transform (seed %d)",
+				e.Key(), rep.Deployed.Technique.ID, e.Seed)
+		}
+		return rep, nil
+	}
+}
+
+func osName(osp *stack.OSProfile) string {
+	if osp == nil {
+		return "linux"
+	}
+	return osp.Name
+}

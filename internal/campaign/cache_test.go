@@ -1,0 +1,166 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netem/stack"
+)
+
+// cacheSpec expands to 8 engagements over 4 distinct cache keys: seeds are
+// outside the key, so each (network, trace, hour) pair computes once and
+// its second seed hits.
+func cacheSpec() Spec {
+	return Spec{
+		Name:     "cache-test",
+		Networks: []string{"testbed", "att"},
+		Traces:   []string{"amazon"},
+		Hours:    []int{0, 12},
+		Bodies:   []int{8 << 10},
+		Seeds:    []int64{1, 2},
+	}
+}
+
+// TestCachePreservesSummary is the cache's correctness contract: a cached
+// campaign must emit a summary byte-identical to the uncached run except
+// for the cache stats block itself.
+func TestCachePreservesSummary(t *testing.T) {
+	spec := cacheSpec()
+	plain, err := (&Runner{Spec: spec, Workers: 2}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := (&Runner{Spec: spec, Workers: 2, Cache: NewCache()}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Failed != 0 || plain.Failed != 0 {
+		t.Fatalf("failures: cached %d, plain %d", cached.Failed, plain.Failed)
+	}
+	stats := cached.Cache
+	if stats == nil {
+		t.Fatal("cached summary is missing cache stats")
+	}
+	cached.Cache = nil
+	pj, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, err := cached.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pj) != string(cj) {
+		t.Errorf("cached summary diverged from uncached:\n%s\nvs\n%s", cj, pj)
+	}
+	if stats.Misses != 4 || stats.Hits != 4 || stats.Entries != 4 {
+		t.Errorf("stats = %+v, want 4 misses (distinct keys), 4 hits, 4 entries", *stats)
+	}
+}
+
+// TestCacheCountsAreSchedulingIndependent runs the same spec at several
+// worker counts; misses must always equal the number of distinct keys
+// because concurrent arrivals for one key singleflight behind the first.
+func TestCacheCountsAreSchedulingIndependent(t *testing.T) {
+	var calls atomic.Int64
+	counting := func(ctx context.Context, e Engagement, osp *stack.OSProfile) (*core.Report, error) {
+		calls.Add(1)
+		return DefaultEngage(ctx, e, osp)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		calls.Store(0)
+		cache := NewCache()
+		sum, err := (&Runner{Spec: cacheSpec(), Workers: workers, Engage: counting, Cache: cache}).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Cache.Misses != 4 || sum.Cache.Hits != 4 {
+			t.Errorf("workers=%d: stats = %+v, want 4/4", workers, *sum.Cache)
+		}
+		if got := calls.Load(); got != 4 {
+			t.Errorf("workers=%d: inner engage ran %d times, want 4", workers, got)
+		}
+	}
+}
+
+// TestCacheSharedAcrossRuns: a second campaign over the same spec should
+// be served entirely from the shared cache.
+func TestCacheSharedAcrossRuns(t *testing.T) {
+	cache := NewCache()
+	spec := cacheSpec()
+	if _, err := (&Runner{Spec: spec, Cache: cache}).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := (&Runner{Spec: spec, Cache: cache}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Cache.Misses != 4 || sum.Cache.Hits != 12 {
+		t.Errorf("after second run stats = %+v, want cumulative 4 misses / 12 hits", *sum.Cache)
+	}
+}
+
+// TestCacheErrorsPropagate: a failing engagement is cached too, and every
+// engagement sharing the key reports the leader's error.
+func TestCacheErrorsPropagate(t *testing.T) {
+	spec := cacheSpec()
+	failing := func(ctx context.Context, e Engagement, osp *stack.OSProfile) (*core.Report, error) {
+		return nil, errors.New("no service today")
+	}
+	sum, err := (&Runner{Spec: spec, Engage: failing, Cache: NewCache()}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Failed != 8 {
+		t.Fatalf("failed = %d, want all 8", sum.Failed)
+	}
+	for _, f := range sum.Failures {
+		if !strings.Contains(f.Err, "no service") {
+			t.Errorf("failure %s: error %q does not carry the leader's message", f.Key, f.Err)
+		}
+	}
+	// Failed computes occupy entries but never recompute.
+	if sum.Cache.Misses != 4 {
+		t.Errorf("misses = %d, want 4", sum.Cache.Misses)
+	}
+}
+
+// TestCacheUnknownNamesFailGracefully: Spec.Expand validates names, so an
+// unbuildable key can only arrive through a hand-built Engagement (custom
+// EngageFunc backends). The wrapper must surface the registry error, not
+// panic or deadlock.
+func TestCacheUnknownNamesFailGracefully(t *testing.T) {
+	wrapped := NewCache().wrap(DefaultEngage)
+	e := Engagement{Network: "no-such-network", Trace: "amazon", Body: 8 << 10, Seed: 1}
+	if _, err := wrapped(context.Background(), e, &stack.Linux); err == nil {
+		t.Fatal("expected a registry error for an unknown network name")
+	}
+}
+
+// TestWorkersClampedToEngagements pins the workers() contract: the pool
+// never exceeds the engagement count, and the zero value falls back to
+// GOMAXPROCS before clamping.
+func TestWorkersClampedToEngagements(t *testing.T) {
+	cases := []struct {
+		configured, engagements, want int
+	}{
+		{configured: 16, engagements: 3, want: 3},
+		{configured: 2, engagements: 8, want: 2},
+		{configured: 5, engagements: 5, want: 5},
+		{configured: 7, engagements: 0, want: 7}, // nothing to clamp against
+	}
+	for _, c := range cases {
+		r := &Runner{Workers: c.configured}
+		if got := r.workers(c.engagements); got != c.want {
+			t.Errorf("workers(%d) with Workers=%d = %d, want %d",
+				c.engagements, c.configured, got, c.want)
+		}
+	}
+	if got := (&Runner{}).workers(1); got != 1 {
+		t.Errorf("default workers clamped to 1 engagement = %d, want 1", got)
+	}
+}

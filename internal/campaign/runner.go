@@ -128,7 +128,11 @@ func DefaultEngage(_ context.Context, e Engagement, osp *stack.OSProfile) (*core
 // Runner executes a campaign spec on a bounded worker pool.
 type Runner struct {
 	Spec Spec
-	// Workers bounds concurrent engagements (default GOMAXPROCS).
+	// Workers bounds concurrent engagements (default GOMAXPROCS). The
+	// effective pool is additionally clamped to the engagement count:
+	// workers beyond that would only spin up goroutines that immediately
+	// exit, and for an Observer the inflated count misreports the real
+	// concurrency of the run.
 	Workers int
 	// Observer receives progress events; nil means silent. Events fire
 	// from worker goroutines, so implementations must be safe for
@@ -137,13 +141,25 @@ type Runner struct {
 	// Engage runs one engagement (default DefaultEngage). Tests and
 	// future real-network backends substitute their own.
 	Engage EngageFunc
+	// Cache, when non-nil, memoizes engagement reports across the
+	// campaign, keyed by network fingerprint, trace content hash, hour,
+	// and server OS (the seed stays outside the key — see Cache). Share
+	// one Cache across runs of overlapping specs to reuse entries.
+	Cache *Cache
 }
 
-func (r *Runner) workers() int {
-	if r.Workers > 0 {
-		return r.Workers
+// workers returns the effective pool size for n engagements: the
+// configured Workers (default GOMAXPROCS), clamped to n so the pool is
+// never over-provisioned.
+func (r *Runner) workers(n int) int {
+	w := r.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
 	}
-	return runtime.GOMAXPROCS(0)
+	if w > n && n > 0 {
+		w = n
+	}
+	return w
 }
 
 func (r *Runner) observer() Observer {
@@ -154,10 +170,14 @@ func (r *Runner) observer() Observer {
 }
 
 func (r *Runner) engage() EngageFunc {
-	if r.Engage != nil {
-		return r.Engage
+	inner := r.Engage
+	if inner == nil {
+		inner = DefaultEngage
 	}
-	return DefaultEngage
+	if r.Cache != nil {
+		return r.Cache.wrap(inner)
+	}
+	return inner
 }
 
 func serverOS(name string) *stack.OSProfile {
@@ -180,10 +200,7 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	workers := r.workers()
-	if workers > len(engs) && len(engs) > 0 {
-		workers = len(engs)
-	}
+	workers := r.workers(len(engs))
 	obs := r.observer()
 	obs.CampaignStarted(len(engs), workers)
 
@@ -216,6 +233,10 @@ feeding:
 	}
 
 	summary := Aggregate(r.Spec, results)
+	if r.Cache != nil {
+		stats := r.Cache.Stats()
+		summary.Cache = &stats
+	}
 	obs.CampaignFinished(summary)
 	return summary, nil
 }

@@ -2,7 +2,10 @@ package core
 
 import (
 	"bytes"
+	"fmt"
+	"runtime/debug"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/netem/packet"
@@ -66,7 +69,10 @@ type Evaluation struct {
 	SkippedByPruning int
 }
 
-// Working returns the deployable verdicts, cheapest first.
+// Working returns the deployable verdicts, cheapest first. Cost ties keep
+// taxonomy (Row) order: Verdicts is pre-sorted by Row and the sort is
+// stable, so the result is ordered by (Cost, Row) — identical across runs
+// and across worker counts.
 func (e *Evaluation) Working() []Verdict {
 	var out []Verdict
 	for _, v := range e.Verdicts {
@@ -74,7 +80,7 @@ func (e *Evaluation) Working() []Verdict {
 			out = append(out, v)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Cost() < out[j].Cost() })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Cost() < out[j].Cost() })
 	return out
 }
 
@@ -159,13 +165,115 @@ func evaluate(s *Session, tr *trace.Trace, det *Detection, char *Characterizatio
 		})
 	}
 
-	for _, t := range suite {
-		v := evaluateTechnique(s, probe, det, char, t, exhaustive)
-		ev.Verdicts = append(ev.Verdicts, v)
+	// Networks with a subscriber usage counter (T-Mobile) evaluate
+	// serially on the parent session: the counter is a single shared
+	// measurement device — every replay reads it, its noise stream is
+	// consumed in reading order, and a real carrier's billing system cannot
+	// be forked any more than this one's noise sequence can be split across
+	// replicas without changing which reading each trial observes. All
+	// other oracles are path-local, so their trials fork.
+	if s.Net.Counter != nil {
+		for _, t := range suite {
+			ev.Verdicts = append(ev.Verdicts, evaluateTechnique(s, probe, det, char, t, exhaustive))
+		}
+		sort.Slice(ev.Verdicts, func(i, j int) bool { return ev.Verdicts[i].Technique.Row < ev.Verdicts[j].Technique.Row })
+		return ev
 	}
+
+	// Fork-and-join: every technique runs against its own forked replica of
+	// the simulation, on a bounded worker pool, and the results are merged
+	// in suite order. Because each trial is fully isolated (forked flow
+	// tables, shapers, firewall state, RNG streams, clock) and the merge
+	// order is canonical, the outcome — verdicts, Rounds, BytesUsed, and
+	// virtual elapsed time — is identical at any worker count, including 1.
+	trials := make([]trial, len(suite))
+	workers := s.evalWorkers()
+	if workers > len(suite) {
+		workers = len(suite)
+	}
+	var wg sync.WaitGroup
+	feed := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range feed {
+				trials[i] = runTrial(s, i, probe, det, char, suite[i], exhaustive)
+			}
+		}()
+	}
+	for i := range suite {
+		feed <- i
+	}
+	close(feed)
+	wg.Wait()
+
+	// Canonical join: account each trial in suite order. Advancing the
+	// parent clock by the sum of per-fork elapsed times reproduces the
+	// virtual-time accounting of running the same trials back to back
+	// (replay durations are start-time-invariant).
+	var joined time.Duration
+	for i := range trials {
+		t := &trials[i]
+		if t.panicked != nil {
+			panic(t.panicked)
+		}
+		ev.Verdicts = append(ev.Verdicts, t.v)
+		s.Rounds += t.rounds
+		s.BytesUsed += t.bytes
+		joined += t.elapsed
+	}
+	if joined > 0 {
+		s.Net.Clock.RunFor(joined)
+	}
+	// The parent session skips past every port block the forks consumed
+	// (forks use blocks 1..len(suite) above the entry counters), so later
+	// replays (deployment verification) cannot collide with a trial's flow
+	// keys.
+	s.nextClientPort += uint16(len(suite)+1) * trialPortStride
+	s.nextServerPort += uint16(len(suite)+1) * trialPortStride
+
 	// Restore paper row order for reporting.
 	sort.Slice(ev.Verdicts, func(i, j int) bool { return ev.Verdicts[i].Technique.Row < ev.Verdicts[j].Technique.Row })
 	return ev
+}
+
+// trial is the join record for one technique evaluated in a forked replica.
+type trial struct {
+	v        Verdict
+	rounds   int
+	bytes    int64
+	elapsed  time.Duration
+	panicked *trialPanic
+}
+
+// trialPanic carries a panic out of a trial goroutine with the stack of its
+// origin, so the campaign runner's recovery reports where the trial died
+// rather than where the join re-panicked.
+type trialPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *trialPanic) String() string {
+	return fmt.Sprintf("evaluation trial panicked: %v\n%s", p.Value, p.Stack)
+}
+
+// runTrial evaluates one technique in a forked session and records its
+// accounting deltas. Panics are captured, not propagated: the join re-raises
+// them in canonical order so the first-failing technique is deterministic.
+func runTrial(s *Session, i int, probe *trace.Trace, det *Detection, char *Characterization, t Technique, exhaustive bool) (out trial) {
+	defer func() {
+		if r := recover(); r != nil {
+			out.panicked = &trialPanic{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	fs := s.forkFor(i)
+	out.v = evaluateTechnique(fs, probe, det, char, t, exhaustive)
+	out.rounds = fs.Rounds
+	out.bytes = fs.BytesUsed
+	out.elapsed = fs.Elapsed()
+	return out
 }
 
 // evaluateTechnique tries each variant of one technique until one evades.

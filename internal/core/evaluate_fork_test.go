@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dpi"
+	"repro/internal/trace"
+)
+
+// renderVerdicts flattens verdicts to a comparable string (Technique holds
+// Build closures, so the structs cannot be compared with DeepEqual).
+func renderVerdicts(vs []Verdict) string {
+	out := ""
+	for _, v := range vs {
+		out += fmt.Sprintf("%s|%v|%v|%s|%v|%v|%d|%d|%d|%d|%v\n",
+			v.Technique.ID, v.Tried, v.Evades, v.ReachedServer, v.IntegrityOK,
+			v.Served, v.Variant, v.Rounds, v.ExtraPackets, v.ExtraBytes, v.AddedDelay)
+	}
+	return out
+}
+
+// TestEvaluationWorkerCountInvariance is the fork-and-join determinism
+// contract: the same engagement must produce byte-identical verdicts,
+// accounting, and virtual elapsed time at any worker count, because every
+// technique runs in an isolated fork and the merge order is canonical.
+func TestEvaluationWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) *Report {
+		l := &Liberate{
+			Net:         dpi.NewTestbed(),
+			Trace:       trace.AmazonPrimeVideo(32 << 10),
+			EvalWorkers: workers,
+		}
+		return l.Run()
+	}
+	base := run(1)
+	if !base.Detection.Differentiated {
+		t.Fatal("setup: testbed engagement did not differentiate")
+	}
+	for _, workers := range []int{4, 16} {
+		got := run(workers)
+		if renderVerdicts(got.Evaluation.Verdicts) != renderVerdicts(base.Evaluation.Verdicts) {
+			t.Errorf("workers=%d: verdicts diverged from workers=1:\n%s\nvs\n%s",
+				workers, renderVerdicts(got.Evaluation.Verdicts), renderVerdicts(base.Evaluation.Verdicts))
+		}
+		if got.TotalRounds != base.TotalRounds || got.TotalBytes != base.TotalBytes {
+			t.Errorf("workers=%d: accounting diverged: rounds %d/%d bytes %d/%d",
+				workers, got.TotalRounds, base.TotalRounds, got.TotalBytes, base.TotalBytes)
+		}
+		if got.TotalTime != base.TotalTime {
+			t.Errorf("workers=%d: virtual time diverged: %v vs %v", workers, got.TotalTime, base.TotalTime)
+		}
+		if (got.Deployed == nil) != (base.Deployed == nil) {
+			t.Fatalf("workers=%d: deployment decision diverged", workers)
+		}
+		if got.Deployed != nil && got.Deployed.Technique.ID != base.Deployed.Technique.ID {
+			t.Errorf("workers=%d: deployed %s, workers=1 deployed %s",
+				workers, got.Deployed.Technique.ID, base.Deployed.Technique.ID)
+		}
+	}
+}
+
+// TestWorkingCostTieOrdering pins the tie-break rule: verdicts with equal
+// deployment cost stay in taxonomy (Row) order — the order Verdicts is
+// stored in — so Best() is stable across runs and across the parallel
+// merge.
+func TestWorkingCostTieOrdering(t *testing.T) {
+	mk := func(row int, extraBytes int) Verdict {
+		return Verdict{
+			Technique:   Technique{ID: string(rune('a' + row)), Row: row},
+			Tried:       true,
+			Evades:      true,
+			IntegrityOK: true,
+			ExtraBytes:  extraBytes,
+		}
+	}
+	ev := &Evaluation{Verdicts: []Verdict{
+		mk(1, 100), // cost 100
+		mk(2, 0),   // cost 0, tie with row 3 and 5
+		mk(3, 0),
+		mk(4, 50),
+		mk(5, 0),
+	}}
+	w := ev.Working()
+	gotRows := make([]int, len(w))
+	for i, v := range w {
+		gotRows[i] = v.Technique.Row
+	}
+	want := []int{2, 3, 5, 4, 1}
+	if !reflect.DeepEqual(gotRows, want) {
+		t.Fatalf("Working() order = %v, want %v", gotRows, want)
+	}
+	if best := ev.Best(); best == nil || best.Technique.Row != 2 {
+		t.Fatalf("Best() = %+v, want row 2", best)
+	}
+}
+
+// TestWorkingCostTieStableAcrossRuns re-sorts shuffled-cost inputs many
+// times; a non-stable comparator would let equal-cost verdicts swap.
+func TestWorkingCostTieStableAcrossRuns(t *testing.T) {
+	ev := &Evaluation{}
+	for row := 1; row <= 8; row++ {
+		ev.Verdicts = append(ev.Verdicts, Verdict{
+			Technique:   Technique{Row: row},
+			Tried:       true,
+			Evades:      true,
+			IntegrityOK: true,
+			AddedDelay:  time.Duration(row%2) * time.Second, // two cost classes
+		})
+	}
+	base := ev.Working()
+	for i := 0; i < 50; i++ {
+		if !reflect.DeepEqual(ev.Working(), base) {
+			t.Fatalf("Working() order changed on re-sort %d", i)
+		}
+	}
+}

@@ -17,6 +17,9 @@ type Liberate struct {
 	Trace *trace.Trace
 	// ServerOS selects the replay server endpoint profile (default Linux).
 	ServerOS *stack.OSProfile
+	// EvalWorkers bounds the evaluation phase's fork-and-join pool
+	// (0 = GOMAXPROCS). Results are identical at any worker count.
+	EvalWorkers int
 }
 
 // Report is the complete engagement outcome.
@@ -43,6 +46,7 @@ type Report struct {
 func (l *Liberate) Run() *Report {
 	s := NewSession(l.Net)
 	s.ServerOS = l.ServerOS
+	s.EvalWorkers = l.EvalWorkers
 	rep := &Report{Network: l.Net.Name, TraceName: l.Trace.Name}
 
 	rep.Detection = Detect(s, l.Trace)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"repro/internal/dpi"
@@ -24,6 +25,12 @@ type Session struct {
 	// stay on port 80).
 	ForceServerPort uint16
 
+	// EvalWorkers bounds the evaluation phase's fork-and-join worker pool.
+	// 0 means GOMAXPROCS. The worker count never changes results — every
+	// technique runs in its own forked replica and the merge order is
+	// canonical — only how many replicas are driven concurrently.
+	EvalWorkers int
+
 	nextClientPort uint16
 	nextServerPort uint16
 
@@ -45,6 +52,37 @@ func NewSession(net *dpi.Network) *Session {
 
 // Elapsed reports virtual time spent so far.
 func (s *Session) Elapsed() time.Duration { return s.Net.Clock.Since(s.started) }
+
+// trialPortStride is the block of client/server ports reserved for each
+// forked trial. A technique replays at most once per variant (≤ 8 rounds),
+// so 64 leaves generous headroom while keeping port numbers disjoint across
+// forks and from the parent session's own later replays.
+const trialPortStride = 64
+
+// forkFor returns an isolated replica of the session for trial i: a forked
+// network (deep-copied classifier, firewall, shaper, and RNG state; forked
+// clock) and the same replay policy, with port counters offset into trial
+// i's private block so flow keys never collide across concurrent replicas.
+func (s *Session) forkFor(i int) *Session {
+	net := s.Net.Fork()
+	return &Session{
+		Net:             net,
+		ServerOS:        s.ServerOS,
+		RotatePorts:     s.RotatePorts,
+		ForceServerPort: s.ForceServerPort,
+		nextClientPort:  s.nextClientPort + uint16(i+1)*trialPortStride,
+		nextServerPort:  s.nextServerPort + uint16(i+1)*trialPortStride,
+		started:         net.Clock.Now(),
+	}
+}
+
+// evalWorkers resolves the effective evaluation worker count.
+func (s *Session) evalWorkers() int {
+	if s.EvalWorkers > 0 {
+		return s.EvalWorkers
+	}
+	return runtime.GOMAXPROCS(0)
+}
 
 // Replay runs one replay round with accounting.
 func (s *Session) Replay(tr *trace.Trace, transform stack.OutgoingTransform, extra ...func(*replay.Options)) *replay.Result {

@@ -1,0 +1,74 @@
+// Package detrand provides a deterministic, clonable pseudo-random
+// source for the simulator.
+//
+// Simulation elements (middlebox eviction, counter jitter, impairment
+// links) draw from seeded math/rand generators. Forking a simulation
+// replica (dpi.Network.Fork) must duplicate those generators so the fork
+// and the parent continue from the same stream position without sharing
+// state. math/rand sources are opaque, so Rand wraps one behind a
+// step-counting Source64: Clone reconstructs a fresh source from the
+// original seed and fast-forwards it by the recorded number of steps.
+//
+// The wrapper is sequence-transparent: because the counting source
+// implements rand.Source64 and delegates both Int63 and Uint64 to the
+// underlying rand.NewSource generator, a detrand.Rand seeded with s
+// produces bit-identical output to rand.New(rand.NewSource(s)). Golden
+// experiment outputs therefore survive the swap unchanged.
+package detrand
+
+import "math/rand"
+
+// source counts how many times the underlying generator has stepped.
+// Every Int63 or Uint64 call advances rand's internal generator by
+// exactly one step, so the count alone pins the stream position.
+type source struct {
+	inner rand.Source64
+	steps uint64
+}
+
+func (s *source) Int63() int64 { s.steps++; return s.inner.Int63() }
+
+func (s *source) Uint64() uint64 { s.steps++; return s.inner.Uint64() }
+
+func (s *source) Seed(seed int64) {
+	s.inner.Seed(seed)
+	s.steps = 0
+}
+
+// Rand is a clonable deterministic PRNG with the full *rand.Rand method
+// set. Not safe for concurrent use, like *rand.Rand itself.
+type Rand struct {
+	*rand.Rand
+	seed int64
+	src  *source
+}
+
+// New returns a Rand producing the same sequence as
+// rand.New(rand.NewSource(seed)).
+func New(seed int64) *Rand {
+	// rand.NewSource's generator implements Source64 (documented since
+	// Go 1.8); going through the Source64 path keeps the sequence
+	// identical to an unwrapped rand.New(rand.NewSource(seed)).
+	src := &source{inner: rand.NewSource(seed).(rand.Source64)}
+	return &Rand{Rand: rand.New(src), seed: seed, src: src}
+}
+
+// Seed returns the seed the generator was constructed with.
+func (r *Rand) Seed() int64 { return r.seed }
+
+// Steps returns how many source steps have been consumed.
+func (r *Rand) Steps() uint64 { return r.src.steps }
+
+// Clone returns an independent generator positioned at the same stream
+// point: reseed, then fast-forward by the recorded step count. Clone and
+// original subsequently produce identical streams without sharing state.
+func (r *Rand) Clone() *Rand {
+	c := New(r.seed)
+	// Advance the underlying source directly (not through the counter)
+	// so the step count transfers exactly.
+	for i := uint64(0); i < r.src.steps; i++ {
+		c.src.inner.Uint64()
+	}
+	c.src.steps = r.src.steps
+	return c
+}

@@ -1,0 +1,64 @@
+package detrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The wrapper must be sequence-transparent: swapping it in for
+// rand.New(rand.NewSource(seed)) anywhere in the simulator must not
+// change any drawn value, or golden experiment outputs would shift.
+func TestSequenceTransparent(t *testing.T) {
+	ref := rand.New(rand.NewSource(42))
+	r := New(42)
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0:
+			if a, b := ref.Float64(), r.Float64(); a != b {
+				t.Fatalf("Float64 #%d: %v != %v", i, a, b)
+			}
+		case 1:
+			if a, b := ref.Intn(7), r.Intn(7); a != b {
+				t.Fatalf("Intn #%d: %v != %v", i, a, b)
+			}
+		case 2:
+			if a, b := ref.Int63n(1<<40), r.Int63n(1<<40); a != b {
+				t.Fatalf("Int63n #%d: %v != %v", i, a, b)
+			}
+		case 3:
+			if a, b := ref.Uint64(), r.Uint64(); a != b {
+				t.Fatalf("Uint64 #%d: %v != %v", i, a, b)
+			}
+		}
+	}
+}
+
+func TestCloneContinuesStream(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 137; i++ {
+		r.Float64()
+	}
+	c := r.Clone()
+	if c.Steps() != r.Steps() {
+		t.Fatalf("clone steps %d != %d", c.Steps(), r.Steps())
+	}
+	for i := 0; i < 500; i++ {
+		if a, b := r.Int63(), c.Int63(); a != b {
+			t.Fatalf("post-clone draw #%d diverged: %v != %v", i, a, b)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	r := New(9)
+	r.Float64()
+	c := r.Clone()
+	// Advancing the clone must not move the original.
+	before := r.Steps()
+	for i := 0; i < 10; i++ {
+		c.Float64()
+	}
+	if r.Steps() != before {
+		t.Fatalf("original advanced by clone: %d != %d", r.Steps(), before)
+	}
+}

@@ -1,9 +1,9 @@
 package dpi
 
 import (
-	"math/rand"
 	"time"
 
+	"repro/internal/detrand"
 	"repro/internal/netem"
 	"repro/internal/netem/packet"
 	"repro/internal/netem/vclock"
@@ -32,11 +32,23 @@ type UsageCounter struct {
 
 	bytes int64
 	start time.Time
-	rng   *rand.Rand
+	rng   *detrand.Rand
 }
 
 // Name implements netem.Element.
 func (u *UsageCounter) Name() string { return u.Label }
+
+// ForkElement implements netem.Forkable: the copy continues from the same
+// byte count, accrual epoch, and jitter-RNG position. MB and Clock still
+// point at the parent's instances; dpi.Network.Fork re-points them at the
+// forked middlebox and clock after copying the element chain.
+func (u *UsageCounter) ForkElement() netem.Element {
+	c := *u
+	if u.rng != nil {
+		c.rng = u.rng.Clone()
+	}
+	return &c
+}
 
 // Process implements netem.Element.
 func (u *UsageCounter) Process(ctx netem.Context, dir netem.Direction, f *packet.Frame) {
@@ -58,7 +70,7 @@ func (u *UsageCounter) Process(ctx netem.Context, dir netem.Direction, f *packet
 // report it: true bytes plus background accrual plus jitter.
 func (u *UsageCounter) Read() int64 {
 	if u.rng == nil {
-		u.rng = rand.New(rand.NewSource(u.Seed ^ 0xc0de))
+		u.rng = detrand.New(u.Seed ^ 0xc0de)
 	}
 	v := u.bytes
 	if u.Clock != nil && !u.start.IsZero() {

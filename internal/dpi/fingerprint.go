@@ -1,0 +1,75 @@
+package dpi
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// Fingerprint returns a content-addressed digest of the network's
+// configuration: topology (element kinds and order, hop counts, link
+// rates) plus every behavioural knob of the classifier, proxy, firewall,
+// and counter. Two networks with equal fingerprints respond identically
+// to identical traffic from a fresh state, so the digest is a sound cache
+// key for whole-engagement memoization.
+//
+// Mutable runtime state (flow tables, RNG positions, the clock) is
+// deliberately excluded — a fingerprint identifies a profile, not a
+// moment. Anything time-of-day-dependent (the load model) is sampled at
+// canonical points, so differing diurnal curves produce differing digests.
+func (n *Network) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "network=%s mbhops=%d hops=%d delay=%s\n",
+		n.Name, n.MiddleboxHops, n.TotalHops, n.Env.LinkDelay)
+	for i, el := range n.Env.Elements() {
+		fmt.Fprintf(h, "[%d] ", i)
+		fingerprintElement(h, el)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func fingerprintElement(w io.Writer, el netem.Element) {
+	switch e := el.(type) {
+	case *Middlebox:
+		cfg := e.Cfg
+		load := cfg.Load
+		cfg.Load = nil // pointer would hash its address, not its content
+		fmt.Fprintf(w, "middlebox %+v", cfg)
+		if load != nil {
+			// Funcs cannot be hashed; sample the diurnal curves densely
+			// enough that distinct models diverge somewhere.
+			for hour := 0; hour < 24; hour += 3 {
+				fmt.Fprintf(w, " mi%d=%s", hour, load.MinIdle(float64(hour)))
+				for _, idle := range []time.Duration{10 * time.Second, time.Minute, 5 * time.Minute} {
+					fmt.Fprintf(w, " p%d/%s=%.4f", hour, idle, load.EvictProb(float64(hour), idle))
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	case *TransparentProxy:
+		fmt.Fprintf(w, "proxy %s ports=%v rules=%+v gate=%v throttle=%v burst=%d\n",
+			e.Label, e.Ports, e.Rules, e.FirstPacketGate, e.ThrottleBps, e.ThrottleBurst)
+	case *UsageCounter:
+		fmt.Fprintf(w, "counter %s bg=%v jitter=%d seed=%d\n",
+			e.Label, e.BackgroundBps, e.JitterBytes, e.Seed)
+	case *StatefulFirewall:
+		fmt.Fprintf(w, "firewall %s defects=%#x oow=%v nofrags=%v\n",
+			e.Label, e.DropDefects, e.DropOutOfWindow, e.DropFragments)
+	case *netem.Hop:
+		fmt.Fprintf(w, "hop %s addr=%v defects=%#x icmp=%v\n",
+			e.Label, e.Addr, e.DropDefects, e.EmitICMP)
+	case *netem.Filter:
+		// A predicate func is opaque; its presence still distinguishes the
+		// profile. All built-in profiles use defect-set-only filters.
+		fmt.Fprintf(w, "filter %s defects=%#x pred=%v dir=%v\n",
+			e.Label, e.DropDefects, e.Drop != nil, e.OnlyDir)
+	case *netem.Pipe:
+		fmt.Fprintf(w, "pipe %s rate=%v\n", e.Label, e.RateBps)
+	default:
+		fmt.Fprintf(w, "element %s %T\n", el.Name(), el)
+	}
+}

@@ -32,6 +32,20 @@ type fwFlow struct {
 // Name implements netem.Element.
 func (f *StatefulFirewall) Name() string { return f.Label }
 
+// ForkElement implements netem.Forkable: per-flow sequence state is
+// deep-copied.
+func (f *StatefulFirewall) ForkElement() netem.Element {
+	c := *f
+	if f.seq != nil {
+		c.seq = make(map[packet.FlowKey]*fwFlow, len(f.seq))
+		for k, st := range f.seq {
+			cp := *st
+			c.seq[k] = &cp
+		}
+	}
+	return &c
+}
+
 // Process implements netem.Element.
 func (f *StatefulFirewall) Process(ctx netem.Context, dir netem.Direction, fr *packet.Frame) {
 	p, defects := fr.Parse()

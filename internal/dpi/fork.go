@@ -1,0 +1,53 @@
+package dpi
+
+// Fork returns an independent replica of the network: a forked clock, a
+// forked element chain (every stateful element deep-copied, stateless ones
+// shared), and ground-truth pointers (MB, Proxy, Counter) re-pointed at the
+// forked instances. The replica shares no mutable state with the parent, so
+// N replicas can be driven concurrently without locks.
+//
+// Fork is only meaningful at quiescence — no pending clock events, no live
+// replay on the path — which is exactly the state between evasion trials.
+// The parent's pending events (if any) stay with the parent.
+func (n *Network) Fork() *Network {
+	clock := n.Clock.Fork()
+	env := n.Env.Fork(clock)
+
+	f := &Network{
+		Name:          n.Name,
+		Clock:         clock,
+		Env:           env,
+		MiddleboxHops: n.MiddleboxHops,
+		TotalHops:     n.TotalHops,
+	}
+
+	// Re-point ground-truth handles at the forked copies by element-index
+	// correspondence (Env.Fork preserves chain order).
+	old := n.Env.Elements()
+	for i, el := range env.Elements() {
+		switch o := old[i].(type) {
+		case *Middlebox:
+			if o == n.MB {
+				f.MB = el.(*Middlebox)
+			}
+		case *TransparentProxy:
+			if o == n.Proxy {
+				f.Proxy = el.(*TransparentProxy)
+			}
+		case *UsageCounter:
+			if o == n.Counter {
+				f.Counter = el.(*UsageCounter)
+			}
+		}
+		if fw, ok := el.(*StatefulFirewall); ok {
+			f.resets = append(f.resets, fw.Reset)
+		}
+	}
+	// The counter precedes the middlebox in chain order (T-Mobile), so its
+	// cross-references are fixed up only after the whole chain is mapped.
+	if f.Counter != nil {
+		f.Counter.MB = f.MB
+		f.Counter.Clock = clock
+	}
+	return f
+}

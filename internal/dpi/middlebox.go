@@ -2,9 +2,9 @@ package dpi
 
 import (
 	"fmt"
-	"math/rand"
 	"time"
 
+	"repro/internal/detrand"
 	"repro/internal/netem"
 	"repro/internal/netem/packet"
 )
@@ -24,7 +24,7 @@ type Middlebox struct {
 	Label string
 	Cfg   Config
 
-	rng       *rand.Rand
+	rng       *detrand.Rand
 	flows     map[packet.FlowKey]*mbFlow
 	blacklist map[hostPort]time.Time
 	blCount   map[hostPort]int
@@ -61,7 +61,7 @@ func NewMiddlebox(cfg Config) *Middlebox {
 	return &Middlebox{
 		Label:     cfg.Name,
 		Cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)),
+		rng:       detrand.New(cfg.Seed ^ 0x5eed),
 		flows:     make(map[packet.FlowKey]*mbFlow),
 		blacklist: make(map[hostPort]time.Time),
 		blCount:   make(map[hostPort]int),
@@ -85,6 +85,58 @@ func (m *Middlebox) ResetState() {
 	m.shapers = make(map[string]*shaper)
 	m.events = nil
 	m.reasm.Flush()
+}
+
+// ForkElement implements netem.Forkable: the copy continues from the same
+// flow tables, blacklist, shaper positions, reassembly buffers, event log,
+// and RNG stream position, sharing no mutable state with the original.
+// Cfg is shared: rules, policies, and the load model are read-only after
+// construction.
+func (m *Middlebox) ForkElement() netem.Element {
+	c := &Middlebox{
+		Label:     m.Label,
+		Cfg:       m.Cfg,
+		rng:       m.rng.Clone(),
+		flows:     make(map[packet.FlowKey]*mbFlow, len(m.flows)),
+		blacklist: make(map[hostPort]time.Time, len(m.blacklist)),
+		blCount:   make(map[hostPort]int, len(m.blCount)),
+		shapers:   make(map[string]*shaper, len(m.shapers)),
+		events:    append([]Event(nil), m.events...),
+		reasm:     m.reasm.Clone(),
+	}
+	for k, f := range m.flows {
+		c.flows[k] = f.clone()
+	}
+	for k, v := range m.blacklist {
+		c.blacklist[k] = v
+	}
+	for k, v := range m.blCount {
+		c.blCount[k] = v
+	}
+	for k, sh := range m.shapers {
+		cp := *sh
+		c.shapers[k] = &cp
+	}
+	return c
+}
+
+// clone deep-copies one flow record.
+func (f *mbFlow) clone() *mbFlow {
+	c := *f
+	c.families = make(map[Family]bool, len(f.families))
+	for k, v := range f.families {
+		c.families[k] = v
+	}
+	for di := 0; di < 2; di++ {
+		c.stream[di] = append([]byte(nil), f.stream[di]...)
+		if f.ooo[di] != nil {
+			c.ooo[di] = make(map[uint32][]byte, len(f.ooo[di]))
+			for seq, data := range f.ooo[di] {
+				c.ooo[di][seq] = append([]byte(nil), data...)
+			}
+		}
+	}
+	return &c
 }
 
 // FlowClass reports the current classification of the flow with the given

@@ -70,6 +70,43 @@ func (x *TransparentProxy) FlowClass(clientKey packet.FlowKey) string {
 // ResetState clears per-flow state.
 func (x *TransparentProxy) ResetState() { x.flows = nil }
 
+// ForkElement implements netem.Forkable: per-flow reassembly buffers,
+// classification, forwarding offsets, and shaper positions are deep-copied.
+// Ports and Rules are shared read-only configuration.
+func (x *TransparentProxy) ForkElement() netem.Element {
+	c := *x
+	if x.flows != nil {
+		c.flows = make(map[packet.FlowKey]*proxyFlow, len(x.flows))
+		for k, f := range x.flows {
+			c.flows[k] = f.clone()
+		}
+	}
+	return &c
+}
+
+// clone deep-copies one proxied flow.
+func (f *proxyFlow) clone() *proxyFlow {
+	c := *f
+	c.families = make(map[Family]bool, len(f.families))
+	for k, v := range f.families {
+		c.families[k] = v
+	}
+	for di := 0; di < 2; di++ {
+		c.stream[di] = append([]byte(nil), f.stream[di]...)
+		if f.ooo[di] != nil {
+			c.ooo[di] = make(map[uint32][]byte, len(f.ooo[di]))
+			for seq, data := range f.ooo[di] {
+				c.ooo[di][seq] = append([]byte(nil), data...)
+			}
+		}
+	}
+	if f.shaper != nil {
+		sh := *f.shaper
+		c.shaper = &sh
+	}
+	return &c
+}
+
 // Process implements netem.Element.
 func (x *TransparentProxy) Process(ctx netem.Context, dir netem.Direction, fr *packet.Frame) {
 	p, defects := fr.Parse()

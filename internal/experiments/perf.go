@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"testing"
 
@@ -25,17 +26,46 @@ type PerfBench struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	// MBPerS is set only for throughput benchmarks (SetBytes).
 	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// EngPerS is set only for campaign benchmarks: engagements completed
+	// per wall-clock second, the campaign-throughput headline number.
+	EngPerS float64 `json:"eng_per_s,omitempty"`
 }
 
 // PerfSnapshot is the machine-readable perf artifact (BENCH_<n>.json)
 // committed alongside each performance-affecting PR, so the bench
 // trajectory across the repository's history can be diffed mechanically.
+//
+// Schema history:
+//   - liberate-bench/v1: go/goos/goarch + benchmarks
+//   - liberate-bench/v2: adds num_cpu, gomaxprocs, and revision so a
+//     snapshot records the parallelism available on the machine that
+//     produced it, and eng_per_s on campaign benchmarks
 type PerfSnapshot struct {
 	Schema     string      `json:"schema"`
 	GoVersion  string      `json:"go"`
 	GOOS       string      `json:"goos"`
 	GOARCH     string      `json:"goarch"`
+	NumCPU     int         `json:"num_cpu"`
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	// Revision is the VCS commit the binary was built from, when the Go
+	// toolchain stamped one ("" otherwise, e.g. for `go run` in a dirty
+	// tree or a tarball build).
+	Revision   string      `json:"revision,omitempty"`
 	Benchmarks []PerfBench `json:"benchmarks"`
+}
+
+// vcsRevision extracts the stamped VCS commit from build info.
+func vcsRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	return ""
 }
 
 // RunPerf measures the substrate (packet serialize/inspect) and macro
@@ -43,10 +73,13 @@ type PerfSnapshot struct {
 // mirror bench_test.go so the numbers are comparable with `go test -bench`.
 func RunPerf() *PerfSnapshot {
 	snap := &PerfSnapshot{
-		Schema:    "liberate-bench/v1",
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
+		Schema:     "liberate-bench/v2",
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Revision:   vcsRevision(),
 	}
 
 	src, dst := packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.2")
@@ -91,7 +124,7 @@ func RunPerf() *PerfSnapshot {
 	}))
 
 	spec := campaign.Spec{Traces: []string{"amazon", "youtube"}, Bodies: []int{8 << 10}}
-	snap.add("campaign-throughput", 0, testing.Benchmark(func(b *testing.B) {
+	snap.addCampaign("campaign-throughput", 12, testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			summary, err := (&campaign.Runner{Spec: spec, Workers: 1}).Run(context.Background())
@@ -101,6 +134,40 @@ func RunPerf() *PerfSnapshot {
 			if summary.Failed != 0 {
 				b.Fatalf("%d engagements failed", summary.Failed)
 			}
+		}
+	}))
+
+	// The 48-engagement sweep is the golden campaign spec: every network ×
+	// {amazon, youtube} × hours {0, 12} × seeds {1, 2}. Run uncached and
+	// cached back to back; the seed dimension makes every cache key appear
+	// exactly twice, so the cached run computes 24 engagements and serves
+	// 24 from memory. A fresh Cache per iteration keeps the measurement
+	// honest — no warm entries leak across b.N.
+	sweep := campaign.Spec{
+		Traces: []string{"amazon", "youtube"},
+		Hours:  []int{0, 12},
+		Bodies: []int{8 << 10},
+		Seeds:  []int64{1, 2},
+	}
+	runSweep := func(b *testing.B, cache *campaign.Cache) {
+		summary, err := (&campaign.Runner{Spec: sweep, Workers: 1, Cache: cache}).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if summary.Failed != 0 {
+			b.Fatalf("%d engagements failed", summary.Failed)
+		}
+	}
+	snap.addCampaign("campaign-throughput-48", 48, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runSweep(b, nil)
+		}
+	}))
+	snap.addCampaign("campaign-throughput-48-cached", 48, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			runSweep(b, campaign.NewCache())
 		}
 	}))
 
@@ -121,16 +188,29 @@ func (s *PerfSnapshot) add(name string, setBytes int64, r testing.BenchmarkResul
 	s.Benchmarks = append(s.Benchmarks, pb)
 }
 
+// addCampaign records a campaign benchmark where each op runs engPerOp
+// engagements, deriving the engagements-per-second headline rate.
+func (s *PerfSnapshot) addCampaign(name string, engPerOp int, r testing.BenchmarkResult) {
+	s.add(name, 0, r)
+	if r.T > 0 {
+		s.Benchmarks[len(s.Benchmarks)-1].EngPerS =
+			float64(engPerOp) * float64(r.N) / r.T.Seconds()
+	}
+}
+
 // Render formats the snapshot as an aligned table.
 func (s *PerfSnapshot) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-20s %14s %12s %12s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op", "MB/s")
+	fmt.Fprintf(&b, "%-30s %14s %12s %12s %10s %8s\n", "benchmark", "ns/op", "B/op", "allocs/op", "MB/s", "eng/s")
 	for _, r := range s.Benchmarks {
-		mbs := "-"
+		mbs, engs := "-", "-"
 		if r.MBPerS > 0 {
 			mbs = fmt.Sprintf("%.2f", r.MBPerS)
 		}
-		fmt.Fprintf(&b, "%-20s %14.1f %12d %12d %10s\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, mbs)
+		if r.EngPerS > 0 {
+			engs = fmt.Sprintf("%.1f", r.EngPerS)
+		}
+		fmt.Fprintf(&b, "%-30s %14.1f %12d %12d %10s %8s\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, mbs, engs)
 	}
 	return b.String()
 }

@@ -101,6 +101,13 @@ type Pipe struct {
 // Name implements Element.
 func (p *Pipe) Name() string { return p.Label }
 
+// ForkElement implements Forkable: the copy continues from the same
+// per-direction transmission-queue positions.
+func (p *Pipe) ForkElement() Element {
+	c := *p
+	return &c
+}
+
 // Process implements Element.
 func (p *Pipe) Process(ctx Context, dir Direction, f *packet.Frame) {
 	if p.RateBps <= 0 {
@@ -152,6 +159,15 @@ type PathReassembler struct {
 // Name implements Element.
 func (pr *PathReassembler) Name() string { return pr.Label }
 
+// ForkElement implements Forkable: partial fragment state is deep-copied.
+func (pr *PathReassembler) ForkElement() Element {
+	c := &PathReassembler{Label: pr.Label}
+	if pr.r != nil {
+		c.r = pr.r.Clone()
+	}
+	return c
+}
+
 // Process implements Element.
 func (pr *PathReassembler) Process(ctx Context, dir Direction, f *packet.Frame) {
 	if pr.r == nil {
@@ -188,6 +204,13 @@ type TapRecord struct {
 
 // Name implements Element.
 func (t *Tap) Name() string { return t.Label }
+
+// ForkElement implements Forkable. The capture slice is copied (records
+// themselves are immutable); an OnPass hook is shared, so forks of tapped
+// paths should only be driven when the hook is concurrency-safe or nil.
+func (t *Tap) ForkElement() Element {
+	return &Tap{Label: t.Label, Seen: append([]TapRecord(nil), t.Seen...), OnPass: t.OnPass}
+}
 
 // Process implements Element.
 func (t *Tap) Process(ctx Context, dir Direction, f *packet.Frame) {

@@ -1,8 +1,7 @@
 package netem
 
 import (
-	"math/rand"
-
+	"repro/internal/detrand"
 	"repro/internal/netem/packet"
 )
 
@@ -14,17 +13,27 @@ type LossyLink struct {
 	LossRate float64
 	Seed     int64
 
-	rng     *rand.Rand
+	rng     *detrand.Rand
 	Dropped int
 }
 
 // Name implements Element.
 func (l *LossyLink) Name() string { return l.Label }
 
+// ForkElement implements Forkable: the copy continues from the same RNG
+// stream position and drop count.
+func (l *LossyLink) ForkElement() Element {
+	c := *l
+	if l.rng != nil {
+		c.rng = l.rng.Clone()
+	}
+	return &c
+}
+
 // Process implements Element.
 func (l *LossyLink) Process(ctx Context, dir Direction, f *packet.Frame) {
 	if l.rng == nil {
-		l.rng = rand.New(rand.NewSource(l.Seed ^ 0x1055))
+		l.rng = detrand.New(l.Seed ^ 0x1055)
 	}
 	if l.rng.Float64() < l.LossRate {
 		l.Dropped++
@@ -42,17 +51,26 @@ type DuplicatingLink struct {
 	DupRate float64
 	Seed    int64
 
-	rng        *rand.Rand
+	rng        *detrand.Rand
 	Duplicated int
 }
 
 // Name implements Element.
 func (d *DuplicatingLink) Name() string { return d.Label }
 
+// ForkElement implements Forkable.
+func (d *DuplicatingLink) ForkElement() Element {
+	c := *d
+	if d.rng != nil {
+		c.rng = d.rng.Clone()
+	}
+	return &c
+}
+
 // Process implements Element.
 func (d *DuplicatingLink) Process(ctx Context, dir Direction, f *packet.Frame) {
 	if d.rng == nil {
-		d.rng = rand.New(rand.NewSource(d.Seed ^ 0xd0b1e))
+		d.rng = detrand.New(d.Seed ^ 0xd0b1e)
 	}
 	ctx.Forward(f)
 	if d.rng.Float64() < d.DupRate {
@@ -73,17 +91,26 @@ type CorruptingLink struct {
 	CorruptRate float64
 	Seed        int64
 
-	rng       *rand.Rand
+	rng       *detrand.Rand
 	Corrupted int
 }
 
 // Name implements Element.
 func (c *CorruptingLink) Name() string { return c.Label }
 
+// ForkElement implements Forkable.
+func (c *CorruptingLink) ForkElement() Element {
+	cp := *c
+	if c.rng != nil {
+		cp.rng = c.rng.Clone()
+	}
+	return &cp
+}
+
 // Process implements Element.
 func (c *CorruptingLink) Process(ctx Context, dir Direction, f *packet.Frame) {
 	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(c.Seed ^ 0xc0bb))
+		c.rng = detrand.New(c.Seed ^ 0xc0bb)
 	}
 	if c.rng.Float64() < c.CorruptRate && f.Len() > 21 {
 		out := append([]byte(nil), f.Raw()...)

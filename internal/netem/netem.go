@@ -148,6 +148,43 @@ func New(clock *vclock.Clock, clientAddr, serverAddr packet.Addr) *Env {
 	}
 }
 
+// Forkable is implemented by elements that carry mutable state (per-flow
+// tables, queueing positions, RNGs, captures). ForkElement returns a deep
+// copy continuing from the same state, sharing nothing mutable with the
+// original.
+//
+// Elements that do NOT implement Forkable are shared by Env.Fork and must
+// therefore be stateless: their Process may read configuration but must
+// not write any field. Hop, Filter, and TCPChecksumFixer qualify; every
+// stateful built-in implements Forkable.
+type Forkable interface {
+	ForkElement() Element
+}
+
+// Fork returns a replica of the path driven by clock (normally the
+// parent clock's Fork). Forkable elements are deep-copied; everything
+// else is shared as stateless. Endpoints and the Trace hook are NOT
+// carried over — replays install fresh endpoints per run, and a fork is
+// only taken at quiescence, between replays, when none are live.
+func (e *Env) Fork(clock *vclock.Clock) *Env {
+	ne := &Env{
+		Clock:      clock,
+		ClientAddr: e.ClientAddr,
+		ServerAddr: e.ServerAddr,
+		LinkDelay:  e.LinkDelay,
+	}
+	ne.elements = make([]Element, len(e.elements))
+	for i, el := range e.elements {
+		if f, ok := el.(Forkable); ok {
+			ne.elements[i] = f.ForkElement()
+		} else {
+			ne.elements[i] = el
+		}
+	}
+	ne.delivered = append([]int(nil), e.delivered...)
+	return ne
+}
+
 // DeliveredTo reports how many deliveries position name has received:
 // "client", "server", or an element name (first match wins).
 func (e *Env) DeliveredTo(name string) int {

@@ -31,6 +31,23 @@ func NewReassembler() *Reassembler {
 	return &Reassembler{buf: make(map[fragKey]*fragState), OverlapFirstWins: true}
 }
 
+// Clone deep-copies the reassembler, including partially reassembled
+// datagrams, so a forked simulation replica continues from the same
+// fragment state without sharing buffers with the parent.
+func (r *Reassembler) Clone() *Reassembler {
+	c := &Reassembler{buf: make(map[fragKey]*fragState, len(r.buf)), OverlapFirstWins: r.OverlapFirstWins}
+	for k, st := range r.buf {
+		c.buf[k] = &fragState{
+			data:    append([]byte(nil), st.data...),
+			have:    append([]bool(nil), st.have...),
+			total:   st.total,
+			hdr:     append([]byte(nil), st.hdr...),
+			gotHead: st.gotHead,
+		}
+	}
+	return c
+}
+
 // Pending reports the number of datagrams with outstanding fragments.
 func (r *Reassembler) Pending() int { return len(r.buf) }
 

@@ -1,0 +1,91 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestForkCarriesInstantAndCounters(t *testing.T) {
+	c := New()
+	c.Schedule(90*time.Minute, func() {})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	f := c.Fork()
+	if f.Now() != c.Now() {
+		t.Fatalf("fork at %v, parent at %v", f.Now(), c.Now())
+	}
+	if f.seq != c.seq || f.fired != c.fired || f.Budget != c.Budget {
+		t.Fatalf("fork counters (seq=%d fired=%d budget=%d) diverge from parent (seq=%d fired=%d budget=%d)",
+			f.seq, f.fired, f.Budget, c.seq, c.fired, c.Budget)
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("fork has %d pending events, want empty queue", f.Pending())
+	}
+}
+
+func TestForkAdvancesIndependently(t *testing.T) {
+	c := New()
+	c.RunFor(time.Hour)
+	f := c.Fork()
+	f.RunFor(30 * time.Minute)
+	if c.Since(Epoch) != time.Hour {
+		t.Fatalf("parent moved to %v when fork advanced", c.Since(Epoch))
+	}
+	if f.Since(Epoch) != 90*time.Minute {
+		t.Fatalf("fork at %v, want 90m", f.Since(Epoch))
+	}
+	// And the other direction: parent advancement leaves the fork alone.
+	c.RunFor(time.Hour)
+	if f.Since(Epoch) != 90*time.Minute {
+		t.Fatalf("fork moved to %v when parent advanced", f.Since(Epoch))
+	}
+}
+
+func TestForkLeavesPendingEventsWithParent(t *testing.T) {
+	c := New()
+	fired := false
+	c.Schedule(time.Second, func() { fired = true })
+	f := c.Fork()
+	if f.Pending() != 0 {
+		t.Fatalf("fork inherited %d pending events", f.Pending())
+	}
+	f.RunFor(2 * time.Second)
+	if fired {
+		t.Fatal("running the fork fired an event scheduled on the parent")
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("parent lost its pending event across Fork")
+	}
+}
+
+// TestForkTieBreakParity is the determinism property Fork's seq copy
+// exists for: events scheduled at equal instants on a fork fire in the
+// same order a serial continuation of the parent would have fired them.
+func TestForkTieBreakParity(t *testing.T) {
+	run := func(c *Clock) []int {
+		var got []int
+		c.Schedule(time.Second, func() { got = append(got, 1) })
+		c.Schedule(time.Second, func() { got = append(got, 2) })
+		c.Schedule(time.Second, func() { got = append(got, 3) })
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	serial := New()
+	serial.RunFor(time.Minute)
+	wantOrder := run(serial)
+
+	parent := New()
+	parent.RunFor(time.Minute)
+	gotOrder := run(parent.Fork())
+	for i := range wantOrder {
+		if gotOrder[i] != wantOrder[i] {
+			t.Fatalf("fork fired %v, serial continuation fired %v", gotOrder, wantOrder)
+		}
+	}
+}

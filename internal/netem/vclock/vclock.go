@@ -200,6 +200,20 @@ func (c *Clock) recycle(e *event) {
 	c.free = append(c.free, e)
 }
 
+// Fork returns a new clock positioned at the same virtual instant, with
+// the same insertion-order counter, event budget, and fired count — and an
+// empty event queue. Pending events stay with the parent: forking is only
+// meaningful at quiescence (between replays), when nothing is scheduled;
+// a fork taken mid-replay would silently drop the in-flight events, so
+// callers that cannot guarantee quiescence must drain the queue first.
+//
+// Copying seq keeps the fork's timestamp tie-breaking behaviour aligned
+// with a hypothetical serial continuation of the parent, which is part of
+// why forked evaluation reproduces serial results byte-for-byte.
+func (c *Clock) Fork() *Clock {
+	return &Clock{now: c.now, seq: c.seq, Budget: c.Budget, fired: c.fired}
+}
+
 // Pending reports the number of live events in the queue.
 func (c *Clock) Pending() int {
 	n := 0

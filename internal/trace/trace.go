@@ -11,6 +11,8 @@
 package trace
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -92,6 +94,22 @@ func (t *Trace) Randomize(seed int64) *Trace {
 		rng.Read(c.Messages[i].Data)
 	}
 	return c
+}
+
+// ContentHash digests everything that affects how a trace replays:
+// identity, protocol, server port, and every message's direction, length,
+// and payload. Two traces with equal hashes drive the network through the
+// same packet sequence, which makes the digest a sound component of a
+// content-addressed engagement cache key.
+func ContentHash(t *Trace) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "trace=%s app=%s proto=%d port=%d msgs=%d\n",
+		t.Name, t.App, t.Proto, t.ServerPort, len(t.Messages))
+	for i, m := range t.Messages {
+		fmt.Fprintf(h, "[%d] %d %d\n", i, m.Dir, len(m.Data))
+		h.Write(m.Data)
+	}
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // TotalBytes sums payload sizes, optionally filtered by direction.
