@@ -11,6 +11,9 @@
 //	benchtab -exp sprint       # §6.4 null result
 //	benchtab -exp ablation     # DESIGN.md ablations
 //	benchtab -exp campaign     # campaign worker-pool scaling + determinism check
+//	benchtab -exp chaos        # fault-injection sweep: verdict stability under middlebox faults
+//	benchtab -exp chaos -quick # ... CI smoke: two networks at one fault rate
+//	benchtab -exp overhead     # clean-network robustness overhead guard (exit 1 above 5%)
 //	benchtab -exp perf         # substrate + macro perf benchmarks
 //	benchtab -exp perf -bench-json BENCH_3.json   # ... plus JSON snapshot
 //	benchtab -exp perf -cpuprofile cpu.pprof      # ... under the CPU profiler
@@ -37,7 +40,8 @@ func run() int {
 	var (
 		table  = flag.Int("table", 0, "regenerate Table N (1, 2, or 3)")
 		figure = flag.Int("figure", 0, "regenerate Figure N (4)")
-		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign|perf")
+		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign|chaos|overhead|perf")
+		quick  = flag.Bool("quick", false, "with -exp chaos: restrict the sweep to two networks at one fault rate")
 		bjson  = flag.String("bench-json", "", "with -exp perf: also write the snapshot as JSON to this path")
 		days   = flag.Int("days", 1, "days to sweep for Figure 4 (paper used 2)")
 		trials = flag.Int("trials", 6, "trials per hour for Figure 4 (paper used 6)")
@@ -148,6 +152,21 @@ func run() int {
 	if *all || *exp == "campaign" {
 		fmt.Println("== campaign orchestrator: worker-pool scaling over the six paper networks ==")
 		fmt.Println(experiments.RunCampaignScaling().Render())
+		ran = true
+	}
+	if *all || *exp == "chaos" {
+		fmt.Println("== chaos: verdict stability under stochastic middlebox faults ==")
+		fmt.Println(experiments.RunChaos(*quick).Render())
+		ran = true
+	}
+	if *all || *exp == "overhead" {
+		fmt.Println("== robustness overhead guard: clean-network replay cost ==")
+		o := experiments.MeasureRobustOverhead(0)
+		fmt.Println(o.Render())
+		if !o.Within(0.05) {
+			fmt.Fprintf(os.Stderr, "benchtab: robust-mode overhead %.1f%% exceeds the 5%% budget\n", (o.Ratio-1)*100)
+			return 1
+		}
 		ran = true
 	}
 	if *all || *exp == "perf" {

@@ -32,6 +32,7 @@ func main() {
 		list      = flag.Bool("list", false, "list techniques, networks, and traces (machine-readable with -json)")
 		exportTr  = flag.String("export-trace", "", "write the selected trace as JSON to this path and exit")
 		doTracert = flag.Bool("traceroute", false, "print the path's hops and exit")
+		impair    = flag.String("impair", "", "client-side link impairments, e.g. loss:0.02,ge:0.05/0.3/0.8 (kinds: loss|dup|ge|corrupt|payload); enables noise-robust phase logic")
 		cachePath = flag.String("cache", "", "shared rule-cache file: deploy from it when possible, update it after engagements")
 	)
 	flag.Parse()
@@ -76,6 +77,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *impair != "" {
+		specs, err := liberate.ParseImpairments(*impair)
+		if err == nil {
+			err = net.AddImpairments(specs)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if *hour > 0 {
 		net.Clock.RunFor(time.Duration(*hour) * time.Hour)
@@ -190,6 +201,10 @@ type summary struct {
 	Rounds           int           `json:"rounds"`
 	Bytes            int64         `json:"bytes"`
 	VirtualTime      time.Duration `json:"virtual_time_ns"`
+
+	// Robust-mode accounting; zero (and omitted) on clean engagements.
+	DetectTrials  int     `json:"detect_trials,omitempty"`
+	MinConfidence float64 `json:"min_confidence,omitempty"`
 }
 
 func summarize(r *liberate.Report) summary {
@@ -211,9 +226,14 @@ func summarize(r *liberate.Report) summary {
 		s.ResidualBlocking = c.ResidualBlocking
 		s.MiddleboxTTL = c.MiddleboxTTL
 	}
+	s.DetectTrials = r.Detection.Trials
+	s.MinConfidence = r.Detection.Confidence
 	if r.Evaluation != nil {
 		for _, v := range r.Evaluation.Working() {
 			s.Working = append(s.Working, v.Technique.ID)
+		}
+		if mc := r.Evaluation.MinConfidence(); mc > 0 && (s.MinConfidence == 0 || mc < s.MinConfidence) {
+			s.MinConfidence = mc
 		}
 	}
 	if r.Deployed != nil {

@@ -64,6 +64,13 @@ type Row struct {
 	Rounds         int      `json:"rounds"`
 	Bytes          int64    `json:"bytes"`
 	VirtualNS      int64    `json:"virtual_ns"`
+
+	// DetectTrials / MinConfidence surface the robust-mode accounting when
+	// the engagement ran against a noisy network; both stay zero (and are
+	// omitted from JSON) on clean engagements, keeping clean-campaign
+	// summaries byte-identical to pre-robust builds.
+	DetectTrials  int     `json:"detect_trials,omitempty"`
+	MinConfidence float64 `json:"min_confidence,omitempty"`
 }
 
 // TechniqueStat is one technique's success rate on one network.
@@ -218,6 +225,13 @@ func Aggregate(spec Spec, results []Result) *Summary {
 			row.Rounds = rep.TotalRounds
 			row.Bytes = rep.TotalBytes
 			row.VirtualNS = int64(rep.TotalTime)
+			row.DetectTrials = rep.Detection.Trials
+			row.MinConfidence = rep.Detection.Confidence
+			if ev := rep.Evaluation; ev != nil {
+				if mc := ev.MinConfidence(); mc > 0 && (row.MinConfidence == 0 || mc < row.MinConfidence) {
+					row.MinConfidence = mc
+				}
+			}
 		}
 		s.Rows = append(s.Rows, row)
 		groups[[2]string{e.Network, e.Trace}] = append(groups[[2]string{e.Network, e.Trace}], row)

@@ -64,7 +64,10 @@ func Characterize(s *Session, tr *trace.Trace, det *Detection) *Characterization
 	}()
 
 	probe := trimTrace(padTrace(tr, det.ProbeBytes), det.ProbeBytes)
-	classified := func(t *trace.Trace) bool { return det.Classified(s.Replay(t, nil)) }
+	// On robust sessions every "not classified" reading — the decisions the
+	// bisection below is built on — is re-verified one-sidedly before it is
+	// believed; clean sessions keep the single-replay oracle.
+	classified := s.robustify(func(t *trace.Trace) bool { return det.Classified(s.Replay(t, nil)) })
 	if det.ResidualBlocking {
 		c.ResidualBlocking = true // detection already had to rotate ports
 	}
@@ -100,10 +103,18 @@ func Characterize(s *Session, tr *trace.Trace, det *Detection) *Characterization
 	}
 
 	// Port specificity (§6.6, §6.3): does the classifier still match on a
-	// non-standard server port?
+	// non-standard server port? A "still matched" observation is
+	// authoritative; "no match" may be fault noise, so robust sessions
+	// re-verify it before pinning the server port.
 	if !s.RotatePorts {
-		alt := s.Replay(probe, nil, func(o *replay.Options) { o.ServerPort = 8080 })
-		if !det.Classified(alt) {
+		altClassified := func() bool {
+			return det.Classified(s.Replay(probe, nil, func(o *replay.Options) { o.ServerPort = 8080 }))
+		}
+		matched := altClassified()
+		for i := 1; s.Robust && !matched && i < s.oracle().maxTrials(); i++ {
+			matched = altClassified()
+		}
+		if !matched {
 			c.PortSpecific = true
 			s.ForceServerPort = probe.ServerPort
 		}
@@ -220,19 +231,20 @@ func prependMessages(tr *trace.Trace, n, size int) *trace.Trace {
 	return c
 }
 
-// probeWindow implements the §5.1 prepend probes.
+// probeWindow implements the §5.1 prepend probes. The conclusions here
+// rest on "not classified" readings, so robust sessions re-verify each
+// one before believing the classifier is window-limited.
 func (c *Characterization) probeWindow(s *Session, probe *trace.Trace, det *Detection) {
 	mtu := packet.MTU - 40
+	judge := s.robustify(func(t *trace.Trace) bool { return det.Classified(s.Replay(t, nil)) })
 	for j := 1; j <= maxPrependProbes; j++ {
-		res := s.Replay(prependMessages(probe, j, mtu), nil)
-		if !det.Classified(res) {
+		if !judge(prependMessages(probe, j, mtu)) {
 			c.WindowLimited = true
 			// The paper's bound: i matching packets (here 1) + j − 1.
 			c.WindowUpperBound = 1 + j - 1
 			// Now test j one-byte packets: a packet-count-based limit
 			// reacts the same way.
-			tiny := s.Replay(prependMessages(probe, j, 1), nil)
-			c.PacketCountBased = !det.Classified(tiny)
+			c.PacketCountBased = !judge(prependMessages(probe, j, 1))
 			return
 		}
 	}
@@ -254,19 +266,38 @@ func locate(s *Session, probe *trace.Trace, det *Detection, c *Characterization)
 		inv := probe.Invert()
 		for t := 1; t <= maxTTL; t++ {
 			tf := injectContentTTL(matchPayload, c.MatchWrite, t)
-			res := s.Replay(inv, tf)
-			if det.Classified(res) {
+			// "Classified" means the probe reached the middlebox —
+			// authoritative. Its absence at the true boundary TTL may be a
+			// fault, so robust sessions re-verify before moving on (an
+			// overshot TTL would leak inert packets past the middlebox).
+			observe := func() bool { return det.Classified(s.Replay(inv, tf)) }
+			if observe() {
 				return t
+			}
+			for i := 1; s.Robust && i < s.oracle().maxTrials(); i++ {
+				if observe() {
+					return t
+				}
 			}
 		}
 		return 0
 	}
 	// Shapers: the dummy-desync sweep (which is also the row-1 technique).
+	// Here the *success* reading (not classified, integrity intact) is the
+	// suppressible one — a missed flow looks exactly like a working TTL —
+	// so robust sessions demand every repeated trial succeed.
 	tech, _ := TechniqueByID("ip-ttl-limited")
 	for t := 1; t <= maxTTL; t++ {
 		ap := tech.Build(BuildParams{Fields: c.Fields, MatchWrite: c.MatchWrite, InertTTL: t, Seed: 99})
-		res := s.Replay(probe, ap.Transform)
-		if !det.Classified(res) && res.IntegrityOK {
+		failed := func() bool {
+			res := s.Replay(probe, ap.Transform)
+			return det.Classified(res) || !res.IntegrityOK
+		}
+		works := !failed()
+		for i := 1; s.Robust && works && i < s.oracle().maxTrials(); i++ {
+			works = !failed()
+		}
+		if works {
 			return t
 		}
 	}

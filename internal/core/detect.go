@@ -43,6 +43,14 @@ type Detection struct {
 	UnclassifiedAvgBps float64
 	Rounds             int
 	BytesUsed          int64
+
+	// Trials counts interleaved original/control replay pairs taken by the
+	// robust detection path; zero on clean (single-shot) engagements.
+	Trials int
+	// Confidence scores the detection verdict when robust trials ran: 1.0
+	// when an authoritative enforcement observation confirmed it, 1−2^−n
+	// for an absence verdict sustained over n trials. Zero on clean runs.
+	Confidence float64
 }
 
 // Has reports whether kind was detected.
@@ -60,6 +68,9 @@ func (d *Detection) Has(kind DiffKind) bool {
 // data-counter signals, and adaptively enlarge replays until the signals
 // are consistent across trials.
 func Detect(s *Session, tr *trace.Trace) *Detection {
+	if s.Robust {
+		return detectRobust(s, tr)
+	}
 	d := &Detection{}
 	startRounds, startBytes := s.Rounds, s.BytesUsed
 	defer func() {
@@ -155,6 +166,149 @@ func Detect(s *Session, tr *trace.Trace) *Detection {
 	if d.ProbeBytes == 0 {
 		d.ProbeBytes = 16 << 10
 	}
+	return d
+}
+
+// robustDetectPairs is how many interleaved original/control pairs the
+// robust detection path takes per probe size before judging shaping
+// signals.
+const robustDetectPairs = 3
+
+// detectRobust is the noisy-path variant of Detect: instead of one
+// orig/inv/inv/orig quad per probe size it takes up to robustDetectPairs
+// interleaved original/control pairs and judges them under the one-sided
+// fault model — a Blocked observation on the original is authoritative
+// (faults suppress enforcement, never fabricate it), while shaping
+// signals, which are symmetric, are decided by pooled averages plus
+// per-pair votes. The clean Detect path is untouched, so zero-fault
+// engagements stay byte-identical.
+func detectRobust(s *Session, tr *trace.Trace) *Detection {
+	d := &Detection{}
+	startRounds, startBytes := s.Rounds, s.BytesUsed
+	defer func() {
+		d.Rounds = s.Rounds - startRounds
+		d.BytesUsed = s.BytesUsed - startBytes
+	}()
+	ro := s.oracle()
+	blockingOracle := func() {
+		d.Differentiated = true
+		d.Kinds = append(d.Kinds, DiffBlocking)
+		d.Classified = func(r *replay.Result) bool { return r.Blocked }
+		d.TailClassified = d.Classified
+		d.ProbeBytes = 4 << 10
+		d.Confidence = 1
+	}
+
+	sizes := []int{tr.TotalBytes(), 200 << 10, 1 << 20}
+	for _, size := range sizes {
+		probe := padTrace(tr, size)
+
+		// Interleaved trials: each pair replays the original, then its
+		// bit-inverted control.
+		var origs, invs []*replay.Result
+		anyOrigB, anyInvB := false, false
+		for len(origs) < robustDetectPairs {
+			o := s.Replay(probe, nil)
+			i := s.Replay(probe.Invert(), nil)
+			d.Trials++
+			origs, invs = append(origs, o), append(invs, i)
+			anyOrigB = anyOrigB || o.Blocked
+			anyInvB = anyInvB || i.Blocked
+			if anyOrigB && anyInvB {
+				break // residual-blacklist suspicion: rotate instead of burn
+			}
+			if anyOrigB && len(origs) >= 2 {
+				break // authoritative block; controls clean over ≥2 trials
+			}
+		}
+		if anyOrigB && !anyInvB && len(origs) >= 2 {
+			blockingOracle()
+			return d
+		}
+		// Original AND control blocked: residual state (a server:port
+		// blacklist armed by earlier classified flows) may be poisoning
+		// the controls. Rotate to fresh ports and re-verify; the composite
+		// observation (original blocked, fresh control clean) is itself
+		// one-sided, so Confirm applies.
+		if anyOrigB && anyInvB && !s.RotatePorts {
+			s.RotatePorts = true
+			out := ro.Confirm(func() bool {
+				o := s.Replay(probe, nil)
+				i := s.Replay(probe.Invert(), nil)
+				d.Trials++
+				return o.Blocked && !i.Blocked
+			})
+			if out.Positive {
+				blockingOracle()
+				d.ResidualBlocking = true
+				return d
+			}
+			s.RotatePorts = false
+		}
+
+		n := len(origs)
+
+		// Zero-rating: the counter moves for the control but not the
+		// original — symmetric counter noise, so require unanimity across
+		// the pairs and escalate the probe size otherwise.
+		if origs[0].CounterDelta >= 0 {
+			expected := int64(probe.TotalBytes())
+			zr := func(delta int64) bool { return delta < expected/2 }
+			ozr, izr := 0, 0
+			for i := range origs {
+				if zr(origs[i].CounterDelta) {
+					ozr++
+				}
+				if zr(invs[i].CounterDelta) {
+					izr++
+				}
+			}
+			if (ozr > 0 && ozr < n) || (izr > 0 && izr < n) {
+				continue // noise dominates at this size; enlarge
+			}
+			if ozr == n && izr == 0 {
+				d.Differentiated = true
+				d.Kinds = append(d.Kinds, DiffZeroRating)
+				d.ProbeBytes = size
+			}
+		}
+
+		// Throttling: control consistently faster, judged on pooled
+		// averages plus a per-pair majority vote.
+		var oSum, iSum float64
+		votes := 0
+		for i := range origs {
+			oSum += origs[i].AvgThroughputBps
+			iSum += invs[i].AvgThroughputBps
+			if invs[i].AvgThroughputBps > 0 && origs[i].AvgThroughputBps < 0.6*invs[i].AvgThroughputBps {
+				votes++
+			}
+		}
+		oAvg, iAvg := oSum/float64(n), iSum/float64(n)
+		if iAvg > 0 && oAvg > 0 && oAvg < 0.6*iAvg && votes*2 > n {
+			d.Differentiated = true
+			d.Kinds = append(d.Kinds, DiffThrottling)
+			d.ClassifiedAvgBps = oAvg
+			d.UnclassifiedAvgBps = iAvg
+			if d.ProbeBytes == 0 {
+				d.ProbeBytes = 96 << 10
+			}
+		}
+
+		if d.Differentiated {
+			d.buildOracles(probe)
+			d.Confidence = absenceConfidence(n)
+			return d
+		}
+	}
+	// Undifferentiated: the oracle is constant-false, believed with the
+	// confidence n sustained clean trials earn.
+	d.Classified = func(*replay.Result) bool { return false }
+	d.TailClassified = d.Classified
+	if d.ProbeBytes == 0 {
+		d.ProbeBytes = 16 << 10
+	}
+	d.Confidence = absenceConfidence(d.Trials)
 	return d
 }
 

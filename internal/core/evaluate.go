@@ -49,6 +49,16 @@ type Verdict struct {
 	ExtraBytes   int
 	AddedDelay   time.Duration
 	Rounds       int
+
+	// Trials counts the robust-mode observations behind the deciding
+	// variant's verdict; zero on clean (single-shot) engagements, so legacy
+	// consumers can tell the modes apart.
+	Trials int
+	// Confidence scores the verdict when robust trials ran: 1.0 when a
+	// classification observation decided it (authoritative under the
+	// one-sided fault model), 1−2^−n when n consecutive clean trials
+	// sustained an "evades" call. Zero on clean engagements.
+	Confidence float64
 }
 
 // Usable reports whether the technique both evades and preserves the app.
@@ -91,6 +101,22 @@ func (e *Evaluation) Best() *Verdict {
 		return nil
 	}
 	return &w[0]
+}
+
+// MinConfidence returns the lowest confidence among verdicts that were
+// actually decided by robust trials, or 0 when the evaluation ran in
+// clean single-shot mode (no verdict carries trials).
+func (e *Evaluation) MinConfidence() float64 {
+	min := 0.0
+	for _, v := range e.Verdicts {
+		if v.Trials == 0 {
+			continue
+		}
+		if min == 0 || v.Confidence < min {
+			min = v.Confidence
+		}
+	}
+	return min
 }
 
 // ByID finds a verdict.
@@ -320,13 +346,34 @@ func evaluateTechnique(s *Session, probe *trace.Trace, det *Detection, char *Cha
 		if ap.AddedDelay > 0 {
 			extra = ap.AddedDelay + time.Minute
 		}
+		judge := det.Classified
+		if judgeTail {
+			judge = det.TailClassified
+		}
 		res := s.Replay(rtr, ap.Transform, func(o *replay.Options) { o.ExtraBudget = extra })
 		v.Rounds++
-
-		evades := !det.Classified(res)
-		if judgeTail {
-			evades = !det.TailClassified(res)
+		classified := judge(res)
+		if s.Robust {
+			// One-sided re-verification: a classification observation is
+			// authoritative (faults suppress enforcement, never fabricate
+			// it), so an apparent evasion must survive repeated trials
+			// before it is believed.
+			trials := 1
+			for !classified && trials < s.oracle().maxTrials() {
+				res = s.Replay(rtr, ap.Transform, func(o *replay.Options) { o.ExtraBudget = extra })
+				v.Rounds++
+				trials++
+				classified = judge(res)
+			}
+			v.Trials = trials
+			if classified {
+				v.Confidence = 1
+			} else {
+				v.Confidence = absenceConfidence(trials)
+			}
 		}
+
+		evades := !classified
 		v.ReachedServer = judgeReach(t, ap, res)
 		if evades {
 			v.Evades = true

@@ -87,9 +87,17 @@ func (r *Report) WriteSummary(w io.Writer) {
 	if !r.Detection.Differentiated {
 		fmt.Fprintf(w, "  no content-based differentiation detected (%d rounds, %d bytes)\n",
 			r.TotalRounds, r.TotalBytes)
+		if r.Detection.Trials > 0 {
+			fmt.Fprintf(w, "  robust mode: %d detection trials, confidence %.3f\n",
+				r.Detection.Trials, r.Detection.Confidence)
+		}
 		return
 	}
 	fmt.Fprintf(w, "  differentiation: %v\n", r.Detection.Kinds)
+	if r.Detection.Trials > 0 {
+		fmt.Fprintf(w, "  robust mode: %d detection trials, confidence %.3f\n",
+			r.Detection.Trials, r.Detection.Confidence)
+	}
 	c := r.Characterization
 	fmt.Fprintf(w, "  matching fields (%d): ", len(c.Fields))
 	for _, f := range c.Fields {
@@ -118,7 +126,14 @@ func (r *Report) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "  working techniques: %d / %d evaluated (+%d pruned)\n",
 		len(working), len(r.Evaluation.Verdicts)-r.Evaluation.SkippedByPruning, r.Evaluation.SkippedByPruning)
 	for _, v := range working {
-		fmt.Fprintf(w, "    %-24s variant=%d cost=%.0f\n", v.Technique.ID, v.Variant, v.Cost())
+		fmt.Fprintf(w, "    %-24s variant=%d cost=%.0f", v.Technique.ID, v.Variant, v.Cost())
+		if v.Trials > 0 {
+			fmt.Fprintf(w, " confidence=%.3f (%d trials)", v.Confidence, v.Trials)
+		}
+		fmt.Fprintln(w)
+	}
+	if mc := r.Evaluation.MinConfidence(); mc > 0 {
+		fmt.Fprintf(w, "  verdict confidence: ≥%.3f across evaluated techniques\n", mc)
 	}
 	if r.Deployed != nil {
 		fmt.Fprintf(w, "  deployed: %s\n", r.Deployed.Technique.ID)

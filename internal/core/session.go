@@ -31,6 +31,17 @@ type Session struct {
 	// canonical — only how many replicas are driven concurrently.
 	EvalWorkers int
 
+	// Robust enables noise-robust phase logic: replays retry transient
+	// wipeouts, and every phase re-verifies "no enforcement" readings with
+	// one-sided voting (see RobustOracle). NewSession enables it
+	// automatically when the network carries fault knobs or impairment
+	// links; on clean networks it stays false and every phase runs the
+	// byte-identical single-observation path.
+	Robust bool
+	// MaxTrials bounds per-question repeated observations in robust mode
+	// (0 = default 5).
+	MaxTrials int
+
 	nextClientPort uint16
 	nextServerPort uint16
 
@@ -40,12 +51,23 @@ type Session struct {
 	started   time.Time
 }
 
-// NewSession starts an engagement.
+// Initial port-counter bases. They double as wrap floors: if an
+// engagement ever burns through the whole uint16 range, the counters wrap
+// back to these floors rather than into the reserved/server ranges.
+const (
+	clientPortBase = 41000
+	serverPortBase = 8100
+)
+
+// NewSession starts an engagement. Robust mode is enabled iff the network
+// is noisy (fault knobs or impairment links configured), so clean
+// engagements keep their historical byte-identical behavior.
 func NewSession(net *dpi.Network) *Session {
 	return &Session{
 		Net:            net,
-		nextClientPort: 41000,
-		nextServerPort: 8100,
+		Robust:         net.Noisy(),
+		nextClientPort: clientPortBase,
+		nextServerPort: serverPortBase,
 		started:        net.Clock.Now(),
 	}
 }
@@ -59,19 +81,42 @@ func (s *Session) Elapsed() time.Duration { return s.Net.Clock.Since(s.started) 
 // forks and from the parent session's own later replays.
 const trialPortStride = 64
 
+// wrapPort maps a widened port counter back into [floor, 65535]: counter
+// arithmetic is done in uint32 and any overflow past 65535 re-enters at
+// the floor instead of silently wrapping a uint16 into the reserved or
+// server port ranges. Identity for all in-range values, so engagements
+// that never exhaust the range (all of them, in practice) are unaffected.
+func wrapPort(v uint32, floor uint16) uint16 {
+	span := uint32(1<<16) - uint32(floor)
+	for v > 0xFFFF {
+		v -= span
+	}
+	return uint16(v)
+}
+
+// advancePorts moves both port counters forward by delta with overflow
+// protection.
+func (s *Session) advancePorts(delta uint32) {
+	s.nextClientPort = wrapPort(uint32(s.nextClientPort)+delta, clientPortBase)
+	s.nextServerPort = wrapPort(uint32(s.nextServerPort)+delta, serverPortBase)
+}
+
 // forkFor returns an isolated replica of the session for trial i: a forked
 // network (deep-copied classifier, firewall, shaper, and RNG state; forked
 // clock) and the same replay policy, with port counters offset into trial
 // i's private block so flow keys never collide across concurrent replicas.
 func (s *Session) forkFor(i int) *Session {
 	net := s.Net.Fork()
+	offset := uint32(i+1) * trialPortStride
 	return &Session{
 		Net:             net,
 		ServerOS:        s.ServerOS,
 		RotatePorts:     s.RotatePorts,
 		ForceServerPort: s.ForceServerPort,
-		nextClientPort:  s.nextClientPort + uint16(i+1)*trialPortStride,
-		nextServerPort:  s.nextServerPort + uint16(i+1)*trialPortStride,
+		Robust:          s.Robust,
+		MaxTrials:       s.MaxTrials,
+		nextClientPort:  wrapPort(uint32(s.nextClientPort)+offset, clientPortBase),
+		nextServerPort:  wrapPort(uint32(s.nextServerPort)+offset, serverPortBase),
 		started:         net.Clock.Now(),
 	}
 }
@@ -84,9 +129,52 @@ func (s *Session) evalWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// Replay runs one replay round with accounting.
+// replayRetries is how many additional attempts a robust session grants a
+// replay that was wiped out without any enforcement signal.
+const replayRetries = 2
+
+// transientWipeout reports a replay that died showing no *active*
+// enforcement signal: nothing completed, yet no block page, no RSTs, no
+// reset-close. Handshake failures count — on a noisy path a lost SYN is
+// indistinguishable from silent blocking, and a fresh-flow retry
+// disambiguates the two (real blocking fails again; loss does not) — so
+// robust sessions retry, escalating to reliable endpoints.
+func transientWipeout(r *replay.Result) bool {
+	return !r.Completed && !r.Got403 && r.RSTsSeen == 0 && r.CloseState != "rst"
+}
+
+// Replay runs one replay round with accounting. Robust sessions grant a
+// transiently-wiped replay up to replayRetries fresh-flow retries,
+// escalating to reliable (retransmitting) endpoints on the final attempt;
+// clean sessions run exactly one round, unchanged.
 func (s *Session) Replay(tr *trace.Trace, transform stack.OutgoingTransform, extra ...func(*replay.Options)) *replay.Result {
-	s.nextClientPort++
+	res := s.replayOnce(tr, transform, extra...)
+	if !s.Robust {
+		return res
+	}
+	for attempt := 1; attempt <= replayRetries && transientWipeout(res); attempt++ {
+		rx := extra
+		if attempt == replayRetries {
+			rx = append(append([]func(*replay.Options){}, extra...),
+				func(o *replay.Options) { o.Reliable = true })
+		}
+		res = s.replayOnce(tr, transform, rx...)
+	}
+	if transientWipeout(res) {
+		// Still wiped with zero enforcement signals after every retry. All
+		// simulated blocking mechanisms emit an active signal (RSTs or a
+		// block page), so a signal-free handshake failure is noise, not a
+		// verdict: clear the Blocked reading so downstream oracles treat it
+		// as a negative — which the one-sided voting re-verifies — instead
+		// of an authoritative positive.
+		res.Blocked = false
+	}
+	return res
+}
+
+// replayOnce runs a single replay round with accounting.
+func (s *Session) replayOnce(tr *trace.Trace, transform stack.OutgoingTransform, extra ...func(*replay.Options)) *replay.Result {
+	s.nextClientPort = wrapPort(uint32(s.nextClientPort)+1, clientPortBase)
 	opts := replay.Options{
 		Net:        s.Net,
 		Trace:      tr,
@@ -95,7 +183,7 @@ func (s *Session) Replay(tr *trace.Trace, transform stack.OutgoingTransform, ext
 		Transform:  transform,
 	}
 	if s.RotatePorts {
-		s.nextServerPort++
+		s.nextServerPort = wrapPort(uint32(s.nextServerPort)+1, serverPortBase)
 		opts.ServerPort = s.nextServerPort
 	}
 	if s.ForceServerPort != 0 {

@@ -127,6 +127,55 @@ type Policy struct {
 	ZeroRate bool
 }
 
+// Faults describes stochastic misbehaviour of the middlebox itself —
+// the flaky-classifier reality §6 hints at (the GFC misses a fraction of
+// flows and injects RSTs unreliably). All probabilistic knobs draw from a
+// dedicated deterministic RNG stream (seeded Seed^0xfa17) that is created
+// lazily and never consumed while every rate is zero, so a zero-fault
+// config replays byte-identically to a build without the fault layer and
+// forks cleanly mid-stream.
+type Faults struct {
+	// MissRate is the probability that the classifier fails to engage on
+	// a new flow at all (overload sampling): the flow is created but never
+	// inspected. One draw per flow-record creation.
+	MissRate float64
+	// RSTDropRate is the probability that each forged teardown packet
+	// (block-page, RST, blacklist RST) is lost before injection.
+	RSTDropRate float64
+	// RSTDelayRate is the probability that a forged teardown packet that
+	// survived the drop draw is injected late, by RSTDelay.
+	RSTDelayRate float64
+	// RSTDelay is how late a delayed teardown packet is injected
+	// (default 200 ms when a delay fires with a zero value here).
+	RSTDelay time.Duration
+	// FlowTableCap bounds tracked flows; creating a flow beyond the cap
+	// evicts the least-recently-seen one (deterministic LRU, ties broken
+	// by flow key) — the state-exhaustion behaviour of loaded middleboxes.
+	FlowTableCap int
+	// OutageEvery / OutageFor describe transient classifier outages: in
+	// every OutageEvery window of virtual time the classifier is offline
+	// (forwards without inspecting) for the first OutageFor. Purely
+	// clock-driven, so outages are reproducible and fork-safe for free.
+	OutageEvery time.Duration
+	OutageFor   time.Duration
+}
+
+// Any reports whether any fault knob is active. The middlebox consults it
+// on the hot path to keep zero-fault configs draw-free.
+func (fl Faults) Any() bool {
+	return fl.MissRate > 0 || fl.RSTDropRate > 0 || fl.RSTDelayRate > 0 ||
+		fl.FlowTableCap > 0 || (fl.OutageEvery > 0 && fl.OutageFor > 0)
+}
+
+// FaultStats counts fault firings, for tests and the chaos experiment.
+type FaultStats struct {
+	FlowsMissed  int
+	RSTsDropped  int
+	RSTsDelayed  int
+	LRUEvictions int
+	OutageSkips  int
+}
+
 // Config assembles a classifier from mechanisms.
 type Config struct {
 	Name string
@@ -189,6 +238,10 @@ type Config struct {
 	Load *LoadModel
 	// Seed feeds the middlebox's deterministic RNG.
 	Seed int64
+	// Faults injects stochastic middlebox misbehaviour (classifier
+	// misses, flaky teardown injection, state exhaustion, outages). The
+	// zero value is the perfectly reliable classifier.
+	Faults Faults
 
 	// PortFilter restricts inspection to flows whose server port is
 	// listed (Iran: port 80 only). Empty = all ports.

@@ -69,6 +69,17 @@ func fingerprintElement(w io.Writer, el netem.Element) {
 			e.Label, e.DropDefects, e.Drop != nil, e.OnlyDir)
 	case *netem.Pipe:
 		fmt.Fprintf(w, "pipe %s rate=%v\n", e.Label, e.RateBps)
+	case *netem.LossyLink:
+		fmt.Fprintf(w, "lossy %s rate=%v seed=%d\n", e.Label, e.LossRate, e.Seed)
+	case *netem.DuplicatingLink:
+		fmt.Fprintf(w, "dup %s rate=%v seed=%d\n", e.Label, e.DupRate, e.Seed)
+	case *netem.GilbertElliottLink:
+		fmt.Fprintf(w, "ge %s pgb=%v pbg=%v lg=%v lb=%v seed=%d\n",
+			e.Label, e.PGB, e.PBG, e.LossGood, e.LossBad, e.Seed)
+	case *netem.CorruptingLink:
+		fmt.Fprintf(w, "corrupt %s rate=%v seed=%d\n", e.Label, e.CorruptRate, e.Seed)
+	case *netem.PayloadCorruptingLink:
+		fmt.Fprintf(w, "paycorrupt %s rate=%v seed=%d\n", e.Label, e.CorruptRate, e.Seed)
 	default:
 		fmt.Fprintf(w, "element %s %T\n", el.Name(), el)
 	}

@@ -1,0 +1,174 @@
+package dpi
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netem"
+)
+
+// ImpairmentSpec is the JSON/CLI description of one path impairment —
+// a lossy, duplicating, bursty (Gilbert-Elliott), bit-corrupting, or
+// silently payload-corrupting link inserted at the client side of the
+// path, where access-link flakiness lives.
+type ImpairmentSpec struct {
+	// Kind is one of "loss", "dup", "ge", "corrupt", "payload".
+	Kind string `json:"kind"`
+	// Rate is the impairment's primary probability: loss/dup/corruption
+	// rate, or the Good→Bad transition probability for "ge".
+	Rate float64 `json:"rate"`
+	// Rate2 is "ge"'s Bad→Good transition probability (default 0.3).
+	Rate2 float64 `json:"rate2,omitempty"`
+	// Rate3 is "ge"'s Bad-state loss probability (default 0.8).
+	Rate3 float64 `json:"rate3,omitempty"`
+	// Seed offsets the link's RNG stream (0 = a fixed default).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// build constructs the netem element an impairment spec describes.
+func (s ImpairmentSpec) build(label string) (netem.Element, error) {
+	if s.Rate < 0 || s.Rate >= 1 {
+		return nil, fmt.Errorf("dpi: impairment %q rate %v outside [0,1)", s.Kind, s.Rate)
+	}
+	switch s.Kind {
+	case "loss":
+		return &netem.LossyLink{Label: label, LossRate: s.Rate, Seed: s.Seed}, nil
+	case "dup":
+		return &netem.DuplicatingLink{Label: label, DupRate: s.Rate, Seed: s.Seed}, nil
+	case "ge":
+		pbg, lossBad := s.Rate2, s.Rate3
+		if pbg <= 0 {
+			pbg = 0.3
+		}
+		if lossBad <= 0 {
+			lossBad = 0.8
+		}
+		return &netem.GilbertElliottLink{Label: label, PGB: s.Rate, PBG: pbg, LossBad: lossBad, Seed: s.Seed}, nil
+	case "corrupt":
+		return &netem.CorruptingLink{Label: label, CorruptRate: s.Rate, Seed: s.Seed}, nil
+	case "payload":
+		return &netem.PayloadCorruptingLink{Label: label, CorruptRate: s.Rate, Seed: s.Seed}, nil
+	}
+	return nil, fmt.Errorf("dpi: unknown impairment kind %q (loss|dup|ge|corrupt|payload)", s.Kind)
+}
+
+// ParseImpairments parses the -impair CLI form: comma-separated
+// kind:rate entries, with "ge" taking kind:pgb/pbg[/lossbad], e.g.
+//
+//	loss:0.02,dup:0.01,ge:0.05/0.3/0.8,payload:0.005
+func ParseImpairments(s string) ([]ImpairmentSpec, error) {
+	var specs []ImpairmentSpec
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(part, ":")
+		if !ok {
+			return nil, fmt.Errorf("dpi: impairment %q: want kind:rate", part)
+		}
+		spec := ImpairmentSpec{Kind: kind}
+		rates := strings.Split(rest, "/")
+		for i, r := range rates {
+			v, err := strconv.ParseFloat(r, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dpi: impairment %q: bad rate %q: %w", part, r, err)
+			}
+			switch i {
+			case 0:
+				spec.Rate = v
+			case 1:
+				spec.Rate2 = v
+			case 2:
+				spec.Rate3 = v
+			default:
+				return nil, fmt.Errorf("dpi: impairment %q: too many rates", part)
+			}
+		}
+		if _, err := spec.build("probe"); err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// AddImpairments inserts the specified links at the client end of the
+// path, before any existing element, so they impair the client's view of
+// both data and injected teardown packets. Call before the first replay
+// or Fork.
+func (n *Network) AddImpairments(specs []ImpairmentSpec) error {
+	if len(specs) == 0 {
+		return nil
+	}
+	els := make([]netem.Element, 0, len(specs)+len(n.Env.Elements()))
+	for i, s := range specs {
+		el, err := s.build(fmt.Sprintf("%s-impair-%s-%d", n.Name, s.Kind, i))
+		if err != nil {
+			return err
+		}
+		els = append(els, el)
+	}
+	n.Env.ReplaceElements(append(els, n.Env.Elements()...))
+	return nil
+}
+
+// Noisy reports whether the network carries any stochastic fault or
+// impairment — the signal lib·erate's phases use to switch from the
+// single-shot fast path to robust (voted, retried) probing.
+func (n *Network) Noisy() bool {
+	if n.MB != nil && n.MB.Cfg.Faults.Any() {
+		return true
+	}
+	for _, el := range n.Env.Elements() {
+		switch e := el.(type) {
+		case *netem.LossyLink:
+			if e.LossRate > 0 {
+				return true
+			}
+		case *netem.DuplicatingLink:
+			if e.DupRate > 0 {
+				return true
+			}
+		case *netem.GilbertElliottLink:
+			if e.PGB > 0 && e.LossBad > 0 || e.LossGood > 0 {
+				return true
+			}
+		case *netem.CorruptingLink:
+			if e.CorruptRate > 0 {
+				return true
+			}
+		case *netem.PayloadCorruptingLink:
+			if e.CorruptRate > 0 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FaultsSpec is the JSON form of Faults (classifier-side stochastic
+// misbehaviour) for custom network specs.
+type FaultsSpec struct {
+	MissRate     float64 `json:"miss_rate,omitempty"`
+	RSTDropRate  float64 `json:"rst_drop_rate,omitempty"`
+	RSTDelayRate float64 `json:"rst_delay_rate,omitempty"`
+	RSTDelayMs   int     `json:"rst_delay_ms,omitempty"`
+	FlowTableCap int     `json:"flow_table_cap,omitempty"`
+	OutageEveryS int     `json:"outage_every_s,omitempty"`
+	OutageForS   int     `json:"outage_for_s,omitempty"`
+}
+
+func (fs *FaultsSpec) faults() Faults {
+	return Faults{
+		MissRate:     fs.MissRate,
+		RSTDropRate:  fs.RSTDropRate,
+		RSTDelayRate: fs.RSTDelayRate,
+		RSTDelay:     time.Duration(fs.RSTDelayMs) * time.Millisecond,
+		FlowTableCap: fs.FlowTableCap,
+		OutageEvery:  time.Duration(fs.OutageEveryS) * time.Second,
+		OutageFor:    time.Duration(fs.OutageForS) * time.Second,
+	}
+}

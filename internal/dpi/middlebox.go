@@ -31,6 +31,14 @@ type Middlebox struct {
 	shapers   map[string]*shaper
 	events    []Event
 	reasm     *packet.Reassembler
+
+	// faultRNG drives the stochastic fault knobs in Cfg.Faults. It is a
+	// stream separate from rng so enabling faults cannot shift the draws
+	// behind load eviction or RST-count jitter, and it is created lazily
+	// on the first fault draw so zero-fault configs never consume it.
+	faultRNG *detrand.Rand
+	// FaultStats counts fault firings since construction or ResetState.
+	FaultStats FaultStats
 }
 
 type hostPort struct {
@@ -42,9 +50,12 @@ type mbFlow struct {
 	clientKey packet.FlowKey
 	sawSYN    bool
 	dead      bool
-	class     string
-	lastSeen  time.Time
-	timeout   time.Duration // effective idle timeout (0 = config default)
+	// missed marks a flow the classifier failed to engage on at all
+	// (Faults.MissRate): state is tracked but never inspected.
+	missed   bool
+	class    string
+	lastSeen time.Time
+	timeout  time.Duration // effective idle timeout (0 = config default)
 
 	inspected      [2]int // payload packets inspected, per direction
 	inspectedBytes [2]int // payload bytes inspected, per direction
@@ -85,6 +96,7 @@ func (m *Middlebox) ResetState() {
 	m.shapers = make(map[string]*shaper)
 	m.events = nil
 	m.reasm.Flush()
+	m.FaultStats = FaultStats{}
 }
 
 // ForkElement implements netem.Forkable: the copy continues from the same
@@ -103,6 +115,10 @@ func (m *Middlebox) ForkElement() netem.Element {
 		shapers:   make(map[string]*shaper, len(m.shapers)),
 		events:    append([]Event(nil), m.events...),
 		reasm:     m.reasm.Clone(),
+	}
+	c.FaultStats = m.FaultStats
+	if m.faultRNG != nil {
+		c.faultRNG = m.faultRNG.Clone()
 	}
 	for k, f := range m.flows {
 		c.flows[k] = f.clone()
@@ -192,6 +208,10 @@ func (m *Middlebox) Process(ctx netem.Context, dir netem.Direction, f *packet.Fr
 // ---- inspection ----------------------------------------------------------
 
 func (m *Middlebox) inspectPacket(ctx netem.Context, dir netem.Direction, p *packet.Packet, defects packet.DefectSet, raw []byte) {
+	if m.inOutage(ctx) {
+		m.FaultStats.OutageSkips++
+		return
+	}
 	serverPort := m.serverPort(dir, p)
 	if !m.Cfg.inspectsPort(serverPort) {
 		return
@@ -233,7 +253,7 @@ func (m *Middlebox) inspectPacket(ctx netem.Context, dir netem.Direction, p *pac
 	}
 
 	f := m.flowFor(ctx, dir, p)
-	if f == nil {
+	if f == nil || f.missed {
 		return
 	}
 	now := ctx.Now()
@@ -496,20 +516,85 @@ func (m *Middlebox) flowFor(ctx netem.Context, dir netem.Direction, p *packet.Pa
 	}
 	if !ok {
 		isSYN := p.TCP != nil && p.TCP.Flags.Has(packet.FlagSYN) && !p.TCP.Flags.Has(packet.FlagACK) && dir == netem.ToServer
-		f = &mbFlow{
-			clientKey: clientKey,
-			sawSYN:    isSYN || p.TCP == nil,
-			lastSeen:  now,
-			families:  make(map[Family]bool),
-		}
+		f = m.newFlowRecord(clientKey, isSYN || p.TCP == nil, now)
 		m.flows[ck] = f
+		m.enforceFlowCap(ctx, ck)
 	} else if p.TCP != nil && p.TCP.Flags.Has(packet.FlagSYN) && !p.TCP.Flags.Has(packet.FlagACK) && dir == netem.ToServer {
 		// Fresh handshake on a stale tuple: restart the flow record.
-		nf := &mbFlow{clientKey: clientKey, sawSYN: true, lastSeen: now, families: make(map[Family]bool)}
+		nf := m.newFlowRecord(clientKey, true, now)
 		m.flows[ck] = nf
 		return nf
 	}
 	return f
+}
+
+// newFlowRecord allocates flow state, applying the per-flow classifier
+// miss draw (Faults.MissRate). Every new flow costs exactly one draw when
+// the knob is active, so the fault stream's position depends only on the
+// flow-creation sequence.
+func (m *Middlebox) newFlowRecord(clientKey packet.FlowKey, sawSYN bool, now time.Time) *mbFlow {
+	f := &mbFlow{
+		clientKey: clientKey,
+		sawSYN:    sawSYN,
+		lastSeen:  now,
+		families:  make(map[Family]bool),
+	}
+	if r := m.Cfg.Faults.MissRate; r > 0 && m.faultRand().Float64() < r {
+		f.missed = true
+		m.FaultStats.FlowsMissed++
+	}
+	return f
+}
+
+// enforceFlowCap evicts the least-recently-seen flow once the table
+// exceeds Faults.FlowTableCap, sparing the flow just inserted. Ties on
+// lastSeen break by flow key so eviction is independent of map iteration
+// order.
+func (m *Middlebox) enforceFlowCap(ctx netem.Context, justAdded packet.FlowKey) {
+	cap_ := m.Cfg.Faults.FlowTableCap
+	if cap_ <= 0 || len(m.flows) <= cap_ {
+		return
+	}
+	var victim packet.FlowKey
+	var vf *mbFlow
+	for k, f := range m.flows {
+		if k == justAdded {
+			continue
+		}
+		if vf == nil || f.lastSeen.Before(vf.lastSeen) ||
+			(f.lastSeen.Equal(vf.lastSeen) && k.Less(victim)) {
+			victim, vf = k, f
+		}
+	}
+	if vf == nil {
+		return
+	}
+	m.events = append(m.events, Event{At: ctx.Now(), Flow: vf.clientKey, Class: vf.class, Action: "flush"})
+	delete(m.flows, victim)
+	m.FaultStats.LRUEvictions++
+}
+
+// inOutage reports whether the classifier is inside a transient outage
+// window. Outages are a pure function of the virtual clock — no RNG — so
+// they reproduce exactly under Fork().
+func (m *Middlebox) inOutage(ctx netem.Context) bool {
+	fl := m.Cfg.Faults
+	if fl.OutageEvery <= 0 || fl.OutageFor <= 0 {
+		return false
+	}
+	phase := ctx.Now().UnixNano() % int64(fl.OutageEvery)
+	if phase < 0 {
+		phase += int64(fl.OutageEvery)
+	}
+	return phase < int64(fl.OutageFor)
+}
+
+// faultRand returns the dedicated fault RNG, creating it on first use.
+func (m *Middlebox) faultRand() *detrand.Rand {
+	if m.faultRNG == nil {
+		m.faultRNG = detrand.New(m.Cfg.Seed ^ 0xfa17)
+	}
+	return m.faultRNG
 }
 
 func (m *Middlebox) onRST(f *mbFlow) {
@@ -586,7 +671,7 @@ func (m *Middlebox) injectBlock(ctx netem.Context, dir netem.Direction, trigger 
 	if pol.BlockPage403 {
 		page := blockPage()
 		bp := packet.NewTCP(serverAddr, clientAddr, serverPort, clientPort, cliSeq, srvSeq, packet.FlagACK|packet.FlagPSH, page)
-		ctx.SendToClient(packet.FrameOf(bp))
+		m.sendForged(ctx, true, packet.FrameOf(bp))
 		cliSeq += uint32(len(page))
 	}
 	n := pol.BlockRSTs
@@ -599,10 +684,39 @@ func (m *Middlebox) injectBlock(ctx netem.Context, dir netem.Direction, trigger 
 	}
 	for i := 0; i < n; i++ {
 		rstC := packet.NewTCP(serverAddr, clientAddr, serverPort, clientPort, cliSeq, srvSeq, packet.FlagRST|packet.FlagACK, nil)
-		ctx.SendToClient(packet.FrameOf(rstC))
+		m.sendForged(ctx, true, packet.FrameOf(rstC))
 	}
 	rstS := packet.NewTCP(clientAddr, serverAddr, clientPort, serverPort, srvSeq, cliSeq, packet.FlagRST|packet.FlagACK, nil)
-	ctx.SendToServer(packet.FrameOf(rstS))
+	m.sendForged(ctx, false, packet.FrameOf(rstS))
+}
+
+// sendForged injects one forged teardown packet, subject to the
+// drop-then-delay fault draws (Faults.RSTDropRate / RSTDelayRate). The
+// draw order is fixed so a given fault stream position is stable, and no
+// draw happens while both rates are zero.
+func (m *Middlebox) sendForged(ctx netem.Context, toClient bool, f *packet.Frame) {
+	fl := m.Cfg.Faults
+	if fl.RSTDropRate > 0 && m.faultRand().Float64() < fl.RSTDropRate {
+		m.FaultStats.RSTsDropped++
+		return
+	}
+	send := func() {
+		if toClient {
+			ctx.SendToClient(f)
+		} else {
+			ctx.SendToServer(f)
+		}
+	}
+	if fl.RSTDelayRate > 0 && m.faultRand().Float64() < fl.RSTDelayRate {
+		m.FaultStats.RSTsDelayed++
+		d := fl.RSTDelay
+		if d <= 0 {
+			d = 200 * time.Millisecond
+		}
+		ctx.Schedule(d, send)
+		return
+	}
+	send()
 }
 
 func (m *Middlebox) enforceBlacklist(ctx netem.Context, dir netem.Direction, p *packet.Packet) bool {
@@ -626,7 +740,7 @@ func (m *Middlebox) enforceBlacklist(ctx netem.Context, dir netem.Direction, p *
 	}
 	if dir == netem.ToServer {
 		rst := packet.NewTCP(hp.addr, p.IP.Src, p.TCP.DstPort, p.TCP.SrcPort, p.TCP.Ack, p.TCP.Seq+uint32(len(p.Payload)), packet.FlagRST|packet.FlagACK, nil)
-		ctx.SendToClient(packet.FrameOf(rst))
+		m.sendForged(ctx, true, packet.FrameOf(rst))
 	}
 	return true
 }

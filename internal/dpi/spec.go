@@ -44,6 +44,9 @@ type NetworkSpec struct {
 	// StatefulFirewall adds a seq-tracking firewall after the classifier.
 	StatefulFirewall bool `json:"stateful_firewall,omitempty"`
 
+	// Impairments inserts flaky links at the client end of the path.
+	Impairments []ImpairmentSpec `json:"impairments,omitempty"`
+
 	Classifier *ClassifierSpec `json:"classifier,omitempty"`
 }
 
@@ -98,6 +101,9 @@ type ClassifierSpec struct {
 	RSTTimeoutSecs  int    `json:"rst_timeout_s,omitempty"`
 	GFCLoadModel    bool   `json:"gfc_load_model,omitempty"`
 	Seed            int64  `json:"seed,omitempty"`
+
+	// Faults injects stochastic classifier misbehaviour (see Faults).
+	Faults *FaultsSpec `json:"faults,omitempty"`
 
 	PortFilter []uint16              `json:"port_filter,omitempty"`
 	Policies   map[string]PolicySpec `json:"policies,omitempty"`
@@ -171,6 +177,9 @@ func BuildNetwork(spec *NetworkSpec) (*Network, error) {
 	}
 	env.Append(&netem.Pipe{Label: spec.Name + "-link", RateBps: spec.LinkMbps * 1e6})
 	addHops(env, spec.HopsBefore+1, spec.HopsAfter)
+	if err := n.AddImpairments(spec.Impairments); err != nil {
+		return nil, err
+	}
 	return n, nil
 }
 
@@ -230,6 +239,9 @@ func buildConfig(name string, cs *ClassifierSpec) (*Config, error) {
 	if cs.GFCLoadModel {
 		lm := GFCLoad()
 		cfg.Load = &lm
+	}
+	if cs.Faults != nil {
+		cfg.Faults = cs.Faults.faults()
 	}
 	if len(cs.ValidatedDefects) == 1 && cs.ValidatedDefects[0] == "all" {
 		cfg.ValidatedDefects = packet.AllDefects()

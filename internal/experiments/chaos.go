@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dpi"
+	"repro/internal/trace"
+)
+
+// ChaosCell is one (network, fault-rate) point of the chaos sweep: a full
+// robust engagement plus exhaustive evaluation against a middlebox with
+// stochastic faults, compared verdict-by-verdict to the clean baseline.
+type ChaosCell struct {
+	MissRate    float64
+	RSTDropRate float64
+
+	// Differentiated / KindsMatch report whether detection survived the
+	// faults and still identified the same mechanisms as the clean run.
+	Differentiated bool
+	KindsMatch     bool
+	// Flips counts techniques whose evasion verdict (CC) changed relative
+	// to the clean baseline; FlippedIDs names them.
+	Flips      int
+	FlippedIDs []string
+	// MinConfidence is the lowest confidence across detection and all
+	// robust verdicts of the cell.
+	MinConfidence float64
+	DetectTrials  int
+	Rounds        int
+
+	// kinds is the detection-mechanism signature, kept for the baseline
+	// comparison.
+	kinds string
+}
+
+// ChaosRow is one network's sweep across fault rates.
+type ChaosRow struct {
+	Network string
+	// Baseline maps technique ID → clean-network CC verdict.
+	Baseline map[string]bool
+	Cells    []ChaosCell
+	// FlipThreshold is the smallest swept miss rate at which any verdict
+	// flipped (or detection degraded); 0 means the network's verdicts were
+	// stable through the whole sweep.
+	FlipThreshold float64
+}
+
+// ChaosReport is the full fault-injection robustness sweep: for each
+// network, middlebox fault rates are swept (classifier miss rate r,
+// RST-drop rate 2r) and the resulting Table 3 evasion verdicts are diffed
+// against the clean baseline. It answers the question the golden tests
+// cannot: how hard does the measured world have to misbehave before
+// lib·erate's answers change?
+type ChaosReport struct {
+	Quick bool
+	Rates []float64
+	Rows  []ChaosRow
+}
+
+// chaosNetworks selects the swept networks: the full Table 3 set, or the
+// two cheapest representative ones (a plain blocker and the
+// blacklist-armed GFC) in quick mode.
+func chaosNetworks(quick bool) []struct {
+	name  string
+	fresh func() *dpi.Network
+	tcp   func() *trace.Trace
+	udp   func() *trace.Trace
+	hour  int
+} {
+	if !quick {
+		return table3Networks
+	}
+	var out []struct {
+		name  string
+		fresh func() *dpi.Network
+		tcp   func() *trace.Trace
+		udp   func() *trace.Trace
+		hour  int
+	}
+	for _, n := range table3Networks {
+		if n.name == "testbed" || n.name == "gfc" {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// chaosRates returns the swept classifier miss rates (the RST-drop rate
+// is always twice the miss rate, mirroring the observation that teardown
+// injection races are the most failure-prone middlebox behavior).
+func chaosRates(quick bool) []float64 {
+	if quick {
+		return []float64{0.10}
+	}
+	return []float64{0.05, 0.10, 0.20, 0.30}
+}
+
+// RunChaos executes the sweep. Quick mode (CI) restricts it to two
+// networks at one fault rate.
+func RunChaos(quick bool) *ChaosReport {
+	rep := &ChaosReport{Quick: quick, Rates: chaosRates(quick)}
+	for _, n := range chaosNetworks(quick) {
+		row := ChaosRow{Network: n.name}
+		baseCC, baseKinds := chaosEngagement(n.fresh, n.tcp, n.hour, dpi.Faults{}, nil)
+		row.Baseline = baseCC
+		for _, r := range rep.Rates {
+			fl := dpi.Faults{MissRate: r, RSTDropRate: 2 * r}
+			cell := ChaosCell{MissRate: r, RSTDropRate: 2 * r}
+			cc, _ := chaosEngagement(n.fresh, n.tcp, n.hour, fl, &cell)
+			cell.KindsMatch = cell.kinds == baseKinds
+			for id, base := range baseCC {
+				if cc[id] != base {
+					cell.Flips++
+					cell.FlippedIDs = append(cell.FlippedIDs, id)
+				}
+			}
+			sort.Strings(cell.FlippedIDs)
+			if row.FlipThreshold == 0 && (cell.Flips > 0 || !cell.Differentiated || !cell.KindsMatch) {
+				row.FlipThreshold = r
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	return rep
+}
+
+// chaosEngagement runs one full engagement (detection, characterization,
+// exhaustive evaluation) against a fresh network with the given faults and
+// returns the per-technique CC verdicts. When cell is non-nil the robust
+// bookkeeping (trials, confidence, rounds) is recorded into it.
+func chaosEngagement(fresh func() *dpi.Network, tr func() *trace.Trace, hour int, fl dpi.Faults, cell *ChaosCell) (map[string]bool, string) {
+	net := fresh()
+	if net.MB != nil {
+		net.MB.Cfg.Faults = fl
+	}
+	if hour > 0 {
+		net.Clock.RunFor(time.Duration(hour) * time.Hour)
+	}
+	tcpTr := tr()
+	lib := &core.Liberate{Net: net, Trace: tcpTr}
+	r := lib.Run()
+	s := core.NewSession(net)
+	if r.Characterization.ResidualBlocking {
+		s.RotatePorts = true
+	}
+	if r.Characterization.PortSpecific {
+		s.ForceServerPort = tcpTr.ServerPort
+	}
+	ev := core.EvaluateExhaustive(s, tcpTr, r.Detection, r.Characterization)
+
+	cc := map[string]bool{}
+	for _, v := range ev.Verdicts {
+		if !v.Tried {
+			continue
+		}
+		cc[v.Technique.ID] = v.Evades && v.Served
+	}
+	kinds := make([]string, 0, len(r.Detection.Kinds))
+	for _, k := range r.Detection.Kinds {
+		kinds = append(kinds, string(k))
+	}
+	kindSig := strings.Join(kinds, "+")
+	if cell != nil {
+		cell.Differentiated = r.Detection.Differentiated
+		cell.DetectTrials = r.Detection.Trials
+		cell.Rounds = r.TotalRounds + ev.Rounds
+		cell.kinds = kindSig
+		cell.MinConfidence = r.Detection.Confidence
+		if mc := ev.MinConfidence(); mc > 0 && (cell.MinConfidence == 0 || mc < cell.MinConfidence) {
+			cell.MinConfidence = mc
+		}
+	}
+	return cc, kindSig
+}
+
+// RobustOverhead measures what the robustness machinery costs on a clean
+// network: the same replay workload with robust mode forced off and on.
+// With no faults there are no wipeouts, so both runs perform identical
+// replays — any delta is pure gating/bookkeeping overhead, which CI pins
+// below 5%.
+type RobustOverhead struct {
+	Rounds   int
+	CleanNS  int64
+	RobustNS int64
+	// Ratio is robust/clean wall time (best of three runs each).
+	Ratio float64
+}
+
+// MeasureRobustOverhead replays a web trace rounds times per mode and
+// reports best-of-three wall-clock for each.
+func MeasureRobustOverhead(rounds int) *RobustOverhead {
+	if rounds <= 0 {
+		rounds = 200
+	}
+	run := func(robust bool) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for rep := 0; rep < 3; rep++ {
+			s := core.NewSession(dpi.NewBaseline())
+			s.Robust = robust
+			tcpTr := trace.EconomistWeb(8 << 10)
+			start := time.Now()
+			for i := 0; i < rounds; i++ {
+				s.Replay(tcpTr, nil)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	o := &RobustOverhead{Rounds: rounds}
+	o.CleanNS = run(false).Nanoseconds()
+	o.RobustNS = run(true).Nanoseconds()
+	o.Ratio = float64(o.RobustNS) / float64(o.CleanNS)
+	return o
+}
+
+// Within reports whether the measured overhead stays inside the budget
+// (e.g. 0.05 for the CI 5% guard).
+func (o *RobustOverhead) Within(budget float64) bool {
+	return o.Ratio <= 1+budget
+}
+
+// Render prints the overhead comparison.
+func (o *RobustOverhead) Render() string {
+	return fmt.Sprintf("robust-mode overhead on a clean network (%d replays, best of 3):\n"+
+		"  single-shot %8.1f ms\n  robust      %8.1f ms\n  ratio       %.3f\n",
+		o.Rounds, float64(o.CleanNS)/1e6, float64(o.RobustNS)/1e6, o.Ratio)
+}
+
+// Render prints the sweep as a fixed-width table.
+func (r *ChaosReport) Render() string {
+	var b strings.Builder
+	mode := "full"
+	if r.Quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(&b, "chaos sweep (%s): middlebox faults miss=r, rst-drop=2r\n", mode)
+	fmt.Fprintf(&b, "%-8s", "network")
+	for _, rate := range r.Rates {
+		fmt.Fprintf(&b, " | %-16s", fmt.Sprintf("r=%.2f", rate))
+	}
+	fmt.Fprintf(&b, " | flip-threshold\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-8s", row.Network)
+		for _, c := range row.Cells {
+			state := fmt.Sprintf("%d flips c=%.2f", c.Flips, c.MinConfidence)
+			if !c.Differentiated && len(row.Baseline) > 0 {
+				state = "detect lost"
+			}
+			fmt.Fprintf(&b, " | %-16s", state)
+		}
+		if row.FlipThreshold > 0 {
+			fmt.Fprintf(&b, " | r=%.2f\n", row.FlipThreshold)
+		} else {
+			fmt.Fprintf(&b, " | stable\n")
+		}
+	}
+	for _, row := range r.Rows {
+		for _, c := range row.Cells {
+			if c.Flips > 0 {
+				fmt.Fprintf(&b, "  %s r=%.2f flipped: %s\n", row.Network, c.MissRate, strings.Join(c.FlippedIDs, ", "))
+			}
+		}
+	}
+	return b.String()
+}

@@ -42,6 +42,70 @@ func (l *LossyLink) Process(ctx Context, dir Direction, f *packet.Frame) {
 	ctx.Forward(f)
 }
 
+// GilbertElliottLink drops packets according to the two-state
+// Gilbert-Elliott model: a Markov chain alternating between a Good state
+// (rare, independent loss) and a Bad state (heavy loss), producing the
+// bursty losses real access links show rather than LossyLink's
+// independent Bernoulli drops. Every packet costs exactly two RNG draws
+// (state transition, then loss), so the stream position is a pure
+// function of the packet count and the link forks mid-burst.
+type GilbertElliottLink struct {
+	Label string
+	// PGB / PBG are the per-packet Good→Bad and Bad→Good transition
+	// probabilities. Their ratio sets the stationary share of Bad time;
+	// their magnitude sets burst length (mean burst = 1/PBG packets).
+	PGB float64
+	PBG float64
+	// LossGood / LossBad are the per-packet drop probabilities in each
+	// state. LossGood is typically 0; LossBad near 1 models a burst that
+	// takes (almost) everything with it.
+	LossGood float64
+	LossBad  float64
+	Seed     int64
+
+	rng *detrand.Rand
+	bad bool
+	// Dropped / BadPackets count drops and packets that transited while
+	// the link was in the Bad state.
+	Dropped    int
+	BadPackets int
+}
+
+// Name implements Element.
+func (g *GilbertElliottLink) Name() string { return g.Label }
+
+// ForkElement implements Forkable: the copy continues from the same
+// Markov state and RNG position.
+func (g *GilbertElliottLink) ForkElement() Element {
+	c := *g
+	if g.rng != nil {
+		c.rng = g.rng.Clone()
+	}
+	return &c
+}
+
+// Process implements Element.
+func (g *GilbertElliottLink) Process(ctx Context, dir Direction, f *packet.Frame) {
+	if g.rng == nil {
+		g.rng = detrand.New(g.Seed ^ 0x9e11)
+	}
+	if g.bad {
+		g.bad = g.rng.Float64() >= g.PBG
+	} else {
+		g.bad = g.rng.Float64() < g.PGB
+	}
+	loss := g.LossGood
+	if g.bad {
+		g.BadPackets++
+		loss = g.LossBad
+	}
+	if g.rng.Float64() < loss {
+		g.Dropped++
+		return
+	}
+	ctx.Forward(f)
+}
+
 // DuplicatingLink re-delivers a fraction of packets twice — the benign
 // duplication real networks produce, which endpoint stacks and classifiers
 // must treat idempotently (first copy wins).
@@ -121,4 +185,64 @@ func (c *CorruptingLink) Process(ctx Context, dir Direction, f *packet.Frame) {
 		return
 	}
 	ctx.Forward(f)
+}
+
+// PayloadCorruptingLink corrupts one payload byte in a fraction of
+// passing packets and then re-fixes the transport checksum, so the damage
+// is *silent*: endpoint stacks accept the segment and only an
+// application-level integrity check (lib·erate's replay comparison)
+// notices. This models links or boxes that mangle payloads after
+// checksum offload. Packets that are fragments, carry no payload, or
+// already parse with defects are passed through untouched — deliberately
+// malformed evasion packets must not be "repaired" in flight.
+type PayloadCorruptingLink struct {
+	Label string
+	// CorruptRate is the silent-corruption probability per eligible packet.
+	CorruptRate float64
+	Seed        int64
+
+	rng       *detrand.Rand
+	Corrupted int
+}
+
+// Name implements Element.
+func (c *PayloadCorruptingLink) Name() string { return c.Label }
+
+// ForkElement implements Forkable.
+func (c *PayloadCorruptingLink) ForkElement() Element {
+	cp := *c
+	if c.rng != nil {
+		cp.rng = c.rng.Clone()
+	}
+	return &cp
+}
+
+// Process implements Element.
+func (c *PayloadCorruptingLink) Process(ctx Context, dir Direction, f *packet.Frame) {
+	if c.rng == nil {
+		c.rng = detrand.New(c.Seed ^ 0x51c0de)
+	}
+	p, defects := f.Parse()
+	eligible := defects == 0 && len(p.Payload) > 0 &&
+		p.IP.FragOffset == 0 && !p.IP.MoreFragments() &&
+		(p.TCP != nil || p.UDP != nil)
+	if !eligible || c.rng.Float64() >= c.CorruptRate {
+		ctx.Forward(f)
+		return
+	}
+	out := append([]byte(nil), f.Raw()...)
+	q, qd := packet.InspectView(out)
+	if qd != 0 || q == nil || len(q.Payload) == 0 {
+		ctx.Forward(f)
+		return
+	}
+	// A fresh payload slice, not an in-place edit: the parse caches the
+	// payload checksum by slice identity, and FixTransportChecksum must
+	// see the corrupted bytes, not the cached sum.
+	np := append([]byte(nil), q.Payload...)
+	np[c.rng.Intn(len(np))] ^= byte(1 + c.rng.Intn(255))
+	q.Payload = np
+	q.FixTransportChecksum()
+	c.Corrupted++
+	ctx.ForwardRaw(q.Serialize())
 }

@@ -114,3 +114,104 @@ func TestReplaceElements(t *testing.T) {
 		t.Fatalf("spliced chain broken: tap=%d server=%d", len(tap.Seen), n)
 	}
 }
+
+func TestGilbertElliottBurstyLoss(t *testing.T) {
+	run := func() (int, int, int) {
+		ge := &GilbertElliottLink{Label: "ge", PGB: 0.05, PBG: 0.3, LossBad: 0.9, Seed: 11}
+		clock, env, n := impairRig(ge)
+		for i := 0; i < 500; i++ {
+			env.FromClient(packet.NewUDP(env.ClientAddr, env.ServerAddr, 1, 2, []byte("x")).Serialize())
+		}
+		clock.Run()
+		return *n, ge.Dropped, ge.BadPackets
+	}
+	got1, dropped1, bad1 := run()
+	got2, dropped2, bad2 := run()
+	if got1 != got2 || dropped1 != dropped2 || bad1 != bad2 {
+		t.Fatalf("GE not deterministic: %d/%d/%d vs %d/%d/%d", got1, dropped1, bad1, got2, dropped2, bad2)
+	}
+	if got1+dropped1 != 500 || dropped1 == 0 || bad1 == 0 {
+		t.Fatalf("accounting wrong: delivered=%d dropped=%d bad=%d", got1, dropped1, bad1)
+	}
+	// Losses are bursty: nearly all drops happen inside Bad-state dwell
+	// time, which covers ~PGB/(PGB+PBG) ≈ 14% of packets; an independent
+	// Bernoulli process with the same overall rate would spread them out.
+	if dropped1 > bad1 {
+		t.Fatalf("drops (%d) exceed bad-state packets (%d)", dropped1, bad1)
+	}
+}
+
+func TestGilbertElliottForkContinuesStream(t *testing.T) {
+	ge := &GilbertElliottLink{Label: "ge", PGB: 0.1, PBG: 0.2, LossBad: 0.9, Seed: 5}
+	clock, env, _ := impairRig(ge)
+	for i := 0; i < 100; i++ {
+		env.FromClient(packet.NewUDP(env.ClientAddr, env.ServerAddr, 1, 2, []byte("x")).Serialize())
+	}
+	clock.Run()
+
+	fk := ge.ForkElement().(*GilbertElliottLink)
+	// Drive original and fork with identical traffic; their streams must
+	// stay in lockstep from the fork point.
+	clockA, envA, _ := impairRig(ge)
+	clockB, envB, _ := impairRig(fk)
+	for i := 0; i < 200; i++ {
+		envA.FromClient(packet.NewUDP(envA.ClientAddr, envA.ServerAddr, 1, 2, []byte("y")).Serialize())
+		envB.FromClient(packet.NewUDP(envB.ClientAddr, envB.ServerAddr, 1, 2, []byte("y")).Serialize())
+	}
+	clockA.Run()
+	clockB.Run()
+	if ge.Dropped != fk.Dropped || ge.BadPackets != fk.BadPackets || ge.bad != fk.bad {
+		t.Fatalf("fork diverged: %d/%d/%v vs %d/%d/%v",
+			ge.Dropped, ge.BadPackets, ge.bad, fk.Dropped, fk.BadPackets, fk.bad)
+	}
+}
+
+func TestPayloadCorruptingLinkIsSilent(t *testing.T) {
+	cl := &PayloadCorruptingLink{Label: "pc", CorruptRate: 1.0, Seed: 3}
+	clock := vclock.New()
+	env := New(clock, packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.9"))
+	env.Append(cl)
+	var payloads [][]byte
+	var defects []packet.DefectSet
+	env.SetServer(EndpointFunc(func(raw []byte) {
+		p, d := packet.Inspect(raw)
+		payloads = append(payloads, append([]byte(nil), p.Payload...))
+		defects = append(defects, d)
+	}))
+	orig := []byte("integrity-sensitive-payload")
+	for i := 0; i < 20; i++ {
+		env.FromClient(packet.NewTCP(env.ClientAddr, env.ServerAddr, 1234, 80, uint32(i), 1, packet.FlagACK|packet.FlagPSH, orig).Serialize())
+	}
+	clock.Run()
+	if cl.Corrupted != 20 {
+		t.Fatalf("corrupted %d, want all 20", cl.Corrupted)
+	}
+	for i := range payloads {
+		if string(payloads[i]) == string(orig) {
+			t.Fatalf("packet %d not corrupted", i)
+		}
+		// Silent: the checksum was re-fixed, so the endpoint sees no defect.
+		if defects[i] != 0 {
+			t.Fatalf("packet %d arrived with defects %v — corruption not silent", i, defects[i])
+		}
+	}
+}
+
+func TestPayloadCorruptingLinkSparesMalformed(t *testing.T) {
+	cl := &PayloadCorruptingLink{Label: "pc", CorruptRate: 1.0, Seed: 3}
+	clock := vclock.New()
+	env := New(clock, packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.9"))
+	env.Append(cl)
+	var got [][]byte
+	env.SetServer(EndpointFunc(func(raw []byte) { got = append(got, append([]byte(nil), raw...)) }))
+	// A deliberately checksum-broken packet (an inert evasion packet) must
+	// pass through byte-identical, not be corrupted or repaired.
+	p := packet.NewTCP(env.ClientAddr, env.ServerAddr, 1234, 80, 9, 1, packet.FlagACK|packet.FlagPSH, []byte("inert"))
+	p.TCP.Checksum ^= 0x5555
+	want := p.Serialize()
+	env.FromClient(append([]byte(nil), want...))
+	clock.Run()
+	if cl.Corrupted != 0 || len(got) != 1 || string(got[0]) != string(want) {
+		t.Fatalf("malformed packet not passed through untouched (corrupted=%d)", cl.Corrupted)
+	}
+}

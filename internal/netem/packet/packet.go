@@ -387,6 +387,10 @@ func (k FlowKey) Canonical() (FlowKey, bool) {
 	return r, false
 }
 
+// Less is a total order over flow keys (the one Canonical uses), exposed
+// for callers that need deterministic tie-breaking over key sets.
+func (k FlowKey) Less(o FlowKey) bool { return less(k, o) }
+
 func less(a, b FlowKey) bool {
 	if a.Proto != b.Proto {
 		return a.Proto < b.Proto

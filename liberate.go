@@ -170,6 +170,20 @@ var (
 // NetworkSpec is the JSON-serializable custom-network description.
 type NetworkSpec = dpi.NetworkSpec
 
+// Flaky-world types: stochastic middlebox faults and link impairments.
+type (
+	// Faults holds per-middlebox stochastic fault knobs (classifier miss
+	// rate, RST drop/delay, flow-table cap, outage windows).
+	Faults = dpi.Faults
+	// ImpairmentSpec describes one client-side link impairment (loss,
+	// duplication, Gilbert-Elliott bursty loss, corruption).
+	ImpairmentSpec = dpi.ImpairmentSpec
+)
+
+// ParseImpairments parses the CLI impairment syntax, e.g.
+// "loss:0.02,ge:0.05/0.3/0.8".
+var ParseImpairments = dpi.ParseImpairments
+
 // Built-in application traces (§6 workloads).
 var (
 	AmazonPrimeVideo = trace.AmazonPrimeVideo
