@@ -13,7 +13,8 @@
 //	benchtab -exp campaign     # campaign worker-pool scaling + determinism check
 //	benchtab -exp chaos        # fault-injection sweep: verdict stability under middlebox faults
 //	benchtab -exp chaos -quick # ... CI smoke: two networks at one fault rate
-//	benchtab -exp overhead     # clean-network robustness overhead guard (exit 1 above 5%)
+//	benchtab -exp overhead     # clean-network overhead guards: robust mode ≤5%, recorder ≤2% (exit 1 above budget)
+//	benchtab -exp trace        # trace schema gate: one traced engagement validated against liberate-trace/v1
 //	benchtab -exp perf         # substrate + macro perf benchmarks
 //	benchtab -exp perf -bench-json BENCH_3.json   # ... plus JSON snapshot
 //	benchtab -exp perf -cpuprofile cpu.pprof      # ... under the CPU profiler
@@ -40,7 +41,7 @@ func run() int {
 	var (
 		table  = flag.Int("table", 0, "regenerate Table N (1, 2, or 3)")
 		figure = flag.Int("figure", 0, "regenerate Figure N (4)")
-		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign|chaos|overhead|perf")
+		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign|chaos|overhead|trace|perf")
 		quick  = flag.Bool("quick", false, "with -exp chaos: restrict the sweep to two networks at one fault rate")
 		bjson  = flag.String("bench-json", "", "with -exp perf: also write the snapshot as JSON to this path")
 		days   = flag.Int("days", 1, "days to sweep for Figure 4 (paper used 2)")
@@ -165,6 +166,23 @@ func run() int {
 		fmt.Println(o.Render())
 		if !o.Within(0.05) {
 			fmt.Fprintf(os.Stderr, "benchtab: robust-mode overhead %.1f%% exceeds the 5%% budget\n", (o.Ratio-1)*100)
+			return 1
+		}
+		// The recorder guard runs against an armed flight ring, which
+		// upper-bounds the default nop path: CI pins the clean packet
+		// path at ≤2% even with recording fully on.
+		if !o.RecorderWithin(0.02) {
+			fmt.Fprintf(os.Stderr, "benchtab: recorder overhead %.1f%% exceeds the 2%% budget\n", (o.RecorderRatio-1)*100)
+			return 1
+		}
+		ran = true
+	}
+	if *all || *exp == "trace" {
+		fmt.Println("== trace schema gate: one traced engagement validated against liberate-trace/v1 ==")
+		c := experiments.RunTraceCheck()
+		fmt.Println(c.Render())
+		if c.Err != nil {
+			fmt.Fprintln(os.Stderr, "benchtab: emitted trace violates the event schema")
 			return 1
 		}
 		ran = true

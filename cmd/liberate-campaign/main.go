@@ -44,6 +44,8 @@ func main() {
 		outJSON  = flag.String("out", "", "write aggregate JSON to this path ('-' = stdout)")
 		outCSV   = flag.String("csv", "", "write per-engagement CSV to this path ('-' = stdout)")
 		export   = flag.String("export-spec", "", "write the assembled spec as JSON to this path and exit ('-' = stdout)")
+		traceDir = flag.String("trace-dir", "", "record every engagement and write one JSON trace file per engagement into this directory")
+		flight   = flag.Int("flight", 0, "arm a flight recorder keeping the newest N events per engagement; failure rows gain evidence tails (ignored with -trace-dir)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		list     = flag.Bool("list", false, "list available networks and traces and exit")
 	)
@@ -80,7 +82,7 @@ func main() {
 		return
 	}
 
-	runner := &campaign.Runner{Spec: spec, Workers: *workers}
+	runner := &campaign.Runner{Spec: spec, Workers: *workers, TraceDir: *traceDir, FlightRecorder: *flight}
 	if *useCache {
 		runner.Cache = campaign.NewCache()
 	}

@@ -34,6 +34,7 @@ func main() {
 		doTracert = flag.Bool("traceroute", false, "print the path's hops and exit")
 		impair    = flag.String("impair", "", "client-side link impairments, e.g. loss:0.02,ge:0.05/0.3/0.8 (kinds: loss|dup|ge|corrupt|payload); enables noise-robust phase logic")
 		cachePath = flag.String("cache", "", "shared rule-cache file: deploy from it when possible, update it after engagements")
+		traceOut  = flag.String("trace-out", "", "record the engagement's evidence stream and write it as JSON to this path ('-' = stdout)")
 	)
 	flag.Parse()
 
@@ -137,7 +138,19 @@ func main() {
 		}
 	}
 
+	var traceBuf *liberate.TraceBuffer
+	if *traceOut != "" {
+		traceBuf = liberate.NewTraceBuffer()
+		net.Env.SetRecorder(traceBuf)
+	}
+
 	report := (&liberate.Liberate{Net: net, Trace: tr, ServerOS: osp}).Run()
+	if traceBuf != nil {
+		if err := writeTraceOut(*traceOut, traceBuf, report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if cache != nil && report.Deployed != nil {
 		cache.Store(report)
 		if err := cache.Save(*cachePath); err != nil {
@@ -154,6 +167,23 @@ func main() {
 		return
 	}
 	report.WriteSummary(os.Stdout)
+}
+
+// writeTraceOut serializes the engagement's evidence stream (-trace-out).
+func writeTraceOut(path string, buf *liberate.TraceBuffer, report *liberate.Report) error {
+	meta := liberate.TraceMeta{Network: report.Network, Trace: report.TraceName}
+	if path == "-" {
+		return buf.WriteJSON(os.Stdout, meta)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := buf.WriteJSON(f, meta); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeListJSON emits the machine-readable registry listing (-list

@@ -31,6 +31,13 @@ type Summary struct {
 	TotalBytes    int64         `json:"total_bytes"`
 	VirtualTimeNS time.Duration `json:"virtual_time_ns"`
 
+	// Counters aggregates every engagement's recorder counters (link
+	// drops, classifications, forged packets, …). Nil — and omitted from
+	// JSON — when the campaign ran without recording, so recorded and
+	// unrecorded summaries of the same spec differ only here and in the
+	// per-row counters.
+	Counters map[string]int64 `json:"counters,omitempty"`
+
 	// Cache reports memoization effectiveness when the campaign ran with
 	// a Runner.Cache; nil (and omitted from JSON) for uncached runs, so
 	// cached and uncached summaries of the same spec differ only here.
@@ -71,6 +78,10 @@ type Row struct {
 	// summaries byte-identical to pre-robust builds.
 	DetectTrials  int     `json:"detect_trials,omitempty"`
 	MinConfidence float64 `json:"min_confidence,omitempty"`
+
+	// Counters holds this engagement's recorder counters (non-zero
+	// entries only); nil when the campaign ran without recording.
+	Counters map[string]int64 `json:"counters,omitempty"`
 }
 
 // TechniqueStat is one technique's success rate on one network.
@@ -130,6 +141,10 @@ type FailureRecord struct {
 	Status   Status `json:"status"`
 	Attempts int    `json:"attempts"`
 	Err      string `json:"err"`
+	// Evidence is the flight recorder's rendered tail from the final
+	// attempt — the newest packet-path events before the failure. Empty
+	// (and omitted) when the campaign ran without recording.
+	Evidence []string `json:"evidence,omitempty"`
 }
 
 // signature compresses a row's engine-visible outcome for disagreement
@@ -174,11 +189,21 @@ func Aggregate(spec Spec, results []Result) *Summary {
 		row := Row{
 			Network: e.Network, Trace: e.Trace, Hour: e.Hour, Body: e.Body, Seed: e.Seed,
 			Status: res.Status, Attempts: res.Attempts, Err: res.Err,
+			Counters: res.Counters,
+		}
+		if len(res.Counters) > 0 {
+			if s.Counters == nil {
+				s.Counters = map[string]int64{}
+			}
+			for name, v := range res.Counters {
+				s.Counters[name] += v
+			}
 		}
 		if res.Status != StatusOK {
 			s.Failed++
 			s.Failures = append(s.Failures, FailureRecord{
 				Key: e.Key(), Status: res.Status, Attempts: res.Attempts, Err: res.Err,
+				Evidence: res.Evidence,
 			})
 		} else {
 			s.Succeeded++
@@ -358,6 +383,18 @@ func (s *Summary) WriteSummary(w io.Writer) {
 		fmt.Fprintf(w, "  cache: %d hits, %d misses (%d entries)\n",
 			s.Cache.Hits, s.Cache.Misses, s.Cache.Entries)
 	}
+	if len(s.Counters) > 0 {
+		names := make([]string, 0, len(s.Counters))
+		for n := range s.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Fprintf(w, "  counters:")
+		for _, n := range names {
+			fmt.Fprintf(w, " %s=%d", n, s.Counters[n])
+		}
+		fmt.Fprintln(w)
+	}
 	for _, ns := range s.ByNetwork {
 		fmt.Fprintf(w, "  %-8s %3d engagements, %d differentiated, deploy rate %.0f%%\n",
 			ns.Network, ns.Engagements, ns.Differentiated, ns.DeployRate*100)
@@ -377,6 +414,9 @@ func (s *Summary) WriteSummary(w io.Writer) {
 	}
 	for _, f := range s.Failures {
 		fmt.Fprintf(w, "  FAILED %s (%s after %d attempts): %s\n", f.Key, f.Status, f.Attempts, firstLine(f.Err))
+		for _, line := range f.Evidence {
+			fmt.Fprintf(w, "    | %s\n", line)
+		}
 	}
 }
 

@@ -1,0 +1,144 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// evidenceLines bounds the rendered flight-recorder tail attached to a
+// failure record — enough to see the packet path right before the
+// failure without bloating the summary.
+const evidenceLines = 12
+
+// recorderKey carries the per-attempt recorder through the EngageFunc
+// context, so Engage implementations keep their signature while the
+// runner decides whether (and how much) to record.
+type recorderKey struct{}
+
+// WithRecorder returns a context that carries r to the engagement.
+// DefaultEngage attaches it to the freshly built network; custom Engage
+// implementations should do the same via RecorderFrom.
+func WithRecorder(ctx context.Context, r obs.Recorder) context.Context {
+	if r == nil {
+		r = obs.Nop
+	}
+	return context.WithValue(ctx, recorderKey{}, r)
+}
+
+// RecorderFrom extracts the engagement recorder from ctx, or obs.Nop
+// when the campaign runs without recording.
+func RecorderFrom(ctx context.Context) obs.Recorder {
+	if r, ok := ctx.Value(recorderKey{}).(obs.Recorder); ok {
+		return r
+	}
+	return obs.Nop
+}
+
+// syncBuffer wraps an obs.Buffer with a mutex. obs.Buffer itself is
+// deliberately lock-free (it belongs to one simulation replica), but the
+// runner's recorder outlives attempt goroutines: a timed-out attempt is
+// abandoned, not killed, and keeps recording while runOne reads evidence
+// or the next attempt resets the buffer. Only the campaign pays for the
+// lock, and only when recording is armed.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf *obs.Buffer
+}
+
+func (s *syncBuffer) Enabled() bool { return true }
+
+func (s *syncBuffer) Record(e obs.Event) {
+	s.mu.Lock()
+	s.buf.Record(e)
+	s.mu.Unlock()
+}
+
+func (s *syncBuffer) Add(c obs.Counter, delta int64) {
+	s.mu.Lock()
+	s.buf.Add(c, delta)
+	s.mu.Unlock()
+}
+
+// Fork hands out a plain per-replica buffer: forks stay goroutine-local
+// until Merge brings their events back under the lock.
+func (s *syncBuffer) Fork() obs.Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return obs.Fork(s.buf)
+}
+
+func (s *syncBuffer) Merge(child obs.Recorder) {
+	s.mu.Lock()
+	obs.Merge(s.buf, child)
+	s.mu.Unlock()
+}
+
+func (s *syncBuffer) reset() {
+	s.mu.Lock()
+	s.buf.Reset()
+	s.mu.Unlock()
+}
+
+func (s *syncBuffer) counterMap() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.CounterMap()
+}
+
+func (s *syncBuffer) tail(n int) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.Tail(n)
+}
+
+func (s *syncBuffer) writeJSON(out *bytes.Buffer, meta obs.TraceMeta) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf.WriteJSON(out, meta)
+}
+
+// newAttemptBuffer builds the per-attempt recorder implied by the
+// runner's configuration: a full buffer when traces are being written,
+// a bounded flight ring when only failure evidence is wanted, nil when
+// recording is off entirely.
+func (r *Runner) newAttemptBuffer() *syncBuffer {
+	switch {
+	case r.TraceDir != "":
+		return &syncBuffer{buf: obs.NewBuffer()}
+	case r.FlightRecorder > 0:
+		return &syncBuffer{buf: obs.NewFlightRecorder(r.FlightRecorder)}
+	default:
+		return nil
+	}
+}
+
+// prepareTraceDir creates TraceDir before the worker pool starts, so a
+// bad path fails the run up front instead of once per engagement.
+func (r *Runner) prepareTraceDir() error {
+	if r.TraceDir == "" {
+		return nil
+	}
+	return os.MkdirAll(r.TraceDir, 0o755)
+}
+
+// traceFileName maps an engagement key to a flat filename:
+// "gfc/economist/h=6/b=98304/s=1" → "gfc_economist_h=6_b=98304_s=1.trace.json".
+func traceFileName(e Engagement) string {
+	return strings.ReplaceAll(e.Key(), "/", "_") + ".trace.json"
+}
+
+// writeTrace serializes one engagement's evidence stream into TraceDir.
+func (r *Runner) writeTrace(e Engagement, buf *syncBuffer) error {
+	var out bytes.Buffer
+	meta := obs.TraceMeta{Network: e.Network, Trace: e.Trace}
+	if err := buf.writeJSON(&out, meta); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(r.TraceDir, traceFileName(e)), out.Bytes(), 0o644)
+}

@@ -1,0 +1,163 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netem/stack"
+	"repro/internal/obs"
+)
+
+func TestCampaignTraceDirWritesValidTraces(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{
+		Networks: []string{"testbed"},
+		Traces:   []string{"amazon"},
+		Bodies:   []int{8 << 10},
+	}
+	r := &Runner{Spec: spec, Workers: 1, TraceDir: dir}
+	summary, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Succeeded != 1 {
+		t.Fatalf("succeeded = %d, want 1", summary.Succeeded)
+	}
+
+	if len(summary.Counters) == 0 {
+		t.Fatal("recorded campaign produced no aggregate counters")
+	}
+	if summary.Counters[obs.CtrReplays.String()] != int64(summary.TotalRounds) {
+		t.Errorf("replays counter = %d, accounted rounds = %d",
+			summary.Counters[obs.CtrReplays.String()], summary.TotalRounds)
+	}
+	for _, row := range summary.Rows {
+		if len(row.Counters) == 0 {
+			t.Errorf("row %s/%s has no counters", row.Network, row.Trace)
+		}
+	}
+
+	name := traceFileName(Engagement{Network: "testbed", Trace: "amazon", Hour: 0, Body: 8 << 10, Seed: 1})
+	if name != "testbed_amazon_h=0_b=8192_s=1.trace.json" {
+		t.Fatalf("trace filename = %q", name)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	if err := obs.ValidateTrace(data); err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+}
+
+func TestCampaignFlightRecorderAttachesEvidence(t *testing.T) {
+	spec := Spec{
+		Networks: []string{"testbed"},
+		Traces:   []string{"amazon"},
+		Bodies:   []int{4 << 10},
+	}
+	boom := errors.New("probe lost")
+	r := &Runner{
+		Spec:           spec,
+		Workers:        1,
+		FlightRecorder: 16,
+		Engage: func(ctx context.Context, e Engagement, osp *stack.OSProfile) (*core.Report, error) {
+			// A real backend records into the context recorder before
+			// failing; simulate a few packet-path events.
+			rec := RecorderFrom(ctx)
+			for i := 0; i < 40; i++ {
+				rec.Record(obs.Event{VNS: int64(i), Kind: obs.KindLinkDrop, Actor: "hop", Label: "loss"})
+				rec.Add(obs.CtrLinkDrops, 1)
+			}
+			return nil, boom
+		},
+	}
+	summary, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Failed != 1 || len(summary.Failures) != 1 {
+		t.Fatalf("failed = %d, failures = %d", summary.Failed, len(summary.Failures))
+	}
+	f := summary.Failures[0]
+	if len(f.Evidence) != evidenceLines {
+		t.Fatalf("evidence lines = %d, want %d", len(f.Evidence), evidenceLines)
+	}
+	// The ring keeps the newest events: the tail's last line is the
+	// final recorded drop (VNS 39).
+	if want := "39 link.drop actor=hop label=loss"; f.Evidence[len(f.Evidence)-1] != want {
+		t.Fatalf("evidence tail = %q, want %q", f.Evidence[len(f.Evidence)-1], want)
+	}
+	if summary.Counters[obs.CtrLinkDrops.String()] != 40 {
+		t.Errorf("aggregate link_drops = %d, want 40", summary.Counters[obs.CtrLinkDrops.String()])
+	}
+}
+
+// TestAbandonedAttemptRecordingIsRaceFree pins the reason the runner
+// wraps its recorder in a mutex: a timed-out attempt is abandoned, not
+// killed, and keeps recording while the runner reads failure evidence
+// and the retry resets the buffer. Run under -race (CI does).
+func TestAbandonedAttemptRecordingIsRaceFree(t *testing.T) {
+	spec := Spec{
+		Networks: []string{"testbed"},
+		Traces:   []string{"amazon"},
+		Bodies:   []int{4 << 10},
+		Timeout:  Duration(time.Millisecond),
+		Retries:  1,
+	}
+	release := make(chan struct{})
+	r := &Runner{
+		Spec:           spec,
+		Workers:        1,
+		FlightRecorder: 8,
+		Engage: func(ctx context.Context, e Engagement, osp *stack.OSProfile) (*core.Report, error) {
+			rec := RecorderFrom(ctx)
+			<-ctx.Done() // outlive the attempt deadline
+			for i := 0; i < 500; i++ {
+				rec.Record(obs.Event{VNS: int64(i), Kind: obs.KindReplay, Actor: "zombie"})
+				rec.Add(obs.CtrReplays, 1)
+			}
+			release <- struct{}{}
+			return nil, MarkTransient(errors.New("late"))
+		},
+	}
+	summary, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", summary.Failed)
+	}
+	if summary.Failures[0].Status != StatusTimeout {
+		t.Fatalf("status = %s, want timeout", summary.Failures[0].Status)
+	}
+	// Both attempts' goroutines were abandoned; let them finish their
+	// recording so -race can observe any unsynchronized access.
+	<-release
+	<-release
+}
+
+func TestCampaignWithoutRecordingOmitsCounters(t *testing.T) {
+	spec := Spec{
+		Networks: []string{"testbed"},
+		Traces:   []string{"amazon"},
+		Bodies:   []int{4 << 10},
+	}
+	summary, err := (&Runner{Spec: spec, Workers: 1}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Counters != nil {
+		t.Error("unrecorded campaign has aggregate counters")
+	}
+	for _, row := range summary.Rows {
+		if row.Counters != nil {
+			t.Error("unrecorded campaign has row counters")
+		}
+	}
+}

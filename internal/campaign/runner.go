@@ -89,6 +89,14 @@ type Result struct {
 	// Wall is scheduling-dependent wall-clock time across all attempts —
 	// observer/telemetry data, never aggregated into the Summary.
 	Wall time.Duration
+	// Counters holds the final attempt's recorder counters (non-zero
+	// entries only); nil when the campaign ran without recording, or when
+	// a cache hit bypassed the engagement.
+	Counters map[string]int64
+	// Evidence is the flight recorder's rendered tail for a failed
+	// engagement — the newest packet-path events before the failure.
+	// Nil on success or when recording was off.
+	Evidence []string
 }
 
 // EngageFunc executes one engagement and returns its report. The context
@@ -101,11 +109,12 @@ type EngageFunc func(ctx context.Context, e Engagement, osp *stack.OSProfile) (*
 // and trace from the registry, advance the virtual clock to the
 // engagement's hour, run the four lib·erate phases, and verify the
 // deployment transform builds at the engagement's seed.
-func DefaultEngage(_ context.Context, e Engagement, osp *stack.OSProfile) (*core.Report, error) {
+func DefaultEngage(ctx context.Context, e Engagement, osp *stack.OSProfile) (*core.Report, error) {
 	net, err := registry.NewNetwork(e.Network)
 	if err != nil {
 		return nil, err
 	}
+	net.Env.SetRecorder(RecorderFrom(ctx))
 	tr, err := registry.NewTrace(e.Trace, e.Body)
 	if err != nil {
 		return nil, err
@@ -146,6 +155,15 @@ type Runner struct {
 	// and server OS (the seed stays outside the key — see Cache). Share
 	// one Cache across runs of overlapping specs to reuse entries.
 	Cache *Cache
+	// TraceDir, when non-empty, records every engagement's full evidence
+	// stream and writes one JSON trace file per engagement into the
+	// directory (created on demand), named after the engagement key.
+	TraceDir string
+	// FlightRecorder, when > 0 and TraceDir is empty, arms a bounded ring
+	// holding the newest N events per engagement; a failed engagement's
+	// ring tail becomes the failure record's evidence. Zero leaves the
+	// clean path unrecorded.
+	FlightRecorder int
 }
 
 // workers returns the effective pool size for n engagements: the
@@ -200,6 +218,9 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := r.prepareTraceDir(); err != nil {
+		return nil, err
+	}
 	workers := r.workers(len(engs))
 	obs := r.observer()
 	obs.CampaignStarted(len(engs), workers)
@@ -241,15 +262,24 @@ feeding:
 	return summary, nil
 }
 
-// runOne executes one engagement with bounded retry.
+// runOne executes one engagement with bounded retry. When recording is
+// armed, each attempt starts from a cleared buffer so the surviving
+// evidence describes only the final attempt.
 func (r *Runner) runOne(ctx context.Context, e Engagement) Result {
 	res := Result{Engagement: e}
-	obs := r.observer()
+	observer := r.observer()
+	buf := r.newAttemptBuffer()
+	if buf != nil {
+		ctx = WithRecorder(ctx, buf)
+	}
 	start := time.Now()
 	maxAttempts := 1 + r.Spec.Retries
 	for attempt := 1; attempt <= maxAttempts; attempt++ {
 		res.Attempts = attempt
-		obs.EngagementStarted(e, attempt)
+		observer.EngagementStarted(e, attempt)
+		if buf != nil {
+			buf.reset()
+		}
 		rep, err := r.attempt(ctx, e)
 		if err == nil {
 			res.Report = rep
@@ -271,7 +301,22 @@ func (r *Runner) runOne(ctx context.Context, e Engagement) Result {
 		}
 	}
 	res.Wall = time.Since(start)
-	obs.EngagementFinished(res)
+	if buf != nil {
+		if ctr := buf.counterMap(); len(ctr) > 0 {
+			res.Counters = ctr
+		}
+		if res.Status != StatusOK {
+			res.Evidence = buf.tail(evidenceLines)
+		}
+		if r.TraceDir != "" {
+			if err := r.writeTrace(e, buf); err != nil && res.Err == "" {
+				// The engagement itself succeeded; surface the I/O problem
+				// without reclassifying the outcome.
+				res.Err = "trace write: " + err.Error()
+			}
+		}
+	}
+	observer.EngagementFinished(res)
 	return res
 }
 

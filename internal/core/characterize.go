@@ -54,6 +54,9 @@ const fieldGranularity = 4
 
 // Characterize reverse-engineers the classifier that produced det.
 func Characterize(s *Session, tr *trace.Trace, det *Detection) *Characterization {
+	// Registered first, so the span closes after the verdict event the
+	// accounting defer below emits.
+	defer s.span("characterize")()
 	c := &Characterization{}
 	startRounds, startBytes := s.Rounds, s.BytesUsed
 	startTime := s.Net.Clock.Now()
@@ -61,6 +64,14 @@ func Characterize(s *Session, tr *trace.Trace, det *Detection) *Characterization
 		c.Rounds = s.Rounds - startRounds
 		c.BytesUsed = s.BytesUsed - startBytes
 		c.TimeUsed = s.Net.Clock.Since(startTime)
+		label := "prefix-window"
+		switch {
+		case c.InspectsAllPackets:
+			label = "all-packets"
+		case c.WindowLimited:
+			label = "window-limited"
+		}
+		s.verdict("characterize", label, int64(len(c.Fields)), int64(c.MiddleboxTTL))
 	}()
 
 	probe := trimTrace(padTrace(tr, det.ProbeBytes), det.ProbeBytes)

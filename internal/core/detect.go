@@ -68,9 +68,32 @@ func (d *Detection) Has(kind DiffKind) bool {
 // data-counter signals, and adaptively enlarge replays until the signals
 // are consistent across trials.
 func Detect(s *Session, tr *trace.Trace) *Detection {
+	done := s.span("detect")
+	var d *Detection
 	if s.Robust {
-		return detectRobust(s, tr)
+		d = detectRobust(s, tr)
+	} else {
+		d = detectClean(s, tr)
 	}
+	label := "undifferentiated"
+	if d.Differentiated {
+		label = ""
+		for i, k := range d.Kinds {
+			if i > 0 {
+				label += "+"
+			}
+			label += string(k)
+		}
+	}
+	s.verdict("detect", label, confPPM(d.Confidence), int64(d.Trials))
+	done()
+	return d
+}
+
+// detectClean is the single-observation detection path clean (noise-free)
+// engagements run; its behaviour is byte-identical to the historical
+// Detect body.
+func detectClean(s *Session, tr *trace.Trace) *Detection {
 	d := &Detection{}
 	startRounds, startBytes := s.Rounds, s.BytesUsed
 	defer func() {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/netem/packet"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
@@ -145,6 +146,7 @@ func EvaluateExhaustive(s *Session, tr *trace.Trace, det *Detection, char *Chara
 }
 
 func evaluate(s *Session, tr *trace.Trace, det *Detection, char *Characterization, exhaustive bool) *Evaluation {
+	defer s.span("evaluate")()
 	ev := &Evaluation{}
 	startRounds, startBytes := s.Rounds, s.BytesUsed
 	defer func() {
@@ -248,6 +250,10 @@ func evaluate(s *Session, tr *trace.Trace, det *Detection, char *Characterizatio
 		s.Rounds += t.rounds
 		s.BytesUsed += t.bytes
 		joined += t.elapsed
+		// Merging each fork's event buffer here — in suite order, not
+		// completion order — is what makes the merged trace byte-identical
+		// at any worker count.
+		obs.Merge(s.rec(), t.rec)
 	}
 	if joined > 0 {
 		s.Net.Clock.RunFor(joined)
@@ -270,6 +276,7 @@ type trial struct {
 	rounds   int
 	bytes    int64
 	elapsed  time.Duration
+	rec      obs.Recorder
 	panicked *trialPanic
 }
 
@@ -299,11 +306,28 @@ func runTrial(s *Session, i int, probe *trace.Trace, det *Detection, char *Chara
 	out.rounds = fs.Rounds
 	out.bytes = fs.BytesUsed
 	out.elapsed = fs.Elapsed()
+	out.rec = fs.rec()
 	return out
 }
 
-// evaluateTechnique tries each variant of one technique until one evades.
+// evaluateTechnique tries each variant of one technique until one evades,
+// wrapping the attempt in a technique span with its verdict event.
 func evaluateTechnique(s *Session, probe *trace.Trace, det *Detection, char *Characterization, t Technique, exhaustive bool) Verdict {
+	done := s.span("technique:" + t.ID)
+	v := evaluateTechniqueOnce(s, probe, det, char, t, exhaustive)
+	label := "skipped"
+	if v.Tried {
+		label = "no-evade"
+		if v.Evades {
+			label = "evades"
+		}
+	}
+	s.verdict("technique:"+t.ID, label, confPPM(v.Confidence), int64(v.Trials))
+	done()
+	return v
+}
+
+func evaluateTechniqueOnce(s *Session, probe *trace.Trace, det *Detection, char *Characterization, t Technique, exhaustive bool) Verdict {
 	v := Verdict{Technique: t, ReachedServer: ReachNA}
 	// Protocol applicability.
 	isUDP := probe.Proto == packet.ProtoUDP

@@ -49,15 +49,24 @@ func (l *Liberate) Run() *Report {
 	s.EvalWorkers = l.EvalWorkers
 	rep := &Report{Network: l.Net.Name, TraceName: l.Trace.Name}
 
+	done := s.span("engagement")
 	rep.Detection = Detect(s, l.Trace)
 	if rep.Detection.Differentiated {
 		rep.Characterization = Characterize(s, l.Trace, rep.Detection)
 		rep.Evaluation = Evaluate(s, l.Trace, rep.Detection, rep.Characterization)
+		dep := s.span("deploy")
 		rep.Deployed = rep.Evaluation.Best()
+		label := "none"
+		if rep.Deployed != nil {
+			label = rep.Deployed.Technique.ID
+		}
+		s.verdict("deploy", label, confPPM(rep.Evaluation.MinConfidence()), 0)
+		dep()
 	} else {
 		rep.Characterization = &Characterization{}
 		rep.Evaluation = &Evaluation{}
 	}
+	done()
 	rep.TotalRounds = s.Rounds
 	rep.TotalBytes = s.BytesUsed
 	rep.TotalTime = s.Elapsed()

@@ -1,0 +1,44 @@
+package core
+
+import "repro/internal/obs"
+
+// The core phases record into the engagement network's recorder: spans
+// bracket detect/characterize/evaluate/deploy (and each technique trial),
+// verdict events carry the per-phase outcome with its confidence, and
+// replay/retry events account every round. All helpers are cheap no-ops
+// when recording is disabled.
+
+// rec returns the engagement's recorder (obs.Nop when tracing is off).
+func (s *Session) rec() obs.Recorder { return s.Net.Env.Recorder() }
+
+// vns returns the current virtual timestamp.
+func (s *Session) vns() int64 { return s.Net.Clock.NowNS() }
+
+// span opens a named span and returns the closer that ends it. Spans
+// nest; the recorder stream must balance (ValidateTrace checks).
+func (s *Session) span(name string) func() {
+	r := s.rec()
+	if !r.Enabled() {
+		return func() {}
+	}
+	r.Record(obs.Event{VNS: s.vns(), Kind: obs.KindSpanStart, Actor: name})
+	r.Add(obs.CtrSpans, 1)
+	return func() {
+		r.Record(obs.Event{VNS: s.vns(), Kind: obs.KindSpanEnd, Actor: name})
+	}
+}
+
+// verdict records one phase or technique outcome. value is the verdict
+// confidence in parts-per-million; aux the robust-trial count behind it.
+func (s *Session) verdict(actor, label string, value, aux int64) {
+	r := s.rec()
+	if !r.Enabled() {
+		return
+	}
+	r.Record(obs.Event{VNS: s.vns(), Kind: obs.KindVerdict, Actor: actor, Label: label, Value: value, Aux: aux})
+	r.Add(obs.CtrVerdicts, 1)
+}
+
+// confPPM converts a [0,1] confidence to the parts-per-million integer
+// form verdict events carry.
+func confPPM(c float64) int64 { return int64(c * 1e6) }

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/dpi"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// tracedRun executes one testbed engagement with a recorder attached and
+// returns the report plus the captured buffer.
+func tracedRun(workers int) (*Report, *obs.Buffer) {
+	net := dpi.NewTestbed()
+	buf := obs.NewBuffer()
+	net.Env.SetRecorder(buf)
+	l := &Liberate{Net: net, Trace: trace.AmazonPrimeVideo(32 << 10), EvalWorkers: workers}
+	return l.Run(), buf
+}
+
+// TestTracedEngagementRecordsEvidence replays the old SMOKE-gated debug
+// prints as assertions: a traced engagement must leave a complete,
+// internally consistent evidence stream — balanced spans for every phase,
+// one core.replay event per accounted round, and the classifier's
+// classification decisions.
+func TestTracedEngagementRecordsEvidence(t *testing.T) {
+	rep, buf := tracedRun(1)
+	if !rep.Detection.Differentiated {
+		t.Fatal("setup: testbed engagement did not differentiate")
+	}
+
+	events := buf.Events()
+	if len(events) == 0 {
+		t.Fatal("traced engagement recorded no events")
+	}
+
+	var replays, classifies, verdicts int
+	spansSeen := map[string]int{}
+	var stack []string
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindReplay:
+			replays++
+		case obs.KindDPIClassify:
+			classifies++
+		case obs.KindVerdict:
+			verdicts++
+		case obs.KindSpanStart:
+			stack = append(stack, e.Actor)
+			spansSeen[e.Actor]++
+		case obs.KindSpanEnd:
+			if len(stack) == 0 || stack[len(stack)-1] != e.Actor {
+				t.Fatalf("unbalanced span end %q (stack %v)", e.Actor, stack)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(stack) != 0 {
+		t.Fatalf("unclosed spans: %v", stack)
+	}
+	for _, phase := range []string{"engagement", "detect", "characterize", "evaluate", "deploy"} {
+		if spansSeen[phase] != 1 {
+			t.Errorf("phase span %q seen %d times, want 1", phase, spansSeen[phase])
+		}
+	}
+	if spansSeen["technique:tcp-segment-split"] == 0 {
+		t.Error("no technique:tcp-segment-split span recorded")
+	}
+	if replays != rep.TotalRounds {
+		t.Errorf("core.replay events = %d, accounted rounds = %d", replays, rep.TotalRounds)
+	}
+	if classifies == 0 {
+		t.Error("no dpi.classify events from the testbed classifier")
+	}
+	if verdicts == 0 {
+		t.Error("no core.verdict events")
+	}
+
+	ctr := buf.CounterMap()
+	if ctr[obs.CtrReplays.String()] != int64(rep.TotalRounds) {
+		t.Errorf("replays counter = %d, want %d", ctr[obs.CtrReplays.String()], rep.TotalRounds)
+	}
+	if ctr[obs.CtrDeliveries.String()] == 0 {
+		t.Error("deliveries counter empty")
+	}
+	if ctr[obs.CtrClassifications.String()] == 0 {
+		t.Error("classifications counter empty")
+	}
+}
+
+// TestTraceWorkerCountInvariance is the observability half of the
+// fork-and-join determinism contract: the serialized trace must be
+// byte-identical at any worker count, because forked buffers are merged
+// in canonical suite order and events carry only virtual-clock and
+// draw-counter quantities.
+func TestTraceWorkerCountInvariance(t *testing.T) {
+	render := func(workers int) []byte {
+		_, buf := tracedRun(workers)
+		var out bytes.Buffer
+		if err := buf.WriteJSON(&out, obs.TraceMeta{Network: "testbed", Trace: "amazon-prime-video"}); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return out.Bytes()
+	}
+	base := render(1)
+	if err := obs.ValidateTrace(base); err != nil {
+		t.Fatalf("trace does not validate: %v", err)
+	}
+	for _, workers := range []int{4, 16} {
+		if got := render(workers); !bytes.Equal(got, base) {
+			t.Errorf("workers=%d: trace bytes diverged from workers=1 (%d vs %d bytes)",
+				workers, len(got), len(base))
+		}
+	}
+}
+
+// TestRecorderDoesNotPerturbEngagement guards the golden hashes: attaching
+// a recorder must not change a single verdict, round, or byte of the
+// engagement itself.
+func TestRecorderDoesNotPerturbEngagement(t *testing.T) {
+	clean := (&Liberate{Net: dpi.NewTestbed(), Trace: trace.AmazonPrimeVideo(32 << 10), EvalWorkers: 2}).Run()
+	traced, _ := tracedRun(2)
+	if renderVerdicts(clean.Evaluation.Verdicts) != renderVerdicts(traced.Evaluation.Verdicts) {
+		t.Error("verdicts differ between traced and untraced runs")
+	}
+	if clean.TotalRounds != traced.TotalRounds || clean.TotalBytes != traced.TotalBytes ||
+		clean.TotalTime != traced.TotalTime {
+		t.Errorf("accounting differs: rounds %d/%d bytes %d/%d time %v/%v",
+			clean.TotalRounds, traced.TotalRounds, clean.TotalBytes, traced.TotalBytes,
+			clean.TotalTime, traced.TotalTime)
+	}
+}
+
+// TestFlightRecorderRingOnEngagement drives a full engagement into a small
+// flight ring and checks the ring keeps the newest events and stays
+// schema-valid (span checks are waived once eviction starts).
+func TestFlightRecorderRingOnEngagement(t *testing.T) {
+	net := dpi.NewTestbed()
+	ring := obs.NewFlightRecorder(128)
+	net.Env.SetRecorder(ring)
+	(&Liberate{Net: net, Trace: trace.AmazonPrimeVideo(32 << 10), EvalWorkers: 1}).Run()
+
+	events := ring.Events()
+	if len(events) != 128 {
+		t.Fatalf("ring retained %d events, want 128", len(events))
+	}
+	if ring.Dropped() == 0 {
+		t.Fatal("engagement should overflow a 128-event ring")
+	}
+	// The newest retained event must be the engagement span close.
+	last := events[len(events)-1]
+	if last.Kind != obs.KindSpanEnd || last.Actor != "engagement" {
+		t.Fatalf("ring tail = %+v, want engagement span end", last)
+	}
+	var out bytes.Buffer
+	if err := ring.WriteJSON(&out, obs.TraceMeta{Network: "testbed", Trace: "amazon-prime-video"}); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if err := obs.ValidateTrace(out.Bytes()); err != nil {
+		t.Fatalf("truncated trace does not validate: %v", err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dpi"
 	"repro/internal/netem/stack"
+	"repro/internal/obs"
 	"repro/internal/replay"
 	"repro/internal/trace"
 )
@@ -153,6 +154,11 @@ func (s *Session) Replay(tr *trace.Trace, transform stack.OutgoingTransform, ext
 		return res
 	}
 	for attempt := 1; attempt <= replayRetries && transientWipeout(res); attempt++ {
+		if r := s.rec(); r.Enabled() {
+			r.Record(obs.Event{VNS: s.vns(), Kind: obs.KindRetry, Actor: tr.Name,
+				Label: "transient-wipeout", Aux: int64(attempt)})
+			r.Add(obs.CtrRetries, 1)
+		}
 		rx := extra
 		if attempt == replayRetries {
 			rx = append(append([]func(*replay.Options){}, extra...),
@@ -200,6 +206,11 @@ func (s *Session) replayOnce(tr *trace.Trace, transform stack.OutgoingTransform,
 	}
 	s.Rounds++
 	s.BytesUsed += res.BytesOut + res.BytesIn
+	if r := s.rec(); r.Enabled() {
+		r.Record(obs.Event{VNS: s.vns(), Kind: obs.KindReplay, Actor: tr.Name,
+			Value: res.BytesOut + res.BytesIn})
+		r.Add(obs.CtrReplays, 1)
+	}
 	return res
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/netem"
 	"repro/internal/netem/packet"
 )
 
@@ -133,13 +134,16 @@ func TestFaultStreamForksInLockstep(t *testing.T) {
 	key := func(i int) packet.FlowKey {
 		return packet.FlowKey{Proto: packet.ProtoTCP, Src: cAddr, Dst: sAddr, SrcPort: uint16(40000 + i), DstPort: 80}
 	}
+	// A zero Context is valid here: it is never traced, and newFlowRecord
+	// only touches it behind the Traced() gate.
+	var ctx netem.Context
 	for i := 0; i < 10; i++ {
-		m.newFlowRecord(key(i), true, now)
+		m.newFlowRecord(ctx, key(i), true, now)
 	}
 	c := m.ForkElement().(*Middlebox)
 	for i := 10; i < 40; i++ {
-		a := m.newFlowRecord(key(i), true, now)
-		b := c.newFlowRecord(key(i), true, now)
+		a := m.newFlowRecord(ctx, key(i), true, now)
+		b := c.newFlowRecord(ctx, key(i), true, now)
 		if a.missed != b.missed {
 			t.Fatalf("fault stream diverged at flow %d: %v vs %v", i, a.missed, b.missed)
 		}

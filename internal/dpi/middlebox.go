@@ -7,19 +7,14 @@ import (
 	"repro/internal/detrand"
 	"repro/internal/netem"
 	"repro/internal/netem/packet"
+	"repro/internal/obs"
 )
 
-// Event is one classification action, exposed for the testbed environment
-// where "the middlebox shows the result of classification immediately"
-// (§6.1) and for experiment ground truth.
-type Event struct {
-	At     time.Time
-	Flow   packet.FlowKey // client orientation
-	Class  string
-	Action string // "classify", "block", "blacklist", "flush"
-}
-
-// Middlebox is the DPI classifier as an in-path element.
+// Middlebox is the DPI classifier as an in-path element. Classification
+// actions (classify, match, block, forged injections, throttle delays,
+// blacklisting, flow-table flushes, fault firings) are emitted as typed
+// events on the env's obs.Recorder — the observability plane replaced
+// the private event log this type used to keep.
 type Middlebox struct {
 	Label string
 	Cfg   Config
@@ -29,7 +24,6 @@ type Middlebox struct {
 	blacklist map[hostPort]time.Time
 	blCount   map[hostPort]int
 	shapers   map[string]*shaper
-	events    []Event
 	reasm     *packet.Reassembler
 
 	// faultRNG drives the stochastic fault knobs in Cfg.Faults. It is a
@@ -84,26 +78,41 @@ func NewMiddlebox(cfg Config) *Middlebox {
 // Name implements netem.Element.
 func (m *Middlebox) Name() string { return m.Label }
 
-// Events returns the classification log.
-func (m *Middlebox) Events() []Event { return m.events }
-
-// ResetState clears all flow, blacklist, and event state (between
-// experiments). Configuration is retained.
+// ResetState clears all flow and blacklist state (between experiments).
+// Configuration is retained.
 func (m *Middlebox) ResetState() {
 	m.flows = make(map[packet.FlowKey]*mbFlow)
 	m.blacklist = make(map[hostPort]time.Time)
 	m.blCount = make(map[hostPort]int)
 	m.shapers = make(map[string]*shaper)
-	m.events = nil
 	m.reasm.Flush()
 	m.FaultStats = FaultStats{}
 }
 
+// event emits one classifier event (plus its counter) onto the env's
+// recorder. The flow key is stringified only here, after the caller's
+// Traced() gate, so disabled recording allocates nothing.
+func (m *Middlebox) event(ctx netem.Context, kind obs.Kind, ctr obs.Counter, label string, flow packet.FlowKey, value, aux int64) {
+	r := ctx.Rec()
+	r.Record(obs.Event{VNS: ctx.VNS(), Kind: kind, Actor: m.Label, Label: label,
+		Flow: flow.String(), Value: value, Aux: aux})
+	r.Add(ctr, 1)
+}
+
+// eventNoFlow is event for emission sites (forged-packet injection) where
+// no single flow association exists.
+func (m *Middlebox) eventNoFlow(ctx netem.Context, kind obs.Kind, ctr obs.Counter, label string, value, aux int64) {
+	r := ctx.Rec()
+	r.Record(obs.Event{VNS: ctx.VNS(), Kind: kind, Actor: m.Label, Label: label, Value: value, Aux: aux})
+	r.Add(ctr, 1)
+}
+
 // ForkElement implements netem.Forkable: the copy continues from the same
-// flow tables, blacklist, shaper positions, reassembly buffers, event log,
-// and RNG stream position, sharing no mutable state with the original.
-// Cfg is shared: rules, policies, and the load model are read-only after
-// construction.
+// flow tables, blacklist, shaper positions, reassembly buffers, and RNG
+// stream position, sharing no mutable state with the original. Cfg is
+// shared: rules, policies, and the load model are read-only after
+// construction. (Events need no copying here: they live on the env's
+// recorder, which Env.Fork forks alongside the element chain.)
 func (m *Middlebox) ForkElement() netem.Element {
 	c := &Middlebox{
 		Label:     m.Label,
@@ -113,7 +122,6 @@ func (m *Middlebox) ForkElement() netem.Element {
 		blacklist: make(map[hostPort]time.Time, len(m.blacklist)),
 		blCount:   make(map[hostPort]int, len(m.blCount)),
 		shapers:   make(map[string]*shaper, len(m.shapers)),
-		events:    append([]Event(nil), m.events...),
 		reasm:     m.reasm.Clone(),
 	}
 	c.FaultStats = m.FaultStats
@@ -210,6 +218,9 @@ func (m *Middlebox) Process(ctx netem.Context, dir netem.Direction, f *packet.Fr
 func (m *Middlebox) inspectPacket(ctx netem.Context, dir netem.Direction, p *packet.Packet, defects packet.DefectSet, raw []byte) {
 	if m.inOutage(ctx) {
 		m.FaultStats.OutageSkips++
+		if ctx.Traced() {
+			m.event(ctx, obs.KindDPIFault, obs.CtrFaults, "outage", m.clientKey(dir, p), 0, 0)
+		}
 		return
 	}
 	serverPort := m.serverPort(dir, p)
@@ -264,7 +275,7 @@ func (m *Middlebox) inspectPacket(ctx netem.Context, dir netem.Direction, p *pac
 	}
 
 	if p.TCP != nil && p.TCP.Flags.Has(packet.FlagRST) {
-		m.onRST(f)
+		m.onRST(ctx, f)
 		return
 	}
 	if f.dead {
@@ -372,7 +383,7 @@ func (m *Middlebox) inspectPacket(ctx netem.Context, dir netem.Direction, p *pac
 			continue
 		}
 		if r.MatchBytes(inspectBuf) {
-			m.classify(ctx, dir, f, r.Class, p)
+			m.classify(ctx, dir, f, r.Class, p, i)
 		}
 	}
 }
@@ -393,7 +404,7 @@ func (m *Middlebox) inspectStateless(ctx netem.Context, dir netem.Direction, p *
 			continue
 		}
 		if r.MatchBytes(p.Payload) {
-			m.actStateless(ctx, dir, p, r.Class)
+			m.actStateless(ctx, dir, p, r.Class, i)
 		}
 	}
 }
@@ -495,33 +506,35 @@ func (m *Middlebox) flowFor(ctx netem.Context, dir netem.Direction, p *packet.Pa
 	f, ok := m.flows[ck]
 	if ok {
 		idle := now.Sub(f.lastSeen)
-		evict := false
+		reason := "" // empty = keep; otherwise the eviction cause
 		to := f.timeout
 		if to == 0 {
 			to = m.Cfg.FlowTimeout
 		}
 		if to > 0 && idle > to {
-			evict = true
+			reason = "idle"
 		}
-		if !evict && m.Cfg.Load != nil && idle > 0 {
+		if reason == "" && m.Cfg.Load != nil && idle > 0 {
 			if m.rng.Float64() < m.Cfg.Load.EvictProb(ctx.HourOfDay(), idle) {
-				evict = true
+				reason = "load"
 			}
 		}
-		if evict {
-			m.events = append(m.events, Event{At: now, Flow: f.clientKey, Class: f.class, Action: "flush"})
+		if reason != "" {
+			if ctx.Traced() {
+				m.event(ctx, obs.KindDPIFlush, obs.CtrFlowEvictions, reason, f.clientKey, 0, 0)
+			}
 			delete(m.flows, ck)
 			ok = false
 		}
 	}
 	if !ok {
 		isSYN := p.TCP != nil && p.TCP.Flags.Has(packet.FlagSYN) && !p.TCP.Flags.Has(packet.FlagACK) && dir == netem.ToServer
-		f = m.newFlowRecord(clientKey, isSYN || p.TCP == nil, now)
+		f = m.newFlowRecord(ctx, clientKey, isSYN || p.TCP == nil, now)
 		m.flows[ck] = f
 		m.enforceFlowCap(ctx, ck)
 	} else if p.TCP != nil && p.TCP.Flags.Has(packet.FlagSYN) && !p.TCP.Flags.Has(packet.FlagACK) && dir == netem.ToServer {
 		// Fresh handshake on a stale tuple: restart the flow record.
-		nf := m.newFlowRecord(clientKey, true, now)
+		nf := m.newFlowRecord(ctx, clientKey, true, now)
 		m.flows[ck] = nf
 		return nf
 	}
@@ -532,7 +545,7 @@ func (m *Middlebox) flowFor(ctx netem.Context, dir netem.Direction, p *packet.Pa
 // miss draw (Faults.MissRate). Every new flow costs exactly one draw when
 // the knob is active, so the fault stream's position depends only on the
 // flow-creation sequence.
-func (m *Middlebox) newFlowRecord(clientKey packet.FlowKey, sawSYN bool, now time.Time) *mbFlow {
+func (m *Middlebox) newFlowRecord(ctx netem.Context, clientKey packet.FlowKey, sawSYN bool, now time.Time) *mbFlow {
 	f := &mbFlow{
 		clientKey: clientKey,
 		sawSYN:    sawSYN,
@@ -542,6 +555,9 @@ func (m *Middlebox) newFlowRecord(clientKey packet.FlowKey, sawSYN bool, now tim
 	if r := m.Cfg.Faults.MissRate; r > 0 && m.faultRand().Float64() < r {
 		f.missed = true
 		m.FaultStats.FlowsMissed++
+		if ctx.Traced() {
+			m.event(ctx, obs.KindDPIFault, obs.CtrFaults, "miss", clientKey, 0, int64(m.faultRand().Steps()))
+		}
 	}
 	return f
 }
@@ -569,7 +585,9 @@ func (m *Middlebox) enforceFlowCap(ctx netem.Context, justAdded packet.FlowKey) 
 	if vf == nil {
 		return
 	}
-	m.events = append(m.events, Event{At: ctx.Now(), Flow: vf.clientKey, Class: vf.class, Action: "flush"})
+	if ctx.Traced() {
+		m.event(ctx, obs.KindDPIFlush, obs.CtrFlowEvictions, "lru", vf.clientKey, 0, 0)
+	}
 	delete(m.flows, victim)
 	m.FaultStats.LRUEvictions++
 }
@@ -597,13 +615,13 @@ func (m *Middlebox) faultRand() *detrand.Rand {
 	return m.faultRNG
 }
 
-func (m *Middlebox) onRST(f *mbFlow) {
+func (m *Middlebox) onRST(ctx netem.Context, f *mbFlow) {
 	switch m.Cfg.RST {
 	case RSTIgnored:
 	case RSTKillsFlow:
 		f.dead = true
-		if f.class != "" {
-			m.events = append(m.events, Event{Flow: f.clientKey, Class: f.class, Action: "flush"})
+		if f.class != "" && ctx.Traced() {
+			m.event(ctx, obs.KindDPIFlush, obs.CtrFlowEvictions, "rst", f.clientKey, 0, 0)
 		}
 		f.class = ""
 	case RSTShortensTimeout:
@@ -617,29 +635,39 @@ func (m *Middlebox) onRST(f *mbFlow) {
 
 // ---- actions -------------------------------------------------------------
 
-func (m *Middlebox) classify(ctx netem.Context, dir netem.Direction, f *mbFlow, class string, trigger *packet.Packet) {
+func (m *Middlebox) classify(ctx netem.Context, dir netem.Direction, f *mbFlow, class string, trigger *packet.Packet, ruleIdx int) {
 	if f.class == class {
 		return
 	}
 	f.class = class
-	m.events = append(m.events, Event{At: ctx.Now(), Flow: f.clientKey, Class: class, Action: "classify"})
+	if ctx.Traced() {
+		m.event(ctx, obs.KindDPIMatch, obs.CtrRuleMatches, class, f.clientKey, int64(ruleIdx), 0)
+		m.event(ctx, obs.KindDPIClassify, obs.CtrClassifications, class, f.clientKey, int64(ruleIdx), 0)
+	}
 	pol := m.Cfg.Policies[class]
 	if pol.Block {
 		m.injectBlock(ctx, dir, trigger, pol)
-		m.events = append(m.events, Event{At: ctx.Now(), Flow: f.clientKey, Class: class, Action: "block"})
+		if ctx.Traced() {
+			m.event(ctx, obs.KindDPIBlock, obs.CtrBlocks, class, f.clientKey, 0, 0)
+		}
 		hp := hostPort{addr: f.clientKey.Dst, port: f.clientKey.DstPort}
 		if pol.BlacklistAfter > 0 {
 			m.blCount[hp]++
 			if m.blCount[hp] >= pol.BlacklistAfter {
 				m.blacklist[hp] = ctx.Now().Add(pol.BlacklistFor)
-				m.events = append(m.events, Event{At: ctx.Now(), Flow: f.clientKey, Class: class, Action: "blacklist"})
+				if ctx.Traced() {
+					m.event(ctx, obs.KindDPIBlacklist, obs.CtrBlacklistAdds, "add", f.clientKey, 0, 0)
+				}
 			}
 		}
 	}
 }
 
-func (m *Middlebox) actStateless(ctx netem.Context, dir netem.Direction, trigger *packet.Packet, class string) {
-	m.events = append(m.events, Event{At: ctx.Now(), Flow: m.clientKey(dir, trigger), Class: class, Action: "block"})
+func (m *Middlebox) actStateless(ctx netem.Context, dir netem.Direction, trigger *packet.Packet, class string, ruleIdx int) {
+	if ctx.Traced() {
+		m.event(ctx, obs.KindDPIMatch, obs.CtrRuleMatches, class, m.clientKey(dir, trigger), int64(ruleIdx), 0)
+		m.event(ctx, obs.KindDPIBlock, obs.CtrBlocks, class, m.clientKey(dir, trigger), 0, 0)
+	}
 	pol := m.Cfg.Policies[class]
 	if pol.Block {
 		m.injectBlock(ctx, dir, trigger, pol)
@@ -698,9 +726,21 @@ func (m *Middlebox) sendForged(ctx netem.Context, toClient bool, f *packet.Frame
 	fl := m.Cfg.Faults
 	if fl.RSTDropRate > 0 && m.faultRand().Float64() < fl.RSTDropRate {
 		m.FaultStats.RSTsDropped++
+		if ctx.Traced() {
+			m.eventNoFlow(ctx, obs.KindDPIFault, obs.CtrFaults, "rst-drop", int64(f.Len()), int64(m.faultRand().Steps()))
+		}
 		return
 	}
 	send := func() {
+		if ctx.Traced() {
+			// Recorded at send time, so a delayed injection's timestamp is
+			// the instant the forged packet actually enters the path.
+			lbl := "to-server"
+			if toClient {
+				lbl = "to-client"
+			}
+			m.eventNoFlow(ctx, obs.KindDPIInject, obs.CtrForgedPackets, lbl, int64(f.Len()), 0)
+		}
 		if toClient {
 			ctx.SendToClient(f)
 		} else {
@@ -712,6 +752,9 @@ func (m *Middlebox) sendForged(ctx netem.Context, toClient bool, f *packet.Frame
 		d := fl.RSTDelay
 		if d <= 0 {
 			d = 200 * time.Millisecond
+		}
+		if ctx.Traced() {
+			m.eventNoFlow(ctx, obs.KindDPIFault, obs.CtrFaults, "rst-delay", int64(d), int64(m.faultRand().Steps()))
 		}
 		ctx.Schedule(d, send)
 		return
@@ -737,6 +780,9 @@ func (m *Middlebox) enforceBlacklist(ctx netem.Context, dir netem.Direction, p *
 		delete(m.blacklist, hp)
 		delete(m.blCount, hp)
 		return false
+	}
+	if ctx.Traced() {
+		m.event(ctx, obs.KindDPIBlacklist, obs.CtrBlocks, "enforce", m.clientKey(dir, p), 0, 0)
 	}
 	if dir == netem.ToServer {
 		rst := packet.NewTCP(hp.addr, p.IP.Src, p.TCP.DstPort, p.TCP.SrcPort, p.TCP.Ack, p.TCP.Seq+uint32(len(p.Payload)), packet.FlagRST|packet.FlagACK, nil)
@@ -768,6 +814,9 @@ func (m *Middlebox) forward(ctx netem.Context, dir netem.Direction, p *packet.Pa
 		}
 		d := sh.delay(ctx.Now(), f.Len())
 		if d > 0 {
+			if ctx.Traced() {
+				m.event(ctx, obs.KindDPIThrottle, obs.CtrThrottleDelays, class, m.clientKey(dir, p), int64(d), 0)
+			}
 			ctx.Schedule(d, func() { ctx.Forward(f) })
 			return
 		}

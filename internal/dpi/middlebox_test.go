@@ -7,6 +7,7 @@ import (
 	"repro/internal/netem"
 	"repro/internal/netem/packet"
 	"repro/internal/netem/vclock"
+	"repro/internal/obs"
 )
 
 var (
@@ -459,16 +460,48 @@ func TestZeroRatePolicyAndCounter(t *testing.T) {
 	}
 }
 
-func TestEventsLog(t *testing.T) {
+func TestClassificationEventsRecorded(t *testing.T) {
+	r := newRig(windowCfg())
+	buf := obs.NewBuffer()
+	r.env.SetRecorder(buf)
+	f := r.newFlow(40000)
+	f.send("GET / secret-keyword HTTP/1.1\r\n")
+
+	var match, classify []obs.Event
+	for _, e := range buf.Events() {
+		switch e.Kind {
+		case obs.KindDPIMatch:
+			match = append(match, e)
+		case obs.KindDPIClassify:
+			classify = append(classify, e)
+		}
+	}
+	if len(classify) != 1 {
+		t.Fatalf("classify events: %+v", classify)
+	}
+	e := classify[0]
+	if e.Label != "hit" || e.Actor != "test" || e.Flow != f.key().String() {
+		t.Fatalf("classify event fields: %+v", e)
+	}
+	if len(match) != 1 || match[0].Value != 0 {
+		t.Fatalf("match events (want one, rule index 0): %+v", match)
+	}
+	ctr := buf.CounterMap()
+	if ctr[obs.CtrClassifications.String()] != 1 || ctr[obs.CtrRuleMatches.String()] != 1 {
+		t.Fatalf("counters: %v", ctr)
+	}
+	if ctr[obs.CtrDeliveries.String()] == 0 {
+		t.Fatal("env delivery counter never incremented")
+	}
+}
+
+func TestNoEventsWithoutRecorder(t *testing.T) {
+	// The default (no SetRecorder call) must classify identically and
+	// record nothing anywhere — obs.Nop swallows all emission.
 	r := newRig(windowCfg())
 	f := r.newFlow(40000)
 	f.send("GET / secret-keyword HTTP/1.1\r\n")
-	events := r.mb.Events()
-	if len(events) == 0 || events[0].Action != "classify" || events[0].Class != "hit" {
-		t.Fatalf("events: %+v", events)
-	}
-	r.mb.ResetState()
-	if len(r.mb.Events()) != 0 {
-		t.Fatal("ResetState kept events")
+	if got := r.mb.FlowClass(f.key()); got != "hit" {
+		t.Fatalf("untraced rig did not classify: %q", got)
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/netem"
 	"repro/internal/netem/packet"
+	"repro/internal/obs"
 )
 
 // TransparentProxy models AT&T Stream Saver (§6.3): a connection-
@@ -170,7 +171,7 @@ func (x *TransparentProxy) Process(ctx netem.Context, dir netem.Direction, fr *p
 
 	if len(p.Payload) > 0 {
 		x.ingest(f, di, t.Seq, p.Payload)
-		x.classifyStreams(f, serverPort)
+		x.classifyStreams(ctx, f, key, serverPort)
 		x.drain(ctx, dir, f, di, p)
 	}
 	if len(p.Payload) == 0 || t.Flags.Has(packet.FlagFIN) {
@@ -248,7 +249,7 @@ func appendMaybeCapped(buf, data []byte, cap_ int) []byte {
 	return buf
 }
 
-func (x *TransparentProxy) classifyStreams(f *proxyFlow, serverPort uint16) {
+func (x *TransparentProxy) classifyStreams(ctx netem.Context, f *proxyFlow, key packet.FlowKey, serverPort uint16) {
 	if f.class != "" {
 		return
 	}
@@ -279,6 +280,15 @@ func (x *TransparentProxy) classifyStreams(f *proxyFlow, serverPort uint16) {
 		}
 		if len(r.Keywords) > 0 && r.MatchBytes(buf) {
 			f.class = r.Class
+			if ctx.Traced() {
+				rec := ctx.Rec()
+				rec.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindDPIMatch, Actor: x.Label,
+					Label: r.Class, Flow: key.String(), Value: int64(i)})
+				rec.Add(obs.CtrRuleMatches, 1)
+				rec.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindDPIClassify, Actor: x.Label,
+					Label: r.Class, Flow: key.String(), Value: int64(i)})
+				rec.Add(obs.CtrClassifications, 1)
+			}
 			break
 		}
 	}
@@ -314,6 +324,12 @@ func (x *TransparentProxy) drain(ctx netem.Context, dir netem.Direction, f *prox
 			delay = f.shaper.delay(ctx.Now(), out.Len())
 		}
 		if delay > 0 {
+			if ctx.Traced() {
+				rec := ctx.Rec()
+				rec.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindDPIThrottle, Actor: x.Label,
+					Label: f.class, Value: int64(delay)})
+				rec.Add(obs.CtrThrottleDelays, 1)
+			}
 			ctx.Schedule(delay, func() { ctx.Forward(out) })
 		} else {
 			ctx.Forward(out)

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dpi"
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// TraceCheck is the CI trace-schema gate: one traced testbed engagement,
+// serialized and validated against the liberate-trace/v1 event schema.
+type TraceCheck struct {
+	Events   int
+	Bytes    int
+	Counters map[string]int64
+	// Err is non-nil when the emitted trace fails schema validation.
+	Err error
+}
+
+// RunTraceCheck drives a full engagement with a recorder attached,
+// serializes the evidence stream, and validates it. A schema violation
+// here means some call site emits events the trace contract does not
+// cover — the CI step fails before such a trace ever reaches a consumer.
+func RunTraceCheck() *TraceCheck {
+	net := dpi.NewTestbed()
+	buf := obs.NewBuffer()
+	net.Env.SetRecorder(buf)
+	rep := (&core.Liberate{Net: net, Trace: trace.AmazonPrimeVideo(32 << 10)}).Run()
+
+	var out bytes.Buffer
+	c := &TraceCheck{}
+	if err := buf.WriteJSON(&out, obs.TraceMeta{Network: rep.Network, Trace: rep.TraceName}); err != nil {
+		c.Err = err
+		return c
+	}
+	c.Events = buf.Len()
+	c.Bytes = out.Len()
+	c.Counters = buf.CounterMap()
+	c.Err = obs.ValidateTrace(out.Bytes())
+	return c
+}
+
+// Render prints the trace-check outcome.
+func (c *TraceCheck) Render() string {
+	status := "OK"
+	if c.Err != nil {
+		status = "FAIL: " + c.Err.Error()
+	}
+	return fmt.Sprintf("traced testbed engagement: %d events, %d trace bytes, %d distinct counters — %s\n",
+		c.Events, c.Bytes, len(c.Counters), status)
+}

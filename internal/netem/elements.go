@@ -4,7 +4,16 @@ import (
 	"time"
 
 	"repro/internal/netem/packet"
+	"repro/internal/obs"
 )
+
+// linkDrop records a path element discarding a packet. Shared by every
+// dropping element so drop evidence is uniform across the chain.
+func linkDrop(ctx Context, actor, reason string, size int) {
+	r := ctx.Rec()
+	r.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindLinkDrop, Actor: actor, Label: reason, Value: int64(size)})
+	r.Add(obs.CtrLinkDrops, 1)
+}
 
 // Hop models one TTL-decrementing router. A packet whose TTL reaches zero
 // at this hop is dropped and, when EmitICMP is set, answered with an ICMP
@@ -30,10 +39,18 @@ func (h *Hop) Process(ctx Context, dir Direction, f *packet.Frame) {
 	}
 	if !h.DropDefects.Empty() {
 		if _, defects := f.Parse(); defects.Intersects(h.DropDefects) {
+			if ctx.Traced() {
+				linkDrop(ctx, h.Label, "defect", f.Len())
+			}
 			return
 		}
 	}
 	if f.TTL() <= 1 {
+		if ctx.Traced() {
+			r := ctx.Rec()
+			r.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindLinkExpire, Actor: h.Label, Value: int64(f.Len())})
+			r.Add(obs.CtrTTLExpiries, 1)
+		}
 		if h.EmitICMP {
 			// Expiry is the rare path; materializing here keeps the quoted
 			// bytes accurate (TTL as it arrived at this hop).
@@ -79,9 +96,15 @@ func (f *Filter) Process(ctx Context, dir Direction, fr *packet.Frame) {
 	}
 	p, defects := fr.Parse()
 	if defects.Intersects(f.DropDefects) {
+		if ctx.Traced() {
+			linkDrop(ctx, f.Label, "defect", fr.Len())
+		}
 		return
 	}
 	if f.Drop != nil && f.Drop(p, defects) {
+		if ctx.Traced() {
+			linkDrop(ctx, f.Label, "filter", fr.Len())
+		}
 		return
 	}
 	ctx.Forward(fr)
@@ -183,6 +206,11 @@ func (pr *PathReassembler) Process(ctx Context, dir Direction, f *packet.Frame) 
 	}
 	out, done := pr.r.Add(f.Raw())
 	if done {
+		if ctx.Traced() {
+			r := ctx.Rec()
+			r.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindLinkReassemble, Actor: pr.Label, Value: int64(len(out))})
+			r.Add(obs.CtrReassemblies, 1)
+		}
 		ctx.ForwardRaw(out)
 	}
 }

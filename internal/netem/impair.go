@@ -3,7 +3,18 @@ package netem
 import (
 	"repro/internal/detrand"
 	"repro/internal/netem/packet"
+	"repro/internal/obs"
 )
+
+// impairDrop records an impairment-link drop. The link's detrand step
+// count rides along as Aux, pinning the event to a position in the
+// deterministic draw stream rather than to any wall-clock quantity.
+func impairDrop(ctx Context, actor, reason string, size int, rng *detrand.Rand) {
+	r := ctx.Rec()
+	r.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindLinkDrop, Actor: actor, Label: reason,
+		Value: int64(size), Aux: int64(rng.Steps())})
+	r.Add(obs.CtrLinkDrops, 1)
+}
 
 // LossyLink drops packets at a configured rate — failure injection for
 // robustness testing. The RNG is seeded so runs stay deterministic.
@@ -37,6 +48,9 @@ func (l *LossyLink) Process(ctx Context, dir Direction, f *packet.Frame) {
 	}
 	if l.rng.Float64() < l.LossRate {
 		l.Dropped++
+		if ctx.Traced() {
+			impairDrop(ctx, l.Label, "loss", f.Len(), l.rng)
+		}
 		return
 	}
 	ctx.Forward(f)
@@ -89,6 +103,7 @@ func (g *GilbertElliottLink) Process(ctx Context, dir Direction, f *packet.Frame
 	if g.rng == nil {
 		g.rng = detrand.New(g.Seed ^ 0x9e11)
 	}
+	wasBad := g.bad
 	if g.bad {
 		g.bad = g.rng.Float64() >= g.PBG
 	} else {
@@ -99,8 +114,17 @@ func (g *GilbertElliottLink) Process(ctx Context, dir Direction, f *packet.Frame
 		g.BadPackets++
 		loss = g.LossBad
 	}
+	if !wasBad && g.bad && ctx.Traced() {
+		// A loss burst begins: one event per Good→Bad transition, not
+		// per packet the burst swallows.
+		ctx.Rec().Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindLinkBurst, Actor: g.Label,
+			Aux: int64(g.rng.Steps())})
+	}
 	if g.rng.Float64() < loss {
 		g.Dropped++
+		if ctx.Traced() {
+			impairDrop(ctx, g.Label, "ge", f.Len(), g.rng)
+		}
 		return
 	}
 	ctx.Forward(f)
@@ -139,6 +163,12 @@ func (d *DuplicatingLink) Process(ctx Context, dir Direction, f *packet.Frame) {
 	ctx.Forward(f)
 	if d.rng.Float64() < d.DupRate {
 		d.Duplicated++
+		if ctx.Traced() {
+			r := ctx.Rec()
+			r.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindLinkDup, Actor: d.Label,
+				Value: int64(f.Len()), Aux: int64(d.rng.Steps())})
+			r.Add(obs.CtrLinkDuplicates, 1)
+		}
 		// Immutability makes forwarding the same frame twice safe — the
 		// duplicate even shares the original's cached parse.
 		ctx.Forward(f)
@@ -181,6 +211,12 @@ func (c *CorruptingLink) Process(ctx Context, dir Direction, f *packet.Frame) {
 		pos := 20 + c.rng.Intn(len(out)-20)
 		out[pos] ^= 1 << uint(c.rng.Intn(8))
 		c.Corrupted++
+		if ctx.Traced() {
+			r := ctx.Rec()
+			r.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindLinkCorrupt, Actor: c.Label, Label: "bit",
+				Value: int64(pos), Aux: int64(c.rng.Steps())})
+			r.Add(obs.CtrLinkCorruptions, 1)
+		}
 		ctx.ForwardRaw(out)
 		return
 	}
@@ -244,5 +280,11 @@ func (c *PayloadCorruptingLink) Process(ctx Context, dir Direction, f *packet.Fr
 	q.Payload = np
 	q.FixTransportChecksum()
 	c.Corrupted++
+	if ctx.Traced() {
+		r := ctx.Rec()
+		r.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindLinkCorrupt, Actor: c.Label, Label: "payload",
+			Value: int64(len(np)), Aux: int64(c.rng.Steps())})
+		r.Add(obs.CtrLinkCorruptions, 1)
+	}
 	ctx.ForwardRaw(q.Serialize())
 }

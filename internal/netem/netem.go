@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/netem/packet"
 	"repro/internal/netem/vclock"
+	"repro/internal/obs"
 )
 
 // Direction is the direction a packet travels along the path.
@@ -99,6 +100,19 @@ func (c Context) Schedule(d time.Duration, fn func()) { c.env.Clock.Schedule(d, 
 // HourOfDay exposes the virtual time-of-day for load-dependent models.
 func (c Context) HourOfDay() float64 { return c.env.Clock.HourOfDay() }
 
+// Traced reports whether the env records observability events. Packet-path
+// emission sites gate on this cached bool instead of an interface call, so
+// disabled recording costs nothing measurable. A zero Context (unit tests
+// driving element methods directly) is never traced.
+func (c Context) Traced() bool { return c.env != nil && c.env.traced }
+
+// Rec returns the env's recorder (obs.Nop when tracing is off).
+func (c Context) Rec() obs.Recorder { return c.env.Recorder() }
+
+// VNS returns the virtual timestamp (ns since the vclock epoch) events
+// carry.
+func (c Context) VNS() int64 { return c.env.Clock.NowNS() }
+
 // Env is a simulated path: client — elements[0] … elements[n-1] — server.
 type Env struct {
 	Clock      *vclock.Clock
@@ -127,6 +141,13 @@ type Env struct {
 	// value. dfree recycles the argument records.
 	deliverFn func(any)
 	dfree     []*delivery
+
+	// rec receives observability events; nil means disabled (Recorder()
+	// reports obs.Nop). traced caches rec.Enabled() so the per-packet
+	// path pays a bool test, never an interface call, when tracing is
+	// off.
+	rec    obs.Recorder
+	traced bool
 }
 
 // delivery is one in-flight link traversal: frame f arriving at position
@@ -182,7 +203,33 @@ func (e *Env) Fork(clock *vclock.Clock) *Env {
 		}
 	}
 	ne.delivered = append([]int(nil), e.delivered...)
+	// The replica records into its own fork of the recorder (an empty
+	// buffer for obs.Buffer parents); the evaluation join merges the
+	// per-fork streams back in canonical order.
+	if e.rec != nil {
+		ne.rec = obs.Fork(e.rec)
+		ne.traced = e.traced
+	}
 	return ne
+}
+
+// SetRecorder installs the observability recorder (nil or obs.Nop
+// disables recording). Elements reached through this env's Contexts and
+// the env's own delivery counter emit into it.
+func (e *Env) SetRecorder(r obs.Recorder) {
+	if r == nil {
+		r = obs.Nop
+	}
+	e.rec = r
+	e.traced = r.Enabled()
+}
+
+// Recorder returns the env's recorder, obs.Nop when none is installed.
+func (e *Env) Recorder() obs.Recorder {
+	if e.rec == nil {
+		return obs.Nop
+	}
+	return e.rec
 }
 
 // DeliveredTo reports how many deliveries position name has received:
@@ -267,6 +314,9 @@ func (e *Env) deliverArg(a any) {
 func (e *Env) deliver(pos int, dir Direction, f *packet.Frame) {
 	if len(e.delivered) < len(e.elements)+2 {
 		e.delivered = append(e.delivered, make([]int, len(e.elements)+2-len(e.delivered))...)
+	}
+	if e.traced {
+		e.rec.Add(obs.CtrDeliveries, 1)
 	}
 	switch {
 	case pos < 0:

@@ -1,0 +1,91 @@
+package netem
+
+import (
+	"testing"
+
+	"repro/internal/netem/packet"
+	"repro/internal/netem/vclock"
+	"repro/internal/obs"
+)
+
+func TestLinkEventsRecorded(t *testing.T) {
+	ll := &LossyLink{Label: "l", LossRate: 0.3, Seed: 7}
+	clock, env, n := impairRig(ll)
+	buf := obs.NewBuffer()
+	env.SetRecorder(buf)
+	for i := 0; i < 200; i++ {
+		env.FromClient(packet.NewUDP(env.ClientAddr, env.ServerAddr, 1, 2, []byte("x")).Serialize())
+	}
+	clock.Run()
+
+	var drops int
+	var lastAux int64
+	for _, e := range buf.Events() {
+		if e.Kind != obs.KindLinkDrop {
+			t.Fatalf("unexpected event kind %s", e.Kind)
+		}
+		// Value carries the frame size: 20 IP + 8 UDP + 1 payload byte.
+		if e.Actor != "l" || e.Label != "loss" || e.Value != 29 {
+			t.Fatalf("drop event fields: %+v", e)
+		}
+		if e.Aux <= lastAux {
+			t.Fatalf("draw counter not increasing: %d after %d", e.Aux, lastAux)
+		}
+		lastAux = e.Aux
+		drops++
+	}
+	if drops != ll.Dropped {
+		t.Fatalf("drop events = %d, element counted %d", drops, ll.Dropped)
+	}
+	if got := buf.Counter(obs.CtrLinkDrops); got != int64(drops) {
+		t.Fatalf("link_drops counter = %d, want %d", got, drops)
+	}
+	// Every frame is delivered once to the link element; survivors are
+	// delivered once more to the server.
+	if got := buf.Counter(obs.CtrDeliveries); got != int64(200+*n) {
+		t.Fatalf("deliveries counter = %d, want %d", got, 200+*n)
+	}
+}
+
+func TestEnvForkForksRecorder(t *testing.T) {
+	clock := vclock.New()
+	env := New(clock, packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.9"))
+	parent := obs.NewBuffer()
+	env.SetRecorder(parent)
+
+	fork := env.Fork(clock.Fork())
+	fork.SetServer(EndpointFunc(func([]byte) {}))
+	fork.FromClient(packet.NewUDP(env.ClientAddr, env.ServerAddr, 1, 2, []byte("x")).Serialize())
+	fork.Clock.Run()
+
+	if parent.Counter(obs.CtrDeliveries) != 0 {
+		t.Fatal("fork traffic leaked into the parent recorder")
+	}
+	child, ok := fork.Recorder().(*obs.Buffer)
+	if !ok {
+		t.Fatalf("fork recorder is %T, want *obs.Buffer", fork.Recorder())
+	}
+	if child.Counter(obs.CtrDeliveries) == 0 {
+		t.Fatal("fork recorder saw no deliveries")
+	}
+	obs.Merge(parent, child)
+	if parent.Counter(obs.CtrDeliveries) != child.Counter(obs.CtrDeliveries) {
+		t.Fatal("merge did not absorb the fork's counters")
+	}
+}
+
+func TestRecorderDisabledByDefault(t *testing.T) {
+	clock := vclock.New()
+	env := New(clock, packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.9"))
+	if env.Recorder() != obs.Nop {
+		t.Fatal("fresh env should report the Nop recorder")
+	}
+	env.SetRecorder(nil)
+	if env.Recorder() != obs.Nop {
+		t.Fatal("SetRecorder(nil) should disable recording")
+	}
+	ctx := Context{env: env}
+	if ctx.Traced() {
+		t.Fatal("untraced env reports Traced()")
+	}
+}

@@ -142,6 +142,10 @@ func New() *Clock {
 // Now returns the current virtual time.
 func (c *Clock) Now() time.Time { return Epoch.Add(time.Duration(c.now)) }
 
+// NowNS returns the current virtual time as integer nanoseconds since
+// Epoch — the timestamp form observability events carry.
+func (c *Clock) NowNS() int64 { return c.now }
+
 // Since returns the virtual time elapsed since t.
 func (c *Clock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
 

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Buffer is the in-memory Recorder: an ordered event slice plus the
+// counter array. With a limit it doubles as the flight recorder — a
+// bounded ring that keeps only the newest events (counters are never
+// truncated), for post-mortem evidence on failed engagements.
+//
+// A Buffer belongs to one simulation replica; it is not goroutine-safe.
+// Forked replicas get their own empty Buffer via Fork and are absorbed
+// back with Merge.
+type Buffer struct {
+	// limit is the ring capacity; 0 means unbounded.
+	limit int
+	// events is the backing store. Once a bounded buffer wraps, head is
+	// the index of the oldest retained event.
+	events   []Event
+	head     int
+	dropped  int64
+	counters [NumCounters]int64
+}
+
+// NewBuffer returns an unbounded recording buffer.
+func NewBuffer() *Buffer { return &Buffer{} }
+
+// NewFlightRecorder returns a bounded buffer retaining only the newest
+// limit events — the post-mortem ring. A non-positive limit falls back
+// to 256.
+func NewFlightRecorder(limit int) *Buffer {
+	if limit <= 0 {
+		limit = 256
+	}
+	return &Buffer{limit: limit}
+}
+
+// Enabled implements Recorder.
+func (b *Buffer) Enabled() bool { return true }
+
+// Record implements Recorder.
+func (b *Buffer) Record(e Event) {
+	if b.limit > 0 && len(b.events) == b.limit {
+		b.events[b.head] = e
+		b.head++
+		if b.head == b.limit {
+			b.head = 0
+		}
+		b.dropped++
+		return
+	}
+	b.events = append(b.events, e)
+}
+
+// Add implements Recorder.
+func (b *Buffer) Add(c Counter, delta int64) {
+	if c < NumCounters {
+		b.counters[c] += delta
+	}
+}
+
+// Len reports how many events are retained.
+func (b *Buffer) Len() int { return len(b.events) }
+
+// Dropped reports how many events the ring discarded (0 for unbounded
+// buffers).
+func (b *Buffer) Dropped() int64 { return b.dropped }
+
+// Counter reads one counter.
+func (b *Buffer) Counter(c Counter) int64 {
+	if c < NumCounters {
+		return b.counters[c]
+	}
+	return 0
+}
+
+// Events returns the retained events, oldest first. The slice is a
+// copy; mutating it does not affect the buffer.
+func (b *Buffer) Events() []Event {
+	out := make([]Event, 0, len(b.events))
+	out = append(out, b.events[b.head:]...)
+	out = append(out, b.events[:b.head]...)
+	return out
+}
+
+// CounterMap returns the non-zero counters keyed by wire name.
+// encoding/json sorts map keys, so marshaling it is deterministic.
+func (b *Buffer) CounterMap() map[string]int64 {
+	var out map[string]int64
+	for c := Counter(0); c < NumCounters; c++ {
+		if b.counters[c] == 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]int64)
+		}
+		out[c.String()] = b.counters[c]
+	}
+	return out
+}
+
+// Fork implements Forker: the child starts empty with the same ring
+// limit, so forked replicas never interleave writes with the parent.
+func (b *Buffer) Fork() Recorder { return &Buffer{limit: b.limit} }
+
+// Merge implements Merger: child's events are appended in order (through
+// Record, so a bounded parent keeps its ring semantics), counters and
+// drop counts are summed. Only *Buffer children carry state; anything
+// else is ignored.
+func (b *Buffer) Merge(child Recorder) {
+	cb, ok := child.(*Buffer)
+	if !ok || cb == b {
+		return
+	}
+	for _, e := range cb.Events() {
+		b.Record(e)
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		b.counters[c] += cb.counters[c]
+	}
+	b.dropped += cb.dropped
+}
+
+// Reset clears events, counters, and drop accounting; the ring limit is
+// retained.
+func (b *Buffer) Reset() {
+	b.events = b.events[:0]
+	b.head = 0
+	b.dropped = 0
+	b.counters = [NumCounters]int64{}
+}
+
+// Tail renders the newest n events as human-readable strings, oldest of
+// the tail first — the failure-row evidence format.
+func (b *Buffer) Tail(n int) []string {
+	evs := b.Events()
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.String()
+	}
+	return out
+}
+
+// String renders one event as a single evidence line.
+func (e Event) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d %s", e.VNS, e.Kind)
+	if e.Actor != "" {
+		fmt.Fprintf(&sb, " actor=%s", e.Actor)
+	}
+	if e.Label != "" {
+		fmt.Fprintf(&sb, " label=%s", e.Label)
+	}
+	if e.Flow != "" {
+		fmt.Fprintf(&sb, " flow=%s", e.Flow)
+	}
+	if e.Value != 0 {
+		fmt.Fprintf(&sb, " value=%d", e.Value)
+	}
+	if e.Aux != 0 {
+		fmt.Fprintf(&sb, " aux=%d", e.Aux)
+	}
+	return sb.String()
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceSchema identifies the trace document format. Bump only on
+// incompatible changes; consumers (and the CI validator) key on it.
+const TraceSchema = "liberate-trace/v1"
+
+// TraceMeta is the engagement identity stamped into a trace document.
+// Deliberately excluded: worker counts, wall-clock times, host identity
+// — anything that would break byte-identity across schedules.
+type TraceMeta struct {
+	Network string `json:"network,omitempty"`
+	Trace   string `json:"trace,omitempty"`
+}
+
+// eventJSON is the wire form of one event.
+type eventJSON struct {
+	VNS   int64  `json:"vns"`
+	Kind  string `json:"kind"`
+	Actor string `json:"actor,omitempty"`
+	Label string `json:"label,omitempty"`
+	Flow  string `json:"flow,omitempty"`
+	Value int64  `json:"value,omitempty"`
+	Aux   int64  `json:"aux,omitempty"`
+}
+
+// traceDoc is the trace document layout. Field order is fixed and the
+// counters map marshals with sorted keys, so the same buffer always
+// yields the same bytes.
+type traceDoc struct {
+	Schema   string           `json:"schema"`
+	Network  string           `json:"network,omitempty"`
+	Trace    string           `json:"trace,omitempty"`
+	Events   []eventJSON      `json:"events"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Dropped  int64            `json:"dropped_events,omitempty"`
+}
+
+// WriteJSON renders the buffer as an indented trace document. The output
+// is deterministic: identical recordings produce identical bytes.
+func (b *Buffer) WriteJSON(w io.Writer, meta TraceMeta) error {
+	doc := traceDoc{
+		Schema:   TraceSchema,
+		Network:  meta.Network,
+		Trace:    meta.Trace,
+		Events:   make([]eventJSON, 0, b.Len()),
+		Counters: b.CounterMap(),
+		Dropped:  b.Dropped(),
+	}
+	for _, e := range b.Events() {
+		doc.Events = append(doc.Events, eventJSON{
+			VNS: e.VNS, Kind: e.Kind.String(),
+			Actor: e.Actor, Label: e.Label, Flow: e.Flow,
+			Value: e.Value, Aux: e.Aux,
+		})
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ValidateTrace checks a trace document against the event schema: the
+// schema tag, every event kind and counter name in the taxonomy,
+// non-negative virtual timestamps, and properly nested span brackets.
+// (Global VNS monotonicity is deliberately NOT required: merged fork
+// buffers each restart from the fork instant.)
+func ValidateTrace(data []byte) error {
+	var doc traceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if doc.Schema != TraceSchema {
+		return fmt.Errorf("obs: schema %q, want %q", doc.Schema, TraceSchema)
+	}
+	if doc.Dropped < 0 {
+		return fmt.Errorf("obs: negative dropped_events %d", doc.Dropped)
+	}
+	// Span brackets must nest properly. A flight-recorder ring may have
+	// evicted opening brackets, so the structural check only applies to
+	// complete (undropped) traces.
+	checkSpans := doc.Dropped == 0
+	var spans []string
+	for i, e := range doc.Events {
+		k, ok := KindByName(e.Kind)
+		if !ok {
+			return fmt.Errorf("obs: event %d: unknown kind %q", i, e.Kind)
+		}
+		if e.VNS < 0 {
+			return fmt.Errorf("obs: event %d: negative vns %d", i, e.VNS)
+		}
+		if !checkSpans {
+			continue
+		}
+		switch k {
+		case KindSpanStart:
+			if e.Actor == "" {
+				return fmt.Errorf("obs: event %d: span.start without an actor", i)
+			}
+			spans = append(spans, e.Actor)
+		case KindSpanEnd:
+			if len(spans) == 0 {
+				return fmt.Errorf("obs: event %d: span.end %q without an open span", i, e.Actor)
+			}
+			top := spans[len(spans)-1]
+			if top != e.Actor {
+				return fmt.Errorf("obs: event %d: span.end %q closes open span %q", i, e.Actor, top)
+			}
+			spans = spans[:len(spans)-1]
+		}
+	}
+	if checkSpans && len(spans) > 0 {
+		return fmt.Errorf("obs: %d unclosed span(s), first %q", len(spans), spans[0])
+	}
+	for name := range doc.Counters {
+		if _, ok := CounterByName(name); !ok {
+			return fmt.Errorf("obs: unknown counter %q", name)
+		}
+	}
+	return nil
+}

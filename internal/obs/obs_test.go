@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func ev(vns int64, k Kind, actor string) Event {
+	return Event{VNS: vns, Kind: k, Actor: actor}
+}
+
+func TestKindAndCounterNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		name := k.String()
+		if name == "" || name == "unknown" {
+			t.Fatalf("kind %d has no wire name", k)
+		}
+		got, ok := KindByName(name)
+		if !ok || got != k {
+			t.Fatalf("KindByName(%q) = %v,%v want %v", name, got, ok, k)
+		}
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		name := c.String()
+		got, ok := CounterByName(name)
+		if !ok || got != c {
+			t.Fatalf("CounterByName(%q) = %v,%v want %v", name, got, ok, c)
+		}
+	}
+	if _, ok := KindByName("no.such.kind"); ok {
+		t.Fatal("KindByName accepted an unknown name")
+	}
+	if _, ok := CounterByName("no_such_counter"); ok {
+		t.Fatal("CounterByName accepted an unknown name")
+	}
+}
+
+func TestFlightRingKeepsNewest(t *testing.T) {
+	b := NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		b.Record(ev(int64(i), KindLinkDrop, "hop"))
+	}
+	events := b.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	for i, e := range events {
+		if want := int64(6 + i); e.VNS != want {
+			t.Fatalf("event %d has VNS %d, want %d (oldest-first order broken)", i, e.VNS, want)
+		}
+	}
+	if b.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", b.Dropped())
+	}
+}
+
+func TestForkMergeAppendsInOrder(t *testing.T) {
+	parent := NewBuffer()
+	parent.Record(ev(1, KindSpanStart, "evaluate"))
+	parent.Add(CtrSpans, 1)
+
+	childA := Fork(parent).(*Buffer)
+	childB := Fork(parent).(*Buffer)
+	childB.Record(ev(20, KindReplay, "b"))
+	childB.Add(CtrReplays, 1)
+	childA.Record(ev(10, KindReplay, "a"))
+	childA.Add(CtrReplays, 1)
+
+	// Merge in canonical order regardless of which child recorded first.
+	Merge(parent, childA)
+	Merge(parent, childB)
+	parent.Record(ev(30, KindSpanEnd, "evaluate"))
+
+	events := parent.Events()
+	actors := make([]string, len(events))
+	for i, e := range events {
+		actors[i] = e.Actor
+	}
+	want := []string{"evaluate", "a", "b", "evaluate"}
+	for i := range want {
+		if actors[i] != want[i] {
+			t.Fatalf("merged order = %v, want %v", actors, want)
+		}
+	}
+	if parent.Counter(CtrReplays) != 2 || parent.Counter(CtrSpans) != 1 {
+		t.Fatalf("merged counters: replays=%d spans=%d", parent.Counter(CtrReplays), parent.Counter(CtrSpans))
+	}
+}
+
+func TestNopRecorderAllocatesNothing(t *testing.T) {
+	// The pattern every packet-path site uses: gate on Enabled before
+	// building the event. Disabled recording must not allocate.
+	r := Nop
+	allocs := testing.AllocsPerRun(100, func() {
+		if r.Enabled() {
+			r.Record(Event{VNS: 1, Kind: KindLinkDrop, Actor: "hop", Flow: "k"})
+			r.Add(CtrLinkDrops, 1)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("gated nop site allocates %.1f per op", allocs)
+	}
+	if Fork(Nop) != Nop {
+		t.Fatal("forking Nop should return Nop")
+	}
+	Merge(Nop, Nop) // must not panic
+}
+
+func writeTrace(t *testing.T, b *Buffer) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	if err := b.WriteJSON(&out, TraceMeta{Network: "testbed", Trace: "t"}); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return out.Bytes()
+}
+
+func TestValidateTraceAcceptsWellFormed(t *testing.T) {
+	b := NewBuffer()
+	b.Record(ev(1, KindSpanStart, "engagement"))
+	b.Record(Event{VNS: 2, Kind: KindDPIClassify, Actor: "mb", Label: "hit", Flow: "f", Value: 3, Aux: 4})
+	b.Record(ev(5, KindSpanEnd, "engagement"))
+	b.Add(CtrClassifications, 1)
+	data := writeTrace(t, b)
+	if err := ValidateTrace(data); err != nil {
+		t.Fatalf("ValidateTrace: %v", err)
+	}
+}
+
+func TestValidateTraceRejections(t *testing.T) {
+	mangle := func(fn func(doc map[string]any)) []byte {
+		b := NewBuffer()
+		b.Record(ev(1, KindSpanStart, "engagement"))
+		b.Record(ev(2, KindSpanEnd, "engagement"))
+		var doc map[string]any
+		if err := json.Unmarshal(writeTrace(t, b), &doc); err != nil {
+			t.Fatal(err)
+		}
+		fn(doc)
+		out, err := json.Marshal(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"wrong schema", mangle(func(d map[string]any) { d["schema"] = "bogus/v9" })},
+		{"unknown kind", mangle(func(d map[string]any) {
+			d["events"].([]any)[0].(map[string]any)["kind"] = "no.such"
+		})},
+		{"negative vns", mangle(func(d map[string]any) {
+			d["events"].([]any)[0].(map[string]any)["vns"] = float64(-1)
+		})},
+		{"unknown counter", mangle(func(d map[string]any) {
+			d["counters"] = map[string]any{"bogus_counter": float64(1)}
+		})},
+		{"unbalanced span", mangle(func(d map[string]any) {
+			d["events"] = d["events"].([]any)[:1]
+		})},
+		{"not json", []byte("][")},
+	}
+	for _, c := range cases {
+		if err := ValidateTrace(c.data); err == nil {
+			t.Errorf("%s: ValidateTrace accepted invalid trace", c.name)
+		}
+	}
+}
+
+func TestValidateTraceWaivesSpanCheckAfterEviction(t *testing.T) {
+	// A flight ring can evict a span's opening bracket; the validator must
+	// not fail truncated traces on nesting.
+	b := NewFlightRecorder(1)
+	b.Record(ev(1, KindSpanStart, "engagement"))
+	b.Record(ev(2, KindSpanEnd, "engagement"))
+	if b.Dropped() == 0 {
+		t.Fatal("setup: ring did not evict")
+	}
+	if err := ValidateTrace(writeTrace(t, b)); err != nil {
+		t.Fatalf("truncated trace rejected: %v", err)
+	}
+}
+
+func TestResetRetainsRingLimit(t *testing.T) {
+	b := NewFlightRecorder(2)
+	for i := 0; i < 5; i++ {
+		b.Record(ev(int64(i), KindLinkDrop, "hop"))
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Dropped() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+	for i := 0; i < 5; i++ {
+		b.Record(ev(int64(i), KindLinkDrop, "hop"))
+	}
+	if b.Len() != 2 {
+		t.Fatalf("ring limit lost after Reset: len=%d", b.Len())
+	}
+}
+
+func TestTailRendersEvidenceLines(t *testing.T) {
+	b := NewBuffer()
+	b.Record(Event{VNS: 7, Kind: KindDPIBlock, Actor: "mb", Label: "hit", Flow: "f", Value: 2})
+	lines := b.Tail(5)
+	if len(lines) != 1 {
+		t.Fatalf("tail lines: %v", lines)
+	}
+	want := "7 dpi.block actor=mb label=hit flow=f value=2"
+	if lines[0] != want {
+		t.Fatalf("evidence line = %q, want %q", lines[0], want)
+	}
+}

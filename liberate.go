@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dpi"
 	"repro/internal/netem"
+	"repro/internal/obs"
 	"repro/internal/netem/stack"
 	"repro/internal/replay"
 	"repro/internal/trace"
@@ -196,4 +197,36 @@ var (
 	ESPNStream       = trace.ESPNStream
 	BuiltinTraces    = trace.Builtin
 	LoadTrace        = trace.Load
+)
+
+// Observability: the deterministic evidence stream threaded through the
+// simulator, classifier, and engine (see DESIGN.md §11). Attach a
+// buffer to a network before running an engagement and serialize it
+// afterwards:
+//
+//	net := liberate.NewTestbed()
+//	buf := liberate.NewTraceBuffer()
+//	net.Env.SetRecorder(buf)
+//	(&liberate.Liberate{Net: net, Trace: tr}).Run()
+//	buf.WriteJSON(os.Stdout, liberate.TraceMeta{Network: net.Name, Trace: tr.Name})
+type (
+	// TraceBuffer collects events and counters; also the bounded flight
+	// ring used for failure post-mortems.
+	TraceBuffer = obs.Buffer
+	// TraceEvent is one recorded packet-path or engine event.
+	TraceEvent = obs.Event
+	// TraceMeta labels a serialized trace.
+	TraceMeta = obs.TraceMeta
+	// TraceSink is the recording interface networks accept
+	// (Env.SetRecorder); TraceBuffer implements it.
+	TraceSink = obs.Recorder
+)
+
+var (
+	// NewTraceBuffer returns an unbounded event buffer.
+	NewTraceBuffer = obs.NewBuffer
+	// NewFlightRecorder returns a ring keeping only the newest n events.
+	NewFlightRecorder = obs.NewFlightRecorder
+	// ValidateTrace checks a serialized trace against the event schema.
+	ValidateTrace = obs.ValidateTrace
 )
