@@ -8,9 +8,11 @@
 //	liberate-campaign -spec campaign.json -workers 8 -out summary.json
 //	liberate-campaign -networks tmobile,gfc -seeds 1,2,3 -csv rows.csv
 //	liberate-campaign -export-spec campaign.json       # bootstrap a spec file
+//	liberate-campaign -cluster 4 -store /tmp/store     # 4 worker processes, shared store
 //
 // The aggregate JSON is byte-identical for the same spec at any worker
-// count; progress output (rates, ETA) goes to stderr and is the only
+// count — in-process (-workers) or across worker processes (-cluster);
+// progress output (rates, ETA) goes to stderr and is the only
 // scheduling-dependent output.
 package main
 
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cluster"
 	"repro/internal/registry"
 )
 
@@ -48,8 +51,20 @@ func main() {
 		flight   = flag.Int("flight", 0, "arm a flight recorder keeping the newest N events per engagement; failure rows gain evidence tails (ignored with -trace-dir)")
 		quiet    = flag.Bool("quiet", false, "suppress progress output")
 		list     = flag.Bool("list", false, "list available networks and traces and exit")
+		storeDir = flag.String("store", "", "persistent engagement store directory: reports are served from it when present and written back after (shared with liberate-d and other runs)")
+		clusterN = flag.Int("cluster", 0, "run the campaign across N worker processes (re-execs this binary); 0 = in-process")
+		// -cluster-worker is the hidden re-exec mode the coordinator
+		// spawns: speak the shard protocol on stdin/stdout and exit.
+		workerMode = flag.Bool("cluster-worker", false, "")
 	)
 	flag.Parse()
+
+	if *workerMode {
+		if err := cluster.ServeWorker(context.Background(), os.Stdin, os.Stdout, cluster.WorkerOptions{}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *list {
 		fmt.Println("networks:")
@@ -82,16 +97,48 @@ func main() {
 		return
 	}
 
-	runner := &campaign.Runner{Spec: spec, Workers: *workers, TraceDir: *traceDir, FlightRecorder: *flight}
-	if *useCache {
-		runner.Cache = campaign.NewCache()
-	}
-	if !*quiet {
-		runner.Observer = campaign.NewProgress(os.Stderr)
-	}
-	summary, err := runner.Run(context.Background())
-	if err != nil {
-		fatal(err)
+	var summary *campaign.Summary
+	if *clusterN > 0 {
+		bin, err := os.Executable()
+		if err != nil {
+			fatal(err)
+		}
+		coord := &cluster.Coordinator{
+			Spec:     spec,
+			Workers:  *clusterN,
+			Spawn:    cluster.ExecSpawner(bin, []string{"-cluster-worker"}),
+			StoreDir: *storeDir,
+			TraceDir: *traceDir,
+			Flight:   *flight,
+			Cache:    *useCache,
+			Parallel: *workers,
+		}
+		if !*quiet {
+			coord.Observer = campaign.NewProgress(os.Stderr)
+		}
+		summary, err = coord.Run(context.Background())
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		runner := &campaign.Runner{Spec: spec, Workers: *workers, TraceDir: *traceDir, FlightRecorder: *flight}
+		if *useCache {
+			runner.Cache = campaign.NewCache()
+		}
+		if *storeDir != "" {
+			store, err := campaign.OpenStore(*storeDir)
+			if err != nil {
+				fatal(err)
+			}
+			runner.Store = store
+		}
+		if !*quiet {
+			runner.Observer = campaign.NewProgress(os.Stderr)
+		}
+		summary, err = runner.Run(context.Background())
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	wroteSomewhere := false

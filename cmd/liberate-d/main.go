@@ -1,0 +1,58 @@
+// Command liberate-d serves lib·erate as a service: an HTTP daemon over
+// the persistent campaign store that answers "what is the cheapest
+// working technique for this network and traffic?" at interactive
+// latency when the store is warm, and schedules the engagement in the
+// background when it isn't:
+//
+//	liberate-d -store /var/lib/liberate/store
+//	curl 'localhost:8866/v1/answer?network=tmobile&trace=amazon'
+//	curl 'localhost:8866/v1/stats'
+//
+// The store is shared with liberate-campaign (-store) and cluster
+// workers, so campaign sweeps pre-warm the daemon's answers.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8866", "listen address")
+		storeDir = flag.String("store", "", "persistent campaign store directory (required; created if missing)")
+		workers  = flag.Int("workers", 2, "background engagement worker pool size")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-engagement timeout for background runs")
+		queue    = flag.Int("queue", 64, "pending background engagement limit (full queue answers 503)")
+	)
+	flag.Parse()
+
+	if *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "liberate-d: -store is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	store, err := campaign.OpenStore(*storeDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	d := cluster.NewDaemon(context.Background(), store, cluster.DaemonOptions{
+		Workers:    *workers,
+		Timeout:    *timeout,
+		QueueDepth: *queue,
+	})
+	log.Printf("liberate-d listening on %s (store %s, %d workers)", *addr, store.Dir(), *workers)
+	if err := http.ListenAndServe(*addr, d.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

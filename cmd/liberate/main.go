@@ -16,6 +16,7 @@ import (
 	"time"
 
 	liberate "repro"
+	"repro/internal/campaign"
 	"repro/internal/netem/stack"
 	"repro/internal/registry"
 )
@@ -35,6 +36,7 @@ func main() {
 		impair    = flag.String("impair", "", "client-side link impairments, e.g. loss:0.02,ge:0.05/0.3/0.8 (kinds: loss|dup|ge|corrupt|payload); enables noise-robust phase logic")
 		cachePath = flag.String("cache", "", "shared rule-cache file: deploy from it when possible, update it after engagements")
 		traceOut  = flag.String("trace-out", "", "record the engagement's evidence stream and write it as JSON to this path ('-' = stdout)")
+		storeDir  = flag.String("store", "", "persistent engagement store directory: serve the report from it when present, write it back after (named networks/traces only)")
 	)
 	flag.Parse()
 
@@ -116,6 +118,40 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Persistent-store fast path: serve a previously computed report for
+	// this exact engagement cell (network × trace × hour × body × OS)
+	// without running anything — the same store liberate-campaign -store
+	// and liberate-d share. Custom network files, impairments, and trace
+	// files are not content-addressable, so the store stays out of the way.
+	var store *campaign.Store
+	var storeEng campaign.Engagement
+	osName := *serverOS
+	if osName == "" {
+		osName = "linux"
+	}
+	if *storeDir != "" {
+		if *netFile != "" || *impair != "" || !isRegistryTrace(*trName) {
+			fmt.Fprintln(os.Stderr, "-store ignored: only named networks and traces are content-addressable")
+		} else {
+			store, err = campaign.OpenStore(*storeDir)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			storeEng = campaign.Engagement{Network: *network, Trace: *trName, Hour: *hour, Body: *body, Seed: 1}
+			rep, ok, err := store.Get(storeEng, osName)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if ok {
+				fmt.Fprintf(os.Stderr, "report served from store %s\n", store.Dir())
+				emitReport(rep, *jsonOut)
+				return
+			}
+		}
+	}
+
 	// Shared-cache fast path (§4.2): verify a cached technique with one
 	// replay instead of a full engagement.
 	var cache *liberate.RuleCache
@@ -157,7 +193,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cache save:", err)
 		}
 	}
-	if *jsonOut {
+	if store != nil {
+		if err := store.Put(storeEng, osName, report); err != nil {
+			fmt.Fprintln(os.Stderr, "store put:", err)
+		}
+	}
+	emitReport(report, *jsonOut)
+}
+
+// emitReport renders the engagement outcome, shared by the fresh and
+// store-served paths.
+func emitReport(report *liberate.Report, jsonOut bool) {
+	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(summarize(report)); err != nil {
@@ -167,6 +214,17 @@ func main() {
 		return
 	}
 	report.WriteSummary(os.Stdout)
+}
+
+// isRegistryTrace reports whether name is a built-in trace (as opposed
+// to a trace file path, which the store cannot key).
+func isRegistryTrace(name string) bool {
+	for _, n := range registry.TraceNames() {
+		if n == name {
+			return true
+		}
+	}
+	return false
 }
 
 // writeTraceOut serializes the engagement's evidence stream (-trace-out).

@@ -43,6 +43,14 @@ type Summary struct {
 	// cached and uncached summaries of the same spec differ only here.
 	Cache *CacheStats `json:"cache,omitempty"`
 
+	// Store reports the persistent disk store's lookup accounting when
+	// the campaign ran with a Runner.Store; nil (and omitted from JSON)
+	// otherwise. For a single-process run the block is deterministic
+	// given the store's starting state; cluster coordinators leave it nil
+	// because cross-process hit/miss splits are scheduling-dependent
+	// (those surface through observers and obs counters instead).
+	Store *StoreStats `json:"store,omitempty"`
+
 	ByNetwork     []NetworkSummary `json:"by_network"`
 	Disagreements []Disagreement   `json:"disagreements,omitempty"`
 	Failures      []FailureRecord  `json:"failures,omitempty"`
@@ -158,123 +166,162 @@ func signature(r Row) string {
 
 // Aggregate folds per-engagement results into the campaign summary. It
 // is a pure function of (spec, results): result order does not matter
-// because everything is re-sorted by engagement key.
+// because everything is re-sorted by engagement key. It is the one-shot
+// form of the streaming Aggregator below.
 func Aggregate(spec Spec, results []Result) *Summary {
-	s := &Summary{Campaign: spec.Name, Spec: spec.withDefaults()}
-
-	sorted := append([]Result(nil), results...)
-	sort.Slice(sorted, func(i, j int) bool {
-		return sorted[i].Engagement.Key() < sorted[j].Engagement.Key()
-	})
-
-	perNet := map[string]*NetworkSummary{}
-	techStats := map[string]map[string]*TechniqueStat{} // network → technique → stat
-	cheapest := map[string]map[string]int{}             // network → technique → wins
-	groups := map[[2]string][]Row{}                     // (network, trace) → rows
-
-	for _, res := range sorted {
-		e := res.Engagement
-		s.Engagements++
-		s.Retries += res.Attempts - 1
-
-		ns := perNet[e.Network]
-		if ns == nil {
-			ns = &NetworkSummary{Network: e.Network}
-			perNet[e.Network] = ns
-			techStats[e.Network] = map[string]*TechniqueStat{}
-			cheapest[e.Network] = map[string]int{}
-		}
-		ns.Engagements++
-
-		row := Row{
-			Network: e.Network, Trace: e.Trace, Hour: e.Hour, Body: e.Body, Seed: e.Seed,
-			Status: res.Status, Attempts: res.Attempts, Err: res.Err,
-			Counters: res.Counters,
-		}
-		if len(res.Counters) > 0 {
-			if s.Counters == nil {
-				s.Counters = map[string]int64{}
-			}
-			for name, v := range res.Counters {
-				s.Counters[name] += v
-			}
-		}
-		if res.Status != StatusOK {
-			s.Failed++
-			s.Failures = append(s.Failures, FailureRecord{
-				Key: e.Key(), Status: res.Status, Attempts: res.Attempts, Err: res.Err,
-				Evidence: res.Evidence,
-			})
-		} else {
-			s.Succeeded++
-			ns.Succeeded++
-			rep := res.Report
-			s.TotalRounds += rep.TotalRounds
-			s.TotalBytes += rep.TotalBytes
-			s.VirtualTimeNS += rep.TotalTime
-
-			row.Differentiated = rep.Detection.Differentiated
-			for _, k := range rep.Detection.Kinds {
-				row.Kinds = append(row.Kinds, string(k))
-			}
-			if c := rep.Characterization; c != nil {
-				row.Fields = len(c.Fields)
-				row.WindowLimited = c.WindowLimited
-				row.PortSpecific = c.PortSpecific
-			}
-			if rep.Detection.Differentiated {
-				ns.Differentiated++
-			}
-			if ev := rep.Evaluation; ev != nil {
-				row.Working = len(ev.Working())
-				for _, v := range ev.Verdicts {
-					if !v.Tried {
-						continue
-					}
-					ts := techStats[e.Network][v.Technique.ID]
-					if ts == nil {
-						ts = &TechniqueStat{ID: v.Technique.ID}
-						techStats[e.Network][v.Technique.ID] = ts
-					}
-					ts.Evaluated++
-					if v.Usable() {
-						ts.Working++
-					}
-				}
-			}
-			if rep.Deployed != nil {
-				row.Deployed = rep.Deployed.Technique.ID
-				ns.DeployedCount++
-				cheapest[e.Network][rep.Deployed.Technique.ID]++
-			}
-			row.Rounds = rep.TotalRounds
-			row.Bytes = rep.TotalBytes
-			row.VirtualNS = int64(rep.TotalTime)
-			row.DetectTrials = rep.Detection.Trials
-			row.MinConfidence = rep.Detection.Confidence
-			if ev := rep.Evaluation; ev != nil {
-				if mc := ev.MinConfidence(); mc > 0 && (row.MinConfidence == 0 || mc < row.MinConfidence) {
-					row.MinConfidence = mc
-				}
-			}
-		}
-		s.Rows = append(s.Rows, row)
-		groups[[2]string{e.Network, e.Trace}] = append(groups[[2]string{e.Network, e.Trace}], row)
+	agg := NewAggregator(spec)
+	for _, res := range results {
+		agg.Add(res)
 	}
+	return agg.Finish()
+}
+
+// Aggregator folds engagement results into a campaign summary
+// incrementally, so a coordinator can merge shard results as they
+// complete — in any order — and release the underlying reports
+// immediately. Every accumulation Add performs is commutative (counts,
+// sums, keyed maps) and Finish sorts all output collections by canonical
+// engagement key, so the summary is byte-identical to a one-shot
+// Aggregate over the same results regardless of arrival order, worker
+// count, or process boundaries.
+//
+// An Aggregator is not safe for concurrent use; callers feeding it from
+// multiple goroutines (the cluster coordinator) serialize Add externally.
+type Aggregator struct {
+	s         *Summary
+	perNet    map[string]*NetworkSummary
+	techStats map[string]map[string]*TechniqueStat // network → technique → stat
+	cheapest  map[string]map[string]int            // network → technique → wins
+}
+
+// NewAggregator starts an empty aggregation for spec.
+func NewAggregator(spec Spec) *Aggregator {
+	return &Aggregator{
+		s:         &Summary{Campaign: spec.Name, Spec: spec.withDefaults()},
+		perNet:    map[string]*NetworkSummary{},
+		techStats: map[string]map[string]*TechniqueStat{},
+		cheapest:  map[string]map[string]int{},
+	}
+}
+
+// Add folds one engagement result into the aggregation. The result's
+// Report (if any) is not retained: everything the summary needs is
+// extracted here, so a streaming caller can drop the report afterwards.
+func (a *Aggregator) Add(res Result) {
+	s := a.s
+	e := res.Engagement
+	s.Engagements++
+	s.Retries += res.Attempts - 1
+
+	ns := a.perNet[e.Network]
+	if ns == nil {
+		ns = &NetworkSummary{Network: e.Network}
+		a.perNet[e.Network] = ns
+		a.techStats[e.Network] = map[string]*TechniqueStat{}
+		a.cheapest[e.Network] = map[string]int{}
+	}
+	ns.Engagements++
+
+	row := Row{
+		Network: e.Network, Trace: e.Trace, Hour: e.Hour, Body: e.Body, Seed: e.Seed,
+		Status: res.Status, Attempts: res.Attempts, Err: res.Err,
+		Counters: res.Counters,
+	}
+	if len(res.Counters) > 0 {
+		if s.Counters == nil {
+			s.Counters = map[string]int64{}
+		}
+		for name, v := range res.Counters {
+			s.Counters[name] += v
+		}
+	}
+	if res.Status != StatusOK {
+		s.Failed++
+		s.Failures = append(s.Failures, FailureRecord{
+			Key: e.Key(), Status: res.Status, Attempts: res.Attempts, Err: res.Err,
+			Evidence: res.Evidence,
+		})
+	} else {
+		s.Succeeded++
+		ns.Succeeded++
+		rep := res.Report
+		s.TotalRounds += rep.TotalRounds
+		s.TotalBytes += rep.TotalBytes
+		s.VirtualTimeNS += rep.TotalTime
+
+		row.Differentiated = rep.Detection.Differentiated
+		for _, k := range rep.Detection.Kinds {
+			row.Kinds = append(row.Kinds, string(k))
+		}
+		if c := rep.Characterization; c != nil {
+			row.Fields = len(c.Fields)
+			row.WindowLimited = c.WindowLimited
+			row.PortSpecific = c.PortSpecific
+		}
+		if rep.Detection.Differentiated {
+			ns.Differentiated++
+		}
+		if ev := rep.Evaluation; ev != nil {
+			row.Working = len(ev.Working())
+			for _, v := range ev.Verdicts {
+				if !v.Tried {
+					continue
+				}
+				ts := a.techStats[e.Network][v.Technique.ID]
+				if ts == nil {
+					ts = &TechniqueStat{ID: v.Technique.ID}
+					a.techStats[e.Network][v.Technique.ID] = ts
+				}
+				ts.Evaluated++
+				if v.Usable() {
+					ts.Working++
+				}
+			}
+		}
+		if rep.Deployed != nil {
+			row.Deployed = rep.Deployed.Technique.ID
+			ns.DeployedCount++
+			a.cheapest[e.Network][rep.Deployed.Technique.ID]++
+		}
+		row.Rounds = rep.TotalRounds
+		row.Bytes = rep.TotalBytes
+		row.VirtualNS = int64(rep.TotalTime)
+		row.DetectTrials = rep.Detection.Trials
+		row.MinConfidence = rep.Detection.Confidence
+		if ev := rep.Evaluation; ev != nil {
+			if mc := ev.MinConfidence(); mc > 0 && (row.MinConfidence == 0 || mc < row.MinConfidence) {
+				row.MinConfidence = mc
+			}
+		}
+	}
+	s.Rows = append(s.Rows, row)
+}
+
+// rowKey reconstructs a row's canonical engagement key.
+func rowKey(r Row) string {
+	return Engagement{Network: r.Network, Trace: r.Trace, Hour: r.Hour, Body: r.Body, Seed: r.Seed}.Key()
+}
+
+// Finish sorts every collection into canonical order and returns the
+// summary. Call it once, after the last Add.
+func (a *Aggregator) Finish() *Summary {
+	s := a.s
+
+	sort.Slice(s.Rows, func(i, j int) bool { return rowKey(s.Rows[i]) < rowKey(s.Rows[j]) })
 
 	// Per-network summaries, sorted by network name.
-	for name, ns := range perNet {
+	for name, ns := range a.perNet {
 		if ns.Differentiated > 0 {
 			ns.DeployRate = float64(ns.DeployedCount) / float64(ns.Differentiated)
 		}
-		for _, ts := range techStats[name] {
+		for _, ts := range a.techStats[name] {
 			if ts.Evaluated > 0 {
 				ts.Rate = float64(ts.Working) / float64(ts.Evaluated)
 			}
 			ns.Techniques = append(ns.Techniques, *ts)
 		}
 		sort.Slice(ns.Techniques, func(i, j int) bool { return ns.Techniques[i].ID < ns.Techniques[j].ID })
-		for id, n := range cheapest[name] {
+		for id, n := range a.cheapest[name] {
 			ns.Cheapest = append(ns.Cheapest, HistEntry{Technique: id, Count: n})
 		}
 		sort.Slice(ns.Cheapest, func(i, j int) bool {
@@ -290,6 +337,10 @@ func Aggregate(spec Spec, results []Result) *Summary {
 
 	// Disagreements: distinct outcome signatures within a (network,
 	// trace) group across the sweep dimensions.
+	groups := map[[2]string][]Row{} // (network, trace) → rows
+	for _, r := range s.Rows {
+		groups[[2]string{r.Network, r.Trace}] = append(groups[[2]string{r.Network, r.Trace}], r)
+	}
 	var groupKeys [][2]string
 	for k := range groups {
 		groupKeys = append(groupKeys, k)
@@ -304,9 +355,7 @@ func Aggregate(spec Spec, results []Result) *Summary {
 		rows := groups[gk]
 		bySig := map[string][]string{}
 		for _, r := range rows {
-			sig := signature(r)
-			key := Engagement{Network: r.Network, Trace: r.Trace, Hour: r.Hour, Body: r.Body, Seed: r.Seed}.Key()
-			bySig[sig] = append(bySig[sig], key)
+			bySig[signature(r)] = append(bySig[signature(r)], rowKey(r))
 		}
 		if len(bySig) < 2 {
 			continue
@@ -382,6 +431,10 @@ func (s *Summary) WriteSummary(w io.Writer) {
 	if s.Cache != nil {
 		fmt.Fprintf(w, "  cache: %d hits, %d misses (%d entries)\n",
 			s.Cache.Hits, s.Cache.Misses, s.Cache.Entries)
+	}
+	if s.Store != nil {
+		fmt.Fprintf(w, "  store: %d hits, %d misses, %d writes, %d evictions\n",
+			s.Store.Hits, s.Store.Misses, s.Store.Writes, s.Store.Evictions)
 	}
 	if len(s.Counters) > 0 {
 		names := make([]string, 0, len(s.Counters))

@@ -4,7 +4,9 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/netem/stack"
@@ -37,6 +39,12 @@ type cacheKey struct {
 	Phase     string
 }
 
+// String renders the canonical key form shared by the in-memory shard
+// hash and the persistent store's content addressing.
+func (k cacheKey) String() string {
+	return fmt.Sprintf("%s|%s|%d|%s|%s", k.NetworkFP, k.TraceFP, k.Hour, k.ServerOS, k.Phase)
+}
+
 // enginePhase is the phase label under which whole engagements are
 // memoized. Detection, characterization, and evaluation verdicts are all
 // carried inside the one cached Report. Phase-granular entries would be
@@ -46,6 +54,48 @@ type cacheKey struct {
 // another's. The phase field exists so future backends with stateless
 // phases can add finer entries without redesigning the key.
 const enginePhase = "engagement"
+
+// fpMemo memoizes the expensive content-addressing inputs — network
+// profile fingerprints and trace content hashes — per (name) and
+// (name, body). Both the in-memory Cache and the persistent Store key
+// through one of these; sharing the type keeps their keys identical by
+// construction.
+type fpMemo struct {
+	mu    sync.Mutex
+	netFP map[string]string // network name → profile fingerprint
+	trFP  map[[2]any]string // (trace name, body) → content hash
+}
+
+func newFPMemo() *fpMemo {
+	return &fpMemo{netFP: make(map[string]string), trFP: make(map[[2]any]string)}
+}
+
+// keyFor builds the content-addressed key for one engagement, memoizing
+// the fingerprint computations per profile and per trace.
+func (m *fpMemo) keyFor(e Engagement, osName string) (cacheKey, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nfp, ok := m.netFP[e.Network]
+	if !ok {
+		net, err := registry.NewNetwork(e.Network)
+		if err != nil {
+			return cacheKey{}, err
+		}
+		nfp = net.Fingerprint()
+		m.netFP[e.Network] = nfp
+	}
+	tk := [2]any{e.Trace, e.Body}
+	tfp, ok := m.trFP[tk]
+	if !ok {
+		tr, err := registry.NewTrace(e.Trace, e.Body)
+		if err != nil {
+			return cacheKey{}, err
+		}
+		tfp = trace.ContentHash(tr)
+		m.trFP[tk] = tfp
+	}
+	return cacheKey{NetworkFP: nfp, TraceFP: tfp, Hour: e.Hour, ServerOS: osName, Phase: enginePhase}, nil
+}
 
 // cacheEntry is a singleflight slot: the creating engagement computes,
 // everyone else blocks on ready.
@@ -75,68 +125,45 @@ type Cache struct {
 		entries map[cacheKey]*cacheEntry
 	}
 
-	mu     sync.Mutex
-	hits   int
-	misses int
-	netFP  map[string]string    // network name → profile fingerprint
-	trFP   map[[2]any]string    // (trace name, body) → content hash
+	// hits/misses are atomics, not mutex-guarded ints: they are bumped
+	// from every worker goroutine on the engagement hot path and read by
+	// Stats while shards are still completing (progress observers,
+	// liberate-d). Atomic loads keep those mid-run reads tear-free
+	// without serializing the workers.
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	fps *fpMemo
 }
 
 // NewCache returns an empty campaign cache.
 func NewCache() *Cache {
-	c := &Cache{
-		netFP: make(map[string]string),
-		trFP:  make(map[[2]any]string),
-	}
+	c := &Cache{fps: newFPMemo()}
 	for i := range c.shards {
 		c.shards[i].entries = make(map[cacheKey]*cacheEntry)
 	}
 	return c
 }
 
-// Stats returns the current hit/miss counters.
+// Stats returns the current hit/miss counters. Safe to call while a
+// campaign is running; the counters are atomically loaded.
 func (c *Cache) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	entries := 0
 	for i := range c.shards {
 		c.shards[i].mu.Lock()
 		entries += len(c.shards[i].entries)
 		c.shards[i].mu.Unlock()
 	}
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: entries}
-}
-
-// keyFor builds the content-addressed key for one engagement, memoizing
-// the expensive fingerprint computations per profile and per trace.
-func (c *Cache) keyFor(e Engagement, osName string) (cacheKey, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	nfp, ok := c.netFP[e.Network]
-	if !ok {
-		net, err := registry.NewNetwork(e.Network)
-		if err != nil {
-			return cacheKey{}, err
-		}
-		nfp = net.Fingerprint()
-		c.netFP[e.Network] = nfp
+	return CacheStats{
+		Hits:    int(c.hits.Load()),
+		Misses:  int(c.misses.Load()),
+		Entries: entries,
 	}
-	tk := [2]any{e.Trace, e.Body}
-	tfp, ok := c.trFP[tk]
-	if !ok {
-		tr, err := registry.NewTrace(e.Trace, e.Body)
-		if err != nil {
-			return cacheKey{}, err
-		}
-		tfp = trace.ContentHash(tr)
-		c.trFP[tk] = tfp
-	}
-	return cacheKey{NetworkFP: nfp, TraceFP: tfp, Hour: e.Hour, ServerOS: osName, Phase: enginePhase}, nil
 }
 
 func (k cacheKey) shard() int {
 	h := fnv.New32a()
-	fmt.Fprintf(h, "%s|%s|%d|%s|%s", k.NetworkFP, k.TraceFP, k.Hour, k.ServerOS, k.Phase)
+	io.WriteString(h, k.String())
 	return int(h.Sum32() % cacheShards)
 }
 
@@ -150,18 +177,14 @@ func (c *Cache) do(key cacheKey, compute func() (*core.Report, error)) (*core.Re
 	ent, ok := sh.entries[key]
 	if ok {
 		sh.mu.Unlock()
-		c.mu.Lock()
-		c.hits++
-		c.mu.Unlock()
+		c.hits.Add(1)
 		<-ent.ready
 		return ent.rep, ent.err
 	}
 	ent = &cacheEntry{ready: make(chan struct{})}
 	sh.entries[key] = ent
 	sh.mu.Unlock()
-	c.mu.Lock()
-	c.misses++
-	c.mu.Unlock()
+	c.misses.Add(1)
 
 	// The ready channel must close even if compute panics, or every
 	// waiter deadlocks; the panic itself still propagates to the runner's
@@ -184,7 +207,7 @@ func (c *Cache) do(key cacheKey, compute func() (*core.Report, error)) (*core.Re
 // seed is outside the cache key.
 func (c *Cache) wrap(inner EngageFunc) EngageFunc {
 	return func(ctx context.Context, e Engagement, osp *stack.OSProfile) (*core.Report, error) {
-		key, err := c.keyFor(e, osName(osp))
+		key, err := c.fps.keyFor(e, osName(osp))
 		if err != nil {
 			return nil, err
 		}
@@ -194,12 +217,23 @@ func (c *Cache) wrap(inner EngageFunc) EngageFunc {
 		if err != nil {
 			return nil, err
 		}
-		if rep.Deployed != nil && rep.DeployTransform(e.Seed) == nil {
-			return nil, fmt.Errorf("campaign: %s: deployed technique %s built a nil transform (seed %d)",
-				e.Key(), rep.Deployed.Technique.ID, e.Seed)
+		if err := verifySeedTransform(rep, e); err != nil {
+			return nil, err
 		}
 		return rep, nil
 	}
+}
+
+// verifySeedTransform re-checks that a report's deployed technique builds
+// a live transform at this engagement's seed — the part of an engagement
+// the content-addressed key deliberately excludes, so it must re-run on
+// every hit (memory cache and persistent store alike).
+func verifySeedTransform(rep *core.Report, e Engagement) error {
+	if rep.Deployed != nil && rep.DeployTransform(e.Seed) == nil {
+		return fmt.Errorf("campaign: %s: deployed technique %s built a nil transform (seed %d)",
+			e.Key(), rep.Deployed.Technique.ID, e.Seed)
+	}
+	return nil
 }
 
 func osName(osp *stack.OSProfile) string {

@@ -155,6 +155,12 @@ type Runner struct {
 	// and server OS (the seed stays outside the key — see Cache). Share
 	// one Cache across runs of overlapping specs to reuse entries.
 	Cache *Cache
+	// Store, when non-nil, layers the persistent disk store under the
+	// in-memory cache (or directly under Engage when Cache is nil):
+	// lookups hit the store before computing, successful reports are
+	// persisted after. Entries survive restarts and are shared with
+	// other processes — cluster workers and the liberate-d daemon.
+	Store *Store
 	// TraceDir, when non-empty, records every engagement's full evidence
 	// stream and writes one JSON trace file per engagement into the
 	// directory (created on demand), named after the engagement key.
@@ -192,6 +198,13 @@ func (r *Runner) engage() EngageFunc {
 	if inner == nil {
 		inner = DefaultEngage
 	}
+	// Layering: memory cache over disk store over the real engagement.
+	// The cache's singleflight means each distinct key consults the
+	// store exactly once per run, which is what keeps single-process
+	// store stats deterministic.
+	if r.Store != nil {
+		inner = r.Store.wrap(inner)
+	}
 	if r.Cache != nil {
 		return r.Cache.wrap(inner)
 	}
@@ -225,6 +238,34 @@ func (r *Runner) Run(ctx context.Context) (*Summary, error) {
 	obs := r.observer()
 	obs.CampaignStarted(len(engs), workers)
 
+	results := r.RunSubset(ctx, engs)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	summary := Aggregate(r.Spec, results)
+	if r.Cache != nil {
+		stats := r.Cache.Stats()
+		summary.Cache = &stats
+	}
+	if r.Store != nil {
+		stats := r.Store.Stats()
+		summary.Store = &stats
+	}
+	obs.CampaignFinished(summary)
+	return summary, nil
+}
+
+// RunSubset executes the given engagements on the runner's bounded pool
+// and returns their results in input order. It is the execution core of
+// Run, exported for cluster workers that run a coordinator-assigned
+// shard of a spec's expansion rather than the whole matrix. The caller
+// owns aggregation; a cancelled context returns partial results (the
+// unreached entries keep their zero value), mirroring Run's behaviour of
+// checking ctx.Err() afterwards.
+func (r *Runner) RunSubset(ctx context.Context, engs []Engagement) []Result {
+	workers := r.workers(len(engs))
+
 	// Results land in a slice indexed by engagement, so completion order
 	// (which depends on scheduling) never influences aggregation.
 	results := make([]Result, len(engs))
@@ -249,17 +290,7 @@ feeding:
 	}
 	close(feed)
 	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	summary := Aggregate(r.Spec, results)
-	if r.Cache != nil {
-		stats := r.Cache.Stats()
-		summary.Cache = &stats
-	}
-	obs.CampaignFinished(summary)
-	return summary, nil
+	return results
 }
 
 // runOne executes one engagement with bounded retry. When recording is

@@ -1,0 +1,370 @@
+package campaign
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netem/stack"
+	"repro/internal/registry"
+	"repro/internal/trace"
+)
+
+// storeSpec is small but exercises both a differentiated network and a
+// multi-key sweep: 4 engagements over 2 distinct content keys.
+func storeSpec() Spec {
+	return Spec{
+		Name:     "store-test",
+		Networks: []string{"testbed"},
+		Traces:   []string{"amazon"},
+		Hours:    []int{0, 12},
+		Bodies:   []int{8 << 10},
+		Seeds:    []int64{1, 2},
+	}
+}
+
+// runReport produces one real engagement report for codec tests.
+func runReport(t *testing.T) *core.Report {
+	t.Helper()
+	net, err := registry.NewNetwork("testbed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := registry.NewTrace("amazon", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return (&core.Liberate{Net: net, Trace: tr, ServerOS: &stack.Linux}).Run()
+}
+
+// TestReportCodecAggregationExact is the codec's contract: aggregating a
+// decoded report must produce byte-identical summary JSON to aggregating
+// the original, and the deployment transform must still build.
+func TestReportCodecAggregationExact(t *testing.T) {
+	rep := runReport(t)
+	data, err := EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := Engagement{Network: "testbed", Trace: "amazon", Body: 8 << 10, Seed: 1}
+	spec := storeSpec()
+	orig := Aggregate(spec, []Result{{Engagement: e, Report: rep, Status: StatusOK, Attempts: 1}})
+	dec := Aggregate(spec, []Result{{Engagement: e, Report: back, Status: StatusOK, Attempts: 1}})
+	oj, err := orig.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := dec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(oj) != string(dj) {
+		t.Errorf("aggregation over decoded report diverged:\n%s\nvs\n%s", dj, oj)
+	}
+
+	if rep.Deployed != nil {
+		if back.Deployed == nil {
+			t.Fatal("decode dropped the deployed verdict")
+		}
+		if back.DeployTransform(7) == nil {
+			t.Error("decoded report cannot build its deployment transform (technique rehydration failed)")
+		}
+	}
+	// Re-encoding the decoded report must be a fixed point.
+	data2, err := EncodeReport(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("encode(decode(encode(r))) is not a fixed point")
+	}
+}
+
+func TestDecodeReportRejectsUnknownTechnique(t *testing.T) {
+	rep := runReport(t)
+	data, err := EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mangled := strings.Replace(string(data), rep.Deployed.Technique.ID, "no-such-technique", 1)
+	if _, err := DecodeReport([]byte(mangled)); err == nil {
+		t.Error("decoding a report with an unknown technique ID should fail")
+	}
+}
+
+// TestStoreWarmRunByteIdentical is the restart-durability contract: a
+// second run against a fresh Store handle on the same directory must be
+// served warm (zero misses) and emit byte-identical summary output,
+// modulo the store stats block itself.
+func TestStoreWarmRunByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	spec := storeSpec()
+
+	run := func() *Summary {
+		st, err := OpenStore(dir) // fresh handle each run = process restart
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum, err := (&Runner{Spec: spec, Workers: 2, Cache: NewCache(), Store: st}).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum
+	}
+
+	cold := run()
+	if cold.Failed != 0 {
+		t.Fatalf("%d cold engagements failed", cold.Failed)
+	}
+	if cold.Store == nil || cold.Store.Hits != 0 || cold.Store.Misses != 2 || cold.Store.Writes != 2 {
+		t.Fatalf("cold store stats = %+v, want 0 hits / 2 misses / 2 writes", cold.Store)
+	}
+
+	warm := run()
+	if warm.Store == nil || warm.Store.Misses != 0 || warm.Store.Hits != 2 {
+		t.Fatalf("warm store stats = %+v, want 2 hits / 0 misses", warm.Store)
+	}
+
+	// Everything outside the store block must match byte-for-byte.
+	cold.Store, warm.Store = nil, nil
+	cj, err := cold.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wj, err := warm.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cj) != string(wj) {
+		t.Errorf("warm-store summary diverged from cold run:\n%s\nvs\n%s", wj, cj)
+	}
+}
+
+// TestStoreWithoutCacheAlsoServes covers the store layered directly
+// under Engage (no in-memory cache): per-seed transform verification
+// must still run on hits.
+func TestStoreWithoutCacheAlsoServes(t *testing.T) {
+	dir := t.TempDir()
+	spec := storeSpec()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (&Runner{Spec: spec, Workers: 1, Store: st}).Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engaged int
+	countingEngage := func(ctx context.Context, e Engagement, osp *stack.OSProfile) (*core.Report, error) {
+		engaged++
+		return DefaultEngage(ctx, e, osp)
+	}
+	sum, err := (&Runner{Spec: spec, Workers: 1, Store: st2, Engage: countingEngage}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engaged != 0 {
+		t.Errorf("warm store still ran %d engagements", engaged)
+	}
+	// Without the memory cache every engagement consults the store: all
+	// 4 are hits (2 keys × 2 seeds).
+	if sum.Store == nil || sum.Store.Hits != 4 || sum.Store.Misses != 0 {
+		t.Errorf("store stats = %+v, want 4 hits / 0 misses", sum.Store)
+	}
+}
+
+// storeEntryFiles lists the non-temporary entry files under the store.
+func storeEntryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	var files []string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && strings.HasSuffix(path, ".json") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestStoreCorruptEntryIsMiss: truncated and garbage entries must read
+// as misses, be evicted, and be transparently recomputed.
+func TestStoreCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Engagement{Network: "testbed", Trace: "amazon", Body: 8 << 10, Seed: 1}
+	rep := runReport(t)
+	if err := st.Put(e, "linux", rep); err != nil {
+		t.Fatal(err)
+	}
+	files := storeEntryFiles(t, dir)
+	if len(files) != 1 {
+		t.Fatalf("expected 1 entry file, found %d", len(files))
+	}
+
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"garbage":   func([]byte) []byte { return []byte("not json at all") },
+		"bit-flip":  func(b []byte) []byte { b = append([]byte(nil), b...); b[len(b)/2] ^= 0xff; return b },
+	} {
+		data, err := os.ReadFile(files[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(files[0], corrupt(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		before := st.Stats().Evictions
+		if _, ok, err := st.Get(e, "linux"); err != nil || ok {
+			t.Errorf("%s: corrupt entry returned ok=%v err=%v, want miss", name, ok, err)
+		}
+		if got := st.Stats().Evictions; got != before+1 {
+			t.Errorf("%s: evictions = %d, want %d", name, got, before+1)
+		}
+		if remaining := storeEntryFiles(t, dir); len(remaining) != 0 {
+			t.Errorf("%s: corrupt entry not removed: %v", name, remaining)
+		}
+		// Rewrite for the next corruption mode.
+		if err := st.Put(e, "linux", rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStoreWrongKeyEntryIsMiss: an entry whose embedded key disagrees
+// with its filename (cross-key corruption, collision) is evicted.
+func TestStoreWrongKeyEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Engagement{Network: "testbed", Trace: "amazon", Body: 8 << 10, Seed: 1}
+	if err := st.Put(e, "linux", runReport(t)); err != nil {
+		t.Fatal(err)
+	}
+	files := storeEntryFiles(t, dir)
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-home the entry under a different engagement's key path.
+	other := Engagement{Network: "testbed", Trace: "amazon", Hour: 12, Body: 8 << 10, Seed: 1}
+	okey, err := st.fps.keyFor(other, "linux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opath := st.path(okey)
+	if err := os.MkdirAll(filepath.Dir(opath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(opath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(other, "linux"); err != nil || ok {
+		t.Errorf("wrong-key entry returned ok=%v err=%v, want miss", ok, err)
+	}
+	if _, err := os.Stat(opath); !os.IsNotExist(err) {
+		t.Error("wrong-key entry was not evicted")
+	}
+}
+
+// TestStoreConcurrentWritersOneFile: many goroutines persisting the same
+// key concurrently must leave exactly one entry file, no temp litter,
+// and a readable entry — the atomic-rename contract.
+func TestStoreConcurrentWritersOneFile(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := Engagement{Network: "testbed", Trace: "amazon", Body: 8 << 10, Seed: 1}
+	rep := runReport(t)
+
+	const writers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := st.Put(e, "linux", rep); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var all []string
+	err = filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			all = append(all, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 {
+		t.Fatalf("expected exactly one file after %d concurrent writers, found %d: %v", writers, len(all), all)
+	}
+	if got, ok, err := st.Get(e, "linux"); err != nil || !ok || got == nil {
+		t.Fatalf("entry unreadable after concurrent writes: ok=%v err=%v", ok, err)
+	}
+	if st.Stats().Writes != int64(writers) {
+		t.Errorf("writes = %d, want %d", st.Stats().Writes, writers)
+	}
+}
+
+// TestStoreKeyMatchesCacheKey: the store and the in-memory cache must
+// address the same content identically — same fingerprint, same trace
+// hash, same canonical string — or a warm store would miss for keys the
+// cache would hit.
+func TestStoreKeyMatchesCacheKey(t *testing.T) {
+	e := Engagement{Network: "gfc", Trace: "youtube", Hour: 12, Body: 8 << 10, Seed: 3}
+	a, err := newFPMemo().keyFor(e, "linux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newFPMemo().keyFor(e, "linux")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("key mismatch across memos: %s vs %s", a, b)
+	}
+	net, err := registry.NewNetwork("gfc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := registry.NewTrace("youtube", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cacheKey{NetworkFP: net.Fingerprint(), TraceFP: trace.ContentHash(tr), Hour: 12, ServerOS: "linux", Phase: enginePhase}
+	if a != want {
+		t.Errorf("key = %+v, want %+v", a, want)
+	}
+}

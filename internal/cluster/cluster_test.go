@@ -1,0 +1,441 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+)
+
+// TestMain doubles as the worker executable: when the driver env var is
+// set, the test binary speaks the worker protocol on stdin/stdout and
+// never runs the test list. ExecSpawner re-execs the binary with the
+// variable set — the same pattern cmd/liberate-campaign uses with its
+// hidden -cluster-worker flag.
+func TestMain(m *testing.M) {
+	if os.Getenv("LIBERATE_CLUSTER_WORKER") == "1" {
+		if err := ServeWorker(context.Background(), os.Stdin, os.Stdout, WorkerOptions{}); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// testSpec is a small real matrix: 2 networks × 2 traces × 2 seeds = 8
+// engagements, covering a differentiating network (testbed) and the null
+// result (sprint).
+func testSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:     "cluster-test",
+		Networks: []string{"testbed", "sprint"},
+		Traces:   []string{"amazon", "youtube"},
+		Hours:    []int{0},
+		Bodies:   []int{8 << 10},
+		Seeds:    []int64{1, 2},
+	}
+}
+
+// goldenSpec mirrors the experiments package's golden campaign: 6
+// networks × 2 traces × 2 hours × 2 seeds = 48 engagements.
+func goldenSpec() campaign.Spec {
+	return campaign.Spec{
+		Name:   "golden",
+		Traces: []string{"amazon", "youtube"},
+		Hours:  []int{0, 12},
+		Bodies: []int{8 << 10},
+		Seeds:  []int64{1, 2},
+	}
+}
+
+// singleProcessJSON is the reference output: a plain in-process Runner
+// (no cache, no store) over the same spec.
+func singleProcessJSON(t *testing.T, spec campaign.Spec) []byte {
+	t.Helper()
+	sum, err := (&campaign.Runner{Spec: spec, Workers: 4}).Run(context.Background())
+	if err != nil {
+		t.Fatalf("single-process run: %v", err)
+	}
+	data, err := sum.JSON()
+	if err != nil {
+		t.Fatalf("marshal summary: %v", err)
+	}
+	return data
+}
+
+// pipeSpawner runs real in-memory workers over net.Pipe.
+func pipeSpawner(opts WorkerOptions) func(id int) (io.ReadWriteCloser, error) {
+	return func(id int) (io.ReadWriteCloser, error) {
+		c1, c2 := net.Pipe()
+		go ServeWorker(context.Background(), c2, c2, opts)
+		return c1, nil
+	}
+}
+
+func TestShardRanges(t *testing.T) {
+	for _, tc := range []struct{ n, size, want int }{
+		{0, 3, 0}, {1, 3, 1}, {3, 3, 1}, {4, 3, 2}, {48, 5, 10},
+	} {
+		shards := shardRanges(tc.n, tc.size)
+		if len(shards) != tc.want {
+			t.Fatalf("shardRanges(%d, %d): got %d shards, want %d", tc.n, tc.size, len(shards), tc.want)
+		}
+		next := 0
+		for _, s := range shards {
+			if s.start != next || s.end <= s.start || s.end-s.start > tc.size {
+				t.Fatalf("shardRanges(%d, %d): bad shard %+v (next=%d)", tc.n, tc.size, s, next)
+			}
+			next = s.end
+		}
+		if next != tc.n {
+			t.Fatalf("shardRanges(%d, %d): covered [0,%d), want [0,%d)", tc.n, tc.size, next, tc.n)
+		}
+	}
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Msg{
+		{Type: msgHello, Hello: &Hello{Version: 1, RegistryHash: "abc", PID: 42}},
+		{Type: msgAck, Ack: &Ack{OK: true, Config: &WorkerConfig{Count: 48, Parallel: 2}}},
+		{Type: msgDispatch, Dispatch: &Dispatch{Shard: 3, Start: 9, End: 12}},
+		{Type: msgHeartbeat},
+	}
+	for _, m := range msgs {
+		if err := writeMsg(&buf, m); err != nil {
+			t.Fatalf("write %s: %v", m.Type, err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := readMsg(&buf)
+		if err != nil {
+			t.Fatalf("read %s: %v", want.Type, err)
+		}
+		if got.Type != want.Type {
+			t.Fatalf("round trip: got %q, want %q", got.Type, want.Type)
+		}
+	}
+	if _, err := readMsg(&buf); err != io.EOF {
+		t.Fatalf("drained stream: got %v, want io.EOF", err)
+	}
+}
+
+func TestReadMsgRejectsOversizedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := readMsg(&buf); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame: got %v", err)
+	}
+}
+
+func TestRegistryHashDeterministic(t *testing.T) {
+	h1, err := RegistryHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := RegistryHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == "" || h1 != h2 {
+		t.Fatalf("registry hash not stable: %q vs %q", h1, h2)
+	}
+}
+
+// TestClusterMatchesSingleProcess is the core determinism contract: the
+// coordinator's summary is byte-identical to an in-process run at any
+// worker count, with an uneven shard size so shard boundaries never line
+// up with engagement-count divisors.
+func TestClusterMatchesSingleProcess(t *testing.T) {
+	spec := testSpec()
+	want := singleProcessJSON(t, spec)
+	for _, workers := range []int{1, 4} {
+		c := &Coordinator{
+			Spec:      spec,
+			Workers:   workers,
+			Spawn:     pipeSpawner(WorkerOptions{}),
+			Cache:     true,
+			ShardSize: 3,
+		}
+		sum, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := sum.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: cluster summary differs from single-process run\ncluster:\n%s\nsingle:\n%s",
+				workers, got, want)
+		}
+	}
+}
+
+// TestClusterSharedStore runs the fleet against one persistent store
+// twice: the warm rerun must answer from disk (no recomputation) and
+// still produce byte-identical output.
+func TestClusterSharedStore(t *testing.T) {
+	spec := testSpec()
+	dir := t.TempDir()
+	want := singleProcessJSON(t, spec)
+
+	run := func() []byte {
+		c := &Coordinator{
+			Spec:     spec,
+			Workers:  2,
+			Spawn:    pipeSpawner(WorkerOptions{}),
+			StoreDir: dir,
+			Cache:    true,
+		}
+		sum, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := sum.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	cold := run()
+	warm := run()
+	if !bytes.Equal(cold, want) {
+		t.Errorf("cold cluster run differs from single-process run")
+	}
+	if !bytes.Equal(warm, want) {
+		t.Errorf("warm cluster run differs from single-process run")
+	}
+}
+
+// skewedWorker handshakes with a wrong protocol version and records the
+// ack it gets back.
+func TestHandshakeRejectsSkewedWorker(t *testing.T) {
+	ackCh := make(chan *Ack, 1)
+	spawn := func(id int) (io.ReadWriteCloser, error) {
+		c1, c2 := net.Pipe()
+		go func() {
+			writeMsg(c2, &Msg{Type: msgHello, Hello: &Hello{Version: ProtocolVersion + 1, RegistryHash: "bogus"}})
+			if m, err := readMsg(c2); err == nil && m.Type == msgAck {
+				ackCh <- m.Ack
+			}
+			c2.Close()
+		}()
+		return c1, nil
+	}
+	c := &Coordinator{Spec: testSpec(), Workers: 1, Spawn: spawn, ShardRetries: -1}
+	_, err := c.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("skewed worker: got %v, want rejection", err)
+	}
+	select {
+	case ack := <-ackCh:
+		if ack == nil || ack.OK {
+			t.Fatalf("skewed worker got ack %+v, want explicit rejection", ack)
+		}
+		if !strings.Contains(ack.Reason, "skew") {
+			t.Fatalf("rejection reason %q does not name the skew", ack.Reason)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("worker never received its rejection ack")
+	}
+}
+
+// TestWorkerRejectedByCoordinator exercises the worker side of a failed
+// handshake.
+func TestWorkerRejectedByCoordinator(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	go func() {
+		if m, err := readMsg(c1); err != nil || m.Type != msgHello {
+			return
+		}
+		writeMsg(c1, &Msg{Type: msgAck, Ack: &Ack{OK: false, Reason: "version skew"}})
+	}()
+	err := ServeWorker(context.Background(), c2, c2, WorkerOptions{})
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("rejected worker: got %v", err)
+	}
+}
+
+// silentSpawner completes the handshake honestly, accepts one dispatch,
+// then goes silent — no result, no heartbeats — signalling the dispatch
+// so the test can gate the healthy worker's arrival.
+func silentSpawner(t *testing.T, gotDispatch chan<- struct{}) func() (io.ReadWriteCloser, error) {
+	t.Helper()
+	hash, err := RegistryHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func() (io.ReadWriteCloser, error) {
+		c1, c2 := net.Pipe()
+		go func() {
+			var once sync.Once
+			writeMsg(c2, &Msg{Type: msgHello, Hello: &Hello{Version: ProtocolVersion, RegistryHash: hash}})
+			for {
+				m, err := readMsg(c2)
+				if err != nil {
+					return // coordinator closed us after declaring death
+				}
+				if m.Type == msgDispatch {
+					once.Do(func() { close(gotDispatch) })
+				}
+			}
+		}()
+		return c1, nil
+	}
+}
+
+// TestDeadWorkerReassigned kills one worker mid-shard (by silence) and
+// requires the fleet to finish the campaign with output byte-identical
+// to a healthy run.
+func TestDeadWorkerReassigned(t *testing.T) {
+	spec := testSpec()
+	want := singleProcessJSON(t, spec)
+
+	gotDispatch := make(chan struct{})
+	silent := silentSpawner(t, gotDispatch)
+	healthy := pipeSpawner(WorkerOptions{HeartbeatEvery: 50 * time.Millisecond})
+	rec := obs.NewBuffer()
+
+	c := &Coordinator{
+		Spec:    spec,
+		Workers: 2,
+		Spawn: func(id int) (io.ReadWriteCloser, error) {
+			if id == 0 {
+				return silent()
+			}
+			// The healthy worker only joins once the doomed one holds a
+			// shard, so the reassignment path is exercised deterministically.
+			<-gotDispatch
+			return healthy(id)
+		},
+		ShardSize:        2,
+		HeartbeatTimeout: 400 * time.Millisecond,
+		Recorder:         rec,
+	}
+	sum, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run with dead worker: %v", err)
+	}
+	got, err := sum.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("summary after reassignment differs from healthy run\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if n := rec.Counter(obs.CtrWorkerDeaths); n != 1 {
+		t.Errorf("worker_deaths = %d, want 1", n)
+	}
+	if sum.Failed != 0 {
+		t.Errorf("reassigned campaign recorded %d failures, want 0", sum.Failed)
+	}
+}
+
+// TestShardAbandonedAfterRetries disables reassignment and requires the
+// orphaned shard's engagements to surface as honest failure records
+// while the rest of the campaign completes.
+func TestShardAbandonedAfterRetries(t *testing.T) {
+	spec := testSpec()
+	gotDispatch := make(chan struct{})
+	silent := silentSpawner(t, gotDispatch)
+	healthy := pipeSpawner(WorkerOptions{HeartbeatEvery: 50 * time.Millisecond})
+
+	c := &Coordinator{
+		Spec:    spec,
+		Workers: 2,
+		Spawn: func(id int) (io.ReadWriteCloser, error) {
+			if id == 0 {
+				return silent()
+			}
+			<-gotDispatch
+			return healthy(id)
+		},
+		ShardSize:        2,
+		ShardRetries:     -1,
+		HeartbeatTimeout: 400 * time.Millisecond,
+	}
+	sum, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if sum.Failed != 2 {
+		t.Fatalf("failed = %d, want 2 (one abandoned 2-engagement shard)", sum.Failed)
+	}
+	if sum.Succeeded != sum.Engagements-2 {
+		t.Fatalf("succeeded = %d of %d", sum.Succeeded, sum.Engagements)
+	}
+	for _, f := range sum.Failures {
+		if !strings.Contains(f.Err, "abandoned") {
+			t.Errorf("failure %s: err %q does not mention abandonment", f.Key, f.Err)
+		}
+	}
+}
+
+// TestClusterAllWorkersDead: a fleet that dies entirely with work
+// outstanding must error rather than return a partial summary.
+func TestClusterAllWorkersDead(t *testing.T) {
+	gotDispatch := make(chan struct{})
+	silent := silentSpawner(t, gotDispatch)
+	c := &Coordinator{
+		Spec:             testSpec(),
+		Workers:          1,
+		Spawn:            func(id int) (io.ReadWriteCloser, error) { return silent() },
+		HeartbeatTimeout: 300 * time.Millisecond,
+	}
+	_, err := c.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "all workers died") {
+		t.Fatalf("all-dead fleet: got %v", err)
+	}
+}
+
+// TestClusterExecGolden is the acceptance gate: the golden 48-engagement
+// campaign, run across 4 real worker subprocesses sharing a persistent
+// store, must be byte-identical to the single-process run — cold and
+// again warm from the store.
+func TestClusterExecGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess golden sweep skipped in -short")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := goldenSpec()
+	want := singleProcessJSON(t, spec)
+	dir := t.TempDir()
+
+	run := func(label string) {
+		c := &Coordinator{
+			Spec:     spec,
+			Workers:  4,
+			Spawn:    ExecSpawner(bin, nil, "LIBERATE_CLUSTER_WORKER=1"),
+			StoreDir: dir,
+			Cache:    true,
+		}
+		sum, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("%s cluster run: %v", label, err)
+		}
+		got, err := sum.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s 4-process cluster summary differs from single-process golden run", label)
+		}
+	}
+	run("cold")
+	run("warm")
+}

@@ -1,0 +1,462 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+)
+
+// Coordinator partitions a campaign spec's expanded engagement matrix
+// into deterministic shards and dispatches them to a fleet of worker
+// processes. The summary it produces is byte-identical to a
+// single-process campaign.Runner run of the same spec, at any worker
+// count and any shard completion order: both paths feed the same
+// streaming campaign.Aggregator, engagement results are pure functions
+// of their spec cell, and the handshake's registry hash rejects workers
+// whose binaries would compute different rows.
+type Coordinator struct {
+	Spec campaign.Spec
+	// Workers is the number of worker processes to spawn (default 1).
+	Workers int
+	// Spawn opens the protocol stream to worker id — ExecSpawner for
+	// subprocesses, an in-memory pipe in tests. Required.
+	Spawn func(id int) (io.ReadWriteCloser, error)
+
+	// StoreDir points all workers at one shared persistent store
+	// (optional). TraceDir, Flight, Cache, and Parallel are forwarded to
+	// the workers' campaign.Runner; Parallel 0 divides GOMAXPROCS evenly
+	// across the fleet.
+	StoreDir string
+	TraceDir string
+	Flight   int
+	Cache    bool
+	Parallel int
+
+	// ShardSize is engagements per shard (default: the matrix split into
+	// about four shards per worker, so a dead worker forfeits at most a
+	// quarter of its fair share).
+	ShardSize int
+	// ShardRetries is how many times a shard orphaned by a worker death
+	// is re-dispatched before its engagements are recorded as failures
+	// (default 1; negative disables reassignment entirely).
+	ShardRetries int
+	// HeartbeatTimeout declares a silent worker dead (default 5s; workers
+	// beacon every 500ms). HandshakeTimeout bounds the hello/ack exchange
+	// (default 30s — subprocess startup included).
+	HeartbeatTimeout time.Duration
+	HandshakeTimeout time.Duration
+
+	// Observer receives campaign progress (per-engagement events fire as
+	// shard results arrive; must be safe for concurrent use). Recorder
+	// receives cluster.* control-plane events and counters; Run wraps it
+	// in obs.Locked, so a plain obs.Buffer is fine here.
+	Observer campaign.Observer
+	Recorder obs.Recorder
+}
+
+// shardRange is one dispatch unit: the half-open [start, end) of the
+// canonical expansion.
+type shardRange struct{ start, end int }
+
+// shardRanges splits n engagements into deterministic contiguous shards.
+func shardRanges(n, size int) []shardRange {
+	var out []shardRange
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		out = append(out, shardRange{start, end})
+	}
+	return out
+}
+
+func (c *Coordinator) observer() campaign.Observer {
+	if c.Observer != nil {
+		return c.Observer
+	}
+	return campaign.NopObserver{}
+}
+
+func (c *Coordinator) recorder() obs.Recorder {
+	return obs.Locked(c.Recorder)
+}
+
+// board is the coordinator's shared scheduling state: a work queue of
+// shard indices, per-shard attempt counts, and the streaming aggregator
+// every manager feeds under one lock.
+type board struct {
+	mu       sync.Mutex
+	queue    chan int
+	attempts []int
+	agg      *campaign.Aggregator
+	done     int
+	total    int
+	allDone  chan struct{}
+}
+
+func (b *board) bump(shard int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.attempts[shard]++
+	return b.attempts[shard]
+}
+
+func (b *board) complete(shard int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.done++
+	if b.done == b.total {
+		close(b.allDone)
+	}
+}
+
+func (b *board) add(results []campaign.Result, obsv campaign.Observer) {
+	b.mu.Lock()
+	for _, res := range results {
+		b.agg.Add(res)
+	}
+	b.mu.Unlock()
+	// Observer events fire outside the aggregation lock; observers have
+	// their own synchronization contract.
+	for _, res := range results {
+		obsv.EngagementFinished(res)
+	}
+}
+
+// Run executes the campaign across the worker fleet and returns its
+// deterministic summary. Worker deaths are tolerated while at least one
+// worker survives (orphaned shards are re-dispatched, then recorded as
+// failures once ShardRetries is exhausted); Run errors only for an
+// invalid spec, a cancelled context, or a fleet that died entirely with
+// work outstanding.
+func (c *Coordinator) Run(ctx context.Context) (*campaign.Summary, error) {
+	if c.Spawn == nil {
+		return nil, fmt.Errorf("cluster: coordinator needs a Spawn function")
+	}
+	engs, err := c.Spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := RegistryHash()
+	if err != nil {
+		return nil, err
+	}
+
+	workers := c.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	size := c.ShardSize
+	if size <= 0 {
+		size = (len(engs) + workers*4 - 1) / (workers * 4)
+		if size < 1 {
+			size = 1
+		}
+	}
+	shards := shardRanges(len(engs), size)
+
+	cfg := &WorkerConfig{
+		Spec:     c.Spec,
+		Count:    len(engs),
+		StoreDir: c.StoreDir,
+		TraceDir: c.TraceDir,
+		Flight:   c.Flight,
+		Cache:    c.Cache,
+		Parallel: c.Parallel,
+	}
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = runtime.GOMAXPROCS(0) / workers
+		if cfg.Parallel < 1 {
+			cfg.Parallel = 1
+		}
+	}
+
+	b := &board{
+		queue:    make(chan int, len(shards)),
+		attempts: make([]int, len(shards)),
+		agg:      campaign.NewAggregator(c.Spec),
+		total:    len(shards),
+		allDone:  make(chan struct{}),
+	}
+	for i := range shards {
+		b.queue <- i
+	}
+	if len(shards) == 0 {
+		close(b.allDone)
+	}
+
+	obsv := c.observer()
+	rec := c.recorder()
+	obsv.CampaignStarted(len(engs), workers)
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for id := 0; id < workers; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			errs[id] = c.runWorker(ctx, id, hash, cfg, engs, shards, b, rec)
+		}(id)
+	}
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	done := b.done
+	b.mu.Unlock()
+	if done < b.total {
+		var first error
+		for _, e := range errs {
+			if e != nil {
+				first = e
+				break
+			}
+		}
+		return nil, fmt.Errorf("cluster: all workers died with %d/%d shards incomplete: %w",
+			b.total-done, b.total, first)
+	}
+
+	summary := b.agg.Finish()
+	obsv.CampaignFinished(summary)
+	return summary, nil
+}
+
+// workerConn is a live worker: its stream, a channel the reader
+// goroutine feeds, and the terminal read error once the channel closes.
+type workerConn struct {
+	id   int
+	conn io.ReadWriteCloser
+	msgs chan *Msg
+
+	mu      sync.Mutex
+	readErr error
+}
+
+func (w *workerConn) setErr(err error) {
+	w.mu.Lock()
+	w.readErr = err
+	w.mu.Unlock()
+}
+
+func (w *workerConn) err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.readErr
+}
+
+// await returns the worker's next message, failing after timeout of
+// silence. Heartbeats reset the clock by virtue of being messages; the
+// caller skips them as it sees fit.
+func (w *workerConn) await(ctx context.Context, timeout time.Duration) (*Msg, error) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case m, ok := <-w.msgs:
+		if !ok {
+			err := w.err()
+			if err == nil || err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, fmt.Errorf("cluster: worker %d stream: %w", w.id, err)
+		}
+		return m, nil
+	case <-t.C:
+		return nil, fmt.Errorf("cluster: worker %d silent for %s (heartbeat timeout)", w.id, timeout)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// runWorker manages one worker's lifecycle: spawn, handshake, dispatch
+// loop, shutdown. A dead worker's in-flight shard is requeued (or
+// failed, past the retry budget) before the manager returns.
+func (c *Coordinator) runWorker(ctx context.Context, id int, hash string, cfg *WorkerConfig,
+	engs []campaign.Engagement, shards []shardRange, b *board, rec obs.Recorder) (retErr error) {
+
+	conn, err := c.Spawn(id)
+	if err != nil {
+		rec.Add(obs.CtrWorkerDeaths, 1)
+		return err
+	}
+	defer conn.Close()
+
+	w := &workerConn{id: id, conn: conn, msgs: make(chan *Msg, 4)}
+	go func() {
+		for {
+			m, err := readMsg(conn)
+			if err != nil {
+				w.setErr(err)
+				close(w.msgs)
+				return
+			}
+			w.msgs <- m
+		}
+	}()
+
+	hbTimeout := c.HeartbeatTimeout
+	if hbTimeout <= 0 {
+		hbTimeout = 5 * time.Second
+	}
+	hsTimeout := c.HandshakeTimeout
+	if hsTimeout <= 0 {
+		hsTimeout = 30 * time.Second
+	}
+
+	deathNoted := false
+	noteDeath := func(reason string) {
+		if deathNoted {
+			return
+		}
+		deathNoted = true
+		rec.Add(obs.CtrWorkerDeaths, 1)
+		if rec.Enabled() {
+			rec.Record(obs.Event{Kind: obs.KindClusterWorkerDeath, Actor: "coordinator",
+				Label: fmt.Sprintf("worker=%d %s", id, reason)})
+		}
+	}
+
+	// Handshake: the worker leads with hello; version or registry skew is
+	// rejected explicitly so the operator sees "wrong binary", not a
+	// mysteriously diverging summary.
+	m, err := w.await(ctx, hsTimeout)
+	if err != nil {
+		noteDeath("handshake")
+		return err
+	}
+	if m.Type != msgHello || m.Hello == nil {
+		noteDeath("bad hello")
+		return fmt.Errorf("cluster: worker %d opened with %q, want hello", id, m.Type)
+	}
+	if m.Hello.Version != ProtocolVersion || m.Hello.RegistryHash != hash {
+		reason := fmt.Sprintf("protocol/registry skew: worker v%d hash %.12s, coordinator v%d hash %.12s",
+			m.Hello.Version, m.Hello.RegistryHash, ProtocolVersion, hash)
+		writeMsg(conn, &Msg{Type: msgAck, Ack: &Ack{OK: false, Reason: reason}})
+		noteDeath("registry skew")
+		return fmt.Errorf("cluster: worker %d rejected: %s", id, reason)
+	}
+	if err := writeMsg(conn, &Msg{Type: msgAck, Ack: &Ack{OK: true, Config: cfg}}); err != nil {
+		noteDeath("ack write")
+		return err
+	}
+
+	obsv := c.observer()
+	for {
+		select {
+		case <-b.allDone:
+			writeMsg(conn, &Msg{Type: msgShutdown}) // best-effort goodbye
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case shard := <-b.queue:
+			attempt := b.bump(shard)
+			sr := shards[shard]
+			if err := c.runShard(ctx, w, shard, sr, engs, b, obsv, rec, hbTimeout); err != nil {
+				noteDeath(fmt.Sprintf("shard=%d: %v", shard, err))
+				c.reassign(shard, attempt, sr, engs, b, obsv, err)
+				return err
+			}
+		}
+	}
+}
+
+// runShard dispatches one shard and absorbs heartbeats until its result
+// lands, feeding the aggregator. Any error means the worker can no
+// longer be trusted with work.
+func (c *Coordinator) runShard(ctx context.Context, w *workerConn, shard int, sr shardRange,
+	engs []campaign.Engagement, b *board, obsv campaign.Observer, rec obs.Recorder,
+	hbTimeout time.Duration) error {
+
+	rec.Add(obs.CtrShardsDispatched, 1)
+	if rec.Enabled() {
+		rec.Record(obs.Event{Kind: obs.KindClusterDispatch, Actor: "coordinator",
+			Label: fmt.Sprintf("worker=%d shard=%d", w.id, shard), Value: int64(sr.end - sr.start)})
+	}
+	if err := writeMsg(w.conn, &Msg{Type: msgDispatch, Dispatch: &Dispatch{Shard: shard, Start: sr.start, End: sr.end}}); err != nil {
+		return err
+	}
+	for {
+		m, err := w.await(ctx, hbTimeout)
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case msgHeartbeat:
+			continue
+		case msgResult:
+			res := m.Result
+			if res == nil || res.Shard != shard {
+				return fmt.Errorf("cluster: worker %d answered shard %d while %d was in flight", w.id, resultShard(res), shard)
+			}
+			if len(res.Results) != sr.end-sr.start {
+				return fmt.Errorf("cluster: worker %d returned %d results for %d-engagement shard %d",
+					w.id, len(res.Results), sr.end-sr.start, shard)
+			}
+			results := make([]campaign.Result, 0, len(res.Results))
+			for _, wr := range res.Results {
+				cres, err := fromWire(wr, engs)
+				if err != nil {
+					return err
+				}
+				if cres.Engagement.Index < sr.start || cres.Engagement.Index >= sr.end {
+					return fmt.Errorf("cluster: worker %d result index %d outside shard %d [%d,%d)",
+						w.id, cres.Engagement.Index, shard, sr.start, sr.end)
+				}
+				results = append(results, cres)
+			}
+			b.add(results, obsv)
+			b.complete(shard)
+			if rec.Enabled() {
+				rec.Record(obs.Event{Kind: obs.KindClusterComplete, Actor: "coordinator",
+					Label: fmt.Sprintf("worker=%d shard=%d", w.id, shard), Value: int64(len(results))})
+			}
+			return nil
+		default:
+			return fmt.Errorf("cluster: worker %d sent unexpected %q mid-shard", w.id, m.Type)
+		}
+	}
+}
+
+// reassign handles a shard orphaned by a worker death: back on the queue
+// within the retry budget, otherwise recorded as failed engagements so
+// the campaign still completes with an honest summary.
+func (c *Coordinator) reassign(shard, attempt int, sr shardRange,
+	engs []campaign.Engagement, b *board, obsv campaign.Observer, cause error) {
+
+	retries := c.ShardRetries
+	if retries < 0 {
+		retries = 0
+	} else if retries == 0 {
+		retries = 1
+	}
+	if attempt <= retries {
+		b.queue <- shard
+		return
+	}
+	results := make([]campaign.Result, 0, sr.end-sr.start)
+	for _, e := range engs[sr.start:sr.end] {
+		results = append(results, campaign.Result{
+			Engagement: e,
+			Status:     campaign.StatusFailed,
+			Err:        fmt.Sprintf("cluster: shard %d abandoned after %d attempts: %v", shard, attempt, cause),
+			Attempts:   attempt,
+		})
+	}
+	b.add(results, obsv)
+	b.complete(shard)
+}
+
+func resultShard(r *ShardResult) int {
+	if r == nil {
+		return -1
+	}
+	return r.Shard
+}

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// WorkerOptions tunes ServeWorker; the zero value is production-ready.
+type WorkerOptions struct {
+	// Engage substitutes the engagement implementation (tests, future
+	// real-network backends). Nil means campaign.DefaultEngage.
+	Engage campaign.EngageFunc
+	// HeartbeatEvery is the liveness beacon interval (default 500ms).
+	// The coordinator declares a worker dead after missing several.
+	HeartbeatEvery time.Duration
+}
+
+// ServeWorker speaks the worker side of the shard protocol on (r, w) —
+// stdin/stdout when spawned as a subprocess, a socket or pipe otherwise.
+// It handshakes (protocol version + registry hash), then loops: receive
+// a shard, run its engagements on the campaign runner's fault-isolated
+// pool, stream the results back. Returns nil on a clean shutdown
+// (shutdown message or EOF).
+func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptions) error {
+	hash, err := RegistryHash()
+	if err != nil {
+		return fmt.Errorf("cluster: worker registry hash: %w", err)
+	}
+	var writeMu sync.Mutex
+	send := func(m *Msg) error {
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		return writeMsg(w, m)
+	}
+	if err := send(&Msg{Type: msgHello, Hello: &Hello{
+		Version: ProtocolVersion, RegistryHash: hash, PID: os.Getpid(),
+	}}); err != nil {
+		return err
+	}
+	ack, err := readMsg(r)
+	if err != nil {
+		return fmt.Errorf("cluster: worker awaiting ack: %w", err)
+	}
+	if ack.Type != msgAck || ack.Ack == nil {
+		return fmt.Errorf("cluster: expected ack, got %q", ack.Type)
+	}
+	if !ack.Ack.OK {
+		return fmt.Errorf("cluster: coordinator rejected worker: %s", ack.Ack.Reason)
+	}
+	cfg := ack.Ack.Config
+	if cfg == nil {
+		return fmt.Errorf("cluster: ack carried no worker config")
+	}
+
+	engs, err := cfg.Spec.Expand()
+	if err != nil {
+		return fmt.Errorf("cluster: worker spec expansion: %w", err)
+	}
+	if len(engs) != cfg.Count {
+		return fmt.Errorf("cluster: expansion mismatch: worker sees %d engagements, coordinator %d", len(engs), cfg.Count)
+	}
+
+	runner := &campaign.Runner{
+		Spec:           cfg.Spec,
+		Workers:        cfg.Parallel,
+		Engage:         opts.Engage,
+		TraceDir:       cfg.TraceDir,
+		FlightRecorder: cfg.Flight,
+	}
+	if cfg.Cache {
+		runner.Cache = campaign.NewCache()
+	}
+	if cfg.StoreDir != "" {
+		store, err := campaign.OpenStore(cfg.StoreDir)
+		if err != nil {
+			return fmt.Errorf("cluster: worker store: %w", err)
+		}
+		runner.Store = store
+	}
+
+	// Heartbeats flow from their own goroutine so a long-running shard
+	// still proves the process is alive. The write mutex keeps beacon
+	// frames from interleaving with result frames.
+	every := opts.HeartbeatEvery
+	if every <= 0 {
+		every = 500 * time.Millisecond
+	}
+	stopBeat := make(chan struct{})
+	var beatWG sync.WaitGroup
+	beatWG.Add(1)
+	go func() {
+		defer beatWG.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopBeat:
+				return
+			case <-tick.C:
+				// A failed beacon means the coordinator is gone; the main
+				// loop will see the same failure on its next send/read.
+				if err := send(&Msg{Type: msgHeartbeat}); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(stopBeat)
+		beatWG.Wait()
+	}()
+
+	for {
+		m, err := readMsg(r)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch m.Type {
+		case msgDispatch:
+			d := m.Dispatch
+			if d == nil || d.Start < 0 || d.End > len(engs) || d.Start >= d.End {
+				return fmt.Errorf("cluster: bad dispatch %+v", m.Dispatch)
+			}
+			results := runner.RunSubset(ctx, engs[d.Start:d.End])
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			sr := &ShardResult{Shard: d.Shard, Results: make([]WireResult, 0, len(results))}
+			for _, res := range results {
+				sr.Results = append(sr.Results, toWire(res))
+			}
+			if err := send(&Msg{Type: msgResult, Result: sr}); err != nil {
+				return err
+			}
+		case msgShutdown:
+			return nil
+		case msgHeartbeat:
+			// Coordinators don't beacon today; tolerate it anyway.
+		default:
+			return fmt.Errorf("cluster: worker received unexpected %q", m.Type)
+		}
+	}
+}
+
+// procConn is a spawned worker process viewed as a ReadWriteCloser:
+// reads come from its stdout, writes go to its stdin, Close tears the
+// process down (EOF first for a graceful exit, SIGKILL after a grace
+// period).
+type procConn struct {
+	r    io.ReadCloser
+	w    io.WriteCloser
+	cmd  *exec.Cmd
+	once sync.Once
+}
+
+func (p *procConn) Read(b []byte) (int, error)  { return p.r.Read(b) }
+func (p *procConn) Write(b []byte) (int, error) { return p.w.Write(b) }
+
+func (p *procConn) Close() error {
+	p.once.Do(func() {
+		p.w.Close() // worker sees EOF and exits its serve loop
+		done := make(chan struct{})
+		go func() {
+			p.cmd.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(3 * time.Second):
+			p.cmd.Process.Kill()
+			<-done
+		}
+		p.r.Close()
+	})
+	return nil
+}
+
+// ExecSpawner returns a Coordinator.Spawn that launches bin with args as
+// a worker subprocess, protocol on stdin/stdout, stderr passed through.
+// Extra env entries are appended to the parent environment — the re-exec
+// pattern ("this same binary, but in worker mode") hangs off an env var
+// or a flag in args.
+func ExecSpawner(bin string, args []string, env ...string) func(id int) (io.ReadWriteCloser, error) {
+	return func(id int) (io.ReadWriteCloser, error) {
+		cmd := exec.Command(bin, args...)
+		cmd.Stderr = os.Stderr
+		if len(env) > 0 {
+			cmd.Env = append(os.Environ(), env...)
+		}
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			stdin.Close()
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			stdin.Close()
+			stdout.Close()
+			return nil, fmt.Errorf("cluster: spawn worker %d: %w", id, err)
+		}
+		return &procConn{r: stdout, w: stdin, cmd: cmd}, nil
+	}
+}

@@ -19,6 +19,8 @@
 //     and at most a bool test on the packet path.
 package obs
 
+import "sync"
+
 // Kind is the event taxonomy (DESIGN.md §11). The wire names returned by
 // String are the trace schema; they are append-only.
 type Kind uint8
@@ -54,6 +56,17 @@ const (
 	KindReplay
 	KindRetry
 	KindVerdict
+	// Cluster events (distributed campaign plane): a coordinator
+	// dispatched or completed a shard, declared a worker dead, or the
+	// persistent store answered a lookup. These describe the control
+	// plane, not the simulation: they never appear in engagement trace
+	// files, and their VNS is always 0 (there is no virtual clock at the
+	// process boundary — shard identity travels in Aux instead).
+	KindClusterDispatch
+	KindClusterComplete
+	KindClusterWorkerDeath
+	KindStoreHit
+	KindStoreMiss
 
 	numKinds
 )
@@ -78,6 +91,12 @@ var kindNames = [numKinds]string{
 	KindReplay:         "core.replay",
 	KindRetry:          "core.retry",
 	KindVerdict:        "core.verdict",
+
+	KindClusterDispatch:    "cluster.dispatch",
+	KindClusterComplete:    "cluster.complete",
+	KindClusterWorkerDeath: "cluster.worker-death",
+	KindStoreHit:           "cluster.store-hit",
+	KindStoreMiss:          "cluster.store-miss",
 }
 
 // String returns the stable wire name of the kind.
@@ -149,6 +168,17 @@ const (
 	CtrRetries
 	CtrVerdicts
 	CtrSpans
+	// Cluster-plane counters: persistent-store outcomes and coordinator
+	// scheduling. Like the cluster.* event kinds these are control-plane
+	// quantities — scheduling-dependent in multi-process runs, so they
+	// feed operator surfaces (liberate-d /v1/stats, stderr observers),
+	// never the deterministic Summary.
+	CtrStoreHits
+	CtrStoreMisses
+	CtrStoreEvictions
+	CtrStoreWrites
+	CtrShardsDispatched
+	CtrWorkerDeaths
 
 	NumCounters
 )
@@ -172,6 +202,13 @@ var counterNames = [NumCounters]string{
 	CtrRetries:         "retries",
 	CtrVerdicts:        "verdicts",
 	CtrSpans:           "spans",
+
+	CtrStoreHits:        "store_hits",
+	CtrStoreMisses:      "store_misses",
+	CtrStoreEvictions:   "store_evictions",
+	CtrStoreWrites:      "store_writes",
+	CtrShardsDispatched: "shards_dispatched",
+	CtrWorkerDeaths:     "worker_deaths",
 }
 
 // String returns the stable wire name of the counter.
@@ -251,4 +288,41 @@ func Merge(parent, child Recorder) {
 	if m, ok := parent.(Merger); ok {
 		m.Merge(child)
 	}
+}
+
+// locked serializes access to a recorder that is not goroutine-safe.
+type locked struct {
+	mu sync.Mutex
+	r  Recorder
+}
+
+func (l *locked) Enabled() bool { return l.r.Enabled() }
+
+func (l *locked) Record(e Event) {
+	l.mu.Lock()
+	l.r.Record(e)
+	l.mu.Unlock()
+}
+
+func (l *locked) Add(c Counter, delta int64) {
+	l.mu.Lock()
+	l.r.Add(c, delta)
+	l.mu.Unlock()
+}
+
+// Locked wraps r so Record and Add are safe from multiple goroutines —
+// for control-plane recorders shared across concurrent components (the
+// cluster coordinator's worker managers, the liberate-d scheduler),
+// where fork/merge replica confinement doesn't apply. Nop passes
+// through unwrapped: it is already safe and hot paths consult it
+// constantly. Enabled must be constant per the Recorder contract, so it
+// is read without the lock.
+func Locked(r Recorder) Recorder {
+	if r == nil || r == Nop {
+		return Nop
+	}
+	if _, ok := r.(*locked); ok {
+		return r
+	}
+	return &locked{r: r}
 }
