@@ -250,6 +250,48 @@ func BenchmarkReplayThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkArenaWire measures the arena fast path the stacks emit through:
+// build a finalized TCP packet out of arena storage and serialize it into
+// arena-owned wire bytes. Steady state (post-Reset slab reuse) should be
+// alloc-free.
+func BenchmarkArenaWire(b *testing.B) {
+	src, dst := packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.2")
+	payload := make([]byte, 1400)
+	a := packet.NewArena()
+	defer a.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := a.NewTCP(src, dst, 1234, 80, uint32(i), 1, packet.FlagACK, payload)
+		_ = a.Wire(p)
+		if i%256 == 255 {
+			a.Reset()
+		}
+	}
+}
+
+// BenchmarkFrameParseHint measures the receive side of the batched path:
+// wrap a stack-built packet in an arena frame (which carries the payload-sum
+// verification hint) and parse it with full checksum validation.
+func BenchmarkFrameParseHint(b *testing.B) {
+	src, dst := packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.2")
+	payload := make([]byte, 1400)
+	a := packet.NewArena()
+	defer a.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := a.NewTCP(src, dst, 1234, 80, uint32(i), 1, packet.FlagACK, payload)
+		f := a.FrameOf(p)
+		if _, defects := f.Parse(); !defects.Empty() {
+			b.Fatal("unexpected defects")
+		}
+		if i%256 == 255 {
+			a.Reset()
+		}
+	}
+}
+
 // BenchmarkFullEngagement measures a complete four-phase engagement.
 func BenchmarkFullEngagement(b *testing.B) {
 	tr := trace.AmazonPrimeVideo(96 << 10)

@@ -14,6 +14,7 @@
 //	benchtab -exp chaos        # fault-injection sweep: verdict stability under middlebox faults
 //	benchtab -exp chaos -quick # ... CI smoke: two networks at one fault rate
 //	benchtab -exp overhead     # clean-network overhead guards: robust mode ≤5%, recorder ≤2% (exit 1 above budget)
+//	benchtab -exp allocs       # allocation guard: full engagement must stay under the allocs/op budget (exit 1 above)
 //	benchtab -exp trace        # trace schema gate: one traced engagement validated against liberate-trace/v1
 //	benchtab -exp perf         # substrate + macro perf benchmarks
 //	benchtab -exp perf -bench-json BENCH_3.json   # ... plus JSON snapshot
@@ -41,7 +42,7 @@ func run() int {
 	var (
 		table  = flag.Int("table", 0, "regenerate Table N (1, 2, or 3)")
 		figure = flag.Int("figure", 0, "regenerate Figure N (4)")
-		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign|chaos|overhead|trace|perf")
+		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign|chaos|overhead|allocs|trace|perf")
 		quick  = flag.Bool("quick", false, "with -exp chaos: restrict the sweep to two networks at one fault rate")
 		bjson  = flag.String("bench-json", "", "with -exp perf: also write the snapshot as JSON to this path")
 		days   = flag.Int("days", 1, "days to sweep for Figure 4 (paper used 2)")
@@ -173,6 +174,16 @@ func run() int {
 		// path at ≤2% even with recording fully on.
 		if !o.RecorderWithin(0.02) {
 			fmt.Fprintf(os.Stderr, "benchtab: recorder overhead %.1f%% exceeds the 2%% budget\n", (o.RecorderRatio-1)*100)
+			return 1
+		}
+		ran = true
+	}
+	if *all || *exp == "allocs" {
+		fmt.Println("== allocation guard: full-engagement allocs/op ==")
+		n := experiments.MeasureEngagementAllocs()
+		fmt.Printf("full-engagement: %d allocs/op (budget %d)\n\n", n, experiments.EngagementAllocBudget)
+		if n >= experiments.EngagementAllocBudget {
+			fmt.Fprintf(os.Stderr, "benchtab: full-engagement allocations %d exceed the %d budget\n", n, experiments.EngagementAllocBudget)
 			return 1
 		}
 		ran = true

@@ -101,11 +101,11 @@ func Characterize(s *Session, tr *trace.Trace, det *Detection) *Characterization
 			return c
 		}
 	}
-	if classified(probe.Invert()) {
+	if classified(s.inverted(probe)) {
 		if !s.RotatePorts && det.Has(DiffBlocking) {
 			s.RotatePorts = true
 			c.ResidualBlocking = true
-			if classified(probe.Invert()) {
+			if classified(s.inverted(probe)) {
 				// Even fresh ports see the control classified: give up on
 				// content analysis.
 				return c
@@ -225,7 +225,8 @@ func mergeFields(fields []FieldRef) []FieldRef {
 // prependMessages returns a copy of tr with n extra client messages of
 // size bytes each inserted before the first client message.
 func prependMessages(tr *trace.Trace, n, size int) *trace.Trace {
-	c := tr.Clone()
+	c := tr.ShallowClone() // only splices messages; payloads stay shared
+
 	var extra []trace.Message
 	for i := 0; i < n; i++ {
 		extra = append(extra, trace.Message{Dir: trace.ClientToServer, Data: dummyBytes(int64(4000+i), size)})
@@ -274,7 +275,7 @@ func locate(s *Session, probe *trace.Trace, det *Detection, c *Characterization)
 	const maxTTL = 16
 	matchPayload := matchingWritePayload(probe, c)
 	if det.Has(DiffBlocking) {
-		inv := probe.Invert()
+		inv := s.inverted(probe)
 		for t := 1; t <= maxTTL; t++ {
 			tf := injectContentTTL(matchPayload, c.MatchWrite, t)
 			// "Classified" means the probe reached the middlebox —

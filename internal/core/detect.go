@@ -108,8 +108,8 @@ func detectClean(s *Session, tr *trace.Trace) *Detection {
 		// stateful residual blocking (the GFC's server:port blacklist)
 		// cannot contaminate them.
 		orig1 := s.Replay(probe, nil)
-		inv1 := s.Replay(probe.Invert(), nil)
-		inv2 := s.Replay(probe.Invert(), nil)
+		inv1 := s.Replay(s.inverted(probe), nil)
+		inv2 := s.Replay(s.inverted(probe), nil)
 		orig2 := s.Replay(probe, nil)
 
 		// Blocking: original consistently blocked, control consistently not.
@@ -128,7 +128,7 @@ func detectClean(s *Session, tr *trace.Trace) *Detection {
 		if orig1.Blocked && inv1.Blocked && !s.RotatePorts {
 			s.RotatePorts = true
 			o := s.Replay(probe, nil)
-			i := s.Replay(probe.Invert(), nil)
+			i := s.Replay(s.inverted(probe), nil)
 			if o.Blocked && !i.Blocked {
 				d.Differentiated = true
 				d.Kinds = append(d.Kinds, DiffBlocking)
@@ -232,7 +232,7 @@ func detectRobust(s *Session, tr *trace.Trace) *Detection {
 		anyOrigB, anyInvB := false, false
 		for len(origs) < robustDetectPairs {
 			o := s.Replay(probe, nil)
-			i := s.Replay(probe.Invert(), nil)
+			i := s.Replay(s.inverted(probe), nil)
 			d.Trials++
 			origs, invs = append(origs, o), append(invs, i)
 			anyOrigB = anyOrigB || o.Blocked
@@ -257,7 +257,7 @@ func detectRobust(s *Session, tr *trace.Trace) *Detection {
 			s.RotatePorts = true
 			out := ro.Confirm(func() bool {
 				o := s.Replay(probe, nil)
-				i := s.Replay(probe.Invert(), nil)
+				i := s.Replay(s.inverted(probe), nil)
 				d.Trials++
 				return o.Blocked && !i.Blocked
 			})

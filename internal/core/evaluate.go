@@ -307,6 +307,10 @@ func runTrial(s *Session, i int, probe *trace.Trace, det *Detection, char *Chara
 	out.bytes = fs.BytesUsed
 	out.elapsed = fs.Elapsed()
 	out.rec = fs.rec()
+	// Everything the trial produced is now copied out (Verdict is plain
+	// data; the recorder owns its event strings), so the fork's pooled
+	// resources can be recycled for the next trial.
+	fs.Net.Release()
 	return out
 }
 

@@ -46,10 +46,32 @@ type Session struct {
 	nextClientPort uint16
 	nextServerPort uint16
 
+	// invCache memoizes Trace.Invert per source trace: detection and
+	// characterization replay the inverted control dozens of times per
+	// engagement, and inversion is deterministic, so cloning the
+	// (multi-megabyte) trace once per session is enough. Sessions are
+	// single-goroutine, so a plain map suffices.
+	invCache map[*trace.Trace]*trace.Trace
+
 	// Accounting.
 	Rounds    int
 	BytesUsed int64
 	started   time.Time
+}
+
+// inverted returns the bit-inverted control for tr, cached per session.
+// The returned trace is shared — callers must treat it as immutable, the
+// same contract every trace in the library carries.
+func (s *Session) inverted(tr *trace.Trace) *trace.Trace {
+	if inv, ok := s.invCache[tr]; ok {
+		return inv
+	}
+	if s.invCache == nil {
+		s.invCache = make(map[*trace.Trace]*trace.Trace)
+	}
+	inv := tr.Invert()
+	s.invCache[tr] = inv
+	return inv
 }
 
 // Initial port-counter bases. They double as wrap floors: if an
@@ -215,12 +237,27 @@ func (s *Session) replayOnce(tr *trace.Trace, transform stack.OutgoingTransform,
 }
 
 // blindRanges returns a copy of tr with the byte ranges inverted — the
-// characterization "blinding" primitive (§5.1).
+// characterization "blinding" primitive (§5.1). The copy is
+// copy-on-write: only messages a range actually touches get private
+// payloads, so the content bisection's dozens of probe clones per
+// engagement cost kilobytes instead of the whole trace.
 func blindRanges(tr *trace.Trace, ranges []FieldRef) *trace.Trace {
-	c := tr.Clone()
+	c := tr.ShallowClone()
+	var copied []int
 	for _, r := range ranges {
 		if r.Msg < 0 || r.Msg >= len(c.Messages) {
 			continue
+		}
+		fresh := true
+		for _, m := range copied {
+			if m == r.Msg {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			c.Messages[r.Msg].Data = append([]byte(nil), c.Messages[r.Msg].Data...)
+			copied = append(copied, r.Msg)
 		}
 		data := c.Messages[r.Msg].Data
 		lo, hi := r.Start, r.End
@@ -243,14 +280,18 @@ func padTrace(tr *trace.Trace, minBytes int) *trace.Trace {
 	if total >= minBytes {
 		return tr
 	}
-	c := tr.Clone()
+	c := tr.ShallowClone()
 	for i := len(c.Messages) - 1; i >= 0; i-- {
 		if c.Messages[i].Dir == trace.ServerToClient {
-			pad := make([]byte, minBytes-total)
-			for j := range pad {
-				pad[j] = byte(0x80 | (j % 97))
+			// The grown message gets a private buffer: appending to the
+			// shared payload could scribble on the original's spare capacity.
+			old := c.Messages[i].Data
+			grown := make([]byte, len(old), len(old)+(minBytes-total))
+			copy(grown, old)
+			for j := 0; j < minBytes-total; j++ {
+				grown = append(grown, byte(0x80|(j%97)))
 			}
-			c.Messages[i].Data = append(c.Messages[i].Data, pad...)
+			c.Messages[i].Data = grown
 			return c
 		}
 	}
@@ -261,7 +302,8 @@ func padTrace(tr *trace.Trace, minBytes int) *trace.Trace {
 // server message is capped at maxTail bytes (request/keyword content is
 // never touched).
 func trimTrace(tr *trace.Trace, maxTail int) *trace.Trace {
-	c := tr.Clone()
+	c := tr.ShallowClone() // only re-slices; payload bytes stay shared
+
 	for i := len(c.Messages) - 1; i >= 0; i-- {
 		if c.Messages[i].Dir == trace.ServerToClient && len(c.Messages[i].Data) > maxTail {
 			c.Messages[i].Data = c.Messages[i].Data[:maxTail]
@@ -280,7 +322,8 @@ func TwoPartTrace(tr *trace.Trace) *trace.Trace { return twoPart(tr) }
 // request → small first response → continuation request → response tail.
 // The continuation request carries no matching content.
 func twoPart(tr *trace.Trace) *trace.Trace {
-	c := tr.Clone()
+	c := tr.ShallowClone() // splits are views into the shared payloads
+
 	// Find the last server message and split it.
 	for i := len(c.Messages) - 1; i >= 0; i-- {
 		m := c.Messages[i]

@@ -51,3 +51,13 @@ func (n *Network) Fork() *Network {
 	}
 	return f
 }
+
+// Release returns the network's pooled resources for reuse by other
+// replicas. Legal only once the network is dead — its trial finished and
+// every result derived from it has been copied out. See netem.Env.Release.
+func (n *Network) Release() {
+	if n.MB != nil {
+		n.MB.Release()
+	}
+	n.Env.Release()
+}

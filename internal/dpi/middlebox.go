@@ -2,6 +2,7 @@ package dpi
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/detrand"
@@ -25,6 +26,14 @@ type Middlebox struct {
 	blCount   map[hostPort]int
 	shapers   map[string]*shaper
 	reasm     *packet.Reassembler
+
+	// prog is the compiled Aho-Corasick form of Cfg.Rules (nil = naive
+	// per-rule scan). Built once at construction, shared read-only across
+	// ForkElement copies; never part of Cfg (Fingerprint hashes Cfg).
+	prog *ruleProgram
+	// flowFree recycles evicted flow records (and their stream buffers)
+	// so steady-state flow churn allocates nothing.
+	flowFree []*mbFlow
 
 	// faultRNG drives the stochastic fault knobs in Cfg.Faults. It is a
 	// stream separate from rng so enabling faults cannot shift the draws
@@ -54,11 +63,17 @@ type mbFlow struct {
 	inspected      [2]int // payload packets inspected, per direction
 	inspectedBytes [2]int // payload bytes inspected, per direction
 	gateChecked    [2]bool
-	families       map[Family]bool
+	famBits        uint8 // recognized gate families (famBit bits)
 	stream         [2][]byte
 	expSeq         [2]uint32
 	expValid       [2]bool
 	ooo            [2]map[uint32][]byte
+
+	// Compiled-program stream state, per direction: automaton position,
+	// sticky pattern hits, and how many stream bytes have been fed.
+	acState [2]int32
+	kwHits  [2]uint64
+	fed     [2]int32
 }
 
 // NewMiddlebox builds a classifier element from a config.
@@ -72,6 +87,7 @@ func NewMiddlebox(cfg Config) *Middlebox {
 		blCount:   make(map[hostPort]int),
 		shapers:   make(map[string]*shaper),
 		reasm:     packet.NewReassembler(),
+		prog:      compileRules(cfg.Rules),
 	}
 }
 
@@ -79,8 +95,11 @@ func NewMiddlebox(cfg Config) *Middlebox {
 func (m *Middlebox) Name() string { return m.Label }
 
 // ResetState clears all flow and blacklist state (between experiments).
-// Configuration is retained.
+// Configuration (including the compiled rule program) is retained.
 func (m *Middlebox) ResetState() {
+	for _, f := range m.flows {
+		m.freeFlow(f)
+	}
 	m.flows = make(map[packet.FlowKey]*mbFlow)
 	m.blacklist = make(map[hostPort]time.Time)
 	m.blCount = make(map[hostPort]int)
@@ -123,6 +142,7 @@ func (m *Middlebox) ForkElement() netem.Element {
 		blCount:   make(map[hostPort]int, len(m.blCount)),
 		shapers:   make(map[string]*shaper, len(m.shapers)),
 		reasm:     m.reasm.Clone(),
+		prog:      m.prog, // read-only after compilation
 	}
 	c.FaultStats = m.FaultStats
 	if m.faultRNG != nil {
@@ -147,10 +167,6 @@ func (m *Middlebox) ForkElement() netem.Element {
 // clone deep-copies one flow record.
 func (f *mbFlow) clone() *mbFlow {
 	c := *f
-	c.families = make(map[Family]bool, len(f.families))
-	for k, v := range f.families {
-		c.families[k] = v
-	}
 	for di := 0; di < 2; di++ {
 		c.stream[di] = append([]byte(nil), f.stream[di]...)
 		if f.ooo[di] != nil {
@@ -324,9 +340,11 @@ func (m *Middlebox) inspectPacket(ctx netem.Context, dir netem.Direction, p *pac
 	idx := f.inspected[di] - 1
 
 	var inspectBuf []byte
+	perPacket := false // inspectBuf is this packet's payload, not a stream
 	switch m.Cfg.Reassembly {
 	case ReassembleNone:
 		inspectBuf = payload
+		perPacket = true
 	case ReassembleArrival:
 		f.stream[di] = appendCapped(f.stream[di], payload, m.streamCap())
 		inspectBuf = f.stream[di]
@@ -356,15 +374,34 @@ func (m *Middlebox) inspectPacket(ctx netem.Context, dir netem.Direction, p *pac
 		}
 		if eval {
 			f.gateChecked[0] = true
-			for _, fam := range []Family{FamilyHTTP, FamilyTLS, FamilySTUN} {
+			for _, fam := range gateFamilies {
 				ok := RecognizeFamily(fam, head)
 				if !ok && !m.Cfg.GateStrict && m.Cfg.Reassembly != ReassembleSeq {
 					ok = FamilyViable(fam, head)
 				}
 				if ok {
-					f.families[fam] = true
+					f.famBits |= famBit(fam)
 				}
 			}
+		}
+	}
+
+	// One automaton pass over the inspected bytes replaces the per-rule
+	// bytes.Contains scan. Per-packet modes feed the payload from the root
+	// state; stream modes feed only the bytes that arrived since the last
+	// inspection, carrying state and sticky hits per flow direction
+	// (streams are append-only, so sticky hits ≡ a full rescan).
+	pg := m.prog
+	var hits uint64
+	if pg != nil {
+		if perPacket {
+			hits = pg.matchOnce(inspectBuf)
+		} else {
+			if n := int32(len(inspectBuf)); n > f.fed[di] {
+				f.acState[di], f.kwHits[di] = pg.feed(f.acState[di], inspectBuf[f.fed[di]:], f.kwHits[di])
+				f.fed[di] = n
+			}
+			hits = f.kwHits[di]
 		}
 	}
 
@@ -376,13 +413,19 @@ func (m *Middlebox) inspectPacket(ctx netem.Context, dir netem.Direction, p *pac
 		if !m.ruleApplies(r, dirIdxToMatchDir(di), serverPort) {
 			continue
 		}
-		if m.Cfg.FirstPacketGate && r.Family != FamilyAny && !f.families[r.Family] {
+		if m.Cfg.FirstPacketGate && r.Family != FamilyAny && f.famBits&famBit(r.Family) == 0 {
 			continue
 		}
 		if r.AnchorPacket >= 0 && m.Cfg.Reassembly == ReassembleNone && idx != r.AnchorPacket {
 			continue
 		}
-		if r.MatchBytes(inspectBuf) {
+		matched := false
+		if pg != nil {
+			matched = hits&pg.ruleMask[i] == pg.ruleMask[i]
+		} else {
+			matched = r.MatchBytes(inspectBuf)
+		}
+		if matched {
 			m.classify(ctx, dir, f, r.Class, p, i)
 		}
 	}
@@ -398,12 +441,23 @@ func (m *Middlebox) inspectStateless(ctx netem.Context, dir netem.Direction, p *
 	if dir == netem.ToClient {
 		di = 1
 	}
+	pg := m.prog
+	var hits uint64
+	if pg != nil {
+		hits = pg.matchOnce(p.Payload)
+	}
 	for i := range m.Cfg.Rules {
 		r := &m.Cfg.Rules[i]
 		if !m.ruleApplies(r, dirIdxToMatchDir(di), serverPort) {
 			continue
 		}
-		if r.MatchBytes(p.Payload) {
+		matched := false
+		if pg != nil {
+			matched = hits&pg.ruleMask[i] == pg.ruleMask[i]
+		} else {
+			matched = r.MatchBytes(p.Payload)
+		}
+		if matched {
 			m.actStateless(ctx, dir, p, r.Class, i)
 		}
 	}
@@ -524,6 +578,7 @@ func (m *Middlebox) flowFor(ctx netem.Context, dir netem.Direction, p *packet.Pa
 				m.event(ctx, obs.KindDPIFlush, obs.CtrFlowEvictions, reason, f.clientKey, 0, 0)
 			}
 			delete(m.flows, ck)
+			m.freeFlow(f)
 			ok = false
 		}
 	}
@@ -534,6 +589,7 @@ func (m *Middlebox) flowFor(ctx netem.Context, dir netem.Direction, p *packet.Pa
 		m.enforceFlowCap(ctx, ck)
 	} else if p.TCP != nil && p.TCP.Flags.Has(packet.FlagSYN) && !p.TCP.Flags.Has(packet.FlagACK) && dir == netem.ToServer {
 		// Fresh handshake on a stale tuple: restart the flow record.
+		m.freeFlow(f)
 		nf := m.newFlowRecord(ctx, clientKey, true, now)
 		m.flows[ck] = nf
 		return nf
@@ -541,17 +597,60 @@ func (m *Middlebox) flowFor(ctx netem.Context, dir netem.Direction, p *packet.Pa
 	return f
 }
 
+// clearFlow resets a flow record for reuse. Stream buffer capacity is
+// kept so a recycled flow's reassembly does not reallocate; out-of-order
+// maps are dropped (rare, unbounded key sets).
+func clearFlow(f *mbFlow) {
+	s0, s1 := f.stream[0][:0], f.stream[1][:0]
+	*f = mbFlow{}
+	f.stream[0], f.stream[1] = s0, s1
+}
+
+// freeFlow resets a flow record and returns it to the free list.
+func (m *Middlebox) freeFlow(f *mbFlow) {
+	clearFlow(f)
+	m.flowFree = append(m.flowFree, f)
+}
+
+// mbFlowPool recycles flow records (with their grown stream buffers)
+// across middlebox instances. Trial forks live for a single trial, so
+// their local flowFree lists never warm up; without the process-wide pool
+// every fork re-grows each flow's reassembly buffers from zero, which
+// dominated the allocation profile.
+var mbFlowPool = sync.Pool{New: func() any { return new(mbFlow) }}
+
+// Release returns all flow records — live and free-listed — to the
+// process-wide pool. Like Arena.Release, it may hand the records to a
+// different goroutine, so it is legal only when the middlebox is dead:
+// its trial finished and every result derived from it has been read.
+func (m *Middlebox) Release() {
+	for _, f := range m.flows {
+		clearFlow(f)
+		mbFlowPool.Put(f)
+	}
+	clear(m.flows)
+	for i, f := range m.flowFree {
+		mbFlowPool.Put(f)
+		m.flowFree[i] = nil
+	}
+	m.flowFree = m.flowFree[:0]
+}
+
 // newFlowRecord allocates flow state, applying the per-flow classifier
 // miss draw (Faults.MissRate). Every new flow costs exactly one draw when
 // the knob is active, so the fault stream's position depends only on the
 // flow-creation sequence.
 func (m *Middlebox) newFlowRecord(ctx netem.Context, clientKey packet.FlowKey, sawSYN bool, now time.Time) *mbFlow {
-	f := &mbFlow{
-		clientKey: clientKey,
-		sawSYN:    sawSYN,
-		lastSeen:  now,
-		families:  make(map[Family]bool),
+	var f *mbFlow
+	if n := len(m.flowFree); n > 0 {
+		f = m.flowFree[n-1]
+		m.flowFree = m.flowFree[:n-1]
+	} else {
+		f = mbFlowPool.Get().(*mbFlow)
 	}
+	f.clientKey = clientKey
+	f.sawSYN = sawSYN
+	f.lastSeen = now
 	if r := m.Cfg.Faults.MissRate; r > 0 && m.faultRand().Float64() < r {
 		f.missed = true
 		m.FaultStats.FlowsMissed++
@@ -589,6 +688,7 @@ func (m *Middlebox) enforceFlowCap(ctx netem.Context, justAdded packet.FlowKey) 
 		m.event(ctx, obs.KindDPIFlush, obs.CtrFlowEvictions, "lru", vf.clientKey, 0, 0)
 	}
 	delete(m.flows, victim)
+	m.freeFlow(vf)
 	m.FaultStats.LRUEvictions++
 }
 
@@ -817,7 +917,7 @@ func (m *Middlebox) forward(ctx netem.Context, dir netem.Direction, p *packet.Pa
 			if ctx.Traced() {
 				m.event(ctx, obs.KindDPIThrottle, obs.CtrThrottleDelays, class, m.clientKey(dir, p), int64(d), 0)
 			}
-			ctx.Schedule(d, func() { ctx.Forward(f) })
+			ctx.ForwardAfter(d, f)
 			return
 		}
 	}

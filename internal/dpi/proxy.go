@@ -255,7 +255,7 @@ func (x *TransparentProxy) classifyStreams(ctx netem.Context, f *proxyFlow, key 
 	}
 	if !f.gateChecked && len(f.stream[0]) >= 4 {
 		f.gateChecked = true
-		for _, fam := range []Family{FamilyHTTP, FamilyTLS, FamilySTUN} {
+		for _, fam := range gateFamilies {
 			if RecognizeFamily(fam, f.stream[0]) {
 				f.families[fam] = true
 			}
@@ -319,7 +319,7 @@ func (x *TransparentProxy) drain(ctx netem.Context, dir netem.Direction, f *prox
 		chunk := f.stream[di][off:end]
 		seg := packet.NewTCP(tmpl.IP.Src, tmpl.IP.Dst, tmpl.TCP.SrcPort, tmpl.TCP.DstPort,
 			base+off, tmpl.TCP.Ack, packet.FlagACK|packet.FlagPSH, chunk)
-		out := packet.FrameOf(seg)
+		out := ctx.FrameOf(seg)
 		if f.shaper != nil && di == 1 {
 			delay = f.shaper.delay(ctx.Now(), out.Len())
 		}
@@ -330,7 +330,7 @@ func (x *TransparentProxy) drain(ctx netem.Context, dir netem.Direction, f *prox
 					Label: f.class, Value: int64(delay)})
 				rec.Add(obs.CtrThrottleDelays, 1)
 			}
-			ctx.Schedule(delay, func() { ctx.Forward(out) })
+			ctx.ForwardAfter(delay, out)
 		} else {
 			ctx.Forward(out)
 		}

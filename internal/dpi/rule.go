@@ -39,13 +39,21 @@ const (
 	FamilyAny  Family = "any"
 )
 
+// httpMethods are the request-line prefixes that identify an HTTP flow,
+// hoisted to package level so family recognition (run per flow on the hot
+// gate path) allocates nothing.
+var httpMethods = [][]byte{[]byte("GET "), []byte("POST "), []byte("HEAD "), []byte("PUT ")}
+
+// tlsSig is the TLS record-layer signature prefix (handshake, TLS 1.x).
+var tlsSig = []byte{0x16, 0x03}
+
 // RecognizeFamily reports whether data plausibly begins a flow of family f.
 func RecognizeFamily(f Family, data []byte) bool {
 	switch f {
 	case FamilyAny:
 		return true
 	case FamilyHTTP:
-		for _, m := range [][]byte{[]byte("GET "), []byte("POST "), []byte("HEAD "), []byte("PUT ")} {
+		for _, m := range httpMethods {
 			if bytes.HasPrefix(data, m) {
 				return true
 			}
@@ -84,13 +92,13 @@ func FamilyViable(f Family, data []byte) bool {
 	case FamilyAny:
 		return true
 	case FamilyHTTP:
-		for _, m := range [][]byte{[]byte("GET "), []byte("POST "), []byte("HEAD "), []byte("PUT ")} {
+		for _, m := range httpMethods {
 			if prefixOf(m) {
 				return true
 			}
 		}
 	case FamilyTLS:
-		return prefixOf([]byte{0x16, 0x03})
+		return prefixOf(tlsSig)
 	case FamilySTUN:
 		return len(data) < 8 // cannot rule STUN out before the cookie
 	}

@@ -41,12 +41,12 @@ type PerfBench struct {
 //     snapshot records the parallelism available on the machine that
 //     produced it, and eng_per_s on campaign benchmarks
 type PerfSnapshot struct {
-	Schema     string      `json:"schema"`
-	GoVersion  string      `json:"go"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	NumCPU     int         `json:"num_cpu"`
-	GOMAXPROCS int         `json:"gomaxprocs"`
+	Schema     string `json:"schema"`
+	GoVersion  string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 	// Revision is the VCS commit the binary was built from, when the Go
 	// toolchain stamped one ("" otherwise, e.g. for `go run` in a dirty
 	// tree or a tarball build).
@@ -96,6 +96,33 @@ func RunPerf() *PerfSnapshot {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, _ = packet.Inspect(inspectRaw)
+		}
+	}))
+
+	arena := packet.NewArena()
+	defer arena.Release()
+	wirePay := make([]byte, 1400)
+	snap.add("arena-wire", 0, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := arena.NewTCP(src, dst, 1234, 80, uint32(i), 1, packet.FlagACK, wirePay)
+			_ = arena.Wire(p)
+			if i%256 == 255 {
+				arena.Reset()
+			}
+		}
+	}))
+	snap.add("frame-parse-hint", 0, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p := arena.NewTCP(src, dst, 1234, 80, uint32(i), 1, packet.FlagACK, wirePay)
+			f := arena.FrameOf(p)
+			if _, defects := f.Parse(); !defects.Empty() {
+				b.Fatal("unexpected defects")
+			}
+			if i%256 == 255 {
+				arena.Reset()
+			}
 		}
 	}))
 
@@ -172,6 +199,31 @@ func RunPerf() *PerfSnapshot {
 	}))
 
 	return snap
+}
+
+// EngagementAllocBudget is the CI ceiling on allocations per full
+// engagement. The batched delivery + arena pipeline runs one at ~7k
+// allocs; the budget leaves headroom for legitimate feature growth while
+// still catching a regression that reverts the pipeline to per-packet
+// heap traffic (the seed ran ~161k).
+const EngagementAllocBudget = 60_000
+
+// MeasureEngagementAllocs runs full engagements under the benchmark
+// harness and returns the steady-state allocation count per engagement.
+// CI gates on it directly: allocation counts are machine-independent, so
+// the guard is stable where a wall-clock threshold would flake.
+func MeasureEngagementAllocs() int64 {
+	tr := trace.AmazonPrimeVideo(96 << 10)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			net := dpi.NewTMobile()
+			if rep := (&core.Liberate{Net: net, Trace: tr}).Run(); rep.Deployed == nil {
+				b.Fatal("no deployment")
+			}
+		}
+	})
+	return r.AllocsPerOp()
 }
 
 func (s *PerfSnapshot) add(name string, setBytes int64, r testing.BenchmarkResult) {

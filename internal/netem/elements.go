@@ -145,7 +145,7 @@ func (p *Pipe) Process(ctx Context, dir Direction, f *packet.Frame) {
 	}
 	done := start.Add(tx)
 	p.nextFree[dir] = done
-	ctx.Schedule(done.Sub(now), func() { ctx.Forward(f) })
+	ctx.ForwardAfter(done.Sub(now), f)
 }
 
 // TCPChecksumFixer rewrites incorrect TCP checksums to correct ones, the
@@ -242,10 +242,12 @@ func (t *Tap) ForkElement() Element {
 
 // Process implements Element.
 func (t *Tap) Process(ctx Context, dir Direction, f *packet.Frame) {
-	// Frame immutability makes retention safe without a defensive copy.
-	t.Seen = append(t.Seen, TapRecord{At: ctx.Now(), Dir: dir, Raw: f.Raw()})
+	// Taps outlive replays, so the capture copies the bytes: arena-owned
+	// frame buffers are only valid until the next replay's arena reset.
+	raw := append([]byte(nil), f.Raw()...)
+	t.Seen = append(t.Seen, TapRecord{At: ctx.Now(), Dir: dir, Raw: raw})
 	if t.OnPass != nil {
-		t.OnPass(dir, f.Raw())
+		t.OnPass(dir, raw)
 	}
 	ctx.Forward(f)
 }

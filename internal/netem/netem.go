@@ -78,10 +78,16 @@ func (c Context) Forward(f *packet.Frame) { c.env.move(c.idx, c.dir, f) }
 
 // ForwardRaw wraps raw in a fresh frame and forwards it. The frame takes
 // ownership of raw.
-func (c Context) ForwardRaw(raw []byte) { c.Forward(packet.NewFrame(raw)) }
+func (c Context) ForwardRaw(raw []byte) { c.Forward(c.env.Arena().NewFrame(raw)) }
 
 // ForwardPacket serializes and forwards p.
-func (c Context) ForwardPacket(p *packet.Packet) { c.Forward(packet.FrameOf(p)) }
+func (c Context) ForwardPacket(p *packet.Packet) { c.Forward(c.FrameOf(p)) }
+
+// FrameOf serializes p into a frame drawn from the path's arena, for
+// elements that re-emit packets they built (proxies, normalizers). The
+// frame follows the arena ownership contract (valid until the next
+// replay's reset).
+func (c Context) FrameOf(p *packet.Packet) *packet.Frame { return c.env.Arena().FrameOf(p) }
 
 // SendToClient injects a frame from this element's position toward the
 // client (e.g. an injected RST or a block page).
@@ -96,6 +102,13 @@ func (c Context) Now() time.Time { return c.env.Clock.Now() }
 
 // Schedule runs fn after d of virtual time.
 func (c Context) Schedule(d time.Duration, fn func()) { c.env.Clock.Schedule(d, fn) }
+
+// ForwardAfter forwards f in the packet's direction of travel after d of
+// virtual time — the allocation-free form of Schedule(d, func() {
+// Forward(f) }) for shapers, pipes, and other delay elements.
+func (c Context) ForwardAfter(d time.Duration, f *packet.Frame) {
+	c.env.forwardAfter(c.idx, c.dir, d, f)
+}
 
 // HourOfDay exposes the virtual time-of-day for load-dependent models.
 func (c Context) HourOfDay() float64 { return c.env.Clock.HourOfDay() }
@@ -137,10 +150,18 @@ type Env struct {
 	delivered []int
 
 	// deliverFn is the long-lived callback passed to the clock's ScheduleArg
-	// for every link traversal; binding it once avoids a per-event method
-	// value. dfree recycles the argument records.
+	// for every delivery run; binding it once avoids a per-event method
+	// value. bfree recycles fired Batch records; open is the Batch still
+	// accepting appends (nil once sealed or fired).
 	deliverFn func(any)
-	dfree     []*delivery
+	bfree     []*Batch
+	open      *Batch
+
+	// deferFn/dfree back Context.ForwardAfter: typed, recycled
+	// delayed-forward records replacing the per-packet closures shapers
+	// and pipes used to allocate.
+	deferFn func(any)
+	dfree   []*deferred
 
 	// rec receives observability events; nil means disabled (Recorder()
 	// reports obs.Nop). traced caches rec.Enabled() so the per-packet
@@ -148,13 +169,46 @@ type Env struct {
 	// off.
 	rec    obs.Recorder
 	traced bool
+
+	// arena owns the path's short-lived packet objects (frames, parses,
+	// wire buffers). Lazily created; reset between replays at quiescence.
+	// Forked envs start with a fresh arena so pooled state never crosses
+	// goroutines.
+	arena *packet.Arena
 }
 
 // delivery is one in-flight link traversal: frame f arriving at position
-// pos moving in dir. Records are recycled through Env.dfree so the
-// per-packet hot path schedules without allocating.
+// pos moving in dir. Deliveries are carried by value inside a Batch so
+// the per-packet hot path schedules and boxes nothing per frame.
 type delivery struct {
 	pos int
+	dir Direction
+	f   *packet.Frame
+}
+
+// Batch is one scheduler event's worth of link traversals: a run of
+// frames that share a virtual arrival instant and were scheduled with no
+// intervening event between them. The clock fires the whole run as one
+// event and Env.deliver processes the records in append order.
+//
+// Correctness of the batching fence (see Env.move): every event already
+// queued when the Batch was scheduled has a smaller insertion seq and so
+// fires before it; any schedule call after that point bumps the clock's
+// seq counter, which seals the Batch, so a record can only join a Batch
+// when its would-have-been event slot is directly adjacent to the
+// previous record's. Firing the run back-to-back inside one event is
+// therefore order-identical to the unbatched one-event-per-frame world.
+type Batch struct {
+	recs []delivery
+	seq  uint64 // clock seq fence as of scheduling; stale seq = sealed
+	at   int64  // arrival instant, ns since the vclock epoch
+}
+
+// deferred is one delayed forward (Context.ForwardAfter): after the
+// element-chosen delay, frame f re-enters the path at position idx
+// moving in dir, exactly as ctx.Forward would have sent it.
+type deferred struct {
+	idx int
 	dir Direction
 	f   *packet.Frame
 }
@@ -186,7 +240,9 @@ type Forkable interface {
 // parent clock's Fork). Forkable elements are deep-copied; everything
 // else is shared as stateless. Endpoints and the Trace hook are NOT
 // carried over — replays install fresh endpoints per run, and a fork is
-// only taken at quiescence, between replays, when none are live.
+// only taken at quiescence, between replays, when none are live. The
+// arena is not carried over either: the replica lazily creates its own,
+// so recycled packet state never crosses goroutines.
 func (e *Env) Fork(clock *vclock.Clock) *Env {
 	ne := &Env{
 		Clock:      clock,
@@ -270,45 +326,136 @@ func (e *Env) SetServer(ep Endpoint) { e.server = ep }
 
 // FromClient sends raw onto the path at the client end. The path takes
 // ownership of raw: the caller must not modify it afterwards.
-func (e *Env) FromClient(raw []byte) { e.move(-1, ToServer, packet.NewFrame(raw)) }
+func (e *Env) FromClient(raw []byte) { e.move(-1, ToServer, e.Arena().NewFrame(raw)) }
 
 // FromServer sends raw onto the path at the server end. The path takes
 // ownership of raw: the caller must not modify it afterwards.
-func (e *Env) FromServer(raw []byte) { e.move(len(e.elements), ToClient, packet.NewFrame(raw)) }
+func (e *Env) FromServer(raw []byte) { e.move(len(e.elements), ToClient, e.Arena().NewFrame(raw)) }
+
+// FromClientFrame sends an already-built frame onto the path at the
+// client end. Stacks use it instead of FromClient when they hold a frame
+// from Arena.FrameOf, preserving frame-carried metadata such as the
+// payload-sum verification hint.
+func (e *Env) FromClientFrame(f *packet.Frame) { e.move(-1, ToServer, f) }
+
+// FromServerFrame is FromClientFrame for the server end.
+func (e *Env) FromServerFrame(f *packet.Frame) { e.move(len(e.elements), ToClient, f) }
+
+// Arena returns the path's packet arena, creating it on first use.
+// Endpoint stacks draw their built packets and wire buffers from it so
+// that ResetArena reclaims a whole replay's packet churn at once.
+func (e *Env) Arena() *packet.Arena {
+	if e.arena == nil {
+		e.arena = packet.NewArena()
+	}
+	return e.arena
+}
+
+// ResetArena recycles every arena-owned frame, parse, and buffer. Legal
+// only at quiescence — nothing pending on the clock, no frames in flight,
+// and the previous replay's server capture already consumed (see
+// packet.Arena's ownership contract). Replays call it on entry.
+func (e *Env) ResetArena() {
+	if e.arena != nil {
+		e.arena.Reset()
+	}
+}
+
+// Release returns the path's pooled resources (currently the arena) to
+// their process-wide pools. It is legal only when the env is dead —
+// nothing will deliver, schedule, or hold a frame on it again — because
+// the arena may be adopted by another goroutine immediately. Trial forks
+// call it after their verdict is extracted; a live env must use
+// ResetArena instead.
+func (e *Env) Release() {
+	if e.arena != nil {
+		e.arena.Release()
+		e.arena = nil
+	}
+}
 
 // move schedules delivery of f to the neighbour of position idx in dir.
 // Position -1 is the client, len(elements) is the server. The frame is
 // passed by reference across every hop — immutability makes per-hop
 // defensive copies unnecessary.
+//
+// Consecutive moves with the same arrival instant and no intervening
+// schedule call join the open Batch instead of costing a scheduler event
+// each: a burst of segments (and the ACKs, forwards, and re-emissions it
+// triggers downstream) rides the path as runs of frames per virtual tick.
 func (e *Env) move(idx int, dir Direction, f *packet.Frame) {
 	next := idx + 1
 	if dir == ToClient {
 		next = idx - 1
 	}
-	if e.deliverFn == nil {
-		e.deliverFn = e.deliverArg
+	at := e.Clock.NowNS() + int64(e.LinkDelay)
+	if b := e.open; b != nil && b.at == at && e.Clock.Seq() == b.seq {
+		b.recs = append(b.recs, delivery{pos: next, dir: dir, f: f})
+		return
 	}
-	var d *delivery
+	var b *Batch
+	if n := len(e.bfree); n > 0 {
+		b = e.bfree[n-1]
+		e.bfree[n-1] = nil
+		e.bfree = e.bfree[:n-1]
+	} else {
+		b = new(Batch)
+	}
+	b.recs = append(b.recs[:0], delivery{pos: next, dir: dir, f: f})
+	b.at = at
+	if e.deliverFn == nil {
+		e.deliverFn = e.deliverBatch
+	}
+	e.Clock.ScheduleArg(e.LinkDelay, e.deliverFn, b)
+	b.seq = e.Clock.Seq() // fence: any later schedule call seals the batch
+	e.open = b
+}
+
+// deliverBatch fires one delivery run. The batch is closed to appends
+// before the first record is processed, and its records are released for
+// reuse only after the run completes (nested moves open fresh batches).
+func (e *Env) deliverBatch(a any) {
+	b := a.(*Batch)
+	if e.open == b {
+		e.open = nil
+	}
+	for i := 0; i < len(b.recs); i++ {
+		r := b.recs[i]
+		b.recs[i].f = nil
+		e.deliver(r.pos, r.dir, r.f)
+	}
+	b.recs = b.recs[:0]
+	e.bfree = append(e.bfree, b)
+}
+
+// forwardAfter re-injects f at position idx after d of virtual time, via
+// a typed recycled record (Context.ForwardAfter). The two-stage shape —
+// one event for the delay, then a normal move — is identical to the
+// ctx.Schedule(d, func() { ctx.Forward(f) }) closure it replaces.
+func (e *Env) forwardAfter(idx int, dir Direction, d time.Duration, f *packet.Frame) {
+	if e.deferFn == nil {
+		e.deferFn = e.deferArg
+	}
+	var r *deferred
 	if n := len(e.dfree); n > 0 {
-		d = e.dfree[n-1]
+		r = e.dfree[n-1]
 		e.dfree[n-1] = nil
 		e.dfree = e.dfree[:n-1]
 	} else {
-		d = new(delivery)
+		r = new(deferred)
 	}
-	d.pos, d.dir, d.f = next, dir, f
-	e.Clock.ScheduleArg(e.LinkDelay, e.deliverFn, d)
+	r.idx, r.dir, r.f = idx, dir, f
+	e.Clock.ScheduleArg(d, e.deferFn, r)
 }
 
-// deliverArg unpacks a recycled delivery record and hands the frame to its
-// destination. The record is released before delivery so nested moves can
-// reuse it immediately.
-func (e *Env) deliverArg(a any) {
-	d := a.(*delivery)
-	pos, dir, f := d.pos, d.dir, d.f
-	d.f = nil
-	e.dfree = append(e.dfree, d)
-	e.deliver(pos, dir, f)
+// deferArg completes a ForwardAfter: the record is released before the
+// move so nested delays can reuse it immediately.
+func (e *Env) deferArg(a any) {
+	r := a.(*deferred)
+	idx, dir, f := r.idx, r.dir, r.f
+	r.f = nil
+	e.dfree = append(e.dfree, r)
+	e.move(idx, dir, f)
 }
 
 func (e *Env) deliver(pos int, dir Direction, f *packet.Frame) {

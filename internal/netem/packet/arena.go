@@ -1,0 +1,235 @@
+package packet
+
+import "sync"
+
+// Arena is a bump allocator for the short-lived objects the packet hot
+// path churns through: Frames, parse blocks, built packets, and wire-byte
+// buffers. One arena belongs to one simulated path (netem.Env) and is
+// reset between replays, so an engagement converges to a near-constant
+// allocation footprint — after the first replay warms the slabs, later
+// replays allocate almost nothing.
+//
+// Ownership contract (see also DESIGN.md §13):
+//
+//   - Everything handed out by an arena — frames, parses, packets, byte
+//     buffers, and any wire bytes or payload views aliasing them — is
+//     valid only until the arena's next Reset.
+//   - Reset may only be called at quiescence (no events pending on the
+//     path's clock, no frames in flight) and after every consumer of the
+//     previous replay's aliased bytes (the replay server's capture) has
+//     been read.
+//   - An arena is single-goroutine, like the Env that owns it. Forked
+//     envs get their own fresh arena; pooled state never crosses forks.
+//
+// Reuse is index-based: Reset rewinds the slab cursors and clears the
+// pointer-bearing slabs so stale references do not pin dead buffers, but
+// the slabs themselves are retained at capacity.
+type Arena struct {
+	frames [][]Frame
+	fi, fn int // slab index, used count within it
+	parses [][]parseAlloc
+	pi, pn int
+	bufs   [][]byte
+	bi, bn int // slab index, byte offset within it
+	// bigs recycles allocations larger than a chunk (reassembled streams,
+	// whole-trace buffers): each slot is dedicated to one allocation per
+	// reset cycle, first fit by capacity.
+	bigs []bigBuf
+}
+
+type bigBuf struct {
+	b    []byte
+	used bool
+}
+
+const (
+	arenaFrameChunk = 512
+	arenaParseChunk = 128
+	// arenaByteChunk comfortably fits a run of MTU-sized wire buffers;
+	// requests larger than a chunk fall through to the heap.
+	arenaByteChunk = 1 << 16
+)
+
+// arenaPool recycles whole arenas across owners. Trial forks are born and
+// die by the dozen per engagement; handing a dead fork's warmed slabs to
+// the next fork removes the per-fork slab warmup that otherwise dominates
+// the allocation profile.
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+// NewArena returns an arena ready for use — possibly a recycled one with
+// pre-grown slabs; slabs grow on demand either way.
+func NewArena() *Arena { return arenaPool.Get().(*Arena) }
+
+// Release resets the arena and returns it to the process-wide pool for
+// another owner. Unlike Reset, Release may hand the arena to a different
+// goroutine, so it is legal only when nothing can still reference any
+// arena-owned object — i.e. when the owning path is dead, not merely
+// quiescent between replays.
+func (a *Arena) Release() {
+	a.Reset()
+	arenaPool.Put(a)
+}
+
+// Reset invalidates every object the arena has handed out since the last
+// Reset and rewinds all slabs for reuse. See the type comment for when
+// calling it is legal.
+func (a *Arena) Reset() {
+	for i := 0; i <= a.fi && i < len(a.frames); i++ {
+		clear(a.frames[i])
+	}
+	for i := 0; i <= a.pi && i < len(a.parses); i++ {
+		clear(a.parses[i])
+	}
+	a.fi, a.fn = 0, 0
+	a.pi, a.pn = 0, 0
+	a.bi, a.bn = 0, 0
+	for i := range a.bigs {
+		a.bigs[i].used = false
+	}
+}
+
+// frame hands out one uninitialized Frame slot.
+func (a *Arena) frame() *Frame {
+	if a.fi == len(a.frames) {
+		a.frames = append(a.frames, make([]Frame, arenaFrameChunk))
+	}
+	slab := a.frames[a.fi]
+	f := &slab[a.fn]
+	a.fn++
+	if a.fn == len(slab) {
+		a.fi++
+		a.fn = 0
+	}
+	return f
+}
+
+// parse hands out one zeroed parse block (packet plus transport headers).
+func (a *Arena) parse() *parseAlloc {
+	if a.pi == len(a.parses) {
+		a.parses = append(a.parses, make([]parseAlloc, arenaParseChunk))
+	}
+	pa := &a.parses[a.pi][a.pn]
+	a.pn++
+	if a.pn == arenaParseChunk {
+		a.pi++
+		a.pn = 0
+	}
+	// Zero the slot: inspect and the builders fill fields piecemeal, and a
+	// recycled slot must not leak state from its previous occupant.
+	*pa = parseAlloc{}
+	return pa
+}
+
+// buf hands out a zero-length slice with capacity n, capped so appends
+// past n cannot clobber a neighbouring allocation. Contents reachable by
+// re-slicing are undefined (recycled slabs are not cleared).
+func (a *Arena) buf(n int) []byte {
+	if n > arenaByteChunk {
+		return a.big(n)
+	}
+	if a.bi == len(a.bufs) {
+		a.bufs = append(a.bufs, make([]byte, arenaByteChunk))
+	}
+	if a.bn+n > arenaByteChunk {
+		a.bi++
+		a.bn = 0
+		if a.bi == len(a.bufs) {
+			a.bufs = append(a.bufs, make([]byte, arenaByteChunk))
+		}
+	}
+	s := a.bufs[a.bi]
+	b := s[a.bn : a.bn : a.bn+n]
+	a.bn += n
+	return b
+}
+
+// big hands out a dedicated recycled buffer for oversized allocations.
+func (a *Arena) big(n int) []byte {
+	for i := range a.bigs {
+		if !a.bigs[i].used && cap(a.bigs[i].b) >= n {
+			a.bigs[i].used = true
+			return a.bigs[i].b[:0]
+		}
+	}
+	b := make([]byte, 0, n)
+	a.bigs = append(a.bigs, bigBuf{b: b, used: true})
+	return b
+}
+
+// Bytes returns an n-byte buffer with undefined contents; the caller must
+// overwrite all of it. cap == len, so appending grows a private copy.
+func (a *Arena) Bytes(n int) []byte {
+	return a.buf(n)[:n]
+}
+
+// Buffer returns an empty buffer with at least the given capacity, for
+// callers that accumulate with append (stream reassembly, expected-byte
+// concatenation). Like every arena allocation it is only valid until the
+// next Reset.
+func (a *Arena) Buffer(capacity int) []byte {
+	return a.buf(capacity)
+}
+
+// NewFrame wraps raw in an arena-owned frame. Like packet.NewFrame, the
+// frame takes ownership of raw; derived frames (TTL decrements,
+// materialized copies, cached parses) draw from the same arena.
+func (a *Arena) NewFrame(raw []byte) *Frame {
+	f := a.frame()
+	*f = Frame{raw: raw, ar: a}
+	return f
+}
+
+// FrameOf serializes p into arena-owned wire bytes and wraps them in an
+// arena-owned frame — the arena counterpart of packet.FrameOf. When p's
+// payload sum is current (finalized and not rebound since), the frame
+// carries it as a verification hint, so downstream parses of this
+// stack-built frame skip the per-byte payload re-sum.
+func (a *Arena) FrameOf(p *Packet) *Frame {
+	f := a.frame()
+	*f = Frame{raw: a.Wire(p), ar: a}
+	if v, n, ok := p.paySumHint(); ok {
+		f.psVal, f.psN = v, n
+	}
+	return f
+}
+
+// Wire serializes p into an arena-owned buffer — the arena counterpart of
+// Packet.Serialize.
+func (a *Arena) Wire(p *Packet) []byte {
+	return p.AppendSerialize(a.buf(p.wireLen()))
+}
+
+// NewTCP builds a finalized TCP packet out of arena storage: the packet
+// and its transport header live in the arena. The payload is ALIASED,
+// not copied — sound under the repository-wide invariant (see
+// paySumCache) that payload bytes are never mutated in place, and the
+// builder's output is normally serialized (copied to wire bytes) within
+// the same event anyway. Semantically identical to packet.NewTCP.
+func (a *Arena) NewTCP(src, dst Addr, srcPort, dstPort uint16, seq, ack uint32, flags TCPFlags, payload []byte) *Packet {
+	pa := a.parse()
+	p := &pa.pkt
+	p.IP = IPv4{TTL: DefaultTTL, Protocol: ProtoTCP, Src: src, Dst: dst}
+	pa.tcp = TCP{
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: seq, Ack: ack, Flags: flags, Window: 65535,
+	}
+	p.TCP = &pa.tcp
+	if len(payload) > 0 {
+		p.Payload = payload
+	}
+	return p.Finalize()
+}
+
+// NewUDP builds a finalized UDP packet out of arena storage, aliasing the
+// payload like NewTCP — the arena counterpart of packet.NewUDP.
+func (a *Arena) NewUDP(src, dst Addr, srcPort, dstPort uint16, payload []byte) *Packet {
+	pa := a.parse()
+	p := &pa.pkt
+	p.IP = IPv4{TTL: DefaultTTL, Protocol: ProtoUDP, Src: src, Dst: dst}
+	pa.udp = UDP{SrcPort: srcPort, DstPort: dstPort}
+	p.UDP = &pa.udp
+	if len(payload) > 0 {
+		p.Payload = payload
+	}
+	return p.Finalize()
+}

@@ -25,6 +25,16 @@ type Frame struct {
 	ttlDelta uint8 // pending TTL decrements not yet applied to raw
 	pkt      *Packet
 	defects  DefectSet
+	// ar, when non-nil, is the arena this frame was allocated from.
+	// Derived allocations (TTL-decrement frames, materialized byte copies,
+	// the cached parse) draw from the same arena, so a frame's whole
+	// lifecycle shares its owner's reset boundary.
+	ar *Arena
+	// psVal/psN carry the sender's payload partial sum (Packet.paySumHint)
+	// when the frame was serialized from a finalized packet; psN == 0 means
+	// no hint. Parse seeds its checksum verification from it.
+	psVal uint32
+	psN   int
 }
 
 // NewFrame wraps raw wire bytes in a frame. The frame takes ownership:
@@ -46,7 +56,13 @@ func (f *Frame) materialize() {
 	if f.ttlDelta == 0 {
 		return
 	}
-	out := append([]byte(nil), f.raw...)
+	var out []byte
+	if f.ar != nil {
+		out = f.ar.Bytes(len(f.raw))
+	} else {
+		out = make([]byte, len(f.raw))
+	}
+	copy(out, f.raw)
 	for i := uint8(0); i < f.ttlDelta; i++ {
 		decrementTTL(out)
 	}
@@ -55,10 +71,16 @@ func (f *Frame) materialize() {
 		// Transport headers, options, and payload stay shared with the
 		// parent's parse — safe because both are read-only views over
 		// byte-identical regions.
-		q := *f.pkt
+		var q *Packet
+		if f.ar != nil {
+			q = &f.ar.parse().pkt
+		} else {
+			q = &Packet{}
+		}
+		*q = *f.pkt
 		q.IP.TTL = out[8]
 		q.IP.Checksum = uint16(out[10])<<8 | uint16(out[11])
-		f.pkt = &q
+		f.pkt = q
 	}
 }
 
@@ -81,7 +103,7 @@ func (f *Frame) TTL() uint8 { return f.raw[8] - f.ttlDelta }
 func (f *Frame) Parse() (*Packet, DefectSet) {
 	if f.pkt == nil {
 		f.materialize()
-		f.pkt, f.defects = InspectView(f.raw)
+		f.pkt, f.defects = inspect(f.ar, f.raw, true, f.psVal, f.psN)
 	}
 	return f.pkt, f.defects
 }
@@ -103,7 +125,12 @@ func (f *Frame) Parsed() bool { return f.pkt != nil }
 // parent had a warm parse — one shallow parse patch, so a datagram still
 // parses at most once across any number of routers.
 func (f *Frame) WithTTLDecremented() *Frame {
-	return &Frame{raw: f.raw, ttlDelta: f.ttlDelta + 1, pkt: f.pkt, defects: f.defects}
+	if f.ar != nil {
+		nf := f.ar.frame()
+		*nf = Frame{raw: f.raw, ttlDelta: f.ttlDelta + 1, pkt: f.pkt, defects: f.defects, ar: f.ar, psVal: f.psVal, psN: f.psN}
+		return nf
+	}
+	return &Frame{raw: f.raw, ttlDelta: f.ttlDelta + 1, pkt: f.pkt, defects: f.defects, psVal: f.psVal, psN: f.psN}
 }
 
 // decrementTTL lowers the TTL byte in place and incrementally updates the

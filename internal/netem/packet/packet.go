@@ -124,6 +124,22 @@ func (p *Packet) FixIPChecksum() {
 	p.IP.Checksum = p.IP.computeChecksum()
 }
 
+// paySumHint exposes the packet's cached payload partial sum when it is
+// current — i.e. Finalize (or FixTransportChecksum) computed it for the
+// exact slice Payload still points at. Frames serialized from such a
+// packet carry the value so parse-side checksum verification can skip
+// re-summing the payload copy: the wire payload is a byte-for-byte copy
+// of the finalized payload, and both start 16-bit aligned in the
+// checksummed stream, so the partial sums are identical. A packet whose
+// Payload was rebound after Finalize (the documented way techniques
+// change payloads) yields no hint and verification runs in full.
+func (p *Packet) paySumHint() (val uint32, n int, ok bool) {
+	if len(p.Payload) == 0 || p.paySum.ptr != &p.Payload[0] || p.paySum.n != len(p.Payload) {
+		return 0, 0, false
+	}
+	return p.paySum.val, p.paySum.n, true
+}
+
 // wireLen returns the serialized size of the packet.
 func (p *Packet) wireLen() int {
 	return p.IP.headerLen() + p.transportLen() + len(p.Payload) + len(p.TrailerPadding)
@@ -152,6 +168,17 @@ func (p *Packet) AppendSerialize(b []byte) []byte {
 	return b
 }
 
+// seedPaySum primes the parse's payload-sum cache from a sender-carried
+// hint (see paySumHint). The hint is taken only when the recovered
+// payload length matches what the sender finalized — header mangling
+// that shifts the payload boundary changes the length and falls back to
+// a full verification sum.
+func (p *Packet) seedPaySum(hintVal uint32, hintN int) {
+	if hintN > 0 && len(p.Payload) == hintN {
+		p.paySum = paySumCache{ptr: &p.Payload[0], n: hintN, val: hintVal}
+	}
+}
+
 // parseAlloc is the single allocation backing one parse: the packet plus
 // every transport header it could need. Inspect hands out interior pointers
 // (&a.tcp etc.), so a full TCP parse costs one allocation for the structs
@@ -169,13 +196,13 @@ type parseAlloc struct {
 // malformed packet they are willing to look at — that difference is the
 // point of this library. The returned packet owns copies of its variable-
 // length fields and is safe to mutate.
-func Inspect(raw []byte) (*Packet, DefectSet) { return inspect(raw, false) }
+func Inspect(raw []byte) (*Packet, DefectSet) { return inspect(nil, raw, false, 0, 0) }
 
 // InspectView parses like Inspect but zero-copy: the returned packet's
 // Payload, Options, and TrailerPadding alias raw. The result is read-only —
 // callers that want to mutate it must Clone first — and is only valid while
 // raw itself stays unmodified (which Frame guarantees by construction).
-func InspectView(raw []byte) (*Packet, DefectSet) { return inspect(raw, true) }
+func InspectView(raw []byte) (*Packet, DefectSet) { return inspect(nil, raw, true, 0, 0) }
 
 // view returns b in alias mode and a copy in copy mode; empty slices
 // normalize to nil in both modes so the two parses are interchangeable.
@@ -189,9 +216,19 @@ func view(alias bool, b []byte) []byte {
 	return append([]byte(nil), b...)
 }
 
-func inspect(raw []byte, alias bool) (*Packet, DefectSet) {
+// inspect parses raw. hintVal/hintN, when hintN > 0, carry the payload
+// partial sum the sender's Finalize computed (see Packet.paySumHint);
+// the transport parsers seed the parse's paySum cache with it when the
+// recovered payload length matches, so verification of well-formed
+// stack-built traffic costs no per-byte work.
+func inspect(ar *Arena, raw []byte, alias bool, hintVal uint32, hintN int) (*Packet, DefectSet) {
 	var defects DefectSet
-	a := &parseAlloc{}
+	var a *parseAlloc
+	if ar != nil {
+		a = ar.parse()
+	} else {
+		a = &parseAlloc{}
+	}
 	p := &a.pkt
 	if len(raw) < 20 {
 		defects = defects.Add(DefectTruncated)
@@ -257,11 +294,11 @@ func inspect(raw []byte, alias bool) (*Packet, DefectSet) {
 
 	switch h.Protocol {
 	case ProtoTCP:
-		defects |= p.parseTCP(a, body, alias)
+		defects |= p.parseTCP(a, body, alias, hintVal, hintN)
 	case ProtoUDP:
-		defects |= p.parseUDP(a, body, alias)
+		defects |= p.parseUDP(a, body, alias, hintVal, hintN)
 	case ProtoICMP:
-		defects |= p.parseICMP(a, body, alias)
+		defects |= p.parseICMP(a, body, alias, hintVal, hintN)
 	default:
 		defects = defects.Add(DefectIPProtocol)
 		p.Payload = view(alias, body)
@@ -269,7 +306,7 @@ func inspect(raw []byte, alias bool) (*Packet, DefectSet) {
 	return p, defects
 }
 
-func (p *Packet) parseTCP(a *parseAlloc, body []byte, alias bool) DefectSet {
+func (p *Packet) parseTCP(a *parseAlloc, body []byte, alias bool, hintVal uint32, hintN int) DefectSet {
 	var defects DefectSet
 	if len(body) < 20 {
 		p.Payload = view(alias, body)
@@ -296,6 +333,7 @@ func (p *Packet) parseTCP(a *parseAlloc, body []byte, alias bool) DefectSet {
 		t.Options = view(alias, body[20:off])
 	}
 	p.Payload = view(alias, body[off:])
+	p.seedPaySum(hintVal, hintN)
 
 	// Checksums cannot be verified on a first fragment: the rest of the
 	// segment is in later fragments.
@@ -311,7 +349,7 @@ func (p *Packet) parseTCP(a *parseAlloc, body []byte, alias bool) DefectSet {
 	return defects
 }
 
-func (p *Packet) parseUDP(a *parseAlloc, body []byte, alias bool) DefectSet {
+func (p *Packet) parseUDP(a *parseAlloc, body []byte, alias bool, hintVal uint32, hintN int) DefectSet {
 	var defects DefectSet
 	if len(body) < 8 {
 		p.Payload = view(alias, body)
@@ -324,6 +362,7 @@ func (p *Packet) parseUDP(a *parseAlloc, body []byte, alias bool) DefectSet {
 	u.Checksum = binary.BigEndian.Uint16(body[6:8])
 	p.UDP = u
 	p.Payload = view(alias, body[8:])
+	p.seedPaySum(hintVal, hintN)
 	if p.IP.MoreFragments() {
 		// Length and checksum describe the full datagram; they cannot be
 		// judged from a first fragment alone.
@@ -344,7 +383,7 @@ func (p *Packet) parseUDP(a *parseAlloc, body []byte, alias bool) DefectSet {
 	return defects
 }
 
-func (p *Packet) parseICMP(a *parseAlloc, body []byte, alias bool) DefectSet {
+func (p *Packet) parseICMP(a *parseAlloc, body []byte, alias bool, hintVal uint32, hintN int) DefectSet {
 	var defects DefectSet
 	if len(body) < 8 {
 		p.Payload = view(alias, body)
@@ -357,6 +396,7 @@ func (p *Packet) parseICMP(a *parseAlloc, body []byte, alias bool) DefectSet {
 	ic.Rest = binary.BigEndian.Uint32(body[4:8])
 	p.ICMP = ic
 	p.Payload = view(alias, body[8:])
+	p.seedPaySum(hintVal, hintN)
 	if ic.checksumWith(p.Payload, &p.paySum) != ic.Checksum {
 		// ICMP checksum errors are folded into the generic truncation
 		// defect bucket; no middlebox in the study keyed on them.

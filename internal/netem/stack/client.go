@@ -17,6 +17,7 @@ type ClientHost struct {
 	Addr  packet.Addr
 
 	flows map[packet.FlowKey]flowSink
+	arena *packet.Arena
 	ipid  uint16
 	// ICMP receives ICMP messages addressed to the host (time-exceeded
 	// from TTL probes, protocol-unreachable from inert packets).
@@ -36,13 +37,21 @@ func (h *ClientHost) Send(raw []byte) {
 	h.Env.FromClient(raw)
 }
 
+// SendFrame puts an already-built frame on the wire from the client end,
+// preserving frame-carried metadata (payload-sum hint) that the raw-bytes
+// path cannot.
+func (h *ClientHost) SendFrame(f *packet.Frame) {
+	h.BytesOut += int64(f.Len())
+	h.Env.FromClientFrame(f)
+}
+
 type flowSink interface {
 	deliver(p *packet.Packet, defects packet.DefectSet)
 }
 
 // NewClientHost wires a client host to env's client end.
 func NewClientHost(env *netem.Env) *ClientHost {
-	h := &ClientHost{Env: env, Clock: env.Clock, Addr: env.ClientAddr, flows: make(map[packet.FlowKey]flowSink)}
+	h := &ClientHost{Env: env, Clock: env.Clock, Addr: env.ClientAddr, flows: make(map[packet.FlowKey]flowSink), arena: env.Arena()}
 	env.SetClient(h)
 	return h
 }
@@ -129,8 +138,9 @@ type TCPClient struct {
 const DefaultRTO = 250 * time.Millisecond
 
 // armRetransmit schedules a retransmission check for a data segment whose
-// payload ends at seqEnd.
-func (c *TCPClient) armRetransmit(raw []byte, seqEnd uint32, tries int) {
+// payload ends at seqEnd. Retransmission re-forwards the same immutable
+// frame.
+func (c *TCPClient) armRetransmit(fr *packet.Frame, seqEnd uint32, tries int) {
 	if c.RTO <= 0 {
 		return
 	}
@@ -149,8 +159,8 @@ func (c *TCPClient) armRetransmit(raw []byte, seqEnd uint32, tries int) {
 			return
 		}
 		c.Retransmissions++
-		c.host.Send(raw)
-		c.armRetransmit(raw, seqEnd, tries+1)
+		c.host.SendFrame(fr)
+		c.armRetransmit(fr, seqEnd, tries+1)
 	})
 }
 
@@ -189,11 +199,11 @@ func (c *TCPClient) RcvNxt() uint32 { return c.rcvNxt }
 
 // Connect sends the SYN.
 func (c *TCPClient) Connect() {
-	syn := packet.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, c.iss, 0, packet.FlagSYN, nil)
+	syn := c.host.arena.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, c.iss, 0, packet.FlagSYN, nil)
 	syn.IP.ID = c.host.nextIPID()
 	syn.Finalize()
 	c.sndNxt = c.iss + 1
-	c.host.Send(syn.Serialize())
+	c.host.SendFrame(c.host.arena.FrameOf(syn))
 }
 
 func (c *TCPClient) deliver(p *packet.Packet, defects packet.DefectSet) {
@@ -218,10 +228,10 @@ func (c *TCPClient) deliver(p *packet.Packet, defects packet.DefectSet) {
 	if t.Flags.Has(packet.FlagSYN) && t.Flags.Has(packet.FlagACK) && !c.established {
 		c.rcvNxt = t.Seq + 1
 		c.established = true
-		ack := packet.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, c.sndNxt, c.rcvNxt, packet.FlagACK, nil)
+		ack := c.host.arena.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, c.sndNxt, c.rcvNxt, packet.FlagACK, nil)
 		ack.IP.ID = c.host.nextIPID()
 		ack.Finalize()
-		c.host.Send(ack.Serialize())
+		c.host.SendFrame(c.host.arena.FrameOf(ack))
 		if c.OnConnected != nil {
 			c.OnConnected()
 		}
@@ -274,10 +284,10 @@ func (c *TCPClient) deliverData(data []byte) {
 }
 
 func (c *TCPClient) sendACK() {
-	ack := packet.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, c.sndNxt, c.rcvNxt, packet.FlagACK, nil)
+	ack := c.host.arena.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, c.sndNxt, c.rcvNxt, packet.FlagACK, nil)
 	ack.IP.ID = c.host.nextIPID()
 	ack.Finalize()
-	c.host.Send(ack.Serialize())
+	c.host.SendFrame(c.host.arena.FrameOf(ack))
 }
 
 func (c *TCPClient) closeWith(reason string) {
@@ -303,7 +313,7 @@ func (c *TCPClient) Send(data []byte) {
 		if end > len(data) {
 			end = len(data)
 		}
-		seg := packet.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, data[off:end])
+		seg := c.host.arena.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, data[off:end])
 		seg.IP.ID = c.host.nextIPID()
 		seg.Finalize()
 		seq += uint32(end - off)
@@ -324,33 +334,57 @@ func (c *TCPClient) Send(data []byte) {
 // SendRaw emits an arbitrary crafted packet immediately, bypassing the
 // transform (used by probes and handshake-adjacent injections).
 func (c *TCPClient) SendRaw(p *packet.Packet) {
-	c.host.Send(p.Serialize())
+	c.host.SendFrame(c.host.arena.FrameOf(p))
 }
 
 // Host returns the owning host (for IP ID allocation in techniques).
 func (c *TCPClient) Host() *ClientHost { return c.host }
+
+// emitItem is one wire emission inside a scheduled run.
+type emitItem struct {
+	fr              *packet.Frame
+	seqEnd          uint32
+	retransmittable bool
+}
 
 func (c *TCPClient) emit(sched []Scheduled) {
 	at := c.host.Clock.Now()
 	if c.sendReady.After(at) {
 		at = c.sendReady
 	}
-	for _, s := range sched {
-		at = at.Add(s.Delay)
-		raw := s.Pkt.Serialize()
-		inert := s.Inert
-		var seqEnd uint32
-		retransmittable := !inert && s.Pkt.TCP != nil && len(s.Pkt.Payload) > 0
-		if retransmittable {
-			seqEnd = s.Pkt.TCP.Seq + uint32(len(s.Pkt.Payload))
-			c.dataPacketsSent++
+	// Segments that share an emission instant (the common zero-delay
+	// burst) are grouped into one scheduled run: one event puts the whole
+	// run on the wire, and because the sends are back-to-back with no
+	// intervening schedule call, the netem layer carries them as one
+	// delivery batch per link. Retransmission timers are armed after the
+	// run so they cannot seal the batch mid-burst.
+	for i := 0; i < len(sched); {
+		at = at.Add(sched[i].Delay)
+		j := i + 1
+		for j < len(sched) && sched[j].Delay == 0 {
+			j++
+		}
+		items := make([]emitItem, 0, j-i)
+		for _, s := range sched[i:j] {
+			it := emitItem{fr: c.host.arena.FrameOf(s.Pkt)}
+			if !s.Inert && s.Pkt.TCP != nil && len(s.Pkt.Payload) > 0 {
+				it.retransmittable = true
+				it.seqEnd = s.Pkt.TCP.Seq + uint32(len(s.Pkt.Payload))
+				c.dataPacketsSent++
+			}
+			items = append(items, it)
 		}
 		c.host.Clock.ScheduleAt(at, func() {
-			c.host.Send(raw)
-			if retransmittable {
-				c.armRetransmit(raw, seqEnd, 0)
+			for _, it := range items {
+				c.host.SendFrame(it.fr)
+			}
+			for _, it := range items {
+				if it.retransmittable {
+					c.armRetransmit(it.fr, it.seqEnd, 0)
+				}
 			}
 		})
+		i = j
 	}
 	c.sendReady = at
 }
@@ -358,16 +392,16 @@ func (c *TCPClient) emit(sched []Scheduled) {
 // CloseFIN sends a FIN at the current sequence position after the last
 // scheduled emission has drained.
 func (c *TCPClient) CloseFIN() {
-	fin := packet.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, c.sndNxt, c.rcvNxt, packet.FlagACK|packet.FlagFIN, nil)
+	fin := c.host.arena.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, c.sndNxt, c.rcvNxt, packet.FlagACK|packet.FlagFIN, nil)
 	fin.IP.ID = c.host.nextIPID()
 	fin.Finalize()
 	c.sndNxt++
-	raw := fin.Serialize()
+	fr := c.host.arena.FrameOf(fin)
 	at := c.host.Clock.Now()
 	if c.sendReady.After(at) {
 		at = c.sendReady
 	}
-	c.host.Clock.ScheduleAt(at, func() { c.host.Send(raw) })
+	c.host.Clock.ScheduleAt(at, func() { c.host.SendFrame(fr) })
 }
 
 // UDPClient is one client-side UDP flow.
@@ -421,7 +455,7 @@ func (c *UDPClient) Send(data []byte) {
 		if end > len(data) {
 			end = len(data)
 		}
-		p := packet.NewUDP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, data[off:end])
+		p := c.host.arena.NewUDP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, data[off:end])
 		p.IP.ID = c.host.nextIPID()
 		p.Finalize()
 		pkts = append(pkts, p)
@@ -440,13 +474,26 @@ func (c *UDPClient) Send(data []byte) {
 	if c.sendReady.After(at) {
 		at = c.sendReady
 	}
-	for _, s := range sched {
-		at = at.Add(s.Delay)
-		raw := s.Pkt.Serialize()
-		c.host.Clock.ScheduleAt(at, func() { c.host.Send(raw) })
-		if !s.Inert && s.Pkt.UDP != nil {
-			c.dataPacketsSent++
+	// Same-instant datagrams ride one scheduled run (see TCPClient.emit).
+	for i := 0; i < len(sched); {
+		at = at.Add(sched[i].Delay)
+		j := i + 1
+		for j < len(sched) && sched[j].Delay == 0 {
+			j++
 		}
+		raws := make([][]byte, 0, j-i)
+		for _, s := range sched[i:j] {
+			raws = append(raws, c.host.arena.Wire(s.Pkt))
+			if !s.Inert && s.Pkt.UDP != nil {
+				c.dataPacketsSent++
+			}
+		}
+		c.host.Clock.ScheduleAt(at, func() {
+			for _, raw := range raws {
+				c.host.Send(raw)
+			}
+		})
+		i = j
 	}
 	c.sendReady = at
 }

@@ -48,6 +48,7 @@ type Server struct {
 
 	conns map[packet.FlowKey]*ServerConn
 	reasm *packet.Reassembler
+	arena *packet.Arena
 
 	// RTO enables data retransmission when positive (see TCPClient.RTO).
 	RTO time.Duration
@@ -78,6 +79,7 @@ func NewServer(env *netem.Env, os OSProfile) *Server {
 		datagramApps: make(map[uint16]DatagramHandler),
 		conns:        make(map[packet.FlowKey]*ServerConn),
 		reasm:        packet.NewReassembler(),
+		arena:        env.Arena(),
 	}
 	env.SetServer(s)
 	return s
@@ -143,10 +145,10 @@ func (s *Server) nextIPID() uint16 {
 }
 
 func (s *Server) sendRST(p *packet.Packet) {
-	rst := packet.NewTCP(s.Addr, p.IP.Src, p.TCP.DstPort, p.TCP.SrcPort, p.TCP.Ack, p.TCP.Seq, packet.FlagRST|packet.FlagACK, nil)
+	rst := s.arena.NewTCP(s.Addr, p.IP.Src, p.TCP.DstPort, p.TCP.SrcPort, p.TCP.Ack, p.TCP.Seq, packet.FlagRST|packet.FlagACK, nil)
 	rst.IP.ID = s.nextIPID()
 	rst.Finalize()
-	s.Env.FromServer(rst.Serialize())
+	s.Env.FromServerFrame(s.arena.FrameOf(rst))
 }
 
 func (s *Server) handleTCP(p *packet.Packet, defects packet.DefectSet) {
@@ -167,11 +169,11 @@ func (s *Server) handleTCP(p *packet.Packet, defects packet.DefectSet) {
 			ooo: make(map[uint32][]byte),
 		}
 		s.conns[key] = conn
-		synack := packet.NewTCP(s.Addr, conn.Src, conn.DstPort, conn.SrcPort, conn.sndNxt, conn.rcvNxt, packet.FlagSYN|packet.FlagACK, nil)
+		synack := s.arena.NewTCP(s.Addr, conn.Src, conn.DstPort, conn.SrcPort, conn.sndNxt, conn.rcvNxt, packet.FlagSYN|packet.FlagACK, nil)
 		synack.IP.ID = s.nextIPID()
 		synack.Finalize()
 		conn.sndNxt++
-		s.Env.FromServer(synack.Serialize())
+		s.Env.FromServerFrame(s.arena.FrameOf(synack))
 		return
 	}
 	if conn == nil || conn.closed {
@@ -228,10 +230,10 @@ func (s *Server) SendDatagram(dst packet.Addr, srcPort, dstPort uint16, data []b
 		if end > len(data) {
 			end = len(data)
 		}
-		p := packet.NewUDP(s.Addr, dst, srcPort, dstPort, data[off:end])
+		p := s.arena.NewUDP(s.Addr, dst, srcPort, dstPort, data[off:end])
 		p.IP.ID = s.nextIPID()
 		p.Finalize()
-		s.Env.FromServer(p.Serialize())
+		s.Env.FromServerFrame(s.arena.FrameOf(p))
 		if len(data) == 0 {
 			break
 		}
@@ -334,10 +336,10 @@ func (c *ServerConn) deliver(data []byte) {
 }
 
 func (c *ServerConn) sendACK() {
-	ack := packet.NewTCP(c.srv.Addr, c.Src, c.DstPort, c.SrcPort, c.sndNxt, c.rcvNxt, packet.FlagACK, nil)
+	ack := c.srv.arena.NewTCP(c.srv.Addr, c.Src, c.DstPort, c.SrcPort, c.sndNxt, c.rcvNxt, packet.FlagACK, nil)
 	ack.IP.ID = c.srv.nextIPID()
 	ack.Finalize()
-	c.srv.Env.FromServer(ack.Serialize())
+	c.srv.Env.FromServerFrame(c.srv.arena.FrameOf(ack))
 }
 
 // Send writes application data onto the connection, segmented at MSS and
@@ -350,7 +352,7 @@ func (c *ServerConn) Send(data []byte) {
 		if end > len(data) {
 			end = len(data)
 		}
-		seg := packet.NewTCP(c.srv.Addr, c.Src, c.DstPort, c.SrcPort, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, data[off:end])
+		seg := c.srv.arena.NewTCP(c.srv.Addr, c.Src, c.DstPort, c.SrcPort, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, data[off:end])
 		seg.IP.ID = c.srv.nextIPID()
 		seg.Finalize()
 		seq += uint32(end - off)
@@ -358,10 +360,18 @@ func (c *ServerConn) Send(data []byte) {
 	}
 	if c.Transform == nil {
 		c.sndNxt = seq
-		for _, p := range pkts {
-			raw := p.Serialize()
-			c.srv.Env.FromServer(raw)
-			c.armRetransmit(raw, p.TCP.Seq+uint32(len(p.Payload)), 0)
+		// Put the whole burst on the wire first, then arm retransmission
+		// timers: with no schedule call between sends, the netem layer
+		// carries the burst as one delivery batch per link. Sending frames
+		// (not raw bytes) lets each carry its payload-sum hint, and a
+		// retransmission re-forwards the same immutable frame.
+		frames := make([]*packet.Frame, len(pkts))
+		for i, p := range pkts {
+			frames[i] = c.srv.arena.FrameOf(p)
+			c.srv.Env.FromServerFrame(frames[i])
+		}
+		for i, p := range pkts {
+			c.armRetransmit(frames[i], p.TCP.Seq+uint32(len(p.Payload)), 0)
 		}
 		return
 	}
@@ -378,19 +388,34 @@ func (c *ServerConn) Send(data []byte) {
 	if c.sendReady.After(at) {
 		at = c.sendReady
 	}
-	for _, s := range sched {
-		at = at.Add(s.Delay)
-		raw := s.Pkt.Serialize()
-		c.srv.Clock.ScheduleAt(at, func() { c.srv.Env.FromServer(raw) })
-		if !s.Inert && s.Pkt.TCP != nil && len(s.Pkt.Payload) > 0 {
-			c.dataPacketsSent++
+	// Same-instant transformed segments ride one scheduled run, mirroring
+	// the client emit path.
+	for i := 0; i < len(sched); {
+		at = at.Add(sched[i].Delay)
+		j := i + 1
+		for j < len(sched) && sched[j].Delay == 0 {
+			j++
 		}
+		frames := make([]*packet.Frame, 0, j-i)
+		for _, s := range sched[i:j] {
+			frames = append(frames, c.srv.arena.FrameOf(s.Pkt))
+			if !s.Inert && s.Pkt.TCP != nil && len(s.Pkt.Payload) > 0 {
+				c.dataPacketsSent++
+			}
+		}
+		c.srv.Clock.ScheduleAt(at, func() {
+			for _, fr := range frames {
+				c.srv.Env.FromServerFrame(fr)
+			}
+		})
+		i = j
 	}
 	c.sendReady = at
 }
 
 // armRetransmit schedules a retransmission check for a data segment.
-func (c *ServerConn) armRetransmit(raw []byte, seqEnd uint32, tries int) {
+// Retransmission re-forwards the same immutable frame.
+func (c *ServerConn) armRetransmit(fr *packet.Frame, seqEnd uint32, tries int) {
 	if c.srv.RTO <= 0 {
 		return
 	}
@@ -405,17 +430,17 @@ func (c *ServerConn) armRetransmit(raw []byte, seqEnd uint32, tries int) {
 			return // acknowledged
 		}
 		c.srv.Retransmissions++
-		c.srv.Env.FromServer(raw)
-		c.armRetransmit(raw, seqEnd, tries+1)
+		c.srv.Env.FromServerFrame(fr)
+		c.armRetransmit(fr, seqEnd, tries+1)
 	})
 }
 
 // Close sends a FIN.
 func (c *ServerConn) Close() {
-	fin := packet.NewTCP(c.srv.Addr, c.Src, c.DstPort, c.SrcPort, c.sndNxt, c.rcvNxt, packet.FlagACK|packet.FlagFIN, nil)
+	fin := c.srv.arena.NewTCP(c.srv.Addr, c.Src, c.DstPort, c.SrcPort, c.sndNxt, c.rcvNxt, packet.FlagACK|packet.FlagFIN, nil)
 	fin.IP.ID = c.srv.nextIPID()
 	fin.Finalize()
 	c.sndNxt++
-	c.srv.Env.FromServer(fin.Serialize())
+	c.srv.Env.FromServerFrame(c.srv.arena.FrameOf(fin))
 	c.close("local-fin")
 }

@@ -48,9 +48,15 @@ func (a heapNode) before(b heapNode) bool {
 	return a.seq < b.seq
 }
 
-// eventQueue is a hand-rolled binary min-heap ordered by (at, seq);
+// eventQueue is a hand-rolled 4-ary min-heap ordered by (at, seq);
 // container/heap's interface dispatch in Less/Swap dominated simulation
-// profiles.
+// profiles, and a branching factor of 4 halves the sift-down depth of a
+// binary heap, which matters because pop (sift-down) runs once per
+// simulated event. Heap shape does not affect output: before() is a
+// total order ((at, seq) pairs are unique), so any min-heap pops events
+// in the identical deterministic sequence.
+const heapArity = 4
+
 type eventQueue []heapNode
 
 func (q *eventQueue) push(n heapNode) {
@@ -58,7 +64,7 @@ func (q *eventQueue) push(n heapNode) {
 	s := *q
 	i := len(s) - 1
 	for i > 0 {
-		parent := (i - 1) / 2
+		parent := (i - 1) / heapArity
 		if !s[i].before(s[parent]) {
 			break
 		}
@@ -77,13 +83,20 @@ func (q *eventQueue) pop() heapNode {
 	*q = s
 	i := 0
 	for {
-		l := 2*i + 1
+		l := heapArity*i + 1
 		if l >= n {
 			break
 		}
+		// Find the smallest of up to heapArity children.
 		child := l
-		if r := l + 1; r < n && s[r].before(s[l]) {
-			child = r
+		hi := l + heapArity
+		if hi > n {
+			hi = n
+		}
+		for c := l + 1; c < hi; c++ {
+			if s[c].before(s[child]) {
+				child = c
+			}
 		}
 		if !s[child].before(s[i]) {
 			break
@@ -145,6 +158,13 @@ func (c *Clock) Now() time.Time { return Epoch.Add(time.Duration(c.now)) }
 // NowNS returns the current virtual time as integer nanoseconds since
 // Epoch — the timestamp form observability events carry.
 func (c *Clock) NowNS() int64 { return c.now }
+
+// Seq returns the insertion-order counter, which advances on every
+// schedule call. Batching callers (netem's delivery runs) use it as a
+// fence: a batch may only be extended while Seq is unchanged since the
+// batch was scheduled, which proves no other event slotted in between the
+// batched records' would-have-been queue positions.
+func (c *Clock) Seq() uint64 { return c.seq }
 
 // Since returns the virtual time elapsed since t.
 func (c *Clock) Since(t time.Time) time.Duration { return c.Now().Sub(t) }

@@ -124,8 +124,20 @@ type scriptStep struct {
 	isClient        bool
 }
 
-func buildScript(tr *trace.Trace) *tcpScript {
+// buildScript precomputes the server role's plan. The expected-stream
+// concatenation draws from the path arena (it can be megabytes for video
+// traces and is rebuilt every replay), so it follows the arena ownership
+// contract: consumed by this replay's integrity check, recycled at the
+// next replay's reset.
+func buildScript(tr *trace.Trace, ar *packet.Arena) *tcpScript {
 	s := &tcpScript{tr: tr}
+	total := 0
+	for _, m := range tr.Messages {
+		if m.Dir == trace.ClientToServer {
+			total += len(m.Data)
+		}
+	}
+	s.expected = ar.Buffer(total)
 	clientBytes := 0
 	for _, m := range tr.Messages {
 		if m.Dir == trace.ClientToServer {
@@ -222,9 +234,19 @@ func Run(opts Options) (*Result, error) {
 		osProf = *opts.ServerOS
 	}
 
+	// Recycle the previous replay's packet churn before installing fresh
+	// endpoints. Safe only at quiescence: with events still pending (an
+	// aborted horizon run), in-flight frames could outlive the reset, so
+	// the arena is left alone and that replay simply allocates fresh.
+	// By this point every consumer of the last replay's aliased bytes
+	// (judgeReach over Result.ServerArrivals) has already run.
+	if clock.Pending() == 0 {
+		net.Env.ResetArena()
+	}
+
 	srv := stack.NewServer(net.Env, osProf)
 	host := stack.NewClientHost(net.Env)
-	script := buildScript(tr)
+	script := buildScript(tr, net.Env.Arena())
 
 	res := &Result{CounterDelta: -1}
 	var counterBefore int64
@@ -332,8 +354,16 @@ func runTCP(opts Options, srv *stack.Server, host *stack.ClientHost, script *tcp
 	}
 	res.FlowKey = packet.FlowKey{Proto: packet.ProtoTCP, Src: host.Addr, Dst: opts.Net.Env.ServerAddr, SrcPort: clientPort, DstPort: serverPort}
 
-	// Expected server→client stream.
-	var expectS2C []byte
+	// Expected server→client stream, concatenated into the path arena
+	// (rebuilt per replay, consumed by this replay's integrity check).
+	ar := opts.Net.Env.Arena()
+	totalS2C := 0
+	for _, m := range tr.Messages {
+		if m.Dir == trace.ServerToClient {
+			totalS2C += len(m.Data)
+		}
+	}
+	expectS2C := ar.Buffer(totalS2C)
 	for _, m := range tr.Messages {
 		if m.Dir == trace.ServerToClient {
 			expectS2C = append(expectS2C, m.Data...)
@@ -341,8 +371,10 @@ func runTCP(opts Options, srv *stack.Server, host *stack.ClientHost, script *tcp
 	}
 	// Size the receive buffer to the expected stream up front: repeated
 	// append-growth while a multi-megabyte replay trickles in segment by
-	// segment otherwise dominates the allocation profile.
-	cli.Received = make([]byte, 0, len(expectS2C))
+	// segment otherwise dominates the allocation profile. The buffer is
+	// arena-owned; everything read out of it is copied or consumed before
+	// the next replay resets the arena.
+	cli.Received = ar.Buffer(len(expectS2C))
 
 	// The client sends its i-th message once it has received all server
 	// bytes scripted before it.

@@ -64,6 +64,19 @@ func (t *Trace) Clone() *Trace {
 	return &c
 }
 
+// ShallowClone returns a copy sharing every message payload with the
+// original. The copy's Messages slice is private — callers may insert,
+// drop, or re-slice messages freely — but payload bytes are shared and
+// must be treated as immutable; copy a message's Data before mutating
+// it. Probe builders that reshape a multi-megabyte trace dozens of times
+// per engagement use this instead of Clone to avoid copying payloads
+// they never touch.
+func (t *Trace) ShallowClone() *Trace {
+	c := *t
+	c.Messages = append([]Message(nil), t.Messages...)
+	return &c
+}
+
 // Invert returns a copy with every payload bit inverted — the paper's
 // control traffic. Bit inversion is an involution (Invert∘Invert = id) and
 // deterministically removes every byte pattern from the payload.
