@@ -123,6 +123,10 @@ func DefaultEngage(ctx context.Context, e Engagement, osp *stack.OSProfile) (*co
 		net.Clock.RunFor(time.Duration(e.Hour) * time.Hour)
 	}
 	rep := (&core.Liberate{Net: net, Trace: tr, ServerOS: osp}).Run()
+	// The report carries only verdicts and closures over caller-supplied
+	// results — nothing aliasing pooled storage — so the dead network's
+	// arena and flow records can rejoin the process-wide pools here.
+	defer net.Release()
 	if rep.Deployed != nil {
 		// The deployed technique must be constructible at this seed —
 		// a nil transform here would strand live traffic.

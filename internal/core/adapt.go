@@ -55,7 +55,7 @@ func (m *Monitor) Check() bool {
 	if m.Report.Characterization.ResidualBlocking {
 		s.RotatePorts = true
 	}
-	probe := trimTrace(padTrace(m.Trace, m.Report.Detection.ProbeBytes), m.Report.Detection.ProbeBytes)
+	probe := s.trimmedProbe(m.Trace, m.Report.Detection.ProbeBytes)
 	res := s.Replay(probe, m.Transform())
 	return !m.Report.Detection.Classified(res) && res.IntegrityOK
 }
@@ -181,7 +181,7 @@ func DeployFromCache(net *dpi.Network, tr *trace.Trace, e *CacheEntry, seed int6
 	}
 	ap := tech.Build(params)
 	s := NewSession(net)
-	probe := trimTrace(padTrace(tr, e.ProbeBytes), e.ProbeBytes)
+	probe := s.trimmedProbe(tr, e.ProbeBytes)
 	rtr := probe
 	if ap.Rewrite != nil {
 		rtr = ap.Rewrite(probe)

@@ -74,7 +74,7 @@ func Characterize(s *Session, tr *trace.Trace, det *Detection) *Characterization
 		s.verdict("characterize", label, int64(len(c.Fields)), int64(c.MiddleboxTTL))
 	}()
 
-	probe := trimTrace(padTrace(tr, det.ProbeBytes), det.ProbeBytes)
+	probe := s.trimmedProbe(tr, det.ProbeBytes)
 	// On robust sessions every "not classified" reading — the decisions the
 	// bisection below is built on — is re-verified one-sidedly before it is
 	// believed; clean sessions keep the single-replay oracle.

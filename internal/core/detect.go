@@ -103,7 +103,7 @@ func detectClean(s *Session, tr *trace.Trace) *Detection {
 
 	sizes := []int{tr.TotalBytes(), 200 << 10, 1 << 20}
 	for _, size := range sizes {
-		probe := padTrace(tr, size)
+		probe := s.paddedProbe(tr, size)
 		// Controls run before the second exposure so that networks with
 		// stateful residual blocking (the GFC's server:port blacklist)
 		// cannot contaminate them.
@@ -224,7 +224,7 @@ func detectRobust(s *Session, tr *trace.Trace) *Detection {
 
 	sizes := []int{tr.TotalBytes(), 200 << 10, 1 << 20}
 	for _, size := range sizes {
-		probe := padTrace(tr, size)
+		probe := s.paddedProbe(tr, size)
 
 		// Interleaved trials: each pair replays the original, then its
 		// bit-inverted control.

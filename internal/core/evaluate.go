@@ -156,7 +156,7 @@ func evaluate(s *Session, tr *trace.Trace, det *Detection, char *Characterizatio
 	if !det.Differentiated {
 		return ev
 	}
-	probe := trimTrace(padTrace(tr, det.ProbeBytes), det.ProbeBytes)
+	probe := s.trimmedProbe(tr, det.ProbeBytes)
 
 	suite := Taxonomy()
 	// Pruning: a classifier that inspects every packet cannot be poisoned
@@ -429,7 +429,7 @@ func judgeReach(t Technique, ap *Applied, res *replay.Result) ReachState {
 			}
 		}
 		for _, arr := range res.ServerArrivals {
-			p, _ := packet.Inspect(arr.Raw)
+			p, _ := packet.InspectView(arr.Raw)
 			for _, inert := range ap.InertPayloads {
 				if bytes.Equal(p.Payload, inert) {
 					return ReachYes
@@ -456,7 +456,7 @@ func judgeReach(t Technique, ap *Applied, res *replay.Result) ReachState {
 		// version (note 2)?
 		if t.ID == "ip-fragment" || t.ID == "ip-fragment-reorder" {
 			for _, arr := range res.ServerArrivals {
-				p, _ := packet.Inspect(arr.Raw)
+				p, _ := packet.InspectView(arr.Raw)
 				if p.IP.FragOffset != 0 || p.IP.MoreFragments() {
 					return ReachYes
 				}

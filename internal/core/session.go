@@ -53,6 +53,13 @@ type Session struct {
 	// single-goroutine, so a plain map suffices.
 	invCache map[*trace.Trace]*trace.Trace
 
+	// probeCache memoizes padTrace/trimTrace probe construction per
+	// (source trace, byte budget). Beyond skipping the (up to megabyte)
+	// pad fill, a stable probe pointer is what makes invCache effective:
+	// detection, characterization, and evaluation all rebuild the same
+	// probe, and a fresh pointer each time would force a fresh Invert.
+	probeCache map[probeKey]*trace.Trace
+
 	// Accounting.
 	Rounds    int
 	BytesUsed int64
@@ -72,6 +79,41 @@ func (s *Session) inverted(tr *trace.Trace) *trace.Trace {
 	inv := tr.Invert()
 	s.invCache[tr] = inv
 	return inv
+}
+
+// probeKey identifies one probe build: pad tr to at least min bytes and,
+// when trim is set, cap the final server message at min bytes.
+type probeKey struct {
+	tr   *trace.Trace
+	min  int
+	trim bool
+}
+
+// paddedProbe returns padTrace(tr, minBytes), cached per session. Probes
+// are shared and immutable, like every trace in the library.
+func (s *Session) paddedProbe(tr *trace.Trace, minBytes int) *trace.Trace {
+	return s.probeFor(probeKey{tr: tr, min: minBytes})
+}
+
+// trimmedProbe returns trimTrace(padTrace(tr, n), n), cached per session —
+// the standard fixed-budget probe every phase after detection replays.
+func (s *Session) trimmedProbe(tr *trace.Trace, n int) *trace.Trace {
+	return s.probeFor(probeKey{tr: tr, min: n, trim: true})
+}
+
+func (s *Session) probeFor(k probeKey) *trace.Trace {
+	if p, ok := s.probeCache[k]; ok {
+		return p
+	}
+	if s.probeCache == nil {
+		s.probeCache = make(map[probeKey]*trace.Trace)
+	}
+	p := padTrace(k.tr, k.min)
+	if k.trim {
+		p = trimTrace(p, k.min)
+	}
+	s.probeCache[k] = p
+	return p
 }
 
 // Initial port-counter bases. They double as wrap floors: if an
@@ -286,16 +328,35 @@ func padTrace(tr *trace.Trace, minBytes int) *trace.Trace {
 			// The grown message gets a private buffer: appending to the
 			// shared payload could scribble on the original's spare capacity.
 			old := c.Messages[i].Data
-			grown := make([]byte, len(old), len(old)+(minBytes-total))
+			grown := make([]byte, len(old)+(minBytes-total))
 			copy(grown, old)
-			for j := 0; j < minBytes-total; j++ {
-				grown = append(grown, byte(0x80|(j%97)))
-			}
+			fillPad(grown[len(old):])
 			c.Messages[i].Data = grown
+			c.Messages[i].Precompute()
 			return c
 		}
 	}
 	return c
+}
+
+// fillPad writes the padding pattern byte(0x80|(j%97)) into dst, j counted
+// from dst's start. One period is written bytewise, then copy-doubled —
+// bit-identical to the per-byte loop without the per-byte modulo.
+func fillPad(dst []byte) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	period := 97
+	if period > n {
+		period = n
+	}
+	for j := 0; j < period; j++ {
+		dst[j] = byte(0x80 | (j % 97))
+	}
+	for w := period; w < n; w *= 2 {
+		copy(dst[w:], dst[:w])
+	}
 }
 
 // trimTrace shrinks server messages so probe replays stay cheap: the final

@@ -56,11 +56,7 @@ func (u *UsageCounter) Process(ctx netem.Context, dir netem.Direction, f *packet
 		u.start = ctx.Now()
 	}
 	p, _ := f.Parse()
-	key := p.Flow()
-	if dir == netem.ToClient {
-		key = key.Reverse()
-	}
-	if u.MB == nil || !u.MB.IsZeroRated(key) {
+	if u.MB == nil || !u.MB.isZeroRatedPacket(p) {
 		u.bytes += int64(f.Len())
 	}
 	ctx.Forward(f)

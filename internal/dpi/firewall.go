@@ -73,11 +73,7 @@ func (f *StatefulFirewall) track(dir netem.Direction, p *packet.Packet) bool {
 	if f.seq == nil {
 		f.seq = make(map[packet.FlowKey]*fwFlow)
 	}
-	key := p.Flow()
-	if dir == netem.ToClient {
-		key = key.Reverse()
-	}
-	ck, _ := key.Canonical()
+	ck, _ := p.CanonicalFlow()
 	st := f.seq[ck]
 	if st == nil {
 		st = &fwFlow{}

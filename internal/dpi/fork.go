@@ -59,5 +59,8 @@ func (n *Network) Release() {
 	if n.MB != nil {
 		n.MB.Release()
 	}
+	if n.Proxy != nil {
+		n.Proxy.Release()
+	}
 	n.Env.Release()
 }

@@ -31,6 +31,10 @@ type Middlebox struct {
 	// per-rule scan). Built once at construction, shared read-only across
 	// ForkElement copies; never part of Cfg (Fingerprint hashes Cfg).
 	prog *ruleProgram
+	// bufFree holds stream buffers reclaimed from flows compacted at
+	// quiescence, for reuse by new flow records on this instance. Local,
+	// never shared with forks (ForkElement builds a fresh struct).
+	bufFree [][]byte
 	// flowFree recycles evicted flow records (and their stream buffers)
 	// so steady-state flow churn allocates nothing.
 	flowFree []*mbFlow
@@ -57,6 +61,8 @@ type mbFlow struct {
 	// (Faults.MissRate): state is tracked but never inspected.
 	missed   bool
 	class    string
+	zeroRate bool // memoized Policies[class].ZeroRate (valid when zrSet)
+	zrSet    bool
 	lastSeen time.Time
 	timeout  time.Duration // effective idle timeout (0 = config default)
 
@@ -164,11 +170,17 @@ func (m *Middlebox) ForkElement() netem.Element {
 	return c
 }
 
-// clone deep-copies one flow record.
+// clone deep-copies one flow record into a pooled record, reusing the
+// recycled record's stream capacity. Trial forks clone every live flow,
+// so fork cost is dominated by these copies; drawing from the pool turns
+// the per-fork buffer allocations into plain memmoves.
 func (f *mbFlow) clone() *mbFlow {
-	c := *f
+	c := mbFlowPool.Get().(*mbFlow)
+	s0, s1 := c.stream[0][:0], c.stream[1][:0]
+	*c = *f
+	c.stream[0] = append(s0, f.stream[0]...)
+	c.stream[1] = append(s1, f.stream[1]...)
 	for di := 0; di < 2; di++ {
-		c.stream[di] = append([]byte(nil), f.stream[di]...)
 		if f.ooo[di] != nil {
 			c.ooo[di] = make(map[uint32][]byte, len(f.ooo[di]))
 			for seq, data := range f.ooo[di] {
@@ -176,7 +188,7 @@ func (f *mbFlow) clone() *mbFlow {
 			}
 		}
 	}
-	return &c
+	return c
 }
 
 // FlowClass reports the current classification of the flow with the given
@@ -194,11 +206,28 @@ func (m *Middlebox) FlowClass(clientKey packet.FlowKey) string {
 // zero-rated class; the subscriber usage counter consults this.
 func (m *Middlebox) IsZeroRated(key packet.FlowKey) bool {
 	ck, _ := key.Canonical()
+	return m.zeroRatedCanonical(ck)
+}
+
+// isZeroRatedPacket is IsZeroRated keyed by the packet's memoized
+// canonical flow (the usage counter's per-packet path).
+func (m *Middlebox) isZeroRatedPacket(p *packet.Packet) bool {
+	ck, _ := p.CanonicalFlow()
+	return m.zeroRatedCanonical(ck)
+}
+
+func (m *Middlebox) zeroRatedCanonical(ck packet.FlowKey) bool {
 	f, ok := m.flows[ck]
 	if !ok || f.class == "" {
 		return false
 	}
-	return m.Cfg.Policies[f.class].ZeroRate
+	if !f.zrSet {
+		// The policy-map lookup hashes a string; once a flow is
+		// classified its policy never changes, so memoize per flow.
+		f.zeroRate = m.Cfg.Policies[f.class].ZeroRate
+		f.zrSet = true
+	}
+	return f.zeroRate
 }
 
 // Process implements netem.Element.
@@ -555,7 +584,7 @@ func (m *Middlebox) clientKey(dir netem.Direction, p *packet.Packet) packet.Flow
 // flowFor fetches or creates flow state, applying idle/load eviction.
 func (m *Middlebox) flowFor(ctx netem.Context, dir netem.Direction, p *packet.Packet) *mbFlow {
 	clientKey := m.clientKey(dir, p)
-	ck, _ := clientKey.Canonical()
+	ck, _ := p.CanonicalFlow()
 	now := ctx.Now()
 	f, ok := m.flows[ck]
 	if ok {
@@ -595,6 +624,33 @@ func (m *Middlebox) flowFor(ctx netem.Context, dir netem.Direction, p *packet.Pa
 		return nf
 	}
 	return f
+}
+
+// Quiesce implements netem.Quiescer: with the path idle every flow is
+// finished, so reassembly scratch compacts away. Classification verdicts,
+// gate state, and automaton positions survive — ground truth stays
+// queryable — while fork clones and stream appends stop paying for dead
+// connection history.
+func (m *Middlebox) Quiesce() {
+	for _, f := range m.flows {
+		m.compactFlow(f)
+	}
+}
+
+// compactFlow sheds a dead flow's reassembly buffers into the local free
+// list. Emptying the stream requires resetting fed (bytes of stream
+// already fed to the rule automaton) to keep its invariant fed ≤
+// len(stream); acState and kwHits keep the automaton's verdict-relevant
+// position.
+func (m *Middlebox) compactFlow(f *mbFlow) {
+	for di := 0; di < 2; di++ {
+		if c := f.stream[di]; cap(c) > 0 {
+			m.bufFree = append(m.bufFree, c[:0])
+		}
+		f.stream[di] = nil
+		f.ooo[di] = nil
+		f.fed[di] = 0
+	}
 }
 
 // clearFlow resets a flow record for reuse. Stream buffer capacity is
@@ -647,6 +703,13 @@ func (m *Middlebox) newFlowRecord(ctx netem.Context, clientKey packet.FlowKey, s
 		m.flowFree = m.flowFree[:n-1]
 	} else {
 		f = mbFlowPool.Get().(*mbFlow)
+	}
+	for di := 0; di < 2; di++ {
+		if n := len(m.bufFree); cap(f.stream[di]) == 0 && n > 0 {
+			f.stream[di] = m.bufFree[n-1]
+			m.bufFree[n-1] = nil
+			m.bufFree = m.bufFree[:n-1]
+		}
 	}
 	f.clientKey = clientKey
 	f.sawSYN = sawSYN
@@ -896,7 +959,7 @@ func (m *Middlebox) enforceBlacklist(ctx netem.Context, dir netem.Direction, p *
 func (m *Middlebox) forward(ctx netem.Context, dir netem.Direction, p *packet.Packet, f *packet.Frame) {
 	class := ""
 	if m.Cfg.Mode != InspectPerPacket {
-		ck, _ := m.clientKey(dir, p).Canonical()
+		ck, _ := p.CanonicalFlow()
 		if fl, ok := m.flows[ck]; ok {
 			class = fl.class
 		}

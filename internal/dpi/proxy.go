@@ -1,6 +1,7 @@
 package dpi
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/netem"
@@ -31,6 +32,13 @@ type TransparentProxy struct {
 	ThrottleBurst int
 
 	flows map[packet.FlowKey]*proxyFlow
+	// bufFree holds stream buffers reclaimed from cleanly closed flows
+	// (compactFlow) for reuse by new flows on this proxy instance. Local,
+	// never shared with forks.
+	bufFree [][]byte
+	// scratch backs MatchEither's stream concatenation so per-packet
+	// classification does not allocate. Never shared across forks.
+	scratch []byte
 }
 
 type proxyFlow struct {
@@ -40,6 +48,7 @@ type proxyFlow struct {
 	// Per direction (0 = c2s, 1 = s2c) stream state.
 	exp       [2]uint32
 	expValid  [2]bool
+	fin       [2]bool
 	forwarded [2]uint32 // stream offset already re-emitted
 	ooo       [2]map[uint32][]byte
 	stream    [2][]byte
@@ -76,6 +85,8 @@ func (x *TransparentProxy) ResetState() { x.flows = nil }
 // Ports and Rules are shared read-only configuration.
 func (x *TransparentProxy) ForkElement() netem.Element {
 	c := *x
+	c.scratch = nil // never share the match buffer with the fork
+	c.bufFree = nil // nor the reclaimed-buffer free list
 	if x.flows != nil {
 		c.flows = make(map[packet.FlowKey]*proxyFlow, len(x.flows))
 		for k, f := range x.flows {
@@ -85,15 +96,53 @@ func (x *TransparentProxy) ForkElement() netem.Element {
 	return &c
 }
 
-// clone deep-copies one proxied flow.
-func (f *proxyFlow) clone() *proxyFlow {
-	c := *f
-	c.families = make(map[Family]bool, len(f.families))
-	for k, v := range f.families {
-		c.families[k] = v
+// proxyFlowPool recycles proxied-flow records (with their grown stream
+// buffers and families maps) across proxy instances, mirroring mbFlowPool:
+// single-trial forks deep-copy every live flow, and reassembled streams
+// are the bulk of fork cost.
+var proxyFlowPool = sync.Pool{New: func() any { return new(proxyFlow) }}
+
+// clearProxyFlow resets a flow record for reuse, keeping stream capacity
+// and the (cleared) families map; out-of-order maps are dropped.
+func clearProxyFlow(f *proxyFlow) {
+	s0, s1 := f.stream[0][:0], f.stream[1][:0]
+	fam := f.families
+	*f = proxyFlow{}
+	f.stream[0], f.stream[1] = s0, s1
+	if fam != nil {
+		clear(fam)
+		f.families = fam
 	}
+}
+
+// Release returns all flow records to the process-wide pool. Legal only
+// once the proxy is dead: its trial finished and every result derived
+// from it has been read.
+func (x *TransparentProxy) Release() {
+	for _, f := range x.flows {
+		clearProxyFlow(f)
+		proxyFlowPool.Put(f)
+	}
+	clear(x.flows)
+}
+
+// clone deep-copies one proxied flow into a pooled record, reusing the
+// recycled record's stream capacity and families map.
+func (f *proxyFlow) clone() *proxyFlow {
+	c := proxyFlowPool.Get().(*proxyFlow)
+	s0, s1 := c.stream[0][:0], c.stream[1][:0]
+	fam := c.families
+	*c = *f
+	if fam == nil {
+		fam = make(map[Family]bool, len(f.families))
+	}
+	for k, v := range f.families {
+		fam[k] = v
+	}
+	c.families = fam
+	c.stream[0] = append(s0, f.stream[0]...)
+	c.stream[1] = append(s1, f.stream[1]...)
 	for di := 0; di < 2; di++ {
-		c.stream[di] = append([]byte(nil), f.stream[di]...)
 		if f.ooo[di] != nil {
 			c.ooo[di] = make(map[uint32][]byte, len(f.ooo[di]))
 			for seq, data := range f.ooo[di] {
@@ -105,7 +154,7 @@ func (f *proxyFlow) clone() *proxyFlow {
 		sh := *f.shaper
 		c.shaper = &sh
 	}
-	return &c
+	return c
 }
 
 // Process implements netem.Element.
@@ -137,12 +186,22 @@ func (x *TransparentProxy) Process(ctx netem.Context, dir netem.Direction, fr *p
 	if dir == netem.ToClient {
 		key = key.Reverse()
 	}
-	ck, _ := key.Canonical()
+	ck, _ := p.CanonicalFlow()
 	f := x.flows[ck]
 	t := p.TCP
 
 	if t.Flags.Has(packet.FlagSYN) && !t.Flags.Has(packet.FlagACK) {
-		f = &proxyFlow{families: make(map[Family]bool)}
+		f = proxyFlowPool.Get().(*proxyFlow)
+		if f.families == nil {
+			f.families = make(map[Family]bool)
+		}
+		for di := 0; di < 2; di++ {
+			if n := len(x.bufFree); f.stream[di] == nil && n > 0 {
+				f.stream[di] = x.bufFree[n-1]
+				x.bufFree[n-1] = nil
+				x.bufFree = x.bufFree[:n-1]
+			}
+		}
 		f.exp[0] = t.Seq + 1
 		f.expValid[0] = true
 		x.flows[ck] = f
@@ -174,6 +233,9 @@ func (x *TransparentProxy) Process(ctx netem.Context, dir netem.Direction, fr *p
 		x.classifyStreams(ctx, f, key, serverPort)
 		x.drain(ctx, dir, f, di, p)
 	}
+	if t.Flags.Has(packet.FlagFIN) {
+		f.fin[di] = true
+	}
 	if len(p.Payload) == 0 || t.Flags.Has(packet.FlagFIN) {
 		// Pure ACKs and FINs pass through once their sequence numbers are
 		// consistent with the normalized stream position.
@@ -181,6 +243,37 @@ func (x *TransparentProxy) Process(ctx netem.Context, dir netem.Direction, fr *p
 			ctx.Forward(fr)
 		}
 	}
+	if f.fin[0] && f.fin[1] &&
+		f.forwarded[0] == uint32(len(f.stream[0])) && f.forwarded[1] == uint32(len(f.stream[1])) {
+		x.compactFlow(f)
+	}
+}
+
+// Quiesce implements netem.Quiescer: with nothing in flight every flow
+// is dead, so all reassembly state compacts away. Classification stays —
+// FlowClass keeps answering for past flows — and the parent's flow map
+// staying compact is what keeps ForkElement cheap for trial replicas.
+func (x *TransparentProxy) Quiesce() {
+	for _, f := range x.flows {
+		x.compactFlow(f)
+	}
+}
+
+// compactFlow retires a cleanly closed flow's reassembly state, parking
+// its stream buffers on the proxy's local free list. The record stays in
+// the flow map so classification ground truth (FlowClass) remains
+// queryable, but later forks no longer deep-copy dead connection
+// history — fork cost tracks open flows, not every flow ever proxied.
+func (x *TransparentProxy) compactFlow(f *proxyFlow) {
+	for di := 0; di < 2; di++ {
+		if c := f.stream[di]; cap(c) > 0 {
+			x.bufFree = append(x.bufFree, c[:0])
+		}
+		f.stream[di] = nil
+		f.ooo[di] = nil
+		f.forwarded[di] = 0
+	}
+	f.shaper = nil
 }
 
 // ingest adds payload to the direction's reassembly, first copy wins.
@@ -276,7 +369,8 @@ func (x *TransparentProxy) classifyStreams(ctx netem.Context, f *proxyFlow, key 
 		case MatchS2C:
 			buf = f.stream[1]
 		case MatchEither:
-			buf = append(append([]byte(nil), f.stream[0]...), f.stream[1]...)
+			x.scratch = append(append(x.scratch[:0], f.stream[0]...), f.stream[1]...)
+			buf = x.scratch
 		}
 		if len(r.Keywords) > 0 && r.MatchBytes(buf) {
 			f.class = r.Class
@@ -317,7 +411,7 @@ func (x *TransparentProxy) drain(ctx netem.Context, dir netem.Direction, f *prox
 			end = avail
 		}
 		chunk := f.stream[di][off:end]
-		seg := packet.NewTCP(tmpl.IP.Src, tmpl.IP.Dst, tmpl.TCP.SrcPort, tmpl.TCP.DstPort,
+		seg := ctx.Arena().NewTCP(tmpl.IP.Src, tmpl.IP.Dst, tmpl.TCP.SrcPort, tmpl.TCP.DstPort,
 			base+off, tmpl.TCP.Ack, packet.FlagACK|packet.FlagPSH, chunk)
 		out := ctx.FrameOf(seg)
 		if f.shaper != nil && di == 1 {

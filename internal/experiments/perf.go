@@ -136,6 +136,7 @@ func RunPerf() *PerfSnapshot {
 			if res := s.Replay(replayTrace, nil); !res.Completed {
 				b.Fatal("replay failed")
 			}
+			net.Release()
 		}
 	}))
 
@@ -147,6 +148,7 @@ func RunPerf() *PerfSnapshot {
 			if rep := (&core.Liberate{Net: net, Trace: engTrace}).Run(); rep.Deployed == nil {
 				b.Fatal("no deployment")
 			}
+			net.Release()
 		}
 	}))
 
@@ -202,11 +204,12 @@ func RunPerf() *PerfSnapshot {
 }
 
 // EngagementAllocBudget is the CI ceiling on allocations per full
-// engagement. The batched delivery + arena pipeline runs one at ~7k
-// allocs; the budget leaves headroom for legitimate feature growth while
-// still catching a regression that reverts the pipeline to per-packet
-// heap traffic (the seed ran ~161k).
-const EngagementAllocBudget = 60_000
+// engagement. The timing-wheel scheduler, payload-sum memoization, and
+// pooled replay setup run one at ~6.3k allocs; the budget leaves modest
+// headroom for legitimate feature growth while catching a regression
+// that reintroduces per-event or per-packet heap traffic (the seed ran
+// ~161k, the pre-wheel pipeline ~7k).
+const EngagementAllocBudget = 8_000
 
 // MeasureEngagementAllocs runs full engagements under the benchmark
 // harness and returns the steady-state allocation count per engagement.
@@ -221,6 +224,7 @@ func MeasureEngagementAllocs() int64 {
 			if rep := (&core.Liberate{Net: net, Trace: tr}).Run(); rep.Deployed == nil {
 				b.Fatal("no deployment")
 			}
+			net.Release()
 		}
 	})
 	return r.AllocsPerOp()

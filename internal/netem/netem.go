@@ -89,6 +89,11 @@ func (c Context) ForwardPacket(p *packet.Packet) { c.Forward(c.FrameOf(p)) }
 // replay's reset).
 func (c Context) FrameOf(p *packet.Packet) *packet.Frame { return c.env.Arena().FrameOf(p) }
 
+// Arena exposes the path's packet arena so elements that build packets in
+// bulk (proxy re-segmentation) can draw storage from it instead of the
+// heap. Everything built from it follows the arena ownership contract.
+func (c Context) Arena() *packet.Arena { return c.env.Arena() }
+
 // SendToClient injects a frame from this element's position toward the
 // client (e.g. an injected RST or a block page).
 func (c Context) SendToClient(f *packet.Frame) { c.env.move(c.idx, ToClient, f) }
@@ -149,19 +154,20 @@ type Env struct {
 	// per-packet path free of map hashing; DeliveredTo resolves names.
 	delivered []int
 
-	// deliverFn is the long-lived callback passed to the clock's ScheduleArg
-	// for every delivery run; binding it once avoids a per-event method
-	// value. bfree recycles fired Batch records; open is the Batch still
-	// accepting appends (nil once sealed or fired).
-	deliverFn func(any)
-	bfree     []*Batch
+	// Delivery runs and delayed forwards ride the clock's index-addressed
+	// event plane: deliverID/deferID name callbacks registered once per
+	// clock (bindFns), scheduled events carry a uint32 slot into batches/
+	// defs, and bfree/dfree recycle the slots — so scheduling a hop writes
+	// no pointers into the event queue. open is the Batch still accepting
+	// appends (nil once sealed or fired).
+	deliverID vclock.FnID
+	deferID   vclock.FnID
+	fnsBound  bool
+	batches   []*Batch
+	bfree     []uint32
 	open      *Batch
-
-	// deferFn/dfree back Context.ForwardAfter: typed, recycled
-	// delayed-forward records replacing the per-packet closures shapers
-	// and pipes used to allocate.
-	deferFn func(any)
-	dfree   []*deferred
+	defs      []*deferred
+	dfree     []uint32
 
 	// rec receives observability events; nil means disabled (Recorder()
 	// reports obs.Nop). traced caches rec.Enabled() so the per-packet
@@ -175,6 +181,13 @@ type Env struct {
 	// Forked envs start with a fresh arena so pooled state never crosses
 	// goroutines.
 	arena *packet.Arena
+
+	// Scratch parks replay-scoped reusable buffers (the server stack's
+	// capture slice) between replays on this path. Same ownership
+	// contract as the arena: the previous replay's consumers are done by
+	// the time the next replay starts, so whoever reclaims it at
+	// quiescence owns the backing array. Never copied by Fork.
+	Scratch any
 }
 
 // delivery is one in-flight link traversal: frame f arriving at position
@@ -236,6 +249,18 @@ type Forkable interface {
 	ForkElement() Element
 }
 
+// Quiescer is implemented by elements that retain per-flow scratch state
+// (reassembly buffers, shaper positions) they can shed once the path is
+// quiescent. Quiesce is called at replay entry — nothing in flight, no
+// timers pending, the previous replay's results fully consumed — so an
+// element may compact anything that can no longer influence traffic, as
+// long as externally queryable verdicts (classification ground truth)
+// survive. Compact state also makes Fork cheap: replicas deep-copy only
+// what is still live.
+type Quiescer interface {
+	Quiesce()
+}
+
 // Fork returns a replica of the path driven by clock (normally the
 // parent clock's Fork). Forkable elements are deep-copied; everything
 // else is shared as stateless. Endpoints and the Trace hook are NOT
@@ -265,6 +290,7 @@ func (e *Env) Fork(clock *vclock.Clock) *Env {
 	if e.rec != nil {
 		ne.rec = obs.Fork(e.rec)
 		ne.traced = e.traced
+		clock.SetRecorder(ne.rec)
 	}
 	return ne
 }
@@ -278,6 +304,7 @@ func (e *Env) SetRecorder(r obs.Recorder) {
 	}
 	e.rec = r
 	e.traced = r.Enabled()
+	e.Clock.SetRecorder(r)
 }
 
 // Recorder returns the env's recorder, obs.Nop when none is installed.
@@ -361,6 +388,18 @@ func (e *Env) ResetArena() {
 	}
 }
 
+// Quiesce marks a between-replays quiescence point: the arena is recycled
+// and every Quiescer element compacts its dead per-flow state. Replays
+// call it on entry instead of ResetArena when the clock is idle.
+func (e *Env) Quiesce() {
+	e.ResetArena()
+	for _, el := range e.elements {
+		if q, ok := el.(Quiescer); ok {
+			q.Quiesce()
+		}
+	}
+}
+
 // Release returns the path's pooled resources (currently the arena) to
 // their process-wide pools. It is legal only when the env is dead —
 // nothing will deliver, schedule, or hold a frame on it again — because
@@ -393,29 +432,41 @@ func (e *Env) move(idx int, dir Direction, f *packet.Frame) {
 		b.recs = append(b.recs, delivery{pos: next, dir: dir, f: f})
 		return
 	}
+	if !e.fnsBound {
+		e.bindFns()
+	}
 	var b *Batch
+	var bid uint32
 	if n := len(e.bfree); n > 0 {
-		b = e.bfree[n-1]
-		e.bfree[n-1] = nil
+		bid = e.bfree[n-1]
 		e.bfree = e.bfree[:n-1]
+		b = e.batches[bid]
 	} else {
 		b = new(Batch)
+		bid = uint32(len(e.batches))
+		e.batches = append(e.batches, b)
 	}
 	b.recs = append(b.recs[:0], delivery{pos: next, dir: dir, f: f})
 	b.at = at
-	if e.deliverFn == nil {
-		e.deliverFn = e.deliverBatch
-	}
-	e.Clock.ScheduleArg(e.LinkDelay, e.deliverFn, b)
+	e.Clock.ScheduleIdx(e.LinkDelay, e.deliverID, bid)
 	b.seq = e.Clock.Seq() // fence: any later schedule call seals the batch
 	e.open = b
 }
 
+// bindFns registers the env's delivery callbacks with its clock. Bindings
+// are per clock — a forked env starts unbound and rebinds lazily against
+// the forked clock on its first scheduled hop.
+func (e *Env) bindFns() {
+	e.deliverID = e.Clock.RegisterFn(e.deliverBatch)
+	e.deferID = e.Clock.RegisterFn(e.deferIdx)
+	e.fnsBound = true
+}
+
 // deliverBatch fires one delivery run. The batch is closed to appends
-// before the first record is processed, and its records are released for
+// before the first record is processed, and its slot is released for
 // reuse only after the run completes (nested moves open fresh batches).
-func (e *Env) deliverBatch(a any) {
-	b := a.(*Batch)
+func (e *Env) deliverBatch(bid uint32) {
+	b := e.batches[bid]
 	if e.open == b {
 		e.open = nil
 	}
@@ -425,7 +476,7 @@ func (e *Env) deliverBatch(a any) {
 		e.deliver(r.pos, r.dir, r.f)
 	}
 	b.recs = b.recs[:0]
-	e.bfree = append(e.bfree, b)
+	e.bfree = append(e.bfree, bid)
 }
 
 // forwardAfter re-injects f at position idx after d of virtual time, via
@@ -433,28 +484,31 @@ func (e *Env) deliverBatch(a any) {
 // one event for the delay, then a normal move — is identical to the
 // ctx.Schedule(d, func() { ctx.Forward(f) }) closure it replaces.
 func (e *Env) forwardAfter(idx int, dir Direction, d time.Duration, f *packet.Frame) {
-	if e.deferFn == nil {
-		e.deferFn = e.deferArg
+	if !e.fnsBound {
+		e.bindFns()
 	}
 	var r *deferred
+	var did uint32
 	if n := len(e.dfree); n > 0 {
-		r = e.dfree[n-1]
-		e.dfree[n-1] = nil
+		did = e.dfree[n-1]
 		e.dfree = e.dfree[:n-1]
+		r = e.defs[did]
 	} else {
 		r = new(deferred)
+		did = uint32(len(e.defs))
+		e.defs = append(e.defs, r)
 	}
 	r.idx, r.dir, r.f = idx, dir, f
-	e.Clock.ScheduleArg(d, e.deferFn, r)
+	e.Clock.ScheduleIdx(d, e.deferID, did)
 }
 
-// deferArg completes a ForwardAfter: the record is released before the
+// deferIdx completes a ForwardAfter: the slot is released before the
 // move so nested delays can reuse it immediately.
-func (e *Env) deferArg(a any) {
-	r := a.(*deferred)
+func (e *Env) deferIdx(did uint32) {
+	r := e.defs[did]
 	idx, dir, f := r.idx, r.dir, r.f
 	r.f = nil
-	e.dfree = append(e.dfree, r)
+	e.dfree = append(e.dfree, did)
 	e.move(idx, dir, f)
 }
 

@@ -54,11 +54,33 @@ const (
 // die by the dozen per engagement; handing a dead fork's warmed slabs to
 // the next fork removes the per-fork slab warmup that otherwise dominates
 // the allocation profile.
-var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+//
+// It is an explicit bounded free list rather than a sync.Pool: replay
+// workloads allocate fast enough that the collector runs every few
+// replays, and a sync.Pool is emptied within two cycles — discarding
+// exactly the multi-megabyte warmed slabs the pool exists to keep. The
+// list caps worst-case retention at arenaPoolCap warmed arenas.
+var arenaPool struct {
+	mu   sync.Mutex
+	free []*Arena
+}
+
+const arenaPoolCap = 16
 
 // NewArena returns an arena ready for use — possibly a recycled one with
 // pre-grown slabs; slabs grow on demand either way.
-func NewArena() *Arena { return arenaPool.Get().(*Arena) }
+func NewArena() *Arena {
+	arenaPool.mu.Lock()
+	if n := len(arenaPool.free); n > 0 {
+		a := arenaPool.free[n-1]
+		arenaPool.free[n-1] = nil
+		arenaPool.free = arenaPool.free[:n-1]
+		arenaPool.mu.Unlock()
+		return a
+	}
+	arenaPool.mu.Unlock()
+	return new(Arena)
+}
 
 // Release resets the arena and returns it to the process-wide pool for
 // another owner. Unlike Reset, Release may hand the arena to a different
@@ -67,7 +89,11 @@ func NewArena() *Arena { return arenaPool.Get().(*Arena) }
 // quiescent between replays.
 func (a *Arena) Release() {
 	a.Reset()
-	arenaPool.Put(a)
+	arenaPool.mu.Lock()
+	if len(arenaPool.free) < arenaPoolCap {
+		arenaPool.free = append(arenaPool.free, a)
+	}
+	arenaPool.mu.Unlock()
 }
 
 // Reset invalidates every object the arena has handed out since the last
@@ -216,6 +242,40 @@ func (a *Arena) NewTCP(src, dst Addr, srcPort, dstPort uint16, seq, ack uint32, 
 	p.TCP = &pa.tcp
 	if len(payload) > 0 {
 		p.Payload = payload
+	}
+	return p.Finalize()
+}
+
+// NewUDPSummed is NewUDP seeded with a precomputed payload partial sum
+// (see NewTCPSummed).
+func (a *Arena) NewUDPSummed(src, dst Addr, srcPort, dstPort uint16, payload []byte, paySum uint32) *Packet {
+	pa := a.parse()
+	p := &pa.pkt
+	p.IP = IPv4{TTL: DefaultTTL, Protocol: ProtoUDP, Src: src, Dst: dst}
+	pa.udp = UDP{SrcPort: srcPort, DstPort: dstPort}
+	p.UDP = &pa.udp
+	if len(payload) > 0 {
+		p.Payload = payload
+		p.paySum = paySumCache{ptr: &payload[0], n: len(payload), val: paySum}
+	}
+	return p.Finalize()
+}
+
+// NewTCPSummed is NewTCP with a precomputed payload partial sum (see
+// PayloadSum): the packet's checksum cache is seeded before the first
+// Finalize, so building the segment never walks the payload bytes.
+func (a *Arena) NewTCPSummed(src, dst Addr, srcPort, dstPort uint16, seq, ack uint32, flags TCPFlags, payload []byte, paySum uint32) *Packet {
+	pa := a.parse()
+	p := &pa.pkt
+	p.IP = IPv4{TTL: DefaultTTL, Protocol: ProtoTCP, Src: src, Dst: dst}
+	pa.tcp = TCP{
+		SrcPort: srcPort, DstPort: dstPort,
+		Seq: seq, Ack: ack, Flags: flags, Window: 65535,
+	}
+	p.TCP = &pa.tcp
+	if len(payload) > 0 {
+		p.Payload = payload
+		p.paySum = paySumCache{ptr: &payload[0], n: len(payload), val: paySum}
 	}
 	return p.Finalize()
 }

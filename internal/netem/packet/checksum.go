@@ -1,21 +1,50 @@
 package packet
 
+import "encoding/binary"
+
+// sumWords adds data's 16-bit big-endian words (paired starting at offset
+// 0) to an unfolded partial sum, eight bytes per step. Splitting each
+// 64-bit load into four words and adding them is bit-identical to the
+// byte-pair loop — one's-complement addition is commutative and the
+// 32-bit accumulator cannot overflow (≤ 32 Ki words per datagram, so the
+// unfolded sum stays below 2^31). A trailing odd byte is NOT consumed
+// here; the caller pairs or pads it.
+func sumWords(sum uint32, data []byte) uint32 {
+	i, n := 0, len(data)
+	for ; i+8 <= n; i += 8 {
+		v := binary.BigEndian.Uint64(data[i:])
+		sum += uint32(v>>48) + uint32(v>>32&0xffff) + uint32(v>>16&0xffff) + uint32(v&0xffff)
+	}
+	for ; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	return sum
+}
+
 // internetChecksum computes the RFC 1071 Internet checksum over data,
 // starting from an initial partial sum. The result is the one's-complement
 // of the one's-complement sum.
 func internetChecksum(initial uint32, data []byte) uint16 {
-	sum := initial
-	n := len(data)
-	for i := 0; i+1 < n; i += 2 {
-		sum += uint32(data[i])<<8 | uint32(data[i+1])
-	}
-	if n%2 == 1 {
+	sum := sumWords(initial, data)
+	if n := len(data); n%2 == 1 {
 		sum += uint32(data[n-1]) << 8
 	}
 	for sum > 0xffff {
 		sum = (sum >> 16) + (sum & 0xffff)
 	}
 	return ^uint16(sum)
+}
+
+// PayloadSum returns the unfolded RFC 1071 partial sum of b with a
+// trailing odd byte padded as its own high-order word — exactly the value
+// the per-packet checksum cache stores, so builders can be seeded with it
+// (Arena.NewTCPSummed) and never re-sum a precomputed payload.
+func PayloadSum(b []byte) uint32 {
+	sum := sumWords(0, b)
+	if n := len(b); n%2 == 1 {
+		sum += uint32(b[n-1]) << 8
+	}
+	return sum
 }
 
 // pseudoHeaderSum returns the partial checksum of the TCP/UDP pseudo-header.
@@ -49,21 +78,17 @@ type ckSum struct {
 // so the compiler keeps it in a register instead of spilling through the
 // receiver pointer each iteration.
 func (c *ckSum) add(data []byte) {
-	sum := c.sum
 	n := len(data)
-	i := 0
 	if c.odd && n > 0 {
-		sum += uint32(c.oddByte)<<8 | uint32(data[0])
+		c.sum += uint32(c.oddByte)<<8 | uint32(data[0])
 		c.odd = false
-		i = 1
+		data = data[1:]
+		n--
 	}
-	for ; i+1 < n; i += 2 {
-		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	c.sum = sumWords(c.sum, data)
+	if n%2 == 1 {
+		c.odd, c.oddByte = true, data[n-1]
 	}
-	if i < n {
-		c.odd, c.oddByte = true, data[i]
-	}
-	c.sum = sum
 }
 
 // addPayload appends the application payload, consulting cache for a

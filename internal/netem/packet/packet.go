@@ -8,6 +8,12 @@ import (
 // MTU is the maximum transmission unit assumed throughout the simulator.
 const MTU = 1500
 
+// MSS is the maximum transport segment payload the simulated stacks use:
+// MTU minus 20 bytes of IPv4 header and 20 bytes of TCP header. Trace
+// precomputation (trace.SegmentSums) and the stacks' segmentation loops
+// must agree on it, which is why it lives here rather than in stack.
+const MSS = MTU - 40
+
 // Packet is a full IPv4 datagram: an IP header, at most one transport
 // header, and an application payload. Exactly one of TCP, UDP, ICMP may be
 // non-nil; when all are nil the payload sits directly above IP (used for
@@ -33,12 +39,20 @@ type Packet struct {
 	// Finalize/Fix*Checksum calls on the same packet, so single-field edits
 	// don't re-sum a 1400-byte payload.
 	paySum paySumCache
+
+	// flowCK memoizes Flow().Canonical(): parse-cached packets are shared
+	// read-only by every element on the path, and most elements key a
+	// flow table by the canonical tuple on every hop.
+	flowCK    FlowKey
+	flowFwd   bool
+	flowCKSet bool
 }
 
 // Clone returns a deep copy of p.
 func (p *Packet) Clone() *Packet {
 	q := *p
 	q.paySum = paySumCache{}
+	q.flowCKSet = false
 	q.IP.Options = append([]byte(nil), p.IP.Options...)
 	if p.TCP != nil {
 		t := *p.TCP
@@ -449,6 +463,19 @@ func less(a, b FlowKey) bool {
 
 func (k FlowKey) String() string {
 	return fmt.Sprintf("%d %s:%d>%s:%d", k.Proto, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// CanonicalFlow returns the packet's direction-independent flow key and
+// whether the packet's own orientation is the canonical one, memoized on
+// the packet. Safe on parse-cached (immutable) packets; callers that
+// mutate addressing fields must use Flow().Canonical() instead (Clone
+// drops the memo).
+func (p *Packet) CanonicalFlow() (FlowKey, bool) {
+	if !p.flowCKSet {
+		p.flowCK, p.flowFwd = p.Flow().Canonical()
+		p.flowCKSet = true
+	}
+	return p.flowCK, p.flowFwd
 }
 
 // Flow extracts the packet's flow key. Port fields are zero for packets

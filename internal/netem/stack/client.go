@@ -305,7 +305,11 @@ func (c *TCPClient) closeWith(reason string) {
 // through the Transform, and the resulting packets are scheduled onto the
 // wire, honoring the transform's inter-packet delays. Writes issued while
 // a previous write is still draining queue behind it.
-func (c *TCPClient) Send(data []byte) {
+func (c *TCPClient) Send(data []byte) { c.SendSummed(data, nil) }
+
+// SendSummed is Send with optional precomputed per-MSS payload partial
+// sums (trace.Message.CheckedSegSums); segSums[k] covers data[k*MSS:...].
+func (c *TCPClient) SendSummed(data []byte, segSums []uint32) {
 	var pkts []*packet.Packet
 	seq := c.sndNxt
 	for off := 0; off < len(data); off += MSS {
@@ -313,7 +317,12 @@ func (c *TCPClient) Send(data []byte) {
 		if end > len(data) {
 			end = len(data)
 		}
-		seg := c.host.arena.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, data[off:end])
+		var seg *packet.Packet
+		if k := off / MSS; k < len(segSums) {
+			seg = c.host.arena.NewTCPSummed(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, data[off:end], segSums[k])
+		} else {
+			seg = c.host.arena.NewTCP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, data[off:end])
+		}
 		seg.IP.ID = c.host.nextIPID()
 		seg.Finalize()
 		seq += uint32(end - off)
@@ -448,14 +457,23 @@ func (c *UDPClient) Host() *ClientHost { return c.host }
 
 // Send writes one application datagram (split at MSS if oversized) through
 // the transform.
-func (c *UDPClient) Send(data []byte) {
+func (c *UDPClient) Send(data []byte) { c.SendSummed(data, nil) }
+
+// SendSummed is Send with optional precomputed per-MSS payload partial
+// sums (trace.Message.CheckedSegSums); segSums[k] covers data[k*MSS:...].
+func (c *UDPClient) SendSummed(data []byte, segSums []uint32) {
 	var pkts []*packet.Packet
 	for off := 0; off < len(data) || off == 0; off += MSS {
 		end := off + MSS
 		if end > len(data) {
 			end = len(data)
 		}
-		p := c.host.arena.NewUDP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, data[off:end])
+		var p *packet.Packet
+		if k := off / MSS; k < len(segSums) {
+			p = c.host.arena.NewUDPSummed(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, data[off:end], segSums[k])
+		} else {
+			p = c.host.arena.NewUDP(c.host.Addr, c.Dst, c.SrcPort, c.DstPort, data[off:end])
+		}
 		p.IP.ID = c.host.nextIPID()
 		p.Finalize()
 		pkts = append(pkts, p)

@@ -9,7 +9,7 @@ import (
 )
 
 // MSS is the maximum TCP segment payload used by the stacks.
-const MSS = packet.MTU - 40
+const MSS = packet.MSS
 
 const serverISS = 50000
 
@@ -225,12 +225,24 @@ func (s *Server) handleUDP(p *packet.Packet, defects packet.DefectSet) {
 
 // SendDatagram emits a UDP datagram from the server.
 func (s *Server) SendDatagram(dst packet.Addr, srcPort, dstPort uint16, data []byte) {
+	s.SendDatagramSummed(dst, srcPort, dstPort, data, nil)
+}
+
+// SendDatagramSummed is SendDatagram with optional precomputed per-MSS
+// payload partial sums (trace.Message.CheckedSegSums); segSums[k] covers
+// data[k*MSS:...]. A nil or short segSums falls back to summing.
+func (s *Server) SendDatagramSummed(dst packet.Addr, srcPort, dstPort uint16, data []byte, segSums []uint32) {
 	for off := 0; off < len(data) || off == 0; off += MSS {
 		end := off + MSS
 		if end > len(data) {
 			end = len(data)
 		}
-		p := s.arena.NewUDP(s.Addr, dst, srcPort, dstPort, data[off:end])
+		var p *packet.Packet
+		if k := off / MSS; k < len(segSums) {
+			p = s.arena.NewUDPSummed(s.Addr, dst, srcPort, dstPort, data[off:end], segSums[k])
+		} else {
+			p = s.arena.NewUDP(s.Addr, dst, srcPort, dstPort, data[off:end])
+		}
 		p.IP.ID = s.nextIPID()
 		p.Finalize()
 		s.Env.FromServerFrame(s.arena.FrameOf(p))
@@ -344,7 +356,11 @@ func (c *ServerConn) sendACK() {
 
 // Send writes application data onto the connection, segmented at MSS and
 // passed through the server-side Transform when one is installed.
-func (c *ServerConn) Send(data []byte) {
+func (c *ServerConn) Send(data []byte) { c.SendSummed(data, nil) }
+
+// SendSummed is Send with optional precomputed per-MSS payload partial
+// sums (trace.Message.CheckedSegSums); segSums[k] covers data[k*MSS:...].
+func (c *ServerConn) SendSummed(data []byte, segSums []uint32) {
 	var pkts []*packet.Packet
 	seq := c.sndNxt
 	for off := 0; off < len(data); off += MSS {
@@ -352,7 +368,12 @@ func (c *ServerConn) Send(data []byte) {
 		if end > len(data) {
 			end = len(data)
 		}
-		seg := c.srv.arena.NewTCP(c.srv.Addr, c.Src, c.DstPort, c.SrcPort, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, data[off:end])
+		var seg *packet.Packet
+		if k := off / MSS; k < len(segSums) {
+			seg = c.srv.arena.NewTCPSummed(c.srv.Addr, c.Src, c.DstPort, c.SrcPort, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, data[off:end], segSums[k])
+		} else {
+			seg = c.srv.arena.NewTCP(c.srv.Addr, c.Src, c.DstPort, c.SrcPort, seq, c.rcvNxt, packet.FlagACK|packet.FlagPSH, data[off:end])
+		}
 		seg.IP.ID = c.srv.nextIPID()
 		seg.Finalize()
 		seq += uint32(end - off)

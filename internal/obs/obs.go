@@ -179,6 +179,15 @@ const (
 	CtrStoreWrites
 	CtrShardsDispatched
 	CtrWorkerDeaths
+	// Scheduler counters (the vclock timing wheel): events fired, events
+	// dispatched through the same-instant due-ring fast path (including
+	// stack emissions that ran inline under Clock.Immediate), and events
+	// relocated by a wheel cascade. All three are pure functions of the
+	// schedule sequence, so they are deterministic and worker-count
+	// invariant like every other simulation counter.
+	CtrVClockFired
+	CtrVClockFastPath
+	CtrVClockCascades
 
 	NumCounters
 )
@@ -209,6 +218,10 @@ var counterNames = [NumCounters]string{
 	CtrStoreWrites:      "store_writes",
 	CtrShardsDispatched: "shards_dispatched",
 	CtrWorkerDeaths:     "worker_deaths",
+
+	CtrVClockFired:    "vclock_fired",
+	CtrVClockFastPath: "vclock_fastpath",
+	CtrVClockCascades: "vclock_cascades",
 }
 
 // String returns the stable wire name of the counter.

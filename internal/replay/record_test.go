@@ -138,8 +138,11 @@ func TestRecorderHandlesReorderedSegments(t *testing.T) {
 	env.FromClient(tcpPkt(c, s, 40200, 80, 9001, 70001, "A", "headpart"))
 	clock.Run()
 	got := rec.Trace("x", "x")
-	if len(got.Messages) != 1 || string(got.Messages[0].Data) != "headparttail-end" {
-		t.Fatalf("reordered reconstruction: %q", got.Messages)
+	if len(got.Messages) != 1 {
+		t.Fatalf("reordered reconstruction: %d messages", len(got.Messages))
+	}
+	if string(got.Messages[0].Data) != "headparttail-end" {
+		t.Fatalf("reordered reconstruction: %q", got.Messages[0].Data)
 	}
 	_ = netem.ToServer
 }

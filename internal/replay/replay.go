@@ -121,7 +121,10 @@ type tcpScript struct {
 type scriptStep struct {
 	needClientBytes int
 	data            []byte
-	isClient        bool
+	// segSums is the trace's precomputed per-MSS payload partial-sum
+	// table for data, when still valid (trace.Message.CheckedSegSums).
+	segSums  []uint32
+	isClient bool
 }
 
 // buildScript precomputes the server role's plan. The expected-stream
@@ -145,7 +148,7 @@ func buildScript(tr *trace.Trace, ar *packet.Arena) *tcpScript {
 			s.expected = append(s.expected, m.Data...)
 			s.plan = append(s.plan, scriptStep{isClient: true, data: m.Data})
 		} else {
-			s.plan = append(s.plan, scriptStep{needClientBytes: clientBytes, data: m.Data})
+			s.plan = append(s.plan, scriptStep{needClientBytes: clientBytes, data: m.Data, segSums: m.CheckedSegSums()})
 		}
 	}
 	return s
@@ -182,7 +185,7 @@ func (a *serverApp) release(c *stack.ServerConn) {
 			return
 		}
 		a.released++
-		c.Send(st.data)
+		c.SendSummed(st.data, st.segSums)
 	}
 }
 
@@ -209,7 +212,7 @@ func (a *dgramApp) OnDatagram(s *stack.Server, src packet.Addr, srcPort, dstPort
 			return
 		}
 		a.released++
-		s.SendDatagram(src, dstPort, srcPort, st.data)
+		s.SendDatagramSummed(src, dstPort, srcPort, st.data, st.segSums)
 	}
 }
 
@@ -240,11 +243,19 @@ func Run(opts Options) (*Result, error) {
 	// the arena is left alone and that replay simply allocates fresh.
 	// By this point every consumer of the last replay's aliased bytes
 	// (judgeReach over Result.ServerArrivals) has already run.
+	var captured []stack.Arrival
 	if clock.Pending() == 0 {
-		net.Env.ResetArena()
+		net.Env.Quiesce()
+		// The previous replay's capture is consumed by the same deadline
+		// as its arena bytes (which Arrival.Raw aliases), so its slice
+		// can be reclaimed exactly when the arena can.
+		if c, ok := net.Env.Scratch.([]stack.Arrival); ok {
+			captured = c[:0]
+		}
 	}
 
 	srv := stack.NewServer(net.Env, osProf)
+	srv.Captured = captured
 	host := stack.NewClientHost(net.Env)
 	script := buildScript(tr, net.Env.Arena())
 
@@ -312,6 +323,7 @@ func Run(opts Options) (*Result, error) {
 	res.BytesOut = host.BytesOut
 	res.BytesIn = host.BytesIn
 	res.ServerArrivals = srv.Captured
+	net.Env.Scratch = srv.Captured
 	if net.Counter != nil {
 		res.CounterDelta = net.Counter.Read() - counterBefore
 	}
@@ -384,7 +396,7 @@ func runTCP(opts Options, srv *stack.Server, host *stack.ClientHost, script *tcp
 		if m.Dir == trace.ServerToClient {
 			serverBytes += len(m.Data)
 		} else {
-			clientSends = append(clientSends, scriptStep{needClientBytes: serverBytes, data: m.Data})
+			clientSends = append(clientSends, scriptStep{needClientBytes: serverBytes, data: m.Data, segSums: m.CheckedSegSums()})
 		}
 	}
 	sent := 0
@@ -399,7 +411,7 @@ func runTCP(opts Options, srv *stack.Server, host *stack.ClientHost, script *tcp
 		for sent < len(clientSends) && len(cli.Received) >= clientSends[sent].needClientBytes {
 			idx := sent
 			sent++
-			cli.Send(clientSends[idx].data)
+			cli.SendSummed(clientSends[idx].data, clientSends[idx].segSums)
 			h.markWrite()
 			if opts.PostWriteDelay.Delay > 0 && opts.PostWriteDelay.AfterWrite == idx {
 				// Pause, then resume pumping; the next write (if its
@@ -453,7 +465,7 @@ func runUDP(opts Options, srv *stack.Server, host *stack.ClientHost, script *tcp
 		if m.Dir == trace.ServerToClient {
 			serverBytes += len(m.Data)
 		} else {
-			clientSends = append(clientSends, scriptStep{needClientBytes: serverBytes, data: m.Data})
+			clientSends = append(clientSends, scriptStep{needClientBytes: serverBytes, data: m.Data, segSums: m.CheckedSegSums()})
 		}
 	}
 	received := 0
@@ -469,7 +481,7 @@ func runUDP(opts Options, srv *stack.Server, host *stack.ClientHost, script *tcp
 		for sent < len(clientSends) && received >= clientSends[sent].needClientBytes {
 			idx := sent
 			sent++
-			cli.Send(clientSends[idx].data)
+			cli.SendSummed(clientSends[idx].data, clientSends[idx].segSums)
 			h.markWrite()
 			if opts.PostWriteDelay.Delay > 0 && opts.PostWriteDelay.AfterWrite == idx {
 				clock.ScheduleAt(clock.Now().Add(opts.PostWriteDelay.Delay), pump)

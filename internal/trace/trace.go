@@ -43,7 +43,72 @@ func (d Dir) String() string {
 type Message struct {
 	Dir  Dir    `json:"dir"`
 	Data []byte `json:"data"`
+
+	// SegSums holds precomputed unfolded RFC 1071 partial sums of Data
+	// segmented at packet.MSS — SegSums[k] covers
+	// Data[k*MSS : min((k+1)*MSS, len(Data))] — so replaying the message
+	// never re-sums payload bytes (the stacks seed each built segment's
+	// checksum cache from it). sumBase/sumLen record the slice identity
+	// the sums were computed for; CheckedSegSums refuses to hand them out
+	// once Data has been re-sliced (trimmed, split), which keeps stale
+	// sums from ever reaching a checksum.
+	SegSums []uint32 `json:"-"`
+	sumBase *byte
+	sumLen  int
 }
+
+// Precompute fills SegSums for the message's current Data. Call it after
+// construction or after any in-place payload mutation; messages without
+// sums are still valid — the stacks just compute checksums the slow way.
+func (m *Message) Precompute() {
+	m.SegSums = SegmentSums(m.Data)
+	m.sumBase, m.sumLen = nil, len(m.Data)
+	if len(m.Data) > 0 {
+		m.sumBase = &m.Data[0]
+	}
+}
+
+// CheckedSegSums returns the precomputed segment sums, or nil when none
+// were computed or Data no longer is the exact slice they describe.
+func (m *Message) CheckedSegSums() []uint32 {
+	if m.SegSums == nil || m.sumLen != len(m.Data) {
+		return nil
+	}
+	if len(m.Data) > 0 && m.sumBase != &m.Data[0] {
+		return nil
+	}
+	return m.SegSums
+}
+
+// SegmentSums computes the per-segment unfolded checksum partial sums of
+// data segmented at packet.MSS (see Message.SegSums).
+func SegmentSums(data []byte) []uint32 {
+	if len(data) == 0 {
+		return nil
+	}
+	sums := make([]uint32, 0, (len(data)+packet.MSS-1)/packet.MSS)
+	for off := 0; off < len(data); off += packet.MSS {
+		end := off + packet.MSS
+		if end > len(data) {
+			end = len(data)
+		}
+		sums = append(sums, packet.PayloadSum(data[off:end]))
+	}
+	return sums
+}
+
+// PrecomputeSums fills SegSums for every message and returns t. Trace
+// constructors call it so replays of built-in traces start with warm
+// checksum state.
+func (t *Trace) PrecomputeSums() *Trace {
+	for i := range t.Messages {
+		t.Messages[i].Precompute()
+	}
+	return t
+}
+
+// precompute is PrecomputeSums for constructor return expressions.
+func precompute(t *Trace) *Trace { return t.PrecomputeSums() }
 
 // Trace is one recorded application flow.
 type Trace struct {
@@ -86,7 +151,7 @@ func (t *Trace) Invert() *Trace {
 	for i := range c.Messages {
 		InvertBytes(c.Messages[i].Data)
 	}
-	return c
+	return c.PrecomputeSums()
 }
 
 // InvertBytes inverts every bit of b in place.
@@ -106,7 +171,7 @@ func (t *Trace) Randomize(seed int64) *Trace {
 	for i := range c.Messages {
 		rng.Read(c.Messages[i].Data)
 	}
-	return c
+	return c.PrecomputeSums()
 }
 
 // ContentHash digests everything that affects how a trace replays:
@@ -171,7 +236,7 @@ func Load(path string) (*Trace, error) {
 	if err := json.Unmarshal(data, &t); err != nil {
 		return nil, fmt.Errorf("trace: parse %s: %w", path, err)
 	}
-	return &t, nil
+	return t.PrecomputeSums(), nil
 }
 
 // opaque produces deterministic pseudo-random application bytes with no
@@ -200,14 +265,14 @@ func AmazonPrimeVideo(bodyBytes int) *Trace {
 		},
 	}.Bytes()
 	resp := appproto.HTTPResponse{Status: 200, ContentType: "video/mp4", ContentLength: bodyBytes}.Bytes()
-	return &Trace{
+	return precompute(&Trace{
 		Name: "amazon-prime-video", App: "AmazonPrimeVideo",
 		Proto: packet.ProtoTCP, ServerPort: 80,
 		Messages: []Message{
 			{Dir: ClientToServer, Data: req},
 			{Dir: ServerToClient, Data: append(resp, opaque(101, bodyBytes)...)},
 		},
-	}
+	})
 }
 
 // Spotify builds an HTTP audio-streaming trace.
@@ -221,21 +286,21 @@ func Spotify(bodyBytes int) *Trace {
 		},
 	}.Bytes()
 	resp := appproto.HTTPResponse{Status: 200, ContentType: "audio/ogg", ContentLength: bodyBytes}.Bytes()
-	return &Trace{
+	return precompute(&Trace{
 		Name: "spotify", App: "Spotify",
 		Proto: packet.ProtoTCP, ServerPort: 80,
 		Messages: []Message{
 			{Dir: ClientToServer, Data: req},
 			{Dir: ServerToClient, Data: append(resp, opaque(202, bodyBytes)...)},
 		},
-	}
+	})
 }
 
 // YouTubeTLS builds an HTTPS video trace whose only cleartext matching
 // surface is the SNI extension (.googlevideo.com), as in §6.2.
 func YouTubeTLS(bodyBytes int) *Trace {
 	hello := appproto.ClientHello("r4---sn-p5qlsnz6.googlevideo.com")
-	return &Trace{
+	return precompute(&Trace{
 		Name: "youtube-tls", App: "YouTube",
 		Proto: packet.ProtoTCP, ServerPort: 443,
 		Messages: []Message{
@@ -244,7 +309,7 @@ func YouTubeTLS(bodyBytes int) *Trace {
 			{Dir: ClientToServer, Data: opaque(303, 320)}, // opaque key exchange
 			{Dir: ServerToClient, Data: opaque(304, bodyBytes)},
 		},
-	}
+	})
 }
 
 // YouTubeQUIC builds a QUIC-style UDP video trace. None of the paper's
@@ -267,11 +332,11 @@ func YouTubeQUIC(bodyBytes int) *Trace {
 		{Dir: ClientToServer, Data: opaque(403, 64)},
 		{Dir: ServerToClient, Data: opaque(404, bodyBytes)},
 	}
-	return &Trace{
+	return precompute(&Trace{
 		Name: "youtube-quic", App: "YouTube",
 		Proto: packet.ProtoUDP, ServerPort: 443,
 		Messages: msgs,
-	}
+	})
 }
 
 // EconomistWeb builds the censored-web-page trace used against the GFC in
@@ -287,14 +352,14 @@ func EconomistWeb(bodyBytes int) *Trace {
 		},
 	}.Bytes()
 	resp := appproto.HTTPResponse{Status: 200, ContentType: "text/html", ContentLength: bodyBytes}.Bytes()
-	return &Trace{
+	return precompute(&Trace{
 		Name: "economist-web", App: "EconomistWeb",
 		Proto: packet.ProtoTCP, ServerPort: 80,
 		Messages: []Message{
 			{Dir: ClientToServer, Data: req},
 			{Dir: ServerToClient, Data: append(resp, opaque(505, bodyBytes)...)},
 		},
-	}
+	})
 }
 
 // FacebookWeb builds the blocked-site trace used against Iran's censor in
@@ -309,14 +374,14 @@ func FacebookWeb(bodyBytes int) *Trace {
 		},
 	}.Bytes()
 	resp := appproto.HTTPResponse{Status: 200, ContentType: "text/html", ContentLength: bodyBytes}.Bytes()
-	return &Trace{
+	return precompute(&Trace{
 		Name: "facebook-web", App: "FacebookWeb",
 		Proto: packet.ProtoTCP, ServerPort: 80,
 		Messages: []Message{
 			{Dir: ClientToServer, Data: req},
 			{Dir: ServerToClient, Data: append(resp, opaque(606, bodyBytes)...)},
 		},
-	}
+	})
 }
 
 // NBCSportsVideo builds the HTTP video trace used against AT&T Stream
@@ -332,14 +397,14 @@ func NBCSportsVideo(bodyBytes int) *Trace {
 		},
 	}.Bytes()
 	resp := appproto.HTTPResponse{Status: 200, ContentType: "video/mp2t", ContentLength: bodyBytes}.Bytes()
-	return &Trace{
+	return precompute(&Trace{
 		Name: "nbcsports-video", App: "NBCSports",
 		Proto: packet.ProtoTCP, ServerPort: 80,
 		Messages: []Message{
 			{Dir: ClientToServer, Data: req},
 			{Dir: ServerToClient, Data: append(resp, opaque(707, bodyBytes)...)},
 		},
-	}
+	})
 }
 
 // SkypeCall builds the UDP trace used in §6.1: a STUN binding request
@@ -357,11 +422,11 @@ func SkypeCall(mediaDatagrams, datagramBytes int) *Trace {
 		}
 		msgs = append(msgs, Message{Dir: d, Data: opaque(int64(900+i), datagramBytes)})
 	}
-	return &Trace{
+	return precompute(&Trace{
 		Name: "skype-call", App: "Skype",
 		Proto: packet.ProtoUDP, ServerPort: 3478,
 		Messages: msgs,
-	}
+	})
 }
 
 // ESPNStream builds another HTTP streaming trace (listed among the
@@ -376,14 +441,14 @@ func ESPNStream(bodyBytes int) *Trace {
 		},
 	}.Bytes()
 	resp := appproto.HTTPResponse{Status: 200, ContentType: "video/mp2t", ContentLength: bodyBytes}.Bytes()
-	return &Trace{
+	return precompute(&Trace{
 		Name: "espn-stream", App: "ESPN",
 		Proto: packet.ProtoTCP, ServerPort: 80,
 		Messages: []Message{
 			{Dir: ClientToServer, Data: req},
 			{Dir: ServerToClient, Data: append(resp, opaque(808, bodyBytes)...)},
 		},
-	}
+	})
 }
 
 // Builtin returns the standard trace set at modest body sizes, used by the
