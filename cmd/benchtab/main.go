@@ -13,6 +13,7 @@
 //	benchtab -exp campaign     # campaign worker-pool scaling + determinism check
 //	benchtab -exp chaos        # fault-injection sweep: verdict stability under middlebox faults
 //	benchtab -exp chaos -quick # ... CI smoke: two networks at one fault rate
+//	benchtab -exp scenarios    # scenario-pack sweep determinism + cluster chaos dichotomy gate (exit 1 on failure)
 //	benchtab -exp overhead     # clean-network overhead guards: robust mode ≤5%, recorder armed ≤15% (exit 1 above budget)
 //	benchtab -exp allocs       # allocation guards: engagement allocs/op budget + zero-alloc scheduler steady state (exit 1 above)
 //	benchtab -exp sched        # timing-wheel scheduler microbenchmarks (depths, cancel churn, same-instant dispatch)
@@ -43,8 +44,8 @@ func run() int {
 	var (
 		table  = flag.Int("table", 0, "regenerate Table N (1, 2, or 3)")
 		figure = flag.Int("figure", 0, "regenerate Figure N (4)")
-		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign|chaos|overhead|allocs|trace|sched|perf")
-		quick  = flag.Bool("quick", false, "with -exp chaos: restrict the sweep to two networks at one fault rate")
+		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign|chaos|scenarios|overhead|allocs|trace|sched|perf")
+		quick  = flag.Bool("quick", false, "with -exp chaos or -exp scenarios: restrict the sweep for CI")
 		bjson  = flag.String("bench-json", "", "with -exp perf or -exp sched: also write the snapshot as JSON to this path")
 		days   = flag.Int("days", 1, "days to sweep for Figure 4 (paper used 2)")
 		trials = flag.Int("trials", 6, "trials per hour for Figure 4 (paper used 6)")
@@ -160,6 +161,16 @@ func run() int {
 	if *all || *exp == "chaos" {
 		fmt.Println("== chaos: verdict stability under stochastic middlebox faults ==")
 		fmt.Println(experiments.RunChaos(*quick).Render())
+		ran = true
+	}
+	if *all || *exp == "scenarios" {
+		fmt.Println("== scenarios: scenario-pack sweep determinism + cluster chaos dichotomy ==")
+		s := experiments.RunScenarios(*quick)
+		fmt.Println(s.Render())
+		if !s.Pass() {
+			fmt.Fprintln(os.Stderr, "benchtab: scenario gate failed — sweep nondeterminism or silent engagement loss under chaos")
+			return 1
+		}
 		ran = true
 	}
 	if *all || *exp == "overhead" {

@@ -32,27 +32,29 @@ import (
 
 func main() {
 	var (
-		specPath = flag.String("spec", "", "campaign spec JSON file (flags below override nothing when set)")
-		networks = flag.String("networks", "", "comma-separated network profiles (default: all built-ins)")
-		traces   = flag.String("traces", "", "comma-separated traces (default: all built-ins)")
-		hours    = flag.String("hours", "", "comma-separated hours of day to advance the virtual clock to (default: 0)")
-		bodies   = flag.String("bodies", "", "comma-separated response body sizes in bytes (default: 98304)")
-		seeds    = flag.String("seeds", "", "comma-separated deployment seeds / replication indices (default: 1)")
-		serverOS = flag.String("os", "", "replay server OS profile: linux|macos|windows (default: linux)")
-		name     = flag.String("name", "", "campaign name for reports")
-		timeout  = flag.Duration("timeout", 2*time.Minute, "per-engagement attempt timeout (0 = none)")
-		retries  = flag.Int("retries", 0, "extra attempts for transiently-failed engagements")
-		workers  = flag.Int("workers", 0, "worker pool size (default: GOMAXPROCS, clamped to engagement count)")
-		useCache = flag.Bool("cache", false, "memoize engagement reports by content (network fingerprint × trace hash × hour × OS); summaries gain a cache stats block")
-		outJSON  = flag.String("out", "", "write aggregate JSON to this path ('-' = stdout)")
-		outCSV   = flag.String("csv", "", "write per-engagement CSV to this path ('-' = stdout)")
-		export   = flag.String("export-spec", "", "write the assembled spec as JSON to this path and exit ('-' = stdout)")
-		traceDir = flag.String("trace-dir", "", "record every engagement and write one JSON trace file per engagement into this directory")
-		flight   = flag.Int("flight", 0, "arm a flight recorder keeping the newest N events per engagement; failure rows gain evidence tails (ignored with -trace-dir)")
-		quiet    = flag.Bool("quiet", false, "suppress progress output")
-		list     = flag.Bool("list", false, "list available networks and traces and exit")
-		storeDir = flag.String("store", "", "persistent engagement store directory: reports are served from it when present and written back after (shared with liberate-d and other runs)")
-		clusterN = flag.Int("cluster", 0, "run the campaign across N worker processes (re-execs this binary); 0 = in-process")
+		specPath  = flag.String("spec", "", "campaign spec JSON file (flags below override nothing when set)")
+		networks  = flag.String("networks", "", "comma-separated network profiles (default: all built-ins)")
+		traces    = flag.String("traces", "", "comma-separated traces (default: all built-ins)")
+		hours     = flag.String("hours", "", "comma-separated hours of day to advance the virtual clock to (default: 0)")
+		bodies    = flag.String("bodies", "", "comma-separated response body sizes in bytes (default: 98304)")
+		seeds     = flag.String("seeds", "", "comma-separated deployment seeds / replication indices (default: 1)")
+		serverOS  = flag.String("os", "", "replay server OS profile: linux|macos|windows (default: linux)")
+		name      = flag.String("name", "", "campaign name for reports")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-engagement attempt timeout (0 = none)")
+		retries   = flag.Int("retries", 0, "extra attempts for transiently-failed engagements")
+		workers   = flag.Int("workers", 0, "worker pool size (default: GOMAXPROCS, clamped to engagement count)")
+		useCache  = flag.Bool("cache", false, "memoize engagement reports by content (network fingerprint × trace hash × hour × OS); summaries gain a cache stats block")
+		outJSON   = flag.String("out", "", "write aggregate JSON to this path ('-' = stdout)")
+		outCSV    = flag.String("csv", "", "write per-engagement CSV to this path ('-' = stdout)")
+		export    = flag.String("export-spec", "", "write the assembled spec as JSON to this path and exit ('-' = stdout)")
+		traceDir  = flag.String("trace-dir", "", "record every engagement and write one JSON trace file per engagement into this directory")
+		flight    = flag.Int("flight", 0, "arm a flight recorder keeping the newest N events per engagement; failure rows gain evidence tails (ignored with -trace-dir)")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+		list      = flag.Bool("list", false, "list available networks and traces and exit")
+		storeDir  = flag.String("store", "", "persistent engagement store directory: reports are served from it when present and written back after (shared with liberate-d and other runs)")
+		scenarios = flag.String("scenario-pack", "", "scenario-pack/v1 JSON file; its scenarios become the outermost sweep axis (ignored with -spec — put scenario_pack in the spec instead)")
+		clusterN  = flag.Int("cluster", 0, "run the campaign across N worker processes (re-execs this binary); 0 = in-process")
+		chaos     = flag.String("chaos-frames", "", "inject frame faults into -cluster transport, e.g. drop:0.02,delay:0.05/750ms,trunc:0.01,dup:0.02,seed:7 (acceptance testing only)")
 		// -cluster-worker is the hidden re-exec mode the coordinator
 		// spawns: speak the shard protocol on stdin/stdout and exit.
 		workerMode = flag.Bool("cluster-worker", false, "")
@@ -60,7 +62,9 @@ func main() {
 	flag.Parse()
 
 	if *workerMode {
-		if err := cluster.ServeWorker(context.Background(), os.Stdin, os.Stdout, cluster.WorkerOptions{}); err != nil {
+		// Chaos knobs (crash/stall/slow-start) arrive via env so the chaos
+		// acceptance test can arm individual exec-spawned workers.
+		if err := cluster.ServeWorker(context.Background(), os.Stdin, os.Stdout, cluster.WorkerOptionsFromEnv()); err != nil {
 			fatal(err)
 		}
 		return
@@ -81,6 +85,12 @@ func main() {
 	spec, err := buildSpec(*specPath, *networks, *traces, *hours, *bodies, *seeds, *serverOS, *name, *timeout, *retries)
 	if err != nil {
 		fatal(err)
+	}
+	if *scenarios != "" && *specPath == "" {
+		spec.ScenarioPack = *scenarios
+		if err := spec.ResolveScenarios(""); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *export != "" {
@@ -112,6 +122,17 @@ func main() {
 			Flight:   *flight,
 			Cache:    *useCache,
 			Parallel: *workers,
+		}
+		if *chaos != "" {
+			fc, err := cluster.ParseFrameChaos(*chaos)
+			if err != nil {
+				fatal(err)
+			}
+			coord.Chaos = fc
+			// A chaosed transport needs the recovery machinery armed, or the
+			// first dropped frame kills the run instead of degrading it.
+			coord.WorkerRestarts = 16
+			coord.ShardTimeout = 2 * time.Minute
 		}
 		if !*quiet {
 			coord.Observer = campaign.NewProgress(os.Stderr)

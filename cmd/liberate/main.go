@@ -33,7 +33,8 @@ func main() {
 		list      = flag.Bool("list", false, "list techniques, networks, and traces (machine-readable with -json)")
 		exportTr  = flag.String("export-trace", "", "write the selected trace as JSON to this path and exit")
 		doTracert = flag.Bool("traceroute", false, "print the path's hops and exit")
-		impair    = flag.String("impair", "", "client-side link impairments, e.g. loss:0.02,ge:0.05/0.3/0.8 (kinds: loss|dup|ge|corrupt|payload); enables noise-robust phase logic")
+		impair    = flag.String("impair", "", "client-side link impairments, e.g. loss:0.02,ge:0.05/0.3/0.8,delay:5/2@ingress (kinds: loss|dup|ge|corrupt|payload|delay|reorder|nth|rate; optional @egress/@ingress); enables noise-robust phase logic")
+		scenario  = flag.String("scenario", "", "scenario pack to arm: pack.json[:name] (scenario-pack/v1; name optional when the pack has exactly one scenario)")
 		cachePath = flag.String("cache", "", "shared rule-cache file: deploy from it when possible, update it after engagements")
 		traceOut  = flag.String("trace-out", "", "record the engagement's evidence stream and write it as JSON to this path ('-' = stdout)")
 		storeDir  = flag.String("store", "", "persistent engagement store directory: serve the report from it when present, write it back after (named networks/traces only)")
@@ -91,6 +92,16 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *scenario != "" {
+		sc, err := resolveScenario(*scenario)
+		if err == nil {
+			err = sc.Apply(net)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *hour > 0 {
 		net.Clock.RunFor(time.Duration(*hour) * time.Hour)
 	}
@@ -130,7 +141,7 @@ func main() {
 		osName = "linux"
 	}
 	if *storeDir != "" {
-		if *netFile != "" || *impair != "" || !isRegistryTrace(*trName) {
+		if *netFile != "" || *impair != "" || *scenario != "" || !isRegistryTrace(*trName) {
 			fmt.Fprintln(os.Stderr, "-store ignored: only named networks and traces are content-addressable")
 		} else {
 			store, err = campaign.OpenStore(*storeDir)
@@ -214,6 +225,34 @@ func emitReport(report *liberate.Report, jsonOut bool) {
 		return
 	}
 	report.WriteSummary(os.Stdout)
+}
+
+// resolveScenario loads the -scenario argument: a scenario-pack file,
+// optionally suffixed ":name" to pick one world. A path that exists
+// verbatim wins over the split (file names may contain colons).
+func resolveScenario(arg string) (*liberate.ScenarioSpec, error) {
+	path, name := arg, ""
+	if _, err := os.Stat(arg); err != nil {
+		if i := strings.LastIndexByte(arg, ':'); i > 0 {
+			path, name = arg[:i], arg[i+1:]
+		}
+	}
+	pack, err := liberate.LoadScenarioPack(path)
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		if len(pack.Scenarios) != 1 {
+			return nil, fmt.Errorf("scenario pack %s has %d scenarios; pick one with %s:<name>",
+				path, len(pack.Scenarios), path)
+		}
+		return &pack.Scenarios[0], nil
+	}
+	sc := pack.Find(name)
+	if sc == nil {
+		return nil, fmt.Errorf("scenario pack %s has no scenario %q", path, name)
+	}
+	return sc, nil
 }
 
 // isRegistryTrace reports whether name is a built-in trace (as opposed

@@ -64,6 +64,9 @@ type Row struct {
 	Hour    int    `json:"hour"`
 	Body    int    `json:"body"`
 	Seed    int64  `json:"seed"`
+	// Scenario names the scenario-pack world ("" — and omitted — on the
+	// clean path, keeping scenario-less summaries byte-identical).
+	Scenario string `json:"scenario,omitempty"`
 
 	Status   Status `json:"status"`
 	Attempts int    `json:"attempts"`
@@ -132,6 +135,10 @@ type NetworkSummary struct {
 type Disagreement struct {
 	Network string `json:"network"`
 	Trace   string `json:"trace"`
+	// Scenario scopes the group when a scenario axis is armed: worlds
+	// deliberately perturb outcomes, so cross-scenario variation is the
+	// sweep working as intended, not a disagreement.
+	Scenario string `json:"scenario,omitempty"`
 	// Outcomes maps each distinct outcome signature to the engagement
 	// keys that produced it, sorted by signature.
 	Outcomes []OutcomeGroup `json:"outcomes"`
@@ -224,7 +231,8 @@ func (a *Aggregator) Add(res Result) {
 
 	row := Row{
 		Network: e.Network, Trace: e.Trace, Hour: e.Hour, Body: e.Body, Seed: e.Seed,
-		Status: res.Status, Attempts: res.Attempts, Err: res.Err,
+		Scenario: e.Scenario,
+		Status:   res.Status, Attempts: res.Attempts, Err: res.Err,
 		Counters: res.Counters,
 	}
 	if len(res.Counters) > 0 {
@@ -299,7 +307,8 @@ func (a *Aggregator) Add(res Result) {
 
 // rowKey reconstructs a row's canonical engagement key.
 func rowKey(r Row) string {
-	return Engagement{Network: r.Network, Trace: r.Trace, Hour: r.Hour, Body: r.Body, Seed: r.Seed}.Key()
+	return Engagement{Network: r.Network, Trace: r.Trace, Hour: r.Hour, Body: r.Body, Seed: r.Seed,
+		Scenario: r.Scenario}.Key()
 }
 
 // Finish sorts every collection into canonical order and returns the
@@ -336,12 +345,15 @@ func (a *Aggregator) Finish() *Summary {
 	sort.Slice(s.ByNetwork, func(i, j int) bool { return s.ByNetwork[i].Network < s.ByNetwork[j].Network })
 
 	// Disagreements: distinct outcome signatures within a (network,
-	// trace) group across the sweep dimensions.
-	groups := map[[2]string][]Row{} // (network, trace) → rows
+	// trace, scenario) group across the sweep dimensions. Scenario scoping
+	// keeps a deliberately-perturbing world from flagging against the
+	// clean arm.
+	groups := map[[3]string][]Row{} // (network, trace, scenario) → rows
 	for _, r := range s.Rows {
-		groups[[2]string{r.Network, r.Trace}] = append(groups[[2]string{r.Network, r.Trace}], r)
+		gk := [3]string{r.Network, r.Trace, r.Scenario}
+		groups[gk] = append(groups[gk], r)
 	}
-	var groupKeys [][2]string
+	var groupKeys [][3]string
 	for k := range groups {
 		groupKeys = append(groupKeys, k)
 	}
@@ -349,7 +361,10 @@ func (a *Aggregator) Finish() *Summary {
 		if groupKeys[i][0] != groupKeys[j][0] {
 			return groupKeys[i][0] < groupKeys[j][0]
 		}
-		return groupKeys[i][1] < groupKeys[j][1]
+		if groupKeys[i][1] != groupKeys[j][1] {
+			return groupKeys[i][1] < groupKeys[j][1]
+		}
+		return groupKeys[i][2] < groupKeys[j][2]
 	})
 	for _, gk := range groupKeys {
 		rows := groups[gk]
@@ -360,7 +375,7 @@ func (a *Aggregator) Finish() *Summary {
 		if len(bySig) < 2 {
 			continue
 		}
-		d := Disagreement{Network: gk[0], Trace: gk[1]}
+		d := Disagreement{Network: gk[0], Trace: gk[1], Scenario: gk[2]}
 		var sigs []string
 		for sig := range bySig {
 			sigs = append(sigs, sig)
@@ -386,13 +401,19 @@ func (s *Summary) JSON() ([]byte, error) {
 }
 
 // CSV renders the per-engagement rows as CSV in deterministic row order.
+// The scenario column appears only when the spec sweeps scenarios, so
+// scenario-less campaigns keep the historical (golden) column set.
 func (s *Summary) CSV() ([]byte, error) {
 	var buf bytes.Buffer
 	w := csv.NewWriter(&buf)
+	withScenario := len(s.Spec.Scenarios) > 0
 	header := []string{
 		"network", "trace", "hour", "body", "seed",
 		"status", "attempts", "differentiated", "kinds", "matching_fields",
 		"working_techniques", "deployed", "rounds", "bytes", "virtual_ns", "err",
+	}
+	if withScenario {
+		header = append(header[:5:5], append([]string{"scenario"}, header[5:]...)...)
 	}
 	if err := w.Write(header); err != nil {
 		return nil, err
@@ -406,6 +427,9 @@ func (s *Summary) CSV() ([]byte, error) {
 			strconv.Itoa(r.Fields), strconv.Itoa(r.Working), r.Deployed,
 			strconv.Itoa(r.Rounds), strconv.FormatInt(r.Bytes, 10),
 			strconv.FormatInt(r.VirtualNS, 10), r.Err,
+		}
+		if withScenario {
+			rec = append(rec[:5:5], append([]string{r.Scenario}, rec[5:]...)...)
 		}
 		if err := w.Write(rec); err != nil {
 			return nil, err

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/dpi"
 	"repro/internal/netem/stack"
 	"repro/internal/registry"
 	"repro/internal/trace"
@@ -37,12 +38,22 @@ type cacheKey struct {
 	Hour      int
 	ServerOS  string
 	Phase     string
+	// Scenario is the armed scenario's content hash ("" on the clean
+	// path), so a scenario-armed engagement never collides with the clean
+	// one sharing its network fingerprint.
+	Scenario string
 }
 
 // String renders the canonical key form shared by the in-memory shard
-// hash and the persistent store's content addressing.
+// hash and the persistent store's content addressing. The scenario
+// segment appears only when one is armed, so clean-path keys — and the
+// store paths derived from them — match older entries byte-for-byte.
 func (k cacheKey) String() string {
-	return fmt.Sprintf("%s|%s|%d|%s|%s", k.NetworkFP, k.TraceFP, k.Hour, k.ServerOS, k.Phase)
+	s := fmt.Sprintf("%s|%s|%d|%s|%s", k.NetworkFP, k.TraceFP, k.Hour, k.ServerOS, k.Phase)
+	if k.Scenario != "" {
+		s += "|sc:" + k.Scenario
+	}
+	return s
 }
 
 // enginePhase is the phase label under which whole engagements are
@@ -64,10 +75,17 @@ type fpMemo struct {
 	mu    sync.Mutex
 	netFP map[string]string // network name → profile fingerprint
 	trFP  map[[2]any]string // (trace name, body) → content hash
+	// scFP memoizes scenario content hashes by resolved spec identity, so
+	// two packs reusing a scenario name never share an entry.
+	scFP map[*dpi.ScenarioSpec]string
 }
 
 func newFPMemo() *fpMemo {
-	return &fpMemo{netFP: make(map[string]string), trFP: make(map[[2]any]string)}
+	return &fpMemo{
+		netFP: make(map[string]string),
+		trFP:  make(map[[2]any]string),
+		scFP:  make(map[*dpi.ScenarioSpec]string),
+	}
 }
 
 // keyFor builds the content-addressed key for one engagement, memoizing
@@ -94,7 +112,19 @@ func (m *fpMemo) keyFor(e Engagement, osName string) (cacheKey, error) {
 		tfp = trace.ContentHash(tr)
 		m.trFP[tk] = tfp
 	}
-	return cacheKey{NetworkFP: nfp, TraceFP: tfp, Hour: e.Hour, ServerOS: osName, Phase: enginePhase}, nil
+	var scfp string
+	if e.Scenario != "" {
+		if e.scenario == nil {
+			return cacheKey{}, fmt.Errorf("campaign: %s: scenario %q not resolved (engagements must come from Spec.Expand)",
+				e.Key(), e.Scenario)
+		}
+		scfp, ok = m.scFP[e.scenario]
+		if !ok {
+			scfp = e.scenario.Hash()
+			m.scFP[e.scenario] = scfp
+		}
+	}
+	return cacheKey{NetworkFP: nfp, TraceFP: tfp, Hour: e.Hour, ServerOS: osName, Phase: enginePhase, Scenario: scfp}, nil
 }
 
 // cacheEntry is a singleflight slot: the creating engagement computes,

@@ -115,6 +115,15 @@ func DefaultEngage(ctx context.Context, e Engagement, osp *stack.OSProfile) (*co
 		return nil, err
 	}
 	net.Env.SetRecorder(RecorderFrom(ctx))
+	if e.Scenario != "" {
+		if e.scenario == nil {
+			return nil, fmt.Errorf("campaign: %s: scenario %q not resolved (engagements must come from Spec.Expand)",
+				e.Key(), e.Scenario)
+		}
+		if err := e.scenario.Apply(net); err != nil {
+			return nil, err
+		}
+	}
 	tr, err := registry.NewTrace(e.Trace, e.Body)
 	if err != nil {
 		return nil, err

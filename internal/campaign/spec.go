@@ -14,9 +14,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"time"
 
+	"repro/internal/dpi"
 	"repro/internal/registry"
 )
 
@@ -89,6 +91,41 @@ type Spec struct {
 	// Retries is how many extra attempts a transiently-failed engagement
 	// gets (timeouts and errors marked transient; panics never retry).
 	Retries int `json:"retries,omitempty"`
+
+	// ScenarioPack names a scenario-pack/v1 file whose scenarios become
+	// the outermost sweep axis. LoadSpec/ParseSpec resolve it into the
+	// inline Scenarios list (relative to the spec file's directory), so a
+	// spec shipped to cluster workers never references local paths.
+	ScenarioPack string `json:"scenario_pack,omitempty"`
+	// Scenarios is the inline scenario axis (usually resolved from
+	// ScenarioPack). Empty means a single clean pass — the engagement
+	// matrix, keys, and summary stay byte-identical to a scenario-less
+	// build. Scenarios do not get a default element: there is no implicit
+	// clean arm, packs include a bare {"name": "clean"} when they want one.
+	Scenarios []dpi.ScenarioSpec `json:"scenarios,omitempty"`
+}
+
+// ResolveScenarios loads the spec's scenario pack (if any) into the
+// inline Scenarios list and clears the path, so the spec becomes
+// self-contained. Relative paths resolve against baseDir ("" = cwd).
+func (s *Spec) ResolveScenarios(baseDir string) error {
+	if s.ScenarioPack == "" {
+		return nil
+	}
+	if len(s.Scenarios) > 0 {
+		return fmt.Errorf("campaign: spec sets both scenario_pack and inline scenarios")
+	}
+	path := s.ScenarioPack
+	if baseDir != "" && !filepath.IsAbs(path) {
+		path = filepath.Join(baseDir, path)
+	}
+	pack, err := dpi.LoadScenarioPack(path)
+	if err != nil {
+		return err
+	}
+	s.Scenarios = pack.Scenarios
+	s.ScenarioPack = ""
+	return nil
 }
 
 // Engagement is one cell of the expanded campaign matrix.
@@ -100,15 +137,28 @@ type Engagement struct {
 	Hour    int    `json:"hour"`
 	Body    int    `json:"body"`
 	Seed    int64  `json:"seed"`
+	// Scenario names the scenario-pack world this cell runs under; ""
+	// means the clean path.
+	Scenario string `json:"scenario,omitempty"`
+
+	// scenario is the resolved spec behind Scenario, set by Expand.
+	// Engagements constructed by hand (tests, ad-hoc subsets) with a
+	// non-empty Scenario but nil pointer fail loudly in DefaultEngage.
+	scenario *dpi.ScenarioSpec
 }
 
 // Key is the engagement's stable identity, used for sorting, failure
-// records, and disagreement reporting.
+// records, and disagreement reporting. The scenario segment appears only
+// when one is set, so scenario-less keys match older records.
 func (e Engagement) Key() string {
-	return e.Network + "/" + e.Trace +
+	k := e.Network + "/" + e.Trace +
 		"/h=" + strconv.Itoa(e.Hour) +
 		"/b=" + strconv.Itoa(e.Body) +
 		"/s=" + strconv.FormatInt(e.Seed, 10)
+	if e.Scenario != "" {
+		k += "/sc=" + e.Scenario
+	}
+	return k
 }
 
 // withDefaults returns a copy of the spec with every empty dimension
@@ -153,6 +203,20 @@ func (s Spec) Validate() error {
 	default:
 		return fmt.Errorf("campaign: unknown server OS %q (linux|macos|windows)", eff.ServerOS)
 	}
+	if s.ScenarioPack != "" {
+		return fmt.Errorf("campaign: scenario pack %q not resolved (call ResolveScenarios)", s.ScenarioPack)
+	}
+	seenSc := make(map[string]bool, len(s.Scenarios))
+	for i := range s.Scenarios {
+		sc := &s.Scenarios[i]
+		if err := sc.Validate(); err != nil {
+			return err
+		}
+		if seenSc[sc.Name] {
+			return fmt.Errorf("campaign: duplicate scenario %q", sc.Name)
+		}
+		seenSc[sc.Name] = true
+	}
 	if s.Retries < 0 {
 		return fmt.Errorf("campaign: negative retries %d", s.Retries)
 	}
@@ -163,24 +227,42 @@ func (s Spec) Validate() error {
 }
 
 // Expand validates the spec and returns the engagement matrix in
-// deterministic order: networks × traces × hours × bodies × seeds, each
-// dimension in spec order.
+// deterministic order: scenarios × networks × traces × hours × bodies ×
+// seeds, each dimension in spec order. With no scenarios the matrix (and
+// its order) is identical to a scenario-less build.
 func (s Spec) Expand() ([]Engagement, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	eff := s.withDefaults()
-	out := make([]Engagement, 0,
+	// The scenario axis: one nil (clean) pass when the spec has none.
+	// Pointers into eff.Scenarios stay valid after return — the backing
+	// array outlives the local copy.
+	scAxis := []*dpi.ScenarioSpec{nil}
+	if len(eff.Scenarios) > 0 {
+		scAxis = scAxis[:0]
+		for i := range eff.Scenarios {
+			scAxis = append(scAxis, &eff.Scenarios[i])
+		}
+	}
+	out := make([]Engagement, 0, len(scAxis)*
 		len(eff.Networks)*len(eff.Traces)*len(eff.Hours)*len(eff.Bodies)*len(eff.Seeds))
-	for _, n := range eff.Networks {
-		for _, t := range eff.Traces {
-			for _, h := range eff.Hours {
-				for _, b := range eff.Bodies {
-					for _, seed := range eff.Seeds {
-						out = append(out, Engagement{
-							Index: len(out), Network: n, Trace: t,
-							Hour: h, Body: b, Seed: seed,
-						})
+	for _, sc := range scAxis {
+		scName := ""
+		if sc != nil {
+			scName = sc.Name
+		}
+		for _, n := range eff.Networks {
+			for _, t := range eff.Traces {
+				for _, h := range eff.Hours {
+					for _, b := range eff.Bodies {
+						for _, seed := range eff.Seeds {
+							out = append(out, Engagement{
+								Index: len(out), Network: n, Trace: t,
+								Hour: h, Body: b, Seed: seed,
+								Scenario: scName, scenario: sc,
+							})
+						}
 					}
 				}
 			}
@@ -189,20 +271,29 @@ func (s Spec) Expand() ([]Engagement, error) {
 	return out, nil
 }
 
-// LoadSpec reads a campaign spec from a JSON file.
+// LoadSpec reads a campaign spec from a JSON file. A scenario_pack
+// reference is resolved relative to the spec file's directory.
 func LoadSpec(path string) (Spec, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return Spec{}, err
 	}
-	return ParseSpec(data)
+	return parseSpec(data, filepath.Dir(path))
 }
 
-// ParseSpec decodes a campaign spec from JSON bytes and validates it.
+// ParseSpec decodes a campaign spec from JSON bytes and validates it. A
+// scenario_pack reference is resolved relative to the working directory.
 func ParseSpec(data []byte) (Spec, error) {
+	return parseSpec(data, "")
+}
+
+func parseSpec(data []byte, baseDir string) (Spec, error) {
 	var s Spec
 	if err := json.Unmarshal(data, &s); err != nil {
 		return Spec{}, fmt.Errorf("campaign: parse spec: %w", err)
+	}
+	if err := s.ResolveScenarios(baseDir); err != nil {
+		return Spec{}, err
 	}
 	if err := s.Validate(); err != nil {
 		return Spec{}, err

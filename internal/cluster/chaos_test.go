@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+)
+
+func TestParseFrameChaos(t *testing.T) {
+	c, err := ParseFrameChaos("drop:0.02,delay:0.05/750ms,trunc:0.01,dup:0.02,seed:7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.DropRate != 0.02 || c.DelayRate != 0.05 || c.Delay != 750*time.Millisecond ||
+		c.TruncRate != 0.01 || c.DupRate != 0.02 || c.Seed != 7 {
+		t.Fatalf("parsed %+v", c)
+	}
+	if !c.Enabled() {
+		t.Fatal("parsed chaos not enabled")
+	}
+	if z, _ := ParseFrameChaos(""); z.Enabled() {
+		t.Fatal("empty chaos spec should inject nothing")
+	}
+
+	for _, bad := range []string{
+		"drop",           // no rate
+		"drop:x",         // unparsable rate
+		"drop:1.5",       // out of [0,1)
+		"warp:0.1",       // unknown fault
+		"seed:abc",       // bad seed
+		"delay:0.1/fast", // bad duration
+	} {
+		if _, err := ParseFrameChaos(bad); err == nil {
+			t.Errorf("%q: parsed, want error", bad)
+		}
+	}
+}
+
+// rwc adapts a bytes.Buffer (or any ReadWriter) to io.ReadWriteCloser.
+type rwc struct{ io.ReadWriter }
+
+func (rwc) Close() error { return nil }
+
+// chaosTranscript pushes n frames through a fresh first Wrap of the
+// given chaos config and returns the bytes that reached the underlying
+// stream.
+func chaosTranscript(t *testing.T, c *FrameChaos, n int) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	conn := c.Wrap(3, rwc{&out})
+	for i := 0; i < n; i++ {
+		if err := writeMsg(conn, &Msg{Type: msgDispatch, Dispatch: &Dispatch{Shard: i, Start: i, End: i + 1}}); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+	}
+	return out.Bytes()
+}
+
+// TestFrameChaosDeterministicPerIncarnation: the fate stream is a pure
+// function of (seed, worker, incarnation) — identical configs replay
+// identically, while a respawned worker slot (second Wrap of the same
+// FrameChaos) draws fresh fates, so a fault that killed one attempt is
+// not deterministically replayed against the retry.
+func TestFrameChaosDeterministicPerIncarnation(t *testing.T) {
+	cfg := func() *FrameChaos {
+		return &FrameChaos{Seed: 11, DropRate: 0.2, DupRate: 0.2}
+	}
+	a := chaosTranscript(t, cfg(), 100)
+	b := chaosTranscript(t, cfg(), 100)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed + first incarnation produced different fault patterns")
+	}
+
+	c := cfg()
+	first := chaosTranscript(t, c, 100)
+	var out bytes.Buffer
+	conn := c.Wrap(3, rwc{&out}) // second incarnation of the same slot
+	for i := 0; i < 100; i++ {
+		writeMsg(conn, &Msg{Type: msgDispatch, Dispatch: &Dispatch{Shard: i, Start: i, End: i + 1}})
+	}
+	if bytes.Equal(first, out.Bytes()) {
+		t.Fatal("respawned incarnation replayed the previous fate stream")
+	}
+}
+
+// writeSizeRecorder records the size of every Write reaching the
+// underlying stream.
+type writeSizeRecorder struct {
+	bytes.Buffer
+	sizes []int
+}
+
+func (w *writeSizeRecorder) Write(p []byte) (int, error) {
+	w.sizes = append(w.sizes, len(p))
+	return w.Buffer.Write(p)
+}
+
+// TestFrameChaosReassemblesWriteFrames: writeMsg issues header and body
+// as separate Writes (and this test fragments further); the chaos layer
+// must buffer until a frame is whole so fates land on frames, never on
+// byte fragments.
+func TestFrameChaosReassemblesWriteFrames(t *testing.T) {
+	rec := &writeSizeRecorder{}
+	c := &FrameChaos{Seed: 1, DropRate: 1e-12} // enabled, but no fault will fire
+	conn := c.Wrap(0, rwc{rec})
+
+	var frame bytes.Buffer
+	if err := writeMsg(&frame, &Msg{Type: msgHeartbeat}); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range frame.Bytes() { // worst case: one byte per Write
+		if _, err := conn.Write([]byte{b}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rec.sizes) != 1 || rec.sizes[0] != frame.Len() {
+		t.Fatalf("underlying writes %v, want one whole %d-byte frame", rec.sizes, frame.Len())
+	}
+	if m, err := readMsg(&rec.Buffer); err != nil || m.Type != msgHeartbeat {
+		t.Fatalf("reassembled frame unreadable: %v %v", m, err)
+	}
+}
+
+func TestFrameChaosDropSwallowsAndRecords(t *testing.T) {
+	buf := obs.NewBuffer()
+	c := &FrameChaos{Seed: 1, DropRate: 1, Recorder: buf}
+	if out := chaosTranscript(t, c, 10); len(out) != 0 {
+		t.Fatalf("%d bytes leaked past a drop-everything chaos wrapper", len(out))
+	}
+	if n := buf.Counter(obs.CtrChaosFrameFaults); n != 10 {
+		t.Fatalf("recorded %d frame faults, want 10", n)
+	}
+}
+
+// TestFrameChaosTruncTearsReadStream: a truncation fate on the read side
+// delivers half a frame and then a torn stream, exactly like a
+// connection cut mid-frame.
+func TestFrameChaosTruncTearsReadStream(t *testing.T) {
+	var wire bytes.Buffer
+	writeMsg(&wire, &Msg{Type: msgDispatch, Dispatch: &Dispatch{Shard: 1, Start: 0, End: 4}})
+	c := &FrameChaos{Seed: 1, TruncRate: 1}
+	conn := c.Wrap(0, rwc{&wire})
+	if _, err := readMsg(conn); err == nil {
+		t.Fatal("read through a truncating wrapper succeeded")
+	}
+	if _, err := readMsg(conn); err == nil {
+		t.Fatal("stream not torn after truncation")
+	}
+}
+
+// chaosEngagementKey reconstructs a row's canonical key for reference
+// comparison.
+func chaosEngagementKey(r campaign.Row) string {
+	return campaign.Engagement{Network: r.Network, Trace: r.Trace, Hour: r.Hour,
+		Body: r.Body, Seed: r.Seed, Scenario: r.Scenario}.Key()
+}
+
+// TestClusterExecChaosDichotomy is the subprocess half of the chaos
+// acceptance gate (DESIGN.md §15): with frame-level transport chaos and
+// recovery armed, fleets of 1, 4, and 16 real worker processes must
+// aggregate byte-identically to the single-process run; with recovery
+// disabled and crash-injected workers, the fleet must degrade to
+// explicitly-tagged failure rows with every engagement accounted for.
+func TestClusterExecChaosDichotomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos sweep skipped in -short")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec()
+	want := singleProcessJSON(t, spec)
+
+	for _, workers := range []int{1, 4, 16} {
+		t.Run(fmt.Sprintf("recover-w%d", workers), func(t *testing.T) {
+			rec := obs.NewBuffer()
+			c := &Coordinator{
+				Spec:             spec,
+				Workers:          workers,
+				Spawn:            ExecSpawner(bin, nil, "LIBERATE_CLUSTER_WORKER=1"),
+				ShardSize:        2,
+				ShardRetries:     16,
+				WorkerRestarts:   64,
+				HandshakeTimeout: 2 * time.Second,
+				ShardTimeout:     30 * time.Second,
+				RequeueBackoff:   time.Millisecond,
+				Chaos: &FrameChaos{Seed: 7, DropRate: 0.04,
+					DelayRate: 0.04, Delay: 25 * time.Millisecond,
+					TruncRate: 0.02, DupRate: 0.04},
+				Recorder: obs.Locked(rec),
+			}
+			sum, err := c.Run(context.Background())
+			if err != nil {
+				t.Fatalf("chaosed fleet: %v", err)
+			}
+			got, err := sum.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("recovered summary differs from single-process run (faults=%d requeues=%d deaths=%d)",
+					rec.Counter(obs.CtrChaosFrameFaults), rec.Counter(obs.CtrShardRequeues),
+					rec.Counter(obs.CtrWorkerDeaths))
+			}
+			if sum.Failed != 0 {
+				t.Errorf("recovery-armed fleet surfaced %d failures", sum.Failed)
+			}
+		})
+	}
+
+	t.Run("degrade", func(t *testing.T) {
+		c := &Coordinator{
+			Spec:    spec,
+			Workers: 1,
+			Spawn: ExecSpawner(bin, nil, "LIBERATE_CLUSTER_WORKER=1",
+				"LIBERATE_CLUSTER_CRASH_AFTER=2"),
+			ShardSize:      2,
+			ShardRetries:   -1,
+			WorkerRestarts: 64,
+			RequeueBackoff: -1,
+		}
+		sum, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("degraded fleet: %v", err)
+		}
+		if sum.Succeeded+sum.Failed != sum.Engagements {
+			t.Fatalf("engagements lost: %d + %d != %d", sum.Succeeded, sum.Failed, sum.Engagements)
+		}
+		if sum.Failed == 0 || sum.Succeeded == 0 {
+			t.Fatalf("degraded fleet did not interleave successes and failures: ok=%d fail=%d",
+				sum.Succeeded, sum.Failed)
+		}
+		if len(sum.Failures) != sum.Failed {
+			t.Fatalf("%d failure records for %d failed engagements", len(sum.Failures), sum.Failed)
+		}
+		for _, f := range sum.Failures {
+			if !strings.Contains(f.Err, "abandoned") {
+				t.Errorf("failure %s: %q does not name shard abandonment", f.Key, f.Err)
+			}
+		}
+		// Rows that did succeed are byte-identical to the healthy run.
+		var ref campaign.Summary
+		if err := json.Unmarshal(want, &ref); err != nil {
+			t.Fatal(err)
+		}
+		refRows := make(map[string]campaign.Row, len(ref.Rows))
+		for _, r := range ref.Rows {
+			refRows[chaosEngagementKey(r)] = r
+		}
+		for _, r := range sum.Rows {
+			if r.Status != campaign.StatusOK {
+				continue
+			}
+			wantRow, ok := refRows[chaosEngagementKey(r)]
+			if !ok {
+				t.Fatalf("ok row %s missing from reference", chaosEngagementKey(r))
+				continue
+			}
+			g, _ := json.Marshal(r)
+			w, _ := json.Marshal(wantRow)
+			if !bytes.Equal(g, w) {
+				t.Errorf("ok row %s diverged from healthy run", chaosEngagementKey(r))
+			}
+		}
+	})
+}

@@ -20,10 +20,12 @@ import (
 // set, the test binary speaks the worker protocol on stdin/stdout and
 // never runs the test list. ExecSpawner re-execs the binary with the
 // variable set — the same pattern cmd/liberate-campaign uses with its
-// hidden -cluster-worker flag.
+// hidden -cluster-worker flag. WorkerOptionsFromEnv lets individual
+// tests chaos-arm their subprocesses (injected crashes, stalls) through
+// the environment, exactly as liberate-campaign's worker mode does.
 func TestMain(m *testing.M) {
 	if os.Getenv("LIBERATE_CLUSTER_WORKER") == "1" {
-		if err := ServeWorker(context.Background(), os.Stdin, os.Stdout, WorkerOptions{}); err != nil {
+		if err := ServeWorker(context.Background(), os.Stdin, os.Stdout, WorkerOptionsFromEnv()); err != nil {
 			fmt.Fprintln(os.Stderr, "worker:", err)
 			os.Exit(1)
 		}

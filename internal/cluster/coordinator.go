@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/detrand"
 	"repro/internal/obs"
 )
 
@@ -51,6 +53,30 @@ type Coordinator struct {
 	// (default 30s — subprocess startup included).
 	HeartbeatTimeout time.Duration
 	HandshakeTimeout time.Duration
+	// ShardTimeout bounds one shard's total in-flight time regardless of
+	// heartbeats (default: none). It is the liveness backstop for the
+	// dropped-result-frame failure mode: a worker whose result frame was
+	// lost in transit keeps beaconing forever, and only an absolute
+	// deadline gets the shard back on the queue.
+	ShardTimeout time.Duration
+
+	// RequeueBackoff delays an orphaned shard's return to the queue:
+	// exponential per attempt from this base (default 200ms), capped at
+	// RequeueBackoffMax (default 5s), with deterministic jitter in
+	// [0.5,1.5) so a fleet-wide failure doesn't thundering-herd the
+	// survivors. Negative disables the delay entirely.
+	RequeueBackoff    time.Duration
+	RequeueBackoffMax time.Duration
+
+	// WorkerRestarts is how many times a dead worker's slot is respawned
+	// (default 0: a dead worker stays dead, as before). Restarts are what
+	// let a chaos run with injected crashes still drain the full matrix.
+	WorkerRestarts int
+
+	// Chaos, when enabled, wraps every worker connection with frame-level
+	// fault injection — the cluster chaos harness. Never use outside
+	// acceptance testing.
+	Chaos *FrameChaos
 
 	// Observer receives campaign progress (per-engagement events fire as
 	// shard results arrive; must be safe for concurrent use). Recorder
@@ -194,6 +220,9 @@ func (c *Coordinator) Run(ctx context.Context) (*campaign.Summary, error) {
 
 	obsv := c.observer()
 	rec := c.recorder()
+	if c.Chaos.Enabled() && c.Chaos.Recorder == nil {
+		c.Chaos.Recorder = rec
+	}
 	obsv.CampaignStarted(len(engs), workers)
 
 	var wg sync.WaitGroup
@@ -202,7 +231,23 @@ func (c *Coordinator) Run(ctx context.Context) (*campaign.Summary, error) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			errs[id] = c.runWorker(ctx, id, hash, cfg, engs, shards, b, rec)
+			// A worker slot may be respawned after a death, so one crashed
+			// process doesn't permanently shrink the fleet.
+			for restarts := c.WorkerRestarts; ; restarts-- {
+				errs[id] = c.runWorker(ctx, id, hash, cfg, engs, shards, b, rec)
+				if errs[id] == nil || restarts <= 0 || ctx.Err() != nil {
+					return
+				}
+				select {
+				case <-b.allDone:
+					return
+				default:
+				}
+				if rec.Enabled() {
+					rec.Record(obs.Event{Kind: obs.KindClusterWorkerDeath, Actor: "coordinator",
+						Label: fmt.Sprintf("worker=%d respawn (%d restarts left)", id, restarts-1)})
+				}
+			}
 		}(id)
 	}
 	wg.Wait()
@@ -231,14 +276,21 @@ func (c *Coordinator) Run(ctx context.Context) (*campaign.Summary, error) {
 }
 
 // workerConn is a live worker: its stream, a channel the reader
-// goroutine feeds, and the terminal read error once the channel closes.
+// goroutine feeds with protocol messages, the wall time of the last
+// frame heard (heartbeats included — they prove liveness but are
+// filtered out of the channel), and the terminal read error once the
+// channel closes.
 type workerConn struct {
 	id   int
 	conn io.ReadWriteCloser
 	msgs chan *Msg
+	// done is closed when the manager abandons the worker, releasing a
+	// reader goroutine blocked on a full msgs channel.
+	done chan struct{}
 
-	mu      sync.Mutex
-	readErr error
+	mu       sync.Mutex
+	readErr  error
+	lastBeat time.Time
 }
 
 func (w *workerConn) setErr(err error) {
@@ -253,26 +305,62 @@ func (w *workerConn) err() error {
 	return w.readErr
 }
 
-// await returns the worker's next message, failing after timeout of
-// silence. Heartbeats reset the clock by virtue of being messages; the
-// caller skips them as it sees fit.
-func (w *workerConn) await(ctx context.Context, timeout time.Duration) (*Msg, error) {
-	t := time.NewTimer(timeout)
-	defer t.Stop()
-	select {
-	case m, ok := <-w.msgs:
-		if !ok {
-			err := w.err()
-			if err == nil || err == io.EOF {
-				err = io.ErrUnexpectedEOF
-			}
-			return nil, fmt.Errorf("cluster: worker %d stream: %w", w.id, err)
+func (w *workerConn) touch() {
+	w.mu.Lock()
+	w.lastBeat = time.Now()
+	w.mu.Unlock()
+}
+
+func (w *workerConn) lastHeard() time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastBeat
+}
+
+// errAwaitDeadline is await's sentinel for an exceeded absolute
+// deadline, as opposed to heartbeat silence; runShard maps it to the
+// shard-timeout error.
+var errAwaitDeadline = errors.New("cluster: await deadline exceeded")
+
+// await returns the worker's next protocol message. It fails after
+// `silence` without hearing anything from the worker (heartbeats reset
+// the clock via lastBeat without ever surfacing here), or — when
+// deadline is non-zero — once the absolute deadline passes regardless
+// of flowing heartbeats (errAwaitDeadline).
+func (w *workerConn) await(ctx context.Context, silence time.Duration, deadline time.Time) (*Msg, error) {
+	for {
+		now := time.Now()
+		quiet := w.lastHeard().Add(silence)
+		if now.After(quiet) {
+			return nil, fmt.Errorf("cluster: worker %d silent for %s (heartbeat timeout)", w.id, silence)
 		}
-		return m, nil
-	case <-t.C:
-		return nil, fmt.Errorf("cluster: worker %d silent for %s (heartbeat timeout)", w.id, timeout)
-	case <-ctx.Done():
-		return nil, ctx.Err()
+		if !deadline.IsZero() && now.After(deadline) {
+			return nil, errAwaitDeadline
+		}
+		wait := quiet.Sub(now)
+		if !deadline.IsZero() {
+			if d := deadline.Sub(now); d < wait {
+				wait = d
+			}
+		}
+		t := time.NewTimer(wait)
+		select {
+		case m, ok := <-w.msgs:
+			t.Stop()
+			if !ok {
+				err := w.err()
+				if err == nil || err == io.EOF {
+					err = io.ErrUnexpectedEOF
+				}
+				return nil, fmt.Errorf("cluster: worker %d stream: %w", w.id, err)
+			}
+			return m, nil
+		case <-t.C:
+			// Re-check: a heartbeat may have moved lastBeat forward.
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
 	}
 }
 
@@ -288,9 +376,19 @@ func (c *Coordinator) runWorker(ctx context.Context, id int, hash string, cfg *W
 		return err
 	}
 	defer conn.Close()
+	if c.Chaos.Enabled() {
+		conn = c.Chaos.Wrap(id, conn)
+	}
 
-	w := &workerConn{id: id, conn: conn, msgs: make(chan *Msg, 4)}
+	w := &workerConn{id: id, conn: conn, msgs: make(chan *Msg, 4),
+		done: make(chan struct{}), lastBeat: time.Now()}
+	defer close(w.done)
 	go func() {
+		// A dead read stream means a dead transport: close the connection
+		// so a manager blocked mid-writeMsg (or the worker's heartbeat
+		// goroutine blocked mid-beacon on the far end of a synchronous
+		// pipe) unblocks with an error instead of deadlocking.
+		defer conn.Close()
 		for {
 			m, err := readMsg(conn)
 			if err != nil {
@@ -298,7 +396,22 @@ func (c *Coordinator) runWorker(ctx context.Context, id int, hash string, cfg *W
 				close(w.msgs)
 				return
 			}
-			w.msgs <- m
+			w.touch()
+			// Heartbeats prove liveness and nothing else; forwarding them
+			// into msgs would let a burst of beacons fill the channel and
+			// block this reader — which deadlocks a fully synchronous
+			// transport (net.Pipe) when the manager is simultaneously
+			// blocked writing a dispatch the worker can't read because its
+			// own heartbeat goroutine holds the write mutex mid-beacon.
+			if m.Type == msgHeartbeat {
+				continue
+			}
+			select {
+			case w.msgs <- m:
+			case <-w.done:
+				// The manager already returned; nobody will drain msgs.
+				return
+			}
 		}
 	}()
 
@@ -327,7 +440,7 @@ func (c *Coordinator) runWorker(ctx context.Context, id int, hash string, cfg *W
 	// Handshake: the worker leads with hello; version or registry skew is
 	// rejected explicitly so the operator sees "wrong binary", not a
 	// mysteriously diverging summary.
-	m, err := w.await(ctx, hsTimeout)
+	m, err := w.await(ctx, hsTimeout, time.Time{})
 	if err != nil {
 		noteDeath("handshake")
 		return err
@@ -361,7 +474,7 @@ func (c *Coordinator) runWorker(ctx context.Context, id int, hash string, cfg *W
 			sr := shards[shard]
 			if err := c.runShard(ctx, w, shard, sr, engs, b, obsv, rec, hbTimeout); err != nil {
 				noteDeath(fmt.Sprintf("shard=%d: %v", shard, err))
-				c.reassign(shard, attempt, sr, engs, b, obsv, err)
+				c.reassign(shard, attempt, sr, engs, b, obsv, rec, err)
 				return err
 			}
 		}
@@ -383,14 +496,25 @@ func (c *Coordinator) runShard(ctx context.Context, w *workerConn, shard int, sr
 	if err := writeMsg(w.conn, &Msg{Type: msgDispatch, Dispatch: &Dispatch{Shard: shard, Start: sr.start, End: sr.end}}); err != nil {
 		return err
 	}
+	// A flowing heartbeat must not outlive the shard deadline: a worker
+	// whose result frame was lost still beacons, and only the absolute
+	// cutoff gets the shard back on the queue.
+	var deadline time.Time
+	if c.ShardTimeout > 0 {
+		deadline = time.Now().Add(c.ShardTimeout)
+	}
 	for {
-		m, err := w.await(ctx, hbTimeout)
+		m, err := w.await(ctx, hbTimeout, deadline)
 		if err != nil {
+			if err == errAwaitDeadline {
+				return fmt.Errorf("cluster: worker %d shard %d still in flight after %s (shard timeout)",
+					w.id, shard, c.ShardTimeout)
+			}
 			return err
 		}
 		switch m.Type {
 		case msgHeartbeat:
-			continue
+			continue // filtered by the reader; tolerate one anyway
 		case msgResult:
 			res := m.Result
 			if res == nil || res.Shard != shard {
@@ -426,10 +550,11 @@ func (c *Coordinator) runShard(ctx context.Context, w *workerConn, shard int, sr
 }
 
 // reassign handles a shard orphaned by a worker death: back on the queue
-// within the retry budget, otherwise recorded as failed engagements so
-// the campaign still completes with an honest summary.
+// within the retry budget (after a jittered exponential backoff),
+// otherwise recorded as failed engagements so the campaign still
+// completes with an honest summary.
 func (c *Coordinator) reassign(shard, attempt int, sr shardRange,
-	engs []campaign.Engagement, b *board, obsv campaign.Observer, cause error) {
+	engs []campaign.Engagement, b *board, obsv campaign.Observer, rec obs.Recorder, cause error) {
 
 	retries := c.ShardRetries
 	if retries < 0 {
@@ -438,7 +563,20 @@ func (c *Coordinator) reassign(shard, attempt int, sr shardRange,
 		retries = 1
 	}
 	if attempt <= retries {
-		b.queue <- shard
+		delay := c.requeueDelay(shard, attempt)
+		rec.Add(obs.CtrShardRequeues, 1)
+		if rec.Enabled() {
+			rec.Record(obs.Event{Kind: obs.KindClusterRequeue, Actor: "coordinator",
+				Label: fmt.Sprintf("shard=%d attempt=%d backoff=%s: %v", shard, attempt, delay, cause),
+				Value: int64(delay), Aux: int64(attempt)})
+		}
+		if delay <= 0 {
+			b.queue <- shard
+			return
+		}
+		// The queue is buffered to the shard count, so a delayed send can
+		// never block — even one landing after the campaign finished.
+		time.AfterFunc(delay, func() { b.queue <- shard })
 		return
 	}
 	results := make([]campaign.Result, 0, sr.end-sr.start)
@@ -452,6 +590,32 @@ func (c *Coordinator) reassign(shard, attempt int, sr shardRange,
 	}
 	b.add(results, obsv)
 	b.complete(shard)
+}
+
+// requeueDelay computes the jittered exponential backoff before a shard
+// re-enters the queue: base<<(attempt-1), capped, scaled by a
+// deterministic jitter factor in [0.5, 1.5) seeded from (shard, attempt).
+func (c *Coordinator) requeueDelay(shard, attempt int) time.Duration {
+	base := c.RequeueBackoff
+	if base < 0 {
+		return 0
+	}
+	if base == 0 {
+		base = 200 * time.Millisecond
+	}
+	max := c.RequeueBackoffMax
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	jitter := 0.5 + detrand.New(int64(shard)<<20^int64(attempt)).Float64()
+	return time.Duration(float64(d) * jitter)
 }
 
 func resultShard(r *ShardResult) int {

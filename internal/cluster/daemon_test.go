@@ -23,6 +23,25 @@ func countingEngage(n *atomic.Int64) campaign.EngageFunc {
 	}
 }
 
+// awaitTrue polls cond under a hard deadline with exponential backoff
+// (1ms doubling to a 250ms cap), so waits resolve promptly on fast
+// machines without hammering the condition — and can't flake under load
+// the way a fixed-interval sleep loop does.
+func awaitTrue(t *testing.T, timeout time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	wait := time.Millisecond
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal(msg)
+		}
+		time.Sleep(wait)
+		if wait *= 2; wait > 250*time.Millisecond {
+			wait = 250 * time.Millisecond
+		}
+	}
+}
+
 func getJSON(t *testing.T, url string) (int, map[string]any) {
 	t.Helper()
 	resp, err := http.Get(url)
@@ -119,19 +138,17 @@ func TestDaemonColdQuerySchedulesAndWarms(t *testing.T) {
 	}
 	close(release)
 
-	deadline := time.Now().Add(30 * time.Second)
-	for {
+	var warmed map[string]any
+	awaitTrue(t, 30*time.Second, "background engagement never warmed the store", func() bool {
 		status, body := getJSON(t, url)
-		if status == http.StatusOK {
-			if body["source"] != "store" {
-				t.Errorf("warmed answer source = %v", body["source"])
-			}
-			break
+		if status != http.StatusOK {
+			return false
 		}
-		if time.Now().After(deadline) {
-			t.Fatal("background engagement never warmed the store")
-		}
-		time.Sleep(50 * time.Millisecond)
+		warmed = body
+		return true
+	})
+	if warmed["source"] != "store" {
+		t.Errorf("warmed answer source = %v", warmed["source"])
 	}
 	if n := engaged.Load(); n != 1 {
 		t.Errorf("background engagements = %d, want 1 (dedupe)", n)

@@ -6,10 +6,12 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 // WorkerOptions tunes ServeWorker; the zero value is production-ready.
@@ -20,6 +22,47 @@ type WorkerOptions struct {
 	// HeartbeatEvery is the liveness beacon interval (default 500ms).
 	// The coordinator declares a worker dead after missing several.
 	HeartbeatEvery time.Duration
+
+	// The remaining fields are the worker side of the chaos harness —
+	// injected process misbehaviour for acceptance testing, never armed
+	// in production. Zero values disable them all.
+
+	// CrashAfter kills the worker with an injected error instead of
+	// sending its Nth shard result (1 = die before the first result).
+	CrashAfter int
+	// StallAfter makes the worker go silent after sending N results: it
+	// stops heartbeating and swallows further dispatches while keeping
+	// the stream open — the zombie the heartbeat timeout exists to reap.
+	StallAfter int
+	// SlowStart delays the hello by the given wall time, exercising the
+	// handshake timeout.
+	SlowStart time.Duration
+	// Recorder receives chaos.* events for injected faults (nil = unrecorded).
+	Recorder obs.Recorder
+}
+
+// WorkerOptionsFromEnv reads the chaos knobs from the environment —
+// LIBERATE_CLUSTER_CRASH_AFTER, LIBERATE_CLUSTER_STALL_AFTER (integers),
+// LIBERATE_CLUSTER_SLOW_START (a duration) — so exec-spawned workers can
+// be chaos-armed per process without widening their command line.
+func WorkerOptionsFromEnv() WorkerOptions {
+	var opts WorkerOptions
+	if v := os.Getenv("LIBERATE_CLUSTER_CRASH_AFTER"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			opts.CrashAfter = n
+		}
+	}
+	if v := os.Getenv("LIBERATE_CLUSTER_STALL_AFTER"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			opts.StallAfter = n
+		}
+	}
+	if v := os.Getenv("LIBERATE_CLUSTER_SLOW_START"); v != "" {
+		if d, err := time.ParseDuration(v); err == nil {
+			opts.SlowStart = d
+		}
+	}
+	return opts
 }
 
 // ServeWorker speaks the worker side of the shard protocol on (r, w) —
@@ -32,6 +75,9 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 	hash, err := RegistryHash()
 	if err != nil {
 		return fmt.Errorf("cluster: worker registry hash: %w", err)
+	}
+	if opts.SlowStart > 0 {
+		time.Sleep(opts.SlowStart)
 	}
 	var writeMu sync.Mutex
 	send := func(m *Msg) error {
@@ -93,6 +139,8 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 		every = 500 * time.Millisecond
 	}
 	stopBeat := make(chan struct{})
+	var stopOnce sync.Once
+	stopBeating := func() { stopOnce.Do(func() { close(stopBeat) }) }
 	var beatWG sync.WaitGroup
 	beatWG.Add(1)
 	go func() {
@@ -113,10 +161,20 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 		}
 	}()
 	defer func() {
-		close(stopBeat)
+		stopBeating()
+		// A beacon may be blocked mid-write on a transport nobody reads
+		// anymore (the coordinator's reader died, or the far end of a
+		// synchronous pipe is wedged). The stream is dead on any exit path
+		// that reaches here, so tear down the write side before waiting —
+		// otherwise this Wait can never return.
+		if c, ok := w.(io.Closer); ok {
+			c.Close()
+		}
 		beatWG.Wait()
 	}()
 
+	resultsSent := 0
+	stalled := false
 	for {
 		m, err := readMsg(r)
 		if err != nil {
@@ -131,9 +189,22 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 			if d == nil || d.Start < 0 || d.End > len(engs) || d.Start >= d.End {
 				return fmt.Errorf("cluster: bad dispatch %+v", m.Dispatch)
 			}
+			if stalled {
+				// Injected zombie mode: swallow the work, say nothing. The
+				// coordinator's heartbeat timeout reaps us.
+				continue
+			}
 			results := runner.RunSubset(ctx, engs[d.Start:d.End])
 			if err := ctx.Err(); err != nil {
 				return err
+			}
+			if opts.CrashAfter > 0 && resultsSent+1 >= opts.CrashAfter {
+				if rec := opts.Recorder; rec != nil && rec.Enabled() {
+					rec.Record(obs.Event{Kind: obs.KindChaosWorkerCrash, Actor: "worker",
+						Label: fmt.Sprintf("shard=%d", d.Shard), Aux: int64(resultsSent)})
+					rec.Add(obs.CtrChaosWorkerFaults, 1)
+				}
+				return fmt.Errorf("cluster: injected crash before result %d", resultsSent+1)
 			}
 			sr := &ShardResult{Shard: d.Shard, Results: make([]WireResult, 0, len(results))}
 			for _, res := range results {
@@ -141,6 +212,16 @@ func ServeWorker(ctx context.Context, r io.Reader, w io.Writer, opts WorkerOptio
 			}
 			if err := send(&Msg{Type: msgResult, Result: sr}); err != nil {
 				return err
+			}
+			resultsSent++
+			if opts.StallAfter > 0 && resultsSent >= opts.StallAfter && !stalled {
+				stalled = true
+				if rec := opts.Recorder; rec != nil && rec.Enabled() {
+					rec.Record(obs.Event{Kind: obs.KindChaosWorkerStall, Actor: "worker",
+						Label: fmt.Sprintf("shard=%d", d.Shard), Aux: int64(resultsSent)})
+					rec.Add(obs.CtrChaosWorkerFaults, 1)
+				}
+				stopBeating()
 			}
 		case msgShutdown:
 			return nil

@@ -80,6 +80,21 @@ func fingerprintElement(w io.Writer, el netem.Element) {
 		fmt.Fprintf(w, "corrupt %s rate=%v seed=%d\n", e.Label, e.CorruptRate, e.Seed)
 	case *netem.PayloadCorruptingLink:
 		fmt.Fprintf(w, "paycorrupt %s rate=%v seed=%d\n", e.Label, e.CorruptRate, e.Seed)
+	case *netem.DelayLink:
+		fmt.Fprintf(w, "delay %s d=%v jitter=%v seed=%d\n", e.Label, e.Delay, e.Jitter, e.Seed)
+	case *netem.ReorderLink:
+		fmt.Fprintf(w, "reorder %s rate=%v hold=%v seed=%d\n", e.Label, e.Rate, e.HoldFor, e.Seed)
+	case *netem.NthLink:
+		fmt.Fprintf(w, "nth %s every=%d offset=%d\n", e.Label, e.Every, e.Offset)
+	case *netem.TokenBucketLink:
+		fmt.Fprintf(w, "bucket %s rate=%v burst=%v\n", e.Label, e.Rate, e.Burst)
+	case *netem.AsymLink:
+		// Wrappers recurse so the inner impairment's knobs reach the digest.
+		fmt.Fprintf(w, "asym %s dir=%v inner=", e.Label, e.Dir)
+		fingerprintElement(w, e.Inner)
+	case *netem.PhaseLink:
+		fmt.Fprintf(w, "phase %s start=%v end=%v inner=", e.Label, e.Start, e.End)
+		fingerprintElement(w, e.Inner)
 	default:
 		fmt.Fprintf(w, "element %s %T\n", el.Name(), el)
 	}

@@ -10,26 +10,80 @@ import (
 )
 
 // ImpairmentSpec is the JSON/CLI description of one path impairment —
-// a lossy, duplicating, bursty (Gilbert-Elliott), bit-corrupting, or
-// silently payload-corrupting link inserted at the client side of the
-// path, where access-link flakiness lives.
+// a lossy, duplicating, bursty (Gilbert-Elliott), bit-corrupting,
+// silently payload-corrupting, delaying, reordering, nth-packet-losing,
+// or token-bucket-throttling link inserted at the client side of the
+// path, where access-link flakiness lives. Dir restricts the impairment
+// to one direction of travel (pumba-style tc-egress vs iptables-ingress
+// asymmetry); empty means both.
 type ImpairmentSpec struct {
-	// Kind is one of "loss", "dup", "ge", "corrupt", "payload".
+	// Kind is one of "loss", "dup", "ge", "corrupt", "payload",
+	// "delay", "reorder", "nth", "rate".
 	Kind string `json:"kind"`
-	// Rate is the impairment's primary probability: loss/dup/corruption
-	// rate, or the Good→Bad transition probability for "ge".
+	// Rate is the impairment's primary probability: loss/dup/corruption/
+	// reorder rate, or the Good→Bad transition probability for "ge". The
+	// non-probabilistic kinds reuse it as their CLI shorthand slot:
+	// "delay" reads it as milliseconds, "nth" as the cycle length, and
+	// "rate" as KB/s, unless the dedicated JSON field below is set.
 	Rate float64 `json:"rate"`
-	// Rate2 is "ge"'s Bad→Good transition probability (default 0.3).
+	// Rate2 is "ge"'s Bad→Good transition probability (default 0.3), the
+	// CLI jitter-ms slot for "delay", the hold-ms slot for "reorder",
+	// the offset slot for "nth", and the burst-KB slot for "rate".
 	Rate2 float64 `json:"rate2,omitempty"`
 	// Rate3 is "ge"'s Bad-state loss probability (default 0.8).
 	Rate3 float64 `json:"rate3,omitempty"`
 	// Seed offsets the link's RNG stream (0 = a fixed default).
 	Seed int64 `json:"seed,omitempty"`
+
+	// DelayMs/JitterMs configure "delay" (JSON form; fall back to
+	// Rate/Rate2 when zero).
+	DelayMs  float64 `json:"delay_ms,omitempty"`
+	JitterMs float64 `json:"jitter_ms,omitempty"`
+	// HoldMs is "reorder"'s hold-back duration (default 5ms).
+	HoldMs float64 `json:"hold_ms,omitempty"`
+	// Every/Offset configure "nth": drop one packet in Every, rotated by
+	// Offset.
+	Every  int `json:"every,omitempty"`
+	Offset int `json:"offset,omitempty"`
+	// KBps/BurstKB configure "rate": sustained kilobytes per second and
+	// bucket depth (default: one second of KBps).
+	KBps    float64 `json:"kbps,omitempty"`
+	BurstKB float64 `json:"burst_kb,omitempty"`
+	// Dir is "", "egress" (client→server only), or "ingress"
+	// (server→client only).
+	Dir string `json:"dir,omitempty"`
 }
 
-// build constructs the netem element an impairment spec describes.
+// probabilistic reports whether the kind's Rate is a probability that
+// must sit in [0,1).
+func (s ImpairmentSpec) probabilistic() bool {
+	switch s.Kind {
+	case "loss", "dup", "ge", "corrupt", "payload", "reorder":
+		return true
+	}
+	return false
+}
+
+// build constructs the netem element an impairment spec describes,
+// wrapped in an AsymLink when Dir restricts it to one direction.
 func (s ImpairmentSpec) build(label string) (netem.Element, error) {
-	if s.Rate < 0 || s.Rate >= 1 {
+	el, err := s.buildInner(label)
+	if err != nil {
+		return nil, err
+	}
+	switch s.Dir {
+	case "":
+		return el, nil
+	case "egress":
+		return &netem.AsymLink{Label: label + "-egress", Dir: netem.ToServer, Inner: el}, nil
+	case "ingress":
+		return &netem.AsymLink{Label: label + "-ingress", Dir: netem.ToClient, Inner: el}, nil
+	}
+	return nil, fmt.Errorf("dpi: impairment %q: unknown direction %q (egress|ingress)", s.Kind, s.Dir)
+}
+
+func (s ImpairmentSpec) buildInner(label string) (netem.Element, error) {
+	if s.probabilistic() && (s.Rate < 0 || s.Rate >= 1) {
 		return nil, fmt.Errorf("dpi: impairment %q rate %v outside [0,1)", s.Kind, s.Rate)
 	}
 	switch s.Kind {
@@ -50,14 +104,63 @@ func (s ImpairmentSpec) build(label string) (netem.Element, error) {
 		return &netem.CorruptingLink{Label: label, CorruptRate: s.Rate, Seed: s.Seed}, nil
 	case "payload":
 		return &netem.PayloadCorruptingLink{Label: label, CorruptRate: s.Rate, Seed: s.Seed}, nil
+	case "delay":
+		ms, jitter := s.DelayMs, s.JitterMs
+		if ms <= 0 {
+			ms = s.Rate
+		}
+		if jitter <= 0 {
+			jitter = s.Rate2
+		}
+		if ms <= 0 && jitter <= 0 {
+			return nil, fmt.Errorf("dpi: impairment %q needs a positive delay", s.Kind)
+		}
+		return &netem.DelayLink{Label: label,
+			Delay:  time.Duration(ms * float64(time.Millisecond)),
+			Jitter: time.Duration(jitter * float64(time.Millisecond)), Seed: s.Seed}, nil
+	case "reorder":
+		hold := s.HoldMs
+		if hold <= 0 {
+			hold = s.Rate2
+		}
+		return &netem.ReorderLink{Label: label, Rate: s.Rate,
+			HoldFor: time.Duration(hold * float64(time.Millisecond)), Seed: s.Seed}, nil
+	case "nth":
+		every, offset := s.Every, s.Offset
+		if every <= 0 {
+			every = int(s.Rate)
+		}
+		if offset == 0 {
+			offset = int(s.Rate2)
+		}
+		if every < 1 {
+			return nil, fmt.Errorf("dpi: impairment %q needs every ≥ 1, got %d", s.Kind, every)
+		}
+		return &netem.NthLink{Label: label, Every: every, Offset: offset}, nil
+	case "rate":
+		kbps, burst := s.KBps, s.BurstKB
+		if kbps <= 0 {
+			kbps = s.Rate
+		}
+		if burst <= 0 {
+			burst = s.Rate2
+		}
+		if kbps <= 0 {
+			return nil, fmt.Errorf("dpi: impairment %q needs a positive KB/s rate", s.Kind)
+		}
+		return &netem.TokenBucketLink{Label: label, Rate: kbps * 1024, Burst: burst * 1024}, nil
 	}
-	return nil, fmt.Errorf("dpi: unknown impairment kind %q (loss|dup|ge|corrupt|payload)", s.Kind)
+	return nil, fmt.Errorf("dpi: unknown impairment kind %q (loss|dup|ge|corrupt|payload|delay|reorder|nth|rate)", s.Kind)
 }
 
 // ParseImpairments parses the -impair CLI form: comma-separated
-// kind:rate entries, with "ge" taking kind:pgb/pbg[/lossbad], e.g.
+// kind:rate entries, with "ge" taking kind:pgb/pbg[/lossbad] and an
+// optional @egress / @ingress direction suffix per entry, e.g.
 //
-//	loss:0.02,dup:0.01,ge:0.05/0.3/0.8,payload:0.005
+//	loss:0.02@egress,dup:0.01,ge:0.05/0.3/0.8,delay:5/2@ingress
+//
+// The non-probabilistic kinds read their slots positionally: delay:ms/jitter,
+// reorder:rate/holdms, nth:every/offset, rate:kbps/burstkb.
 func ParseImpairments(s string) ([]ImpairmentSpec, error) {
 	var specs []ImpairmentSpec
 	for _, part := range strings.Split(s, ",") {
@@ -65,11 +168,15 @@ func ParseImpairments(s string) ([]ImpairmentSpec, error) {
 		if part == "" {
 			continue
 		}
+		var dir string
+		if body, suffix, ok := strings.Cut(part, "@"); ok {
+			part, dir = body, suffix
+		}
 		kind, rest, ok := strings.Cut(part, ":")
 		if !ok {
 			return nil, fmt.Errorf("dpi: impairment %q: want kind:rate", part)
 		}
-		spec := ImpairmentSpec{Kind: kind}
+		spec := ImpairmentSpec{Kind: kind, Dir: dir}
 		rates := strings.Split(rest, "/")
 		for i, r := range rates {
 			v, err := strconv.ParseFloat(r, 64)
@@ -123,28 +230,39 @@ func (n *Network) Noisy() bool {
 		return true
 	}
 	for _, el := range n.Env.Elements() {
-		switch e := el.(type) {
-		case *netem.LossyLink:
-			if e.LossRate > 0 {
-				return true
-			}
-		case *netem.DuplicatingLink:
-			if e.DupRate > 0 {
-				return true
-			}
-		case *netem.GilbertElliottLink:
-			if e.PGB > 0 && e.LossBad > 0 || e.LossGood > 0 {
-				return true
-			}
-		case *netem.CorruptingLink:
-			if e.CorruptRate > 0 {
-				return true
-			}
-		case *netem.PayloadCorruptingLink:
-			if e.CorruptRate > 0 {
-				return true
-			}
+		if noisyElement(el) {
+			return true
 		}
+	}
+	return false
+}
+
+// noisyElement reports whether one element injects stochastic or
+// verdict-perturbing behaviour, recursing through the scenario-pack
+// wrappers. Pure shaping (constant delay, rate limiting) is not noisy —
+// it shifts timing without losing or mutating bytes.
+func noisyElement(el netem.Element) bool {
+	switch e := el.(type) {
+	case *netem.LossyLink:
+		return e.LossRate > 0
+	case *netem.DuplicatingLink:
+		return e.DupRate > 0
+	case *netem.GilbertElliottLink:
+		return e.PGB > 0 && e.LossBad > 0 || e.LossGood > 0
+	case *netem.CorruptingLink:
+		return e.CorruptRate > 0
+	case *netem.PayloadCorruptingLink:
+		return e.CorruptRate > 0
+	case *netem.DelayLink:
+		return e.Jitter > 0
+	case *netem.ReorderLink:
+		return e.Rate > 0
+	case *netem.NthLink:
+		return e.Every > 0
+	case *netem.AsymLink:
+		return noisyElement(e.Inner)
+	case *netem.PhaseLink:
+		return noisyElement(e.Inner)
 	}
 	return false
 }

@@ -1,0 +1,315 @@
+package netem
+
+import (
+	"time"
+
+	"repro/internal/detrand"
+	"repro/internal/netem/packet"
+	"repro/internal/obs"
+)
+
+// This file holds the shaping and scheduling impairments behind scenario
+// packs (DESIGN.md §15): constant/jittered delay, probabilistic
+// reordering, deterministic nth-packet loss, token-bucket rate limiting,
+// and the two composition wrappers — AsymLink (direction gating, the
+// tc-egress vs iptables-ingress split) and PhaseLink (time-varying
+// activation windows driven by the virtual clock). Everything here obeys
+// the same contracts as impair.go: lazy seeded RNGs, ForkElement deep
+// copies that continue the stream position, and Traced()-gated events
+// whose Aux pins the detrand draw count.
+
+// DelayLink adds fixed latency — plus optional uniform jitter in
+// [0, Jitter) — to every passing packet, in both directions. With zero
+// Jitter it is fully deterministic and draws no randomness.
+type DelayLink struct {
+	Label string
+	Delay time.Duration
+	// Jitter widens each packet's delay by a uniform draw in [0, Jitter).
+	Jitter time.Duration
+	Seed   int64
+
+	rng     *detrand.Rand
+	Delayed int
+}
+
+// Name implements Element.
+func (l *DelayLink) Name() string { return l.Label }
+
+// ForkElement implements Forkable: the copy continues from the same RNG
+// stream position and delay count.
+func (l *DelayLink) ForkElement() Element {
+	c := *l
+	if l.rng != nil {
+		c.rng = l.rng.Clone()
+	}
+	return &c
+}
+
+// Process implements Element.
+func (l *DelayLink) Process(ctx Context, dir Direction, f *packet.Frame) {
+	d := l.Delay
+	if l.Jitter > 0 {
+		if l.rng == nil {
+			l.rng = detrand.New(l.Seed ^ 0xde1a)
+		}
+		d += time.Duration(l.rng.Int63n(int64(l.Jitter)))
+	}
+	if d <= 0 {
+		ctx.Forward(f)
+		return
+	}
+	l.Delayed++
+	ctx.ForwardAfter(d, f)
+}
+
+// ReorderLink holds back a fraction of packets by HoldFor of virtual
+// time, so packets behind them overtake — the tc-netem "reorder"
+// behaviour. Exactly one RNG draw per packet keeps the stream position a
+// pure function of the packet count, so the link forks mid-stream.
+type ReorderLink struct {
+	Label string
+	// Rate is the per-packet reorder probability in [0,1).
+	Rate float64
+	// HoldFor is how long a selected packet is held back (default 5ms).
+	HoldFor time.Duration
+	Seed    int64
+
+	rng       *detrand.Rand
+	Reordered int
+}
+
+// Name implements Element.
+func (l *ReorderLink) Name() string { return l.Label }
+
+// ForkElement implements Forkable.
+func (l *ReorderLink) ForkElement() Element {
+	c := *l
+	if l.rng != nil {
+		c.rng = l.rng.Clone()
+	}
+	return &c
+}
+
+// Process implements Element.
+func (l *ReorderLink) Process(ctx Context, dir Direction, f *packet.Frame) {
+	if l.rng == nil {
+		l.rng = detrand.New(l.Seed ^ 0x0e0d)
+	}
+	if l.rng.Float64() >= l.Rate {
+		ctx.Forward(f)
+		return
+	}
+	hold := l.HoldFor
+	if hold <= 0 {
+		hold = 5 * time.Millisecond
+	}
+	l.Reordered++
+	if ctx.Traced() {
+		r := ctx.Rec()
+		r.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindLinkReorder, Actor: l.Label,
+			Value: int64(hold), Aux: int64(l.rng.Steps())})
+		r.Add(obs.CtrLinkReorders, 1)
+	}
+	ctx.ForwardAfter(hold, f)
+}
+
+// NthLink drops every Every-th packet, counting from Offset — the
+// iptables statistic-nth loss mode. It is fully deterministic (no RNG):
+// the drop pattern is a pure function of the packet count, so replays
+// lose different positions as traffic shifts, which is exactly the
+// repeatable-yet-verdict-perturbing loss scenario packs want.
+type NthLink struct {
+	Label string
+	// Every drops one packet out of every Every (≥1; 1 drops all).
+	Every int
+	// Offset rotates which packet in the cycle is dropped.
+	Offset int
+
+	count   int
+	Dropped int
+}
+
+// Name implements Element.
+func (l *NthLink) Name() string { return l.Label }
+
+// ForkElement implements Forkable: the copy continues from the same
+// packet count.
+func (l *NthLink) ForkElement() Element {
+	c := *l
+	return &c
+}
+
+// Process implements Element.
+func (l *NthLink) Process(ctx Context, dir Direction, f *packet.Frame) {
+	if l.Every <= 0 {
+		ctx.Forward(f)
+		return
+	}
+	l.count++
+	if (l.count+l.Offset)%l.Every == 0 {
+		l.Dropped++
+		if ctx.Traced() {
+			r := ctx.Rec()
+			// Aux carries the packet count, the deterministic analogue of
+			// the RNG step position other impairments pin drops to.
+			r.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindLinkDrop, Actor: l.Label, Label: "nth",
+				Value: int64(f.Len()), Aux: int64(l.count)})
+			r.Add(obs.CtrLinkDrops, 1)
+		}
+		return
+	}
+	ctx.Forward(f)
+}
+
+// TokenBucketLink rate-limits by byte count: packets spend tokens that
+// refill at Rate bytes per second of virtual time up to Burst; a packet
+// arriving to a depleted bucket is delayed until its debt refills. Unlike
+// Pipe (per-direction serialization at line rate), the bucket is shared
+// by both directions and deterministic — no RNG, state is a pure function
+// of the arrival sequence — modelling a policer on the subscriber line.
+type TokenBucketLink struct {
+	Label string
+	// Rate is the sustained throughput in bytes per second.
+	Rate float64
+	// Burst is the bucket depth in bytes (default: one second of Rate).
+	Burst float64
+
+	tokens  float64
+	lastNS  int64
+	started bool
+	// Throttled counts packets that were delayed by an empty bucket.
+	Throttled int
+}
+
+// Name implements Element.
+func (l *TokenBucketLink) Name() string { return l.Label }
+
+// ForkElement implements Forkable: the copy continues from the same
+// bucket level and refill instant.
+func (l *TokenBucketLink) ForkElement() Element {
+	c := *l
+	return &c
+}
+
+// Process implements Element.
+func (l *TokenBucketLink) Process(ctx Context, dir Direction, f *packet.Frame) {
+	if l.Rate <= 0 {
+		ctx.Forward(f)
+		return
+	}
+	burst := l.Burst
+	if burst <= 0 {
+		burst = l.Rate
+	}
+	now := ctx.VNS()
+	if !l.started {
+		l.started = true
+		l.tokens = burst
+		l.lastNS = now
+	}
+	l.tokens += l.Rate * float64(now-l.lastNS) / float64(time.Second)
+	if l.tokens > burst {
+		l.tokens = burst
+	}
+	l.lastNS = now
+	l.tokens -= float64(f.Len())
+	if l.tokens >= 0 {
+		ctx.Forward(f)
+		return
+	}
+	// Debt becomes delay: the packet departs once refill covers it. Later
+	// packets see the (more negative) balance, so queueing accumulates.
+	delay := time.Duration(-l.tokens / l.Rate * float64(time.Second))
+	l.Throttled++
+	if ctx.Traced() {
+		r := ctx.Rec()
+		r.Record(obs.Event{VNS: ctx.VNS(), Kind: obs.KindLinkThrottle, Actor: l.Label,
+			Value: int64(delay), Aux: int64(f.Len())})
+		r.Add(obs.CtrLinkThrottles, 1)
+	}
+	ctx.ForwardAfter(delay, f)
+}
+
+// AsymLink restricts an inner impairment to one direction of travel —
+// the tc-qdisc-on-egress vs iptables-on-ingress asymmetry real chaos
+// tooling (pumba) exposes. Packets moving the other way pass through
+// untouched. Only single elements nest inside (the inner element's
+// Forward continues from the wrapper's chain position), which is all
+// scenario packs build: each (phase, impairment) pair becomes its own
+// wrapped chain element.
+type AsymLink struct {
+	Label string
+	// Dir is the direction the inner impairment applies to.
+	Dir   Direction
+	Inner Element
+}
+
+// Name implements Element.
+func (a *AsymLink) Name() string { return a.Label }
+
+// ForkElement implements Forkable: the inner element is deep-copied when
+// it is itself Forkable, shared (stateless) otherwise.
+func (a *AsymLink) ForkElement() Element {
+	c := *a
+	if f, ok := a.Inner.(Forkable); ok {
+		c.Inner = f.ForkElement()
+	}
+	return &c
+}
+
+// Process implements Element.
+func (a *AsymLink) Process(ctx Context, dir Direction, f *packet.Frame) {
+	if dir != a.Dir {
+		ctx.Forward(f)
+		return
+	}
+	a.Inner.Process(ctx, dir, f)
+}
+
+// PhaseLink activates an inner impairment only inside a virtual-time
+// window, measured from the first packet the link ever carries — not
+// from the clock epoch, so campaigns that advance the clock to an
+// engagement hour keep identical phase behaviour at every hour. The
+// window is [Start, End) of elapsed time; End ≤ 0 means open-ended.
+//
+// Determinism rule (DESIGN.md §15): the origin is captured once, on the
+// first Process call, and ForkElement copies it, so forks taken
+// mid-engagement agree with the parent about where every phase boundary
+// falls.
+type PhaseLink struct {
+	Label string
+	Start time.Duration
+	End   time.Duration
+	Inner Element
+
+	originNS  int64
+	originSet bool
+}
+
+// Name implements Element.
+func (p *PhaseLink) Name() string { return p.Label }
+
+// ForkElement implements Forkable: the copy keeps the captured origin
+// and deep-copies the inner element when it is Forkable.
+func (p *PhaseLink) ForkElement() Element {
+	c := *p
+	if f, ok := p.Inner.(Forkable); ok {
+		c.Inner = f.ForkElement()
+	}
+	return &c
+}
+
+// Process implements Element.
+func (p *PhaseLink) Process(ctx Context, dir Direction, f *packet.Frame) {
+	now := ctx.VNS()
+	if !p.originSet {
+		p.originSet = true
+		p.originNS = now
+	}
+	elapsed := time.Duration(now - p.originNS)
+	if elapsed < p.Start || (p.End > 0 && elapsed >= p.End) {
+		ctx.Forward(f)
+		return
+	}
+	p.Inner.Process(ctx, dir, f)
+}

@@ -1,0 +1,284 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netem/packet"
+	"repro/internal/netem/vclock"
+)
+
+// timedRig is impairRig plus per-delivery virtual timestamps, for elements
+// whose observable behaviour is *when* packets arrive, not whether.
+func timedRig(el Element) (*vclock.Clock, *Env, *[]int64) {
+	clock := vclock.New()
+	env := New(clock, packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.9"))
+	env.Append(el)
+	var at []int64
+	env.SetServer(EndpointFunc(func([]byte) { at = append(at, clock.NowNS()) }))
+	env.SetClient(EndpointFunc(func([]byte) {}))
+	return clock, env, &at
+}
+
+func pump(env *Env, n int, body string) {
+	for i := 0; i < n; i++ {
+		env.FromClient(packet.NewUDP(env.ClientAddr, env.ServerAddr, 1, 2, []byte(body)).Serialize())
+	}
+}
+
+func sameTimes(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDelayLinkJitterForkContinuesStream(t *testing.T) {
+	dl := &DelayLink{Label: "d", Delay: 2 * time.Millisecond, Jitter: 3 * time.Millisecond, Seed: 5}
+	clock, env, _ := timedRig(dl)
+	pump(env, 50, "x")
+	clock.Run()
+	if dl.Delayed != 50 {
+		t.Fatalf("delayed %d, want all 50", dl.Delayed)
+	}
+
+	fk := dl.ForkElement().(*DelayLink)
+	// Original and fork must schedule identical jittered departures from
+	// the fork point: their RNG streams are in lockstep.
+	clockA, envA, atA := timedRig(dl)
+	clockB, envB, atB := timedRig(fk)
+	pump(envA, 100, "y")
+	pump(envB, 100, "y")
+	clockA.Run()
+	clockB.Run()
+	if !sameTimes(*atA, *atB) {
+		t.Fatalf("fork diverged: %d vs %d deliveries, first mismatch in schedule", len(*atA), len(*atB))
+	}
+	if dl.Delayed != fk.Delayed {
+		t.Fatalf("delay counts diverged: %d vs %d", dl.Delayed, fk.Delayed)
+	}
+}
+
+func TestDelayLinkZeroJitterDrawsNoRandomness(t *testing.T) {
+	dl := &DelayLink{Label: "d", Delay: time.Millisecond}
+	clock, env, at := timedRig(dl)
+	pump(env, 10, "x")
+	clock.Run()
+	// Against a no-op control path, every packet lands exactly Delay later —
+	// no spread, no draws.
+	clockC, envC, atC := timedRig(&DelayLink{Label: "nop"})
+	pump(envC, 10, "x")
+	clockC.Run()
+	if len(*at) != 10 || len(*atC) != 10 {
+		t.Fatalf("delivered %d impaired / %d control, want 10/10", len(*at), len(*atC))
+	}
+	for i := range *at {
+		if (*at)[i] != (*atC)[i]+int64(time.Millisecond) {
+			t.Fatalf("packet %d delivered at %dns, want control+1ms = %dns",
+				i, (*at)[i], (*atC)[i]+int64(time.Millisecond))
+		}
+	}
+}
+
+func TestReorderLinkForkContinuesStream(t *testing.T) {
+	run := func() (int, int) {
+		rl := &ReorderLink{Label: "r", Rate: 0.3, Seed: 9}
+		clock, env, n := impairRig(rl)
+		pump(env, 200, "x")
+		clock.Run()
+		return *n, rl.Reordered
+	}
+	got1, re1 := run()
+	got2, re2 := run()
+	if got1 != got2 || re1 != re2 {
+		t.Fatalf("reorder not deterministic: %d/%d vs %d/%d", got1, re1, got2, re2)
+	}
+	if got1 != 200 || re1 == 0 {
+		t.Fatalf("accounting wrong: delivered=%d reordered=%d", got1, re1)
+	}
+
+	rl := &ReorderLink{Label: "r", Rate: 0.3, Seed: 9}
+	clock, env, _ := impairRig(rl)
+	pump(env, 100, "x")
+	clock.Run()
+	fk := rl.ForkElement().(*ReorderLink)
+	clockA, envA, atA := timedRig(rl)
+	clockB, envB, atB := timedRig(fk)
+	pump(envA, 200, "y")
+	pump(envB, 200, "y")
+	clockA.Run()
+	clockB.Run()
+	if rl.Reordered != fk.Reordered || !sameTimes(*atA, *atB) {
+		t.Fatalf("fork diverged: reordered %d vs %d", rl.Reordered, fk.Reordered)
+	}
+}
+
+func TestNthLinkDropsExactPattern(t *testing.T) {
+	nl := &NthLink{Label: "n", Every: 7, Offset: 2}
+	clock, env, n := impairRig(nl)
+	pump(env, 70, "x")
+	clock.Run()
+	if nl.Dropped != 10 || *n != 60 {
+		t.Fatalf("dropped=%d delivered=%d, want exactly 10/60 for every-7th of 70", nl.Dropped, *n)
+	}
+}
+
+func TestNthLinkForkContinuesCount(t *testing.T) {
+	nl := &NthLink{Label: "n", Every: 7}
+	clock, env, _ := impairRig(nl)
+	pump(env, 10, "x") // mid-cycle: count = 10, 3 short of the next drop
+	clock.Run()
+	fk := nl.ForkElement().(*NthLink)
+	clockA, envA, nA := impairRig(nl)
+	clockB, envB, nB := impairRig(fk)
+	pump(envA, 21, "y")
+	pump(envB, 21, "y")
+	clockA.Run()
+	clockB.Run()
+	if nl.Dropped != fk.Dropped || *nA != *nB {
+		t.Fatalf("fork diverged: dropped %d vs %d, delivered %d vs %d", nl.Dropped, fk.Dropped, *nA, *nB)
+	}
+	// A fresh link fed only the post-fork traffic drops on different
+	// positions — proof the fork carried the mid-cycle packet count.
+	fresh := &NthLink{Label: "n", Every: 7}
+	clockC, envC, _ := impairRig(fresh)
+	pump(envC, 21, "y")
+	clockC.Run()
+	if fresh.Dropped == 0 || nl.Dropped == 0 {
+		t.Fatalf("setup: no drops (fresh=%d forked=%d)", fresh.Dropped, nl.Dropped)
+	}
+}
+
+func TestTokenBucketThrottlesAndForkContinuesBalance(t *testing.T) {
+	// 1 KB/s with a 2 KB bucket; 100-byte packets injected back-to-back at
+	// t=0 deplete the bucket after 20 and queue behind the refill.
+	mk := func() *TokenBucketLink {
+		return &TokenBucketLink{Label: "tb", Rate: 1000, Burst: 2000}
+	}
+	tb := mk()
+	clock, env, at := timedRig(tb)
+	pump(env, 30, "0123456789012345678901234567890123456789012345678901234567890123456789012")
+	clock.Run()
+	if tb.Throttled == 0 || tb.Throttled == 30 {
+		t.Fatalf("throttled %d/30, want some but not all", tb.Throttled)
+	}
+	for i := 1; i < len(*at); i++ {
+		if (*at)[i] < (*at)[i-1] {
+			t.Fatalf("throttled deliveries out of order at %d", i)
+		}
+	}
+
+	fk := tb.ForkElement().(*TokenBucketLink)
+	// Both carry the same (deeply negative) token balance forward, so the
+	// queueing backlog drains identically.
+	clockA, envA, atA := timedRig(tb)
+	clockB, envB, atB := timedRig(fk)
+	pump(envA, 20, "body-of-some-length-to-spend-tokens")
+	pump(envB, 20, "body-of-some-length-to-spend-tokens")
+	clockA.Run()
+	clockB.Run()
+	if tb.Throttled != fk.Throttled || !sameTimes(*atA, *atB) {
+		t.Fatalf("fork diverged: throttled %d vs %d", tb.Throttled, fk.Throttled)
+	}
+}
+
+func TestAsymLinkGatesDirection(t *testing.T) {
+	al := &AsymLink{Label: "a", Dir: ToServer, Inner: &NthLink{Label: "drop", Every: 1}}
+	clock := vclock.New()
+	env := New(clock, packet.AddrFrom("10.0.0.1"), packet.AddrFrom("10.0.0.9"))
+	env.Append(al)
+	toServer, toClient := 0, 0
+	env.SetServer(EndpointFunc(func([]byte) { toServer++ }))
+	env.SetClient(EndpointFunc(func([]byte) { toClient++ }))
+	for i := 0; i < 10; i++ {
+		env.FromClient(packet.NewUDP(env.ClientAddr, env.ServerAddr, 1, 2, []byte("up")).Serialize())
+		env.FromServer(packet.NewUDP(env.ServerAddr, env.ClientAddr, 2, 1, []byte("down")).Serialize())
+	}
+	clock.Run()
+	if toServer != 0 {
+		t.Fatalf("client→server packets leaked past a drop-all egress impairment: %d", toServer)
+	}
+	if toClient != 10 {
+		t.Fatalf("server→client packets were impaired by an egress-only element: %d/10", toClient)
+	}
+}
+
+func TestAsymLinkForkDeepCopiesInner(t *testing.T) {
+	al := &AsymLink{Label: "a", Dir: ToServer,
+		Inner: &GilbertElliottLink{Label: "ge", PGB: 0.1, PBG: 0.2, LossBad: 0.9, Seed: 5}}
+	clock, env, _ := impairRig(al)
+	pump(env, 100, "x")
+	clock.Run()
+	fk := al.ForkElement().(*AsymLink)
+	if fk.Inner == al.Inner {
+		t.Fatal("fork shares the inner element — forkable inners must be deep-copied")
+	}
+	clockA, envA, nA := impairRig(al)
+	clockB, envB, nB := impairRig(fk)
+	pump(envA, 200, "y")
+	pump(envB, 200, "y")
+	clockA.Run()
+	clockB.Run()
+	in, out := al.Inner.(*GilbertElliottLink), fk.Inner.(*GilbertElliottLink)
+	if in.Dropped != out.Dropped || *nA != *nB {
+		t.Fatalf("fork diverged: dropped %d vs %d, delivered %d vs %d", in.Dropped, out.Dropped, *nA, *nB)
+	}
+}
+
+func TestPhaseLinkWindowActivation(t *testing.T) {
+	pl := &PhaseLink{Label: "p", Start: time.Second, End: 2 * time.Second,
+		Inner: &NthLink{Label: "drop", Every: 1}}
+	clock, env, n := impairRig(pl)
+	// t=0: origin captured, before the window — forwarded.
+	pump(env, 1, "a")
+	clock.Run()
+	clock.RunFor(1500 * time.Millisecond)
+	// t=1.5s: inside [1s, 2s) — dropped.
+	pump(env, 1, "b")
+	clock.Run()
+	clock.RunFor(time.Second)
+	// t=2.5s: past End — forwarded again.
+	pump(env, 1, "c")
+	clock.Run()
+	if *n != 2 || pl.Inner.(*NthLink).Dropped != 1 {
+		t.Fatalf("delivered=%d dropped=%d, want 2/1 (window active only mid-run)", *n, pl.Inner.(*NthLink).Dropped)
+	}
+}
+
+func TestPhaseLinkForkKeepsOrigin(t *testing.T) {
+	pl := &PhaseLink{Label: "p", Start: time.Second,
+		Inner: &NthLink{Label: "drop", Every: 1}}
+	clock, env, _ := impairRig(pl)
+	pump(env, 1, "a") // captures origin at t=0
+	clock.Run()
+
+	fk := pl.ForkElement().(*PhaseLink)
+	if fk.Inner == pl.Inner {
+		t.Fatal("fork shares the inner element")
+	}
+	// The fork keeps the captured origin: a packet at t=1.5s is 1.5s of
+	// elapsed phase time — inside the window — even though it is the first
+	// packet the fork itself has ever carried.
+	clockB, envB, nB := impairRig(fk)
+	clockB.RunFor(1500 * time.Millisecond)
+	pump(envB, 1, "b")
+	clockB.Run()
+	if *nB != 0 || fk.Inner.(*NthLink).Dropped != 1 {
+		t.Fatalf("fork lost the phase origin: delivered=%d dropped=%d", *nB, fk.Inner.(*NthLink).Dropped)
+	}
+	// Control: a fresh link whose first packet arrives at t=1.5s captures
+	// a late origin, sees zero elapsed time, and forwards.
+	fresh := &PhaseLink{Label: "p", Start: time.Second, Inner: &NthLink{Label: "drop", Every: 1}}
+	clockC, envC, nC := impairRig(fresh)
+	clockC.RunFor(1500 * time.Millisecond)
+	pump(envC, 1, "b")
+	clockC.Run()
+	if *nC != 1 {
+		t.Fatalf("control: fresh link dropped its first packet (delivered=%d)", *nC)
+	}
+}

@@ -67,6 +67,22 @@ const (
 	KindClusterWorkerDeath
 	KindStoreHit
 	KindStoreMiss
+	// Link events (scenario packs): a shaping element held a packet back
+	// to reorder it, or a token bucket delayed it to enforce a rate.
+	KindLinkReorder
+	KindLinkThrottle
+	// Cluster events (chaos plane): the coordinator requeued an orphaned
+	// shard (with backoff), the frame-chaos harness dropped/delayed/
+	// truncated/duplicated a protocol frame, or a worker ran an injected
+	// crash or stall. Control-plane like the other cluster.* kinds: VNS
+	// is 0 and they never appear in engagement traces.
+	KindClusterRequeue
+	KindChaosFrameDrop
+	KindChaosFrameDelay
+	KindChaosFrameTrunc
+	KindChaosFrameDup
+	KindChaosWorkerCrash
+	KindChaosWorkerStall
 
 	numKinds
 )
@@ -97,6 +113,17 @@ var kindNames = [numKinds]string{
 	KindClusterWorkerDeath: "cluster.worker-death",
 	KindStoreHit:           "cluster.store-hit",
 	KindStoreMiss:          "cluster.store-miss",
+
+	KindLinkReorder:  "link.reorder",
+	KindLinkThrottle: "link.throttle",
+
+	KindClusterRequeue:   "cluster.requeue",
+	KindChaosFrameDrop:   "chaos.frame-drop",
+	KindChaosFrameDelay:  "chaos.frame-delay",
+	KindChaosFrameTrunc:  "chaos.frame-trunc",
+	KindChaosFrameDup:    "chaos.frame-dup",
+	KindChaosWorkerCrash: "chaos.crash",
+	KindChaosWorkerStall: "chaos.stall",
 }
 
 // String returns the stable wire name of the kind.
@@ -188,6 +215,14 @@ const (
 	CtrVClockFired
 	CtrVClockFastPath
 	CtrVClockCascades
+	// Scenario-pack shaping counters (deterministic, simulation-plane).
+	CtrLinkReorders
+	CtrLinkThrottles
+	// Chaos-plane counters: shard requeues and injected frame/worker
+	// faults. Control-plane quantities like the other cluster counters.
+	CtrShardRequeues
+	CtrChaosFrameFaults
+	CtrChaosWorkerFaults
 
 	NumCounters
 )
@@ -222,6 +257,13 @@ var counterNames = [NumCounters]string{
 	CtrVClockFired:    "vclock_fired",
 	CtrVClockFastPath: "vclock_fastpath",
 	CtrVClockCascades: "vclock_cascades",
+
+	CtrLinkReorders:  "link_reorders",
+	CtrLinkThrottles: "link_throttles",
+
+	CtrShardRequeues:     "shard_requeues",
+	CtrChaosFrameFaults:  "chaos_frame_faults",
+	CtrChaosWorkerFaults: "chaos_worker_faults",
 }
 
 // String returns the stable wire name of the counter.

@@ -177,13 +177,36 @@ type (
 	// rate, RST drop/delay, flow-table cap, outage windows).
 	Faults = dpi.Faults
 	// ImpairmentSpec describes one client-side link impairment (loss,
-	// duplication, Gilbert-Elliott bursty loss, corruption).
+	// duplication, Gilbert-Elliott bursty loss, corruption, delay,
+	// reordering, nth-packet loss, rate limiting), optionally restricted
+	// to one direction.
 	ImpairmentSpec = dpi.ImpairmentSpec
 )
 
 // ParseImpairments parses the CLI impairment syntax, e.g.
-// "loss:0.02,ge:0.05/0.3/0.8".
+// "loss:0.02,ge:0.05/0.3/0.8,delay:5/2@ingress".
 var ParseImpairments = dpi.ParseImpairments
+
+// Scenario packs: named worlds composing phase-scheduled, possibly
+// direction-asymmetric impairments with classifier faults (DESIGN.md §15).
+type (
+	// ScenarioPack is a scenario-pack/v1 document: a named set of worlds.
+	ScenarioPack = dpi.ScenarioPack
+	// ScenarioSpec is one world: a fault overlay plus a phase schedule.
+	ScenarioSpec = dpi.ScenarioSpec
+	// ScenarioPhase is one activation window of a schedule.
+	ScenarioPhase = dpi.ScenarioPhase
+)
+
+// ScenarioSchema is the versioned identifier scenario-pack files carry.
+const ScenarioSchema = dpi.ScenarioSchema
+
+var (
+	// LoadScenarioPack reads and validates a scenario-pack file.
+	LoadScenarioPack = dpi.LoadScenarioPack
+	// ParseScenarioPack decodes and validates scenario-pack bytes.
+	ParseScenarioPack = dpi.ParseScenarioPack
+)
 
 // Built-in application traces (§6 workloads).
 var (
