@@ -18,6 +18,8 @@
 //	benchtab -exp allocs       # allocation guards: engagement allocs/op budget + zero-alloc scheduler steady state (exit 1 above)
 //	benchtab -exp sched        # timing-wheel scheduler microbenchmarks (depths, cancel churn, same-instant dispatch)
 //	benchtab -exp trace        # trace schema gate: one traced engagement validated against liberate-trace/v1
+//	benchtab -exp fingerprint  # ambiguity fingerprint: per-profile identification + pruned vs full cold sweep (exit 1 on misidentification or nondeterminism)
+//	benchtab -exp fingerprint -bench-json BENCH_6.json   # ... plus JSON snapshot
 //	benchtab -exp perf         # substrate + macro perf benchmarks
 //	benchtab -exp perf -bench-json BENCH_3.json   # ... plus JSON snapshot
 //	benchtab -exp perf -cpuprofile cpu.pprof      # ... under the CPU profiler
@@ -44,7 +46,7 @@ func run() int {
 	var (
 		table  = flag.Int("table", 0, "regenerate Table N (1, 2, or 3)")
 		figure = flag.Int("figure", 0, "regenerate Figure N (4)")
-		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign|chaos|scenarios|overhead|allocs|trace|sched|perf")
+		exp    = flag.String("exp", "", "in-text experiment: efficiency|tmobile|persistence|sprint|ablation|extensions|armsrace|campaign|chaos|scenarios|overhead|allocs|trace|sched|fingerprint|perf")
 		quick  = flag.Bool("quick", false, "with -exp chaos or -exp scenarios: restrict the sweep for CI")
 		bjson  = flag.String("bench-json", "", "with -exp perf or -exp sched: also write the snapshot as JSON to this path")
 		days   = flag.Int("days", 1, "days to sweep for Figure 4 (paper used 2)")
@@ -239,6 +241,22 @@ func run() int {
 		fmt.Println(c.Render())
 		if c.Err != nil {
 			fmt.Fprintln(os.Stderr, "benchtab: emitted trace violates the event schema")
+			return 1
+		}
+		ran = true
+	}
+	if *all || *exp == "fingerprint" {
+		fmt.Println("== fingerprint: ambiguity-probe identification + pruned vs full cold sweep ==")
+		fb := experiments.RunFingerprintBench()
+		fmt.Println(fb.Render())
+		if *bjson != "" {
+			if err := fb.WriteJSON(*bjson); err != nil {
+				return fatal(err)
+			}
+			fmt.Println("wrote", *bjson)
+		}
+		if !fb.Pass() {
+			fmt.Fprintln(os.Stderr, "benchtab: fingerprint gate failed — misidentified profile or nondeterministic armed sweep")
 			return 1
 		}
 		ran = true

@@ -39,6 +39,7 @@ func main() {
 		bodies    = flag.String("bodies", "", "comma-separated response body sizes in bytes (default: 98304)")
 		seeds     = flag.String("seeds", "", "comma-separated deployment seeds / replication indices (default: 1)")
 		serverOS  = flag.String("os", "", "replay server OS profile: linux|macos|windows (default: linux)")
+		finger    = flag.Bool("fingerprint", false, "arm the phase-0 ambiguity fingerprint on every engagement: identify the DPI profile by probing and prune the evaluation suite; rows gain fingerprint/pruned_techniques columns")
 		name      = flag.String("name", "", "campaign name for reports")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-engagement attempt timeout (0 = none)")
 		retries   = flag.Int("retries", 0, "extra attempts for transiently-failed engagements")
@@ -91,6 +92,9 @@ func main() {
 		if err := spec.ResolveScenarios(""); err != nil {
 			fatal(err)
 		}
+	}
+	if *finger {
+		spec.Fingerprint = true
 	}
 
 	if *export != "" {

@@ -33,6 +33,7 @@ func main() {
 		list      = flag.Bool("list", false, "list techniques, networks, and traces (machine-readable with -json)")
 		exportTr  = flag.String("export-trace", "", "write the selected trace as JSON to this path and exit")
 		doTracert = flag.Bool("traceroute", false, "print the path's hops and exit")
+		doFinger  = flag.Bool("fingerprint", false, "run only the phase-0 ambiguity probes, print the identified DPI profile and probe evidence as JSON, and exit")
 		impair    = flag.String("impair", "", "client-side link impairments, e.g. loss:0.02,ge:0.05/0.3/0.8,delay:5/2@ingress (kinds: loss|dup|ge|corrupt|payload|delay|reorder|nth|rate; optional @egress/@ingress); enables noise-robust phase logic")
 		scenario  = flag.String("scenario", "", "scenario pack to arm: pack.json[:name] (scenario-pack/v1; name optional when the pack has exactly one scenario)")
 		cachePath = flag.String("cache", "", "shared rule-cache file: deploy from it when possible, update it after engagements")
@@ -127,6 +128,19 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown OS profile %q\n", *serverOS)
 		os.Exit(1)
+	}
+
+	// Fingerprint-only mode: ambiguity-probe the path, identify the DPI
+	// profile, and print the evidence — no detection or evaluation.
+	if *doFinger {
+		fp := liberate.FingerprintNetwork(net, osp)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fp); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	// Persistent-store fast path: serve a previously computed report for

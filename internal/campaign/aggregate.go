@@ -90,6 +90,15 @@ type Row struct {
 	DetectTrials  int     `json:"detect_trials,omitempty"`
 	MinConfidence float64 `json:"min_confidence,omitempty"`
 
+	// Fingerprint / PrunedTechniques surface the phase-0 ambiguity
+	// fingerprint when the engagement ran armed: the identified profile
+	// ("unknown" when probing matched nothing) and how many techniques
+	// evaluation skipped without a replay. Empty/zero — and omitted from
+	// JSON — on unarmed engagements, keeping historical summaries
+	// byte-identical.
+	Fingerprint      string `json:"fingerprint,omitempty"`
+	PrunedTechniques int    `json:"pruned_techniques,omitempty"`
+
 	// Counters holds this engagement's recorder counters (non-zero
 	// entries only); nil when the campaign ran without recording.
 	Counters map[string]int64 `json:"counters,omitempty"`
@@ -291,6 +300,15 @@ func (a *Aggregator) Add(res Result) {
 			ns.DeployedCount++
 			a.cheapest[e.Network][rep.Deployed.Technique.ID]++
 		}
+		if fp := rep.Fingerprint; fp != nil {
+			row.Fingerprint = fp.Profile
+			if row.Fingerprint == "" {
+				row.Fingerprint = "unknown"
+			}
+			if ev := rep.Evaluation; ev != nil {
+				row.PrunedTechniques = ev.SkippedByPruning
+			}
+		}
 		row.Rounds = rep.TotalRounds
 		row.Bytes = rep.TotalBytes
 		row.VirtualNS = int64(rep.TotalTime)
@@ -401,12 +419,14 @@ func (s *Summary) JSON() ([]byte, error) {
 }
 
 // CSV renders the per-engagement rows as CSV in deterministic row order.
-// The scenario column appears only when the spec sweeps scenarios, so
-// scenario-less campaigns keep the historical (golden) column set.
+// The scenario column appears only when the spec sweeps scenarios, and
+// the fingerprint columns only when the spec arms fingerprinting, so
+// historical campaigns keep the historical (golden) column set.
 func (s *Summary) CSV() ([]byte, error) {
 	var buf bytes.Buffer
 	w := csv.NewWriter(&buf)
 	withScenario := len(s.Spec.Scenarios) > 0
+	withFingerprint := s.Spec.Fingerprint
 	header := []string{
 		"network", "trace", "hour", "body", "seed",
 		"status", "attempts", "differentiated", "kinds", "matching_fields",
@@ -414,6 +434,9 @@ func (s *Summary) CSV() ([]byte, error) {
 	}
 	if withScenario {
 		header = append(header[:5:5], append([]string{"scenario"}, header[5:]...)...)
+	}
+	if withFingerprint {
+		header = append(header, "fingerprint", "pruned_techniques")
 	}
 	if err := w.Write(header); err != nil {
 		return nil, err
@@ -430,6 +453,9 @@ func (s *Summary) CSV() ([]byte, error) {
 		}
 		if withScenario {
 			rec = append(rec[:5:5], append([]string{r.Scenario}, rec[5:]...)...)
+		}
+		if withFingerprint {
+			rec = append(rec, r.Fingerprint, strconv.Itoa(r.PrunedTechniques))
 		}
 		if err := w.Write(rec); err != nil {
 			return nil, err

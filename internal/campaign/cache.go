@@ -42,6 +42,10 @@ type cacheKey struct {
 	// path), so a scenario-armed engagement never collides with the clean
 	// one sharing its network fingerprint.
 	Scenario string
+	// Fingerprint marks engagements that ran the phase-0 ambiguity
+	// fingerprint (and its suite pruning); armed and unarmed reports
+	// differ, so their keys must never alias.
+	Fingerprint bool
 }
 
 // String renders the canonical key form shared by the in-memory shard
@@ -52,6 +56,9 @@ func (k cacheKey) String() string {
 	s := fmt.Sprintf("%s|%s|%d|%s|%s", k.NetworkFP, k.TraceFP, k.Hour, k.ServerOS, k.Phase)
 	if k.Scenario != "" {
 		s += "|sc:" + k.Scenario
+	}
+	if k.Fingerprint {
+		s += "|fp:1"
 	}
 	return s
 }
@@ -99,7 +106,7 @@ func (m *fpMemo) keyFor(e Engagement, osName string) (cacheKey, error) {
 		if err != nil {
 			return cacheKey{}, err
 		}
-		nfp = net.Fingerprint()
+		nfp = net.ConfigDigest()
 		m.netFP[e.Network] = nfp
 	}
 	tk := [2]any{e.Trace, e.Body}
@@ -124,7 +131,8 @@ func (m *fpMemo) keyFor(e Engagement, osName string) (cacheKey, error) {
 			m.scFP[e.scenario] = scfp
 		}
 	}
-	return cacheKey{NetworkFP: nfp, TraceFP: tfp, Hour: e.Hour, ServerOS: osName, Phase: enginePhase, Scenario: scfp}, nil
+	return cacheKey{NetworkFP: nfp, TraceFP: tfp, Hour: e.Hour, ServerOS: osName,
+		Phase: enginePhase, Scenario: scfp, Fingerprint: e.Fingerprint}, nil
 }
 
 // cacheEntry is a singleflight slot: the creating engagement computes,

@@ -1,0 +1,60 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+)
+
+// fpMemoSpec is a small armed sweep with repeated probe configurations:
+// 2 networks × 1 trace × 2 hours × 2 seeds = 8 engagements over 4
+// distinct (network, hour) probe keys, so the memo must serve half the
+// engagements from adopted evidence.
+func fpMemoSpec() Spec {
+	return Spec{
+		Name:        "fp-memo-test",
+		Networks:    []string{"testbed", "tmobile"},
+		Traces:      []string{"amazon"},
+		Hours:       []int{0, 12},
+		Bodies:      []int{8 << 10},
+		Seeds:       []int64{1, 2},
+		Fingerprint: true,
+	}
+}
+
+// TestFingerprintMemoTransparent pins the memo's contract: an armed
+// campaign whose engagements adopt memoized probe evidence must emit
+// byte-identical summary JSON to one where every engagement probes for
+// itself. Setting Engage explicitly bypasses the memo wrap (it only
+// decorates the default), which is what makes the unmemoized arm
+// constructible.
+func TestFingerprintMemoTransparent(t *testing.T) {
+	spec := fpMemoSpec()
+
+	memoized, err := (&Runner{Spec: spec, Workers: 4}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := (&Runner{Spec: spec, Workers: 4, Engage: DefaultEngage}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mj, err := memoized.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := plain.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(mj) != string(pj) {
+		t.Errorf("memoized armed sweep diverged from per-engagement probing:\n%s\nvs\n%s", mj, pj)
+	}
+
+	for _, row := range memoized.Rows {
+		if row.Fingerprint == "" {
+			t.Errorf("%s/%s h=%d s=%d: armed row missing fingerprint",
+				row.Network, row.Trace, row.Hour, row.Seed)
+		}
+	}
+}

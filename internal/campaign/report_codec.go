@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dpi"
 )
 
 // Report codec: the serializable form of a core.Report, used by the
@@ -81,9 +82,26 @@ type storedEvaluation struct {
 	SkippedByPruning int             `json:"skipped_by_pruning,omitempty"`
 }
 
+type storedFingerprint struct {
+	Profile    string              `json:"profile,omitempty"`
+	Confidence float64             `json:"confidence"`
+	Candidates []string            `json:"candidates,omitempty"`
+	Probes     []storedObservation `json:"probes,omitempty"`
+	RuledOut   []string            `json:"ruled_out,omitempty"`
+	Rounds     int                 `json:"rounds"`
+	Bytes      int64               `json:"bytes"`
+	TimeNS     int64               `json:"time_ns"`
+}
+
+type storedObservation struct {
+	Probe      string `json:"probe"`
+	Resolution string `json:"resolution"`
+}
+
 type storedReport struct {
 	Network          string                  `json:"network"`
 	TraceName        string                  `json:"trace"`
+	Fingerprint      *storedFingerprint      `json:"fingerprint,omitempty"`
 	Detection        *storedDetection        `json:"detection,omitempty"`
 	Characterization *storedCharacterization `json:"characterization,omitempty"`
 	Evaluation       *storedEvaluation       `json:"evaluation,omitempty"`
@@ -144,6 +162,21 @@ func EncodeReport(r *core.Report) ([]byte, error) {
 		TotalRounds: r.TotalRounds,
 		TotalBytes:  r.TotalBytes,
 		TotalTimeNS: int64(r.TotalTime),
+	}
+	if fp := r.Fingerprint; fp != nil {
+		sf := &storedFingerprint{
+			Profile:    fp.Profile,
+			Confidence: fp.Confidence,
+			Candidates: fp.Candidates,
+			RuledOut:   fp.RuledOut,
+			Rounds:     fp.Rounds,
+			Bytes:      fp.Bytes,
+			TimeNS:     int64(fp.Time),
+		}
+		for _, o := range fp.Probes {
+			sf.Probes = append(sf.Probes, storedObservation{Probe: string(o.Probe), Resolution: string(o.Resolution)})
+		}
+		s.Fingerprint = sf
 	}
 	if d := r.Detection; d != nil {
 		sd := &storedDetection{
@@ -214,6 +247,21 @@ func DecodeReport(data []byte) (*core.Report, error) {
 		TotalRounds: s.TotalRounds,
 		TotalBytes:  s.TotalBytes,
 		TotalTime:   time.Duration(s.TotalTimeNS),
+	}
+	if sf := s.Fingerprint; sf != nil {
+		fp := &core.FingerprintResult{
+			Profile:    sf.Profile,
+			Confidence: sf.Confidence,
+			Candidates: sf.Candidates,
+			RuledOut:   sf.RuledOut,
+			Rounds:     sf.Rounds,
+			Bytes:      sf.Bytes,
+			Time:       time.Duration(sf.TimeNS),
+		}
+		for _, o := range sf.Probes {
+			fp.Probes = append(fp.Probes, dpi.Observation{Probe: dpi.ProbeID(o.Probe), Resolution: dpi.Resolution(o.Resolution)})
+		}
+		r.Fingerprint = fp
 	}
 	if sd := s.Detection; sd != nil {
 		d := &core.Detection{

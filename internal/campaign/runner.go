@@ -131,7 +131,8 @@ func DefaultEngage(ctx context.Context, e Engagement, osp *stack.OSProfile) (*co
 	if e.Hour > 0 {
 		net.Clock.RunFor(time.Duration(e.Hour) * time.Hour)
 	}
-	rep := (&core.Liberate{Net: net, Trace: tr, ServerOS: osp}).Run()
+	rep := (&core.Liberate{Net: net, Trace: tr, ServerOS: osp, EvalWorkers: e.EvalWorkers,
+		Fingerprint: e.Fingerprint, Fingerprinted: e.fingerprinted}).Run()
 	// The report carries only verdicts and closures over caller-supplied
 	// results — nothing aliasing pooled storage — so the dead network's
 	// arena and flow records can rejoin the process-wide pools here.
@@ -183,6 +184,19 @@ type Runner struct {
 	// ring tail becomes the failure record's evidence. Zero leaves the
 	// clean path unrecorded.
 	FlightRecorder int
+
+	// fpOnce/fpMemo lazily build the per-run fingerprint memo shared by
+	// all workers (see fingerprintMemo).
+	fpOnce sync.Once
+	fpMemo *fingerprintMemo
+}
+
+// fingerprints returns the runner's shared fingerprint memo.
+func (r *Runner) fingerprints() *fingerprintMemo {
+	r.fpOnce.Do(func() {
+		r.fpMemo = &fingerprintMemo{entries: make(map[fpProbeKey]*fpProbeEntry)}
+	})
+	return r.fpMemo
 }
 
 // workers returns the effective pool size for n engagements: the
@@ -209,7 +223,11 @@ func (r *Runner) observer() Observer {
 func (r *Runner) engage() EngageFunc {
 	inner := r.Engage
 	if inner == nil {
-		inner = DefaultEngage
+		// The fingerprint memo wraps only the default simulated
+		// engagement — it is the only EngageFunc that reads the injected
+		// evidence, and probing for a custom backend would be wasted
+		// work. It sits innermost so cache and store hits never probe.
+		inner = r.fingerprints().wrap(DefaultEngage)
 	}
 	// Layering: memory cache over disk store over the real engagement.
 	// The cache's singleflight means each distinct key consults the

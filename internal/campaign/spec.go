@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dpi"
 	"repro/internal/registry"
 )
@@ -86,6 +87,19 @@ type Spec struct {
 	// engagements: linux (default), macos, or windows.
 	ServerOS string `json:"server_os,omitempty"`
 
+	// EvalWorkers bounds each engagement's internal fork-and-join
+	// evaluation pool (0 = GOMAXPROCS). Campaigns already running many
+	// engagements in parallel set 1 to stop Workers × GOMAXPROCS
+	// oversubscription; results are identical at any value.
+	EvalWorkers int `json:"eval_workers,omitempty"`
+
+	// Fingerprint arms the phase-0 ambiguity fingerprint on every
+	// engagement: identify the DPI profile by probing, then prune the
+	// evaluation suite of techniques the profile rules out. Off by
+	// default; an unarmed campaign's rows, keys, and summary are
+	// byte-identical to historical builds.
+	Fingerprint bool `json:"fingerprint,omitempty"`
+
 	// Timeout bounds each engagement attempt; 0 means no timeout.
 	Timeout Duration `json:"timeout,omitempty"`
 	// Retries is how many extra attempts a transiently-failed engagement
@@ -140,11 +154,24 @@ type Engagement struct {
 	// Scenario names the scenario-pack world this cell runs under; ""
 	// means the clean path.
 	Scenario string `json:"scenario,omitempty"`
+	// Fingerprint arms the phase-0 ambiguity fingerprint for this cell
+	// (set by Expand from Spec.Fingerprint). It salts cache and store
+	// keys: pruned and unpruned engagements never alias.
+	Fingerprint bool `json:"fingerprint,omitempty"`
+	// EvalWorkers bounds the cell's evaluation pool (set by Expand from
+	// Spec.EvalWorkers; 0 = GOMAXPROCS). Never part of the key — worker
+	// count does not influence results.
+	EvalWorkers int `json:"eval_workers,omitempty"`
 
 	// scenario is the resolved spec behind Scenario, set by Expand.
 	// Engagements constructed by hand (tests, ad-hoc subsets) with a
 	// non-empty Scenario but nil pointer fail loudly in DefaultEngage.
 	scenario *dpi.ScenarioSpec
+	// fingerprinted is precomputed phase-0 probe evidence injected by the
+	// runner's per-run fingerprint memo (nil = the engagement probes for
+	// itself). Probing a named profile is deterministic, so adoption is
+	// byte-identical to re-probing.
+	fingerprinted *core.FingerprintResult
 }
 
 // Key is the engagement's stable identity, used for sorting, failure
@@ -220,6 +247,9 @@ func (s Spec) Validate() error {
 	if s.Retries < 0 {
 		return fmt.Errorf("campaign: negative retries %d", s.Retries)
 	}
+	if s.EvalWorkers < 0 {
+		return fmt.Errorf("campaign: negative eval workers %d", s.EvalWorkers)
+	}
 	if s.Timeout < 0 {
 		return fmt.Errorf("campaign: negative timeout %s", s.Timeout)
 	}
@@ -261,6 +291,8 @@ func (s Spec) Expand() ([]Engagement, error) {
 								Index: len(out), Network: n, Trace: t,
 								Hour: h, Body: b, Seed: seed,
 								Scenario: scName, scenario: sc,
+								Fingerprint: eff.Fingerprint,
+								EvalWorkers: eff.EvalWorkers,
 							})
 						}
 					}

@@ -363,8 +363,85 @@ func TestStoreKeyMatchesCacheKey(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := cacheKey{NetworkFP: net.Fingerprint(), TraceFP: trace.ContentHash(tr), Hour: 12, ServerOS: "linux", Phase: enginePhase}
+	want := cacheKey{NetworkFP: net.ConfigDigest(), TraceFP: trace.ContentHash(tr), Hour: 12, ServerOS: "linux", Phase: enginePhase}
 	if a != want {
 		t.Errorf("key = %+v, want %+v", a, want)
+	}
+}
+
+// TestReportCodecFingerprintRoundTrip pins the armed-report wire format:
+// the full probe evidence must survive encode/decode (the daemon and
+// cluster workers ship armed reports through this codec), aggregation
+// over the decoded report must be byte-identical, and re-encoding must
+// be a fixed point.
+func TestReportCodecFingerprintRoundTrip(t *testing.T) {
+	net, err := registry.NewNetwork("tmobile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := registry.NewTrace("amazon", 8<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := (&core.Liberate{Net: net, Trace: tr, ServerOS: &stack.Linux, Fingerprint: true}).Run()
+	if rep.Fingerprint == nil || rep.Fingerprint.Profile != "tmobile" {
+		t.Fatalf("armed engagement did not identify tmobile: %+v", rep.Fingerprint)
+	}
+
+	data, err := EncodeReport(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := back.Fingerprint
+	if fp == nil {
+		t.Fatal("decode dropped the fingerprint")
+	}
+	if fp.Profile != rep.Fingerprint.Profile || fp.Confidence != rep.Fingerprint.Confidence {
+		t.Errorf("identification changed: got %s/%v want %s/%v",
+			fp.Profile, fp.Confidence, rep.Fingerprint.Profile, rep.Fingerprint.Confidence)
+	}
+	if len(fp.Probes) != len(rep.Fingerprint.Probes) {
+		t.Fatalf("probe evidence truncated: %d != %d", len(fp.Probes), len(rep.Fingerprint.Probes))
+	}
+	for i, ob := range rep.Fingerprint.Probes {
+		if fp.Probes[i] != ob {
+			t.Errorf("probe %d changed: got %+v want %+v", i, fp.Probes[i], ob)
+		}
+	}
+	if len(fp.RuledOut) != len(rep.Fingerprint.RuledOut) {
+		t.Errorf("ruled-out set changed: %d != %d", len(fp.RuledOut), len(rep.Fingerprint.RuledOut))
+	}
+	if fp.Rounds != rep.Fingerprint.Rounds || fp.Bytes != rep.Fingerprint.Bytes || fp.Time != rep.Fingerprint.Time {
+		t.Errorf("probe accounting changed: %d/%d/%s vs %d/%d/%s",
+			fp.Rounds, fp.Bytes, fp.Time, rep.Fingerprint.Rounds, rep.Fingerprint.Bytes, rep.Fingerprint.Time)
+	}
+
+	e := Engagement{Network: "tmobile", Trace: "amazon", Body: 8 << 10, Seed: 1, Fingerprint: true}
+	spec := storeSpec()
+	spec.Networks, spec.Fingerprint = []string{"tmobile"}, true
+	orig := Aggregate(spec, []Result{{Engagement: e, Report: rep, Status: StatusOK, Attempts: 1}})
+	dec := Aggregate(spec, []Result{{Engagement: e, Report: back, Status: StatusOK, Attempts: 1}})
+	oj, err := orig.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := dec.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(oj) != string(dj) {
+		t.Errorf("aggregation over decoded armed report diverged:\n%s\nvs\n%s", dj, oj)
+	}
+
+	data2, err := EncodeReport(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("encode(decode(encode(r))) is not a fixed point for armed reports")
 	}
 }

@@ -102,6 +102,13 @@ type Answer struct {
 	Confidence     float64 `json:"confidence,omitempty"`
 	Working        int     `json:"working"`
 	Source         string  `json:"source"`
+	// Fingerprint is the DPI profile the phase-0 ambiguity probes
+	// identified ("unknown" when probing matched nothing); present only on
+	// fingerprint-armed queries.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// PrunedTechniques counts evaluation-suite entries skipped without a
+	// replay because the identified profile rules them out.
+	PrunedTechniques int `json:"pruned_techniques,omitempty"`
 }
 
 // Handler returns the daemon's HTTP routes:
@@ -166,6 +173,13 @@ func parseQuery(r *http.Request) (campaign.Engagement, string, error) {
 	default:
 		return e, "", fmt.Errorf("unknown os %q (linux|macos|windows)", osName)
 	}
+	switch fp := q.Get("fingerprint"); fp {
+	case "", "0", "false":
+	case "1", "true":
+		e.Fingerprint = true
+	default:
+		return e, "", fmt.Errorf("bad fingerprint %q (1|0)", fp)
+	}
 	return e, osName, nil
 }
 
@@ -184,9 +198,23 @@ func (d *Daemon) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, answerFrom(e, rep))
 		return
 	}
+	// On an armed cold key the full engagement is scheduled like any other,
+	// but the ambiguity probes alone are cheap enough to run inline — the
+	// client learns who it is facing now and the pruned answer later.
+	accepted := map[string]string{"status": "scheduled", "key": e.Key()}
+	if e.Fingerprint {
+		if net, err := registry.NewNetwork(e.Network); err == nil {
+			fp := core.FingerprintNetwork(net, serverOSProfile(osName))
+			net.Release()
+			accepted["fingerprint"] = fp.Profile
+			if accepted["fingerprint"] == "" {
+				accepted["fingerprint"] = "unknown"
+			}
+		}
+	}
 	switch d.schedule(e, osName) {
 	case scheduleQueued, scheduleDuplicate:
-		writeJSON(w, http.StatusAccepted, map[string]string{"status": "scheduled", "key": e.Key()})
+		writeJSON(w, http.StatusAccepted, accepted)
 	case scheduleFull:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "engagement queue full", "key": e.Key()})
 	}
@@ -205,6 +233,15 @@ func answerFrom(e campaign.Engagement, rep *core.Report) Answer {
 		a.Technique = v.Technique.ID
 		a.Cost = v.Cost()
 		a.Confidence = v.Confidence
+	}
+	if fp := rep.Fingerprint; fp != nil {
+		a.Fingerprint = fp.Profile
+		if a.Fingerprint == "" {
+			a.Fingerprint = "unknown"
+		}
+		if ev := rep.Evaluation; ev != nil {
+			a.PrunedTechniques = ev.SkippedByPruning
+		}
 	}
 	return a
 }

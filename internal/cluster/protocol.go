@@ -179,7 +179,7 @@ func RegistryHash() (string, error) {
 		if err != nil {
 			return "", err
 		}
-		fmt.Fprintf(h, "net %s %s\n", name, net.Fingerprint())
+		fmt.Fprintf(h, "net %s %s\n", name, net.ConfigDigest())
 	}
 	for _, name := range registry.TraceNames() {
 		fmt.Fprintf(h, "trace %s\n", name)

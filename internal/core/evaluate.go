@@ -135,17 +135,17 @@ func (e *Evaluation) ByID(id string) *Verdict {
 // characterization learned (§5.2 "efficient evasion testing"), and try
 // variants until one works.
 func Evaluate(s *Session, tr *trace.Trace, det *Detection, char *Characterization) *Evaluation {
-	return evaluate(s, tr, det, char, false)
+	return evaluate(s, tr, det, char, false, nil)
 }
 
 // EvaluateExhaustive evaluates every technique with no pruning — the mode
 // the paper used for its study ("in this study, we try all possible
 // techniques"), and what regenerates Table 3.
 func EvaluateExhaustive(s *Session, tr *trace.Trace, det *Detection, char *Characterization) *Evaluation {
-	return evaluate(s, tr, det, char, true)
+	return evaluate(s, tr, det, char, true, nil)
 }
 
-func evaluate(s *Session, tr *trace.Trace, det *Detection, char *Characterization, exhaustive bool) *Evaluation {
+func evaluate(s *Session, tr *trace.Trace, det *Detection, char *Characterization, exhaustive bool, ruledOut map[string]bool) *Evaluation {
 	defer s.span("evaluate")()
 	ev := &Evaluation{}
 	startRounds, startBytes := s.Rounds, s.BytesUsed
@@ -159,6 +159,25 @@ func evaluate(s *Session, tr *trace.Trace, det *Detection, char *Characterizatio
 	probe := s.trimmedProbe(tr, det.ProbeBytes)
 
 	suite := Taxonomy()
+	// Profile pruning: techniques the identified ambiguity fingerprint
+	// rules out are skipped without any replay, ahead of the
+	// characterization-driven pruning below. Exhaustive mode (the paper's
+	// study configuration) bypasses both.
+	if !exhaustive && len(ruledOut) > 0 {
+		var kept []Technique
+		for _, t := range suite {
+			if ruledOut[t.ID] {
+				ev.SkippedByPruning++
+				ev.Verdicts = append(ev.Verdicts, Verdict{Technique: t, Tried: false, ReachedServer: ReachNA})
+				if s.rec().Enabled() {
+					s.rec().Add(obs.CtrFPPruned, 1)
+				}
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		suite = kept
+	}
 	// Pruning: a classifier that inspects every packet cannot be poisoned
 	// by inert packets nor flushed; only splitting/reordering remain.
 	if exhaustive {

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dpi"
+	"repro/internal/trace"
+)
+
+// TestAmbiguitySignaturesMatchSimulation re-derives every profile's
+// ambiguity signature end-to-end: the probes run against the simulated
+// network and must observe exactly the resolutions the matrix promises.
+// This is the calibration contract — if a profile's path elements
+// change, this test says which probe now resolves differently.
+func TestAmbiguitySignaturesMatchSimulation(t *testing.T) {
+	for _, net := range dpi.AllNetworks() {
+		net := net
+		t.Run(net.Name, func(t *testing.T) {
+			want := dpi.SignatureFor(net.Name)
+			if want == nil {
+				t.Fatalf("no ambiguity signature for built-in profile %q", net.Name)
+			}
+			fp := FingerprintNetwork(net, nil)
+			got := make(map[dpi.ProbeID]dpi.Resolution, len(fp.Probes))
+			for _, o := range fp.Probes {
+				got[o.Probe] = o.Resolution
+			}
+			for _, probe := range dpi.ProbeOrder {
+				if got[probe] != want[probe] {
+					t.Errorf("probe %s: observed %q, matrix says %q", probe, got[probe], want[probe])
+				}
+			}
+		})
+	}
+}
+
+// TestFingerprintIdentifiesAllProfiles is the acceptance criterion: the
+// phase-0 fingerprint pins down every built-in profile uniquely, with
+// confidence 1.
+func TestFingerprintIdentifiesAllProfiles(t *testing.T) {
+	for _, net := range dpi.AllNetworks() {
+		net := net
+		t.Run(net.Name, func(t *testing.T) {
+			fp := FingerprintNetwork(net, nil)
+			if !fp.Identified() || fp.Profile != net.Name {
+				t.Fatalf("identified %q (confidence %.2f, candidates %v, probes %v), want %q",
+					fp.Profile, fp.Confidence, fp.Candidates, fp.Probes, net.Name)
+			}
+			if fp.Confidence != 1 {
+				t.Fatalf("confidence = %v, want 1", fp.Confidence)
+			}
+			if fp.Rounds == 0 {
+				t.Fatal("fingerprint cost no probe rounds — probes did not run")
+			}
+		})
+	}
+}
+
+// TestFingerprintUnknownFallback: a path outside the matrix (the
+// baseline network: no classifier, 2 hops but no testbed DPI signature…
+// actually baseline mirrors testbed's hop count, so distinguishability
+// rests on the rest of the matrix) degrades to unknown → no pruning.
+func TestFingerprintUnknownFallback(t *testing.T) {
+	fp := FingerprintNetwork(dpi.NewBaseline(), nil)
+	if fp.Identified() && fp.Profile != "" && len(fp.RuledOut) > 0 {
+		// Identification is only a problem if it licenses pruning that
+		// the unknown path never validated.
+		t.Fatalf("baseline network identified as %q with %d ruled-out techniques; unknown paths must not prune",
+			fp.Profile, len(fp.RuledOut))
+	}
+	if fp.RuledOutSet() != nil && len(fp.RuledOutSet()) > 0 && !fp.Identified() {
+		t.Fatal("unidentified fingerprint carries a pruning set")
+	}
+	var nilFP *FingerprintResult
+	if nilFP.Identified() || nilFP.RuledOutSet() != nil {
+		t.Fatal("nil FingerprintResult must identify nothing and prune nothing")
+	}
+}
+
+// TestFingerprintPruningSoundness is the contract behind the curated
+// RuledOutTechniques lists: for every built-in profile, an armed
+// engagement (fingerprint + pruning) must reach the same working set and
+// the same deployment as an unarmed one — pruning may only skip
+// techniques that would have failed anyway.
+func TestFingerprintPruningSoundness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full engagements; skipped in -short")
+	}
+	workingIDs := func(ev *Evaluation) []string {
+		var ids []string
+		for _, v := range ev.Working() {
+			ids = append(ids, v.Technique.ID)
+		}
+		sort.Strings(ids)
+		return ids
+	}
+	for _, name := range []string{"testbed", "tmobile", "gfc", "iran", "att", "sprint"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mk := func() *dpi.Network {
+				net, err := dpi.ByName(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return net
+			}
+			tr := trace.AmazonPrimeVideo(96 << 10)
+			plain := (&Liberate{Net: mk(), Trace: tr}).Run()
+			armed := (&Liberate{Net: mk(), Trace: tr, Fingerprint: true}).Run()
+			if plain.Fingerprint != nil {
+				t.Fatal("unarmed engagement produced a fingerprint")
+			}
+			if !armed.Fingerprint.Identified() || armed.Fingerprint.Profile != name {
+				t.Fatalf("armed engagement identified %+v, want %q", armed.Fingerprint, name)
+			}
+			if got, want := workingIDs(armed.Evaluation), workingIDs(plain.Evaluation); !reflect.DeepEqual(got, want) {
+				t.Errorf("working sets diverge under pruning:\n  armed: %v\n  plain: %v", got, want)
+			}
+			gotDeploy, wantDeploy := "none", "none"
+			if armed.Deployed != nil {
+				gotDeploy = armed.Deployed.Technique.ID
+			}
+			if plain.Deployed != nil {
+				wantDeploy = plain.Deployed.Technique.ID
+			}
+			if gotDeploy != wantDeploy {
+				t.Errorf("deployment diverges under pruning: armed %s, plain %s", gotDeploy, wantDeploy)
+			}
+			if plain.Detection.Differentiated {
+				if !armed.Detection.Differentiated {
+					t.Fatal("probing flipped the detection verdict")
+				}
+				evaluated := func(ev *Evaluation) int { return len(ev.Verdicts) - ev.SkippedByPruning }
+				if len(dpi.RuledOutTechniques(name)) > 0 && evaluated(armed.Evaluation) >= evaluated(plain.Evaluation) {
+					t.Errorf("pruning saved nothing: armed evaluated %d, plain %d",
+						evaluated(armed.Evaluation), evaluated(plain.Evaluation))
+				}
+			}
+		})
+	}
+}

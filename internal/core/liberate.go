@@ -10,8 +10,8 @@ import (
 	"repro/internal/trace"
 )
 
-// Liberate orchestrates the four phases of the paper against one network
-// for one recorded application trace.
+// Liberate orchestrates the phases of the paper against one network for
+// one recorded application trace, by driving the default phase Pipeline.
 type Liberate struct {
 	Net   *dpi.Network
 	Trace *trace.Trace
@@ -20,12 +20,28 @@ type Liberate struct {
 	// EvalWorkers bounds the evaluation phase's fork-and-join pool
 	// (0 = GOMAXPROCS). Results are identical at any worker count.
 	EvalWorkers int
+	// Fingerprint arms the phase-0 ambiguity fingerprint: probe the path's
+	// ambiguity resolutions, identify the DPI profile, and prune the
+	// evaluation suite of techniques the profile rules out. Off by
+	// default; when off the engagement is byte-identical to historical
+	// four-phase runs.
+	Fingerprint bool
+	// Fingerprinted, when set alongside Fingerprint, is precomputed probe
+	// evidence the fingerprint phase adopts instead of re-probing (see
+	// Session.AdoptFingerprint).
+	Fingerprinted *FingerprintResult
+	// Pipeline substitutes a custom phase pipeline (nil = DefaultPipeline).
+	Pipeline *Pipeline
 }
 
 // Report is the complete engagement outcome.
 type Report struct {
 	Network   string
 	TraceName string
+
+	// Fingerprint is the phase-0 ambiguity-fingerprint result; nil unless
+	// the engagement ran with Fingerprint armed.
+	Fingerprint *FingerprintResult
 
 	Detection        *Detection
 	Characterization *Characterization
@@ -41,32 +57,31 @@ type Report struct {
 	TotalTime   time.Duration
 }
 
-// Run executes detection → characterization → evaluation and selects the
-// cheapest working technique for deployment.
+// Run drives the engagement pipeline — fingerprint (opt-in) → detect →
+// characterize → evaluate → deploy — and assembles the report.
 func (l *Liberate) Run() *Report {
 	s := NewSession(l.Net)
 	s.ServerOS = l.ServerOS
 	s.EvalWorkers = l.EvalWorkers
+	s.Fingerprint = l.Fingerprint
+	s.AdoptFingerprint = l.Fingerprinted
 	rep := &Report{Network: l.Net.Name, TraceName: l.Trace.Name}
 
-	done := s.span("engagement")
-	rep.Detection = Detect(s, l.Trace)
-	if rep.Detection.Differentiated {
-		rep.Characterization = Characterize(s, l.Trace, rep.Detection)
-		rep.Evaluation = Evaluate(s, l.Trace, rep.Detection, rep.Characterization)
-		dep := s.span("deploy")
-		rep.Deployed = rep.Evaluation.Best()
-		label := "none"
-		if rep.Deployed != nil {
-			label = rep.Deployed.Technique.ID
-		}
-		s.verdict("deploy", label, confPPM(rep.Evaluation.MinConfidence()), 0)
-		dep()
-	} else {
-		rep.Characterization = &Characterization{}
-		rep.Evaluation = &Evaluation{}
+	pl := l.Pipeline
+	if pl == nil {
+		pl = DefaultPipeline()
 	}
+	done := s.span("engagement")
+	c := pl.Run(s, l.Trace)
 	done()
+
+	rep.Fingerprint = c.Fingerprint()
+	rep.Detection = c.Detection()
+	rep.Characterization = c.Characterization()
+	rep.Evaluation = c.Evaluation()
+	if d := c.Deployment(); d != nil {
+		rep.Deployed = d.Verdict
+	}
 	rep.TotalRounds = s.Rounds
 	rep.TotalBytes = s.BytesUsed
 	rep.TotalTime = s.Elapsed()

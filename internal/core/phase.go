@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// PhaseResult is the serializable outcome of one pipeline phase. The
+// concrete types — FingerprintResult, Detection, Characterization,
+// Evaluation, Deployment — all carry plain data (plus, for Detection,
+// the oracle closures later phases consume in-process), so a phase's
+// output can be cached, stored, and aggregated as a unit.
+type PhaseResult interface{ phaseResult() }
+
+func (*FingerprintResult) phaseResult() {}
+func (*Detection) phaseResult()         {}
+func (*Characterization) phaseResult()  {}
+func (*Evaluation) phaseResult()        {}
+func (*Deployment) phaseResult()        {}
+
+// Deployment is the deploy phase's result: the cheapest working verdict,
+// nil when nothing is deployable.
+type Deployment struct {
+	Verdict *Verdict
+}
+
+// PhaseContext carries one engagement through the pipeline: the session,
+// the target trace, and every phase result produced so far, keyed by
+// phase name.
+type PhaseContext struct {
+	Session *Session
+	Trace   *trace.Trace
+
+	results map[string]PhaseResult
+}
+
+// Result returns the named phase's result (nil if the phase has not run).
+func (c *PhaseContext) Result(name string) PhaseResult { return c.results[name] }
+
+// Fingerprint returns the fingerprint phase's result, nil when the phase
+// was disabled (the default) or identified nothing.
+func (c *PhaseContext) Fingerprint() *FingerprintResult {
+	r, _ := c.results[PhaseFingerprint].(*FingerprintResult)
+	return r
+}
+
+// Detection returns the detect phase's result.
+func (c *PhaseContext) Detection() *Detection {
+	r, _ := c.results[PhaseDetect].(*Detection)
+	return r
+}
+
+// Characterization returns the characterize phase's result (the zero
+// value when detection found no differentiation).
+func (c *PhaseContext) Characterization() *Characterization {
+	r, _ := c.results[PhaseCharacterize].(*Characterization)
+	return r
+}
+
+// Evaluation returns the evaluate phase's result (the zero value when
+// detection found no differentiation).
+func (c *PhaseContext) Evaluation() *Evaluation {
+	r, _ := c.results[PhaseEvaluate].(*Evaluation)
+	return r
+}
+
+// Deployment returns the deploy phase's result (the zero value when
+// detection found no differentiation).
+func (c *PhaseContext) Deployment() *Deployment {
+	r, _ := c.results[PhaseDeploy].(*Deployment)
+	return r
+}
+
+// Phase is one composable stage of an engagement. Phases own their obs
+// spans and verdict events; the pipeline owns ordering, dependency
+// validation, and skip semantics.
+type Phase interface {
+	// Name is the phase's unique pipeline key (also its span name).
+	Name() string
+	// Deps names the phases that must appear earlier in the pipeline.
+	// A dependency that was skipped still counts as satisfied — its zero
+	// result is in the context — so gating composes with ordering.
+	Deps() []string
+	// Enabled reports whether the phase should run given the results so
+	// far. A disabled phase contributes Zero() and emits no events, so
+	// pipelines with optional phases stay byte-identical to pipelines
+	// without them.
+	Enabled(c *PhaseContext) bool
+	// Zero is the result recorded for a skipped phase; nil records nothing.
+	Zero() PhaseResult
+	// Run executes the phase and returns its result.
+	Run(c *PhaseContext) PhaseResult
+}
+
+// The built-in phase names, in canonical pipeline order.
+const (
+	PhaseFingerprint  = "fingerprint"
+	PhaseDetect       = "detect"
+	PhaseCharacterize = "characterize"
+	PhaseEvaluate     = "evaluate"
+	PhaseDeploy       = "deploy"
+)
+
+// Pipeline is an ordered, dependency-checked sequence of phases — the
+// engagement loop as data instead of a hard-wired call chain.
+type Pipeline struct {
+	phases []Phase
+}
+
+// NewPipeline validates that phase names are unique and every declared
+// dependency appears earlier in the sequence.
+func NewPipeline(phases ...Phase) (*Pipeline, error) {
+	seen := make(map[string]bool, len(phases))
+	for _, p := range phases {
+		name := p.Name()
+		if name == "" {
+			return nil, fmt.Errorf("core: pipeline phase with empty name (%T)", p)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("core: duplicate pipeline phase %q", name)
+		}
+		for _, d := range p.Deps() {
+			if !seen[d] {
+				return nil, fmt.Errorf("core: phase %q depends on %q, which does not precede it", name, d)
+			}
+		}
+		seen[name] = true
+	}
+	return &Pipeline{phases: phases}, nil
+}
+
+// Phases returns the pipeline's phase names in execution order.
+func (p *Pipeline) Phases() []string {
+	names := make([]string, len(p.phases))
+	for i, ph := range p.phases {
+		names[i] = ph.Name()
+	}
+	return names
+}
+
+// Run drives the session through every phase in order. Disabled phases
+// contribute their zero result and no events.
+func (p *Pipeline) Run(s *Session, tr *trace.Trace) *PhaseContext {
+	c := &PhaseContext{Session: s, Trace: tr, results: make(map[string]PhaseResult, len(p.phases))}
+	for _, ph := range p.phases {
+		if !ph.Enabled(c) {
+			if z := ph.Zero(); z != nil {
+				c.results[ph.Name()] = z
+			}
+			continue
+		}
+		c.results[ph.Name()] = ph.Run(c)
+	}
+	return c
+}
+
+// DefaultPipeline returns the standard engagement pipeline:
+// fingerprint (opt-in via Session.Fingerprint) → detect → characterize →
+// evaluate → deploy. The three phases after detect are gated on a
+// differentiation finding, exactly as the historical call chain was.
+func DefaultPipeline() *Pipeline {
+	p, err := NewPipeline(
+		fingerprintPhase{},
+		detectPhase{},
+		characterizePhase{},
+		evaluatePhase{},
+		deployPhase{},
+	)
+	if err != nil {
+		panic(err) // static construction; unreachable
+	}
+	return p
+}
+
+// fingerprintPhase is phase 0: ambiguity-probe the path, map the observed
+// resolutions to a known DPI profile, and let evaluation prune the suite.
+// Off by default — it costs probe rounds — and armed per engagement.
+type fingerprintPhase struct{}
+
+func (fingerprintPhase) Name() string                 { return PhaseFingerprint }
+func (fingerprintPhase) Deps() []string               { return nil }
+func (fingerprintPhase) Enabled(c *PhaseContext) bool { return c.Session.Fingerprint }
+func (fingerprintPhase) Zero() PhaseResult            { return nil }
+func (fingerprintPhase) Run(c *PhaseContext) PhaseResult {
+	return runFingerprint(c.Session)
+}
+
+// detectPhase runs differentiation detection; always enabled.
+type detectPhase struct{}
+
+func (detectPhase) Name() string               { return PhaseDetect }
+func (detectPhase) Deps() []string             { return nil }
+func (detectPhase) Enabled(*PhaseContext) bool { return true }
+func (detectPhase) Zero() PhaseResult          { return &Detection{} }
+func (detectPhase) Run(c *PhaseContext) PhaseResult {
+	return Detect(c.Session, c.Trace)
+}
+
+// characterizePhase reverse-engineers the classifier; gated on detection.
+type characterizePhase struct{}
+
+func (characterizePhase) Name() string   { return PhaseCharacterize }
+func (characterizePhase) Deps() []string { return []string{PhaseDetect} }
+func (characterizePhase) Enabled(c *PhaseContext) bool {
+	return c.Detection().Differentiated
+}
+func (characterizePhase) Zero() PhaseResult { return &Characterization{} }
+func (characterizePhase) Run(c *PhaseContext) PhaseResult {
+	return Characterize(c.Session, c.Trace, c.Detection())
+}
+
+// evaluatePhase runs the evasion suite; gated on detection. When an
+// identified fingerprint is in the context, techniques the profile rules
+// out are pruned before the fork-and-join.
+type evaluatePhase struct{}
+
+func (evaluatePhase) Name() string   { return PhaseEvaluate }
+func (evaluatePhase) Deps() []string { return []string{PhaseDetect, PhaseCharacterize} }
+func (evaluatePhase) Enabled(c *PhaseContext) bool {
+	return c.Detection().Differentiated
+}
+func (evaluatePhase) Zero() PhaseResult { return &Evaluation{} }
+func (evaluatePhase) Run(c *PhaseContext) PhaseResult {
+	return evaluate(c.Session, c.Trace, c.Detection(), c.Characterization(),
+		false, c.Fingerprint().RuledOutSet())
+}
+
+// deployPhase selects the cheapest working technique; gated on detection.
+type deployPhase struct{}
+
+func (deployPhase) Name() string   { return PhaseDeploy }
+func (deployPhase) Deps() []string { return []string{PhaseEvaluate} }
+func (deployPhase) Enabled(c *PhaseContext) bool {
+	return c.Detection().Differentiated
+}
+func (deployPhase) Zero() PhaseResult { return &Deployment{} }
+func (deployPhase) Run(c *PhaseContext) PhaseResult {
+	s := c.Session
+	ev := c.Evaluation()
+	done := s.span("deploy")
+	d := &Deployment{Verdict: ev.Best()}
+	label := "none"
+	if d.Verdict != nil {
+		label = d.Verdict.Technique.ID
+	}
+	s.verdict("deploy", label, confPPM(ev.MinConfidence()), 0)
+	done()
+	return d
+}

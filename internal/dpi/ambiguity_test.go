@@ -1,0 +1,128 @@
+package dpi
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAmbiguityMatrixPairwiseDistinct proves the decision tree can work
+// at all: every pair of built-in profiles resolves at least one probe
+// differently, so a complete observation set always narrows to at most
+// one candidate.
+func TestAmbiguityMatrixPairwiseDistinct(t *testing.T) {
+	profiles := AmbiguityProfiles()
+	for i, a := range profiles {
+		for _, b := range profiles[i+1:] {
+			sa, sb := SignatureFor(a), SignatureFor(b)
+			distinct := false
+			for _, probe := range ProbeOrder {
+				if sa[probe] != sb[probe] {
+					distinct = true
+					break
+				}
+			}
+			if !distinct {
+				t.Errorf("profiles %q and %q share an identical ambiguity signature — not distinguishable", a, b)
+			}
+		}
+	}
+}
+
+// TestAmbiguityMatrixComplete: every signature resolves every probe (a
+// hole would make that probe useless against the profile), and every
+// probe discriminates at least one profile pair (a non-discriminating
+// probe would be dead weight in the library).
+func TestAmbiguityMatrixComplete(t *testing.T) {
+	profiles := AmbiguityProfiles()
+	for _, name := range profiles {
+		sig := SignatureFor(name)
+		for _, probe := range ProbeOrder {
+			if _, ok := sig[probe]; !ok {
+				t.Errorf("profile %q has no expected resolution for probe %s", name, probe)
+			}
+		}
+		if len(sig) != len(ProbeOrder) {
+			t.Errorf("profile %q signature has %d entries, probe library has %d", name, len(sig), len(ProbeOrder))
+		}
+	}
+	for _, probe := range ProbeOrder {
+		discriminates := false
+		for i, a := range profiles {
+			for _, b := range profiles[i+1:] {
+				if SignatureFor(a)[probe] != SignatureFor(b)[probe] {
+					discriminates = true
+				}
+			}
+		}
+		if !discriminates {
+			t.Errorf("probe %s resolves identically on every profile — dead weight", probe)
+		}
+	}
+}
+
+// TestIdentifyProfileRoundTrip: feeding a profile's own signature back
+// through the decision procedure identifies exactly that profile.
+func TestIdentifyProfileRoundTrip(t *testing.T) {
+	for _, name := range AmbiguityProfiles() {
+		sig := SignatureFor(name)
+		var observed []Observation
+		for _, probe := range ProbeOrder {
+			observed = append(observed, Observation{Probe: probe, Resolution: sig[probe]})
+		}
+		id := IdentifyProfile(observed)
+		if !id.Identified() || id.Profile != name || id.Confidence != 1 {
+			t.Errorf("signature of %q identified as %+v", name, id)
+		}
+		if !reflect.DeepEqual(id.Candidates, []string{name}) {
+			t.Errorf("candidates for %q = %v", name, id.Candidates)
+		}
+	}
+}
+
+// TestIdentifyProfileUnknown: evidence outside the matrix falls back to
+// unknown — no profile, zero confidence, and (downstream) no pruning.
+func TestIdentifyProfileUnknown(t *testing.T) {
+	id := IdentifyProfile([]Observation{
+		{Probe: ProbeHopCount, Resolution: HopsResolution(99)},
+	})
+	if id.Identified() || id.Profile != "" || id.Confidence != 0 || len(id.Candidates) != 0 {
+		t.Fatalf("impossible evidence identified %+v", id)
+	}
+	if got := RuledOutTechniques(id.Profile); got != nil {
+		t.Fatalf("unknown profile rules out %v, want nothing", got)
+	}
+}
+
+// TestIdentifyProfilePartialEvidence: with only the probes several
+// profiles share, identification stays ambiguous and reports the
+// surviving candidates.
+func TestIdentifyProfilePartialEvidence(t *testing.T) {
+	// hops=3 alone is shared by tmobile, att, and sprint.
+	id := IdentifyProfile([]Observation{
+		{Probe: ProbeHopCount, Resolution: HopsResolution(3)},
+	})
+	if id.Identified() {
+		t.Fatalf("hop count alone identified %q", id.Profile)
+	}
+	if !reflect.DeepEqual(id.Candidates, []string{"att", "sprint", "tmobile"}) {
+		t.Fatalf("candidates = %v, want [att sprint tmobile]", id.Candidates)
+	}
+	// No evidence at all: everything stays in play.
+	id = IdentifyProfile(nil)
+	if id.Identified() || len(id.Candidates) != len(AmbiguityProfiles()) {
+		t.Fatalf("no evidence narrowed to %+v", id)
+	}
+}
+
+// TestRuledOutTechniquesCopies: callers get a private copy, not the
+// curated backing slice.
+func TestRuledOutTechniquesCopies(t *testing.T) {
+	a := RuledOutTechniques("iran")
+	if len(a) == 0 {
+		t.Fatal("iran rules out nothing?")
+	}
+	a[0] = "tampered"
+	if b := RuledOutTechniques("iran"); b[0] == "tampered" {
+		t.Fatal("RuledOutTechniques exposes its backing array")
+	}
+}

@@ -159,14 +159,14 @@ func TestFaultedFingerprintDiffers(t *testing.T) {
 	clean := NewGFC()
 	faulted := NewGFC()
 	faulted.MB.Cfg.Faults = Faults{MissRate: 0.1, RSTDropRate: 0.2}
-	if clean.Fingerprint() == faulted.Fingerprint() {
+	if clean.ConfigDigest() == faulted.ConfigDigest() {
 		t.Fatal("faulted and clean GFC share a fingerprint")
 	}
 	impaired := NewGFC()
 	if err := impaired.AddImpairments([]ImpairmentSpec{{Kind: "loss", Rate: 0.05}}); err != nil {
 		t.Fatal(err)
 	}
-	if clean.Fingerprint() == impaired.Fingerprint() {
+	if clean.ConfigDigest() == impaired.ConfigDigest() {
 		t.Fatal("impaired and clean GFC share a fingerprint")
 	}
 	if !faulted.Noisy() || !impaired.Noisy() || clean.Noisy() {

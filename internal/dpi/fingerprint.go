@@ -10,18 +10,24 @@ import (
 	"repro/internal/netem"
 )
 
-// Fingerprint returns a content-addressed digest of the network's
+// ConfigDigest returns a content-addressed digest of the network's
 // configuration: topology (element kinds and order, hop counts, link
 // rates) plus every behavioural knob of the classifier, proxy, firewall,
-// and counter. Two networks with equal fingerprints respond identically
-// to identical traffic from a fresh state, so the digest is a sound cache
+// and counter. Two networks with equal digests respond identically to
+// identical traffic from a fresh state, so the digest is a sound cache
 // key for whole-engagement memoization.
 //
 // Mutable runtime state (flow tables, RNG positions, the clock) is
-// deliberately excluded — a fingerprint identifies a profile, not a
-// moment. Anything time-of-day-dependent (the load model) is sampled at
+// deliberately excluded — the digest identifies a profile, not a moment.
+// Anything time-of-day-dependent (the load model) is sampled at
 // canonical points, so differing diurnal curves produce differing digests.
-func (n *Network) Fingerprint() string {
+//
+// This is a white-box hash of the simulated configuration, NOT the
+// ambiguity fingerprint of ambiguity.go: that one is behavioral,
+// elicited by active probing (core's phase 0), and exists precisely for
+// paths whose configuration is unknown. The two never interchange — the
+// digest keys caches, the ambiguity fingerprint identifies adversaries.
+func (n *Network) ConfigDigest() string {
 	h := sha256.New()
 	fmt.Fprintf(h, "network=%s mbhops=%d hops=%d delay=%s\n",
 		n.Name, n.MiddleboxHops, n.TotalHops, n.Env.LinkDelay)

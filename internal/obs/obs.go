@@ -83,6 +83,13 @@ const (
 	KindChaosFrameDup
 	KindChaosWorkerCrash
 	KindChaosWorkerStall
+	// Fingerprint events (phase 0): one ambiguity probe resolved (Actor
+	// is the probe ID, Label the observed resolution), or the decision
+	// tree identified a profile (Actor "fingerprint", Label the profile
+	// name, Value the confidence in PPM, Aux the ruled-out technique
+	// count).
+	KindFPProbe
+	KindFPIdentify
 
 	numKinds
 )
@@ -124,6 +131,9 @@ var kindNames = [numKinds]string{
 	KindChaosFrameDup:    "chaos.frame-dup",
 	KindChaosWorkerCrash: "chaos.crash",
 	KindChaosWorkerStall: "chaos.stall",
+
+	KindFPProbe:    "fp.probe",
+	KindFPIdentify: "fp.identify",
 }
 
 // String returns the stable wire name of the kind.
@@ -223,6 +233,12 @@ const (
 	CtrShardRequeues
 	CtrChaosFrameFaults
 	CtrChaosWorkerFaults
+	// Fingerprint-phase counters (deterministic, simulation-plane):
+	// ambiguity probes run, profiles identified, and evaluation-suite
+	// techniques pruned on the identified profile's knowledge.
+	CtrFPProbes
+	CtrFPIdentified
+	CtrFPPruned
 
 	NumCounters
 )
@@ -264,6 +280,10 @@ var counterNames = [NumCounters]string{
 	CtrShardRequeues:     "shard_requeues",
 	CtrChaosFrameFaults:  "chaos_frame_faults",
 	CtrChaosWorkerFaults: "chaos_worker_faults",
+
+	CtrFPProbes:     "fp_probes",
+	CtrFPIdentified: "fp_identified",
+	CtrFPPruned:     "fp_pruned",
 }
 
 // String returns the stable wire name of the counter.

@@ -52,6 +52,52 @@ type (
 	BuildParams = core.BuildParams
 )
 
+// Phase pipeline (DESIGN.md §16): the engagement chain as first-class
+// composable stages instead of a hard-wired call sequence.
+type (
+	// Phase is one pipeline stage: name, dependencies, gating, run.
+	Phase = core.Phase
+	// PhaseResult is the serializable outcome a phase records.
+	PhaseResult = core.PhaseResult
+	// PhaseContext carries the session, trace, and accumulated results.
+	PhaseContext = core.PhaseContext
+	// Pipeline is an ordered, dependency-checked phase sequence.
+	Pipeline = core.Pipeline
+	// Deployment is the deploy phase's recorded result.
+	Deployment = core.Deployment
+	// FingerprintResult is the phase-0 ambiguity-fingerprint outcome:
+	// identified profile, probe evidence, and the pruned technique list.
+	FingerprintResult = core.FingerprintResult
+	// AmbiguityObservation is one probe's observed resolution.
+	AmbiguityObservation = dpi.Observation
+)
+
+// Built-in phase names, in canonical pipeline order.
+const (
+	PhaseFingerprint  = core.PhaseFingerprint
+	PhaseDetect       = core.PhaseDetect
+	PhaseCharacterize = core.PhaseCharacterize
+	PhaseEvaluate     = core.PhaseEvaluate
+	PhaseDeploy       = core.PhaseDeploy
+)
+
+var (
+	// NewPipeline validates and assembles a custom phase sequence.
+	NewPipeline = core.NewPipeline
+	// DefaultPipeline is the standard engagement pipeline: fingerprint
+	// (opt-in) → detect → characterize → evaluate → deploy.
+	DefaultPipeline = core.DefaultPipeline
+	// FingerprintNetwork runs only the ambiguity probes against a network
+	// and identifies its DPI profile — no detection or evaluation.
+	FingerprintNetwork = core.FingerprintNetwork
+	// IdentifyProfile maps observed probe resolutions to a known profile.
+	IdentifyProfile = dpi.IdentifyProfile
+	// RuledOutTechniques lists the technique IDs a profile rules out.
+	RuledOutTechniques = dpi.RuledOutTechniques
+	// AmbiguityProfiles lists the profiles the decision tree can identify.
+	AmbiguityProfiles = dpi.AmbiguityProfiles
+)
+
 // Network and trace types.
 type (
 	// Network is a simulated evaluation environment.
